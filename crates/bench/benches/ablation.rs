@@ -1,0 +1,59 @@
+//! Ablation microbenchmark: §5's design choices (client grouping,
+//! Lemma 5.1 pruning, vivid matrices), each toggled on the same workload.
+
+mod common;
+
+use criterion::Criterion;
+use std::hint::black_box;
+
+use ifls_core::{EfficientConfig, EfficientIfls};
+use ifls_venues::NamedVenue;
+use ifls_viptree::{VipTree, VipTreeConfig};
+use ifls_workloads::{ParameterGrid, WorkloadBuilder};
+
+fn bench(c: &mut Criterion) {
+    let venue = NamedVenue::MC.build();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let ip_tree = VipTree::build(&venue, VipTreeConfig::ip_tree());
+    let d = ParameterGrid::new(NamedVenue::MC).defaults();
+    let w = WorkloadBuilder::new(&venue)
+        .clients_uniform(200)
+        .existing_uniform(d.fe)
+        .candidates_uniform(d.fn_)
+        .seed(31)
+        .build();
+
+    let mut group = c.benchmark_group("ablation");
+    let configs = [
+        ("full", true, true),
+        ("no_grouping", false, true),
+        ("no_pruning", true, false),
+        ("neither", false, false),
+    ];
+    for (name, g, p) in configs {
+        let cfg = EfficientConfig {
+            group_clients: g,
+            prune_clients: p,
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    EfficientIfls::with_config(&tree, cfg)
+                        .run(&w.clients, &w.existing, &w.candidates),
+                )
+            })
+        });
+    }
+    group.bench_function("ip_tree", |b| {
+        b.iter(|| {
+            black_box(EfficientIfls::new(&ip_tree).run(&w.clients, &w.existing, &w.candidates))
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

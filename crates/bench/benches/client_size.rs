@@ -1,0 +1,45 @@
+//! Fig. 7a microbenchmark: query time vs client count (Melbourne Central,
+//! synthetic setting), both solvers.
+
+mod common;
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ifls_core::{EfficientIfls, ModifiedMinMax};
+use ifls_venues::NamedVenue;
+use ifls_viptree::{VipTree, VipTreeConfig};
+use ifls_workloads::{ParameterGrid, WorkloadBuilder};
+
+fn bench(c: &mut Criterion) {
+    let venue = NamedVenue::MC.build();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let d = ParameterGrid::new(NamedVenue::MC).defaults();
+
+    let mut group = c.benchmark_group("client_size");
+    for clients in [50usize, 100, 200] {
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(clients)
+            .existing_uniform(d.fe)
+            .candidates_uniform(d.fn_)
+            .seed(7)
+            .build();
+        group.bench_with_input(BenchmarkId::new("efficient", clients), &w, |b, w| {
+            b.iter(|| {
+                black_box(EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", clients), &w, |b, w| {
+            b.iter(|| {
+                black_box(ModifiedMinMax::new(&tree).run(&w.clients, &w.existing, &w.candidates))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

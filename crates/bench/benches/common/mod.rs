@@ -1,0 +1,16 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! The Criterion benches are *micro*-benchmarks: they run each paper
+//! dimension at 1/100 of the paper's client counts so the statistical
+//! machinery (many iterations) stays affordable. The `figures` binary is
+//! the harness that reproduces the figures at configurable scale.
+
+use criterion::Criterion;
+
+/// Criterion tuned for heavyweight end-to-end query benchmarks.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}

@@ -1,0 +1,45 @@
+//! Fig. 7b microbenchmark: query time vs existing-facility count
+//! (Melbourne Central, synthetic setting).
+
+mod common;
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ifls_core::{EfficientIfls, ModifiedMinMax};
+use ifls_venues::NamedVenue;
+use ifls_viptree::{VipTree, VipTreeConfig};
+use ifls_workloads::{ParameterGrid, WorkloadBuilder};
+
+fn bench(c: &mut Criterion) {
+    let venue = NamedVenue::MC.build();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let grid = ParameterGrid::new(NamedVenue::MC);
+
+    let mut group = c.benchmark_group("fe_size");
+    for fe in grid.fe_range() {
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(100)
+            .existing_uniform(fe)
+            .candidates_uniform(grid.default_fn())
+            .seed(13)
+            .build();
+        group.bench_with_input(BenchmarkId::new("efficient", fe), &w, |b, w| {
+            b.iter(|| {
+                black_box(EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", fe), &w, |b, w| {
+            b.iter(|| {
+                black_box(ModifiedMinMax::new(&tree).run(&w.clients, &w.existing, &w.candidates))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,43 @@
+//! Fig. 5 microbenchmark: the Melbourne Central real setting, one group
+//! per shop category.
+
+mod common;
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ifls_core::{EfficientIfls, ModifiedMinMax};
+use ifls_venues::{melbourne_central, McCategory};
+use ifls_viptree::{VipTree, VipTreeConfig};
+use ifls_workloads::WorkloadBuilder;
+
+fn bench(c: &mut Criterion) {
+    let venue = melbourne_central();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+
+    let mut group = c.benchmark_group("real_setting");
+    for cat in McCategory::ALL {
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(100)
+            .real_setting(cat)
+            .seed(23)
+            .build();
+        group.bench_with_input(BenchmarkId::new("efficient", cat.name()), &w, |b, w| {
+            b.iter(|| {
+                black_box(EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", cat.name()), &w, |b, w| {
+            b.iter(|| {
+                black_box(ModifiedMinMax::new(&tree).run(&w.clients, &w.existing, &w.candidates))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,45 @@
+//! Fig. 6 microbenchmark: query time vs σ of the normal client
+//! distribution (Melbourne Central, synthetic setting).
+
+mod common;
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ifls_core::{EfficientIfls, ModifiedMinMax};
+use ifls_venues::NamedVenue;
+use ifls_viptree::{VipTree, VipTreeConfig};
+use ifls_workloads::{ParameterGrid, WorkloadBuilder, SIGMAS};
+
+fn bench(c: &mut Criterion) {
+    let venue = NamedVenue::MC.build();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let d = ParameterGrid::new(NamedVenue::MC).defaults();
+
+    let mut group = c.benchmark_group("sigma");
+    for &sigma in &SIGMAS {
+        let w = WorkloadBuilder::new(&venue)
+            .clients_normal(100, sigma)
+            .existing_uniform(d.fe)
+            .candidates_uniform(d.fn_)
+            .seed(11)
+            .build();
+        group.bench_with_input(BenchmarkId::new("efficient", sigma), &w, |b, w| {
+            b.iter(|| {
+                black_box(EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", sigma), &w, |b, w| {
+            b.iter(|| {
+                black_box(ModifiedMinMax::new(&tree).run(&w.clients, &w.existing, &w.candidates))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,107 @@
+//! Regenerates every measured figure of the IFLS paper.
+//!
+//! ```text
+//! figures [ids…] [--full] [--queries N] [--divisor N]
+//!
+//! ids: fig5 fig6 fig7a fig7b fig7c fig8a fig8b fig8c headline ablation all
+//!      (default: all)
+//! --full       paper-scale workloads (|C| up to 20 000, 10 queries)
+//! --queries N  override the number of queries averaged per point
+//! --divisor N  override the client-count divisor (default 20, full: 1)
+//! ```
+//!
+//! Fig. 7x and Fig. 8x share their runs: the time table is Fig. 7, the
+//! memory table Fig. 8.
+
+use std::collections::BTreeSet;
+
+use ifls_bench::experiments;
+use ifls_bench::{Scale, Table};
+
+fn print_tables(tables: &[Table], time: bool, memory: bool, dists: bool) {
+    for t in tables {
+        if time {
+            println!("{}", t.render_time());
+        }
+        if memory {
+            println!("{}", t.render_memory());
+        }
+        if dists {
+            println!("{}", t.render_dists());
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::quick();
+    let mut ids: BTreeSet<String> = BTreeSet::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => scale = Scale::full(),
+            "--queries" => {
+                i += 1;
+                scale.queries = args[i].parse().expect("--queries takes a number");
+            }
+            "--divisor" => {
+                i += 1;
+                scale.client_divisor = args[i].parse().expect("--divisor takes a number");
+            }
+            id => {
+                ids.insert(id.to_string());
+            }
+        }
+        i += 1;
+    }
+    if ids.is_empty() || ids.contains("all") {
+        ids = [
+            "fig5", "fig6", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "headline",
+            "ablation",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+
+    println!(
+        "# IFLS figure reproduction (client divisor {}, {} queries/point)\n",
+        scale.client_divisor, scale.queries
+    );
+
+    if ids.contains("fig5") {
+        let t = experiments::fig5(&scale);
+        print_tables(&t, true, true, false);
+    }
+    if ids.contains("fig6") {
+        let t = experiments::fig6(&scale);
+        print_tables(&t, true, true, false);
+    }
+    // Fig. 7 (time) and Fig. 8 (memory) share runs.
+    let want = |a: &str, b: &str| ids.contains(a) || ids.contains(b);
+    if want("fig7a", "fig8a") {
+        let t = experiments::fig7a(&scale);
+        print_tables(&t, ids.contains("fig7a"), ids.contains("fig8a"), false);
+    }
+    if want("fig7b", "fig8b") {
+        let t = experiments::fig7b(&scale);
+        print_tables(&t, ids.contains("fig7b"), ids.contains("fig8b"), false);
+    }
+    if want("fig7c", "fig8c") {
+        let t = experiments::fig7c(&scale);
+        print_tables(&t, ids.contains("fig7c"), ids.contains("fig8c"), false);
+    }
+    if ids.contains("headline") {
+        println!("## Headline speedups (efficient vs modified MinMax)");
+        println!("| experiment | avg speedup | max speedup |");
+        println!("|------------|------------:|------------:|");
+        for (name, avg, max) in experiments::headline(&scale) {
+            println!("| {name} | {avg:.2}x | {max:.2}x |");
+        }
+        println!();
+    }
+    if ids.contains("ablation") {
+        let rows = experiments::ablation(&scale);
+        println!("{}", experiments::render_ablation(&rows));
+    }
+}

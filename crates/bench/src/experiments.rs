@@ -1,0 +1,415 @@
+//! Experiment runners: one function per paper figure.
+//!
+//! Each runner builds the venue and its VIP-tree once, generates the
+//! paper's workloads (scaled by [`Scale`]), runs both solvers on identical
+//! inputs, and returns printable [`Table`]s.
+
+use ifls_core::{EfficientConfig, EfficientIfls, ModifiedMinMax};
+use ifls_indoor::Venue;
+use ifls_venues::{McCategory, NamedVenue};
+use ifls_viptree::{VipTree, VipTreeConfig};
+use ifls_workloads::{Workload, WorkloadBuilder, CLIENT_SIZES, DEFAULT_CLIENTS, SIGMAS};
+use ifls_workloads::{ParameterGrid, SyntheticParams};
+
+use crate::measure::{compare, AlgoStats, Row, Scale};
+use crate::report::Table;
+
+/// Derives a deterministic per-query seed.
+fn seed_for(tag: u64, x: u64, query: u64) -> u64 {
+    tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(x.wrapping_mul(0x2545_F491_4F6C_DD1D))
+        .wrapping_add(query)
+}
+
+fn synthetic_workloads(
+    venue: &Venue,
+    p: &SyntheticParams,
+    scale: &Scale,
+    tag: u64,
+    x: u64,
+) -> Vec<Workload> {
+    (0..scale.queries)
+        .map(|q| {
+            let b = WorkloadBuilder::new(venue)
+                .existing_uniform(p.fe)
+                .candidates_uniform(p.fn_)
+                .seed(seed_for(tag, x, q as u64));
+            let b = match p.sigma {
+                Some(s) => b.clients_normal(scale.clients(p.clients), s),
+                None => b.clients_uniform(scale.clients(p.clients)),
+            };
+            b.build()
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sweep_table(
+    venue: &Venue,
+    tree: &VipTree<'_>,
+    sweep: &[SyntheticParams],
+    scale: &Scale,
+    title: String,
+    x_name: &str,
+    x_of: impl Fn(&SyntheticParams) -> String,
+    tag: u64,
+) -> Table {
+    let rows = sweep
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let ws = synthetic_workloads(venue, p, scale, tag, i as u64);
+            let (eff, base) = compare(tree, &ws);
+            Row {
+                x: x_of(p),
+                efficient: eff,
+                baseline: base,
+            }
+        })
+        .collect();
+    Table {
+        title,
+        x_name: x_name.to_string(),
+        rows,
+    }
+}
+
+/// Fig. 5: real setting (Melbourne Central), one panel per shop category,
+/// client size on the x axis. Returns the five panels (a–e).
+pub fn fig5(scale: &Scale) -> Vec<Table> {
+    let venue = ifls_venues::melbourne_central();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    McCategory::ALL
+        .iter()
+        .enumerate()
+        .map(|(ci, &cat)| {
+            let rows = CLIENT_SIZES
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| {
+                    let ws: Vec<Workload> = (0..scale.queries)
+                        .map(|q| {
+                            WorkloadBuilder::new(&venue)
+                                .clients_uniform(scale.clients(c))
+                                .real_setting(cat)
+                                .seed(seed_for(500 + ci as u64, i as u64, q as u64))
+                                .build()
+                        })
+                        .collect();
+                    let (eff, base) = compare(&tree, &ws);
+                    Row {
+                        x: scale.clients(c).to_string(),
+                        efficient: eff,
+                        baseline: base,
+                    }
+                })
+                .collect();
+            Table {
+                title: format!(
+                    "Fig. 5({}) MC real — Fe = {} ({} partitions)",
+                    char::from(b'a' + ci as u8),
+                    cat.name(),
+                    cat.count()
+                ),
+                x_name: "|C|".to_string(),
+                rows,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 6: effect of the normal distribution's σ. Panel (i) is the real
+/// setting on MC; panels (ii)–(v) are the synthetic setting on the four
+/// venues.
+pub fn fig6(scale: &Scale) -> Vec<Table> {
+    let mut tables = Vec::new();
+    // (i) MC real, the largest category as Fe (the paper's default).
+    {
+        let venue = ifls_venues::melbourne_central();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let cat = McCategory::FashionAccessories;
+        let rows = SIGMAS
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let ws: Vec<Workload> = (0..scale.queries)
+                    .map(|q| {
+                        WorkloadBuilder::new(&venue)
+                            .clients_normal(scale.clients(DEFAULT_CLIENTS), s)
+                            .real_setting(cat)
+                            .seed(seed_for(600, i as u64, q as u64))
+                            .build()
+                    })
+                    .collect();
+                let (eff, base) = compare(&tree, &ws);
+                Row {
+                    x: format!("{s}"),
+                    efficient: eff,
+                    baseline: base,
+                }
+            })
+            .collect();
+        tables.push(Table {
+            title: "Fig. 6(i) MC (Real) — σ sweep".to_string(),
+            x_name: "σ".to_string(),
+            rows,
+        });
+    }
+    // (ii)–(v) synthetic.
+    for (vi, nv) in NamedVenue::ALL.iter().enumerate() {
+        let venue = nv.build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let sweep = ParameterGrid::new(*nv).sweep_sigma();
+        tables.push(sweep_table(
+            &venue,
+            &tree,
+            &sweep,
+            scale,
+            format!(
+                "Fig. 6({}) {} (Syn) — σ sweep",
+                ["ii", "iii", "iv", "v"][vi],
+                nv.label()
+            ),
+            "σ",
+            |p| format!("{}", p.sigma.expect("sigma sweep")),
+            610 + vi as u64,
+        ));
+    }
+    tables
+}
+
+/// Fig. 7a / 8a: synthetic setting, client size sweep, one panel per venue.
+pub fn fig7a(scale: &Scale) -> Vec<Table> {
+    venue_sweep(scale, "Fig. 7a/8a", "|C|", 700, |g| g.sweep_clients(), |p, s| {
+        s.clients(p.clients).to_string()
+    })
+}
+
+/// Fig. 7b / 8b: synthetic setting, |Fe| sweep.
+pub fn fig7b(scale: &Scale) -> Vec<Table> {
+    venue_sweep(scale, "Fig. 7b/8b", "|Fe|", 710, |g| g.sweep_fe(), |p, _| p.fe.to_string())
+}
+
+/// Fig. 7c / 8c: synthetic setting, |Fn| sweep.
+pub fn fig7c(scale: &Scale) -> Vec<Table> {
+    venue_sweep(scale, "Fig. 7c/8c", "|Fn|", 720, |g| g.sweep_fn(), |p, _| p.fn_.to_string())
+}
+
+fn venue_sweep(
+    scale: &Scale,
+    fig: &str,
+    x_name: &str,
+    tag: u64,
+    sweep_of: impl Fn(&ParameterGrid) -> Vec<SyntheticParams>,
+    x_of: impl Fn(&SyntheticParams, &Scale) -> String,
+) -> Vec<Table> {
+    NamedVenue::ALL
+        .iter()
+        .enumerate()
+        .map(|(vi, nv)| {
+            let venue = nv.build();
+            let tree = VipTree::build(&venue, VipTreeConfig::default());
+            let sweep = sweep_of(&ParameterGrid::new(*nv));
+            sweep_table(
+                &venue,
+                &tree,
+                &sweep,
+                scale,
+                format!("{fig} ({}) {}", ["i", "ii", "iii", "iv"][vi], nv.label()),
+                x_name,
+                |p| x_of(p, scale),
+                tag + vi as u64,
+            )
+        })
+        .collect()
+}
+
+/// Headline numbers (§1/§8): average and maximum speedup per venue at the
+/// default synthetic configuration, plus the MC real setting.
+pub fn headline(scale: &Scale) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    for table in fig7a(scale) {
+        let (avg, max) = table.speedup_summary();
+        out.push((table.title.clone(), avg, max));
+    }
+    for table in fig5(scale).into_iter().take(1) {
+        let (avg, max) = table.speedup_summary();
+        out.push((table.title.clone(), avg, max));
+    }
+    out
+}
+
+/// A named algorithm variant measured by the ablation (§5's design
+/// choices).
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Variant name.
+    pub name: String,
+    /// Averaged statistics.
+    pub stats: AlgoStats,
+}
+
+/// Ablation at the default MC synthetic configuration: client grouping,
+/// Lemma 5.1 pruning, and the tree's vivid matrices, each toggled, plus
+/// the baseline for reference.
+pub fn ablation(scale: &Scale) -> Vec<AblationRow> {
+    let venue = ifls_venues::melbourne_central();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let ip_tree = VipTree::build(&venue, VipTreeConfig::ip_tree());
+    let grid = ParameterGrid::new(NamedVenue::MC);
+    let p = grid.defaults();
+    let ws = synthetic_workloads(&venue, &p, scale, 900, 0);
+
+    let mut rows = Vec::new();
+    let mut push = |name: &str, stats: AlgoStats| {
+        rows.push(AblationRow {
+            name: name.to_string(),
+            stats,
+        });
+    };
+
+    let run_eff = |tree: &VipTree<'_>, cfg: EfficientConfig| -> AlgoStats {
+        let mut acc = AlgoStats::default();
+        for w in &ws {
+            let o = EfficientIfls::with_config(tree, cfg).run(&w.clients, &w.existing, &w.candidates);
+            acc.time_s += o.stats.elapsed.as_secs_f64();
+            acc.mem_mib += o.stats.peak_mib();
+            acc.dist_computations += o.stats.dist_computations as f64;
+            acc.facilities_retrieved += o.stats.facilities_retrieved as f64;
+            acc.objective += o.objective;
+        }
+        let n = ws.len() as f64;
+        AlgoStats {
+            time_s: acc.time_s / n,
+            mem_mib: acc.mem_mib / n,
+            dist_computations: acc.dist_computations / n,
+            facilities_retrieved: acc.facilities_retrieved / n,
+            objective: acc.objective / n,
+        }
+    };
+
+    push("efficient (full)", run_eff(&tree, EfficientConfig::default()));
+    push(
+        "efficient, no client grouping",
+        run_eff(
+            &tree,
+            EfficientConfig {
+                group_clients: false,
+                prune_clients: true,
+            },
+        ),
+    );
+    push(
+        "efficient, no Lemma 5.1 pruning",
+        run_eff(
+            &tree,
+            EfficientConfig {
+                group_clients: true,
+                prune_clients: false,
+            },
+        ),
+    );
+    push(
+        "efficient, neither",
+        run_eff(
+            &tree,
+            EfficientConfig {
+                group_clients: false,
+                prune_clients: false,
+            },
+        ),
+    );
+    push(
+        "efficient on IP-tree (no vivid matrices)",
+        run_eff(&ip_tree, EfficientConfig::default()),
+    );
+
+    // Baseline reference.
+    let mut acc = AlgoStats::default();
+    for w in &ws {
+        let o = ModifiedMinMax::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        acc.time_s += o.stats.elapsed.as_secs_f64();
+        acc.mem_mib += o.stats.peak_mib();
+        acc.dist_computations += o.stats.dist_computations as f64;
+        acc.facilities_retrieved += o.stats.facilities_retrieved as f64;
+        acc.objective += o.objective;
+    }
+    let n = ws.len() as f64;
+    push(
+        "modified MinMax (baseline)",
+        AlgoStats {
+            time_s: acc.time_s / n,
+            mem_mib: acc.mem_mib / n,
+            dist_computations: acc.dist_computations / n,
+            facilities_retrieved: acc.facilities_retrieved / n,
+            objective: acc.objective / n,
+        },
+    );
+    rows
+}
+
+/// Renders the ablation rows.
+pub fn render_ablation(rows: &[AblationRow]) -> String {
+    let mut out = String::new();
+    out.push_str("## Ablation — MC synthetic defaults\n");
+    out.push_str(&format!(
+        "| {:<42} | {:>10} | {:>12} | {:>12} | {:>10} |\n",
+        "variant", "time (s)", "dist comps", "retrieved", "mem (MiB)"
+    ));
+    out.push_str(&format!(
+        "|{:-<44}|{:->12}|{:->14}|{:->14}|{:->12}|\n",
+        "", ":", ":", ":", ":"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "| {:<42} | {:>10.4} | {:>12.0} | {:>12.0} | {:>10.3} |\n",
+            r.name, r.stats.time_s, r.stats.dist_computations, r.stats.facilities_retrieved, r.stats.mem_mib
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny scale so experiment plumbing is exercised in tests.
+    fn tiny() -> Scale {
+        Scale {
+            client_divisor: 200,
+            queries: 1,
+        }
+    }
+
+    #[test]
+    fn fig7a_produces_four_panels_with_five_rows() {
+        // Restrict to CPH (smallest venue) for test time by checking just
+        // panel shape on the full call is too slow; instead run one panel
+        // manually.
+        let venue = NamedVenue::CPH.build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let sweep = ParameterGrid::new(NamedVenue::CPH).sweep_clients();
+        let t = sweep_table(
+            &venue,
+            &tree,
+            &sweep,
+            &tiny(),
+            "test".into(),
+            "|C|",
+            |p| p.clients.to_string(),
+            1,
+        );
+        assert_eq!(t.rows.len(), CLIENT_SIZES.len());
+        for r in &t.rows {
+            assert!(r.efficient.time_s > 0.0);
+            assert!(r.baseline.time_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_query_and_x() {
+        assert_ne!(seed_for(1, 0, 0), seed_for(1, 0, 1));
+        assert_ne!(seed_for(1, 0, 0), seed_for(1, 1, 0));
+        assert_ne!(seed_for(1, 0, 0), seed_for(2, 0, 0));
+    }
+}

@@ -1,0 +1,171 @@
+//! Measurement primitives: run both solvers on the same workloads and
+//! average their statistics.
+
+use ifls_core::{EfficientIfls, ModifiedMinMax};
+use ifls_viptree::VipTree;
+use ifls_workloads::Workload;
+
+/// Workload scaling for a harness run.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Client counts are divided by this factor (≥ 1).
+    pub client_divisor: usize,
+    /// Number of queries averaged per configuration (the paper uses 10).
+    pub queries: usize,
+}
+
+impl Scale {
+    /// Quick mode: 1/20 of the paper's client counts, 2 queries. The
+    /// relative behavior (who wins, slopes, crossovers) is preserved;
+    /// absolute times shrink roughly linearly with the client count.
+    pub fn quick() -> Self {
+        Self {
+            client_divisor: 20,
+            queries: 2,
+        }
+    }
+
+    /// Full paper scale: exact client counts, 10 queries.
+    pub fn full() -> Self {
+        Self {
+            client_divisor: 1,
+            queries: 10,
+        }
+    }
+
+    /// Applies the divisor to a client count (at least 10 clients remain).
+    pub fn clients(&self, n: usize) -> usize {
+        (n / self.client_divisor).max(10)
+    }
+}
+
+/// Averaged per-algorithm statistics over a configuration's queries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlgoStats {
+    /// Mean wall-clock seconds per query.
+    pub time_s: f64,
+    /// Mean structural peak memory, MiB.
+    pub mem_mib: f64,
+    /// Mean indoor distance computations.
+    pub dist_computations: f64,
+    /// Mean facilities retrieved.
+    pub facilities_retrieved: f64,
+    /// Mean objective value (should agree between algorithms).
+    pub objective: f64,
+}
+
+/// One x-axis point of a figure: both algorithms on identical workloads.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// The x-axis label (client count, σ, |Fe|, …).
+    pub x: String,
+    /// Efficient approach statistics.
+    pub efficient: AlgoStats,
+    /// Modified MinMax statistics.
+    pub baseline: AlgoStats,
+}
+
+impl Row {
+    /// Query-time speedup of the efficient approach over the baseline.
+    pub fn speedup(&self) -> f64 {
+        if self.efficient.time_s > 0.0 {
+            self.baseline.time_s / self.efficient.time_s
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Memory ratio (efficient / baseline), the quantity the paper
+    /// discusses for Figs. 5, 6 and 8.
+    pub fn memory_ratio(&self) -> f64 {
+        if self.baseline.mem_mib > 0.0 {
+            self.efficient.mem_mib / self.baseline.mem_mib
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Runs both solvers over the given workloads and averages their stats.
+///
+/// Panics if the two algorithms ever disagree on the objective — the
+/// harness doubles as an end-to-end consistency check.
+pub fn compare(tree: &VipTree<'_>, workloads: &[Workload]) -> (AlgoStats, AlgoStats) {
+    assert!(!workloads.is_empty());
+    let mut eff = AlgoStats::default();
+    let mut base = AlgoStats::default();
+    for w in workloads {
+        let e = EfficientIfls::new(tree).run(&w.clients, &w.existing, &w.candidates);
+        let b = ModifiedMinMax::new(tree).run(&w.clients, &w.existing, &w.candidates);
+        assert!(
+            (e.objective - b.objective).abs() <= 1e-6 * (1.0 + e.objective.abs()),
+            "solver disagreement: efficient {} vs baseline {}",
+            e.objective,
+            b.objective
+        );
+        accumulate(&mut eff, &e.stats, e.objective);
+        accumulate(&mut base, &b.stats, b.objective);
+    }
+    scale_down(&mut eff, workloads.len());
+    scale_down(&mut base, workloads.len());
+    (eff, base)
+}
+
+fn accumulate(acc: &mut AlgoStats, stats: &ifls_core::QueryStats, objective: f64) {
+    acc.time_s += stats.elapsed.as_secs_f64();
+    acc.mem_mib += stats.peak_mib();
+    acc.dist_computations += stats.dist_computations as f64;
+    acc.facilities_retrieved += stats.facilities_retrieved as f64;
+    acc.objective += objective;
+}
+
+fn scale_down(acc: &mut AlgoStats, n: usize) {
+    let n = n as f64;
+    acc.time_s /= n;
+    acc.mem_mib /= n;
+    acc.dist_computations /= n;
+    acc.facilities_retrieved /= n;
+    acc.objective /= n;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifls_venues::GridVenueSpec;
+    use ifls_viptree::{VipTree, VipTreeConfig};
+    use ifls_workloads::WorkloadBuilder;
+
+    #[test]
+    fn scale_clients_has_a_floor() {
+        let s = Scale::quick();
+        assert_eq!(s.clients(20_000), 1000);
+        assert_eq!(s.clients(100), 10);
+        assert_eq!(Scale::full().clients(20_000), 20_000);
+    }
+
+    #[test]
+    fn compare_runs_and_agrees() {
+        let venue = GridVenueSpec::new("t", 2, 30).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let workloads: Vec<_> = (0..2)
+            .map(|s| {
+                WorkloadBuilder::new(&venue)
+                    .clients_uniform(40)
+                    .existing_uniform(4)
+                    .candidates_uniform(8)
+                    .seed(s)
+                    .build()
+            })
+            .collect();
+        let (eff, base) = compare(&tree, &workloads);
+        assert!(eff.time_s > 0.0 && base.time_s > 0.0);
+        assert!((eff.objective - base.objective).abs() < 1e-9);
+        let row = Row {
+            x: "40".into(),
+            efficient: eff,
+            baseline: base,
+        };
+        assert!(row.speedup() > 0.0);
+        assert!(row.memory_ratio() > 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Plain-text rendering of experiment tables (paper-figure series).
+
+use crate::measure::Row;
+
+/// One panel of a paper figure: a parameter sweep with both algorithms.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Title, e.g. `"Fig. 7a (ii) CH — |C| vs time"`.
+    pub title: String,
+    /// Name of the x-axis parameter.
+    pub x_name: String,
+    /// One row per x value.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Renders the query-time series (paper's log-scale time plots).
+    pub fn render_time(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — query time\n", self.title));
+        out.push_str(&format!(
+            "| {:>8} | {:>14} | {:>14} | {:>8} |\n",
+            self.x_name, "efficient (s)", "baseline (s)", "speedup"
+        ));
+        out.push_str("|---------:|---------------:|---------------:|---------:|\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "| {:>8} | {:>14.4} | {:>14.4} | {:>7.2}x |\n",
+                r.x,
+                r.efficient.time_s,
+                r.baseline.time_s,
+                r.speedup()
+            ));
+        }
+        out
+    }
+
+    /// Renders the memory series (paper's log-scale memory plots).
+    pub fn render_memory(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — memory\n", self.title));
+        out.push_str(&format!(
+            "| {:>8} | {:>15} | {:>15} | {:>9} |\n",
+            self.x_name, "efficient (MiB)", "baseline (MiB)", "eff/base"
+        ));
+        out.push_str("|---------:|----------------:|----------------:|----------:|\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "| {:>8} | {:>15.3} | {:>15.3} | {:>8.2}x |\n",
+                r.x, r.efficient.mem_mib, r.baseline.mem_mib,
+                r.memory_ratio()
+            ));
+        }
+        out
+    }
+
+    /// Renders the distance-computation series (the paper's §5 cost
+    /// argument: the efficient approach needs far fewer indoor distance
+    /// computations).
+    pub fn render_dists(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — indoor distance computations\n", self.title));
+        out.push_str(&format!(
+            "| {:>8} | {:>14} | {:>14} | {:>8} |\n",
+            self.x_name, "efficient", "baseline", "ratio"
+        ));
+        out.push_str("|---------:|---------------:|---------------:|---------:|\n");
+        for r in &self.rows {
+            let ratio = if r.efficient.dist_computations > 0.0 {
+                r.baseline.dist_computations / r.efficient.dist_computations
+            } else {
+                f64::INFINITY
+            };
+            out.push_str(&format!(
+                "| {:>8} | {:>14.0} | {:>14.0} | {:>7.2}x |\n",
+                r.x, r.efficient.dist_computations, r.baseline.dist_computations, ratio
+            ));
+        }
+        out
+    }
+
+    /// Average and maximum speedup over the rows — the numbers the paper's
+    /// abstract quotes.
+    pub fn speedup_summary(&self) -> (f64, f64) {
+        let speedups: Vec<f64> = self.rows.iter().map(Row::speedup).collect();
+        let avg = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
+        let max = speedups.iter().copied().fold(0.0, f64::max);
+        (avg, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::AlgoStats;
+
+    fn table() -> Table {
+        Table {
+            title: "test".into(),
+            x_name: "|C|".into(),
+            rows: vec![Row {
+                x: "1000".into(),
+                efficient: AlgoStats {
+                    time_s: 0.5,
+                    mem_mib: 2.0,
+                    dist_computations: 100.0,
+                    facilities_retrieved: 10.0,
+                    objective: 3.0,
+                },
+                baseline: AlgoStats {
+                    time_s: 5.0,
+                    mem_mib: 1.0,
+                    dist_computations: 1000.0,
+                    facilities_retrieved: 10.0,
+                    objective: 3.0,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn renders_contain_values_and_ratios() {
+        let t = table();
+        let time = t.render_time();
+        assert!(time.contains("10.00x"), "{time}");
+        let mem = t.render_memory();
+        assert!(mem.contains("2.00x"), "{mem}");
+        let d = t.render_dists();
+        assert!(d.contains("1000"), "{d}");
+    }
+
+    #[test]
+    fn speedup_summary_computes_avg_and_max() {
+        let (avg, max) = table().speedup_summary();
+        assert_eq!(avg, 10.0);
+        assert_eq!(max, 10.0);
+    }
+}

@@ -1,0 +1,394 @@
+//! Hand-rolled argument parsing for the `ifls` CLI (keeping to the
+//! approved dependency set — no clap).
+
+use std::fmt;
+
+/// Usage text printed on parse errors.
+pub const USAGE: &str = "\
+usage: ifls <command> [options]
+
+commands:
+  info    --venue <spec>                       venue and index statistics
+  export  --venue <spec> [--out FILE]          write the venue text format
+  query   --venue <spec> [workload] [solver]   answer an IFLS query
+  path    --venue <spec> --from P --to P       shortest indoor route
+  render  --venue <spec> [--level N] [--scale M] ASCII floorplan
+
+venue specs:
+  named:mc | named:ch | named:cph | named:mzb  the paper's venues
+  grid:<levels>x<rooms>                        parametric building
+  file:<path> | <path>                         text-format venue file
+
+query options:
+  --objective minmax|mindist|maxsum   (default minmax)
+  --algorithm efficient|baseline|brute (default efficient)
+  --clients N        number of clients (default 1000)
+  --sigma S          normal distribution; omit for uniform clients
+  --fe N             existing facilities (default 10)
+  --fn N             candidate locations (default 20)
+  --category 0..4    MC real setting: category index as Fe (overrides --fe/--fn)
+  --seed N           RNG seed (default 0)
+  --top K            report the top-K candidates (minmax/efficient only)
+  --workload FILE    load the workload from a saved file instead of generating
+  --save-workload FILE  write the generated workload for replay";
+
+/// A parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `ifls info`.
+    Info {
+        /// Venue specification.
+        venue: String,
+    },
+    /// `ifls export`.
+    Export {
+        /// Venue specification.
+        venue: String,
+        /// Output path (stdout when `None`).
+        out: Option<String>,
+    },
+    /// `ifls query`.
+    Query {
+        /// Venue specification.
+        venue: String,
+        /// Workload and solver options.
+        args: CommonArgs,
+    },
+    /// `ifls path`.
+    Path {
+        /// Venue specification.
+        venue: String,
+        /// Source partition id.
+        from: u32,
+        /// Target partition id.
+        to: u32,
+    },
+    /// `ifls render`.
+    Render {
+        /// Venue specification.
+        venue: String,
+        /// Level to draw.
+        level: i32,
+        /// Meters per character cell.
+        scale: f64,
+    },
+}
+
+/// Workload and solver options for `ifls query`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommonArgs {
+    /// Objective: `minmax`, `mindist` or `maxsum`.
+    pub objective: String,
+    /// Algorithm: `efficient`, `baseline` or `brute`.
+    pub algorithm: String,
+    /// Client count.
+    pub clients: usize,
+    /// Normal σ (uniform when `None`).
+    pub sigma: Option<f64>,
+    /// |Fe|.
+    pub fe: usize,
+    /// |Fn|.
+    pub fn_: usize,
+    /// MC shop-category index for the real setting.
+    pub category: Option<u8>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Top-k (1 = single answer).
+    pub top: usize,
+    /// Load the workload from this file instead of generating it.
+    pub workload_file: Option<String>,
+    /// Save the (generated or loaded) workload to this file.
+    pub save_workload: Option<String>,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        Self {
+            objective: "minmax".into(),
+            algorithm: "efficient".into(),
+            clients: 1000,
+            sigma: None,
+            fe: 10,
+            fn_: 20,
+            category: None,
+            seed: 0,
+            top: 1,
+            workload_file: None,
+            save_workload: None,
+        }
+    }
+}
+
+/// Argument parsing errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseError {
+    /// No command given.
+    MissingCommand,
+    /// Unknown command word.
+    UnknownCommand(String),
+    /// Unknown option for the command.
+    UnknownOption(String),
+    /// An option is missing its value.
+    MissingValue(String),
+    /// An option value failed to parse.
+    BadValue {
+        /// The option name.
+        option: String,
+        /// The offending value.
+        value: String,
+    },
+    /// A required option is absent.
+    MissingOption(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingCommand => write!(f, "no command given"),
+            ParseError::UnknownCommand(c) => write!(f, "unknown command `{c}`"),
+            ParseError::UnknownOption(o) => write!(f, "unknown option `{o}`"),
+            ParseError::MissingValue(o) => write!(f, "option `{o}` needs a value"),
+            ParseError::BadValue { option, value } => {
+                write!(f, "option `{option}`: cannot parse `{value}`")
+            }
+            ParseError::MissingOption(o) => write!(f, "missing required option `{o}`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor<'a> {
+    args: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next(&mut self) -> Option<&'a str> {
+        let a = self.args.get(self.pos)?;
+        self.pos += 1;
+        Some(a)
+    }
+
+    fn value(&mut self, option: &str) -> Result<&'a str, ParseError> {
+        self.next()
+            .ok_or_else(|| ParseError::MissingValue(option.to_string()))
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, option: &str) -> Result<T, ParseError> {
+        let v = self.value(option)?;
+        v.parse().map_err(|_| ParseError::BadValue {
+            option: option.to_string(),
+            value: v.to_string(),
+        })
+    }
+}
+
+/// Parses the CLI arguments (program name excluded).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut cur = Cursor { args, pos: 0 };
+    let command = cur.next().ok_or(ParseError::MissingCommand)?;
+    match command {
+        "info" | "export" => {
+            let mut venue = None;
+            let mut out = None;
+            while let Some(opt) = cur.next() {
+                match opt {
+                    "--venue" => venue = Some(cur.value("--venue")?.to_string()),
+                    "--out" if command == "export" => {
+                        out = Some(cur.value("--out")?.to_string())
+                    }
+                    other => return Err(ParseError::UnknownOption(other.to_string())),
+                }
+            }
+            let venue = venue.ok_or(ParseError::MissingOption("--venue"))?;
+            Ok(if command == "info" {
+                Command::Info { venue }
+            } else {
+                Command::Export { venue, out }
+            })
+        }
+        "query" => {
+            let mut venue = None;
+            let mut a = CommonArgs::default();
+            while let Some(opt) = cur.next() {
+                match opt {
+                    "--venue" => venue = Some(cur.value("--venue")?.to_string()),
+                    "--objective" => a.objective = cur.value("--objective")?.to_string(),
+                    "--algorithm" => a.algorithm = cur.value("--algorithm")?.to_string(),
+                    "--clients" => a.clients = cur.parsed("--clients")?,
+                    "--sigma" => a.sigma = Some(cur.parsed("--sigma")?),
+                    "--fe" => a.fe = cur.parsed("--fe")?,
+                    "--fn" => a.fn_ = cur.parsed("--fn")?,
+                    "--category" => a.category = Some(cur.parsed("--category")?),
+                    "--seed" => a.seed = cur.parsed("--seed")?,
+                    "--top" => a.top = cur.parsed("--top")?,
+                    "--workload" => a.workload_file = Some(cur.value("--workload")?.to_string()),
+                    "--save-workload" => {
+                        a.save_workload = Some(cur.value("--save-workload")?.to_string())
+                    }
+                    other => return Err(ParseError::UnknownOption(other.to_string())),
+                }
+            }
+            if !matches!(a.objective.as_str(), "minmax" | "mindist" | "maxsum") {
+                return Err(ParseError::BadValue {
+                    option: "--objective".into(),
+                    value: a.objective,
+                });
+            }
+            if !matches!(a.algorithm.as_str(), "efficient" | "baseline" | "brute") {
+                return Err(ParseError::BadValue {
+                    option: "--algorithm".into(),
+                    value: a.algorithm,
+                });
+            }
+            Ok(Command::Query {
+                venue: venue.ok_or(ParseError::MissingOption("--venue"))?,
+                args: a,
+            })
+        }
+        "render" => {
+            let mut venue = None;
+            let mut level = 0i32;
+            let mut scale = 2.0f64;
+            while let Some(opt) = cur.next() {
+                match opt {
+                    "--venue" => venue = Some(cur.value("--venue")?.to_string()),
+                    "--level" => level = cur.parsed("--level")?,
+                    "--scale" => scale = cur.parsed("--scale")?,
+                    other => return Err(ParseError::UnknownOption(other.to_string())),
+                }
+            }
+            Ok(Command::Render {
+                venue: venue.ok_or(ParseError::MissingOption("--venue"))?,
+                level,
+                scale,
+            })
+        }
+        "path" => {
+            let mut venue = None;
+            let mut from = None;
+            let mut to = None;
+            while let Some(opt) = cur.next() {
+                match opt {
+                    "--venue" => venue = Some(cur.value("--venue")?.to_string()),
+                    "--from" => from = Some(cur.parsed("--from")?),
+                    "--to" => to = Some(cur.parsed("--to")?),
+                    other => return Err(ParseError::UnknownOption(other.to_string())),
+                }
+            }
+            Ok(Command::Path {
+                venue: venue.ok_or(ParseError::MissingOption("--venue"))?,
+                from: from.ok_or(ParseError::MissingOption("--from"))?,
+                to: to.ok_or(ParseError::MissingOption("--to"))?,
+            })
+        }
+        other => Err(ParseError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_info() {
+        assert_eq!(
+            parse(&v(&["info", "--venue", "named:mc"])).unwrap(),
+            Command::Info {
+                venue: "named:mc".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_export_with_out() {
+        assert_eq!(
+            parse(&v(&["export", "--venue", "named:cph", "--out", "x.venue"])).unwrap(),
+            Command::Export {
+                venue: "named:cph".into(),
+                out: Some("x.venue".into())
+            }
+        );
+    }
+
+    #[test]
+    fn parses_query_with_defaults_and_overrides() {
+        let cmd = parse(&v(&[
+            "query", "--venue", "grid:2x20", "--clients", "50", "--sigma", "0.5", "--top", "3",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Query { venue, args } => {
+                assert_eq!(venue, "grid:2x20");
+                assert_eq!(args.clients, 50);
+                assert_eq!(args.sigma, Some(0.5));
+                assert_eq!(args.top, 3);
+                assert_eq!(args.objective, "minmax");
+                assert_eq!(args.algorithm, "efficient");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_objective_and_algorithm() {
+        assert!(matches!(
+            parse(&v(&["query", "--venue", "x", "--objective", "mean"])),
+            Err(ParseError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse(&v(&["query", "--venue", "x", "--algorithm", "magic"])),
+            Err(ParseError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_bits() {
+        assert_eq!(parse(&[]), Err(ParseError::MissingCommand));
+        assert_eq!(
+            parse(&v(&["fly"])),
+            Err(ParseError::UnknownCommand("fly".into()))
+        );
+        assert_eq!(
+            parse(&v(&["info"])),
+            Err(ParseError::MissingOption("--venue"))
+        );
+        assert_eq!(
+            parse(&v(&["info", "--venue"])),
+            Err(ParseError::MissingValue("--venue".into()))
+        );
+        assert_eq!(
+            parse(&v(&["path", "--venue", "x", "--from", "1"])),
+            Err(ParseError::MissingOption("--to"))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_options() {
+        assert_eq!(
+            parse(&v(&["info", "--venue", "x", "--frob", "y"])),
+            Err(ParseError::UnknownOption("--frob".into()))
+        );
+        // --out is export-only.
+        assert_eq!(
+            parse(&v(&["info", "--venue", "x", "--out", "y"])),
+            Err(ParseError::UnknownOption("--out".into()))
+        );
+    }
+
+    #[test]
+    fn parse_errors_display() {
+        assert!(ParseError::MissingCommand.to_string().contains("command"));
+        assert!(ParseError::BadValue {
+            option: "--fe".into(),
+            value: "x".into()
+        }
+        .to_string()
+        .contains("--fe"));
+    }
+}

@@ -1,0 +1,455 @@
+//! Command execution for the `ifls` CLI.
+
+use std::error::Error;
+use std::fmt;
+
+use ifls_core::maxsum::EfficientMaxSum;
+use ifls_core::mindist::{BruteForceMinDist, EfficientMinDist};
+use ifls_core::{BruteForce, EfficientIfls, ModifiedMinMax, QueryStats};
+use ifls_indoor::{PartitionId, Venue};
+use ifls_venues::{GridVenueSpec, McCategory, NamedVenue};
+use ifls_viptree::{VipTree, VipTreeConfig};
+use ifls_workloads::{real_setting_facilities, Workload, WorkloadBuilder};
+
+use crate::args::{Command, CommonArgs};
+
+/// Errors raised while executing a command.
+#[derive(Debug)]
+pub enum CommandError {
+    /// The venue spec could not be understood or loaded.
+    BadVenueSpec(String),
+    /// Reading or writing a file failed.
+    Io(std::io::Error),
+    /// The venue file failed to parse.
+    Parse(ifls_indoor::VenueParseError),
+    /// A semantic problem (bad partition id, unsupported combination…).
+    Invalid(String),
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandError::BadVenueSpec(s) => write!(
+                f,
+                "cannot interpret venue spec `{s}` (try named:mc, grid:3x40, or a file path)"
+            ),
+            CommandError::Io(e) => write!(f, "i/o: {e}"),
+            CommandError::Parse(e) => write!(f, "venue file: {e}"),
+            CommandError::Invalid(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl Error for CommandError {}
+
+impl From<std::io::Error> for CommandError {
+    fn from(e: std::io::Error) -> Self {
+        CommandError::Io(e)
+    }
+}
+
+/// Loads a venue from a spec string.
+pub fn load_venue(spec: &str) -> Result<Venue, CommandError> {
+    if let Some(name) = spec.strip_prefix("named:") {
+        let nv = match name.to_ascii_lowercase().as_str() {
+            "mc" => NamedVenue::MC,
+            "ch" => NamedVenue::CH,
+            "cph" => NamedVenue::CPH,
+            "mzb" => NamedVenue::MZB,
+            _ => return Err(CommandError::BadVenueSpec(spec.to_string())),
+        };
+        return Ok(nv.build());
+    }
+    if let Some(dims) = spec.strip_prefix("grid:") {
+        let (levels, rooms) = dims
+            .split_once('x')
+            .and_then(|(l, r)| Some((l.parse().ok()?, r.parse().ok()?)))
+            .ok_or_else(|| CommandError::BadVenueSpec(spec.to_string()))?;
+        return Ok(GridVenueSpec::new(format!("grid-{dims}"), levels, rooms).build());
+    }
+    let path = spec.strip_prefix("file:").unwrap_or(spec);
+    let text = std::fs::read_to_string(path)?;
+    Venue::from_text(&text).map_err(CommandError::Parse)
+}
+
+fn build_workload(venue: &Venue, a: &CommonArgs) -> Result<Workload, CommandError> {
+    if let Some(path) = &a.workload_file {
+        let text = std::fs::read_to_string(path)?;
+        return ifls_workloads::workload_from_text(&text, venue)
+            .map_err(|e| CommandError::Invalid(format!("workload file: {e}")));
+    }
+    if let Some(cat_idx) = a.category {
+        let cat = McCategory::ALL
+            .into_iter()
+            .find(|c| c.index() == cat_idx)
+            .ok_or_else(|| CommandError::Invalid(format!("no category {cat_idx} (0..=4)")))?;
+        // Real setting needs a categorized venue; the helper panics
+        // otherwise, so pre-check.
+        if !venue.partitions().iter().any(|p| p.category().is_some()) {
+            return Err(CommandError::Invalid(
+                "the real setting (--category) needs a categorized venue (named:mc)".into(),
+            ));
+        }
+        let (existing, candidates) = real_setting_facilities(venue, cat);
+        let b = WorkloadBuilder::new(venue).seed(a.seed);
+        let b = match a.sigma {
+            Some(s) => b.clients_normal(a.clients, s),
+            None => b.clients_uniform(a.clients),
+        };
+        let mut w = b.build();
+        w.existing = existing;
+        w.candidates = candidates;
+        return Ok(w);
+    }
+    let b = WorkloadBuilder::new(venue)
+        .existing_uniform(a.fe)
+        .candidates_uniform(a.fn_)
+        .seed(a.seed);
+    let b = match a.sigma {
+        Some(s) => b.clients_normal(a.clients, s),
+        None => b.clients_uniform(a.clients),
+    };
+    Ok(b.build())
+}
+
+fn describe_partition(venue: &Venue, p: PartitionId) -> String {
+    format!("{p} (`{}`, level {})", venue.partition(p).name(), venue.partition(p).level_min())
+}
+
+fn stats_line(stats: &QueryStats) -> String {
+    format!(
+        "time {:?}, {} distance computations, {} facilities retrieved, {} clients pruned, {:.2} MiB peak",
+        stats.elapsed,
+        stats.dist_computations,
+        stats.facilities_retrieved,
+        stats.clients_pruned,
+        stats.peak_mib()
+    )
+}
+
+/// Executes a parsed command, returning its human-readable output.
+pub fn execute(cmd: &Command) -> Result<String, CommandError> {
+    match cmd {
+        Command::Info { venue } => {
+            let v = load_venue(venue)?;
+            let tree = VipTree::build(&v, VipTreeConfig::default());
+            let s = tree.stats();
+            Ok(format!(
+                "venue `{}`\n  partitions: {}\n  doors:      {}\n  levels:     {}\n  footprint:  {:.0} m x {:.0} m\nVIP-tree\n  nodes:      {} ({} leaves)\n  height:     {}\n  access doors (total): {}\n  matrices:   {:.1} KiB",
+                v.name(),
+                v.num_partitions(),
+                v.num_doors(),
+                v.num_levels(),
+                v.bounds().width(),
+                v.bounds().height(),
+                s.nodes,
+                s.leaves,
+                s.height,
+                s.access_doors,
+                s.matrix_bytes as f64 / 1024.0,
+            ))
+        }
+        Command::Export { venue, out } => {
+            let v = load_venue(venue)?;
+            let text = v.to_text();
+            match out {
+                Some(path) => {
+                    std::fs::write(path, &text)?;
+                    Ok(format!(
+                        "wrote `{}` ({} partitions, {} doors) to {path}",
+                        v.name(),
+                        v.num_partitions(),
+                        v.num_doors()
+                    ))
+                }
+                None => Ok(text),
+            }
+        }
+        Command::Query { venue, args } => {
+            let v = load_venue(venue)?;
+            let tree = VipTree::build(&v, VipTreeConfig::default());
+            let w = build_workload(&v, args)?;
+            if let Some(path) = &args.save_workload {
+                std::fs::write(path, ifls_workloads::workload_to_text(&w, &v))?;
+            }
+            let header = format!(
+                "{} query, {} algorithm: |C|={}, |Fe|={}, |Fn|={}, seed {}",
+                args.objective,
+                args.algorithm,
+                w.clients.len(),
+                w.existing.len(),
+                w.candidates.len(),
+                args.seed
+            );
+            let body = match (args.objective.as_str(), args.algorithm.as_str()) {
+                ("minmax", algo) => {
+                    if args.top > 1 {
+                        if algo != "efficient" {
+                            return Err(CommandError::Invalid(
+                                "--top is supported by the efficient algorithm only".into(),
+                            ));
+                        }
+                        let top = EfficientIfls::new(&tree).run_topk(
+                            &w.clients,
+                            &w.existing,
+                            &w.candidates,
+                            args.top,
+                        );
+                        let mut out = String::new();
+                        for (rank, (n, v_)) in top.iter().enumerate() {
+                            out.push_str(&format!(
+                                "#{}: {} — max distance {:.2} m\n",
+                                rank + 1,
+                                describe_partition(&v, *n),
+                                v_
+                            ));
+                        }
+                        out
+                    } else {
+                        let o = match algo {
+                            "efficient" => {
+                                EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates)
+                            }
+                            "baseline" => ModifiedMinMax::new(&tree)
+                                .run(&w.clients, &w.existing, &w.candidates),
+                            _ => BruteForce::new(&tree).run(&w.clients, &w.existing, &w.candidates),
+                        };
+                        match o.answer {
+                            Some(n) => format!(
+                                "answer: {} — max client distance {:.2} m\n{}",
+                                describe_partition(&v, n),
+                                o.objective,
+                                stats_line(&o.stats)
+                            ),
+                            None => format!(
+                                "no candidate improves any client (max distance stays {:.2} m)\n{}",
+                                o.objective,
+                                stats_line(&o.stats)
+                            ),
+                        }
+                    }
+                }
+                ("mindist", algo) => {
+                    let o = match algo {
+                        "efficient" => EfficientMinDist::new(&tree)
+                            .run(&w.clients, &w.existing, &w.candidates),
+                        _ => BruteForceMinDist::new(&tree)
+                            .run(&w.clients, &w.existing, &w.candidates),
+                    };
+                    match o.answer {
+                        Some(n) => format!(
+                            "answer: {} — average distance {:.2} m\n{}",
+                            describe_partition(&v, n),
+                            o.average(w.clients.len()),
+                            stats_line(&o.stats)
+                        ),
+                        None => "no candidates".to_string(),
+                    }
+                }
+                (_, algo) => {
+                    let o = match algo {
+                        "efficient" => {
+                            EfficientMaxSum::new(&tree).run(&w.clients, &w.existing, &w.candidates)
+                        }
+                        _ => ifls_core::maxsum::BruteForceMaxSum::new(&tree).run(
+                            &w.clients,
+                            &w.existing,
+                            &w.candidates,
+                        ),
+                    };
+                    match o.answer {
+                        Some(n) => format!(
+                            "answer: {} — captures {} of {} clients\n{}",
+                            describe_partition(&v, n),
+                            o.wins,
+                            w.clients.len(),
+                            stats_line(&o.stats)
+                        ),
+                        None => "no candidates".to_string(),
+                    }
+                }
+            };
+            Ok(format!("{header}\n{body}"))
+        }
+        Command::Render { venue, level, scale } => {
+            let v = load_venue(venue)?;
+            let (lo, hi) = v.levels();
+            if *level < lo || *level > hi {
+                return Err(CommandError::Invalid(format!(
+                    "level {level} outside the venue's range {lo}..={hi}"
+                )));
+            }
+            Ok(ifls_venues::AsciiFloorplan::new(&v, *level, *scale).render())
+        }
+        Command::Path { venue, from, to } => {
+            let v = load_venue(venue)?;
+            let np = v.num_partitions() as u32;
+            if *from >= np || *to >= np {
+                return Err(CommandError::Invalid(format!(
+                    "partition ids must be below {np}"
+                )));
+            }
+            let tree = VipTree::build(&v, VipTreeConfig::default());
+            let a = ifls_indoor::IndoorPoint::new(
+                PartitionId::new(*from),
+                v.partition(PartitionId::new(*from)).center(),
+            );
+            let b = ifls_indoor::IndoorPoint::new(
+                PartitionId::new(*to),
+                v.partition(PartitionId::new(*to)).center(),
+            );
+            let path = tree.shortest_path(&a, &b);
+            let mut out = format!(
+                "route {} -> {}: {:.2} m, {} doors\n",
+                describe_partition(&v, a.partition),
+                describe_partition(&v, b.partition),
+                path.dist,
+                path.doors.len()
+            );
+            for d in &path.doors {
+                let door = v.door(*d);
+                out.push_str(&format!(
+                    "  {} at ({:.1}, {:.1}, L{})\n",
+                    d,
+                    door.pos().x,
+                    door.pos().y,
+                    door.pos().level
+                ));
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn load_named_and_grid_venues() {
+        assert_eq!(load_venue("named:cph").unwrap().num_partitions(), 76);
+        let g = load_venue("grid:2x12").unwrap();
+        assert_eq!(g.num_levels(), 2);
+        assert!(matches!(
+            load_venue("named:atlantis"),
+            Err(CommandError::BadVenueSpec(_))
+        ));
+        assert!(matches!(
+            load_venue("grid:notdims"),
+            Err(CommandError::BadVenueSpec(_))
+        ));
+        assert!(matches!(load_venue("/no/such/file"), Err(CommandError::Io(_))));
+    }
+
+    #[test]
+    fn info_command_reports_statistics() {
+        let cmd = parse(&v(&["info", "--venue", "grid:2x12"])).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("partitions: 15"), "{out}");
+        assert!(out.contains("VIP-tree"), "{out}");
+    }
+
+    #[test]
+    fn export_and_reload_round_trip() {
+        let dir = std::env::temp_dir().join("ifls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("small.venue");
+        let cmd = parse(&v(&[
+            "export",
+            "--venue",
+            "grid:1x6",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        execute(&cmd).unwrap();
+        let reloaded = load_venue(path.to_str().unwrap()).unwrap();
+        // 6 rooms + 1 corridor segment.
+        assert_eq!(reloaded.num_partitions(), 7);
+    }
+
+    #[test]
+    fn query_all_objectives_and_algorithms() {
+        for objective in ["minmax", "mindist", "maxsum"] {
+            for algorithm in ["efficient", "baseline", "brute"] {
+                let cmd = parse(&v(&[
+                    "query",
+                    "--venue",
+                    "grid:2x16",
+                    "--objective",
+                    objective,
+                    "--algorithm",
+                    algorithm,
+                    "--clients",
+                    "40",
+                    "--fe",
+                    "2",
+                    "--fn",
+                    "4",
+                    "--seed",
+                    "3",
+                ]))
+                .unwrap();
+                let out = execute(&cmd).unwrap();
+                assert!(out.contains("answer"), "{objective}/{algorithm}: {out}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_topk_lists_ranked_candidates() {
+        let cmd = parse(&v(&[
+            "query", "--venue", "grid:2x16", "--clients", "30", "--fe", "2", "--fn", "5",
+            "--top", "3",
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("#1:"), "{out}");
+        assert!(out.contains("#3:"), "{out}");
+    }
+
+    #[test]
+    fn workload_save_and_replay_produce_identical_answers() {
+        let dir = std::env::temp_dir().join("ifls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("replay.workload");
+        let save = parse(&v(&[
+            "query", "--venue", "grid:2x16", "--clients", "30", "--fe", "2", "--fn", "4",
+            "--seed", "5", "--save-workload", path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let first = execute(&save).unwrap();
+        let replay = parse(&v(&[
+            "query", "--venue", "grid:2x16", "--workload", path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let second = execute(&replay).unwrap();
+        // Same answer line (the stats line differs in timing).
+        let ans = |s: &str| s.lines().find(|l| l.contains("answer")).unwrap().to_string();
+        assert_eq!(ans(&first), ans(&second));
+    }
+
+    #[test]
+    fn query_real_setting_requires_categorized_venue() {
+        let cmd = parse(&v(&[
+            "query", "--venue", "grid:2x16", "--category", "1", "--clients", "10",
+        ]))
+        .unwrap();
+        assert!(matches!(execute(&cmd), Err(CommandError::Invalid(_))));
+    }
+
+    #[test]
+    fn path_command_prints_route() {
+        let cmd = parse(&v(&["path", "--venue", "grid:2x12", "--from", "2", "--to", "10"])).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("route"), "{out}");
+        assert!(out.contains("m,"), "{out}");
+        let bad = parse(&v(&["path", "--venue", "grid:1x4", "--from", "0", "--to", "99"])).unwrap();
+        assert!(matches!(execute(&bad), Err(CommandError::Invalid(_))));
+    }
+}

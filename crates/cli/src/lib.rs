@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Implementation of the `ifls` command-line tool.
+//!
+//! The CLI makes the library usable without writing Rust: venues come from
+//! the text interchange format (`ifls-indoor`'s `Venue::from_text`), from
+//! the paper's four named reconstructions, or from the parametric
+//! generator; workloads are generated on the fly; all solvers and all
+//! three objectives are available.
+//!
+//! ```text
+//! ifls info     --venue named:mc
+//! ifls export   --venue named:cph --out cph.venue
+//! ifls query    --venue grid:3x40 --objective minmax --algorithm efficient \
+//!               --clients 500 --fe 10 --fn 20 --seed 7 [--sigma 0.5] [--top 3]
+//! ifls path     --venue named:mc --from 12 --to 200
+//! ```
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, CommonArgs, ParseError};
+
+/// Runs the CLI against the given argument list (excluding the program
+/// name); returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    match parse(args) {
+        Ok(cmd) => match commands::execute(&cmd) {
+            Ok(output) => {
+                println!("{output}");
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", args::USAGE);
+            2
+        }
+    }
+}

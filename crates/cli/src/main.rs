@@ -1,0 +1,6 @@
+//! The `ifls` command-line tool. See `ifls_cli` for the implementation.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ifls_cli::run(&args));
+}

@@ -1,0 +1,282 @@
+//! The Modified MinMax baseline (§4, Algorithm 1): the state-of-the-art
+//! road-network MinMax algorithm (Chen et al., SIGMOD 2014) adapted to
+//! indoor space.
+//!
+//! Differences from the road-network original, per the paper: the
+//! refinement works over the discrete candidate set `Fn` instead of a
+//! continuous edge space, and all distances come from VIP-tree computations
+//! instead of Dijkstra-like network expansion.
+//!
+//! Steps:
+//! 1. For every client, find its nearest *existing* facility with the
+//!    tree's incremental NN search; sort clients by that distance,
+//!    descending (`Ls`).
+//! 2. Generate the candidate answer set `CA` from the worst-off client:
+//!    candidates strictly closer to it than its nearest existing facility.
+//! 3. Refine `CA` client by client with the two pruning rules: (3a) keep
+//!    only candidates strictly closer to the current client than its
+//!    nearest existing facility, and (3b) drop candidates farther from any
+//!    *previously considered* client than the current client's
+//!    nearest-existing distance.
+//! 4. Stop when all clients are considered or `|CA| ≤ 1`.
+//! 5. `Find_Ans`: if `CA` emptied, fall back to the previous `CA`; among
+//!    the remaining candidates pick the one minimizing the maximum
+//!    distance to the considered clients.
+
+use std::time::Instant;
+
+use ifls_indoor::{IndoorPoint, PartitionId};
+use ifls_viptree::{FacilityIndex, IncrementalNn, VipTree};
+
+use crate::brute;
+use crate::outcome::MinMaxOutcome;
+use crate::stats::{MemoryMeter, QueryStats};
+
+/// One candidate under refinement: its recorded distances to the
+/// considered clients (in consideration order) and their running maximum.
+#[derive(Clone, Debug)]
+struct Candidate {
+    id: PartitionId,
+    dists: Vec<f64>,
+    maxd: f64,
+}
+
+/// The Modified MinMax solver.
+pub struct ModifiedMinMax<'t, 'v> {
+    tree: &'t VipTree<'v>,
+}
+
+impl<'t, 'v> ModifiedMinMax<'t, 'v> {
+    /// Creates a solver over the given index. `Fe` and `Fn` are indexed as
+    /// object layers inside [`run`](Self::run), mirroring the paper (`Fe`
+    /// offline, `Fn` at query time).
+    pub fn new(tree: &'t VipTree<'v>) -> Self {
+        Self { tree }
+    }
+
+    /// Answers the query.
+    pub fn run(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+    ) -> MinMaxOutcome {
+        let start = Instant::now();
+        let mut meter = MemoryMeter::default();
+        let mut dist_computations = 0u64;
+        let mut facilities_retrieved = 0u64;
+
+        if clients.is_empty() || candidates.is_empty() {
+            // Degenerate queries: nothing to improve or nothing to place.
+            let objective = if clients.is_empty() {
+                0.0
+            } else {
+                let nn = brute::nearest_facility_dists(self.tree, clients, existing);
+                nn.into_iter().fold(0.0, f64::max)
+            };
+            return MinMaxOutcome {
+                answer: None,
+                objective,
+                stats: QueryStats {
+                    dist_computations,
+                    facilities_retrieved,
+                    clients_pruned: 0,
+                    peak_bytes: meter.peak_bytes(),
+                    elapsed: start.elapsed(),
+                },
+            };
+        }
+
+        // --- Step 1: nearest existing facility per client, sorted desc. ---
+        let fe_index = FacilityIndex::build(self.tree, existing.iter().copied());
+        meter.add(fe_index.approx_bytes() as isize);
+        let mut ls: Vec<(usize, f64)> = Vec::with_capacity(clients.len());
+        for (i, c) in clients.iter().enumerate() {
+            let d = if existing.is_empty() {
+                f64::INFINITY
+            } else {
+                let mut nn = IncrementalNn::new(self.tree, &fe_index, *c);
+                let entry = nn.next().expect("non-empty facility index yields a NN");
+                dist_computations += nn.dist_computations();
+                meter.add(nn.approx_queue_bytes() as isize);
+                meter.add(-(nn.approx_queue_bytes() as isize));
+                entry.dist
+            };
+            ls.push((i, d));
+        }
+        meter.add((ls.len() * std::mem::size_of::<(usize, f64)>()) as isize);
+        ls.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        // --- Step 2: CA from the worst-off client. ---
+        let cand_entry_bytes = std::mem::size_of::<Candidate>() as isize;
+        let (first_client, first_dist) = ls[0];
+        let mut ca: Vec<Candidate> = Vec::new();
+        for &n in candidates {
+            dist_computations += 1;
+            facilities_retrieved += 1;
+            let d = self
+                .tree
+                .dist_point_to_partition(&clients[first_client], n);
+            if d < first_dist {
+                meter.add(cand_entry_bytes + 8);
+                ca.push(Candidate {
+                    id: n,
+                    dists: vec![d],
+                    maxd: d,
+                });
+            }
+        }
+        let mut ca_prev: Vec<Candidate> = ca.clone();
+        meter.add((ca_prev.len() as isize) * (cand_entry_bytes + 8));
+
+        // --- Step 3: refinement loop. ---
+        let mut considered = 1usize;
+        while considered < ls.len() && ca.len() > 1 {
+            // Keep the previous CA for Find_Ans's fallback.
+            meter.add(-((ca_prev.iter().map(|c| c.dists.len()).sum::<usize>() * 8) as isize));
+            meter.add(-((ca_prev.len() as isize) * cand_entry_bytes));
+            ca_prev = ca.clone();
+            meter.add((ca_prev.iter().map(|c| c.dists.len()).sum::<usize>() * 8) as isize);
+            meter.add((ca_prev.len() as isize) * cand_entry_bytes);
+
+            let (ci, li_dist) = ls[considered];
+            considered += 1;
+            let client = &clients[ci];
+            // Find_CA_client (3a): distances of the current client to every
+            // surviving candidate; keep strictly-closer ones.
+            let before = ca.len();
+            for cand in ca.iter_mut() {
+                dist_computations += 1;
+                facilities_retrieved += 1;
+                let d = self.tree.dist_point_to_partition(client, cand.id);
+                cand.dists.push(d);
+                if d > cand.maxd {
+                    cand.maxd = d;
+                }
+            }
+            meter.add((ca.len() * 8) as isize);
+            ca.retain(|cand| *cand.dists.last().expect("pushed above") < li_dist);
+            // (3b): previously considered clients' recorded distances.
+            if !ca.is_empty() {
+                ca.retain(|cand| {
+                    cand.dists[..cand.dists.len() - 1]
+                        .iter()
+                        .all(|&d| d <= li_dist)
+                });
+            }
+            let dropped = before - ca.len();
+            meter.add(-((dropped as isize) * cand_entry_bytes));
+        }
+
+        // --- Step 5: Find_Ans. ---
+        let pool = if ca.is_empty() { &ca_prev } else { &ca };
+        let answer = pool
+            .iter()
+            .min_by(|a, b| a.maxd.total_cmp(&b.maxd).then(a.id.cmp(&b.id)))
+            .map(|c| c.id);
+
+        let stats = QueryStats {
+            dist_computations,
+            facilities_retrieved,
+            clients_pruned: 0,
+            peak_bytes: meter.peak_bytes(),
+            elapsed: start.elapsed(),
+        };
+
+        // The objective is evaluated outside the timed section: the paper's
+        // query (and its timing) ends once the location is found.
+        let objective = brute::evaluate_objective(self.tree, clients, existing, answer);
+        MinMaxOutcome {
+            answer,
+            objective,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use ifls_venues::GridVenueSpec;
+    use ifls_viptree::VipTreeConfig;
+    use ifls_workloads::WorkloadBuilder;
+
+    fn run_case(seed: u64, clients: usize, fe: usize, fn_: usize) {
+        let venue = GridVenueSpec::new("t", 2, 30).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(clients)
+            .existing_uniform(fe)
+            .candidates_uniform(fn_)
+            .seed(seed)
+            .build();
+        let base = ModifiedMinMax::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        let brute = BruteForce::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        assert!(
+            (base.objective - brute.objective).abs() < 1e-9,
+            "seed {seed}: baseline {} vs brute {}",
+            base.objective,
+            brute.objective
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_across_seeds() {
+        for seed in 0..15 {
+            run_case(seed, 50, 4, 8);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_with_many_candidates() {
+        for seed in 0..5 {
+            run_case(seed, 40, 2, 20);
+        }
+    }
+
+    #[test]
+    fn handles_no_existing_facilities() {
+        run_case(100, 30, 0, 6);
+    }
+
+    #[test]
+    fn handles_single_candidate() {
+        run_case(101, 30, 5, 1);
+    }
+
+    #[test]
+    fn empty_inputs_are_degenerate_not_panics() {
+        let venue = GridVenueSpec::new("t", 1, 10).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(10)
+            .existing_uniform(2)
+            .candidates_uniform(3)
+            .seed(0)
+            .build();
+        let no_clients = ModifiedMinMax::new(&tree).run(&[], &w.existing, &w.candidates);
+        assert_eq!(no_clients.answer, None);
+        assert_eq!(no_clients.objective, 0.0);
+        let no_candidates = ModifiedMinMax::new(&tree).run(&w.clients, &w.existing, &[]);
+        assert_eq!(no_candidates.answer, None);
+        assert!(no_candidates.objective.is_finite());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let venue = GridVenueSpec::new("t", 2, 24).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(40)
+            .existing_uniform(3)
+            .candidates_uniform(6)
+            .seed(2)
+            .build();
+        let out = ModifiedMinMax::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        assert!(out.stats.dist_computations > 0);
+        assert!(out.stats.facilities_retrieved > 0);
+        assert!(out.stats.peak_bytes > 0);
+        assert_eq!(out.stats.clients_pruned, 0);
+    }
+}

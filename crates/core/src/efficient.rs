@@ -1,0 +1,859 @@
+//! The efficient IFLS approach (§5, Algorithms 2 + 3).
+//!
+//! One VIP-tree over `Fe ∪ Fn`, one shared bottom-up traversal for all
+//! clients:
+//!
+//! * A global priority queue holds `(client partition p, indoor entity I)`
+//!   pairs keyed by `iMinD(p, I)`. For each partition hosting clients, the
+//!   search starts at its *leaf node* and expands parents and children
+//!   (bottom-up), never re-enqueueing an entity for the same source. The
+//!   key of the last dequeued entry is the **global distance** `Gd`: every
+//!   facility within `Gd` of any client partition has been retrieved.
+//! * Clients in the same partition are **grouped**: the door-to-facility
+//!   distance vector is computed once per (partition, facility) pair and
+//!   combined with each client's in-partition door legs (this subsumes the
+//!   paper's single-door fast path of §5.3.1 Case 1).
+//! * **Lemma 5.1 pruning**: once a client has a retrieved *existing*
+//!   facility within the current bound, no candidate can improve it — it
+//!   stops participating in retrievals and answer checks.
+//! * Once every client has some facility within `Gd` (`checkList`), the
+//!   lower bound `d_low` is raised step by step through the distinct
+//!   retrieved distances (`increaseDist`), pruning clients and checking
+//!   for a *common candidate* covering all remaining clients
+//!   (`checkAnswer`). The first `d_low` admitting a common candidate is the
+//!   exact optimal objective value.
+//!
+//! The `prune_clients` and `group_clients` switches in [`EfficientConfig`]
+//! exist for the ablation benchmarks; both default to on and never change
+//! the answer, only the work done.
+
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use ifls_indoor::{IndoorPoint, PartitionId};
+use ifls_viptree::{FacilityIndex, VipTree};
+
+use crate::brute;
+use crate::explore::{Entity, Event, Explorer, EVENT_BYTES};
+use crate::outcome::MinMaxOutcome;
+use crate::stats::{MemoryMeter, QueryStats};
+
+/// Tuning switches for [`EfficientIfls`] (ablation only — results are
+/// identical under every combination).
+#[derive(Clone, Copy, Debug)]
+pub struct EfficientConfig {
+    /// Share the per-(partition, facility) door-distance vectors among the
+    /// clients of the partition (§5's client grouping).
+    pub group_clients: bool,
+    /// Apply Lemma 5.1: stop doing work for clients whose
+    /// nearest-existing-facility distance cannot be improved.
+    pub prune_clients: bool,
+}
+
+impl Default for EfficientConfig {
+    fn default() -> Self {
+        Self {
+            group_clients: true,
+            prune_clients: true,
+        }
+    }
+}
+
+/// The efficient solver.
+pub struct EfficientIfls<'t, 'v> {
+    tree: &'t VipTree<'v>,
+    config: EfficientConfig,
+}
+
+/// Raw result of the shared solver body.
+struct SolveOutcome {
+    /// Qualified candidates in objective order, with exact objectives.
+    qualified: Vec<(PartitionId, f64)>,
+    /// Whether every client became covered ("C empty").
+    c_emptied: bool,
+    /// The status-quo objective (`max_c nn_e(c)`), valid once `c_emptied`.
+    no_improve_value: f64,
+    /// Instrumentation.
+    stats: QueryStats,
+}
+
+/// All mutable query state, grouped so helper methods can borrow it as one.
+struct SearchState {
+    /// Per client: covered by an existing facility within the bound
+    /// (Lemma 5.1 fired).
+    covered: Vec<bool>,
+    /// Per client: has *some* facility within `Gd` (checkList satisfied).
+    satisfied: Vec<bool>,
+    /// Per client: candidate partitions activated (within `d_low`).
+    active_cands: Vec<Vec<PartitionId>>,
+    /// Clients not yet covered.
+    uncovered: usize,
+    /// Clients not yet satisfied.
+    unsatisfied: usize,
+    /// Per candidate partition (dense by partition id): number of
+    /// *uncovered* clients with the candidate within `d_low`.
+    uncovered_have: Vec<u32>,
+    /// Histogram of `uncovered_have` values: `count_by_value[v]` candidates
+    /// currently have exactly `v` uncovered clients covered.
+    count_by_value: Vec<u32>,
+    /// Pending candidate activation events, ascending.
+    cand_events: BinaryHeap<Event>,
+    /// Pending existing-facility coverage events, ascending.
+    exist_events: BinaryHeap<Event>,
+    /// Pending first-facility (any kind) events for checkList, ascending.
+    first_events: BinaryHeap<Event>,
+    /// Largest processed coverage distance: equals `max_c nn_e(c)` once
+    /// every client is covered.
+    last_cover_dist: f64,
+    /// Per-partition lists of client indices still doing work.
+    active_by_partition: Vec<Vec<u32>>,
+    /// Candidates covered by every remaining client, in qualification
+    /// order with the `d_low` at which they qualified (their exact
+    /// objective value).
+    qualified: Vec<(PartitionId, f64)>,
+    /// Dense qualification flags per partition.
+    is_qualified: Vec<bool>,
+    /// Set once every client is covered (the paper's "C becomes empty").
+    c_emptied: bool,
+    stats_clients_pruned: u64,
+}
+
+impl SearchState {
+    fn new(num_clients: usize, num_partitions: usize) -> Self {
+        Self {
+            covered: vec![false; num_clients],
+            satisfied: vec![false; num_clients],
+            active_cands: vec![Vec::new(); num_clients],
+            uncovered: num_clients,
+            unsatisfied: num_clients,
+            uncovered_have: vec![0; num_partitions],
+            count_by_value: vec![0; num_clients + 1],
+            cand_events: BinaryHeap::new(),
+            exist_events: BinaryHeap::new(),
+            first_events: BinaryHeap::new(),
+            last_cover_dist: 0.0,
+            active_by_partition: vec![Vec::new(); num_partitions],
+            qualified: Vec::new(),
+            is_qualified: vec![false; num_partitions],
+            c_emptied: false,
+            stats_clients_pruned: 0,
+        }
+    }
+
+    /// Smallest pending event distance strictly above `d_low`, if any.
+    fn next_event_above(&self, d_low: f64) -> Option<f64> {
+        let a = self.cand_events.peek().map(|e| e.dist);
+        let b = self.exist_events.peek().map(|e| e.dist);
+        [a, b]
+            .into_iter()
+            .flatten()
+            .filter(|&d| d > d_low)
+            .fold(None, |acc: Option<f64>, d| {
+                Some(acc.map_or(d, |a| a.min(d)))
+            })
+    }
+
+    /// Processes checkList events: marks clients satisfied up to `gd`.
+    fn check_list(&mut self, gd: f64, meter: &mut MemoryMeter) -> bool {
+        while let Some(e) = self.first_events.peek() {
+            if e.dist > gd {
+                break;
+            }
+            let e = self.first_events.pop().expect("peeked above");
+            meter.add(-EVENT_BYTES);
+            if !self.satisfied[e.client as usize] {
+                self.satisfied[e.client as usize] = true;
+                self.unsatisfied -= 1;
+            }
+        }
+        self.unsatisfied == 0
+    }
+
+    /// Covers a client: it no longer needs a candidate.
+    fn cover(&mut self, client: u32, dist: f64, prune: bool) {
+        if self.covered[client as usize] {
+            return;
+        }
+        self.covered[client as usize] = true;
+        self.uncovered -= 1;
+        if dist > self.last_cover_dist {
+            self.last_cover_dist = dist;
+        }
+        for n in std::mem::take(&mut self.active_cands[client as usize]) {
+            let v = self.uncovered_have[n.index()];
+            self.count_by_value[v as usize] -= 1;
+            self.count_by_value[v as usize - 1] += 1;
+            self.uncovered_have[n.index()] = v - 1;
+        }
+        if !self.satisfied[client as usize] {
+            // Coverage implies a facility within the bound.
+            self.satisfied[client as usize] = true;
+            self.unsatisfied -= 1;
+        }
+        if prune {
+            self.stats_clients_pruned += 1;
+        }
+    }
+
+    /// Processes all pending events with distance ≤ `bound`.
+    fn advance(&mut self, bound: f64, meter: &mut MemoryMeter, prune: bool) {
+        loop {
+            let next_exist = self.exist_events.peek().map(|e| e.dist);
+            let next_cand = self.cand_events.peek().map(|e| e.dist);
+            let take_exist = match (next_exist, next_cand) {
+                (Some(a), Some(b)) => a <= b,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_exist {
+                let d = next_exist.expect("peeked");
+                if d > bound {
+                    break;
+                }
+                let e = self.exist_events.pop().expect("peeked above");
+                meter.add(-EVENT_BYTES);
+                self.cover(e.client, e.dist, prune);
+            } else {
+                let d = next_cand.expect("peeked");
+                if d > bound {
+                    break;
+                }
+                let e = self.cand_events.pop().expect("peeked above");
+                meter.add(-EVENT_BYTES);
+                if !self.covered[e.client as usize] {
+                    let v = self.uncovered_have[e.facility.index()];
+                    self.count_by_value[v as usize] -= 1;
+                    self.count_by_value[v as usize + 1] += 1;
+                    self.uncovered_have[e.facility.index()] = v + 1;
+                    self.active_cands[e.client as usize].push(e.facility);
+                    meter.add(4);
+                }
+            }
+        }
+    }
+
+    /// checkAnswer at `d_low`, generalized to top-k: collects candidates
+    /// newly covered by every remaining client (their objective is exactly
+    /// `d_low`) and reports whether the search can stop — either `target`
+    /// qualifiers exist or no client is left to improve.
+    ///
+    /// A qualified candidate stays qualified: every later-covered client
+    /// already had it within `d_low`, so its count tracks `uncovered`.
+    fn update_answers(&mut self, candidates: &[PartitionId], d_low: f64, target: usize) -> bool {
+        if self.uncovered == 0 {
+            self.c_emptied = true;
+            return true;
+        }
+        if self.count_by_value[self.uncovered] as usize > self.qualified.len() {
+            for &n in candidates {
+                if !self.is_qualified[n.index()]
+                    && self.uncovered_have[n.index()] as usize == self.uncovered
+                {
+                    self.is_qualified[n.index()] = true;
+                    self.qualified.push((n, d_low));
+                }
+            }
+        }
+        self.qualified.len() >= target
+    }
+}
+
+impl<'t, 'v> EfficientIfls<'t, 'v> {
+    /// Creates a solver with the default configuration.
+    pub fn new(tree: &'t VipTree<'v>) -> Self {
+        Self {
+            tree,
+            config: EfficientConfig::default(),
+        }
+    }
+
+    /// Creates a solver with an explicit configuration (ablations).
+    pub fn with_config(tree: &'t VipTree<'v>, config: EfficientConfig) -> Self {
+        Self { tree, config }
+    }
+
+    /// Answers the query.
+    pub fn run(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+    ) -> MinMaxOutcome {
+        self.solve(clients, existing, candidates, 1)
+    }
+
+    /// Top-k variant: the `k` candidates with the smallest objective
+    /// values, best first, each paired with its exact objective.
+    ///
+    /// The `d_low` progression qualifies candidates in objective order, so
+    /// collecting the first `k` qualifiers is exactly the top-k. Once no
+    /// client can be improved anymore, every remaining candidate ties at
+    /// the status-quo value and is appended in id order.
+    pub fn run_topk(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        k: usize,
+    ) -> Vec<(PartitionId, f64)> {
+        if k == 0 || candidates.is_empty() {
+            return Vec::new();
+        }
+        if clients.is_empty() {
+            let mut ids: Vec<PartitionId> = candidates.to_vec();
+            ids.sort_unstable();
+            ids.dedup();
+            return ids.into_iter().take(k).map(|n| (n, 0.0)).collect();
+        }
+        let outcome = self.solve_full(clients, existing, candidates, k);
+        let mut out = outcome.qualified;
+        if out.len() < k && outcome.c_emptied {
+            let mut rest: Vec<PartitionId> = candidates
+                .iter()
+                .copied()
+                .filter(|n| !out.iter().any(|(q, _)| q == n))
+                .collect();
+            rest.sort_unstable();
+            rest.dedup();
+            for n in rest {
+                if out.len() >= k {
+                    break;
+                }
+                out.push((n, outcome.no_improve_value));
+            }
+        }
+        out.truncate(k);
+        out
+    }
+
+    /// Shared solver body; `target` is the number of qualifiers to collect.
+    fn solve(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        target: usize,
+    ) -> MinMaxOutcome {
+        let full = self.solve_full(clients, existing, candidates, target);
+        match full.qualified.first() {
+            Some(&(n, v)) => MinMaxOutcome {
+                answer: Some(n),
+                objective: v,
+                stats: full.stats,
+            },
+            None if full.c_emptied => MinMaxOutcome {
+                answer: None,
+                objective: full.no_improve_value,
+                stats: full.stats,
+            },
+            None => {
+                // Defensive: queue and events exhausted without an answer.
+                let objective =
+                    brute::evaluate_objective(self.tree, clients, existing, None);
+                MinMaxOutcome {
+                    answer: None,
+                    objective,
+                    stats: full.stats,
+                }
+            }
+        }
+    }
+
+    fn solve_full(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        target: usize,
+    ) -> SolveOutcome {
+        let start = Instant::now();
+        let mut meter = MemoryMeter::default();
+        let mut dist_computations = 0u64;
+        let mut facilities_retrieved = 0u64;
+        let tree = self.tree;
+        let venue = tree.venue();
+
+        if clients.is_empty() || candidates.is_empty() {
+            let objective = if clients.is_empty() {
+                0.0
+            } else {
+                let nn = brute::nearest_facility_dists(tree, clients, existing);
+                nn.into_iter().fold(0.0, f64::max)
+            };
+            return SolveOutcome {
+                qualified: Vec::new(),
+                c_emptied: clients.is_empty(),
+                no_improve_value: objective,
+                stats: QueryStats {
+                    dist_computations,
+                    facilities_retrieved,
+                    clients_pruned: 0,
+                    peak_bytes: meter.peak_bytes(),
+                    elapsed: start.elapsed(),
+                },
+            };
+        }
+
+        // Object layer over Fe ∪ Fn in one shared index (§5.1).
+        let fe = FacilityIndex::build(tree, existing.iter().copied());
+        let fn_ = FacilityIndex::build(tree, candidates.iter().copied());
+        meter.add((fe.approx_bytes() + fn_.approx_bytes()) as isize);
+
+        let mut st = SearchState::new(clients.len(), venue.num_partitions());
+        meter.add(
+            (clients.len() * (2 + std::mem::size_of::<Vec<PartitionId>>())
+                + venue.num_partitions() * (4 + std::mem::size_of::<Vec<u32>>())
+                + st.count_by_value.len() * 4) as isize,
+        );
+        st.count_by_value[0] = candidates.len() as u32;
+        for (i, c) in clients.iter().enumerate() {
+            st.active_by_partition[c.partition.index()].push(i as u32);
+            meter.add(4);
+        }
+
+        // --- Algorithm 2, lines 1–10: clients already inside a facility. ---
+        let mut retrieve = |st: &mut SearchState,
+                            meter: &mut MemoryMeter,
+                            client: u32,
+                            facility: PartitionId,
+                            dist: f64| {
+            facilities_retrieved += 1;
+            let is_existing = fe.contains(facility);
+            let e = Event {
+                dist,
+                client,
+                facility,
+            };
+            if is_existing {
+                st.exist_events.push(e);
+            } else {
+                st.cand_events.push(e);
+            }
+            st.first_events.push(e);
+            meter.add(2 * EVENT_BYTES);
+        };
+        for (i, c) in clients.iter().enumerate() {
+            if fe.contains(c.partition) || fn_.contains(c.partition) {
+                retrieve(&mut st, &mut meter, i as u32, c.partition, 0.0);
+            }
+        }
+        st.advance(0.0, &mut meter, self.config.prune_clients);
+        let mut is_first = st.check_list(0.0, &mut meter);
+        let mut d_low = 0.0f64;
+        let mut done = is_first && st.update_answers(candidates, 0.0, target);
+
+        // --- Algorithm 3: exploreTree. ---
+        let mut explorer = Explorer::new(tree);
+        if !done {
+            for p in venue.partition_ids() {
+                if !st.active_by_partition[p.index()].is_empty() {
+                    explorer.seed_source(p, &mut meter);
+                }
+            }
+
+            let mut gd = 0.0f64;
+            'outer: while !done {
+                let Some(entry) = explorer.pop(&mut meter) else {
+                    // Queue exhausted: every (source, facility) pair has
+                    // been retrieved. Finish the d_low loop unbounded.
+                    while let Some(next) = st.next_event_above(d_low) {
+                        d_low = next;
+                        st.advance(d_low, &mut meter, self.config.prune_clients);
+                        if st.update_answers(candidates, d_low, target) {
+                            done = true;
+                            break;
+                        }
+                    }
+                    break 'outer;
+                };
+                gd = entry.key;
+                let source = entry.source;
+
+                // Sources whose clients are all covered stop working
+                // (Lemma 5.1's payoff). Without pruning they keep going.
+                let source_active = if self.config.prune_clients {
+                    st.active_by_partition[source.index()]
+                        .iter()
+                        .any(|&c| !st.covered[c as usize])
+                } else {
+                    true
+                };
+
+                match entry.entity {
+                    Entity::Part(part) if fe.contains(part) || fn_.contains(part) => {
+                        if source_active {
+                            self.retrieve_for_partition(
+                                &mut st,
+                                &mut meter,
+                                &mut dist_computations,
+                                &mut retrieve_shim(&fe, &mut facilities_retrieved),
+                                clients,
+                                source,
+                                part,
+                            );
+                        }
+                    }
+                    entity => {
+                        // Non-facility entity: expand parent and children
+                        // (Algorithm 3 lines 14–22).
+                        if source_active {
+                            explorer.expand(source, entity, &mut meter);
+                        }
+                    }
+                }
+
+                if !is_first {
+                    is_first = st.check_list(gd, &mut meter);
+                }
+                if !is_first {
+                    // Lemma 5.1 pruning up to Gd (Algorithm 3 lines 26–28).
+                    st.advance(gd, &mut meter, self.config.prune_clients);
+                    d_low = gd;
+                } else {
+                    // increaseDist loop (Algorithm 3 lines 29–37).
+                    while let Some(next) = st.next_event_above(d_low) {
+                        if next > gd {
+                            break;
+                        }
+                        d_low = next;
+                        st.advance(d_low, &mut meter, self.config.prune_clients);
+                        if st.update_answers(candidates, d_low, target) {
+                            done = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            let _ = gd;
+        }
+
+        let stats = QueryStats {
+            dist_computations: dist_computations + explorer.dist_computations,
+            facilities_retrieved,
+            clients_pruned: st.stats_clients_pruned,
+            peak_bytes: meter.peak_bytes(),
+            elapsed: start.elapsed(),
+        };
+        let _ = done;
+        SolveOutcome {
+            qualified: st.qualified,
+            c_emptied: st.c_emptied,
+            no_improve_value: st.last_cover_dist,
+            stats,
+        }
+    }
+
+    /// Retrieves facility `part` for every working client located in
+    /// `source` (Algorithm 3 lines 10–13), grouped per §5 when enabled.
+    #[allow(clippy::too_many_arguments)]
+    fn retrieve_for_partition(
+        &self,
+        st: &mut SearchState,
+        meter: &mut MemoryMeter,
+        dist_computations: &mut u64,
+        retrieved: &mut dyn FnMut(&mut SearchState, &mut MemoryMeter, u32, PartitionId, f64),
+        clients: &[IndoorPoint],
+        source: PartitionId,
+        part: PartitionId,
+    ) {
+        let list = &st.active_by_partition[source.index()];
+        if list.is_empty() {
+            return;
+        }
+        let client_ids: Vec<u32> = if self.config.prune_clients {
+            list.iter().copied().filter(|&c| !st.covered[c as usize]).collect()
+        } else {
+            list.clone()
+        };
+        if client_ids.is_empty() {
+            return;
+        }
+        if self.config.group_clients {
+            // One shared door-distance vector for the whole partition.
+            *dist_computations += 1;
+            let shared = self.tree.door_dists_to_partition(source, part);
+            for c in client_ids {
+                *dist_computations += 1;
+                let d = if clients[c as usize].partition == part {
+                    0.0
+                } else {
+                    self.tree
+                        .dist_point_to_partition_via(&clients[c as usize], &shared)
+                };
+                retrieved(st, meter, c, part, d);
+            }
+        } else {
+            for c in client_ids {
+                *dist_computations += 1;
+                let d = self
+                    .tree
+                    .dist_point_to_partition(&clients[c as usize], part);
+                retrieved(st, meter, c, part, d);
+            }
+        }
+    }
+}
+
+/// Builds the retrieval closure used by `retrieve_for_partition`; split
+/// out so the borrow of the facility index is explicit.
+fn retrieve_shim<'a>(
+    fe: &'a FacilityIndex,
+    facilities_retrieved: &'a mut u64,
+) -> impl FnMut(&mut SearchState, &mut MemoryMeter, u32, PartitionId, f64) + 'a {
+    move |st, meter, client, facility, dist| {
+        *facilities_retrieved += 1;
+        let e = Event {
+            dist,
+            client,
+            facility,
+        };
+        if fe.contains(facility) {
+            st.exist_events.push(e);
+        } else {
+            st.cand_events.push(e);
+        }
+        st.first_events.push(e);
+        meter.add(2 * EVENT_BYTES);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use ifls_venues::{GridVenueSpec, RandomVenueSpec};
+    use ifls_viptree::VipTreeConfig;
+    use ifls_workloads::WorkloadBuilder;
+
+    fn check_against_brute(
+        venue: &ifls_indoor::Venue,
+        seed: u64,
+        clients: usize,
+        fe: usize,
+        fn_: usize,
+        config: EfficientConfig,
+    ) {
+        let tree = VipTree::build(venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(venue)
+            .clients_uniform(clients)
+            .existing_uniform(fe)
+            .candidates_uniform(fn_)
+            .seed(seed)
+            .build();
+        let eff = EfficientIfls::with_config(&tree, config).run(&w.clients, &w.existing, &w.candidates);
+        let brute = BruteForce::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        assert!(
+            (eff.objective - brute.objective).abs() < 1e-9,
+            "seed {seed}: efficient {} ({:?}) vs brute {} ({:?})",
+            eff.objective,
+            eff.answer,
+            brute.objective,
+            brute.answer
+        );
+        // The reported answer really achieves the reported objective.
+        let eval = brute::evaluate_objective(&tree, &w.clients, &w.existing, eff.answer);
+        assert!(
+            (eff.objective - eval).abs() < 1e-9,
+            "seed {seed}: internal {} vs evaluated {}",
+            eff.objective,
+            eval
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_on_grid() {
+        let venue = GridVenueSpec::new("t", 2, 30).build();
+        for seed in 0..15 {
+            check_against_brute(&venue, seed, 50, 4, 8, EfficientConfig::default());
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_venues() {
+        for seed in 0..8 {
+            let venue = RandomVenueSpec {
+                cells_x: 4,
+                cells_y: 3,
+                levels: 2,
+                extra_door_prob: 0.35,
+                cell_size: 9.0,
+            }
+            .build(seed);
+            check_against_brute(&venue, seed + 100, 40, 3, 7, EfficientConfig::default());
+        }
+    }
+
+    #[test]
+    fn ablation_configs_do_not_change_answers() {
+        let venue = GridVenueSpec::new("t", 2, 30).build();
+        for (g, p) in [(false, true), (true, false), (false, false)] {
+            for seed in 0..6 {
+                check_against_brute(
+                    &venue,
+                    seed,
+                    40,
+                    4,
+                    8,
+                    EfficientConfig {
+                        group_clients: g,
+                        prune_clients: p,
+                    },
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_existing_facilities_is_one_center() {
+        let venue = GridVenueSpec::new("t", 2, 24).build();
+        for seed in 0..5 {
+            check_against_brute(&venue, seed, 30, 0, 6, EfficientConfig::default());
+        }
+    }
+
+    #[test]
+    fn all_clients_inside_existing_facilities_means_no_answer() {
+        let venue = GridVenueSpec::new("t", 1, 10).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let f = venue.partitions()[3].id();
+        let clients =
+            vec![ifls_indoor::IndoorPoint::new(f, venue.partition(f).center()); 5];
+        let candidates = vec![venue.partitions()[5].id(), venue.partitions()[7].id()];
+        let out = EfficientIfls::new(&tree).run(&clients, &[f], &candidates);
+        assert_eq!(out.answer, None);
+        assert_eq!(out.objective, 0.0);
+        assert_eq!(out.stats.clients_pruned, 5);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let venue = GridVenueSpec::new("t", 1, 10).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(10)
+            .existing_uniform(2)
+            .candidates_uniform(3)
+            .seed(0)
+            .build();
+        let out = EfficientIfls::new(&tree).run(&[], &w.existing, &w.candidates);
+        assert_eq!(out.answer, None);
+        assert_eq!(out.objective, 0.0);
+        let out = EfficientIfls::new(&tree).run(&w.clients, &w.existing, &[]);
+        assert_eq!(out.answer, None);
+    }
+
+    #[test]
+    fn topk_matches_brute_force_objectives() {
+        let venue = GridVenueSpec::new("t", 2, 30).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        for seed in 0..8 {
+            let w = WorkloadBuilder::new(&venue)
+                .clients_uniform(40)
+                .existing_uniform(3)
+                .candidates_uniform(9)
+                .seed(seed)
+                .build();
+            for k in [1usize, 3, 9, 20] {
+                let eff = EfficientIfls::new(&tree)
+                    .run_topk(&w.clients, &w.existing, &w.candidates, k);
+                let brute = BruteForce::new(&tree)
+                    .run_topk(&w.clients, &w.existing, &w.candidates, k);
+                assert_eq!(eff.len(), brute.len(), "seed {seed} k {k}");
+                for (i, ((_, ev), (_, bv))) in eff.iter().zip(&brute).enumerate() {
+                    assert!(
+                        (ev - bv).abs() < 1e-6,
+                        "seed {seed} k {k} rank {i}: {ev} vs {bv}"
+                    );
+                }
+                // Objectives are non-decreasing.
+                for w2 in eff.windows(2) {
+                    assert!(w2[0].1 <= w2[1].1 + 1e-9);
+                }
+                // Each reported value is achieved by its candidate.
+                for &(n, v) in &eff {
+                    let eval = crate::brute::evaluate_objective(
+                        &tree, &w.clients, &w.existing, Some(n),
+                    );
+                    assert!((v - eval).abs() < 1e-6, "seed {seed} {n}: {v} vs {eval}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topk_degenerate_inputs() {
+        let venue = GridVenueSpec::new("t", 1, 10).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(10)
+            .existing_uniform(2)
+            .candidates_uniform(3)
+            .seed(0)
+            .build();
+        let solver = EfficientIfls::new(&tree);
+        assert!(solver.run_topk(&w.clients, &w.existing, &w.candidates, 0).is_empty());
+        assert!(solver.run_topk(&w.clients, &w.existing, &[], 5).is_empty());
+        let no_clients = solver.run_topk(&[], &w.existing, &w.candidates, 2);
+        assert_eq!(no_clients.len(), 2);
+        assert!(no_clients.iter().all(|&(_, v)| v == 0.0));
+    }
+
+    #[test]
+    fn pruning_reduces_retrievals() {
+        let venue = GridVenueSpec::new("t", 3, 60).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(200)
+            .existing_uniform(12)
+            .candidates_uniform(10)
+            .seed(4)
+            .build();
+        let with = EfficientIfls::with_config(
+            &tree,
+            EfficientConfig {
+                group_clients: true,
+                prune_clients: true,
+            },
+        )
+        .run(&w.clients, &w.existing, &w.candidates);
+        let without = EfficientIfls::with_config(
+            &tree,
+            EfficientConfig {
+                group_clients: true,
+                prune_clients: false,
+            },
+        )
+        .run(&w.clients, &w.existing, &w.candidates);
+        assert!((with.objective - without.objective).abs() < 1e-9);
+        assert!(
+            with.stats.facilities_retrieved <= without.stats.facilities_retrieved,
+            "pruning should not retrieve more: {} vs {}",
+            with.stats.facilities_retrieved,
+            without.stats.facilities_retrieved
+        );
+        assert!(with.stats.clients_pruned > 0);
+    }
+
+    #[test]
+    fn grouping_reduces_distance_computations() {
+        let venue = GridVenueSpec::new("t", 2, 30).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(300)
+            .existing_uniform(6)
+            .candidates_uniform(8)
+            .seed(5)
+            .build();
+        let grouped = EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        let ungrouped = EfficientIfls::with_config(
+            &tree,
+            EfficientConfig {
+                group_clients: false,
+                prune_clients: true,
+            },
+        )
+        .run(&w.clients, &w.existing, &w.candidates);
+        assert!((grouped.objective - ungrouped.objective).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! IFLS query processing: the paper's algorithms.
+//!
+//! The **Indoor Facility Location Selection (IFLS)** query: given clients
+//! `C`, existing facilities `Fe` and candidate locations `Fn` in an indoor
+//! venue, return
+//!
+//! ```text
+//! A = argmin_{n ∈ Fn} ( max_{c ∈ C} iDist(c, NN(c, Fe ∪ {n})) )
+//! ```
+//!
+//! Three interchangeable solvers over a shared [`VipTree`](ifls_viptree::VipTree):
+//!
+//! * [`BruteForce`] — the literal definition; the correctness oracle.
+//! * [`ModifiedMinMax`] — §4's baseline: the road-network MinMax algorithm
+//!   of Chen et al. (SIGMOD 2014) adapted to indoor space; per-client
+//!   nearest-existing-facility search, candidate answer set refinement with
+//!   the two pruning rules.
+//! * [`EfficientIfls`] — §5's contribution: a single bottom-up pass over a
+//!   VIP-tree indexing `Fe ∪ Fn`, incremental nearest facilities for *all*
+//!   clients at once, client grouping by partition, and Lemma 5.1 client
+//!   pruning driven by the global distance `Gd`.
+//!
+//! §7's extensions are provided in [`mindist`] and [`maxsum`].
+//!
+//! Every solver returns a [`MinMaxOutcome`] carrying the answer, the
+//! objective value, and instrumentation ([`QueryStats`]): indoor distance
+//! computations, retrieved facilities, pruned clients, structural peak
+//! memory, and wall-clock time.
+
+mod baseline;
+mod brute;
+mod efficient;
+mod explore;
+pub mod maxsum;
+pub mod mindist;
+mod monitor;
+mod outcome;
+mod stats;
+
+pub use baseline::ModifiedMinMax;
+pub use brute::{evaluate_objective, BruteForce};
+pub use efficient::{EfficientConfig, EfficientIfls};
+pub use monitor::{ClientId, IflsMonitor};
+pub use outcome::MinMaxOutcome;
+pub use stats::QueryStats;

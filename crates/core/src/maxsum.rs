@@ -1,0 +1,480 @@
+//! The MaxSum extension (§7): select the candidate maximizing the number
+//! of clients that would have the *new* facility as their nearest one.
+//!
+//! A client `c` counts for candidate `n` iff `iDist(c, n) < nn_e(c)`
+//! (strictly closer than every existing facility). The efficient solver
+//! reuses the §5 traversal and decides each `(client, candidate)` pair the
+//! moment the client's nearest-existing distance becomes known:
+//!
+//! * candidate retrievals for a still-unpruned client are buffered with
+//!   their exact distances;
+//! * when the client's first existing facility arrives (in distance
+//!   order, so it *is* the nearest), every buffered distance is compared
+//!   against it, and every unretrieved candidate is provably farther (its
+//!   `iMinD` exceeds the bound) and therefore never a win;
+//! * the paper's upper-bound refinement is an early exit: once some
+//!   candidate's confirmed wins cannot be beaten by any other candidate's
+//!   confirmed wins plus the remaining undecided clients, the answer is
+//!   fixed.
+
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use ifls_indoor::{IndoorPoint, PartitionId};
+use ifls_viptree::{FacilityIndex, VipTree};
+
+use crate::brute;
+use crate::explore::{retrieval_dists, Entity, Event, Explorer, EVENT_BYTES};
+use crate::stats::{MemoryMeter, QueryStats};
+use crate::EfficientConfig;
+
+/// Result of a MaxSum IFLS query.
+#[derive(Clone, Debug)]
+pub struct MaxSumOutcome {
+    /// The selected candidate (`None` only when `Fn` or `C` is empty).
+    pub answer: Option<PartitionId>,
+    /// Number of clients whose nearest facility the answer would become.
+    pub wins: u64,
+    /// Instrumentation.
+    pub stats: QueryStats,
+}
+
+/// Exact MaxSum score of a candidate: how many clients it would capture.
+pub fn evaluate_wins(
+    tree: &VipTree<'_>,
+    clients: &[IndoorPoint],
+    existing: &[PartitionId],
+    candidate: PartitionId,
+) -> u64 {
+    let nn = brute::nearest_facility_dists(tree, clients, existing);
+    let mut with = vec![f64::INFINITY; clients.len()];
+    brute::min_with_partition_dists(tree, clients, candidate, &mut with);
+    nn.iter().zip(&with).filter(|(e, d)| *d < *e).count() as u64
+}
+
+/// Brute-force MaxSum: evaluates every candidate exhaustively.
+pub struct BruteForceMaxSum<'t, 'v> {
+    tree: &'t VipTree<'v>,
+}
+
+impl<'t, 'v> BruteForceMaxSum<'t, 'v> {
+    /// Creates a solver over the given index.
+    pub fn new(tree: &'t VipTree<'v>) -> Self {
+        Self { tree }
+    }
+
+    /// Answers the query by exhaustive evaluation (ties broken towards the
+    /// smaller partition id).
+    pub fn run(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+    ) -> MaxSumOutcome {
+        let start = Instant::now();
+        let nn = brute::nearest_facility_dists(self.tree, clients, existing);
+        let mut best: Option<(PartitionId, u64)> = None;
+        for &n in candidates {
+            let mut with = vec![f64::INFINITY; clients.len()];
+            brute::min_with_partition_dists(self.tree, clients, n, &mut with);
+            let wins = nn.iter().zip(&with).filter(|(e, d)| *d < *e).count() as u64;
+            let better = match best {
+                None => true,
+                Some((bn, bw)) => wins > bw || (wins == bw && n < bn),
+            };
+            if better {
+                best = Some((n, wins));
+            }
+        }
+        let stats = QueryStats {
+            dist_computations: (clients.len() * (existing.len() + candidates.len())) as u64,
+            facilities_retrieved: (clients.len() * candidates.len()) as u64,
+            clients_pruned: 0,
+            peak_bytes: clients.len() * 16,
+            elapsed: start.elapsed(),
+        };
+        match best {
+            Some((n, wins)) => MaxSumOutcome {
+                answer: Some(n),
+                wins,
+                stats,
+            },
+            None => MaxSumOutcome {
+                answer: None,
+                wins: 0,
+                stats,
+            },
+        }
+    }
+}
+
+/// The efficient MaxSum solver (§7 over the §5 machinery).
+pub struct EfficientMaxSum<'t, 'v> {
+    tree: &'t VipTree<'v>,
+    config: EfficientConfig,
+}
+
+impl<'t, 'v> EfficientMaxSum<'t, 'v> {
+    /// Creates a solver with the default configuration.
+    pub fn new(tree: &'t VipTree<'v>) -> Self {
+        Self {
+            tree,
+            config: EfficientConfig::default(),
+        }
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(tree: &'t VipTree<'v>, config: EfficientConfig) -> Self {
+        Self { tree, config }
+    }
+
+    /// Answers the query.
+    pub fn run(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+    ) -> MaxSumOutcome {
+        let start = Instant::now();
+        let tree = self.tree;
+        let venue = tree.venue();
+        let mut meter = MemoryMeter::default();
+        let mut dist_computations = 0u64;
+        let mut facilities_retrieved = 0u64;
+
+        if clients.is_empty() || candidates.is_empty() {
+            return MaxSumOutcome {
+                answer: None,
+                wins: 0,
+                stats: QueryStats {
+                    elapsed: start.elapsed(),
+                    ..QueryStats::default()
+                },
+            };
+        }
+
+        let fe = FacilityIndex::build(tree, existing.iter().copied());
+        let fn_ = FacilityIndex::build(tree, candidates.iter().copied());
+        meter.add((fe.approx_bytes() + fn_.approx_bytes()) as isize);
+
+        let n_clients = clients.len();
+        let mut wins: Vec<u64> = vec![0; venue.num_partitions()];
+        // Buffered candidate retrievals per undecided client.
+        let mut buffered: Vec<Vec<(PartitionId, f64)>> = vec![Vec::new(); n_clients];
+        let mut decided = vec![false; n_clients];
+        let mut undecided = n_clients;
+        let mut clients_pruned = 0u64;
+        let mut by_partition: Vec<Vec<u32>> = vec![Vec::new(); venue.num_partitions()];
+        for (i, c) in clients.iter().enumerate() {
+            by_partition[c.partition.index()].push(i as u32);
+        }
+        meter.add((venue.num_partitions() * 8 + n_clients * 32) as isize);
+
+        // Existing-facility events in distance order determine nn_e.
+        let mut exist_events: BinaryHeap<Event> = BinaryHeap::new();
+        for (i, c) in clients.iter().enumerate() {
+            if fe.contains(c.partition) {
+                facilities_retrieved += 1;
+                exist_events.push(Event {
+                    dist: 0.0,
+                    client: i as u32,
+                    facility: c.partition,
+                });
+                meter.add(EVENT_BYTES);
+            } else if fn_.contains(c.partition) {
+                facilities_retrieved += 1;
+                buffered[i].push((c.partition, 0.0));
+                meter.add(12);
+            }
+        }
+
+        let mut explorer = Explorer::new(tree);
+        for p in venue.partition_ids() {
+            if !by_partition[p.index()].is_empty() {
+                explorer.seed_source(p, &mut meter);
+            }
+        }
+
+        // Decides a client against its exact nearest-existing distance.
+        let mut decide = |client: u32,
+                          nn_e: f64,
+                          buffered: &mut [Vec<(PartitionId, f64)>],
+                          decided: &mut [bool],
+                          wins: &mut [u64],
+                          undecided: &mut usize,
+                          meter: &mut MemoryMeter| {
+            let c = client as usize;
+            if decided[c] {
+                return;
+            }
+            decided[c] = true;
+            *undecided -= 1;
+            if nn_e.is_finite() {
+                clients_pruned += 1;
+            }
+            for (n, d) in buffered[c].drain(..) {
+                meter.add(-12);
+                if d < nn_e {
+                    wins[n.index()] += 1;
+                }
+            }
+        };
+
+        let best_candidate = |wins: &[u64]| -> (PartitionId, u64) {
+            candidates
+                .iter()
+                .map(|&n| (n, wins[n.index()]))
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                .expect("candidates non-empty")
+        };
+
+        let mut answer: Option<(PartitionId, u64)> = None;
+        let mut early_exit = false;
+        let mut pops = 0u64;
+        while let Some(entry) = explorer.pop(&mut meter) {
+            let gd = entry.key;
+            let source = entry.source;
+            let source_active = if self.config.prune_clients {
+                by_partition[source.index()]
+                    .iter()
+                    .any(|&c| !decided[c as usize])
+            } else {
+                true
+            };
+            match entry.entity {
+                Entity::Part(part) if fe.contains(part) || fn_.contains(part) => {
+                    if source_active {
+                        let ids: Vec<u32> = if self.config.prune_clients {
+                            by_partition[source.index()]
+                                .iter()
+                                .copied()
+                                .filter(|&c| !decided[c as usize])
+                                .collect()
+                        } else {
+                            by_partition[source.index()].clone()
+                        };
+                        for (c, d) in retrieval_dists(
+                            tree,
+                            clients,
+                            &ids,
+                            source,
+                            part,
+                            self.config.group_clients,
+                            &mut dist_computations,
+                        ) {
+                            facilities_retrieved += 1;
+                            if fe.contains(part) {
+                                exist_events.push(Event {
+                                    dist: d,
+                                    client: c,
+                                    facility: part,
+                                });
+                                meter.add(EVENT_BYTES);
+                            } else if !decided[c as usize] {
+                                buffered[c as usize].push((part, d));
+                                meter.add(12);
+                            }
+                        }
+                    }
+                }
+                entity => {
+                    if source_active {
+                        explorer.expand(source, entity, &mut meter);
+                    }
+                }
+            }
+            // Existing events within the bound fix nn_e in distance order.
+            while let Some(e) = exist_events.peek() {
+                if e.dist > gd {
+                    break;
+                }
+                let e = exist_events.pop().expect("peeked");
+                meter.add(-EVENT_BYTES);
+                decide(
+                    e.client,
+                    e.dist,
+                    &mut buffered,
+                    &mut decided,
+                    &mut wins,
+                    &mut undecided,
+                    &mut meter,
+                );
+            }
+            pops += 1;
+            // Early exit: best confirmed count is unbeatable.
+            if pops.is_multiple_of(64) && undecided > 0 {
+                let (bn, bw) = best_candidate(&wins);
+                let beatable = candidates
+                    .iter()
+                    .any(|&n| n != bn && wins[n.index()] + undecided as u64 > bw);
+                if !beatable {
+                    // `bn` is the argmax even though its own count may
+                    // still grow; the exact count is evaluated after the
+                    // timed section.
+                    answer = Some((bn, bw));
+                    early_exit = true;
+                    break;
+                }
+            }
+        }
+
+        if answer.is_none() {
+            // Queue exhausted: remaining existing events decide their
+            // clients; clients with no existing facility at all win with
+            // every buffered candidate (nn_e = ∞).
+            while let Some(e) = exist_events.pop() {
+                meter.add(-EVENT_BYTES);
+                decide(
+                    e.client,
+                    e.dist,
+                    &mut buffered,
+                    &mut decided,
+                    &mut wins,
+                    &mut undecided,
+                    &mut meter,
+                );
+            }
+            for c in 0..n_clients as u32 {
+                decide(
+                    c,
+                    f64::INFINITY,
+                    &mut buffered,
+                    &mut decided,
+                    &mut wins,
+                    &mut undecided,
+                    &mut meter,
+                );
+            }
+            answer = Some(best_candidate(&wins));
+        }
+
+        let (n, w) = answer.expect("set above");
+        let stats = QueryStats {
+            dist_computations: dist_computations + explorer.dist_computations,
+            facilities_retrieved,
+            clients_pruned,
+            peak_bytes: meter.peak_bytes(),
+            elapsed: start.elapsed(),
+        };
+        // On early exit the confirmed count is only a lower bound of the
+        // winner's final score; report the exact value (computed outside
+        // the timed query, like the baseline's objective completion).
+        let wins = if early_exit {
+            evaluate_wins(tree, clients, existing, n)
+        } else {
+            w
+        };
+        MaxSumOutcome {
+            answer: Some(n),
+            wins,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifls_venues::{GridVenueSpec, RandomVenueSpec};
+    use ifls_viptree::VipTreeConfig;
+    use ifls_workloads::WorkloadBuilder;
+
+    fn check(venue: &ifls_indoor::Venue, seed: u64, clients: usize, fe: usize, fn_: usize) {
+        let tree = VipTree::build(venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(venue)
+            .clients_uniform(clients)
+            .existing_uniform(fe)
+            .candidates_uniform(fn_)
+            .seed(seed)
+            .build();
+        let eff = EfficientMaxSum::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        let brute = BruteForceMaxSum::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        assert_eq!(
+            eff.wins, brute.wins,
+            "seed {seed}: efficient {:?} vs brute {:?}",
+            eff.answer, brute.answer
+        );
+        // The reported count matches a from-scratch evaluation.
+        let eval = evaluate_wins(&tree, &w.clients, &w.existing, eff.answer.unwrap());
+        assert_eq!(eff.wins, eval, "seed {seed}");
+    }
+
+    #[test]
+    fn matches_brute_force_on_grid() {
+        let venue = GridVenueSpec::new("t", 2, 30).build();
+        for seed in 0..12 {
+            check(&venue, seed, 40, 4, 8);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_venues() {
+        for seed in 0..6 {
+            let venue = RandomVenueSpec {
+                cells_x: 4,
+                cells_y: 3,
+                levels: 2,
+                extra_door_prob: 0.3,
+                cell_size: 9.0,
+            }
+            .build(seed);
+            check(&venue, seed + 30, 30, 3, 6);
+        }
+    }
+
+    #[test]
+    fn no_existing_facilities_everyone_wins() {
+        let venue = GridVenueSpec::new("t", 1, 12).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(25)
+            .existing_uniform(0)
+            .candidates_uniform(4)
+            .seed(7)
+            .build();
+        let eff = EfficientMaxSum::new(&tree).run(&w.clients, &[], &w.candidates);
+        // With no existing facilities every client is captured.
+        assert_eq!(eff.wins, 25);
+    }
+
+    #[test]
+    fn ablation_configs_do_not_change_counts() {
+        let venue = GridVenueSpec::new("t", 2, 24).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(40)
+            .existing_uniform(4)
+            .candidates_uniform(6)
+            .seed(3)
+            .build();
+        let brute = BruteForceMaxSum::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        for (g, p) in [(false, true), (true, false), (false, false)] {
+            let eff = EfficientMaxSum::with_config(
+                &tree,
+                EfficientConfig {
+                    group_clients: g,
+                    prune_clients: p,
+                },
+            )
+            .run(&w.clients, &w.existing, &w.candidates);
+            assert_eq!(eff.wins, brute.wins, "g={g} p={p}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let venue = GridVenueSpec::new("t", 1, 10).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(10)
+            .existing_uniform(2)
+            .candidates_uniform(3)
+            .seed(0)
+            .build();
+        let out = EfficientMaxSum::new(&tree).run(&[], &w.existing, &w.candidates);
+        assert_eq!(out.answer, None);
+        assert_eq!(out.wins, 0);
+        let out = EfficientMaxSum::new(&tree).run(&w.clients, &w.existing, &[]);
+        assert_eq!(out.answer, None);
+    }
+}

@@ -1,0 +1,584 @@
+//! The MinDist extension (§7): select the candidate minimizing the *total*
+//! (equivalently average) distance of the clients to their nearest
+//! facilities.
+//!
+//! The workflow of §5.3 and the Lemma 5.1 client pruning carry over
+//! unchanged; only the candidate bookkeeping and `checkAnswer` differ, as
+//! the paper sketches:
+//!
+//! * Every candidate keeps a running **total** made of *decided*
+//!   per-client contributions plus a lower bound (the global distance) for
+//!   every undecided client. A `(client, candidate)` contribution is
+//!   decided when either the candidate was retrieved for the client while
+//!   the client was unpruned (the contribution is the exact `iDist`, which
+//!   is below the client's nearest-existing distance), or the client is
+//!   pruned (the contribution is its nearest-existing distance: any
+//!   unretrieved candidate is provably farther).
+//! * `checkAnswer` returns a candidate once its total is fully decided and
+//!   no other candidate's lower bound beats it.
+
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use ifls_indoor::{IndoorPoint, PartitionId};
+use ifls_viptree::{FacilityIndex, VipTree};
+
+use crate::brute;
+use crate::explore::{retrieval_dists, Entity, Event, Explorer, EVENT_BYTES};
+use crate::stats::{MemoryMeter, QueryStats};
+use crate::EfficientConfig;
+
+/// Result of a MinDist IFLS query.
+#[derive(Clone, Debug)]
+pub struct MinDistOutcome {
+    /// The selected candidate (always present when `Fn` and `C` are
+    /// non-empty).
+    pub answer: Option<PartitionId>,
+    /// The total distance `Σ_c iDist(c, NN(c, Fe ∪ answer))`.
+    pub total: f64,
+    /// Instrumentation.
+    pub stats: QueryStats,
+}
+
+impl MinDistOutcome {
+    /// The average per-client distance (the paper's "MinDist" objective is
+    /// the average; minimizing the sum is equivalent).
+    pub fn average(&self, num_clients: usize) -> f64 {
+        if num_clients == 0 {
+            0.0
+        } else {
+            self.total / num_clients as f64
+        }
+    }
+}
+
+/// Exact MinDist total of placing the new facility at `candidate`
+/// (status quo when `None`): the *sum* of client distances.
+pub fn evaluate_total(
+    tree: &VipTree<'_>,
+    clients: &[IndoorPoint],
+    existing: &[PartitionId],
+    candidate: Option<PartitionId>,
+) -> f64 {
+    let mut per = brute::nearest_facility_dists(tree, clients, existing);
+    if let Some(n) = candidate {
+        brute::min_with_partition_dists(tree, clients, n, &mut per);
+    }
+    per.into_iter().sum()
+}
+
+/// Brute-force MinDist: evaluates every candidate exhaustively (the
+/// correctness oracle for [`EfficientMinDist`]).
+pub struct BruteForceMinDist<'t, 'v> {
+    tree: &'t VipTree<'v>,
+}
+
+impl<'t, 'v> BruteForceMinDist<'t, 'v> {
+    /// Creates a solver over the given index.
+    pub fn new(tree: &'t VipTree<'v>) -> Self {
+        Self { tree }
+    }
+
+    /// Answers the query by exhaustive evaluation (ties broken towards the
+    /// smaller partition id).
+    pub fn run(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+    ) -> MinDistOutcome {
+        let start = Instant::now();
+        let nn = brute::nearest_facility_dists(self.tree, clients, existing);
+        let mut best: Option<(PartitionId, f64)> = None;
+        for &n in candidates {
+            let mut per = nn.clone();
+            brute::min_with_partition_dists(self.tree, clients, n, &mut per);
+            let total: f64 = per.into_iter().sum();
+            let better = match best {
+                None => true,
+                Some((bn, bt)) => total < bt || (total == bt && n < bn),
+            };
+            if better {
+                best = Some((n, total));
+            }
+        }
+        let stats = QueryStats {
+            dist_computations: (clients.len() * (existing.len() + candidates.len())) as u64,
+            facilities_retrieved: (clients.len() * candidates.len()) as u64,
+            clients_pruned: 0,
+            peak_bytes: clients.len() * 16,
+            elapsed: start.elapsed(),
+        };
+        match best {
+            Some((n, total)) => MinDistOutcome {
+                answer: Some(n),
+                total,
+                stats,
+            },
+            None => MinDistOutcome {
+                answer: None,
+                total: nn.into_iter().sum(),
+                stats,
+            },
+        }
+    }
+}
+
+/// Per-candidate running totals with decided/undecided accounting.
+///
+/// Pruned clients are accumulated globally (`pruned_sum`/`pruned_cnt`) and
+/// candidates that had already been counted for a pruned client carry a
+/// per-candidate adjustment, so pruning one client is `O(|counted|)`, not
+/// `O(|Fn|)`.
+struct Totals {
+    counted_sum: Vec<f64>,
+    counted_cnt: Vec<u32>,
+    pruned_adjust_sum: Vec<f64>,
+    pruned_adjust_cnt: Vec<u32>,
+    pruned_sum: f64,
+    pruned_cnt: u32,
+}
+
+impl Totals {
+    fn new(num_partitions: usize) -> Self {
+        Self {
+            counted_sum: vec![0.0; num_partitions],
+            counted_cnt: vec![0; num_partitions],
+            pruned_adjust_sum: vec![0.0; num_partitions],
+            pruned_adjust_cnt: vec![0; num_partitions],
+            pruned_sum: 0.0,
+            pruned_cnt: 0,
+        }
+    }
+
+    /// Decided portion of candidate `n`'s total.
+    fn decided_sum(&self, n: PartitionId) -> f64 {
+        self.counted_sum[n.index()] + self.pruned_sum - self.pruned_adjust_sum[n.index()]
+    }
+
+    /// Number of decided clients for candidate `n`.
+    fn decided_cnt(&self, n: PartitionId) -> u32 {
+        self.counted_cnt[n.index()] + self.pruned_cnt - self.pruned_adjust_cnt[n.index()]
+    }
+}
+
+/// The efficient MinDist solver (§7 over the §5 machinery).
+pub struct EfficientMinDist<'t, 'v> {
+    tree: &'t VipTree<'v>,
+    config: EfficientConfig,
+}
+
+impl<'t, 'v> EfficientMinDist<'t, 'v> {
+    /// Creates a solver with the default configuration.
+    pub fn new(tree: &'t VipTree<'v>) -> Self {
+        Self {
+            tree,
+            config: EfficientConfig::default(),
+        }
+    }
+
+    /// Creates a solver with an explicit configuration (ablations; results
+    /// are identical under every combination).
+    pub fn with_config(tree: &'t VipTree<'v>, config: EfficientConfig) -> Self {
+        Self { tree, config }
+    }
+
+    /// Answers the query.
+    pub fn run(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+    ) -> MinDistOutcome {
+        let start = Instant::now();
+        let tree = self.tree;
+        let venue = tree.venue();
+        let mut meter = MemoryMeter::default();
+        let mut dist_computations = 0u64;
+        let mut facilities_retrieved = 0u64;
+
+        if clients.is_empty() || candidates.is_empty() {
+            let total = if clients.is_empty() {
+                0.0
+            } else {
+                evaluate_total(tree, clients, existing, None)
+            };
+            return MinDistOutcome {
+                answer: None,
+                total,
+                stats: QueryStats {
+                    elapsed: start.elapsed(),
+                    ..QueryStats::default()
+                },
+            };
+        }
+
+        let fe = FacilityIndex::build(tree, existing.iter().copied());
+        let fn_ = FacilityIndex::build(tree, candidates.iter().copied());
+        meter.add((fe.approx_bytes() + fn_.approx_bytes()) as isize);
+
+        let n_clients = clients.len();
+        let mut totals = Totals::new(venue.num_partitions());
+        meter.add((venue.num_partitions() * 28) as isize);
+        let mut pruned = vec![false; n_clients];
+        let mut counted: Vec<Vec<PartitionId>> = vec![Vec::new(); n_clients];
+        let mut clients_pruned = 0u64;
+        let mut by_partition: Vec<Vec<u32>> = vec![Vec::new(); venue.num_partitions()];
+        for (i, c) in clients.iter().enumerate() {
+            by_partition[c.partition.index()].push(i as u32);
+        }
+        meter.add((n_clients * 8) as isize);
+
+        let mut exist_events: BinaryHeap<Event> = BinaryHeap::new();
+        let mut cand_events: BinaryHeap<Event> = BinaryHeap::new();
+        let push_event = |e: Event,
+                              exist_events: &mut BinaryHeap<Event>,
+                              cand_events: &mut BinaryHeap<Event>,
+                              meter: &mut MemoryMeter| {
+            if fe.contains(e.facility) {
+                exist_events.push(e);
+            } else {
+                cand_events.push(e);
+            }
+            meter.add(EVENT_BYTES);
+        };
+
+        // Clients already inside a facility (Algorithm 2 lines 1–5).
+        for (i, c) in clients.iter().enumerate() {
+            if fe.contains(c.partition) || fn_.contains(c.partition) {
+                facilities_retrieved += 1;
+                push_event(
+                    Event {
+                        dist: 0.0,
+                        client: i as u32,
+                        facility: c.partition,
+                    },
+                    &mut exist_events,
+                    &mut cand_events,
+                    &mut meter,
+                );
+            }
+        }
+
+        let mut explorer = Explorer::new(tree);
+        for p in venue.partition_ids() {
+            if !by_partition[p.index()].is_empty() {
+                explorer.seed_source(p, &mut meter);
+            }
+        }
+
+        // Processes all pending events with distance ≤ `bound`.
+        let mut process_events = |bound: f64,
+                                  exist_events: &mut BinaryHeap<Event>,
+                                  cand_events: &mut BinaryHeap<Event>,
+                                  totals: &mut Totals,
+                                  pruned: &mut [bool],
+                                  counted: &mut [Vec<PartitionId>],
+                                  meter: &mut MemoryMeter| {
+            loop {
+                let ne = exist_events.peek().map(|e| e.dist);
+                let nc = cand_events.peek().map(|e| e.dist);
+                let take_exist = match (ne, nc) {
+                    (Some(a), Some(b)) => a <= b,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                if take_exist {
+                    if ne.expect("peeked") > bound {
+                        break;
+                    }
+                    let e = exist_events.pop().expect("peeked");
+                    meter.add(-EVENT_BYTES);
+                    let c = e.client as usize;
+                    if !pruned[c] {
+                        // Lemma 5.1: `e.dist` is the client's exact
+                        // nearest-existing distance (events arrive in
+                        // distance order and retrieval is complete below
+                        // the bound).
+                        pruned[c] = true;
+                        clients_pruned += 1;
+                        totals.pruned_sum += e.dist;
+                        totals.pruned_cnt += 1;
+                        for n in counted[c].drain(..) {
+                            totals.pruned_adjust_sum[n.index()] += e.dist;
+                            totals.pruned_adjust_cnt[n.index()] += 1;
+                        }
+                    }
+                } else {
+                    if nc.expect("peeked") > bound {
+                        break;
+                    }
+                    let e = cand_events.pop().expect("peeked");
+                    meter.add(-EVENT_BYTES);
+                    let c = e.client as usize;
+                    if !pruned[c] {
+                        totals.counted_sum[e.facility.index()] += e.dist;
+                        totals.counted_cnt[e.facility.index()] += 1;
+                        counted[c].push(e.facility);
+                        meter.add(4);
+                    }
+                }
+            }
+        };
+
+        // checkAnswer: the best fully-decided candidate must beat every
+        // other candidate's lower bound.
+        let check_answer = |bound: f64, totals: &Totals| -> Option<(PartitionId, f64)> {
+            let mut best_exact: Option<(PartitionId, f64)> = None;
+            for &n in candidates {
+                if totals.decided_cnt(n) as usize == n_clients {
+                    let t = totals.decided_sum(n);
+                    let better = match best_exact {
+                        None => true,
+                        Some((bn, bt)) => t < bt || (t == bt && n < bn),
+                    };
+                    if better {
+                        best_exact = Some((n, t));
+                    }
+                }
+            }
+            let (bn, bt) = best_exact?;
+            for &n in candidates {
+                if n == bn {
+                    continue;
+                }
+                let undecided = n_clients as f64 - f64::from(totals.decided_cnt(n));
+                let lb = totals.decided_sum(n) + undecided * bound;
+                if lb < bt {
+                    return None;
+                }
+            }
+            Some((bn, bt))
+        };
+
+        let mut answer: Option<(PartitionId, f64)>;
+        let mut pops = 0u64;
+        loop {
+            let Some(entry) = explorer.pop(&mut meter) else {
+                // Everything retrieved: decide all remaining contributions.
+                process_events(
+                    f64::INFINITY,
+                    &mut exist_events,
+                    &mut cand_events,
+                    &mut totals,
+                    &mut pruned,
+                    &mut counted,
+                    &mut meter,
+                );
+                answer = check_answer(f64::INFINITY, &totals);
+                break;
+            };
+            let gd = entry.key;
+            let source = entry.source;
+            let source_active = if self.config.prune_clients {
+                by_partition[source.index()]
+                    .iter()
+                    .any(|&c| !pruned[c as usize])
+            } else {
+                true
+            };
+            match entry.entity {
+                Entity::Part(part) if fe.contains(part) || fn_.contains(part) => {
+                    if source_active {
+                        let ids: Vec<u32> = if self.config.prune_clients {
+                            by_partition[source.index()]
+                                .iter()
+                                .copied()
+                                .filter(|&c| !pruned[c as usize])
+                                .collect()
+                        } else {
+                            by_partition[source.index()].clone()
+                        };
+                        for (c, d) in retrieval_dists(
+                            tree,
+                            clients,
+                            &ids,
+                            source,
+                            part,
+                            self.config.group_clients,
+                            &mut dist_computations,
+                        ) {
+                            facilities_retrieved += 1;
+                            push_event(
+                                Event {
+                                    dist: d,
+                                    client: c,
+                                    facility: part,
+                                },
+                                &mut exist_events,
+                                &mut cand_events,
+                                &mut meter,
+                            );
+                        }
+                    }
+                }
+                entity => {
+                    if source_active {
+                        explorer.expand(source, entity, &mut meter);
+                    }
+                }
+            }
+            process_events(
+                gd,
+                &mut exist_events,
+                &mut cand_events,
+                &mut totals,
+                &mut pruned,
+                &mut counted,
+                &mut meter,
+            );
+            pops += 1;
+            // The O(|Fn|) answer check is throttled; delaying it never
+            // changes the answer, only when it is noticed.
+            if pops.is_multiple_of(32) {
+                answer = check_answer(gd, &totals);
+                if answer.is_some() {
+                    break;
+                }
+            }
+        }
+
+        let stats = QueryStats {
+            dist_computations: dist_computations + explorer.dist_computations,
+            facilities_retrieved,
+            clients_pruned,
+            peak_bytes: meter.peak_bytes(),
+            elapsed: start.elapsed(),
+        };
+        match answer {
+            Some((n, total)) => MinDistOutcome {
+                answer: Some(n),
+                total,
+                stats,
+            },
+            None => {
+                // Defensive: evaluate the status quo.
+                let total = evaluate_total(tree, clients, existing, None);
+                MinDistOutcome {
+                    answer: None,
+                    total,
+                    stats,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifls_venues::{GridVenueSpec, RandomVenueSpec};
+    use ifls_viptree::VipTreeConfig;
+    use ifls_workloads::WorkloadBuilder;
+
+    fn check(venue: &ifls_indoor::Venue, seed: u64, clients: usize, fe: usize, fn_: usize) {
+        let tree = VipTree::build(venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(venue)
+            .clients_uniform(clients)
+            .existing_uniform(fe)
+            .candidates_uniform(fn_)
+            .seed(seed)
+            .build();
+        let eff = EfficientMinDist::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        let brute = BruteForceMinDist::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        assert!(
+            (eff.total - brute.total).abs() < 1e-6,
+            "seed {seed}: efficient {} ({:?}) vs brute {} ({:?})",
+            eff.total,
+            eff.answer,
+            brute.total,
+            brute.answer
+        );
+        let eval = evaluate_total(&tree, &w.clients, &w.existing, eff.answer);
+        assert!(
+            (eff.total - eval).abs() < 1e-6,
+            "internal {} vs eval {eval}",
+            eff.total
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_on_grid() {
+        let venue = GridVenueSpec::new("t", 2, 30).build();
+        for seed in 0..12 {
+            check(&venue, seed, 40, 4, 8);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_venues() {
+        for seed in 0..6 {
+            let venue = RandomVenueSpec {
+                cells_x: 4,
+                cells_y: 3,
+                levels: 2,
+                extra_door_prob: 0.3,
+                cell_size: 9.0,
+            }
+            .build(seed);
+            check(&venue, seed + 50, 30, 3, 6);
+        }
+    }
+
+    #[test]
+    fn matches_brute_without_pruning_or_grouping() {
+        let venue = GridVenueSpec::new("t", 2, 24).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(30)
+            .existing_uniform(3)
+            .candidates_uniform(6)
+            .seed(9)
+            .build();
+        let brute = BruteForceMinDist::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        for (g, p) in [(false, true), (true, false), (false, false)] {
+            let eff = EfficientMinDist::with_config(
+                &tree,
+                EfficientConfig {
+                    group_clients: g,
+                    prune_clients: p,
+                },
+            )
+            .run(&w.clients, &w.existing, &w.candidates);
+            assert!((eff.total - brute.total).abs() < 1e-6, "g={g} p={p}");
+        }
+    }
+
+    #[test]
+    fn no_existing_facilities_is_one_median() {
+        let venue = GridVenueSpec::new("t", 2, 24).build();
+        for seed in 0..5 {
+            check(&venue, seed, 25, 0, 6);
+        }
+    }
+
+    #[test]
+    fn average_accessor() {
+        let o = MinDistOutcome {
+            answer: None,
+            total: 10.0,
+            stats: QueryStats::default(),
+        };
+        assert_eq!(o.average(4), 2.5);
+        assert_eq!(o.average(0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let venue = GridVenueSpec::new("t", 1, 10).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(10)
+            .existing_uniform(2)
+            .candidates_uniform(3)
+            .seed(0)
+            .build();
+        let out = EfficientMinDist::new(&tree).run(&[], &w.existing, &w.candidates);
+        assert_eq!(out.answer, None);
+        assert_eq!(out.total, 0.0);
+        let out = EfficientMinDist::new(&tree).run(&w.clients, &w.existing, &[]);
+        assert_eq!(out.answer, None);
+        assert!(out.total.is_finite());
+    }
+}

@@ -1,0 +1,45 @@
+//! Query result type shared by all solvers.
+
+use ifls_indoor::PartitionId;
+
+use crate::stats::QueryStats;
+
+/// The result of a MinMax IFLS query.
+#[derive(Clone, Debug)]
+pub struct MinMaxOutcome {
+    /// The selected candidate partition, or `None` when no candidate can
+    /// improve any client's distance to its nearest existing facility (the
+    /// paper's "no answer exists": every candidate is equally good).
+    pub answer: Option<PartitionId>,
+    /// The objective value: `max_c iDist(c, NN(c, Fe ∪ answer))`. When
+    /// `answer` is `None` this is the clients' maximum
+    /// nearest-existing-facility distance, which no candidate improves.
+    pub objective: f64,
+    /// Instrumentation collected during the query.
+    pub stats: QueryStats,
+}
+
+impl MinMaxOutcome {
+    /// The objective value (convenience accessor mirroring the formal
+    /// definition).
+    #[inline]
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessor_matches_field() {
+        let o = MinMaxOutcome {
+            answer: Some(PartitionId::new(3)),
+            objective: 7.5,
+            stats: QueryStats::default(),
+        };
+        assert_eq!(o.objective(), 7.5);
+        assert_eq!(o.answer, Some(PartitionId::new(3)));
+    }
+}

@@ -1,0 +1,91 @@
+//! Query instrumentation shared by all solvers.
+
+use std::time::Duration;
+
+/// Counters and measurements collected while answering one query.
+///
+/// `peak_bytes` is a *structural* memory estimate: the solvers track the
+/// byte footprint of every query-time data structure (retrieved-facility
+/// lists, priority queues, candidate sets, event heaps) and record the
+/// maximum. This measures exactly what the paper's memory-cost figures
+/// compare — how much state each algorithm accumulates — without allocator
+/// noise.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QueryStats {
+    /// Exact indoor distance evaluations (point↔partition and door-set
+    /// minima) plus `iMinD` lower-bound evaluations.
+    pub dist_computations: u64,
+    /// Facility entries retrieved into per-client lists (efficient
+    /// approach) or candidate distances materialized (baseline).
+    pub facilities_retrieved: u64,
+    /// Clients pruned by Lemma 5.1 (efficient approach only).
+    pub clients_pruned: u64,
+    /// Peak structural memory, in bytes.
+    pub peak_bytes: usize,
+    /// Wall-clock time of the query.
+    pub elapsed: Duration,
+}
+
+impl QueryStats {
+    /// Peak structural memory in mebibytes (the unit of the paper's
+    /// figures).
+    pub fn peak_mib(&self) -> f64 {
+        self.peak_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Incrementally tracked structural memory: the solvers bump the current
+/// figure as structures grow or shrink and the peak is retained.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct MemoryMeter {
+    current: isize,
+    peak: isize,
+}
+
+impl MemoryMeter {
+    /// Account `bytes` of growth (or shrink, when negative).
+    #[inline]
+    pub fn add(&mut self, bytes: isize) {
+        self.current += bytes;
+        if self.current > self.peak {
+            self.peak = self.current;
+        }
+    }
+
+    /// The peak observed so far, saturating at zero.
+    #[inline]
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.max(0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_tracks_peak_not_current() {
+        let mut m = MemoryMeter::default();
+        m.add(100);
+        m.add(200);
+        m.add(-250);
+        m.add(10);
+        assert_eq!(m.peak_bytes(), 300);
+    }
+
+    #[test]
+    fn meter_never_reports_negative_peak() {
+        let mut m = MemoryMeter::default();
+        m.add(-50);
+        assert_eq!(m.peak_bytes(), 0);
+    }
+
+    #[test]
+    fn stats_mib_conversion() {
+        let s = QueryStats {
+            peak_bytes: 2 * 1024 * 1024,
+            ..QueryStats::default()
+        };
+        assert_eq!(s.peak_mib(), 2.0);
+    }
+}

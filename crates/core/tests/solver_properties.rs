@@ -1,0 +1,162 @@
+//! Solver-level properties beyond unit tests: determinism, stat coherence,
+//! objective semantics, and interactions between the three objectives.
+
+use ifls_core::maxsum::{evaluate_wins, EfficientMaxSum};
+use ifls_core::mindist::{evaluate_total, EfficientMinDist};
+use ifls_core::{evaluate_objective, BruteForce, EfficientIfls, ModifiedMinMax};
+use ifls_venues::GridVenueSpec;
+use ifls_viptree::{VipTree, VipTreeConfig};
+use ifls_workloads::WorkloadBuilder;
+
+fn fixture() -> (ifls_indoor::Venue, ) {
+    (GridVenueSpec::new("sp", 3, 48).build(),)
+}
+
+#[test]
+fn solvers_are_deterministic() {
+    let (venue,) = fixture();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let w = WorkloadBuilder::new(&venue)
+        .clients_uniform(120)
+        .existing_uniform(6)
+        .candidates_uniform(10)
+        .seed(11)
+        .build();
+    let a = EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    let b = EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    assert_eq!(a.answer, b.answer);
+    assert_eq!(a.objective, b.objective);
+    assert_eq!(a.stats.dist_computations, b.stats.dist_computations);
+    assert_eq!(a.stats.facilities_retrieved, b.stats.facilities_retrieved);
+    assert_eq!(a.stats.clients_pruned, b.stats.clients_pruned);
+    assert_eq!(a.stats.peak_bytes, b.stats.peak_bytes);
+    let c = ModifiedMinMax::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    let d = ModifiedMinMax::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    assert_eq!(c.answer, d.answer);
+    assert_eq!(c.stats.dist_computations, d.stats.dist_computations);
+}
+
+#[test]
+fn adding_the_answer_to_existing_facilities_makes_it_moot() {
+    // Once the optimal candidate is built, re-running the query with it in
+    // `Fe` cannot yield a better objective.
+    let (venue,) = fixture();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let w = WorkloadBuilder::new(&venue)
+        .clients_uniform(80)
+        .existing_uniform(4)
+        .candidates_uniform(8)
+        .seed(3)
+        .build();
+    let first = EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    let ans = first.answer.expect("improvable layout");
+    let mut fe2 = w.existing.clone();
+    fe2.push(ans);
+    let cands2: Vec<_> = w.candidates.iter().copied().filter(|&n| n != ans).collect();
+    let second = EfficientIfls::new(&tree).run(&w.clients, &fe2, &cands2);
+    assert!(second.objective <= first.objective + 1e-9);
+}
+
+#[test]
+fn objectives_relate_sanely() {
+    // For any candidate: minmax value ≥ average value; a maxsum win count
+    // of |C| implies the candidate beats every existing facility for
+    // everyone.
+    let (venue,) = fixture();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let w = WorkloadBuilder::new(&venue)
+        .clients_uniform(60)
+        .existing_uniform(3)
+        .candidates_uniform(6)
+        .seed(9)
+        .build();
+    for &n in &w.candidates {
+        let mm = evaluate_objective(&tree, &w.clients, &w.existing, Some(n));
+        let avg = evaluate_total(&tree, &w.clients, &w.existing, Some(n)) / w.clients.len() as f64;
+        assert!(mm >= avg - 1e-9, "{n}: max {mm} < avg {avg}");
+        let wins = evaluate_wins(&tree, &w.clients, &w.existing, n);
+        assert!(wins as usize <= w.clients.len());
+    }
+}
+
+#[test]
+fn efficient_stats_reflect_configuration() {
+    let (venue,) = fixture();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let w = WorkloadBuilder::new(&venue)
+        .clients_uniform(300)
+        .existing_uniform(10)
+        .candidates_uniform(12)
+        .seed(4)
+        .build();
+    let eff = EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    // At 300 clients on 51 partitions, grouping means far fewer group
+    // vectors than client-facility pairs.
+    assert!(eff.stats.facilities_retrieved > 0);
+    assert!(eff.stats.dist_computations > 0);
+    assert!(eff.stats.peak_bytes > 0);
+    assert!(eff.stats.clients_pruned <= w.clients.len() as u64);
+    // Brute force touches every pair.
+    let brute = BruteForce::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    assert!(
+        eff.stats.facilities_retrieved < brute.stats.facilities_retrieved,
+        "efficient {} vs brute {}",
+        eff.stats.facilities_retrieved,
+        brute.stats.facilities_retrieved
+    );
+}
+
+#[test]
+fn all_objectives_pick_reasonable_answers_on_one_workload() {
+    let (venue,) = fixture();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let w = WorkloadBuilder::new(&venue)
+        .clients_uniform(100)
+        .existing_uniform(5)
+        .candidates_uniform(8)
+        .seed(13)
+        .build();
+    let mm = EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    let md = EfficientMinDist::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    let ms = EfficientMaxSum::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    // All answers come from the candidate set.
+    for answer in [mm.answer, md.answer, ms.answer].into_iter().flatten() {
+        assert!(w.candidates.contains(&answer));
+    }
+    // The MinDist answer has the lowest total among all candidates.
+    let md_answer_total = evaluate_total(&tree, &w.clients, &w.existing, md.answer);
+    for &n in &w.candidates {
+        assert!(evaluate_total(&tree, &w.clients, &w.existing, Some(n)) >= md_answer_total - 1e-6);
+    }
+    // The MaxSum answer has the highest wins among all candidates.
+    let ms_answer_wins = evaluate_wins(&tree, &w.clients, &w.existing, ms.answer.unwrap());
+    for &n in &w.candidates {
+        assert!(evaluate_wins(&tree, &w.clients, &w.existing, n) <= ms_answer_wins);
+    }
+}
+
+#[test]
+fn topk_is_a_prefix_chain() {
+    // run_topk(k) must be a prefix of run_topk(k+1) in objective values.
+    let (venue,) = fixture();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let w = WorkloadBuilder::new(&venue)
+        .clients_uniform(60)
+        .existing_uniform(4)
+        .candidates_uniform(10)
+        .seed(21)
+        .build();
+    let solver = EfficientIfls::new(&tree);
+    let k5 = solver.run_topk(&w.clients, &w.existing, &w.candidates, 5);
+    let k10 = solver.run_topk(&w.clients, &w.existing, &w.candidates, 10);
+    assert_eq!(k5.len(), 5);
+    assert_eq!(k10.len(), 10);
+    for (a, b) in k5.iter().zip(&k10) {
+        assert_eq!(a.0, b.0);
+        assert!((a.1 - b.1).abs() < 1e-12);
+    }
+    // And run() equals the top-1.
+    let single = solver.run(&w.clients, &w.existing, &w.candidates);
+    assert_eq!(single.answer, Some(k10[0].0));
+    assert!((single.objective - k10[0].1).abs() < 1e-12);
+}

@@ -1,0 +1,122 @@
+//! Error types for venue construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{DoorId, PartitionId};
+
+/// Errors raised while building or validating a [`crate::Venue`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum VenueError {
+    /// A door references a partition id that was never added.
+    UnknownPartition {
+        /// The offending door.
+        door: DoorId,
+        /// The dangling partition reference.
+        partition: PartitionId,
+    },
+    /// A door's position lies outside the footprint of a partition it
+    /// claims to connect.
+    DoorOutsidePartition {
+        /// The offending door.
+        door: DoorId,
+        /// The partition whose footprint does not contain the door.
+        partition: PartitionId,
+    },
+    /// A door's level is outside the level span of a partition it connects.
+    DoorLevelMismatch {
+        /// The offending door.
+        door: DoorId,
+        /// The partition whose level span does not include the door level.
+        partition: PartitionId,
+    },
+    /// A door connects a partition to itself.
+    SelfLoopDoor {
+        /// The offending door.
+        door: DoorId,
+    },
+    /// A partition has no doors at all, making it unreachable.
+    DoorlessPartition {
+        /// The isolated partition.
+        partition: PartitionId,
+    },
+    /// The door graph is not connected: some doors cannot reach others.
+    Disconnected {
+        /// A door in the main connected component.
+        reachable: DoorId,
+        /// A door that cannot be reached from `reachable`.
+        unreachable: DoorId,
+    },
+    /// The venue has no partitions.
+    Empty,
+    /// A partition spans an inverted level range (`min > max`).
+    InvertedLevels {
+        /// The offending partition.
+        partition: PartitionId,
+    },
+    /// The configured level height is not strictly positive and finite.
+    BadLevelHeight {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for VenueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VenueError::UnknownPartition { door, partition } => {
+                write!(f, "door {door} references unknown partition {partition}")
+            }
+            VenueError::DoorOutsidePartition { door, partition } => {
+                write!(f, "door {door} lies outside the footprint of partition {partition}")
+            }
+            VenueError::DoorLevelMismatch { door, partition } => {
+                write!(f, "door {door} is on a level outside partition {partition}'s span")
+            }
+            VenueError::SelfLoopDoor { door } => {
+                write!(f, "door {door} connects a partition to itself")
+            }
+            VenueError::DoorlessPartition { partition } => {
+                write!(f, "partition {partition} has no doors and is unreachable")
+            }
+            VenueError::Disconnected {
+                reachable,
+                unreachable,
+            } => write!(
+                f,
+                "door graph is disconnected: {unreachable} is unreachable from {reachable}"
+            ),
+            VenueError::Empty => write!(f, "venue has no partitions"),
+            VenueError::InvertedLevels { partition } => {
+                write!(f, "partition {partition} spans an inverted level range")
+            }
+            VenueError::BadLevelHeight { value } => {
+                write!(f, "level height must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for VenueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_entities() {
+        let e = VenueError::DoorOutsidePartition {
+            door: DoorId::new(3),
+            partition: PartitionId::new(9),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("d3"));
+        assert!(msg.contains("p9"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn Error> = Box::new(VenueError::Empty);
+        assert_eq!(e.to_string(), "venue has no partitions");
+    }
+}

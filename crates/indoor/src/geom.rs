@@ -1,0 +1,184 @@
+//! Planar + multi-level geometry primitives.
+//!
+//! Indoor venues are modeled as axis-aligned rectangular partitions stacked
+//! on integer levels. Distances *within* a partition are straight lines; the
+//! vertical component of a line crossing levels (inside a stairwell) is
+//! scaled by the venue's level height.
+
+/// A located point: planar coordinates plus the integer level it lies on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// Planar x coordinate in meters.
+    pub x: f64,
+    /// Planar y coordinate in meters.
+    pub y: f64,
+    /// Building level (floor). Level 0 is the ground floor.
+    pub level: i32,
+}
+
+impl Point {
+    /// Creates a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64, level: i32) -> Self {
+        Self { x, y, level }
+    }
+
+    /// Planar (xy) Euclidean distance, ignoring levels.
+    #[inline]
+    pub fn planar_dist(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Straight-line distance where a level difference contributes
+    /// `level_height` meters per level.
+    ///
+    /// This is the in-partition travel distance used throughout the
+    /// workspace: for same-level points it degenerates to the planar
+    /// Euclidean distance, and inside a stairwell it accounts for the
+    /// vertical travel between the stairwell's doors.
+    #[inline]
+    pub fn dist(&self, other: &Point, level_height: f64) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = f64::from(self.level - other.level) * level_height;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+/// An axis-aligned rectangle: the planar footprint of a partition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    /// Minimum x coordinate.
+    pub min_x: f64,
+    /// Minimum y coordinate.
+    pub min_y: f64,
+    /// Maximum x coordinate.
+    pub max_x: f64,
+    /// Maximum y coordinate.
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle is inverted or degenerate in debug builds.
+    #[inline]
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        debug_assert!(min_x <= max_x, "inverted rect on x axis");
+        debug_assert!(min_y <= max_y, "inverted rect on y axis");
+        Self {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// Rectangle width along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Rectangle height along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Rectangle area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Planar center of the rectangle.
+    #[inline]
+    pub fn center(&self) -> (f64, f64) {
+        (
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+
+    /// Whether the planar point `(x, y)` lies inside or on the boundary,
+    /// with a small tolerance so that doors sitting exactly on shared walls
+    /// belong to both partitions.
+    #[inline]
+    pub fn contains_xy(&self, x: f64, y: f64) -> bool {
+        const EPS: f64 = 1e-9;
+        x >= self.min_x - EPS && x <= self.max_x + EPS && y >= self.min_y - EPS && y <= self.max_y + EPS
+    }
+
+    /// Smallest rectangle covering both `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planar_distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0, 0);
+        let b = Point::new(3.0, 4.0, 0);
+        assert_eq!(a.planar_dist(&b), 5.0);
+        assert_eq!(a.dist(&b, 5.0), 5.0);
+    }
+
+    #[test]
+    fn level_difference_scales_by_height() {
+        let a = Point::new(0.0, 0.0, 0);
+        let b = Point::new(0.0, 0.0, 2);
+        assert_eq!(a.dist(&b, 5.0), 10.0);
+        let c = Point::new(3.0, 0.0, 1);
+        // sqrt(3^2 + 4^2) with one level of 4m.
+        assert_eq!(a.dist(&c, 4.0), 5.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0, 0);
+        let b = Point::new(-3.0, 7.5, 3);
+        assert_eq!(a.dist(&b, 5.0), b.dist(&a, 5.0));
+    }
+
+    #[test]
+    fn rect_contains_boundary_points() {
+        let r = Rect::new(0.0, 0.0, 10.0, 5.0);
+        assert!(r.contains_xy(0.0, 0.0));
+        assert!(r.contains_xy(10.0, 5.0));
+        assert!(r.contains_xy(5.0, 2.5));
+        assert!(!r.contains_xy(10.1, 2.0));
+        assert!(!r.contains_xy(5.0, -0.1));
+    }
+
+    #[test]
+    fn rect_measures() {
+        let r = Rect::new(1.0, 2.0, 4.0, 10.0);
+        assert_eq!(r.width(), 3.0);
+        assert_eq!(r.height(), 8.0);
+        assert_eq!(r.area(), 24.0);
+        assert_eq!(r.center(), (2.5, 6.0));
+    }
+
+    #[test]
+    fn rect_union_covers_both() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(2.0, -1.0, 3.0, 0.5);
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(0.0, -1.0, 3.0, 1.0));
+    }
+}

@@ -1,0 +1,503 @@
+//! The door graph of a venue and exact indoor shortest distances.
+//!
+//! Following the doors-graph model (Yang et al., EDBT 2010): one vertex per
+//! door, and an edge between every two doors sharing a partition, weighted by
+//! the in-partition straight-line distance. All indoor shortest distances
+//! decompose exactly over this graph because movement between partitions is
+//! only possible through doors and partitions are convex.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::ids::{DoorId, PartitionId};
+use crate::venue::{IndoorPoint, Venue};
+
+/// A min-heap entry ordered by distance (then vertex, for determinism).
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    dist: f64,
+    vertex: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so that BinaryHeap (a max-heap) pops the smallest first.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// The door graph: adjacency lists over door vertices.
+#[derive(Clone, Debug)]
+pub struct DoorGraph {
+    adj: Vec<Vec<(u32, f64)>>,
+    num_edges: usize,
+}
+
+impl DoorGraph {
+    /// Builds the door graph of a venue: for every partition, a clique over
+    /// its doors weighted by the in-partition straight-line distance.
+    ///
+    /// Parallel edges between the same door pair (doors sharing *two*
+    /// partitions) are kept; Dijkstra naturally uses the cheaper one.
+    pub fn build(venue: &Venue) -> Self {
+        let n = venue.num_doors();
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        let mut num_edges = 0usize;
+        for part in venue.partitions() {
+            let doors = part.doors();
+            for (i, &a) in doors.iter().enumerate() {
+                for &b in &doors[i + 1..] {
+                    let w = venue.straight_dist(&venue.door(a).pos(), &venue.door(b).pos());
+                    adj[a.index()].push((b.raw(), w));
+                    adj[b.index()].push((a.raw(), w));
+                    num_edges += 1;
+                }
+            }
+        }
+        Self { adj, num_edges }
+    }
+
+    /// Number of door vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges (parallel edges counted).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Neighbors of a door with edge weights.
+    #[inline]
+    pub fn neighbors(&self, d: DoorId) -> &[(u32, f64)] {
+        &self.adj[d.index()]
+    }
+
+    /// Single-source shortest distances from one door to every door.
+    pub fn sssp(&self, from: DoorId) -> Vec<f64> {
+        self.sssp_seeded(std::iter::once((from, 0.0)))
+    }
+
+    /// Single-source shortest distances plus, for every reachable door, the
+    /// *first-hop* door: the first vertex after `from` on a shortest path.
+    ///
+    /// The first hop of `from` itself is `from`; unreachable doors keep
+    /// `u32::MAX`. VIP-tree matrices store these hops for path
+    /// reconstruction, exactly as the paper describes.
+    pub fn sssp_with_first_hop(&self, from: DoorId) -> (Vec<f64>, Vec<u32>) {
+        let n = self.adj.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut hop = vec![u32::MAX; n];
+        let mut heap = BinaryHeap::new();
+        dist[from.index()] = 0.0;
+        hop[from.index()] = from.raw();
+        heap.push(HeapEntry {
+            dist: 0.0,
+            vertex: from.raw(),
+        });
+        while let Some(HeapEntry { dist: cur, vertex }) = heap.pop() {
+            let v = vertex as usize;
+            if cur > dist[v] {
+                continue;
+            }
+            for &(u, w) in &self.adj[v] {
+                let next = cur + w;
+                if next < dist[u as usize] {
+                    dist[u as usize] = next;
+                    hop[u as usize] = if vertex == from.raw() { u } else { hop[v] };
+                    heap.push(HeapEntry {
+                        dist: next,
+                        vertex: u,
+                    });
+                }
+            }
+        }
+        (dist, hop)
+    }
+
+    /// Single-source shortest distances plus, for every reachable door, its
+    /// *predecessor* on a shortest path from `from` (`u32::MAX` when
+    /// unreachable; `from` is its own predecessor). Walking predecessors
+    /// back from any target reconstructs a full shortest path.
+    pub fn sssp_with_predecessor(&self, from: DoorId) -> (Vec<f64>, Vec<u32>) {
+        let n = self.adj.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut pred = vec![u32::MAX; n];
+        let mut heap = BinaryHeap::new();
+        dist[from.index()] = 0.0;
+        pred[from.index()] = from.raw();
+        heap.push(HeapEntry {
+            dist: 0.0,
+            vertex: from.raw(),
+        });
+        while let Some(HeapEntry { dist: cur, vertex }) = heap.pop() {
+            let v = vertex as usize;
+            if cur > dist[v] {
+                continue;
+            }
+            for &(u, w) in &self.adj[v] {
+                let next = cur + w;
+                if next < dist[u as usize] {
+                    dist[u as usize] = next;
+                    pred[u as usize] = vertex;
+                    heap.push(HeapEntry {
+                        dist: next,
+                        vertex: u,
+                    });
+                }
+            }
+        }
+        (dist, pred)
+    }
+
+    /// Shortest distances to every door from a *virtual source* attached to
+    /// the given doors with the given initial offsets.
+    ///
+    /// This computes, for every door `d`, `min_i (offset_i + d2d(seed_i, d))`
+    /// in a single Dijkstra run — the distance from an interior point to all
+    /// doors, when seeded with the point's distances to its partition's
+    /// doors.
+    pub fn sssp_seeded(&self, seeds: impl IntoIterator<Item = (DoorId, f64)>) -> Vec<f64> {
+        let n = self.adj.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut heap = BinaryHeap::new();
+        for (d, offset) in seeds {
+            if offset < dist[d.index()] {
+                dist[d.index()] = offset;
+                heap.push(HeapEntry {
+                    dist: offset,
+                    vertex: d.raw(),
+                });
+            }
+        }
+        while let Some(HeapEntry { dist: cur, vertex }) = heap.pop() {
+            let v = vertex as usize;
+            if cur > dist[v] {
+                continue;
+            }
+            for &(u, w) in &self.adj[v] {
+                let next = cur + w;
+                if next < dist[u as usize] {
+                    dist[u as usize] = next;
+                    heap.push(HeapEntry {
+                        dist: next,
+                        vertex: u,
+                    });
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// Exact indoor distances, backed by an all-pairs door-to-door matrix.
+///
+/// This is the ground-truth oracle the VIP-tree is validated against and the
+/// source of the distance matrices stored in VIP-tree nodes. Construction
+/// runs one Dijkstra per door; queries are closed-form minima over partition
+/// doors.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    matrix: Vec<f64>,
+    n: usize,
+}
+
+impl GroundTruth {
+    /// Computes the full door-to-door distance matrix of a venue.
+    pub fn compute(venue: &Venue) -> Self {
+        let graph = DoorGraph::build(venue);
+        Self::from_graph(&graph)
+    }
+
+    /// Computes the matrix from a pre-built door graph.
+    pub fn from_graph(graph: &DoorGraph) -> Self {
+        let n = graph.num_vertices();
+        let mut matrix = vec![f64::INFINITY; n * n];
+        for i in 0..n {
+            let row = graph.sssp(DoorId::from_index(i));
+            matrix[i * n..(i + 1) * n].copy_from_slice(&row);
+        }
+        Self { matrix, n }
+    }
+
+    /// Number of doors covered by the matrix.
+    #[inline]
+    pub fn num_doors(&self) -> usize {
+        self.n
+    }
+
+    /// Exact door-to-door indoor distance.
+    #[inline]
+    pub fn d2d(&self, a: DoorId, b: DoorId) -> f64 {
+        self.matrix[a.index() * self.n + b.index()]
+    }
+
+    /// Exact indoor distance between two located points.
+    pub fn point_to_point(&self, venue: &Venue, a: &IndoorPoint, b: &IndoorPoint) -> f64 {
+        if a.partition == b.partition {
+            return venue.straight_dist(&a.pos, &b.pos);
+        }
+        let mut best = f64::INFINITY;
+        for &ds in venue.partition(a.partition).doors() {
+            let leg_a = venue.point_to_door(a, ds);
+            for &dt in venue.partition(b.partition).doors() {
+                let total = leg_a + self.d2d(ds, dt) + venue.point_to_door(b, dt);
+                if total < best {
+                    best = total;
+                }
+            }
+        }
+        best
+    }
+
+    /// Exact indoor distance from a located point to a partition, where the
+    /// partition is reached as soon as any of its doors is reached
+    /// (partition-to-own-door distance is 0, per the paper's §5.3.1).
+    pub fn point_to_partition(&self, venue: &Venue, a: &IndoorPoint, q: PartitionId) -> f64 {
+        if a.partition == q {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for &ds in venue.partition(a.partition).doors() {
+            let leg_a = venue.point_to_door(a, ds);
+            for &dt in venue.partition(q).doors() {
+                let total = leg_a + self.d2d(ds, dt);
+                if total < best {
+                    best = total;
+                }
+            }
+        }
+        best
+    }
+
+    /// Exact minimum indoor distance between two partitions (`iMinD` of the
+    /// paper, with both partition-to-own-door distances 0).
+    pub fn partition_to_partition(&self, venue: &Venue, p: PartitionId, q: PartitionId) -> f64 {
+        if p == q {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for &ds in venue.partition(p).doors() {
+            for &dt in venue.partition(q).doors() {
+                let d = self.d2d(ds, dt);
+                if d < best {
+                    best = d;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point, Rect};
+    use crate::venue::{PartitionKind, VenueBuilder};
+
+    /// Three rooms in a row: [0,10] | [10,20] | [20,30], doors at x=10 and
+    /// x=20, both at y=5.
+    fn line_venue() -> Venue {
+        let mut b = VenueBuilder::new("line");
+        let p0 = b.add_partition("p0", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
+        let p1 = b.add_partition("p1", Rect::new(10.0, 0.0, 20.0, 10.0), 0, PartitionKind::Room);
+        let p2 = b.add_partition("p2", Rect::new(20.0, 0.0, 30.0, 10.0), 0, PartitionKind::Room);
+        b.add_door(Point::new(10.0, 5.0, 0), p0, Some(p1));
+        b.add_door(Point::new(20.0, 5.0, 0), p1, Some(p2));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn door_graph_shape() {
+        let v = line_venue();
+        let g = DoorGraph::build(&v);
+        assert_eq!(g.num_vertices(), 2);
+        // One edge through the middle room.
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(DoorId::new(0)).len(), 1);
+        assert_eq!(g.neighbors(DoorId::new(0))[0], (1, 10.0));
+    }
+
+    #[test]
+    fn sssp_on_line() {
+        let v = line_venue();
+        let g = DoorGraph::build(&v);
+        let d = g.sssp(DoorId::new(0));
+        assert_eq!(d, vec![0.0, 10.0]);
+    }
+
+    #[test]
+    fn sssp_first_hop_points_along_shortest_path() {
+        let v = line_venue();
+        let g = DoorGraph::build(&v);
+        let (dist, hop) = g.sssp_with_first_hop(DoorId::new(0));
+        assert_eq!(dist, vec![0.0, 10.0]);
+        assert_eq!(hop[0], 0);
+        assert_eq!(hop[1], 1);
+    }
+
+    #[test]
+    fn sssp_first_hop_multi_step() {
+        // Four rooms in a row: three doors; from door0, first hop to door2
+        // must be door1.
+        let mut b = VenueBuilder::new("line4");
+        let mut prev = b.add_partition("p0", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
+        let mut doors = Vec::new();
+        for i in 1..4 {
+            let x0 = f64::from(i) * 10.0;
+            let p = b.add_partition(
+                format!("p{i}"),
+                Rect::new(x0, 0.0, x0 + 10.0, 10.0),
+                0,
+                PartitionKind::Room,
+            );
+            doors.push(b.add_door(Point::new(x0, 5.0, 0), prev, Some(p)));
+            prev = p;
+        }
+        let v = b.build().unwrap();
+        let g = DoorGraph::build(&v);
+        let (dist, hop) = g.sssp_with_first_hop(doors[0]);
+        assert_eq!(dist, vec![0.0, 10.0, 20.0]);
+        assert_eq!(hop[doors[1].index()], doors[1].raw());
+        assert_eq!(hop[doors[2].index()], doors[1].raw());
+    }
+
+    #[test]
+    fn sssp_predecessor_walk_reconstructs_paths() {
+        let mut b = VenueBuilder::new("line4");
+        let mut prev = b.add_partition("p0", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
+        let mut doors = Vec::new();
+        for i in 1..4 {
+            let x0 = f64::from(i) * 10.0;
+            let p = b.add_partition(
+                format!("p{i}"),
+                Rect::new(x0, 0.0, x0 + 10.0, 10.0),
+                0,
+                PartitionKind::Room,
+            );
+            doors.push(b.add_door(Point::new(x0, 5.0, 0), prev, Some(p)));
+            prev = p;
+        }
+        let v = b.build().unwrap();
+        let g = DoorGraph::build(&v);
+        let (dist, pred) = g.sssp_with_predecessor(doors[0]);
+        assert_eq!(dist, vec![0.0, 10.0, 20.0]);
+        assert_eq!(pred[doors[0].index()], doors[0].raw());
+        assert_eq!(pred[doors[1].index()], doors[0].raw());
+        assert_eq!(pred[doors[2].index()], doors[1].raw());
+    }
+
+    #[test]
+    fn sssp_seeded_takes_min_over_seeds() {
+        let v = line_venue();
+        let g = DoorGraph::build(&v);
+        let d = g.sssp_seeded([(DoorId::new(0), 3.0), (DoorId::new(1), 1.0)]);
+        assert_eq!(d, vec![3.0, 1.0]);
+        // A large offset on the nearer seed loses to the path through the
+        // other seed.
+        let d = g.sssp_seeded([(DoorId::new(0), 0.0), (DoorId::new(1), 100.0)]);
+        assert_eq!(d, vec![0.0, 10.0]);
+    }
+
+    #[test]
+    fn ground_truth_point_to_point() {
+        let v = line_venue();
+        let gt = GroundTruth::compute(&v);
+        let a = IndoorPoint::new(PartitionId::new(0), Point::new(5.0, 5.0, 0));
+        let c = IndoorPoint::new(PartitionId::new(2), Point::new(25.0, 5.0, 0));
+        // 5 to door0 + 10 to door1 + 5 into p2.
+        assert_eq!(gt.point_to_point(&v, &a, &c), 20.0);
+        // Same partition: straight line.
+        let a2 = IndoorPoint::new(PartitionId::new(0), Point::new(1.0, 5.0, 0));
+        assert_eq!(gt.point_to_point(&v, &a, &a2), 4.0);
+        // Symmetry.
+        assert_eq!(gt.point_to_point(&v, &c, &a), 20.0);
+    }
+
+    #[test]
+    fn ground_truth_point_to_partition() {
+        let v = line_venue();
+        let gt = GroundTruth::compute(&v);
+        let a = IndoorPoint::new(PartitionId::new(0), Point::new(5.0, 5.0, 0));
+        assert_eq!(gt.point_to_partition(&v, &a, PartitionId::new(0)), 0.0);
+        // Reaching p1 means reaching door0.
+        assert_eq!(gt.point_to_partition(&v, &a, PartitionId::new(1)), 5.0);
+        assert_eq!(gt.point_to_partition(&v, &a, PartitionId::new(2)), 15.0);
+    }
+
+    #[test]
+    fn ground_truth_partition_to_partition() {
+        let v = line_venue();
+        let gt = GroundTruth::compute(&v);
+        let p0 = PartitionId::new(0);
+        let p1 = PartitionId::new(1);
+        let p2 = PartitionId::new(2);
+        assert_eq!(gt.partition_to_partition(&v, p0, p0), 0.0);
+        // p0 and p1 share door0.
+        assert_eq!(gt.partition_to_partition(&v, p0, p1), 0.0);
+        assert_eq!(gt.partition_to_partition(&v, p0, p2), 10.0);
+        assert_eq!(gt.partition_to_partition(&v, p2, p0), 10.0);
+    }
+
+    #[test]
+    fn multi_level_distance_goes_through_stairwell() {
+        let mut b = VenueBuilder::new("stairs");
+        b.level_height(5.0);
+        let low = b.add_partition("low", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
+        let stair = b.add_spanning_partition(
+            "stair",
+            Rect::new(10.0, 0.0, 12.0, 10.0),
+            0,
+            1,
+            PartitionKind::Stairwell,
+        );
+        let high = b.add_partition("high", Rect::new(0.0, 0.0, 10.0, 10.0), 1, PartitionKind::Room);
+        b.add_door(Point::new(10.0, 5.0, 0), low, Some(stair));
+        b.add_door(Point::new(10.0, 5.0, 1), stair, Some(high));
+        let v = b.build().unwrap();
+        let gt = GroundTruth::compute(&v);
+        let a = IndoorPoint::new(low, Point::new(5.0, 5.0, 0));
+        let c = IndoorPoint::new(high, Point::new(5.0, 5.0, 1));
+        // 5 to stair door + 5 vertical + 5 back.
+        assert!((gt.point_to_point(&v, &a, &c) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality_on_sampled_points() {
+        let v = line_venue();
+        let gt = GroundTruth::compute(&v);
+        let pts = [
+            IndoorPoint::new(PartitionId::new(0), Point::new(2.0, 3.0, 0)),
+            IndoorPoint::new(PartitionId::new(1), Point::new(15.0, 8.0, 0)),
+            IndoorPoint::new(PartitionId::new(2), Point::new(28.0, 1.0, 0)),
+        ];
+        for a in &pts {
+            for b in &pts {
+                for c in &pts {
+                    let ab = gt.point_to_point(&v, a, b);
+                    let bc = gt.point_to_point(&v, b, c);
+                    let ac = gt.point_to_point(&v, a, c);
+                    assert!(ac <= ab + bc + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Typed identifiers for indoor entities.
+//!
+//! All per-entity state in this workspace is stored in dense vectors indexed
+//! by these ids, so they are thin `u32` newtypes with explicit conversions —
+//! no hashing is needed on hot paths.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw `u32`.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Creates an id from a dense vector index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `idx` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(idx: usize) -> Self {
+                Self(u32::try_from(idx).expect("entity index exceeds u32::MAX"))
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the dense vector index for this id.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an indoor partition (room, corridor, hall or stairwell).
+    PartitionId,
+    "p"
+);
+
+define_id!(
+    /// Identifier of a door connecting one or two partitions.
+    DoorId,
+    "d"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let p = PartitionId::from_index(42);
+        assert_eq!(p.index(), 42);
+        assert_eq!(p.raw(), 42);
+        assert_eq!(p, PartitionId::new(42));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(PartitionId::new(7).to_string(), "p7");
+        assert_eq!(DoorId::new(3).to_string(), "d3");
+        assert_eq!(format!("{:?}", DoorId::new(3)), "d3");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(DoorId::new(1) < DoorId::new(2));
+        assert!(PartitionId::new(0) < PartitionId::new(100));
+    }
+}

@@ -1,0 +1,428 @@
+//! A plain-text venue interchange format.
+//!
+//! Users bring their own floorplans; this module gives them a stable,
+//! diff-friendly way to do it without pulling in a serialization
+//! framework. The format is line-based:
+//!
+//! ```text
+//! ifls-venue v1
+//! name My Building
+//! level-height 5
+//! # kind lvl_min lvl_max min_x min_y max_x max_y category name…
+//! partition room 0 0 0 0 10 10 - Reception
+//! partition corridor 0 0 0 10 30 14 - Main corridor
+//! partition stairwell 0 1 28 10 30 14 - Stair A
+//! # x y level side_a side_b (- for exterior doors)
+//! door 5 10 0 0 1
+//! door 29 12 0 1 2
+//! door 29 12 1 2 -
+//! ```
+//!
+//! Partition and door ids are implicit: the n-th `partition` line defines
+//! partition `n`, likewise for doors. Category is a small integer or `-`.
+//! Everything after the category field is the partition name (may contain
+//! spaces). Blank lines and `#` comments are ignored. Parsing ends with
+//! full venue validation, so a loaded venue carries the same guarantees as
+//! a built one.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::error::VenueError;
+use crate::geom::{Point, Rect};
+use crate::venue::{PartitionKind, Venue, VenueBuilder};
+
+/// Errors raised while parsing the text format.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VenueParseError {
+    /// The `ifls-venue v1` header line is missing or wrong.
+    MissingHeader,
+    /// A line starts with an unknown directive.
+    UnknownDirective {
+        /// 1-based line number.
+        line: usize,
+        /// The offending directive word.
+        directive: String,
+    },
+    /// A directive has the wrong number of fields.
+    BadFieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// What was being parsed.
+        context: &'static str,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The text that failed to parse.
+        field: String,
+    },
+    /// An unknown partition kind.
+    BadKind {
+        /// 1-based line number.
+        line: usize,
+        /// The text that failed to parse.
+        kind: String,
+    },
+    /// The assembled venue failed validation.
+    Invalid(VenueError),
+}
+
+impl fmt::Display for VenueParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VenueParseError::MissingHeader => {
+                write!(f, "missing `ifls-venue v1` header line")
+            }
+            VenueParseError::UnknownDirective { line, directive } => {
+                write!(f, "line {line}: unknown directive `{directive}`")
+            }
+            VenueParseError::BadFieldCount { line, context } => {
+                write!(f, "line {line}: wrong number of fields for {context}")
+            }
+            VenueParseError::BadNumber { line, field } => {
+                write!(f, "line {line}: `{field}` is not a valid number")
+            }
+            VenueParseError::BadKind { line, kind } => {
+                write!(f, "line {line}: unknown partition kind `{kind}`")
+            }
+            VenueParseError::Invalid(e) => write!(f, "venue validation failed: {e}"),
+        }
+    }
+}
+
+impl Error for VenueParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VenueParseError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+fn kind_label(kind: PartitionKind) -> &'static str {
+    match kind {
+        PartitionKind::Room => "room",
+        PartitionKind::Corridor => "corridor",
+        PartitionKind::Hall => "hall",
+        PartitionKind::Stairwell => "stairwell",
+    }
+}
+
+fn parse_kind(s: &str, line: usize) -> Result<PartitionKind, VenueParseError> {
+    match s {
+        "room" => Ok(PartitionKind::Room),
+        "corridor" => Ok(PartitionKind::Corridor),
+        "hall" => Ok(PartitionKind::Hall),
+        "stairwell" => Ok(PartitionKind::Stairwell),
+        _ => Err(VenueParseError::BadKind {
+            line,
+            kind: s.to_string(),
+        }),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, line: usize) -> Result<T, VenueParseError> {
+    s.parse().map_err(|_| VenueParseError::BadNumber {
+        line,
+        field: s.to_string(),
+    })
+}
+
+impl Venue {
+    /// Serializes the venue to the text format.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        out.push_str("ifls-venue v1\n");
+        let _ = writeln!(out, "name {}", self.name());
+        let _ = writeln!(out, "level-height {}", self.level_height());
+        out.push_str("# kind lvl_min lvl_max min_x min_y max_x max_y category name…\n");
+        for p in self.partitions() {
+            let r = p.rect();
+            let cat = p
+                .category()
+                .map_or_else(|| "-".to_string(), |c| c.to_string());
+            let _ = writeln!(
+                out,
+                "partition {} {} {} {} {} {} {} {} {}",
+                kind_label(p.kind()),
+                p.level_min(),
+                p.level_max(),
+                r.min_x,
+                r.min_y,
+                r.max_x,
+                r.max_y,
+                cat,
+                p.name()
+            );
+        }
+        out.push_str("# x y level side_a side_b\n");
+        for d in self.doors() {
+            let b = d
+                .side_b()
+                .map_or_else(|| "-".to_string(), |p| p.raw().to_string());
+            let _ = writeln!(
+                out,
+                "door {} {} {} {} {}",
+                d.pos().x,
+                d.pos().y,
+                d.pos().level,
+                d.side_a().raw(),
+                b
+            );
+        }
+        out
+    }
+
+    /// Parses a venue from the text format and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VenueParseError`] describing the first malformed line,
+    /// or the [`VenueError`] raised by validation.
+    pub fn from_text(text: &str) -> Result<Venue, VenueParseError> {
+        let mut lines = text.lines().enumerate();
+        // Header.
+        let header = loop {
+            match lines.next() {
+                None => return Err(VenueParseError::MissingHeader),
+                Some((_, l)) if l.trim().is_empty() || l.trim_start().starts_with('#') => continue,
+                Some((_, l)) => break l.trim(),
+            }
+        };
+        if header != "ifls-venue v1" {
+            return Err(VenueParseError::MissingHeader);
+        }
+
+        let mut builder = VenueBuilder::new("unnamed");
+        let mut name: Option<String> = None;
+        let mut categories: Vec<(crate::PartitionId, u8)> = Vec::new();
+        for (idx, raw) in lines {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let directive = fields.next().expect("non-empty line");
+            match directive {
+                "name" => {
+                    let rest = line["name".len()..].trim();
+                    if rest.is_empty() {
+                        return Err(VenueParseError::BadFieldCount {
+                            line: line_no,
+                            context: "name",
+                        });
+                    }
+                    name = Some(rest.to_string());
+                }
+                "level-height" => {
+                    let v = fields.next().ok_or(VenueParseError::BadFieldCount {
+                        line: line_no,
+                        context: "level-height",
+                    })?;
+                    builder.level_height(parse_num(v, line_no)?);
+                }
+                "partition" => {
+                    let mut take = || {
+                        fields.next().ok_or(VenueParseError::BadFieldCount {
+                            line: line_no,
+                            context: "partition",
+                        })
+                    };
+                    let kind = parse_kind(take()?, line_no)?;
+                    let lvl_min: i32 = parse_num(take()?, line_no)?;
+                    let lvl_max: i32 = parse_num(take()?, line_no)?;
+                    let min_x: f64 = parse_num(take()?, line_no)?;
+                    let min_y: f64 = parse_num(take()?, line_no)?;
+                    let max_x: f64 = parse_num(take()?, line_no)?;
+                    let max_y: f64 = parse_num(take()?, line_no)?;
+                    let cat_field = take()?;
+                    let pname: String = {
+                        let rest: Vec<&str> = fields.collect();
+                        if rest.is_empty() {
+                            format!("p{}", builder.num_partitions())
+                        } else {
+                            rest.join(" ")
+                        }
+                    };
+                    let id = builder.add_spanning_partition(
+                        pname,
+                        Rect::new(min_x, min_y, max_x, max_y),
+                        lvl_min,
+                        lvl_max,
+                        kind,
+                    );
+                    if cat_field != "-" {
+                        categories.push((id, parse_num(cat_field, line_no)?));
+                    }
+                }
+                "door" => {
+                    let mut take = || {
+                        fields.next().ok_or(VenueParseError::BadFieldCount {
+                            line: line_no,
+                            context: "door",
+                        })
+                    };
+                    let x: f64 = parse_num(take()?, line_no)?;
+                    let y: f64 = parse_num(take()?, line_no)?;
+                    let level: i32 = parse_num(take()?, line_no)?;
+                    let a: u32 = parse_num(take()?, line_no)?;
+                    let b_field = take()?;
+                    let b = if b_field == "-" {
+                        None
+                    } else {
+                        Some(crate::PartitionId::new(parse_num(b_field, line_no)?))
+                    };
+                    builder.add_door(Point::new(x, y, level), crate::PartitionId::new(a), b);
+                }
+                other => {
+                    return Err(VenueParseError::UnknownDirective {
+                        line: line_no,
+                        directive: other.to_string(),
+                    })
+                }
+            }
+        }
+        for (id, cat) in categories {
+            builder.set_category(id, cat);
+        }
+        if let Some(n) = name {
+            builder.set_name(n);
+        }
+        builder.build().map_err(VenueParseError::Invalid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> &'static str {
+        r#"ifls-venue v1
+name Test Building
+level-height 4.5
+
+# two rooms and a corridor
+partition room 0 0 0 0 10 10 2 Reception desk
+partition corridor 0 0 0 10 30 14 - Main corridor
+partition stairwell 0 1 28 10 30 14 - Stair A
+partition room 1 1 10 10 30 14 - Upstairs office
+door 5 10 0 0 1
+door 29 12 0 1 2
+door 29 12 1 2 3
+door 0 12 0 1 -
+"#
+    }
+
+    #[test]
+    fn parses_sample_and_validates() {
+        let v = Venue::from_text(sample()).unwrap();
+        assert_eq!(v.name(), "Test Building");
+        assert_eq!(v.level_height(), 4.5);
+        assert_eq!(v.num_partitions(), 4);
+        assert_eq!(v.num_doors(), 4);
+        assert_eq!(v.partitions()[0].name(), "Reception desk");
+        assert_eq!(v.partitions()[0].category(), Some(2));
+        assert_eq!(v.partitions()[1].category(), None);
+        assert_eq!(v.partitions()[2].kind(), PartitionKind::Stairwell);
+        assert_eq!(v.doors()[3].side_b(), None);
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let v = Venue::from_text(sample()).unwrap();
+        let text = v.to_text();
+        let v2 = Venue::from_text(&text).unwrap();
+        assert_eq!(v.name(), v2.name());
+        assert_eq!(v.num_partitions(), v2.num_partitions());
+        assert_eq!(v.num_doors(), v2.num_doors());
+        for (a, b) in v.partitions().iter().zip(v2.partitions()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.rect(), b.rect());
+            assert_eq!(a.kind(), b.kind());
+            assert_eq!(a.category(), b.category());
+            assert_eq!((a.level_min(), a.level_max()), (b.level_min(), b.level_max()));
+        }
+        for (a, b) in v.doors().iter().zip(v2.doors()) {
+            assert_eq!(a.pos(), b.pos());
+            assert_eq!(a.side_a(), b.side_a());
+            assert_eq!(a.side_b(), b.side_b());
+        }
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        assert_eq!(
+            Venue::from_text("partition room 0 0 0 0 1 1 - x").unwrap_err(),
+            VenueParseError::MissingHeader
+        );
+        assert_eq!(
+            Venue::from_text("").unwrap_err(),
+            VenueParseError::MissingHeader
+        );
+    }
+
+    #[test]
+    fn unknown_directive_reports_line() {
+        let text = "ifls-venue v1\nfrobnicate 1 2 3\n";
+        match Venue::from_text(text) {
+            Err(VenueParseError::UnknownDirective { line, directive }) => {
+                assert_eq!(line, 2);
+                assert_eq!(directive, "frobnicate");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_number_reports_field() {
+        let text = "ifls-venue v1\npartition room 0 0 zero 0 10 10 - x\n";
+        match Venue::from_text(text) {
+            Err(VenueParseError::BadNumber { field, .. }) => assert_eq!(field, "zero"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_kind_is_rejected() {
+        let text = "ifls-venue v1\npartition ballroom 0 0 0 0 10 10 - x\n";
+        assert!(matches!(
+            Venue::from_text(text),
+            Err(VenueParseError::BadKind { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_door_is_rejected() {
+        let text = "ifls-venue v1\npartition room 0 0 0 0 10 10 - x\ndoor 5 10\n";
+        assert!(matches!(
+            Venue::from_text(text),
+            Err(VenueParseError::BadFieldCount { context: "door", .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_venue_is_rejected_with_validation_error() {
+        // A doorless partition.
+        let text = "ifls-venue v1\npartition room 0 0 0 0 10 10 - lonely\n";
+        assert!(matches!(
+            Venue::from_text(text),
+            Err(VenueParseError::Invalid(VenueError::DoorlessPartition { .. }))
+        ));
+    }
+
+    #[test]
+    fn parse_errors_display_usefully() {
+        let e = VenueParseError::BadNumber {
+            line: 7,
+            field: "x".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = VenueParseError::Invalid(VenueError::Empty);
+        assert!(e.to_string().contains("validation failed"));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! Indoor space model for Indoor Facility Location Selection (IFLS) queries.
+//!
+//! This crate provides the substrate every other crate in the workspace builds
+//! on: a typed model of an indoor venue (partitions, doors, stairwells spread
+//! over multiple levels), a validated [`VenueBuilder`], the *door graph* of
+//! the venue, and exact indoor shortest-distance computation via Dijkstra
+//! ([`GroundTruth`]).
+//!
+//! # Model
+//!
+//! Following the indoor distance-aware model of Lu et al. (ICDE 2012) and the
+//! VIP-tree paper (Shao et al., PVLDB 2016) that the IFLS paper builds on:
+//!
+//! * A venue is a set of **partitions** (rooms, corridors, halls, stairwells)
+//!   and a set of **doors**. Movement *inside* a partition is free (straight
+//!   line); movement *between* partitions must pass through doors.
+//! * A **door** connects exactly one or two partitions (exterior doors have a
+//!   single side).
+//! * Levels are connected by **stairwell partitions** that span two or more
+//!   levels and have doors on different levels; the in-partition distance
+//!   accounts for the vertical travel via the venue's `level_height`.
+//! * The **door graph** has one vertex per door and an edge between every two
+//!   doors sharing a partition, weighted by the in-partition (straight-line)
+//!   distance. Indoor shortest distances decompose over this graph.
+//!
+//! # Example
+//!
+//! ```
+//! use ifls_indoor::{VenueBuilder, Point, Rect, PartitionKind};
+//!
+//! let mut b = VenueBuilder::new("two-rooms");
+//! let a = b.add_partition("a", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
+//! let c = b.add_partition("b", Rect::new(10.0, 0.0, 20.0, 10.0), 0, PartitionKind::Room);
+//! b.add_door(Point::new(10.0, 5.0, 0), a, Some(c));
+//! let venue = b.build().unwrap();
+//! assert_eq!(venue.num_partitions(), 2);
+//! assert_eq!(venue.num_doors(), 1);
+//! ```
+
+mod error;
+mod geom;
+mod graph;
+mod ids;
+mod io;
+mod venue;
+
+pub use error::VenueError;
+pub use io::VenueParseError;
+pub use geom::{Point, Rect};
+pub use graph::{DoorGraph, GroundTruth};
+pub use ids::{DoorId, PartitionId};
+pub use venue::{Door, IndoorPoint, Partition, PartitionKind, Venue, VenueBuilder};
+
+/// Default vertical distance between consecutive levels, in meters.
+///
+/// Used when a venue does not override it; the value matches a typical
+/// commercial-building floor pitch and determines the in-partition distance
+/// between doors of a stairwell on different levels.
+pub const DEFAULT_LEVEL_HEIGHT: f64 = 5.0;

@@ -1,0 +1,665 @@
+//! The venue model: partitions, doors and the validated [`VenueBuilder`].
+
+use crate::error::VenueError;
+use crate::geom::{Point, Rect};
+use crate::ids::{DoorId, PartitionId};
+use crate::DEFAULT_LEVEL_HEIGHT;
+
+/// The role a partition plays in the venue.
+///
+/// The distinction matters to generators (clients are placed in rooms and
+/// halls, not stairwells) and to human-readable output; the distance model
+/// treats all kinds identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PartitionKind {
+    /// An ordinary room (shop, office, gate area, patient room…).
+    Room,
+    /// A corridor connecting many rooms on one level.
+    Corridor,
+    /// A large open area (atrium, concourse, food court).
+    Hall,
+    /// A stairwell/escalator/elevator shaft spanning two or more levels.
+    Stairwell,
+}
+
+/// An indoor partition: a convex region on one level (or, for stairwells, a
+/// shaft spanning several levels) whose interior allows free movement.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    id: PartitionId,
+    name: String,
+    rect: Rect,
+    level_min: i32,
+    level_max: i32,
+    kind: PartitionKind,
+    doors: Vec<DoorId>,
+    category: Option<u8>,
+}
+
+impl Partition {
+    /// The partition's id.
+    #[inline]
+    pub fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// Human-readable name (unique only by convention).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Planar footprint.
+    #[inline]
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// Lowest level the partition touches.
+    #[inline]
+    pub fn level_min(&self) -> i32 {
+        self.level_min
+    }
+
+    /// Highest level the partition touches.
+    #[inline]
+    pub fn level_max(&self) -> i32 {
+        self.level_max
+    }
+
+    /// The partition's role.
+    #[inline]
+    pub fn kind(&self) -> PartitionKind {
+        self.kind
+    }
+
+    /// Ids of all doors on this partition's boundary.
+    #[inline]
+    pub fn doors(&self) -> &[DoorId] {
+        &self.doors
+    }
+
+    /// Venue-defined category index (e.g. "dining & entertainment" in the
+    /// Melbourne Central reconstruction), if assigned.
+    #[inline]
+    pub fn category(&self) -> Option<u8> {
+        self.category
+    }
+
+    /// Whether the given point lies within this partition (footprint and
+    /// level span).
+    pub fn contains(&self, p: &Point) -> bool {
+        p.level >= self.level_min && p.level <= self.level_max && self.rect.contains_xy(p.x, p.y)
+    }
+
+    /// A representative interior point: the planar center on the lowest
+    /// level.
+    pub fn center(&self) -> Point {
+        let (x, y) = self.rect.center();
+        Point::new(x, y, self.level_min)
+    }
+}
+
+/// A door connecting one partition to another (or to the outside).
+#[derive(Clone, Debug)]
+pub struct Door {
+    id: DoorId,
+    pos: Point,
+    side_a: PartitionId,
+    side_b: Option<PartitionId>,
+}
+
+impl Door {
+    /// The door's id.
+    #[inline]
+    pub fn id(&self) -> DoorId {
+        self.id
+    }
+
+    /// The door's position (including its level).
+    #[inline]
+    pub fn pos(&self) -> Point {
+        self.pos
+    }
+
+    /// First connected partition.
+    #[inline]
+    pub fn side_a(&self) -> PartitionId {
+        self.side_a
+    }
+
+    /// Second connected partition, or `None` for exterior doors.
+    #[inline]
+    pub fn side_b(&self) -> Option<PartitionId> {
+        self.side_b
+    }
+
+    /// Iterates over the partitions this door belongs to (one or two).
+    #[inline]
+    pub fn partitions(&self) -> impl Iterator<Item = PartitionId> + '_ {
+        std::iter::once(self.side_a).chain(self.side_b)
+    }
+
+    /// Given one side, returns the other, if any.
+    #[inline]
+    pub fn other_side(&self, from: PartitionId) -> Option<PartitionId> {
+        if from == self.side_a {
+            self.side_b
+        } else if Some(from) == self.side_b {
+            Some(self.side_a)
+        } else {
+            None
+        }
+    }
+}
+
+/// A point located inside a known partition — the representation of clients
+/// and of arbitrary indoor query points.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IndoorPoint {
+    /// The partition containing the point.
+    pub partition: PartitionId,
+    /// The point's coordinates.
+    pub pos: Point,
+}
+
+impl IndoorPoint {
+    /// Creates an indoor point.
+    #[inline]
+    pub const fn new(partition: PartitionId, pos: Point) -> Self {
+        Self { partition, pos }
+    }
+}
+
+/// A validated indoor venue.
+///
+/// Construct via [`VenueBuilder`]; a successfully built venue guarantees:
+/// every door's position lies within every partition it connects, every
+/// partition has at least one door, and the door graph is connected.
+#[derive(Clone, Debug)]
+pub struct Venue {
+    name: String,
+    partitions: Vec<Partition>,
+    doors: Vec<Door>,
+    level_height: f64,
+    levels: (i32, i32),
+    bounds: Rect,
+}
+
+impl Venue {
+    /// The venue's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Number of doors.
+    #[inline]
+    pub fn num_doors(&self) -> usize {
+        self.doors.len()
+    }
+
+    /// Vertical distance between consecutive levels, in meters.
+    #[inline]
+    pub fn level_height(&self) -> f64 {
+        self.level_height
+    }
+
+    /// Lowest and highest level of any partition.
+    #[inline]
+    pub fn levels(&self) -> (i32, i32) {
+        self.levels
+    }
+
+    /// Number of distinct levels spanned by the venue.
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        (self.levels.1 - self.levels.0 + 1) as usize
+    }
+
+    /// Planar bounding box of all partitions.
+    #[inline]
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Looks up a partition.
+    #[inline]
+    pub fn partition(&self, id: PartitionId) -> &Partition {
+        &self.partitions[id.index()]
+    }
+
+    /// Looks up a door.
+    #[inline]
+    pub fn door(&self, id: DoorId) -> &Door {
+        &self.doors[id.index()]
+    }
+
+    /// All partitions, in id order.
+    #[inline]
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// All doors, in id order.
+    #[inline]
+    pub fn doors(&self) -> &[Door] {
+        &self.doors
+    }
+
+    /// Iterates over partition ids.
+    pub fn partition_ids(&self) -> impl Iterator<Item = PartitionId> {
+        (0..self.partitions.len()).map(PartitionId::from_index)
+    }
+
+    /// Iterates over door ids.
+    pub fn door_ids(&self) -> impl Iterator<Item = DoorId> {
+        (0..self.doors.len()).map(DoorId::from_index)
+    }
+
+    /// In-partition straight-line travel distance between two points,
+    /// accounting for the venue's level height.
+    ///
+    /// The caller is responsible for both points lying in the same
+    /// partition; the distance itself is partition-agnostic.
+    #[inline]
+    pub fn straight_dist(&self, a: &Point, b: &Point) -> f64 {
+        a.dist(b, self.level_height)
+    }
+
+    /// Distance from an interior point to one of the doors of its
+    /// partition.
+    #[inline]
+    pub fn point_to_door(&self, p: &IndoorPoint, door: DoorId) -> f64 {
+        self.straight_dist(&p.pos, &self.door(door).pos())
+    }
+
+    /// Partitions adjacent to `p` (sharing a door), without duplicates.
+    pub fn neighbors(&self, p: PartitionId) -> Vec<PartitionId> {
+        let mut out: Vec<PartitionId> = self.partitions[p.index()]
+            .doors
+            .iter()
+            .filter_map(|&d| self.doors[d.index()].other_side(p))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Finds the partition containing the given point, preferring
+    /// non-stairwell partitions; `None` if the point lies outside every
+    /// partition.
+    pub fn locate(&self, p: &Point) -> Option<PartitionId> {
+        let mut fallback = None;
+        for part in &self.partitions {
+            if part.contains(p) {
+                if part.kind() != PartitionKind::Stairwell {
+                    return Some(part.id());
+                }
+                fallback.get_or_insert(part.id());
+            }
+        }
+        fallback
+    }
+}
+
+/// Incremental builder for a [`Venue`], with full validation on
+/// [`VenueBuilder::build`].
+#[derive(Clone, Debug)]
+pub struct VenueBuilder {
+    name: String,
+    partitions: Vec<Partition>,
+    doors: Vec<Door>,
+    level_height: f64,
+}
+
+impl VenueBuilder {
+    /// Starts an empty venue with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            partitions: Vec::new(),
+            doors: Vec::new(),
+            level_height: DEFAULT_LEVEL_HEIGHT,
+        }
+    }
+
+    /// Overrides the vertical distance between consecutive levels.
+    pub fn level_height(&mut self, h: f64) -> &mut Self {
+        self.level_height = h;
+        self
+    }
+
+    /// Renames the venue.
+    pub fn set_name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Adds a single-level partition and returns its id.
+    pub fn add_partition(
+        &mut self,
+        name: impl Into<String>,
+        rect: Rect,
+        level: i32,
+        kind: PartitionKind,
+    ) -> PartitionId {
+        self.add_spanning_partition(name, rect, level, level, kind)
+    }
+
+    /// Adds a partition spanning the inclusive level range
+    /// `[level_min, level_max]` (stairwells) and returns its id.
+    pub fn add_spanning_partition(
+        &mut self,
+        name: impl Into<String>,
+        rect: Rect,
+        level_min: i32,
+        level_max: i32,
+        kind: PartitionKind,
+    ) -> PartitionId {
+        let id = PartitionId::from_index(self.partitions.len());
+        self.partitions.push(Partition {
+            id,
+            name: name.into(),
+            rect,
+            level_min,
+            level_max,
+            kind,
+            doors: Vec::new(),
+            category: None,
+        });
+        id
+    }
+
+    /// Assigns a category index to a partition (used by the real-setting
+    /// workloads).
+    pub fn set_category(&mut self, p: PartitionId, category: u8) -> &mut Self {
+        self.partitions[p.index()].category = Some(category);
+        self
+    }
+
+    /// Adds a door at `pos` connecting `a` to `b` (`None` for exterior
+    /// doors) and returns its id.
+    pub fn add_door(&mut self, pos: Point, a: PartitionId, b: Option<PartitionId>) -> DoorId {
+        let id = DoorId::from_index(self.doors.len());
+        self.doors.push(Door {
+            id,
+            pos,
+            side_a: a,
+            side_b: b,
+        });
+        id
+    }
+
+    /// Number of partitions added so far.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Number of doors added so far.
+    pub fn num_doors(&self) -> usize {
+        self.doors.len()
+    }
+
+    /// Validates and finalizes the venue.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VenueError`] if the venue is empty, references dangling
+    /// ids, has doors outside their partitions' footprints or level spans,
+    /// has doorless partitions, or its door graph is disconnected.
+    pub fn build(mut self) -> Result<Venue, VenueError> {
+        if self.partitions.is_empty() {
+            return Err(VenueError::Empty);
+        }
+        if !(self.level_height.is_finite() && self.level_height > 0.0) {
+            return Err(VenueError::BadLevelHeight {
+                value: self.level_height,
+            });
+        }
+        for p in &self.partitions {
+            if p.level_min > p.level_max {
+                return Err(VenueError::InvertedLevels { partition: p.id });
+            }
+        }
+        let n = self.partitions.len();
+        for d in &self.doors {
+            for side in d.partitions() {
+                if side.index() >= n {
+                    return Err(VenueError::UnknownPartition {
+                        door: d.id,
+                        partition: side,
+                    });
+                }
+            }
+            if d.side_b == Some(d.side_a) {
+                return Err(VenueError::SelfLoopDoor { door: d.id });
+            }
+            for side in d.partitions() {
+                let p = &self.partitions[side.index()];
+                if !p.rect.contains_xy(d.pos.x, d.pos.y) {
+                    return Err(VenueError::DoorOutsidePartition {
+                        door: d.id,
+                        partition: side,
+                    });
+                }
+                if d.pos.level < p.level_min || d.pos.level > p.level_max {
+                    return Err(VenueError::DoorLevelMismatch {
+                        door: d.id,
+                        partition: side,
+                    });
+                }
+            }
+        }
+
+        // Attach doors to their partitions.
+        for i in 0..self.doors.len() {
+            let (id, sides) = {
+                let d = &self.doors[i];
+                (d.id, [Some(d.side_a), d.side_b])
+            };
+            for side in sides.into_iter().flatten() {
+                self.partitions[side.index()].doors.push(id);
+            }
+        }
+        for p in &self.partitions {
+            if p.doors.is_empty() {
+                return Err(VenueError::DoorlessPartition { partition: p.id });
+            }
+        }
+
+        // Door-graph connectivity: BFS over "doors sharing a partition".
+        if self.doors.len() > 1 {
+            let mut seen = vec![false; self.doors.len()];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            while let Some(i) = stack.pop() {
+                for side in self.doors[i].partitions() {
+                    for &nd in &self.partitions[side.index()].doors {
+                        if !seen[nd.index()] {
+                            seen[nd.index()] = true;
+                            stack.push(nd.index());
+                        }
+                    }
+                }
+            }
+            if let Some(bad) = seen.iter().position(|&s| !s) {
+                return Err(VenueError::Disconnected {
+                    reachable: DoorId::new(0),
+                    unreachable: DoorId::from_index(bad),
+                });
+            }
+        }
+
+        let mut bounds = self.partitions[0].rect;
+        let mut lo = i32::MAX;
+        let mut hi = i32::MIN;
+        for p in &self.partitions {
+            bounds = bounds.union(&p.rect);
+            lo = lo.min(p.level_min);
+            hi = hi.max(p.level_max);
+        }
+
+        Ok(Venue {
+            name: self.name,
+            partitions: self.partitions,
+            doors: self.doors,
+            level_height: self.level_height,
+            levels: (lo, hi),
+            bounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_rooms() -> VenueBuilder {
+        let mut b = VenueBuilder::new("t");
+        let a = b.add_partition("a", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
+        let c = b.add_partition("b", Rect::new(10.0, 0.0, 20.0, 10.0), 0, PartitionKind::Room);
+        b.add_door(Point::new(10.0, 5.0, 0), a, Some(c));
+        b
+    }
+
+    #[test]
+    fn build_valid_venue() {
+        let v = two_rooms().build().unwrap();
+        assert_eq!(v.num_partitions(), 2);
+        assert_eq!(v.num_doors(), 1);
+        assert_eq!(v.num_levels(), 1);
+        assert_eq!(v.bounds(), Rect::new(0.0, 0.0, 20.0, 10.0));
+        let p0 = PartitionId::new(0);
+        let p1 = PartitionId::new(1);
+        assert_eq!(v.neighbors(p0), vec![p1]);
+        assert_eq!(v.neighbors(p1), vec![p0]);
+        assert_eq!(v.partition(p0).doors().len(), 1);
+    }
+
+    #[test]
+    fn empty_venue_rejected() {
+        assert_eq!(VenueBuilder::new("e").build().unwrap_err(), VenueError::Empty);
+    }
+
+    #[test]
+    fn door_outside_partition_rejected() {
+        let mut b = VenueBuilder::new("t");
+        let a = b.add_partition("a", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
+        b.add_door(Point::new(50.0, 5.0, 0), a, None);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            VenueError::DoorOutsidePartition { .. }
+        ));
+    }
+
+    #[test]
+    fn door_level_mismatch_rejected() {
+        let mut b = VenueBuilder::new("t");
+        let a = b.add_partition("a", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
+        b.add_door(Point::new(5.0, 5.0, 3), a, None);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            VenueError::DoorLevelMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = VenueBuilder::new("t");
+        let a = b.add_partition("a", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
+        b.add_door(Point::new(5.0, 5.0, 0), a, Some(a));
+        assert!(matches!(b.build().unwrap_err(), VenueError::SelfLoopDoor { .. }));
+    }
+
+    #[test]
+    fn doorless_partition_rejected() {
+        let mut b = two_rooms();
+        b.add_partition("iso", Rect::new(100.0, 0.0, 110.0, 10.0), 0, PartitionKind::Room);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            VenueError::DoorlessPartition { .. }
+        ));
+    }
+
+    #[test]
+    fn disconnected_door_graph_rejected() {
+        let mut b = two_rooms();
+        let x = b.add_partition("x", Rect::new(100.0, 0.0, 110.0, 10.0), 0, PartitionKind::Room);
+        let y = b.add_partition("y", Rect::new(110.0, 0.0, 120.0, 10.0), 0, PartitionKind::Room);
+        b.add_door(Point::new(110.0, 5.0, 0), x, Some(y));
+        assert!(matches!(b.build().unwrap_err(), VenueError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn dangling_partition_reference_rejected() {
+        let mut b = VenueBuilder::new("t");
+        let a = b.add_partition("a", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
+        b.add_door(Point::new(5.0, 5.0, 0), a, Some(PartitionId::new(99)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            VenueError::UnknownPartition { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_level_height_rejected() {
+        let mut b = two_rooms();
+        b.level_height(0.0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            VenueError::BadLevelHeight { .. }
+        ));
+    }
+
+    #[test]
+    fn locate_prefers_rooms_over_stairwells() {
+        let mut b = VenueBuilder::new("t");
+        let room = b.add_partition("a", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
+        let stair =
+            b.add_spanning_partition("s", Rect::new(8.0, 0.0, 10.0, 4.0), 0, 1, PartitionKind::Stairwell);
+        let up = b.add_partition("up", Rect::new(0.0, 0.0, 10.0, 10.0), 1, PartitionKind::Room);
+        b.add_door(Point::new(9.0, 0.0, 0), room, Some(stair));
+        b.add_door(Point::new(9.0, 0.0, 1), stair, Some(up));
+        let v = b.build().unwrap();
+        // Overlapping area: the room wins over the stairwell.
+        assert_eq!(v.locate(&Point::new(9.0, 2.0, 0)), Some(room));
+        assert_eq!(v.locate(&Point::new(9.0, 2.0, 1)), Some(up));
+        assert_eq!(v.locate(&Point::new(50.0, 50.0, 0)), None);
+    }
+
+    #[test]
+    fn stairwell_door_distance_includes_vertical_travel() {
+        let mut b = VenueBuilder::new("t");
+        b.level_height(5.0);
+        let room = b.add_partition("a", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
+        let stair =
+            b.add_spanning_partition("s", Rect::new(8.0, 0.0, 10.0, 4.0), 0, 1, PartitionKind::Stairwell);
+        let up = b.add_partition("up", Rect::new(0.0, 0.0, 10.0, 10.0), 1, PartitionKind::Room);
+        b.add_door(Point::new(9.0, 0.0, 0), room, Some(stair));
+        b.add_door(Point::new(9.0, 4.0, 1), stair, Some(up));
+        let v = b.build().unwrap();
+        let d0 = v.door(DoorId::new(0)).pos();
+        let d1 = v.door(DoorId::new(1)).pos();
+        // 4m planar + one level of 5m => sqrt(16+25).
+        assert!((v.straight_dist(&d0, &d1) - 41.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exterior_door_has_one_side() {
+        let mut b = two_rooms();
+        let entrance = b.add_door(Point::new(0.0, 5.0, 0), PartitionId::new(0), None);
+        let v = b.build().unwrap();
+        let d = v.door(entrance);
+        assert_eq!(d.side_b(), None);
+        assert_eq!(d.partitions().count(), 1);
+        assert_eq!(d.other_side(PartitionId::new(0)), None);
+        assert_eq!(d.other_side(PartitionId::new(1)), None);
+    }
+}

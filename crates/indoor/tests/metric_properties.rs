@@ -1,0 +1,143 @@
+//! Property-based tests of the indoor distance metric and the text format,
+//! over randomized geometry.
+
+use proptest::prelude::*;
+
+use ifls_indoor::{GroundTruth, IndoorPoint, PartitionKind, Point, Rect, Venue, VenueBuilder};
+
+/// Builds a random single-level "strip" venue: `n` rooms in a row joined by
+/// doors at random wall positions, with random extra geometry jitter.
+fn strip_venue(widths: &[f64], door_ys: &[f64]) -> Venue {
+    let mut b = VenueBuilder::new("strip");
+    let mut x = 0.0;
+    let mut prev = None;
+    for (i, (&w, &dy)) in widths.iter().zip(door_ys).enumerate() {
+        let p = b.add_partition(
+            format!("r{i}"),
+            Rect::new(x, 0.0, x + w, 10.0),
+            0,
+            PartitionKind::Room,
+        );
+        if let Some(prev) = prev {
+            b.add_door(Point::new(x, dy, 0), prev, Some(p));
+        }
+        prev = Some(p);
+        x += w;
+    }
+    b.build().expect("strip venues are valid")
+}
+
+fn strip_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (2usize..8).prop_flat_map(|n| {
+        (
+            prop::collection::vec(2.0f64..20.0, n),
+            prop::collection::vec(0.5f64..9.5, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn indoor_metric_is_symmetric_and_triangular(
+        (widths, door_ys) in strip_strategy(),
+        fracs in prop::collection::vec((0.05f64..0.95, 0.05f64..0.95), 3),
+    ) {
+        let venue = strip_venue(&widths, &door_ys);
+        let gt = GroundTruth::compute(&venue);
+        // Three random located points.
+        let pts: Vec<IndoorPoint> = fracs
+            .iter()
+            .enumerate()
+            .map(|(i, &(fx, fy))| {
+                let p = venue.partitions()[i % venue.num_partitions()].id();
+                let r = venue.partition(p).rect();
+                IndoorPoint::new(
+                    p,
+                    Point::new(
+                        r.min_x + fx * r.width(),
+                        r.min_y + fy * r.height(),
+                        0,
+                    ),
+                )
+            })
+            .collect();
+        for a in &pts {
+            prop_assert!(gt.point_to_point(&venue, a, a).abs() < 1e-12);
+            for b in &pts {
+                let ab = gt.point_to_point(&venue, a, b);
+                let ba = gt.point_to_point(&venue, b, a);
+                prop_assert!((ab - ba).abs() < 1e-9, "symmetry: {ab} vs {ba}");
+                prop_assert!(ab >= 0.0);
+                for c in &pts {
+                    let ac = gt.point_to_point(&venue, a, c);
+                    let cb = gt.point_to_point(&venue, c, b);
+                    prop_assert!(ab <= ac + cb + 1e-9, "triangle: {ab} > {ac}+{cb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_to_partition_is_a_lower_bound_of_point_to_point(
+        (widths, door_ys) in strip_strategy(),
+        fx in 0.05f64..0.95,
+        fy in 0.05f64..0.95,
+    ) {
+        let venue = strip_venue(&widths, &door_ys);
+        let gt = GroundTruth::compute(&venue);
+        let src = venue.partitions()[0].id();
+        let r = venue.partition(src).rect();
+        let a = IndoorPoint::new(
+            src,
+            Point::new(r.min_x + fx * r.width(), r.min_y + fy * r.height(), 0),
+        );
+        for q in venue.partition_ids() {
+            let to_part = gt.point_to_partition(&venue, &a, q);
+            // Distance to any point inside q is at least the distance to q.
+            let center = IndoorPoint::new(q, venue.partition(q).center());
+            let to_center = gt.point_to_point(&venue, &a, &center);
+            prop_assert!(to_part <= to_center + 1e-9);
+        }
+    }
+
+    #[test]
+    fn venue_text_format_round_trips_random_strips(
+        (widths, door_ys) in strip_strategy(),
+    ) {
+        let venue = strip_venue(&widths, &door_ys);
+        let text = venue.to_text();
+        let back = Venue::from_text(&text).expect("round trip");
+        prop_assert_eq!(venue.num_partitions(), back.num_partitions());
+        prop_assert_eq!(venue.num_doors(), back.num_doors());
+        for (a, b) in venue.doors().iter().zip(back.doors()) {
+            prop_assert_eq!(a.pos(), b.pos());
+        }
+        // Distances survive the round trip.
+        let gt1 = GroundTruth::compute(&venue);
+        let gt2 = GroundTruth::compute(&back);
+        for d1 in venue.door_ids() {
+            for d2 in venue.door_ids() {
+                prop_assert!((gt1.d2d(d1, d2) - gt2.d2d(d1, d2)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rect_union_contains_inputs(
+        (ax, ay, aw, ah) in (-50.0f64..50.0, -50.0f64..50.0, 0.1f64..40.0, 0.1f64..40.0),
+        (bx, by, bw, bh) in (-50.0f64..50.0, -50.0f64..50.0, 0.1f64..40.0, 0.1f64..40.0),
+        (fx, fy) in (0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let a = Rect::new(ax, ay, ax + aw, ay + ah);
+        let b = Rect::new(bx, by, bx + bw, by + bh);
+        let u = a.union(&b);
+        // Any point of either rect lies in the union.
+        let pa = (ax + fx * aw, ay + fy * ah);
+        let pb = (bx + fx * bw, by + fy * bh);
+        prop_assert!(u.contains_xy(pa.0, pa.1));
+        prop_assert!(u.contains_xy(pb.0, pb.1));
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    }
+}

@@ -1,0 +1,346 @@
+//! Parametric multi-level corridor-backbone venue generator.
+//!
+//! Every generated building follows the dominant topology of the paper's
+//! four venues: each level is a corridor (optionally split into segments
+//! joined by openings) with rooms lined up on both sides, and consecutive
+//! levels are joined by stairwell partitions embedded in the corridor band.
+//!
+//! The generator is fully deterministic — no randomness — so the same spec
+//! always yields the same venue, and the partition/door counts are
+//! closed-form ([`GridVenueSpec::expected_partitions`],
+//! [`GridVenueSpec::expected_doors`]), which is how the named venues hit the
+//! paper's exact statistics.
+
+use ifls_indoor::{PartitionId, PartitionKind, Point, Rect, Venue, VenueBuilder};
+
+/// Specification of a corridor-backbone building.
+#[derive(Clone, Debug)]
+pub struct GridVenueSpec {
+    /// Venue name.
+    pub name: String,
+    /// Number of floors (≥ 1).
+    pub levels: u32,
+    /// Total number of rooms across all floors, distributed as evenly as
+    /// possible (lower floors get the remainder).
+    pub total_rooms: u32,
+    /// Corridor segments per level (≥ 1); adjacent segments are joined by
+    /// an opening (a door).
+    pub segments_per_level: u32,
+    /// Total number of rooms that receive a second door (large stores,
+    /// halls with two entrances), distributed evenly over levels.
+    pub double_door_rooms: u32,
+    /// Stairwell banks per level transition (0 allowed only for
+    /// single-level buildings).
+    pub stair_banks: u32,
+    /// Exterior doors on the ground-floor corridor.
+    pub exterior_doors: u32,
+    /// Room frontage along the corridor, in meters.
+    pub room_width: f64,
+    /// Room depth away from the corridor, in meters.
+    pub room_depth: f64,
+    /// Corridor width, in meters.
+    pub corridor_width: f64,
+    /// Vertical distance between levels, in meters.
+    pub level_height: f64,
+    /// Kind assigned to corridor segments ([`PartitionKind::Corridor`] or
+    /// [`PartitionKind::Hall`] for concourse-style venues).
+    pub segment_kind: PartitionKind,
+}
+
+impl GridVenueSpec {
+    /// A reasonable default: office-scale geometry, one corridor segment,
+    /// one stair bank, no exterior doors.
+    pub fn new(name: impl Into<String>, levels: u32, total_rooms: u32) -> Self {
+        Self {
+            name: name.into(),
+            levels,
+            total_rooms,
+            segments_per_level: 1,
+            double_door_rooms: 0,
+            stair_banks: 1,
+            exterior_doors: 0,
+            room_width: 6.0,
+            room_depth: 8.0,
+            corridor_width: 4.0,
+            level_height: 5.0,
+            segment_kind: PartitionKind::Corridor,
+        }
+    }
+
+    /// A tiny two-level office used in documentation examples and smoke
+    /// tests: 12 rooms, 2 levels.
+    pub fn small_office() -> Self {
+        Self::new("small-office", 2, 12)
+    }
+
+    /// Number of rooms on the given level.
+    pub fn rooms_on_level(&self, level: u32) -> u32 {
+        let base = self.total_rooms / self.levels;
+        let rem = self.total_rooms % self.levels;
+        base + u32::from(level < rem)
+    }
+
+    /// Number of double-door rooms on the given level.
+    pub fn double_door_rooms_on_level(&self, level: u32) -> u32 {
+        let base = self.double_door_rooms / self.levels;
+        let rem = self.double_door_rooms % self.levels;
+        (base + u32::from(level < rem)).min(self.rooms_on_level(level))
+    }
+
+    /// Closed-form partition count of the venue this spec builds.
+    pub fn expected_partitions(&self) -> u32 {
+        self.levels * self.segments_per_level
+            + self.levels.saturating_sub(1) * self.stair_banks
+            + self.total_rooms
+    }
+
+    /// Closed-form door count of the venue this spec builds.
+    pub fn expected_doors(&self) -> u32 {
+        self.total_rooms
+            + self.double_door_rooms
+            + self.levels * (self.segments_per_level - 1)
+            + 2 * self.stair_banks * self.levels.saturating_sub(1)
+            + self.exterior_doors
+    }
+
+    /// Planar building width implied by the widest floor.
+    pub fn building_width(&self) -> f64 {
+        let max_rooms = (0..self.levels).map(|l| self.rooms_on_level(l)).max().unwrap_or(0);
+        let per_side = max_rooms.div_ceil(2).max(1);
+        f64::from(per_side) * self.room_width
+    }
+
+    /// Builds the venue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is internally inconsistent (zero levels or
+    /// segments, a multi-level building without stair banks, or more
+    /// double-door rooms than rooms) — these are programming errors in the
+    /// spec, not runtime conditions.
+    pub fn build(&self) -> Venue {
+        assert!(self.levels >= 1, "a building needs at least one level");
+        assert!(self.segments_per_level >= 1, "each level needs a corridor segment");
+        assert!(
+            self.levels == 1 || self.stair_banks >= 1,
+            "multi-level buildings need at least one stair bank"
+        );
+        assert!(
+            self.double_door_rooms <= self.total_rooms,
+            "more double-door rooms than rooms"
+        );
+
+        let width = self.building_width();
+        let y_below = (0.0, self.room_depth);
+        let y_corridor = (self.room_depth, self.room_depth + self.corridor_width);
+        let y_above = (
+            self.room_depth + self.corridor_width,
+            2.0 * self.room_depth + self.corridor_width,
+        );
+        let yc = (y_corridor.0 + y_corridor.1) / 2.0;
+        let seg_w = width / f64::from(self.segments_per_level);
+
+        let mut b = VenueBuilder::new(self.name.clone());
+        b.level_height(self.level_height);
+
+        // Corridor segments, per level.
+        let mut segments: Vec<Vec<PartitionId>> = Vec::with_capacity(self.levels as usize);
+        for level in 0..self.levels {
+            let mut row = Vec::with_capacity(self.segments_per_level as usize);
+            let seg_label = if self.segment_kind == PartitionKind::Hall {
+                "hall"
+            } else {
+                "corridor"
+            };
+            for s in 0..self.segments_per_level {
+                let x0 = f64::from(s) * seg_w;
+                let id = b.add_partition(
+                    format!("L{level}-{seg_label}{s}"),
+                    Rect::new(x0, y_corridor.0, x0 + seg_w, y_corridor.1),
+                    level as i32,
+                    self.segment_kind,
+                );
+                row.push(id);
+            }
+            segments.push(row);
+        }
+        let segment_at = |row: &[PartitionId], x: f64| -> PartitionId {
+            let idx = ((x / seg_w) as usize).min(row.len() - 1);
+            row[idx]
+        };
+
+        // Openings between adjacent corridor segments.
+        for (level, row) in segments.iter().enumerate() {
+            for s in 1..row.len() {
+                let x = f64::from(s as u32) * seg_w;
+                b.add_door(Point::new(x, yc, level as i32), row[s - 1], Some(row[s]));
+            }
+        }
+
+        // Stairwells between consecutive levels, embedded in the corridor
+        // band so their doors lie inside both the stairwell and the
+        // corridor segment.
+        for level in 0..self.levels.saturating_sub(1) {
+            for bank in 0..self.stair_banks {
+                let xc = width * f64::from(bank + 1) / f64::from(self.stair_banks + 1);
+                let half = (seg_w / 4.0).min(1.5);
+                let rect = Rect::new(
+                    (xc - half).max(0.0),
+                    y_corridor.0,
+                    (xc + half).min(width),
+                    y_corridor.1,
+                );
+                let id = b.add_spanning_partition(
+                    format!("L{level}-stair{bank}"),
+                    rect,
+                    level as i32,
+                    level as i32 + 1,
+                    PartitionKind::Stairwell,
+                );
+                let lower = segment_at(&segments[level as usize], xc);
+                let upper = segment_at(&segments[level as usize + 1], xc);
+                b.add_door(Point::new(xc, yc, level as i32), id, Some(lower));
+                b.add_door(Point::new(xc, yc, level as i32 + 1), id, Some(upper));
+            }
+        }
+
+        // Rooms: alternate above/below the corridor, left to right.
+        for level in 0..self.levels {
+            let rooms = self.rooms_on_level(level);
+            let doubles = self.double_door_rooms_on_level(level);
+            let above = rooms.div_ceil(2);
+            for r in 0..rooms {
+                let side_above = r % 2 == 0;
+                let slot = r / 2;
+                debug_assert!(if side_above { slot < above } else { true });
+                let x0 = f64::from(slot) * self.room_width;
+                let (ry0, ry1, door_y) = if side_above {
+                    (y_above.0, y_above.1, y_above.0)
+                } else {
+                    (y_below.0, y_below.1, y_below.1)
+                };
+                let rect = Rect::new(x0, ry0, x0 + self.room_width, ry1);
+                let id = b.add_partition(
+                    format!("L{level}-room{r}"),
+                    rect,
+                    level as i32,
+                    PartitionKind::Room,
+                );
+                let row = &segments[level as usize];
+                let main_x = x0 + self.room_width / 2.0;
+                b.add_door(
+                    Point::new(main_x, door_y, level as i32),
+                    id,
+                    Some(segment_at(row, main_x)),
+                );
+                if r < doubles {
+                    let second_x = x0 + self.room_width / 4.0;
+                    b.add_door(
+                        Point::new(second_x, door_y, level as i32),
+                        id,
+                        Some(segment_at(row, second_x)),
+                    );
+                }
+            }
+        }
+
+        // Exterior doors on the ground-floor corridor.
+        for e in 0..self.exterior_doors {
+            let x = width * f64::from(e + 1) / f64::from(self.exterior_doors + 1);
+            let row = &segments[0];
+            b.add_door(Point::new(x, yc, 0), segment_at(row, x), None);
+        }
+
+        let venue = b.build().expect("grid venue spec produced an invalid venue");
+        debug_assert_eq!(venue.num_partitions(), self.expected_partitions() as usize);
+        debug_assert_eq!(venue.num_doors(), self.expected_doors() as usize);
+        venue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifls_indoor::GroundTruth;
+
+    #[test]
+    fn small_office_counts_match_closed_form() {
+        let spec = GridVenueSpec::small_office();
+        let v = spec.build();
+        assert_eq!(v.num_partitions(), spec.expected_partitions() as usize);
+        assert_eq!(v.num_doors(), spec.expected_doors() as usize);
+        assert_eq!(v.num_levels(), 2);
+    }
+
+    #[test]
+    fn rooms_distribute_with_remainder_on_lower_levels() {
+        let spec = GridVenueSpec::new("t", 3, 10);
+        assert_eq!(spec.rooms_on_level(0), 4);
+        assert_eq!(spec.rooms_on_level(1), 3);
+        assert_eq!(spec.rooms_on_level(2), 3);
+        assert_eq!(
+            (0..3).map(|l| spec.rooms_on_level(l)).sum::<u32>(),
+            spec.total_rooms
+        );
+    }
+
+    #[test]
+    fn double_door_rooms_capped_and_distributed() {
+        let mut spec = GridVenueSpec::new("t", 2, 6);
+        spec.double_door_rooms = 5;
+        assert_eq!(spec.double_door_rooms_on_level(0), 3);
+        assert_eq!(spec.double_door_rooms_on_level(1), 2);
+        let v = spec.build();
+        assert_eq!(v.num_doors(), spec.expected_doors() as usize);
+    }
+
+    #[test]
+    fn segments_are_joined_by_openings() {
+        let mut spec = GridVenueSpec::new("t", 1, 8);
+        spec.segments_per_level = 4;
+        spec.stair_banks = 0;
+        let v = spec.build();
+        assert_eq!(v.num_partitions(), 4 + 8);
+        // 8 room doors + 3 openings.
+        assert_eq!(v.num_doors(), 11);
+    }
+
+    #[test]
+    fn multi_level_venue_is_connected_and_distances_finite() {
+        let mut spec = GridVenueSpec::new("t", 4, 20);
+        spec.stair_banks = 2;
+        spec.exterior_doors = 3;
+        let v = spec.build();
+        let gt = GroundTruth::compute(&v);
+        // Every door reaches every other door.
+        for a in v.door_ids() {
+            for b in v.door_ids() {
+                assert!(gt.d2d(a, b).is_finite(), "no path {a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_level_distance_exceeds_level_height() {
+        let spec = GridVenueSpec::new("t", 2, 8);
+        let v = spec.build();
+        let gt = GroundTruth::compute(&v);
+        // A room on level 0 and a room on level 1 are at least a level apart.
+        let rooms: Vec<_> = v
+            .partitions()
+            .iter()
+            .filter(|p| p.kind() == PartitionKind::Room)
+            .collect();
+        let low = rooms.iter().find(|p| p.level_min() == 0).unwrap();
+        let high = rooms.iter().find(|p| p.level_min() == 1).unwrap();
+        let d = gt.partition_to_partition(&v, low.id(), high.id());
+        assert!(d >= spec.level_height, "stair travel missing: {d}");
+    }
+
+    #[test]
+    fn building_width_uses_widest_floor() {
+        let spec = GridVenueSpec::new("t", 3, 10);
+        // Widest floor has 4 rooms => 2 per side above.
+        assert_eq!(spec.building_width(), 2.0 * spec.room_width);
+    }
+}

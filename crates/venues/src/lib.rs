@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Venue generators for the IFLS workspace.
+//!
+//! The IFLS paper evaluates on four real venues (Melbourne Central,
+//! Chadstone, Copenhagen Airport, Menzies Building) whose floorplans are
+//! proprietary. This crate builds deterministic synthetic reconstructions
+//! with the paper's published statistics — identical partition/door/level
+//! counts and the corridor-backbone topology common to all four buildings —
+//! plus parametric and random venues for tests and examples.
+//!
+//! * [`grid`] — the parametric multi-level corridor-backbone generator.
+//! * [`named`] — the four venues of the paper, with exact counts.
+//! * [`random`] — seeded random venues for property-based testing.
+
+pub mod grid;
+pub mod named;
+pub mod random;
+pub mod render;
+
+pub use grid::GridVenueSpec;
+pub use named::{
+    chadstone, copenhagen_airport, melbourne_central, menzies_building, McCategory, NamedVenue,
+};
+pub use random::RandomVenueSpec;
+pub use render::AsciiFloorplan;

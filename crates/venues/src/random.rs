@@ -1,0 +1,270 @@
+//! Seeded random venues for property-based testing.
+//!
+//! These venues are deliberately irregular: rooms form a grid per level,
+//! connected by a random spanning tree of doors plus random extra doors
+//! (producing cycles and parallel routes), with randomly placed stairwells
+//! between levels. They exercise code paths that the tidy corridor-backbone
+//! venues cannot (multiple shortest paths, high-degree rooms, dead ends).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ifls_indoor::{PartitionId, PartitionKind, Point, Rect, Venue, VenueBuilder};
+
+/// Specification of a random grid venue.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomVenueSpec {
+    /// Grid cells along x, per level.
+    pub cells_x: u32,
+    /// Grid cells along y, per level.
+    pub cells_y: u32,
+    /// Number of levels.
+    pub levels: u32,
+    /// Probability of adding a door on a shared wall *beyond* the spanning
+    /// tree (creates cycles). Clamped to `[0, 1]`.
+    pub extra_door_prob: f64,
+    /// Side length of each square cell, in meters.
+    pub cell_size: f64,
+}
+
+impl Default for RandomVenueSpec {
+    fn default() -> Self {
+        Self {
+            cells_x: 4,
+            cells_y: 3,
+            levels: 1,
+            extra_door_prob: 0.3,
+            cell_size: 10.0,
+        }
+    }
+}
+
+/// Disjoint-set union for the random spanning tree.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let p = self.parent[x as usize];
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent[x as usize] = root;
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra as usize] = rb;
+        true
+    }
+}
+
+impl RandomVenueSpec {
+    /// Number of room partitions this spec produces (stairwells excluded).
+    pub fn num_rooms(&self) -> u32 {
+        self.cells_x * self.cells_y * self.levels
+    }
+
+    /// Builds the venue deterministically from the seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn build(&self, seed: u64) -> Venue {
+        assert!(self.cells_x > 0 && self.cells_y > 0 && self.levels > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = VenueBuilder::new(format!(
+            "random-{}x{}x{}-{seed}",
+            self.cells_x, self.cells_y, self.levels
+        ));
+        let s = self.cell_size;
+
+        // Rooms: one per grid cell per level, id = (level, y, x) row-major.
+        let cell_id = |level: u32, x: u32, y: u32| -> PartitionId {
+            PartitionId::new(level * self.cells_x * self.cells_y + y * self.cells_x + x)
+        };
+        for level in 0..self.levels {
+            for y in 0..self.cells_y {
+                for x in 0..self.cells_x {
+                    let rect = Rect::new(
+                        f64::from(x) * s,
+                        f64::from(y) * s,
+                        f64::from(x + 1) * s,
+                        f64::from(y + 1) * s,
+                    );
+                    let id = b.add_partition(
+                        format!("L{level}-r{y}x{x}"),
+                        rect,
+                        level as i32,
+                        PartitionKind::Room,
+                    );
+                    debug_assert_eq!(id, cell_id(level, x, y));
+                }
+            }
+        }
+
+        // Candidate walls per level: horizontal and vertical neighbors.
+        for level in 0..self.levels {
+            let mut walls: Vec<(u32, u32, Point)> = Vec::new();
+            for y in 0..self.cells_y {
+                for x in 0..self.cells_x {
+                    if x + 1 < self.cells_x {
+                        // Jitter the door along the shared wall.
+                        let dy = rng.random_range(0.2..0.8);
+                        walls.push((
+                            cell_id(level, x, y).raw(),
+                            cell_id(level, x + 1, y).raw(),
+                            Point::new(f64::from(x + 1) * s, (f64::from(y) + dy) * s, level as i32),
+                        ));
+                    }
+                    if y + 1 < self.cells_y {
+                        let dx = rng.random_range(0.2..0.8);
+                        walls.push((
+                            cell_id(level, x, y).raw(),
+                            cell_id(level, x, y + 1).raw(),
+                            Point::new((f64::from(x) + dx) * s, f64::from(y + 1) * s, level as i32),
+                        ));
+                    }
+                }
+            }
+            // Shuffle by repeated random swaps (Fisher–Yates).
+            for i in (1..walls.len()).rev() {
+                let j = rng.random_range(0..=i);
+                walls.swap(i, j);
+            }
+            let base = level * self.cells_x * self.cells_y;
+            let n = (self.cells_x * self.cells_y) as usize;
+            let mut dsu = Dsu::new(n);
+            let p = self.extra_door_prob.clamp(0.0, 1.0);
+            for (a, bb, pos) in walls {
+                let joined = dsu.union(a - base, bb - base);
+                if joined || rng.random_bool(p) {
+                    b.add_door(pos, PartitionId::new(a), Some(PartitionId::new(bb)));
+                }
+            }
+        }
+
+        // Stairwells: one per transition, in a random cell column.
+        for level in 0..self.levels.saturating_sub(1) {
+            let x = rng.random_range(0..self.cells_x);
+            let y = rng.random_range(0..self.cells_y);
+            let cx = (f64::from(x) + 0.5) * s;
+            let cy = (f64::from(y) + 0.5) * s;
+            let stair = b.add_spanning_partition(
+                format!("stair-{level}"),
+                Rect::new(cx - s / 4.0, cy - s / 4.0, cx + s / 4.0, cy + s / 4.0),
+                level as i32,
+                level as i32 + 1,
+                PartitionKind::Stairwell,
+            );
+            b.add_door(
+                Point::new(cx, cy, level as i32),
+                stair,
+                Some(cell_id(level, x, y)),
+            );
+            b.add_door(
+                Point::new(cx, cy, level as i32 + 1),
+                stair,
+                Some(cell_id(level + 1, x, y)),
+            );
+        }
+
+        b.build().expect("random venue spec produced an invalid venue")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifls_indoor::GroundTruth;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let spec = RandomVenueSpec::default();
+        let a = spec.build(42);
+        let b = spec.build(42);
+        assert_eq!(a.num_partitions(), b.num_partitions());
+        assert_eq!(a.num_doors(), b.num_doors());
+        for (da, db) in a.doors().iter().zip(b.doors()) {
+            assert_eq!(da.pos(), db.pos());
+            assert_eq!(da.side_a(), db.side_a());
+            assert_eq!(da.side_b(), db.side_b());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = RandomVenueSpec {
+            extra_door_prob: 0.5,
+            ..RandomVenueSpec::default()
+        };
+        let a = spec.build(1);
+        let b = spec.build(2);
+        let same = a.num_doors() == b.num_doors()
+            && a.doors()
+                .iter()
+                .zip(b.doors())
+                .all(|(x, y)| x.pos() == y.pos());
+        assert!(!same, "seeds 1 and 2 produced identical venues");
+    }
+
+    #[test]
+    fn always_connected_across_seeds_and_levels() {
+        for seed in 0..20 {
+            let spec = RandomVenueSpec {
+                cells_x: 3,
+                cells_y: 3,
+                levels: 2,
+                extra_door_prob: 0.2,
+                cell_size: 8.0,
+            };
+            // `build` already validates connectivity; also check distances.
+            let v = spec.build(seed);
+            let gt = GroundTruth::compute(&v);
+            for a in v.door_ids() {
+                assert!(gt.d2d(ifls_indoor::DoorId::new(0), a).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_extra_prob_yields_spanning_tree_door_count() {
+        let spec = RandomVenueSpec {
+            cells_x: 4,
+            cells_y: 4,
+            levels: 1,
+            extra_door_prob: 0.0,
+            cell_size: 10.0,
+        };
+        let v = spec.build(7);
+        // A spanning tree over 16 cells has 15 edges.
+        assert_eq!(v.num_doors(), 15);
+        assert_eq!(v.num_partitions(), 16);
+    }
+
+    #[test]
+    fn full_extra_prob_yields_all_walls() {
+        let spec = RandomVenueSpec {
+            cells_x: 3,
+            cells_y: 3,
+            levels: 1,
+            extra_door_prob: 1.0,
+            cell_size: 10.0,
+        };
+        let v = spec.build(7);
+        // 2*3*2 horizontal + vertical walls = 12.
+        assert_eq!(v.num_doors(), 12);
+    }
+}

@@ -1,0 +1,174 @@
+//! ASCII floorplan rendering: a quick visual check of generated venues and
+//! query answers, used by the CLI's `render` command.
+//!
+//! One character cell covers a configurable number of meters. Partition
+//! interiors are drawn by kind (`.` room, `:` corridor, `,` hall,
+//! `#` stairwell), doors as `+`, and caller-supplied markers (facilities,
+//! answers, clients) on top.
+
+use ifls_indoor::{PartitionId, PartitionKind, Venue};
+
+/// A renderer for one level of a venue.
+pub struct AsciiFloorplan<'v> {
+    venue: &'v Venue,
+    level: i32,
+    meters_per_cell: f64,
+    markers: Vec<(PartitionId, char)>,
+}
+
+impl<'v> AsciiFloorplan<'v> {
+    /// Creates a renderer for `level` at the given scale (meters per
+    /// character cell; clamped to at least 0.5).
+    pub fn new(venue: &'v Venue, level: i32, meters_per_cell: f64) -> Self {
+        Self {
+            venue,
+            level,
+            meters_per_cell: meters_per_cell.max(0.5),
+            markers: Vec::new(),
+        }
+    }
+
+    /// Draws `marker` at the center of `partition` (if it is on this
+    /// level). Later markers win on collisions.
+    pub fn mark(mut self, partition: PartitionId, marker: char) -> Self {
+        self.markers.push((partition, marker));
+        self
+    }
+
+    /// Renders the level.
+    pub fn render(&self) -> String {
+        let b = self.venue.bounds();
+        let scale = self.meters_per_cell;
+        let cols = (b.width() / scale).ceil() as usize + 1;
+        let rows = (b.height() / scale).ceil() as usize + 1;
+        let mut grid = vec![vec![' '; cols]; rows];
+        let to_cell = |x: f64, y: f64| -> (usize, usize) {
+            let c = (((x - b.min_x) / scale) as usize).min(cols - 1);
+            // Rows top-down: larger y first.
+            let r = (((b.max_y - y) / scale) as usize).min(rows - 1);
+            (r, c)
+        };
+
+        // Partition interiors. Stairwells overlap the corridor band, so
+        // they are drawn last and overwrite its fill.
+        let mut parts: Vec<_> = self
+            .venue
+            .partitions()
+            .iter()
+            .filter(|p| self.level >= p.level_min() && self.level <= p.level_max())
+            .collect();
+        parts.sort_by_key(|p| u8::from(p.kind() == PartitionKind::Stairwell));
+        for p in parts {
+            let fill = match p.kind() {
+                PartitionKind::Room => '.',
+                PartitionKind::Corridor => ':',
+                PartitionKind::Hall => ',',
+                PartitionKind::Stairwell => '#',
+            };
+            let overwrite = p.kind() == PartitionKind::Stairwell;
+            let r = p.rect();
+            let (r1, c1) = to_cell(r.min_x, r.max_y);
+            let (r2, c2) = to_cell(r.max_x, r.min_y);
+            for row in grid.iter_mut().take(r2 + 1).skip(r1) {
+                for cell in row.iter_mut().take(c2 + 1).skip(c1) {
+                    if *cell == ' ' || overwrite {
+                        *cell = fill;
+                    }
+                }
+            }
+        }
+        // Walls: partition outlines (drawn sparsely as corners).
+        for p in self.venue.partitions() {
+            if self.level < p.level_min() || self.level > p.level_max() {
+                continue;
+            }
+            let r = p.rect();
+            for (x, y) in [
+                (r.min_x, r.min_y),
+                (r.min_x, r.max_y),
+                (r.max_x, r.min_y),
+                (r.max_x, r.max_y),
+            ] {
+                let (row, col) = to_cell(x, y);
+                grid[row][col] = '|';
+            }
+        }
+        // Doors.
+        for d in self.venue.doors() {
+            if d.pos().level == self.level {
+                let (row, col) = to_cell(d.pos().x, d.pos().y);
+                grid[row][col] = '+';
+            }
+        }
+        // Markers.
+        for &(p, m) in &self.markers {
+            let part = self.venue.partition(p);
+            if self.level >= part.level_min() && self.level <= part.level_max() {
+                let c = part.center();
+                let (row, col) = to_cell(c.x, c.y);
+                grid[row][col] = m;
+            }
+        }
+
+        let mut out = format!(
+            "{} — level {} ({:.1} m/cell)\n",
+            self.venue.name(),
+            self.level,
+            scale
+        );
+        for row in grid {
+            let line: String = row.into_iter().collect();
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GridVenueSpec;
+
+    #[test]
+    fn renders_rooms_corridor_and_doors() {
+        let venue = GridVenueSpec::new("t", 1, 6).build();
+        let s = AsciiFloorplan::new(&venue, 0, 1.0).render();
+        assert!(s.contains('.'), "rooms missing:\n{s}");
+        assert!(s.contains(':'), "corridor missing:\n{s}");
+        assert!(s.contains('+'), "doors missing:\n{s}");
+        assert!(s.starts_with("t — level 0"));
+    }
+
+    #[test]
+    fn markers_override_fill() {
+        let venue = GridVenueSpec::new("t", 1, 6).build();
+        let target = venue.partitions()[3].id();
+        let s = AsciiFloorplan::new(&venue, 0, 1.0).mark(target, 'A').render();
+        assert!(s.contains('A'), "{s}");
+    }
+
+    #[test]
+    fn levels_are_separated() {
+        let venue = GridVenueSpec::new("t", 2, 8).build();
+        let l0 = AsciiFloorplan::new(&venue, 0, 1.0).render();
+        let l1 = AsciiFloorplan::new(&venue, 1, 1.0).render();
+        // Stairwells span both levels.
+        assert!(l0.contains('#'));
+        assert!(l1.contains('#'));
+        // A level outside the building is empty of structure (skip the
+        // header line, whose scale contains a dot).
+        let l9 = AsciiFloorplan::new(&venue, 9, 1.0).render();
+        assert!(l9.lines().skip(1).all(|l| !l.contains('.')));
+    }
+
+    #[test]
+    fn scale_shrinks_output() {
+        let venue = GridVenueSpec::new("t", 1, 10).build();
+        let fine = AsciiFloorplan::new(&venue, 0, 1.0).render();
+        let coarse = AsciiFloorplan::new(&venue, 0, 4.0).render();
+        assert!(coarse.len() < fine.len());
+        // Degenerate scales are clamped, not panicking.
+        let _ = AsciiFloorplan::new(&venue, 0, 0.0).render();
+    }
+}

@@ -1,0 +1,151 @@
+//! Structural invariants of every generated venue: geometry, connectivity
+//! and the statistics the IFLS experiments rely on.
+
+use ifls_indoor::{DoorGraph, PartitionKind, Venue};
+use ifls_venues::{GridVenueSpec, NamedVenue, RandomVenueSpec};
+
+/// Checks invariants that every venue in this workspace must satisfy.
+fn check_venue(v: &Venue) {
+    // Doors lie inside all partitions they connect (footprint and level).
+    for d in v.doors() {
+        for side in d.partitions() {
+            let p = v.partition(side);
+            assert!(
+                p.rect().contains_xy(d.pos().x, d.pos().y),
+                "{}: door {} outside {}",
+                v.name(),
+                d.id(),
+                side
+            );
+            assert!(d.pos().level >= p.level_min() && d.pos().level <= p.level_max());
+        }
+    }
+    // Every partition's doors list round-trips through the door sides.
+    for p in v.partitions() {
+        for &d in p.doors() {
+            assert!(v.door(d).partitions().any(|s| s == p.id()));
+        }
+        assert!(!p.doors().is_empty());
+        assert!(p.rect().area() > 0.0, "{}: zero-area {}", v.name(), p.id());
+    }
+    // The door graph is connected with symmetric adjacency.
+    let g = DoorGraph::build(v);
+    let dist = g.sssp(ifls_indoor::DoorId::new(0));
+    assert!(
+        dist.iter().all(|d| d.is_finite()),
+        "{}: disconnected door graph",
+        v.name()
+    );
+    for d in v.door_ids() {
+        for &(n, w) in g.neighbors(d) {
+            assert!(w >= 0.0);
+            assert!(
+                g.neighbors(ifls_indoor::DoorId::new(n))
+                    .iter()
+                    .any(|&(m, w2)| m == d.raw() && (w2 - w).abs() < 1e-12),
+                "asymmetric edge {d}-{n}"
+            );
+        }
+    }
+    // Stairwells are the only partitions spanning multiple levels.
+    for p in v.partitions() {
+        if p.level_min() != p.level_max() {
+            assert_eq!(p.kind(), PartitionKind::Stairwell, "{}: {}", v.name(), p.id());
+        }
+    }
+}
+
+#[test]
+fn named_venues_satisfy_invariants() {
+    for nv in NamedVenue::ALL {
+        check_venue(&nv.build());
+    }
+}
+
+#[test]
+fn grid_venues_satisfy_invariants_across_shapes() {
+    for (levels, rooms, segments, stairs, dd, ext) in [
+        (1u32, 5u32, 1u32, 0u32, 0u32, 0u32),
+        (1, 9, 3, 0, 4, 1),
+        (2, 12, 1, 1, 0, 0),
+        (3, 40, 2, 2, 6, 3),
+        (5, 100, 4, 1, 10, 2),
+    ] {
+        let mut spec = GridVenueSpec::new("inv", levels, rooms);
+        spec.segments_per_level = segments;
+        spec.stair_banks = if levels > 1 { stairs.max(1) } else { 0 };
+        spec.double_door_rooms = dd;
+        spec.exterior_doors = ext;
+        let v = spec.build();
+        check_venue(&v);
+        assert_eq!(v.num_partitions(), spec.expected_partitions() as usize);
+        assert_eq!(v.num_doors(), spec.expected_doors() as usize);
+    }
+}
+
+#[test]
+fn random_venues_satisfy_invariants_across_seeds() {
+    for seed in 0..10 {
+        let spec = RandomVenueSpec {
+            cells_x: 3,
+            cells_y: 4,
+            levels: 2,
+            extra_door_prob: 0.3,
+            cell_size: 7.5,
+        };
+        check_venue(&spec.build(seed));
+    }
+}
+
+#[test]
+fn multi_level_venues_reach_across_levels_only_via_stairwells() {
+    let v = NamedVenue::MZB.build();
+    for d in v.doors() {
+        if let Some(b) = d.side_b() {
+            let pa = v.partition(d.side_a());
+            let pb = v.partition(b);
+            let cross_level = pa.level_min() != pb.level_min() || pa.level_max() != pb.level_max();
+            if cross_level {
+                assert!(
+                    pa.kind() == PartitionKind::Stairwell || pb.kind() == PartitionKind::Stairwell,
+                    "door {} crosses levels without a stairwell",
+                    d.id()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn venue_text_round_trip_preserves_named_venues() {
+    // The interchange format must carry a full named venue without loss.
+    let v = NamedVenue::CPH.build();
+    let v2 = Venue::from_text(&v.to_text()).expect("round trip parses");
+    assert_eq!(v.num_partitions(), v2.num_partitions());
+    assert_eq!(v.num_doors(), v2.num_doors());
+    assert_eq!(v.level_height(), v2.level_height());
+    for (a, b) in v.partitions().iter().zip(v2.partitions()) {
+        assert_eq!(a.rect(), b.rect());
+        assert_eq!(a.kind(), b.kind());
+    }
+    check_venue(&v2);
+}
+
+#[test]
+fn room_area_dominates_circulation_area_in_malls() {
+    // Clients are area-weighted; the bulk of the floor must be rooms for
+    // the uniform workload to make sense.
+    for nv in [NamedVenue::MC, NamedVenue::CH, NamedVenue::MZB] {
+        let v = nv.build();
+        let mut rooms = 0.0;
+        let mut other = 0.0;
+        for p in v.partitions() {
+            if p.kind() == PartitionKind::Room {
+                rooms += p.rect().area();
+            } else {
+                other += p.rect().area();
+            }
+        }
+        assert!(rooms > other, "{}: rooms {rooms} <= circulation {other}", v.name());
+    }
+}

@@ -1,0 +1,400 @@
+//! Bottom-up VIP-tree construction.
+//!
+//! 1. **Leaf formation** — adjacent partitions (sharing a door, or sharing a
+//!    neighbor such as a corridor) are combined into leaves of at most
+//!    `leaf_max_partitions` partitions, seeded in partition-id order so that
+//!    physically nearby partitions land in the same leaf.
+//! 2. **Hierarchy** — adjacent nodes are combined into parents of at most
+//!    `max_fanout` children, level by level, until a single root remains.
+//! 3. **Access doors** — per node, the doors with exactly one side inside
+//!    the node (exterior doors never count: no modeled path passes them).
+//! 4. **Matrices** — one Dijkstra per (node, door) row over the venue's
+//!    door graph fills every node matrix and the vivid leaf-to-ancestor
+//!    matrices with *exact global* distances and first-hop doors.
+
+use ifls_indoor::{DoorGraph, DoorId, PartitionId, Venue};
+
+use crate::matrix::DistMatrix;
+use crate::node::{Node, NodeChildren, NodeId};
+use crate::tree::VipTree;
+use crate::VipTreeConfig;
+
+impl<'v> VipTree<'v> {
+    /// Builds the index for a venue.
+    ///
+    /// Construction cost is dominated by one Dijkstra run per door per
+    /// containing node — well under a second for the paper's largest venue.
+    pub fn build(venue: &'v Venue, config: VipTreeConfig) -> Self {
+        assert!(config.leaf_max_partitions >= 1, "leaves need capacity");
+        assert!(config.max_fanout >= 2, "fanout below 2 cannot converge");
+
+        let num_parts = venue.num_partitions();
+
+        // --- 1. Leaf formation over (extended) partition adjacency. ---
+        // Neighbors are visited low-degree first so hub partitions
+        // (corridor segments) absorb their rooms before reaching for other
+        // hubs — this keeps access-door sets small up the tree.
+        let part_neighbors: Vec<Vec<PartitionId>> = venue
+            .partition_ids()
+            .map(|p| {
+                let mut ns = venue.neighbors(p);
+                ns.sort_by_key(|&n| (venue.partition(n).doors().len(), n));
+                ns
+            })
+            .collect();
+        let groups = group_connected(
+            num_parts,
+            |i, out| {
+                // 1-hop neighbors and 2-hop siblings (rooms sharing a
+                // corridor) are groupable.
+                for &n in &part_neighbors[i] {
+                    out.push(n.index());
+                }
+                for &n in &part_neighbors[i] {
+                    for &nn in &part_neighbors[n.index()] {
+                        if nn.index() != i {
+                            out.push(nn.index());
+                        }
+                    }
+                }
+            },
+            config.leaf_max_partitions,
+        );
+
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut leaf_of = vec![NodeId::new(u32::MAX); num_parts];
+        for group in &groups {
+            let id = NodeId::from_index(nodes.len());
+            let parts: Vec<PartitionId> = group.iter().map(|&i| PartitionId::from_index(i)).collect();
+            for &p in &parts {
+                leaf_of[p.index()] = id;
+            }
+            nodes.push(Node {
+                parent: None,
+                depth: 0,
+                height: 0,
+                children: NodeChildren::Partitions(parts),
+                doors: Vec::new(),
+                access: Vec::new(),
+                mat: DistMatrix::default(),
+                vivid: Vec::new(),
+            });
+        }
+
+        // --- 2. Hierarchy: group current-level nodes until one remains. ---
+        // `owner[p]` tracks the current-level node containing partition p.
+        let mut owner: Vec<NodeId> = leaf_of.clone();
+        let mut current: Vec<NodeId> = (0..nodes.len()).map(NodeId::from_index).collect();
+        let mut height = 0u32;
+        while current.len() > 1 {
+            height += 1;
+            // Node-level adjacency through doors.
+            let index_of: std::collections::HashMap<NodeId, usize> =
+                current.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+            let mut adj: Vec<Vec<usize>> = vec![Vec::new(); current.len()];
+            for d in venue.doors() {
+                if let Some(b) = d.side_b() {
+                    let oa = owner[d.side_a().index()];
+                    let ob = owner[b.index()];
+                    if oa != ob {
+                        let (ia, ib) = (index_of[&oa], index_of[&ob]);
+                        adj[ia].push(ib);
+                        adj[ib].push(ia);
+                    }
+                }
+            }
+            for a in &mut adj {
+                a.sort_unstable();
+                a.dedup();
+            }
+            let groups = group_connected(
+                current.len(),
+                |i, out| {
+                    for &n in &adj[i] {
+                        out.push(n);
+                        for &nn in &adj[n] {
+                            if nn != i {
+                                out.push(nn);
+                            }
+                        }
+                    }
+                },
+                config.max_fanout,
+            );
+            // Safety: if grouping cannot shrink the level (pathological
+            // adjacency), merge everything into a single parent.
+            let groups = if groups.len() >= current.len() {
+                vec![(0..current.len()).collect::<Vec<_>>()]
+            } else {
+                groups
+            };
+            let mut next = Vec::with_capacity(groups.len());
+            for group in groups {
+                let id = NodeId::from_index(nodes.len());
+                let children: Vec<NodeId> = group.iter().map(|&i| current[i]).collect();
+                for &c in &children {
+                    nodes[c.index()].parent = Some(id);
+                }
+                nodes.push(Node {
+                    parent: None,
+                    depth: 0,
+                    height,
+                    children: NodeChildren::Nodes(children),
+                    doors: Vec::new(),
+                    access: Vec::new(),
+                    mat: DistMatrix::default(),
+                    vivid: Vec::new(),
+                });
+                next.push(id);
+            }
+            // Update ownership to the new level.
+            for o in owner.iter_mut() {
+                if let Some(p) = nodes[o.index()].parent {
+                    *o = p;
+                }
+            }
+            current = next;
+        }
+        let root = current[0];
+
+        // Depths, top-down (node ids increase towards the root, so a single
+        // reverse pass sees parents before children).
+        for i in (0..nodes.len()).rev() {
+            nodes[i].depth = match nodes[i].parent {
+                None => 0,
+                Some(p) => nodes[p.index()].depth + 1,
+            };
+        }
+
+        // --- 3. Doors and access doors, bottom-up. ---
+        // A door is an access door of node N iff it has two sides and
+        // exactly one of them lies inside N.
+        let in_node = |nodes: &[Node], leaf_of: &[NodeId], n: NodeId, p: PartitionId| -> bool {
+            // Walk up from the partition's leaf to depth(n).
+            let mut cur = leaf_of[p.index()];
+            let dn = nodes[n.index()].depth;
+            while nodes[cur.index()].depth > dn {
+                cur = nodes[cur.index()].parent.expect("non-root has parent");
+            }
+            cur == n
+        };
+        for i in 0..nodes.len() {
+            let id = NodeId::from_index(i);
+            let mut doors: Vec<DoorId> = match &nodes[i].children {
+                NodeChildren::Partitions(parts) => parts
+                    .iter()
+                    .flat_map(|&p| venue.partition(p).doors().iter().copied())
+                    .collect(),
+                NodeChildren::Nodes(children) => children
+                    .iter()
+                    .flat_map(|&c| nodes[c.index()].access_doors().collect::<Vec<_>>())
+                    .collect(),
+            };
+            doors.sort_unstable();
+            doors.dedup();
+            let access: Vec<u32> = doors
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| {
+                    let door = venue.door(d);
+                    match door.side_b() {
+                        None => false,
+                        Some(b) => {
+                            in_node(&nodes, &leaf_of, id, door.side_a())
+                                != in_node(&nodes, &leaf_of, id, b)
+                        }
+                    }
+                })
+                .map(|(j, _)| j as u32)
+                .collect();
+            nodes[i].doors = doors;
+            nodes[i].access = access;
+        }
+
+        // Primary (leaf, row) home of each door.
+        let mut door_home = vec![(NodeId::new(u32::MAX), u32::MAX); venue.num_doors()];
+        for (i, node) in nodes.iter().enumerate() {
+            if !node.is_leaf() {
+                continue;
+            }
+            for (j, &d) in node.doors.iter().enumerate() {
+                if door_home[d.index()].1 == u32::MAX {
+                    door_home[d.index()] = (NodeId::from_index(i), j as u32);
+                }
+            }
+        }
+
+        // Child access-door positions within each parent's door list.
+        let child_access_pos: Vec<Vec<Vec<u32>>> = nodes
+            .iter()
+            .map(|node| match &node.children {
+                NodeChildren::Partitions(_) => Vec::new(),
+                NodeChildren::Nodes(children) => children
+                    .iter()
+                    .map(|&c| {
+                        nodes[c.index()]
+                            .access_doors()
+                            .map(|d| {
+                                node.door_index(d).expect("child access door in parent doors")
+                                    as u32
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        // --- 4. Matrices: exact global distances via Dijkstra. ---
+        // Immutable copies of the column layouts, so the fill loop can
+        // mutate node matrices freely.
+        let ancestors_of: Vec<Vec<NodeId>> = nodes
+            .iter()
+            .map(|n| {
+                let mut chain = Vec::new();
+                let mut cur = n.parent;
+                while let Some(a) = cur {
+                    chain.push(a);
+                    cur = nodes[a.index()].parent;
+                }
+                chain
+            })
+            .collect();
+        let access_door_ids: Vec<Vec<DoorId>> = nodes
+            .iter()
+            .map(|n| n.access_doors().collect())
+            .collect();
+        let node_door_ids: Vec<Vec<DoorId>> = nodes.iter().map(|n| n.doors.clone()).collect();
+
+        let graph = DoorGraph::build(venue);
+        // All (node, row) occurrences of each door.
+        let mut occ: Vec<Vec<(usize, usize)>> = vec![Vec::new(); venue.num_doors()];
+        for (i, ds) in node_door_ids.iter().enumerate() {
+            for (j, &d) in ds.iter().enumerate() {
+                occ[d.index()].push((i, j));
+            }
+        }
+        // Allocate matrices.
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let nd = node.doors.len();
+            node.mat = DistMatrix::new(nd, nd);
+            if node.is_leaf() && config.vivid {
+                node.vivid = ancestors_of[i]
+                    .iter()
+                    .map(|a| DistMatrix::new(nd, access_door_ids[a.index()].len()))
+                    .collect();
+            }
+        }
+        for d in venue.door_ids() {
+            if occ[d.index()].is_empty() {
+                continue;
+            }
+            let (dist, hop) = graph.sssp_with_first_hop(d);
+            for &(ni, row) in &occ[d.index()] {
+                for (col, &d2) in node_door_ids[ni].iter().enumerate() {
+                    nodes[ni].mat.set(row, col, dist[d2.index()], hop[d2.index()]);
+                }
+                if nodes[ni].is_leaf() && config.vivid {
+                    for (k, &anc) in ancestors_of[ni].iter().enumerate() {
+                        for (col, &a) in access_door_ids[anc.index()].iter().enumerate() {
+                            nodes[ni].vivid[k].set(row, col, dist[a.index()], hop[a.index()]);
+                        }
+                    }
+                }
+            }
+        }
+
+        VipTree {
+            venue,
+            config,
+            nodes,
+            graph,
+            root,
+            leaf_of,
+            door_home,
+            child_access_pos,
+        }
+    }
+}
+
+/// Greedy connected grouping: seeds in index order, BFS over the
+/// caller-supplied neighborhood, groups capped at `max`.
+fn group_connected(
+    n: usize,
+    mut neighbors: impl FnMut(usize, &mut Vec<usize>),
+    max: usize,
+) -> Vec<Vec<usize>> {
+    let mut assigned = vec![false; n];
+    let mut groups = Vec::new();
+    let mut scratch = Vec::new();
+    for seed in 0..n {
+        if assigned[seed] {
+            continue;
+        }
+        let mut group = vec![seed];
+        assigned[seed] = true;
+        let mut frontier = 0;
+        while group.len() < max && frontier < group.len() {
+            let cur = group[frontier];
+            frontier += 1;
+            scratch.clear();
+            neighbors(cur, &mut scratch);
+            for &cand in scratch.iter() {
+                if group.len() >= max {
+                    break;
+                }
+                if !assigned[cand] {
+                    assigned[cand] = true;
+                    group.push(cand);
+                }
+            }
+        }
+        groups.push(group);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_connected_respects_max() {
+        // A path 0-1-2-3-4 with max 2.
+        let adj = [vec![1], vec![0, 2], vec![1, 3], vec![2, 4], vec![3]];
+        let groups = group_connected(5, |i, out| out.extend(&adj[i]), 2);
+        assert!(groups.iter().all(|g| g.len() <= 2));
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn group_connected_handles_isolated_vertices() {
+        let groups = group_connected(3, |_, _| {}, 4);
+        assert_eq!(groups.len(), 3);
+    }
+
+    #[test]
+    fn group_connected_star_groups_siblings() {
+        // Star: 0 is the hub, 1..=5 its spokes; 2-hop closure is supplied
+        // by the caller, as the tree builder does.
+        let adj = [vec![1, 2, 3, 4, 5], vec![0], vec![0], vec![0], vec![0], vec![0]];
+        let groups = group_connected(
+            6,
+            |i, out| {
+                for &x in &adj[i] {
+                    out.push(x);
+                    for &y in &adj[x] {
+                        if y != i {
+                            out.push(y);
+                        }
+                    }
+                }
+            },
+            3,
+        );
+        // Hub + first two spokes; remaining spokes grouped via 2-hop.
+        assert!(groups.iter().all(|g| g.len() <= 3));
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 6);
+        assert!(groups.len() <= 3, "expected dense grouping, got {groups:?}");
+    }
+}

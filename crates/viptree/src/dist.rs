@@ -1,0 +1,441 @@
+//! Exact indoor distances and `iMinD` lower bounds over the VIP-tree.
+//!
+//! All computations compose the per-node matrices. Because every stored
+//! distance is an exact global shortest distance and every path leaving a
+//! node crosses one of its access doors, every minimum taken here is exact —
+//! verified against the Dijkstra ground truth by this crate's property
+//! tests.
+
+use ifls_indoor::{DoorId, IndoorPoint, PartitionId};
+
+use crate::node::NodeId;
+use crate::tree::VipTree;
+
+/// A borrowed view of "distances from one door to a node's access doors":
+/// either a dense vivid-matrix row or a leaf-matrix row gathered through
+/// the access-door positions. Avoids allocating in the `door_to_door` hot
+/// path.
+enum AccessDists<'a> {
+    /// Dense row, one entry per access door.
+    Dense(&'a [f64]),
+    /// Leaf-matrix row indexed through access positions.
+    Gather {
+        /// Full leaf-matrix distance row.
+        row: &'a [f64],
+        /// Access-door positions within the row.
+        idx: &'a [u32],
+    },
+    /// Owned fallback (IP-tree climbing mode).
+    Owned(Vec<f64>),
+}
+
+impl AccessDists<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            AccessDists::Dense(v) => v[i],
+            AccessDists::Gather { row, idx } => row[idx[i] as usize],
+            AccessDists::Owned(v) => v[i],
+        }
+    }
+}
+
+impl VipTree<'_> {
+    /// Exact indoor distance between two doors.
+    pub fn door_to_door(&self, d1: DoorId, d2: DoorId) -> f64 {
+        let (l1, i1) = self.door_home[d1.index()];
+        let (l2, i2) = self.door_home[d2.index()];
+        if l1 == l2 {
+            return self.nodes[l1.index()].mat.dist(i1 as usize, i2 as usize);
+        }
+        let lca = self.lca(l1, l2);
+        let c1 = self.ancestor_at_depth(l1, self.depth(lca) + 1);
+        let c2 = self.ancestor_at_depth(l2, self.depth(lca) + 1);
+        let v1 = self.access_dists(l1, i1 as usize, c1);
+        let v2 = self.access_dists(l2, i2 as usize, c2);
+        let pos1 = self.access_positions_in_parent(lca, c1);
+        let pos2 = self.access_positions_in_parent(lca, c2);
+        let mat = &self.nodes[lca.index()].mat;
+        let mut best = f64::INFINITY;
+        for (i, &p1) in pos1.iter().enumerate() {
+            let a = v1.get(i);
+            if a >= best {
+                continue;
+            }
+            let row = p1 as usize;
+            for (j, &p2) in pos2.iter().enumerate() {
+                let total = a + mat.dist(row, p2 as usize) + v2.get(j);
+                if total < best {
+                    best = total;
+                }
+            }
+        }
+        best
+    }
+
+    /// Allocation-free view of the distances from a door (home leaf +
+    /// row) to the access doors of `target` (the leaf itself or an
+    /// ancestor).
+    fn access_dists(&self, leaf: NodeId, row: usize, target: NodeId) -> AccessDists<'_> {
+        if target == leaf {
+            let node = &self.nodes[leaf.index()];
+            return AccessDists::Gather {
+                row: node.mat.dist_row(row),
+                idx: &node.access,
+            };
+        }
+        if self.config.vivid {
+            let k = (self.depth(leaf) - self.depth(target) - 1) as usize;
+            return AccessDists::Dense(self.nodes[leaf.index()].vivid[k].dist_row(row));
+        }
+        AccessDists::Owned(self.door_to_access_of(leaf, row, target))
+    }
+
+    /// Distances from a door (identified by its home leaf and row) to the
+    /// access doors of `target`, which must be the leaf itself or one of
+    /// its ancestors. Order matches `target`'s access-door order.
+    fn door_to_access_of(&self, leaf: NodeId, row: usize, target: NodeId) -> Vec<f64> {
+        if target == leaf {
+            let node = &self.nodes[leaf.index()];
+            return node
+                .access
+                .iter()
+                .map(|&c| node.mat.dist(row, c as usize))
+                .collect();
+        }
+        if self.config.vivid {
+            // Vivid matrices are ordered parent → root.
+            let k = (self.depth(leaf) - self.depth(target) - 1) as usize;
+            let m = &self.nodes[leaf.index()].vivid[k];
+            return (0..m.cols()).map(|c| m.dist(row, c)).collect();
+        }
+        // IP-tree mode: climb level by level combining matrices.
+        let leaf_node = &self.nodes[leaf.index()];
+        let mut cur = leaf;
+        let mut vec: Vec<f64> = leaf_node
+            .access
+            .iter()
+            .map(|&c| leaf_node.mat.dist(row, c as usize))
+            .collect();
+        while cur != target {
+            let parent = self.parent(cur).expect("target is an ancestor");
+            let src_pos = self.access_positions_in_parent(parent, cur);
+            let pnode = &self.nodes[parent.index()];
+            let mut next = vec![f64::INFINITY; pnode.access.len()];
+            for (j, &aj) in pnode.access.iter().enumerate() {
+                let mut best = f64::INFINITY;
+                for (i, &vi) in vec.iter().enumerate() {
+                    let d = vi + pnode.mat.dist(src_pos[i] as usize, aj as usize);
+                    if d < best {
+                        best = d;
+                    }
+                }
+                next[j] = best;
+            }
+            vec = next;
+            cur = parent;
+        }
+        vec
+    }
+
+    /// Positions of `child`'s access doors within `parent`'s door list.
+    fn access_positions_in_parent(&self, parent: NodeId, child: NodeId) -> &[u32] {
+        let ordinal = self
+            .child_nodes(parent)
+            .iter()
+            .position(|&c| c == child)
+            .expect("child belongs to parent");
+        &self.child_access_pos[parent.index()][ordinal]
+    }
+
+    /// Exact indoor distance between two located points.
+    pub fn dist_point_to_point(&self, a: &IndoorPoint, b: &IndoorPoint) -> f64 {
+        if a.partition == b.partition {
+            return self.venue.straight_dist(&a.pos, &b.pos);
+        }
+        let mut best = f64::INFINITY;
+        for &ds in self.venue.partition(a.partition).doors() {
+            let leg_a = self.venue.point_to_door(a, ds);
+            if leg_a >= best {
+                continue;
+            }
+            for &dt in self.venue.partition(b.partition).doors() {
+                let total = leg_a + self.door_to_door(ds, dt) + self.venue.point_to_door(b, dt);
+                if total < best {
+                    best = total;
+                }
+            }
+        }
+        best
+    }
+
+    /// Exact indoor distance from a point to a partition (the partition is
+    /// reached at any of its doors; same partition ⇒ 0).
+    pub fn dist_point_to_partition(&self, a: &IndoorPoint, q: PartitionId) -> f64 {
+        if a.partition == q {
+            return 0.0;
+        }
+        let dists = self.door_dists_to_partition(a.partition, q);
+        self.dist_point_to_partition_via(a, &dists)
+    }
+
+    /// For each door of `p` (in `p`'s door order), the exact indoor
+    /// distance from that door to partition `q`.
+    ///
+    /// This is the shared, per-partition part of the paper's client
+    /// grouping (§5, "grouping the clients while exploring the
+    /// facilities"): computed once per (client partition, facility) pair
+    /// and combined with each client's door legs.
+    pub fn door_dists_to_partition(&self, p: PartitionId, q: PartitionId) -> Vec<f64> {
+        self.venue
+            .partition(p)
+            .doors()
+            .iter()
+            .map(|&ds| {
+                if self.venue.door(ds).partitions().any(|side| side == q) {
+                    return 0.0;
+                }
+                self.venue
+                    .partition(q)
+                    .doors()
+                    .iter()
+                    .map(|&dt| self.door_to_door(ds, dt))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    }
+
+    /// Combines per-door facility distances (from
+    /// [`Self::door_dists_to_partition`]) with a client's in-partition door
+    /// legs. `door_dists` must follow the door order of `a.partition`.
+    pub fn dist_point_to_partition_via(&self, a: &IndoorPoint, door_dists: &[f64]) -> f64 {
+        let doors = self.venue.partition(a.partition).doors();
+        debug_assert_eq!(doors.len(), door_dists.len());
+        doors
+            .iter()
+            .zip(door_dists)
+            .map(|(&ds, &dd)| self.venue.point_to_door(a, ds) + dd)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// `iMinD(p, q)`: the minimum indoor distance between two partitions
+    /// (0 when equal or sharing a door).
+    pub fn min_dist_partition_to_partition(&self, p: PartitionId, q: PartitionId) -> f64 {
+        if p == q {
+            return 0.0;
+        }
+        self.door_dists_to_partition(p, q)
+            .into_iter()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// `iMinD(p, N)`: a lower bound on the distance from any point of
+    /// partition `p` to any partition inside node `N` — 0 when `N`
+    /// contains `p`, otherwise the minimum door-to-access-door distance.
+    pub fn min_dist_partition_to_node(&self, p: PartitionId, n: NodeId) -> f64 {
+        if self.contains_partition(n, p) {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for &ds in self.venue.partition(p).doors() {
+            for a in self.nodes[n.index()].access_doors() {
+                let d = self.door_to_door(ds, a);
+                if d < best {
+                    best = d;
+                }
+            }
+        }
+        best
+    }
+
+    /// `iMinD` from a located point to a node: a lower bound on the
+    /// distance from the point to any partition inside `N`.
+    pub fn min_dist_point_to_node(&self, a: &IndoorPoint, n: NodeId) -> f64 {
+        if self.contains_partition(n, a.partition) {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for &ds in self.venue.partition(a.partition).doors() {
+            let leg = self.venue.point_to_door(a, ds);
+            if leg >= best {
+                continue;
+            }
+            for ad in self.nodes[n.index()].access_doors() {
+                let d = leg + self.door_to_door(ds, ad);
+                if d < best {
+                    best = d;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VipTreeConfig;
+    use ifls_indoor::{GroundTruth, Point};
+    use ifls_venues::{GridVenueSpec, RandomVenueSpec};
+
+    fn check_all_door_pairs(venue: &ifls_indoor::Venue, cfg: VipTreeConfig) {
+        let tree = VipTree::build(venue, cfg);
+        let gt = GroundTruth::compute(venue);
+        for a in venue.door_ids() {
+            for b in venue.door_ids() {
+                let tv = tree.door_to_door(a, b);
+                let gv = gt.d2d(a, b);
+                assert!(
+                    (tv - gv).abs() < 1e-9,
+                    "door {a}->{b}: tree {tv} vs ground truth {gv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn door_distances_exact_on_grid_vivid() {
+        let venue = GridVenueSpec::new("t", 3, 40).build();
+        check_all_door_pairs(&venue, VipTreeConfig::default());
+    }
+
+    #[test]
+    fn door_distances_exact_on_grid_ip_tree() {
+        let venue = GridVenueSpec::new("t", 3, 40).build();
+        check_all_door_pairs(&venue, VipTreeConfig::ip_tree());
+    }
+
+    #[test]
+    fn door_distances_exact_on_random_venues() {
+        for seed in 0..5 {
+            let venue = RandomVenueSpec {
+                cells_x: 4,
+                cells_y: 4,
+                levels: 2,
+                extra_door_prob: 0.4,
+                cell_size: 9.0,
+            }
+            .build(seed);
+            check_all_door_pairs(&venue, VipTreeConfig::default());
+            check_all_door_pairs(&venue, VipTreeConfig::ip_tree());
+        }
+    }
+
+    #[test]
+    fn point_distances_match_ground_truth() {
+        let venue = GridVenueSpec::new("t", 2, 24).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let gt = GroundTruth::compute(&venue);
+        let points: Vec<IndoorPoint> = venue
+            .partitions()
+            .iter()
+            .map(|p| IndoorPoint::new(p.id(), p.center()))
+            .collect();
+        for a in &points {
+            for b in &points {
+                let tv = tree.dist_point_to_point(a, b);
+                let gv = gt.point_to_point(&venue, a, b);
+                assert!((tv - gv).abs() < 1e-9, "{a:?}->{b:?}: {tv} vs {gv}");
+            }
+        }
+    }
+
+    #[test]
+    fn point_to_partition_matches_ground_truth() {
+        let venue = GridVenueSpec::new("t", 2, 24).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let gt = GroundTruth::compute(&venue);
+        for p in venue.partitions() {
+            let a = IndoorPoint::new(p.id(), p.center());
+            for q in venue.partition_ids() {
+                let tv = tree.dist_point_to_partition(&a, q);
+                let gv = gt.point_to_partition(&venue, &a, q);
+                assert!((tv - gv).abs() < 1e-9, "{a:?}->{q}: {tv} vs {gv}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_min_dist_matches_ground_truth() {
+        let venue = GridVenueSpec::new("t", 2, 30).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let gt = GroundTruth::compute(&venue);
+        for p in venue.partition_ids() {
+            for q in venue.partition_ids() {
+                let tv = tree.min_dist_partition_to_partition(p, q);
+                let gv = gt.partition_to_partition(&venue, p, q);
+                assert!((tv - gv).abs() < 1e-9, "{p}->{q}: {tv} vs {gv}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_min_dist_is_a_valid_lower_bound() {
+        let venue = GridVenueSpec::new("t", 2, 30).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let gt = GroundTruth::compute(&venue);
+        for p in venue.partition_ids() {
+            for n in tree.node_ids() {
+                let bound = tree.min_dist_partition_to_node(p, n);
+                // Collect partitions under n.
+                for q in venue.partition_ids() {
+                    if tree.contains_partition(n, q) {
+                        let actual = gt.partition_to_partition(&venue, p, q);
+                        assert!(
+                            bound <= actual + 1e-9,
+                            "iMinD({p},{n})={bound} exceeds dist to {q}={actual}"
+                        );
+                    }
+                }
+                if tree.contains_partition(n, p) {
+                    assert_eq!(bound, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_node_bound_below_point_partition_distances() {
+        let venue = GridVenueSpec::new("t", 2, 20).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        for p in venue.partitions() {
+            let a = IndoorPoint::new(p.id(), p.center());
+            for n in tree.node_ids() {
+                let bound = tree.min_dist_point_to_node(&a, n);
+                for q in venue.partition_ids() {
+                    if tree.contains_partition(n, q) {
+                        let actual = tree.dist_point_to_partition(&a, q);
+                        assert!(bound <= actual + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_distance_equals_direct_distance() {
+        let venue = GridVenueSpec::new("t", 2, 24).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        for p in venue.partitions() {
+            // An off-center client to exercise the door legs.
+            let r = p.rect();
+            let c = IndoorPoint::new(
+                p.id(),
+                Point::new(
+                    r.min_x + 0.25 * r.width(),
+                    r.min_y + 0.7 * r.height(),
+                    p.level_min(),
+                ),
+            );
+            for q in venue.partition_ids() {
+                if q == p.id() {
+                    continue;
+                }
+                let shared = tree.door_dists_to_partition(p.id(), q);
+                let via = tree.dist_point_to_partition_via(&c, &shared);
+                let direct = tree.dist_point_to_partition(&c, q);
+                assert!((via - direct).abs() < 1e-9);
+            }
+        }
+    }
+}

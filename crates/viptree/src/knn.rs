@@ -1,0 +1,402 @@
+//! The facility object layer and top-down incremental nearest-neighbor
+//! search (the traditional VIP-tree NN algorithm used by the paper's
+//! baseline).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use ifls_indoor::{IndoorPoint, PartitionId};
+
+use crate::node::{NodeChildren, NodeId};
+use crate::tree::VipTree;
+
+/// An object layer over a [`VipTree`]: marks which partitions host a
+/// facility and counts facilities per subtree so that empty subtrees are
+/// skipped during search.
+///
+/// Building is `O(|F| · height + nodes)` — cheap enough that the paper
+/// indexes the candidate set `Fn` at query time.
+#[derive(Clone, Debug)]
+pub struct FacilityIndex {
+    is_facility: Vec<bool>,
+    subtree_count: Vec<u32>,
+    len: usize,
+}
+
+impl FacilityIndex {
+    /// Builds the layer for the given facility partitions. Duplicates are
+    /// ignored.
+    pub fn build(tree: &VipTree<'_>, facilities: impl IntoIterator<Item = PartitionId>) -> Self {
+        let mut is_facility = vec![false; tree.venue().num_partitions()];
+        let mut len = 0usize;
+        for f in facilities {
+            if !is_facility[f.index()] {
+                is_facility[f.index()] = true;
+                len += 1;
+            }
+        }
+        // Children always have smaller ids than parents, so one pass in id
+        // order accumulates subtree counts bottom-up.
+        let mut subtree_count = vec![0u32; tree.num_nodes()];
+        for n in tree.node_ids() {
+            let c = match tree.children(n) {
+                NodeChildren::Partitions(ps) => {
+                    ps.iter().filter(|p| is_facility[p.index()]).count() as u32
+                }
+                NodeChildren::Nodes(ns) => ns.iter().map(|c| subtree_count[c.index()]).sum(),
+            };
+            subtree_count[n.index()] = c;
+        }
+        Self {
+            is_facility,
+            subtree_count,
+            len,
+        }
+    }
+
+    /// Whether a partition hosts a facility.
+    #[inline]
+    pub fn contains(&self, p: PartitionId) -> bool {
+        self.is_facility[p.index()]
+    }
+
+    /// Number of distinct facilities.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the layer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of facilities in the subtree of `n`.
+    #[inline]
+    pub fn count_in(&self, n: NodeId) -> u32 {
+        self.subtree_count[n.index()]
+    }
+
+    /// Approximate heap footprint in bytes (for the structural memory
+    /// estimator).
+    pub fn approx_bytes(&self) -> usize {
+        self.is_facility.len() + self.subtree_count.len() * 4
+    }
+}
+
+/// One nearest-neighbor result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NnEntry {
+    /// The facility partition.
+    pub facility: PartitionId,
+    /// Its exact indoor distance from the query point.
+    pub dist: f64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum QueueItem {
+    Node(NodeId),
+    Facility(PartitionId),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct QueueEntry {
+    dist: f64,
+    item: QueueItem,
+}
+
+impl QueueEntry {
+    /// Deterministic tiebreak: facilities pop before nodes at equal
+    /// distance (their distance is exact), then by id.
+    fn key(&self) -> (u8, u32) {
+        match self.item {
+            QueueItem::Facility(p) => (0, p.raw()),
+            QueueItem::Node(n) => (1, n.raw()),
+        }
+    }
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest first.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.key().cmp(&self.key()))
+    }
+}
+
+/// Incremental nearest-neighbor search from a point over a facility layer:
+/// an iterator yielding facilities in non-decreasing exact indoor distance.
+///
+/// This is the traditional top-down traversal (root first, priority queue
+/// on `iMinD` lower bounds) that the paper's modified MinMax baseline
+/// uses; the efficient approach replaces it with a bottom-up shared
+/// traversal implemented in `ifls-core`.
+pub struct IncrementalNn<'t, 'v, 'f> {
+    tree: &'t VipTree<'v>,
+    index: &'f FacilityIndex,
+    query: IndoorPoint,
+    heap: BinaryHeap<QueueEntry>,
+    dist_computations: u64,
+}
+
+impl<'t, 'v, 'f> IncrementalNn<'t, 'v, 'f> {
+    /// Starts a search from `query`.
+    pub fn new(tree: &'t VipTree<'v>, index: &'f FacilityIndex, query: IndoorPoint) -> Self {
+        let mut heap = BinaryHeap::new();
+        if !index.is_empty() {
+            heap.push(QueueEntry {
+                dist: 0.0,
+                item: QueueItem::Node(tree.root()),
+            });
+        }
+        Self {
+            tree,
+            index,
+            query,
+            heap,
+            dist_computations: 0,
+        }
+    }
+
+    /// Number of indoor distance evaluations performed so far (node lower
+    /// bounds and exact facility distances).
+    #[inline]
+    pub fn dist_computations(&self) -> u64 {
+        self.dist_computations
+    }
+
+    /// Approximate current heap footprint in bytes.
+    pub fn approx_queue_bytes(&self) -> usize {
+        self.heap.len() * std::mem::size_of::<QueueEntry>()
+    }
+}
+
+impl VipTree<'_> {
+    /// The `k` nearest facilities of `query` within `index`, in
+    /// non-decreasing exact indoor distance (fewer if the layer holds
+    /// fewer facilities).
+    pub fn k_nearest(
+        &self,
+        index: &FacilityIndex,
+        query: IndoorPoint,
+        k: usize,
+    ) -> Vec<NnEntry> {
+        IncrementalNn::new(self, index, query).take(k).collect()
+    }
+
+    /// All facilities of `index` within indoor distance `radius` of
+    /// `query`, in non-decreasing distance.
+    pub fn facilities_within(
+        &self,
+        index: &FacilityIndex,
+        query: IndoorPoint,
+        radius: f64,
+    ) -> Vec<NnEntry> {
+        IncrementalNn::new(self, index, query)
+            .take_while(|e| e.dist <= radius)
+            .collect()
+    }
+}
+
+impl Iterator for IncrementalNn<'_, '_, '_> {
+    type Item = NnEntry;
+
+    fn next(&mut self) -> Option<NnEntry> {
+        while let Some(QueueEntry { dist, item }) = self.heap.pop() {
+            match item {
+                QueueItem::Facility(p) => {
+                    return Some(NnEntry {
+                        facility: p,
+                        dist,
+                    });
+                }
+                QueueItem::Node(n) => match self.tree.children(n) {
+                    NodeChildren::Partitions(ps) => {
+                        for &p in ps {
+                            if self.index.contains(p) {
+                                self.dist_computations += 1;
+                                let d = self.tree.dist_point_to_partition(&self.query, p);
+                                self.heap.push(QueueEntry {
+                                    dist: d,
+                                    item: QueueItem::Facility(p),
+                                });
+                            }
+                        }
+                    }
+                    NodeChildren::Nodes(ns) => {
+                        for &c in ns {
+                            if self.index.count_in(c) > 0 {
+                                self.dist_computations += 1;
+                                let d = self.tree.min_dist_point_to_node(&self.query, c);
+                                self.heap.push(QueueEntry {
+                                    dist: d,
+                                    item: QueueItem::Node(c),
+                                });
+                            }
+                        }
+                    }
+                },
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VipTreeConfig;
+    use ifls_indoor::GroundTruth;
+    use ifls_venues::GridVenueSpec;
+
+    fn fixture() -> (ifls_indoor::Venue, Vec<PartitionId>) {
+        let venue = GridVenueSpec::new("t", 2, 24).build();
+        // Every 5th partition hosts a facility.
+        let facilities: Vec<PartitionId> = venue.partition_ids().step_by(5).collect();
+        (venue, facilities)
+    }
+
+    #[test]
+    fn facility_index_counts() {
+        let (venue, facilities) = fixture();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let idx = FacilityIndex::build(&tree, facilities.iter().copied());
+        assert_eq!(idx.len(), facilities.len());
+        assert!(!idx.is_empty());
+        assert_eq!(idx.count_in(tree.root()) as usize, facilities.len());
+        for p in venue.partition_ids() {
+            assert_eq!(idx.contains(p), facilities.contains(&p));
+        }
+        // Duplicates ignored.
+        let dup = FacilityIndex::build(
+            &tree,
+            facilities.iter().copied().chain(facilities.iter().copied()),
+        );
+        assert_eq!(dup.len(), facilities.len());
+    }
+
+    #[test]
+    fn nn_yields_all_facilities_in_nondecreasing_order() {
+        let (venue, facilities) = fixture();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let idx = FacilityIndex::build(&tree, facilities.iter().copied());
+        for p in venue.partitions().iter().take(8) {
+            let q = IndoorPoint::new(p.id(), p.center());
+            let results: Vec<NnEntry> = IncrementalNn::new(&tree, &idx, q).collect();
+            assert_eq!(results.len(), facilities.len());
+            for w in results.windows(2) {
+                assert!(w[0].dist <= w[1].dist + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn nn_matches_linear_scan_over_ground_truth() {
+        let (venue, facilities) = fixture();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let gt = GroundTruth::compute(&venue);
+        let idx = FacilityIndex::build(&tree, facilities.iter().copied());
+        for p in venue.partitions() {
+            let q = IndoorPoint::new(p.id(), p.center());
+            let nn = IncrementalNn::new(&tree, &idx, q).next().unwrap();
+            let best = facilities
+                .iter()
+                .map(|&f| gt.point_to_partition(&venue, &q, f))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (nn.dist - best).abs() < 1e-9,
+                "from {}: got {} want {best}",
+                p.id(),
+                nn.dist
+            );
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_sorted_linear_scan() {
+        let (venue, facilities) = fixture();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let gt = GroundTruth::compute(&venue);
+        let idx = FacilityIndex::build(&tree, facilities.iter().copied());
+        let q = IndoorPoint::new(venue.partitions()[2].id(), venue.partitions()[2].center());
+        let got = tree.k_nearest(&idx, q, 3);
+        assert_eq!(got.len(), 3);
+        let mut all: Vec<f64> = facilities
+            .iter()
+            .map(|&f| gt.point_to_partition(&venue, &q, f))
+            .collect();
+        all.sort_by(f64::total_cmp);
+        for (e, want) in got.iter().zip(&all) {
+            assert!((e.dist - want).abs() < 1e-9);
+        }
+        // k larger than the layer yields everything.
+        assert_eq!(tree.k_nearest(&idx, q, 999).len(), facilities.len());
+    }
+
+    #[test]
+    fn range_query_returns_exactly_the_in_radius_facilities() {
+        let (venue, facilities) = fixture();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let gt = GroundTruth::compute(&venue);
+        let idx = FacilityIndex::build(&tree, facilities.iter().copied());
+        let q = IndoorPoint::new(venue.partitions()[0].id(), venue.partitions()[0].center());
+        for radius in [0.0, 10.0, 25.0, 1e6] {
+            let got = tree.facilities_within(&idx, q, radius);
+            let want = facilities
+                .iter()
+                .filter(|&&f| gt.point_to_partition(&venue, &q, f) <= radius)
+                .count();
+            assert_eq!(got.len(), want, "radius {radius}");
+            for e in &got {
+                assert!(e.dist <= radius);
+            }
+        }
+    }
+
+    #[test]
+    fn nn_from_a_facility_partition_is_zero() {
+        let (venue, facilities) = fixture();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let idx = FacilityIndex::build(&tree, facilities.iter().copied());
+        let f = facilities[1];
+        let q = IndoorPoint::new(f, venue.partition(f).center());
+        let nn = IncrementalNn::new(&tree, &idx, q).next().unwrap();
+        assert_eq!(nn.facility, f);
+        assert_eq!(nn.dist, 0.0);
+    }
+
+    #[test]
+    fn empty_index_yields_nothing() {
+        let (venue, _) = fixture();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let idx = FacilityIndex::build(&tree, std::iter::empty());
+        let q = IndoorPoint::new(PartitionId::new(0), venue.partitions()[0].center());
+        assert_eq!(IncrementalNn::new(&tree, &idx, q).count(), 0);
+    }
+
+    #[test]
+    fn instrumentation_counts_grow() {
+        let (venue, facilities) = fixture();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let idx = FacilityIndex::build(&tree, facilities.iter().copied());
+        let q = IndoorPoint::new(PartitionId::new(3), venue.partitions()[3].center());
+        let mut nn = IncrementalNn::new(&tree, &idx, q);
+        assert_eq!(nn.dist_computations(), 0);
+        let _ = nn.next();
+        assert!(nn.dist_computations() > 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Dense distance matrices with first-hop doors, as stored in VIP-tree
+//! nodes.
+
+/// A `rows × cols` matrix of exact indoor distances, each entry paired with
+/// the first-hop door on a shortest path (the paper's `(dist, first-hop)`
+/// matrix entries, cf. Figure 2).
+#[derive(Clone, Debug, Default)]
+pub struct DistMatrix {
+    rows: usize,
+    cols: usize,
+    dist: Vec<f64>,
+    hop: Vec<u32>,
+}
+
+impl DistMatrix {
+    /// Creates a matrix filled with `+∞` distances and invalid hops.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            dist: vec![f64::INFINITY; rows * cols],
+            hop: vec![u32::MAX; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Distance at `(r, c)`.
+    #[inline]
+    pub fn dist(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.dist[r * self.cols + c]
+    }
+
+    /// Raw first-hop door id at `(r, c)` (`u32::MAX` if unset).
+    #[inline]
+    pub fn hop(&self, r: usize, c: usize) -> u32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.hop[r * self.cols + c]
+    }
+
+    /// Sets the entry at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, dist: f64, hop: u32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.dist[r * self.cols + c] = dist;
+        self.hop[r * self.cols + c] = hop;
+    }
+
+    /// One full distance row.
+    #[inline]
+    pub fn dist_row(&self, r: usize) -> &[f64] {
+        &self.dist[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Approximate heap footprint in bytes (used by the structural memory
+    /// estimator of the benchmarks).
+    pub fn approx_bytes(&self) -> usize {
+        self.dist.len() * std::mem::size_of::<f64>() + self.hop.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_matrix_is_infinite() {
+        let m = DistMatrix::new(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        for r in 0..2 {
+            for c in 0..3 {
+                assert!(m.dist(r, c).is_infinite());
+                assert_eq!(m.hop(r, c), u32::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut m = DistMatrix::new(2, 2);
+        m.set(1, 0, 3.5, 7);
+        assert_eq!(m.dist(1, 0), 3.5);
+        assert_eq!(m.hop(1, 0), 7);
+        assert!(m.dist(0, 1).is_infinite());
+    }
+
+    #[test]
+    fn row_slices_are_contiguous() {
+        let mut m = DistMatrix::new(2, 2);
+        m.set(0, 0, 1.0, 0);
+        m.set(0, 1, 2.0, 0);
+        assert_eq!(m.dist_row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_size() {
+        let m = DistMatrix::new(4, 5);
+        assert_eq!(m.approx_bytes(), 20 * 8 + 20 * 4);
+    }
+}

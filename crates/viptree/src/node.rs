@@ -1,0 +1,145 @@
+//! VIP-tree node representation.
+
+use std::fmt;
+
+use ifls_indoor::{DoorId, PartitionId};
+
+use crate::matrix::DistMatrix;
+
+/// Identifier of a VIP-tree node. Leaves come first in id order, then each
+/// upper level, with the root last.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw `u32`.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Creates a node id from a dense index.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        Self(u32::try_from(idx).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Raw value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// The children of a VIP-tree node: partitions for leaves, nodes otherwise.
+#[derive(Clone, Debug)]
+pub enum NodeChildren {
+    /// Leaf node: the indoor partitions it combines.
+    Partitions(Vec<PartitionId>),
+    /// Non-leaf node: its child nodes.
+    Nodes(Vec<NodeId>),
+}
+
+/// One VIP-tree node with its distance matrices.
+#[derive(Clone, Debug)]
+pub(crate) struct Node {
+    /// Parent node (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// Depth from the root (root = 0).
+    pub depth: u32,
+    /// Height from the leaves (leaf = 0).
+    pub height: u32,
+    /// Children.
+    pub children: NodeChildren,
+    /// The node's door universe, sorted by id:
+    /// * leaf — all doors of its partitions;
+    /// * non-leaf — the union of its children's access doors.
+    pub doors: Vec<DoorId>,
+    /// Positions within `doors` that are access doors of this node
+    /// (doors with exactly one side inside the node), ascending.
+    pub access: Vec<u32>,
+    /// Exact global distances between all of `doors` (rows and columns in
+    /// `doors` order), with first hops. For a leaf this covers the paper's
+    /// "all doors × access doors" leaf matrix; for a non-leaf it covers the
+    /// "access doors of all children" matrix.
+    pub mat: DistMatrix,
+    /// Leaf nodes only: for each proper ancestor (parent first, root last),
+    /// exact distances from every door of this leaf to the ancestor's
+    /// access doors — the *vivid* matrices. Empty for non-leaves or when
+    /// built with `vivid: false`.
+    pub vivid: Vec<DistMatrix>,
+}
+
+impl Node {
+    /// Whether this node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.children, NodeChildren::Partitions(_))
+    }
+
+    /// Index of a door within this node's `doors`, if present.
+    #[inline]
+    pub fn door_index(&self, d: DoorId) -> Option<usize> {
+        self.doors.binary_search(&d).ok()
+    }
+
+    /// The node's access doors as ids.
+    pub fn access_doors(&self) -> impl Iterator<Item = DoorId> + '_ {
+        self.access.iter().map(|&i| self.doors[i as usize])
+    }
+
+    /// Approximate heap footprint of this node's matrices, in bytes.
+    pub fn approx_matrix_bytes(&self) -> usize {
+        self.mat.approx_bytes() + self.vivid.iter().map(DistMatrix::approx_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip_and_display() {
+        let n = NodeId::from_index(5);
+        assert_eq!(n.index(), 5);
+        assert_eq!(n.raw(), 5);
+        assert_eq!(n.to_string(), "N5");
+        assert_eq!(format!("{n:?}"), "N5");
+    }
+
+    #[test]
+    fn door_index_uses_sorted_order() {
+        let node = Node {
+            parent: None,
+            depth: 0,
+            height: 0,
+            children: NodeChildren::Partitions(vec![]),
+            doors: vec![DoorId::new(2), DoorId::new(5), DoorId::new(9)],
+            access: vec![1],
+            mat: DistMatrix::new(3, 3),
+            vivid: vec![],
+        };
+        assert_eq!(node.door_index(DoorId::new(5)), Some(1));
+        assert_eq!(node.door_index(DoorId::new(3)), None);
+        assert_eq!(node.access_doors().collect::<Vec<_>>(), vec![DoorId::new(5)]);
+        assert!(node.is_leaf());
+    }
+}

@@ -1,0 +1,290 @@
+//! Shortest-path reconstruction over the VIP-tree.
+//!
+//! The node matrices store first-hop doors (Figure 2 of the IFLS paper);
+//! combined with the exact tree distances, paths are rebuilt greedily: from
+//! the current door, step to the door-graph neighbor that lies on a
+//! shortest path (its edge weight plus its remaining exact distance equals
+//! the current remaining distance). Every step is verified against exact
+//! distances, so the reconstruction cannot drift.
+
+use ifls_indoor::{DoorId, IndoorPoint};
+
+use crate::tree::VipTree;
+
+/// Numerical slack for chaining floating-point distance equalities.
+const PATH_EPS: f64 = 1e-7;
+
+/// A reconstructed indoor route between two located points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndoorPath {
+    /// Total indoor distance.
+    pub dist: f64,
+    /// The doors passed through, in order (empty when both points share a
+    /// partition).
+    pub doors: Vec<DoorId>,
+}
+
+impl VipTree<'_> {
+    /// First hop from `d1` towards `d2` as stored in `d1`'s home-leaf
+    /// matrices, when the pair is co-located in one (same leaf, or `d2` an
+    /// access door of an ancestor). `None` otherwise.
+    pub fn stored_first_hop(&self, d1: DoorId, d2: DoorId) -> Option<DoorId> {
+        let (l1, i1) = self.door_home[d1.index()];
+        let node = &self.nodes[l1.index()];
+        if let Some(j) = node.door_index(d2) {
+            let h = node.mat.hop(i1 as usize, j);
+            return (h != u32::MAX).then(|| DoorId::new(h));
+        }
+        // Vivid matrices: d2 may be an ancestor access door.
+        let mut anc = self.parent(l1);
+        let mut k = 0usize;
+        while let Some(a) = anc {
+            if let Some(j) = self.nodes[a.index()]
+                .access_doors()
+                .position(|ad| ad == d2)
+            {
+                if self.config.vivid {
+                    let h = self.nodes[l1.index()].vivid[k].hop(i1 as usize, j);
+                    return (h != u32::MAX).then(|| DoorId::new(h));
+                }
+                return None;
+            }
+            anc = self.parent(a);
+            k += 1;
+        }
+        None
+    }
+
+    /// The door sequence of a shortest path from `d1` to `d2`, inclusive
+    /// of both endpoints. Returns `None` when unreachable.
+    ///
+    /// Runs in `O(path length · door degree)` exact distance evaluations.
+    pub fn shortest_path_doors(&self, d1: DoorId, d2: DoorId) -> Option<Vec<DoorId>> {
+        let total = self.door_to_door(d1, d2);
+        if !total.is_finite() {
+            return None;
+        }
+        let mut path = vec![d1];
+        let mut cur = d1;
+        let mut remaining = total;
+        let mut visited = vec![false; self.venue.num_doors()];
+        visited[d1.index()] = true;
+        while cur != d2 {
+            let on_shortest = |h: DoorId, w: f64| {
+                (w + self.door_to_door(h, d2) - remaining).abs() <= PATH_EPS * (1.0 + remaining)
+            };
+            // Prefer the stored first hop when the matrices co-locate the
+            // pair; otherwise scan the door-graph neighbors. Visited doors
+            // are excluded so zero-weight edges (coincident doors) cannot
+            // cycle.
+            let next = self
+                .stored_first_hop(cur, d2)
+                .filter(|&h| !visited[h.index()] && on_shortest(h, edge_weight(self, cur, h)))
+                .or_else(|| {
+                    self.graph
+                        .neighbors(cur)
+                        .iter()
+                        .map(|&(n, w)| (DoorId::new(n), w))
+                        .find(|&(n, w)| !visited[n.index()] && on_shortest(n, w))
+                        .map(|(n, _)| n)
+                });
+            let Some(next) = next else {
+                // Rare: every on-path neighbor was already visited through
+                // a zero-weight cluster. Finish the remaining segment with
+                // an exact predecessor walk.
+                let (_, pred) = self.graph.sssp_with_predecessor(cur);
+                let mut tail = Vec::new();
+                let mut t = d2;
+                while t != cur {
+                    tail.push(t);
+                    let p = pred[t.index()];
+                    if p == u32::MAX {
+                        return None;
+                    }
+                    t = DoorId::new(p);
+                }
+                path.extend(tail.into_iter().rev());
+                return Some(path);
+            };
+            remaining -= edge_weight(self, cur, next);
+            cur = next;
+            visited[cur.index()] = true;
+            path.push(cur);
+            debug_assert!(path.len() <= self.venue.num_doors() + 1, "path cycled");
+        }
+        Some(path)
+    }
+
+    /// Shortest route between two located points: the exact distance and
+    /// the doors passed through.
+    pub fn shortest_path(&self, a: &IndoorPoint, b: &IndoorPoint) -> IndoorPath {
+        if a.partition == b.partition {
+            return IndoorPath {
+                dist: self.venue.straight_dist(&a.pos, &b.pos),
+                doors: Vec::new(),
+            };
+        }
+        // Pick the door pair realizing the exact point distance.
+        let mut best = (f64::INFINITY, DoorId::new(0), DoorId::new(0));
+        for &ds in self.venue.partition(a.partition).doors() {
+            let leg_a = self.venue.point_to_door(a, ds);
+            if leg_a >= best.0 {
+                continue;
+            }
+            for &dt in self.venue.partition(b.partition).doors() {
+                let total = leg_a + self.door_to_door(ds, dt) + self.venue.point_to_door(b, dt);
+                if total < best.0 {
+                    best = (total, ds, dt);
+                }
+            }
+        }
+        let doors = self
+            .shortest_path_doors(best.1, best.2)
+            .expect("a finite distance implies a path");
+        IndoorPath {
+            dist: best.0,
+            doors,
+        }
+    }
+}
+
+/// The cheapest direct door-graph edge between two doors (they may share
+/// two partitions).
+fn edge_weight(tree: &VipTree<'_>, a: DoorId, b: DoorId) -> f64 {
+    tree.graph
+        .neighbors(a)
+        .iter()
+        .filter(|&&(n, _)| n == b.raw())
+        .map(|&(_, w)| w)
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{VipTree, VipTreeConfig};
+    use ifls_venues::{GridVenueSpec, RandomVenueSpec};
+
+    fn assert_path_valid(tree: &VipTree<'_>, doors: &[DoorId], d1: DoorId, d2: DoorId) {
+        assert_eq!(*doors.first().unwrap(), d1);
+        assert_eq!(*doors.last().unwrap(), d2);
+        // Consecutive doors share a partition and the edge weights sum to
+        // the exact distance.
+        let mut sum = 0.0;
+        for w in doors.windows(2) {
+            let shared = tree
+                .venue()
+                .door(w[0])
+                .partitions()
+                .any(|p| tree.venue().door(w[1]).partitions().any(|q| p == q));
+            assert!(shared, "{:?} and {:?} share no partition", w[0], w[1]);
+            sum += edge_weight(tree, w[0], w[1]);
+        }
+        let exact = tree.door_to_door(d1, d2);
+        assert!((sum - exact).abs() < 1e-6, "path sums {sum}, exact {exact}");
+    }
+
+    #[test]
+    fn door_paths_are_valid_on_grid() {
+        let venue = GridVenueSpec::new("t", 3, 30).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        for d1 in venue.door_ids().step_by(3) {
+            for d2 in venue.door_ids().step_by(5) {
+                let path = tree.shortest_path_doors(d1, d2).expect("connected venue");
+                assert_path_valid(&tree, &path, d1, d2);
+            }
+        }
+    }
+
+    #[test]
+    fn door_paths_are_valid_on_random_venues() {
+        for seed in 0..4 {
+            let venue = RandomVenueSpec {
+                cells_x: 4,
+                cells_y: 3,
+                levels: 2,
+                extra_door_prob: 0.4,
+                cell_size: 8.0,
+            }
+            .build(seed);
+            let tree = VipTree::build(&venue, VipTreeConfig::default());
+            for d1 in venue.door_ids().step_by(4) {
+                for d2 in venue.door_ids().step_by(3) {
+                    let path = tree.shortest_path_doors(d1, d2).expect("connected venue");
+                    assert_path_valid(&tree, &path, d1, d2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_path_is_single_door() {
+        let venue = GridVenueSpec::small_office().build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let d = venue.door_ids().next().unwrap();
+        assert_eq!(tree.shortest_path_doors(d, d), Some(vec![d]));
+    }
+
+    #[test]
+    fn point_paths_match_point_distances() {
+        let venue = GridVenueSpec::new("t", 2, 20).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let pts: Vec<_> = venue
+            .partitions()
+            .iter()
+            .step_by(3)
+            .map(|p| ifls_indoor::IndoorPoint::new(p.id(), p.center()))
+            .collect();
+        for a in &pts {
+            for b in &pts {
+                let path = tree.shortest_path(a, b);
+                let exact = tree.dist_point_to_point(a, b);
+                assert!((path.dist - exact).abs() < 1e-9);
+                if a.partition == b.partition {
+                    assert!(path.doors.is_empty());
+                } else {
+                    assert!(!path.doors.is_empty());
+                    // First door belongs to a's partition, last to b's.
+                    assert!(tree
+                        .venue()
+                        .door(path.doors[0])
+                        .partitions()
+                        .any(|p| p == a.partition));
+                    assert!(tree
+                        .venue()
+                        .door(*path.doors.last().unwrap())
+                        .partitions()
+                        .any(|p| p == b.partition));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stored_first_hops_are_consistent_within_leaves() {
+        let venue = GridVenueSpec::new("t", 2, 24).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        for n in tree.node_ids().filter(|&n| tree.is_leaf(n)) {
+            let doors: Vec<_> = tree.node_doors(n).to_vec();
+            for &d1 in &doors {
+                for &d2 in &doors {
+                    if d1 == d2 {
+                        continue;
+                    }
+                    // Only doors whose home is this leaf have stored rows
+                    // here.
+                    if tree.door_home[d1.index()].0 != n {
+                        continue;
+                    }
+                    let hop = tree.stored_first_hop(d1, d2).expect("co-located pair");
+                    let w = edge_weight(&tree, d1, hop);
+                    let exact = tree.door_to_door(d1, d2);
+                    assert!(
+                        (w + tree.door_to_door(hop, d2) - exact).abs() < 1e-9,
+                        "hop {hop} off the shortest path {d1}->{d2}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! The [`VipTree`] structure: navigation and introspection.
+
+use ifls_indoor::{DoorId, PartitionId, Venue};
+
+use crate::node::{Node, NodeChildren, NodeId};
+use crate::VipTreeConfig;
+
+/// The VIP-tree index over a venue.
+///
+/// Built with [`VipTree::build`]; borrows the venue for its lifetime.
+/// Distance queries live in the `dist` module's `impl` block, nearest
+/// neighbors in [`crate::knn`].
+pub struct VipTree<'v> {
+    pub(crate) venue: &'v Venue,
+    pub(crate) config: VipTreeConfig,
+    pub(crate) nodes: Vec<Node>,
+    /// The venue's door graph, retained for path reconstruction.
+    pub(crate) graph: ifls_indoor::DoorGraph,
+    pub(crate) root: NodeId,
+    /// Leaf node of each partition.
+    pub(crate) leaf_of: Vec<NodeId>,
+    /// Primary (leaf, row-index) of each door. Doors on a leaf boundary
+    /// belong to two leaves; the primary is the lower-id one, and all
+    /// distance computations are exact for either choice.
+    pub(crate) door_home: Vec<(NodeId, u32)>,
+    /// Positions of each child's access doors within its parent's `doors`
+    /// (outer index = node id of the parent, middle = child ordinal,
+    /// inner = the child's access doors in order). Empty vectors for leaves.
+    pub(crate) child_access_pos: Vec<Vec<Vec<u32>>>,
+}
+
+/// Structural statistics of a built tree.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VipTreeStats {
+    /// Total node count.
+    pub nodes: usize,
+    /// Leaf node count.
+    pub leaves: usize,
+    /// Height of the root (leaves have height 0).
+    pub height: u32,
+    /// Total access doors over all nodes.
+    pub access_doors: usize,
+    /// Approximate bytes held by all distance matrices.
+    pub matrix_bytes: usize,
+}
+
+impl<'v> VipTree<'v> {
+    /// The venue this tree indexes.
+    #[inline]
+    pub fn venue(&self) -> &'v Venue {
+        self.venue
+    }
+
+    /// The configuration the tree was built with.
+    #[inline]
+    pub fn config(&self) -> VipTreeConfig {
+        self.config
+    }
+
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Parent of a node (`None` for the root).
+    #[inline]
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.index()].parent
+    }
+
+    /// Depth of a node (root = 0).
+    #[inline]
+    pub fn depth(&self, n: NodeId) -> u32 {
+        self.nodes[n.index()].depth
+    }
+
+    /// Height of a node (leaves = 0).
+    #[inline]
+    pub fn height(&self, n: NodeId) -> u32 {
+        self.nodes[n.index()].height
+    }
+
+    /// Whether a node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        self.nodes[n.index()].is_leaf()
+    }
+
+    /// The children of a node.
+    #[inline]
+    pub fn children(&self, n: NodeId) -> &NodeChildren {
+        &self.nodes[n.index()].children
+    }
+
+    /// The partitions of a leaf node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a leaf.
+    pub fn leaf_partitions(&self, n: NodeId) -> &[PartitionId] {
+        match &self.nodes[n.index()].children {
+            NodeChildren::Partitions(ps) => ps,
+            NodeChildren::Nodes(_) => panic!("{n} is not a leaf"),
+        }
+    }
+
+    /// The child nodes of a non-leaf node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is a leaf.
+    pub fn child_nodes(&self, n: NodeId) -> &[NodeId] {
+        match &self.nodes[n.index()].children {
+            NodeChildren::Nodes(ns) => ns,
+            NodeChildren::Partitions(_) => panic!("{n} is a leaf"),
+        }
+    }
+
+    /// The leaf node containing a partition.
+    #[inline]
+    pub fn leaf_of_partition(&self, p: PartitionId) -> NodeId {
+        self.leaf_of[p.index()]
+    }
+
+    /// The ancestor of `n` at the given depth (`depth(n)` returns `n`
+    /// itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth > depth(n)`.
+    pub fn ancestor_at_depth(&self, n: NodeId, depth: u32) -> NodeId {
+        let mut cur = n;
+        let d = self.depth(n);
+        assert!(depth <= d, "{n} has depth {d}, below requested {depth}");
+        for _ in 0..(d - depth) {
+            cur = self.parent(cur).expect("depth accounting is consistent");
+        }
+        cur
+    }
+
+    /// Whether `anc` is `n` or one of its ancestors.
+    pub fn is_ancestor_or_self(&self, anc: NodeId, n: NodeId) -> bool {
+        let da = self.depth(anc);
+        let dn = self.depth(n);
+        da <= dn && self.ancestor_at_depth(n, da) == anc
+    }
+
+    /// Whether the subtree of `n` contains partition `p`.
+    #[inline]
+    pub fn contains_partition(&self, n: NodeId, p: PartitionId) -> bool {
+        self.is_ancestor_or_self(n, self.leaf_of_partition(p))
+    }
+
+    /// Lowest common ancestor of two nodes.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let (mut a, mut b) = (a, b);
+        let (da, db) = (self.depth(a), self.depth(b));
+        if da > db {
+            a = self.ancestor_at_depth(a, db);
+        } else if db > da {
+            b = self.ancestor_at_depth(b, da);
+        }
+        while a != b {
+            a = self.parent(a).expect("nodes share the root");
+            b = self.parent(b).expect("nodes share the root");
+        }
+        a
+    }
+
+    /// The access doors of a node.
+    pub fn access_doors(&self, n: NodeId) -> impl Iterator<Item = DoorId> + '_ {
+        self.nodes[n.index()].access_doors()
+    }
+
+    /// Number of access doors of a node.
+    #[inline]
+    pub fn num_access_doors(&self, n: NodeId) -> usize {
+        self.nodes[n.index()].access.len()
+    }
+
+    /// All doors associated with a node (leaf: doors of its partitions;
+    /// non-leaf: union of children's access doors).
+    #[inline]
+    pub fn node_doors(&self, n: NodeId) -> &[DoorId] {
+        &self.nodes[n.index()].doors
+    }
+
+    /// Iterates over node ids, leaves first.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> VipTreeStats {
+        VipTreeStats {
+            nodes: self.nodes.len(),
+            leaves: self.nodes.iter().filter(|n| n.is_leaf()).count(),
+            height: self.nodes[self.root.index()].height,
+            access_doors: self.nodes.iter().map(|n| n.access.len()).sum(),
+            matrix_bytes: self.nodes.iter().map(Node::approx_matrix_bytes).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VipTreeConfig;
+    use ifls_venues::GridVenueSpec;
+
+    fn tree_fixture(venue: &Venue) -> VipTree<'_> {
+        VipTree::build(venue, VipTreeConfig::default())
+    }
+
+    #[test]
+    fn every_partition_is_in_its_leaf() {
+        let venue = GridVenueSpec::small_office().build();
+        let tree = tree_fixture(&venue);
+        for p in venue.partition_ids() {
+            let leaf = tree.leaf_of_partition(p);
+            assert!(tree.is_leaf(leaf));
+            assert!(tree.leaf_partitions(leaf).contains(&p));
+            assert!(tree.contains_partition(leaf, p));
+            assert!(tree.contains_partition(tree.root(), p));
+        }
+    }
+
+    #[test]
+    fn parent_child_links_are_consistent() {
+        let venue = GridVenueSpec::new("t", 3, 40).build();
+        let tree = tree_fixture(&venue);
+        assert_eq!(tree.parent(tree.root()), None);
+        for n in tree.node_ids() {
+            if let Some(p) = tree.parent(n) {
+                assert!(tree.child_nodes(p).contains(&n), "{p} missing child {n}");
+                assert_eq!(tree.depth(n), tree.depth(p) + 1);
+                assert!(tree.height(n) < tree.height(p));
+            } else {
+                assert_eq!(n, tree.root());
+                assert_eq!(tree.depth(n), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_size_respects_config() {
+        let venue = GridVenueSpec::new("t", 2, 30).build();
+        let cfg = VipTreeConfig {
+            leaf_max_partitions: 5,
+            ..VipTreeConfig::default()
+        };
+        let tree = VipTree::build(&venue, cfg);
+        for n in tree.node_ids() {
+            if tree.is_leaf(n) {
+                let k = tree.leaf_partitions(n).len();
+                assert!((1..=5).contains(&k), "leaf {n} has {k} partitions");
+            }
+        }
+        // Every partition appears in exactly one leaf.
+        let mut seen = vec![0; venue.num_partitions()];
+        for n in tree.node_ids().filter(|&n| tree.is_leaf(n)) {
+            for &p in tree.leaf_partitions(n) {
+                seen[p.index()] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn lca_and_ancestors() {
+        let venue = GridVenueSpec::new("t", 3, 60).build();
+        let tree = tree_fixture(&venue);
+        let root = tree.root();
+        for n in tree.node_ids() {
+            assert_eq!(tree.lca(n, root), root);
+            assert_eq!(tree.lca(n, n), n);
+            assert!(tree.is_ancestor_or_self(root, n));
+            assert_eq!(tree.ancestor_at_depth(n, tree.depth(n)), n);
+        }
+        // LCA of two distinct leaves is a strict ancestor of both.
+        let leaves: Vec<_> = tree.node_ids().filter(|&n| tree.is_leaf(n)).collect();
+        if leaves.len() >= 2 {
+            let l = tree.lca(leaves[0], leaves[1]);
+            assert!(!tree.is_leaf(l));
+            assert!(tree.is_ancestor_or_self(l, leaves[0]));
+            assert!(tree.is_ancestor_or_self(l, leaves[1]));
+        }
+    }
+
+    #[test]
+    fn root_has_no_access_doors_inner_nodes_do() {
+        let venue = GridVenueSpec::new("t", 2, 24).build();
+        let tree = tree_fixture(&venue);
+        assert_eq!(tree.num_access_doors(tree.root()), 0);
+        for n in tree.node_ids() {
+            if n != tree.root() {
+                assert!(
+                    tree.num_access_doors(n) > 0,
+                    "non-root {n} must have access doors"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let venue = GridVenueSpec::small_office().build();
+        let tree = tree_fixture(&venue);
+        let s = tree.stats();
+        assert_eq!(s.nodes, tree.num_nodes());
+        assert!(s.leaves >= 1 && s.leaves < s.nodes);
+        assert!(s.height >= 1);
+        assert!(s.matrix_bytes > 0);
+    }
+}

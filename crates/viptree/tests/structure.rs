@@ -1,0 +1,152 @@
+//! Cross-cutting VIP-tree properties: determinism, structural soundness of
+//! access doors and matrices, and vivid/IP-tree equivalence.
+
+use ifls_indoor::GroundTruth;
+use ifls_venues::{GridVenueSpec, NamedVenue, RandomVenueSpec};
+use ifls_viptree::{NodeChildren, VipTree, VipTreeConfig};
+
+#[test]
+fn construction_is_deterministic() {
+    let venue = GridVenueSpec::new("t", 3, 40).build();
+    let a = VipTree::build(&venue, VipTreeConfig::default());
+    let b = VipTree::build(&venue, VipTreeConfig::default());
+    assert_eq!(a.num_nodes(), b.num_nodes());
+    for n in a.node_ids() {
+        assert_eq!(a.parent(n), b.parent(n));
+        assert_eq!(a.node_doors(n), b.node_doors(n));
+        assert_eq!(
+            a.access_doors(n).collect::<Vec<_>>(),
+            b.access_doors(n).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn vivid_and_ip_tree_share_structure() {
+    // The vivid flag changes stored matrices, never the tree shape.
+    let venue = GridVenueSpec::new("t", 2, 30).build();
+    let vip = VipTree::build(&venue, VipTreeConfig::default());
+    let ip = VipTree::build(&venue, VipTreeConfig::ip_tree());
+    assert_eq!(vip.num_nodes(), ip.num_nodes());
+    for n in vip.node_ids() {
+        assert_eq!(vip.parent(n), ip.parent(n));
+        assert_eq!(vip.is_leaf(n), ip.is_leaf(n));
+    }
+    // Vivid stores strictly more matrix bytes.
+    assert!(vip.stats().matrix_bytes > ip.stats().matrix_bytes);
+}
+
+#[test]
+fn access_doors_are_exactly_the_boundary() {
+    let venue = RandomVenueSpec {
+        cells_x: 4,
+        cells_y: 4,
+        levels: 2,
+        extra_door_prob: 0.5,
+        cell_size: 8.0,
+    }
+    .build(3);
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    for n in tree.node_ids() {
+        let access: Vec<_> = tree.access_doors(n).collect();
+        for d in venue.doors() {
+            let Some(b) = d.side_b() else {
+                // Exterior doors are never access doors.
+                assert!(!access.contains(&d.id()));
+                continue;
+            };
+            let ina = tree.contains_partition(n, d.side_a());
+            let inb = tree.contains_partition(n, b);
+            let is_boundary = ina != inb;
+            assert_eq!(
+                access.contains(&d.id()),
+                is_boundary,
+                "{n}: door {} boundary={is_boundary}",
+                d.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_node_door_belongs_to_the_subtree() {
+    let venue = GridVenueSpec::new("t", 2, 24).build();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    for n in tree.node_ids() {
+        for &d in tree.node_doors(n) {
+            let touches = venue
+                .door(d)
+                .partitions()
+                .any(|p| tree.contains_partition(n, p));
+            assert!(touches, "{n}: door {d} unrelated to subtree");
+        }
+    }
+}
+
+#[test]
+fn tree_distances_exact_on_all_named_venues_spot_checked() {
+    // Full APSP comparison is covered on small venues by unit tests; here
+    // we spot-check each named venue on a sample of door pairs.
+    for nv in NamedVenue::ALL {
+        let venue = nv.build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let gt = GroundTruth::compute(&venue);
+        let step = (venue.num_doors() / 23).max(1);
+        for a in venue.door_ids().step_by(step) {
+            for b in venue.door_ids().step_by(step * 2 + 1) {
+                let tv = tree.door_to_door(a, b);
+                let gv = gt.d2d(a, b);
+                assert!(
+                    (tv - gv).abs() < 1e-9,
+                    "{}: {a}->{b} tree {tv} vs dijkstra {gv}",
+                    venue.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn leaf_children_partition_the_venue() {
+    let venue = NamedVenue::MC.build();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let mut seen = vec![false; venue.num_partitions()];
+    let mut leaves = 0;
+    for n in tree.node_ids() {
+        if let NodeChildren::Partitions(ps) = tree.children(n) {
+            leaves += 1;
+            for p in ps {
+                assert!(!seen[p.index()], "partition {p} in two leaves");
+                seen[p.index()] = true;
+            }
+        }
+    }
+    assert!(seen.iter().all(|&s| s));
+    assert!(leaves > 1);
+}
+
+#[test]
+fn named_venue_access_door_sets_stay_small() {
+    // The corridor-segmentation design keeps per-node access-door counts
+    // bounded — the property that makes VIP-tree distance composition
+    // cheap. A regression here silently makes everything quadratically
+    // slower.
+    for (nv, limit) in [
+        (NamedVenue::CH, 40),
+        (NamedVenue::CPH, 40),
+        (NamedVenue::MZB, 48),
+    ] {
+        let venue = nv.build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let max_ad = tree
+            .node_ids()
+            .map(|n| tree.num_access_doors(n))
+            .max()
+            .unwrap();
+        assert!(
+            max_ad <= limit,
+            "{}: max access doors {max_ad} exceeds {limit}",
+            venue.name()
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! The [`WorkloadBuilder`]: one fluent entry point combining client and
+//! facility generation.
+
+use ifls_indoor::{IndoorPoint, PartitionId, Venue};
+use ifls_venues::McCategory;
+
+use crate::clients::{generate_clients, ClientDistribution};
+use crate::facilities::{real_setting_facilities, uniform_facilities};
+
+/// A complete IFLS query workload: clients, existing facilities, and
+/// candidate locations.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Client locations `C`.
+    pub clients: Vec<IndoorPoint>,
+    /// Existing facility partitions `Fe`.
+    pub existing: Vec<PartitionId>,
+    /// Candidate location partitions `Fn`.
+    pub candidates: Vec<PartitionId>,
+}
+
+enum FacilityMode {
+    Uniform { existing: usize, candidates: usize },
+    RealSetting { category: McCategory },
+}
+
+/// Fluent builder for [`Workload`]s over a venue.
+///
+/// ```
+/// use ifls_workloads::WorkloadBuilder;
+/// use ifls_venues::GridVenueSpec;
+///
+/// let venue = GridVenueSpec::small_office().build();
+/// let w = WorkloadBuilder::new(&venue)
+///     .clients_uniform(100)
+///     .existing_uniform(3)
+///     .candidates_uniform(4)
+///     .seed(42)
+///     .build();
+/// assert_eq!(w.clients.len(), 100);
+/// assert_eq!(w.existing.len(), 3);
+/// assert_eq!(w.candidates.len(), 4);
+/// ```
+pub struct WorkloadBuilder<'v> {
+    venue: &'v Venue,
+    num_clients: usize,
+    distribution: ClientDistribution,
+    facilities: FacilityMode,
+    seed: u64,
+}
+
+impl<'v> WorkloadBuilder<'v> {
+    /// Starts a builder with defaults: 1000 uniform clients, 10 existing
+    /// facilities, 20 candidates, seed 0.
+    pub fn new(venue: &'v Venue) -> Self {
+        Self {
+            venue,
+            num_clients: 1000,
+            distribution: ClientDistribution::Uniform,
+            facilities: FacilityMode::Uniform {
+                existing: 10,
+                candidates: 20,
+            },
+            seed: 0,
+        }
+    }
+
+    /// `n` uniformly distributed clients.
+    pub fn clients_uniform(mut self, n: usize) -> Self {
+        self.num_clients = n;
+        self.distribution = ClientDistribution::Uniform;
+        self
+    }
+
+    /// `n` normally distributed clients with the given σ (in venue
+    /// half-extents).
+    pub fn clients_normal(mut self, n: usize, sigma: f64) -> Self {
+        self.num_clients = n;
+        self.distribution = ClientDistribution::Normal { sigma };
+        self
+    }
+
+    /// `n` uniformly selected existing facilities (synthetic setting).
+    pub fn existing_uniform(mut self, n: usize) -> Self {
+        self.facilities = match self.facilities {
+            FacilityMode::Uniform { candidates, .. } => FacilityMode::Uniform {
+                existing: n,
+                candidates,
+            },
+            FacilityMode::RealSetting { .. } => FacilityMode::Uniform {
+                existing: n,
+                candidates: 20,
+            },
+        };
+        self
+    }
+
+    /// `n` uniformly selected candidate locations (synthetic setting).
+    pub fn candidates_uniform(mut self, n: usize) -> Self {
+        self.facilities = match self.facilities {
+            FacilityMode::Uniform { existing, .. } => FacilityMode::Uniform {
+                existing,
+                candidates: n,
+            },
+            FacilityMode::RealSetting { .. } => FacilityMode::Uniform {
+                existing: 10,
+                candidates: n,
+            },
+        };
+        self
+    }
+
+    /// Real setting: the category's partitions are the existing
+    /// facilities, every other non-corridor partition is a candidate.
+    /// Requires a categorized venue (Melbourne Central).
+    pub fn real_setting(mut self, category: McCategory) -> Self {
+        self.facilities = FacilityMode::RealSetting { category };
+        self
+    }
+
+    /// The RNG seed; all generation is deterministic given it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the workload.
+    pub fn build(self) -> Workload {
+        // Decorrelate client and facility streams.
+        let client_seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let facility_seed = self.seed.wrapping_mul(0xD1B5_4A32_D192_ED03).wrapping_add(2);
+        let clients = generate_clients(self.venue, self.num_clients, self.distribution, client_seed);
+        let (existing, candidates) = match self.facilities {
+            FacilityMode::Uniform {
+                existing,
+                candidates,
+            } => uniform_facilities(self.venue, existing, candidates, facility_seed),
+            FacilityMode::RealSetting { category } => {
+                real_setting_facilities(self.venue, category)
+            }
+        };
+        Workload {
+            clients,
+            existing,
+            candidates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifls_venues::{melbourne_central, GridVenueSpec};
+
+    #[test]
+    fn builder_defaults_produce_a_valid_workload() {
+        let v = GridVenueSpec::new("t", 2, 40).build();
+        let w = WorkloadBuilder::new(&v).build();
+        assert_eq!(w.clients.len(), 1000);
+        assert_eq!(w.existing.len(), 10);
+        assert_eq!(w.candidates.len(), 20);
+    }
+
+    #[test]
+    fn real_setting_workload_on_mc() {
+        let v = melbourne_central();
+        let w = WorkloadBuilder::new(&v)
+            .clients_normal(200, 0.5)
+            .real_setting(McCategory::DiningEntertainment)
+            .seed(5)
+            .build();
+        assert_eq!(w.existing.len(), 54);
+        assert_eq!(w.candidates.len(), 237);
+        assert_eq!(w.clients.len(), 200);
+    }
+
+    #[test]
+    fn same_seed_same_workload() {
+        let v = GridVenueSpec::new("t", 2, 40).build();
+        let a = WorkloadBuilder::new(&v).seed(9).build();
+        let b = WorkloadBuilder::new(&v).seed(9).build();
+        assert_eq!(a.clients, b.clients);
+        assert_eq!(a.existing, b.existing);
+        assert_eq!(a.candidates, b.candidates);
+    }
+
+    #[test]
+    fn facility_order_switches_are_respected() {
+        let v = GridVenueSpec::new("t", 2, 40).build();
+        let w = WorkloadBuilder::new(&v)
+            .candidates_uniform(7)
+            .existing_uniform(4)
+            .build();
+        assert_eq!(w.existing.len(), 4);
+        assert_eq!(w.candidates.len(), 7);
+    }
+}

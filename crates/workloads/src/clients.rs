@@ -1,0 +1,214 @@
+//! Client generation: uniform and normal distributions over a venue.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distributions::sample_standard_normal;
+
+use ifls_indoor::{IndoorPoint, PartitionKind, Point, Venue};
+
+/// How client locations are distributed over the venue (§6.1.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ClientDistribution {
+    /// Uniform over the venue's floor area (stairwells excluded).
+    Uniform,
+    /// Normal, centered at the venue's center; `sigma` is expressed in
+    /// half-extents of the venue, matching the paper's σ ∈ [0.125, 2].
+    Normal {
+        /// Standard deviation in half-extents.
+        sigma: f64,
+    },
+}
+
+/// Generates `n` client locations deterministically from `seed`.
+///
+/// Clients are placed inside rooms, halls and corridors — never inside
+/// stairwells. For the normal distribution, samples falling outside every
+/// partition are re-drawn (the footprint of the generated venues is almost
+/// fully tiled, so rejections are rare).
+pub fn generate_clients(
+    venue: &Venue,
+    n: usize,
+    dist: ClientDistribution,
+    seed: u64,
+) -> Vec<IndoorPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match dist {
+        ClientDistribution::Uniform => uniform_clients(venue, n, &mut rng),
+        ClientDistribution::Normal { sigma } => normal_clients(venue, n, sigma, &mut rng),
+    }
+}
+
+/// Uniform over floor area: pick a partition weighted by area, then a
+/// uniform point inside it. Never rejects.
+fn uniform_clients(venue: &Venue, n: usize, rng: &mut StdRng) -> Vec<IndoorPoint> {
+    let eligible: Vec<_> = venue
+        .partitions()
+        .iter()
+        .filter(|p| p.kind() != PartitionKind::Stairwell)
+        .collect();
+    assert!(!eligible.is_empty(), "venue has no client-eligible partitions");
+    // Cumulative areas for weighted sampling.
+    let mut cum = Vec::with_capacity(eligible.len());
+    let mut total = 0.0;
+    for p in &eligible {
+        total += p.rect().area();
+        cum.push(total);
+    }
+    (0..n)
+        .map(|_| {
+            let t = rng.random_range(0.0..total);
+            let idx = cum.partition_point(|&c| c < t).min(eligible.len() - 1);
+            let p = eligible[idx];
+            let r = p.rect();
+            let x = rng.random_range(r.min_x..=r.max_x);
+            let y = rng.random_range(r.min_y..=r.max_y);
+            IndoorPoint::new(p.id(), Point::new(x, y, p.level_min()))
+        })
+        .collect()
+}
+
+/// Normal around the venue center; rejection sampling against the venue's
+/// partitions.
+fn normal_clients(venue: &Venue, n: usize, sigma: f64, rng: &mut StdRng) -> Vec<IndoorPoint> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let b = venue.bounds();
+    let (cx, cy) = b.center();
+    let (lo, hi) = venue.levels();
+    let mid_level = f64::from(lo + hi) / 2.0;
+    let half_w = b.width() / 2.0;
+    let half_h = b.height() / 2.0;
+    let half_l = f64::from(hi - lo) / 2.0;
+
+    let mut out = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    while out.len() < n {
+        attempts += 1;
+        assert!(
+            attempts < n.saturating_mul(10_000).max(1_000_000),
+            "normal client sampling failed to converge; venue footprint too sparse"
+        );
+        let x = cx + sample_standard_normal(rng) * sigma * half_w;
+        let y = cy + sample_standard_normal(rng) * sigma * half_h;
+        let level = if hi == lo {
+            lo
+        } else {
+            let l = mid_level + sample_standard_normal(rng) * sigma * half_l;
+            (l.round() as i32).clamp(lo, hi)
+        };
+        let pos = Point::new(x, y, level);
+        if let Some(pid) = venue.locate(&pos) {
+            if venue.partition(pid).kind() != PartitionKind::Stairwell {
+                out.push(IndoorPoint::new(pid, pos));
+            }
+        }
+    }
+    out
+}
+
+/// Minimal normal sampling built on `rand`'s uniform floats (Box–Muller),
+/// keeping the dependency set to the approved crates.
+mod rand_distributions {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// One standard-normal sample via the Box–Muller transform.
+    pub fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+        loop {
+            let u1: f64 = rng.random_range(0.0..1.0);
+            let u2: f64 = rng.random_range(0.0..1.0);
+            if u1 > f64::MIN_POSITIVE {
+                return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifls_venues::GridVenueSpec;
+
+    fn venue() -> Venue {
+        GridVenueSpec::new("t", 3, 30).build()
+    }
+
+    #[test]
+    fn uniform_clients_land_inside_their_partitions() {
+        let v = venue();
+        let clients = generate_clients(&v, 500, ClientDistribution::Uniform, 1);
+        assert_eq!(clients.len(), 500);
+        for c in &clients {
+            let p = v.partition(c.partition);
+            assert!(p.contains(&c.pos), "client {c:?} outside {}", p.id());
+            assert_ne!(p.kind(), PartitionKind::Stairwell);
+        }
+    }
+
+    #[test]
+    fn normal_clients_land_inside_their_partitions() {
+        let v = venue();
+        for sigma in [0.125, 0.5, 2.0] {
+            let clients =
+                generate_clients(&v, 300, ClientDistribution::Normal { sigma }, 2);
+            assert_eq!(clients.len(), 300);
+            for c in &clients {
+                assert!(v.partition(c.partition).contains(&c.pos));
+                assert_ne!(v.partition(c.partition).kind(), PartitionKind::Stairwell);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let v = venue();
+        let a = generate_clients(&v, 100, ClientDistribution::Uniform, 7);
+        let b = generate_clients(&v, 100, ClientDistribution::Uniform, 7);
+        assert_eq!(a, b);
+        let c = generate_clients(&v, 100, ClientDistribution::Uniform, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn smaller_sigma_concentrates_clients() {
+        let v = venue();
+        let b = v.bounds();
+        let (cx, cy) = b.center();
+        let spread = |sigma: f64| -> f64 {
+            let clients = generate_clients(&v, 800, ClientDistribution::Normal { sigma }, 3);
+            clients
+                .iter()
+                .map(|c| ((c.pos.x - cx).powi(2) + (c.pos.y - cy).powi(2)).sqrt())
+                .sum::<f64>()
+                / 800.0
+        };
+        let tight = spread(0.125);
+        let loose = spread(2.0);
+        assert!(
+            tight < loose,
+            "σ=0.125 spread {tight} should be below σ=2 spread {loose}"
+        );
+    }
+
+    #[test]
+    fn uniform_covers_multiple_levels() {
+        let v = venue();
+        let clients = generate_clients(&v, 600, ClientDistribution::Uniform, 4);
+        let mut levels: Vec<i32> = clients.iter().map(|c| c.pos.level).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        assert!(levels.len() >= 2, "clients stuck on {levels:?}");
+    }
+
+    #[test]
+    fn box_muller_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| rand_distributions::sample_standard_normal(&mut rng))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+}

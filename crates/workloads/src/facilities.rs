@@ -1,0 +1,139 @@
+//! Facility set selection: synthetic (uniform) and real (category-based).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ifls_indoor::{PartitionId, PartitionKind, Venue};
+use ifls_venues::McCategory;
+
+/// Partitions eligible to host facilities in the synthetic setting: rooms
+/// and halls (corridors and stairwells are circulation space).
+pub fn eligible_facility_partitions(venue: &Venue) -> Vec<PartitionId> {
+    venue
+        .partitions()
+        .iter()
+        .filter(|p| matches!(p.kind(), PartitionKind::Room | PartitionKind::Hall))
+        .map(|p| p.id())
+        .collect()
+}
+
+/// Synthetic setting (§6.1.1): disjoint uniform random samples of size
+/// `num_existing` and `num_candidates` from the eligible partitions.
+///
+/// # Panics
+///
+/// Panics if the venue has fewer eligible partitions than
+/// `num_existing + num_candidates`.
+pub fn uniform_facilities(
+    venue: &Venue,
+    num_existing: usize,
+    num_candidates: usize,
+    seed: u64,
+) -> (Vec<PartitionId>, Vec<PartitionId>) {
+    let mut pool = eligible_facility_partitions(venue);
+    assert!(
+        pool.len() >= num_existing + num_candidates,
+        "venue {} has {} eligible partitions, need {}",
+        venue.name(),
+        pool.len(),
+        num_existing + num_candidates
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Partial Fisher–Yates: draw the first `k` elements of a random
+    // permutation.
+    let k = num_existing + num_candidates;
+    for i in 0..k {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    let existing = pool[..num_existing].to_vec();
+    let candidates = pool[num_existing..k].to_vec();
+    (existing, candidates)
+}
+
+/// Real setting (§6.1.2, Melbourne Central): the chosen category's
+/// partitions become the existing facilities and every other non-corridor
+/// partition becomes a candidate location.
+///
+/// Reproduces the paper's cardinalities exactly: for fashion &
+/// accessories, |Fe| = 101 and |Fn| = 190 (and so on, always summing
+/// to 291).
+pub fn real_setting_facilities(
+    venue: &Venue,
+    category: McCategory,
+) -> (Vec<PartitionId>, Vec<PartitionId>) {
+    let mut existing = Vec::new();
+    let mut candidates = Vec::new();
+    for p in venue.partitions() {
+        if p.category() == Some(category.index()) {
+            existing.push(p.id());
+        } else if p.kind() != PartitionKind::Corridor {
+            candidates.push(p.id());
+        }
+    }
+    assert!(
+        !existing.is_empty(),
+        "venue {} has no partitions in category {category:?}; \
+         real-setting workloads need a categorized venue (melbourne_central())",
+        venue.name()
+    );
+    (existing, candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifls_venues::{melbourne_central, GridVenueSpec};
+
+    #[test]
+    fn uniform_sets_are_disjoint_and_sized() {
+        let v = GridVenueSpec::new("t", 2, 40).build();
+        let (fe, fn_) = uniform_facilities(&v, 8, 12, 3);
+        assert_eq!(fe.len(), 8);
+        assert_eq!(fn_.len(), 12);
+        for e in &fe {
+            assert!(!fn_.contains(e), "{e} in both sets");
+        }
+        // All eligible kinds.
+        for &p in fe.iter().chain(&fn_) {
+            assert!(matches!(
+                v.partition(p).kind(),
+                PartitionKind::Room | PartitionKind::Hall
+            ));
+        }
+    }
+
+    #[test]
+    fn uniform_selection_is_deterministic_per_seed() {
+        let v = GridVenueSpec::new("t", 2, 40).build();
+        assert_eq!(uniform_facilities(&v, 5, 5, 1), uniform_facilities(&v, 5, 5, 1));
+        assert_ne!(uniform_facilities(&v, 5, 5, 1), uniform_facilities(&v, 5, 5, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "eligible partitions")]
+    fn uniform_panics_when_pool_too_small() {
+        let v = GridVenueSpec::new("t", 1, 4).build();
+        let _ = uniform_facilities(&v, 3, 3, 0);
+    }
+
+    #[test]
+    fn real_setting_matches_paper_cardinalities() {
+        let v = melbourne_central();
+        for (cat, expected_fn) in McCategory::ALL.iter().zip([190, 237, 252, 272, 277]) {
+            let (fe, fn_) = real_setting_facilities(&v, *cat);
+            assert_eq!(fe.len() as u32, cat.count(), "{cat:?}");
+            assert_eq!(fn_.len(), expected_fn, "{cat:?}");
+            for e in &fe {
+                assert!(!fn_.contains(e));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no partitions in category")]
+    fn real_setting_requires_categorized_venue() {
+        let v = GridVenueSpec::new("t", 1, 6).build();
+        let _ = real_setting_facilities(&v, McCategory::FreshFood);
+    }
+}

@@ -1,0 +1,304 @@
+//! Text interchange format for workloads, mirroring the venue format of
+//! `ifls-indoor`: save a generated workload once, replay it anywhere.
+//!
+//! ```text
+//! ifls-workload v1
+//! venue melbourne-central
+//! client 12 4.25 9.5 0
+//! existing 3
+//! candidate 17
+//! ```
+//!
+//! Loading validates every reference against the venue: partition ids must
+//! exist, client positions must lie inside their partitions, and facility
+//! sets must be disjoint.
+
+use std::error::Error;
+use std::fmt;
+
+use ifls_indoor::{IndoorPoint, PartitionId, Point, Venue};
+
+use crate::builder::Workload;
+
+/// Errors raised while parsing a workload file.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadParseError {
+    /// The `ifls-workload v1` header is missing.
+    MissingHeader,
+    /// A line starts with an unknown directive.
+    UnknownDirective {
+        /// 1-based line number.
+        line: usize,
+        /// The directive word.
+        directive: String,
+    },
+    /// Wrong field count for a directive.
+    BadFieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// The directive being parsed.
+        context: &'static str,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        field: String,
+    },
+    /// A partition reference does not exist in the venue.
+    UnknownPartition {
+        /// 1-based line number.
+        line: usize,
+        /// The referenced id.
+        id: u32,
+    },
+    /// A client position lies outside its partition.
+    ClientOutsidePartition {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A partition appears in both facility sets.
+    OverlappingFacilities {
+        /// The partition present in both sets.
+        id: PartitionId,
+    },
+}
+
+impl fmt::Display for WorkloadParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadParseError::MissingHeader => {
+                write!(f, "missing `ifls-workload v1` header line")
+            }
+            WorkloadParseError::UnknownDirective { line, directive } => {
+                write!(f, "line {line}: unknown directive `{directive}`")
+            }
+            WorkloadParseError::BadFieldCount { line, context } => {
+                write!(f, "line {line}: wrong number of fields for {context}")
+            }
+            WorkloadParseError::BadNumber { line, field } => {
+                write!(f, "line {line}: `{field}` is not a valid number")
+            }
+            WorkloadParseError::UnknownPartition { line, id } => {
+                write!(f, "line {line}: partition {id} does not exist in the venue")
+            }
+            WorkloadParseError::ClientOutsidePartition { line } => {
+                write!(f, "line {line}: client position lies outside its partition")
+            }
+            WorkloadParseError::OverlappingFacilities { id } => {
+                write!(f, "partition {id} is both an existing facility and a candidate")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadParseError {}
+
+/// Serializes a workload to the text format.
+pub fn workload_to_text(w: &Workload, venue: &Venue) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("ifls-workload v1\n");
+    let _ = writeln!(out, "venue {}", venue.name());
+    for c in &w.clients {
+        let _ = writeln!(
+            out,
+            "client {} {} {} {}",
+            c.partition.raw(),
+            c.pos.x,
+            c.pos.y,
+            c.pos.level
+        );
+    }
+    for e in &w.existing {
+        let _ = writeln!(out, "existing {}", e.raw());
+    }
+    for n in &w.candidates {
+        let _ = writeln!(out, "candidate {}", n.raw());
+    }
+    out
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, line: usize) -> Result<T, WorkloadParseError> {
+    s.parse().map_err(|_| WorkloadParseError::BadNumber {
+        line,
+        field: s.to_string(),
+    })
+}
+
+/// Parses and validates a workload against a venue.
+pub fn workload_from_text(text: &str, venue: &Venue) -> Result<Workload, WorkloadParseError> {
+    let mut lines = text.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            None => return Err(WorkloadParseError::MissingHeader),
+            Some((_, l)) if l.trim().is_empty() || l.trim_start().starts_with('#') => continue,
+            Some((_, l)) => break l.trim(),
+        }
+    };
+    if header != "ifls-workload v1" {
+        return Err(WorkloadParseError::MissingHeader);
+    }
+
+    let num_parts = venue.num_partitions() as u32;
+    let check_partition = |raw: u32, line: usize| -> Result<PartitionId, WorkloadParseError> {
+        if raw < num_parts {
+            Ok(PartitionId::new(raw))
+        } else {
+            Err(WorkloadParseError::UnknownPartition { line, id: raw })
+        }
+    };
+
+    let mut w = Workload {
+        clients: Vec::new(),
+        existing: Vec::new(),
+        candidates: Vec::new(),
+    };
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let directive = fields.next().expect("non-empty");
+        match directive {
+            "venue" => { /* informational */ }
+            "client" => {
+                let mut take = |ctx: &'static str| {
+                    fields.next().ok_or(WorkloadParseError::BadFieldCount {
+                        line: line_no,
+                        context: ctx,
+                    })
+                };
+                let p: u32 = parse_num(take("client")?, line_no)?;
+                let x: f64 = parse_num(take("client")?, line_no)?;
+                let y: f64 = parse_num(take("client")?, line_no)?;
+                let level: i32 = parse_num(take("client")?, line_no)?;
+                let pid = check_partition(p, line_no)?;
+                let point = Point::new(x, y, level);
+                if !venue.partition(pid).contains(&point) {
+                    return Err(WorkloadParseError::ClientOutsidePartition { line: line_no });
+                }
+                w.clients.push(IndoorPoint::new(pid, point));
+            }
+            "existing" | "candidate" => {
+                let raw: u32 = parse_num(
+                    fields.next().ok_or(WorkloadParseError::BadFieldCount {
+                        line: line_no,
+                        context: "facility",
+                    })?,
+                    line_no,
+                )?;
+                let pid = check_partition(raw, line_no)?;
+                if directive == "existing" {
+                    w.existing.push(pid);
+                } else {
+                    w.candidates.push(pid);
+                }
+            }
+            other => {
+                return Err(WorkloadParseError::UnknownDirective {
+                    line: line_no,
+                    directive: other.to_string(),
+                })
+            }
+        }
+    }
+    if let Some(&id) = w.existing.iter().find(|e| w.candidates.contains(e)) {
+        return Err(WorkloadParseError::OverlappingFacilities { id });
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadBuilder;
+    use ifls_venues::GridVenueSpec;
+
+    #[test]
+    fn round_trips_a_generated_workload() {
+        let venue = GridVenueSpec::new("t", 2, 20).build();
+        let w = WorkloadBuilder::new(&venue)
+            .clients_normal(40, 0.5)
+            .existing_uniform(3)
+            .candidates_uniform(5)
+            .seed(4)
+            .build();
+        let text = workload_to_text(&w, &venue);
+        let w2 = workload_from_text(&text, &venue).unwrap();
+        assert_eq!(w.clients, w2.clients);
+        assert_eq!(w.existing, w2.existing);
+        assert_eq!(w.candidates, w2.candidates);
+    }
+
+    #[test]
+    fn header_is_required() {
+        let venue = GridVenueSpec::new("t", 1, 4).build();
+        assert_eq!(
+            workload_from_text("client 0 1 1 0", &venue).unwrap_err(),
+            WorkloadParseError::MissingHeader
+        );
+    }
+
+    #[test]
+    fn dangling_partition_is_rejected() {
+        let venue = GridVenueSpec::new("t", 1, 4).build();
+        let text = "ifls-workload v1\nexisting 99\n";
+        assert!(matches!(
+            workload_from_text(text, &venue).unwrap_err(),
+            WorkloadParseError::UnknownPartition { id: 99, .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_partition_client_is_rejected() {
+        let venue = GridVenueSpec::new("t", 1, 4).build();
+        let text = "ifls-workload v1\nclient 0 -100 0 0\n";
+        assert!(matches!(
+            workload_from_text(text, &venue).unwrap_err(),
+            WorkloadParseError::ClientOutsidePartition { .. }
+        ));
+    }
+
+    #[test]
+    fn overlapping_facility_sets_are_rejected() {
+        let venue = GridVenueSpec::new("t", 1, 4).build();
+        let text = "ifls-workload v1\nexisting 1\ncandidate 1\n";
+        assert!(matches!(
+            workload_from_text(text, &venue).unwrap_err(),
+            WorkloadParseError::OverlappingFacilities { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_numbers_and_directives_report_lines() {
+        let venue = GridVenueSpec::new("t", 1, 4).build();
+        match workload_from_text("ifls-workload v1\nclient 0 x 0 0\n", &venue) {
+            Err(WorkloadParseError::BadNumber { line, field }) => {
+                assert_eq!(line, 2);
+                assert_eq!(field, "x");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            workload_from_text("ifls-workload v1\nfrob 1\n", &venue),
+            Err(WorkloadParseError::UnknownDirective { .. })
+        ));
+        assert!(matches!(
+            workload_from_text("ifls-workload v1\nclient 0 1\n", &venue),
+            Err(WorkloadParseError::BadFieldCount { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let venue = GridVenueSpec::new("t", 1, 4).build();
+        let text = "\n# header next\nifls-workload v1\n\n# facilities\nexisting 1\ncandidate 2\n";
+        let w = workload_from_text(text, &venue).unwrap();
+        assert_eq!(w.existing.len(), 1);
+        assert_eq!(w.candidates.len(), 1);
+        assert!(w.clients.is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Client and facility workload generation for IFLS experiments.
+//!
+//! Implements §6.1 of the paper:
+//!
+//! * **Clients** are points inside non-stairwell partitions, generated
+//!   either uniformly over the floor area or from a normal distribution
+//!   centered at the venue's center with standard deviation `σ` expressed
+//!   in half-extents (σ ∈ {0.125, 0.25, 0.5, 1, 2} in the paper).
+//! * **Synthetic setting** — existing facilities `Fe` and candidate
+//!   locations `Fn` are disjoint uniform random samples of the venue's
+//!   rooms/halls.
+//! * **Real setting** (Melbourne Central) — `Fe` is one shop category and
+//!   `Fn` is every other non-corridor partition.
+//! * [`spec`] encodes the full parameter grid of Table 2.
+//!
+//! All generation is seeded and deterministic.
+
+mod builder;
+mod clients;
+mod facilities;
+pub mod io;
+pub mod spec;
+
+pub use builder::{Workload, WorkloadBuilder};
+pub use clients::{generate_clients, ClientDistribution};
+pub use facilities::{eligible_facility_partitions, real_setting_facilities, uniform_facilities};
+pub use io::{workload_from_text, workload_to_text, WorkloadParseError};
+pub use spec::{ParameterGrid, SyntheticParams, CLIENT_SIZES, DEFAULT_CLIENTS, SIGMAS};

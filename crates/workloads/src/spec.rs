@@ -1,0 +1,200 @@
+//! The paper's experiment parameter grid (Table 2).
+//!
+//! For each venue, `Fe` and `Fn` are swept over the paper's ranges while
+//! every other parameter stays at its default (the range mean); client
+//! sizes and normal-distribution σ values are shared across venues.
+
+use ifls_venues::NamedVenue;
+
+/// Client set sizes |C| (both settings).
+pub const CLIENT_SIZES: [usize; 5] = [1_000, 5_000, 10_000, 15_000, 20_000];
+
+/// Default client size (the grid midpoint).
+pub const DEFAULT_CLIENTS: usize = 10_000;
+
+/// Normal-distribution standard deviations σ (both settings), μ = 0.
+pub const SIGMAS: [f64; 5] = [0.125, 0.25, 0.5, 1.0, 2.0];
+
+/// One synthetic-setting configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SyntheticParams {
+    /// Target venue.
+    pub venue: NamedVenue,
+    /// Existing facility count |Fe|.
+    pub fe: usize,
+    /// Candidate location count |Fn|.
+    pub fn_: usize,
+    /// Client count |C|.
+    pub clients: usize,
+    /// Normal σ, or `None` for uniform clients.
+    pub sigma: Option<f64>,
+}
+
+/// Table 2 ranges per venue.
+#[derive(Clone, Copy, Debug)]
+pub struct ParameterGrid {
+    /// The venue the grid applies to.
+    pub venue: NamedVenue,
+}
+
+impl ParameterGrid {
+    /// Grid for a venue.
+    pub const fn new(venue: NamedVenue) -> Self {
+        Self { venue }
+    }
+
+    /// |Fe| sweep values: `[a, b]` with the paper's Δ.
+    pub fn fe_range(&self) -> Vec<usize> {
+        match self.venue {
+            NamedVenue::MC => (25..=125).step_by(25).collect(),
+            NamedVenue::CH => (50..=150).step_by(25).collect(),
+            NamedVenue::CPH => (10..=30).step_by(5).collect(),
+            NamedVenue::MZB => (100..=500).step_by(100).collect(),
+        }
+    }
+
+    /// |Fn| sweep values.
+    pub fn fn_range(&self) -> Vec<usize> {
+        match self.venue {
+            NamedVenue::MC => (100..=200).step_by(25).collect(),
+            NamedVenue::CH => (100..=500).step_by(100).collect(),
+            NamedVenue::CPH => (25..=45).step_by(5).collect(),
+            NamedVenue::MZB => (300..=700).step_by(100).collect(),
+        }
+    }
+
+    /// Default |Fe| (the mean of the range, per §6.1.2).
+    pub fn default_fe(&self) -> usize {
+        let r = self.fe_range();
+        r.iter().sum::<usize>() / r.len()
+    }
+
+    /// Default |Fn| (the mean of the range).
+    pub fn default_fn(&self) -> usize {
+        let r = self.fn_range();
+        r.iter().sum::<usize>() / r.len()
+    }
+
+    /// The default configuration for this venue with uniform clients.
+    pub fn defaults(&self) -> SyntheticParams {
+        SyntheticParams {
+            venue: self.venue,
+            fe: self.default_fe(),
+            fn_: self.default_fn(),
+            clients: DEFAULT_CLIENTS,
+            sigma: None,
+        }
+    }
+
+    /// The |C| sweep (Fig. 7a / 8a): defaults with varying client size.
+    pub fn sweep_clients(&self) -> Vec<SyntheticParams> {
+        CLIENT_SIZES
+            .iter()
+            .map(|&c| SyntheticParams {
+                clients: c,
+                ..self.defaults()
+            })
+            .collect()
+    }
+
+    /// The |Fe| sweep (Fig. 7b / 8b).
+    pub fn sweep_fe(&self) -> Vec<SyntheticParams> {
+        self.fe_range()
+            .into_iter()
+            .map(|fe| SyntheticParams {
+                fe,
+                ..self.defaults()
+            })
+            .collect()
+    }
+
+    /// The |Fn| sweep (Fig. 7c / 8c).
+    pub fn sweep_fn(&self) -> Vec<SyntheticParams> {
+        self.fn_range()
+            .into_iter()
+            .map(|fn_| SyntheticParams {
+                fn_,
+                ..self.defaults()
+            })
+            .collect()
+    }
+
+    /// The σ sweep (Fig. 6, synthetic panels): defaults with normal
+    /// clients of varying σ.
+    pub fn sweep_sigma(&self) -> Vec<SyntheticParams> {
+        SIGMAS
+            .iter()
+            .map(|&s| SyntheticParams {
+                sigma: Some(s),
+                ..self.defaults()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_match_table_2() {
+        let mc = ParameterGrid::new(NamedVenue::MC);
+        assert_eq!(mc.fe_range(), vec![25, 50, 75, 100, 125]);
+        assert_eq!(mc.fn_range(), vec![100, 125, 150, 175, 200]);
+        assert_eq!(mc.default_fe(), 75);
+        assert_eq!(mc.default_fn(), 150);
+
+        let ch = ParameterGrid::new(NamedVenue::CH);
+        assert_eq!(ch.fe_range(), vec![50, 75, 100, 125, 150]);
+        assert_eq!(ch.fn_range(), vec![100, 200, 300, 400, 500]);
+        assert_eq!(ch.default_fe(), 100);
+        assert_eq!(ch.default_fn(), 300);
+
+        let cph = ParameterGrid::new(NamedVenue::CPH);
+        assert_eq!(cph.fe_range(), vec![10, 15, 20, 25, 30]);
+        assert_eq!(cph.fn_range(), vec![25, 30, 35, 40, 45]);
+        assert_eq!(cph.default_fe(), 20);
+        assert_eq!(cph.default_fn(), 35);
+
+        let mzb = ParameterGrid::new(NamedVenue::MZB);
+        assert_eq!(mzb.fe_range(), vec![100, 200, 300, 400, 500]);
+        assert_eq!(mzb.fn_range(), vec![300, 400, 500, 600, 700]);
+        assert_eq!(mzb.default_fe(), 300);
+        assert_eq!(mzb.default_fn(), 500);
+    }
+
+    #[test]
+    fn sweeps_vary_one_parameter_only() {
+        let g = ParameterGrid::new(NamedVenue::MC);
+        let d = g.defaults();
+        for p in g.sweep_fe() {
+            assert_eq!(p.fn_, d.fn_);
+            assert_eq!(p.clients, d.clients);
+            assert_eq!(p.sigma, None);
+        }
+        for p in g.sweep_fn() {
+            assert_eq!(p.fe, d.fe);
+        }
+        for p in g.sweep_clients() {
+            assert_eq!(p.fe, d.fe);
+            assert_eq!(p.fn_, d.fn_);
+        }
+        for p in g.sweep_sigma() {
+            assert!(p.sigma.is_some());
+            assert_eq!(p.clients, d.clients);
+        }
+        assert_eq!(g.sweep_sigma().len(), SIGMAS.len());
+        assert_eq!(g.sweep_clients().len(), CLIENT_SIZES.len());
+    }
+
+    #[test]
+    fn cph_max_sweeps_fit_its_room_count() {
+        // CPH has 70 eligible partitions; the largest one-at-a-time sweep
+        // combination must fit.
+        let g = ParameterGrid::new(NamedVenue::CPH);
+        let max_fe_combo = g.fe_range().last().unwrap() + g.default_fn();
+        let max_fn_combo = g.default_fe() + g.fn_range().last().unwrap();
+        assert!(max_fe_combo <= 70, "{max_fe_combo}");
+        assert!(max_fn_combo <= 70, "{max_fn_combo}");
+    }
+}

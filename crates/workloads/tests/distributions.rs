@@ -1,0 +1,136 @@
+//! Distribution-level properties of the workload generators.
+
+use ifls_indoor::PartitionKind;
+use ifls_venues::{melbourne_central, GridVenueSpec, McCategory, NamedVenue};
+use ifls_workloads::{
+    eligible_facility_partitions, generate_clients, real_setting_facilities, uniform_facilities,
+    ClientDistribution, ParameterGrid, WorkloadBuilder,
+};
+
+#[test]
+fn uniform_clients_are_area_weighted() {
+    // A venue with one huge hall and many small rooms: most clients land
+    // in the hall.
+    let mut spec = GridVenueSpec::new("t", 1, 10);
+    spec.room_width = 2.0;
+    spec.room_depth = 2.0;
+    spec.corridor_width = 40.0; // the "hall"
+    spec.stair_banks = 0;
+    let v = spec.build();
+    let clients = generate_clients(&v, 2000, ClientDistribution::Uniform, 1);
+    let in_corridor = clients
+        .iter()
+        .filter(|c| v.partition(c.partition).kind() == PartitionKind::Corridor)
+        .count();
+    // Corridor area = 10m of width × 40m ≈ 400 / total ≈ 440.
+    assert!(
+        in_corridor > 1500,
+        "expected area weighting, got {in_corridor}/2000 in the hall"
+    );
+}
+
+#[test]
+fn normal_levels_cluster_around_the_middle() {
+    let v = NamedVenue::MZB.build(); // 16 levels
+    let clients = generate_clients(&v, 3000, ClientDistribution::Normal { sigma: 0.25 }, 5);
+    let mid = 15.0 / 2.0; // levels 0..=15
+    let avg_level: f64 =
+        clients.iter().map(|c| f64::from(c.pos.level)).sum::<f64>() / clients.len() as f64;
+    assert!(
+        (avg_level - mid).abs() < 1.5,
+        "avg level {avg_level}, expected near {mid}"
+    );
+    // σ = 0.25 of 8 half-levels ⇒ levels concentrate within ±4 of center.
+    let near = clients
+        .iter()
+        .filter(|c| (f64::from(c.pos.level) - mid).abs() <= 4.0)
+        .count();
+    assert!(near as f64 > 0.9 * clients.len() as f64);
+}
+
+#[test]
+fn sigma_two_is_much_wider_than_sigma_eighth() {
+    let v = melbourne_central();
+    let b = v.bounds();
+    let (cx, _) = b.center();
+    let spread = |sigma| {
+        let cs = generate_clients(&v, 2000, ClientDistribution::Normal { sigma }, 7);
+        cs.iter().map(|c| (c.pos.x - cx).abs()).sum::<f64>() / cs.len() as f64
+    };
+    assert!(spread(2.0) > 2.0 * spread(0.125));
+}
+
+#[test]
+fn uniform_facilities_cover_the_pool_over_many_seeds() {
+    let v = GridVenueSpec::new("t", 2, 20).build();
+    let pool = eligible_facility_partitions(&v);
+    let mut chosen = vec![false; v.num_partitions()];
+    for seed in 0..200 {
+        let (fe, fn_) = uniform_facilities(&v, 2, 3, seed);
+        for p in fe.into_iter().chain(fn_) {
+            chosen[p.index()] = true;
+        }
+    }
+    // Every eligible partition is selected at least once across seeds.
+    for p in &pool {
+        assert!(chosen[p.index()], "{p} never chosen in 200 seeds");
+    }
+}
+
+#[test]
+fn real_setting_covers_every_non_corridor_partition_once() {
+    let v = melbourne_central();
+    for cat in McCategory::ALL {
+        let (fe, fn_) = real_setting_facilities(&v, cat);
+        let mut seen = vec![0u8; v.num_partitions()];
+        for p in fe.iter().chain(&fn_) {
+            seen[p.index()] += 1;
+        }
+        for p in v.partitions() {
+            let expected = u8::from(p.kind() != PartitionKind::Corridor);
+            assert_eq!(seen[p.id().index()], expected, "{cat:?}: {}", p.id());
+        }
+    }
+}
+
+#[test]
+fn table2_sweeps_fit_every_named_venue() {
+    // Every sweep combination must be generatable on its venue: this is
+    // the guard that the venue reconstructions have enough eligible rooms.
+    for nv in NamedVenue::ALL {
+        let venue = nv.build();
+        let grid = ParameterGrid::new(nv);
+        let mut combos = vec![];
+        combos.extend(grid.sweep_fe());
+        combos.extend(grid.sweep_fn());
+        for p in combos {
+            let w = WorkloadBuilder::new(&venue)
+                .clients_uniform(10)
+                .existing_uniform(p.fe)
+                .candidates_uniform(p.fn_)
+                .seed(0)
+                .build();
+            assert_eq!(w.existing.len(), p.fe, "{nv:?} {p:?}");
+            assert_eq!(w.candidates.len(), p.fn_, "{nv:?} {p:?}");
+        }
+    }
+}
+
+#[test]
+fn workloads_differ_across_seeds_but_not_within() {
+    let v = GridVenueSpec::new("t", 2, 30).build();
+    let mk = |seed| {
+        WorkloadBuilder::new(&v)
+            .clients_normal(50, 0.5)
+            .existing_uniform(3)
+            .candidates_uniform(4)
+            .seed(seed)
+            .build()
+    };
+    let a = mk(1);
+    let b = mk(1);
+    let c = mk(2);
+    assert_eq!(a.clients, b.clients);
+    assert_eq!(a.existing, b.existing);
+    assert!(a.clients != c.clients || a.existing != c.existing);
+}

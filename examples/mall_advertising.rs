@@ -1,0 +1,83 @@
+//! The paper's shopping-mall scenarios (§1) on the Melbourne Central
+//! reconstruction:
+//!
+//! 1. a coffee chain adds one shop so no shopper is far from coffee
+//!    (MinMax over the "dining & entertainment" category), and
+//! 2. an advertising agency places a booth to capture the most shoppers
+//!    (MaxSum), with placement restricted to the allowed candidate rooms.
+//!
+//! ```sh
+//! cargo run --release --example mall_advertising
+//! ```
+
+use ifls::core::maxsum::EfficientMaxSum;
+use ifls::prelude::*;
+use ifls::venues::{melbourne_central, McCategory};
+
+fn main() {
+    let venue = melbourne_central();
+    println!(
+        "Melbourne Central reconstruction: {} partitions, {} doors, {} levels",
+        venue.num_partitions(),
+        venue.num_doors(),
+        venue.num_levels()
+    );
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+
+    // Saturday afternoon crowd: shoppers cluster around the central atrium.
+    let w = WorkloadBuilder::new(&venue)
+        .clients_normal(2_000, 0.5)
+        .real_setting(McCategory::DiningEntertainment)
+        .seed(2024)
+        .build();
+    println!(
+        "{} shoppers; {} existing dining & entertainment venues; {} candidate rooms",
+        w.clients.len(),
+        w.existing.len(),
+        w.candidates.len()
+    );
+
+    // 1. MinMax: the new coffee shop.
+    let coffee = EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    match coffee.answer {
+        Some(p) => println!(
+            "coffee shop goes to `{}` on level {}: the farthest shopper is {:.1} m from food",
+            venue.partition(p).name(),
+            venue.partition(p).level_min(),
+            coffee.objective
+        ),
+        None => println!("every shopper already stands inside a dining venue"),
+    }
+    println!(
+        "  ({} distance computations, {} of {} shoppers pruned early)",
+        coffee.stats.dist_computations, coffee.stats.clients_pruned, w.clients.len()
+    );
+
+    // 2. MaxSum: the advertising booth. The agency may not use fresh-food
+    // or bank rooms, so restrict the candidate set.
+    let allowed: Vec<PartitionId> = w
+        .candidates
+        .iter()
+        .copied()
+        .filter(|&p| {
+            let cat = venue.partition(p).category();
+            cat != Some(McCategory::FreshFood.index())
+                && cat != Some(McCategory::BanksServices.index())
+        })
+        .collect();
+    let booth = EfficientMaxSum::new(&tree).run(&w.clients, &w.existing, &allowed);
+    println!(
+        "advertising booth goes to `{}`: it becomes the closest attraction for {} of {} shoppers",
+        venue.partition(booth.answer.expect("candidates non-empty")).name(),
+        booth.wins,
+        w.clients.len()
+    );
+
+    // Cross-check the MinMax result with the baseline.
+    let baseline = ModifiedMinMax::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    assert!((baseline.objective - coffee.objective).abs() < 1e-9);
+    println!(
+        "baseline agrees; query time {:?} (baseline) vs {:?} (efficient)",
+        baseline.stats.elapsed, coffee.stats.elapsed
+    );
+}

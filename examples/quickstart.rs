@@ -1,0 +1,73 @@
+//! Quickstart: build a venue, index it, answer an IFLS query.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ifls::prelude::*;
+
+fn main() {
+    // A small two-level office building: corridor-backbone floors joined
+    // by a stairwell.
+    let venue = ifls::venues::GridVenueSpec::small_office().build();
+    println!(
+        "venue `{}`: {} partitions, {} doors, {} levels",
+        venue.name(),
+        venue.num_partitions(),
+        venue.num_doors(),
+        venue.num_levels()
+    );
+
+    // The VIP-tree indexes the space once; facility sets are cheap object
+    // layers on top.
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let stats = tree.stats();
+    println!(
+        "VIP-tree: {} nodes ({} leaves), height {}, {:.1} KiB of matrices",
+        stats.nodes,
+        stats.leaves,
+        stats.height,
+        stats.matrix_bytes as f64 / 1024.0
+    );
+
+    // A reproducible workload: 120 clients, 2 existing coffee machines,
+    // 5 candidate locations for a third one.
+    let w = WorkloadBuilder::new(&venue)
+        .clients_uniform(120)
+        .existing_uniform(2)
+        .candidates_uniform(5)
+        .seed(42)
+        .build();
+
+    // Where should the new machine go so the farthest client is closest?
+    let outcome = EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    match outcome.answer {
+        Some(p) => println!(
+            "place the new facility in {} (`{}`): max client distance becomes {:.2} m",
+            p,
+            venue.partition(p).name(),
+            outcome.objective
+        ),
+        None => println!(
+            "no candidate improves any client; the max distance stays {:.2} m",
+            outcome.objective
+        ),
+    }
+    println!(
+        "efficient approach: {} indoor distance computations, {} facilities retrieved, {} clients pruned, {:.1} KiB peak",
+        outcome.stats.dist_computations,
+        outcome.stats.facilities_retrieved,
+        outcome.stats.clients_pruned,
+        outcome.stats.peak_bytes as f64 / 1024.0
+    );
+
+    // The modified MinMax baseline reaches the same answer, slower.
+    let baseline = ModifiedMinMax::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    assert!((baseline.objective - outcome.objective).abs() < 1e-9);
+    println!(
+        "baseline agrees (objective {:.2} m) with {} distance computations ({:.2}x the efficient approach)",
+        baseline.objective,
+        baseline.stats.dist_computations,
+        baseline.stats.dist_computations as f64 / outcome.stats.dist_computations.max(1) as f64
+    );
+}

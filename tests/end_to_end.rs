@@ -1,0 +1,161 @@
+//! End-to-end integration: the full pipeline (venue → VIP-tree → workload
+//! → all solvers) on the paper's venues at reduced scale, checking both
+//! correctness and the paper's headline cost relationships.
+
+use ifls::core::maxsum::{BruteForceMaxSum, EfficientMaxSum};
+use ifls::core::mindist::{BruteForceMinDist, EfficientMinDist};
+use ifls::prelude::*;
+use ifls::venues::{McCategory, NamedVenue};
+use ifls::workloads::ParameterGrid;
+
+fn run_all_solvers(venue: &Venue, tree: &VipTree<'_>, w: &ifls::workloads::Workload) {
+    let eff = EfficientIfls::new(tree).run(&w.clients, &w.existing, &w.candidates);
+    let base = ModifiedMinMax::new(tree).run(&w.clients, &w.existing, &w.candidates);
+    let brute = BruteForce::new(tree).run(&w.clients, &w.existing, &w.candidates);
+    assert!(
+        (eff.objective - brute.objective).abs() < 1e-6,
+        "{}: efficient {} vs brute {}",
+        venue.name(),
+        eff.objective,
+        brute.objective
+    );
+    assert!(
+        (base.objective - brute.objective).abs() < 1e-6,
+        "{}: baseline {} vs brute {}",
+        venue.name(),
+        base.objective,
+        brute.objective
+    );
+}
+
+#[test]
+fn all_solvers_agree_on_every_named_venue() {
+    for nv in NamedVenue::ALL {
+        let venue = nv.build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let grid = ParameterGrid::new(nv);
+        let d = grid.defaults();
+        // Small |C| keeps brute force affordable; facility counts follow
+        // the paper's defaults.
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(120)
+            .existing_uniform(d.fe)
+            .candidates_uniform(d.fn_)
+            .seed(1)
+            .build();
+        run_all_solvers(&venue, &tree, &w);
+    }
+}
+
+#[test]
+fn real_setting_categories_agree_with_brute_force() {
+    let venue = ifls::venues::melbourne_central();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    for cat in McCategory::ALL {
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(100)
+            .real_setting(cat)
+            .seed(3)
+            .build();
+        run_all_solvers(&venue, &tree, &w);
+    }
+}
+
+#[test]
+fn normal_clients_agree_across_sigmas() {
+    let venue = NamedVenue::MC.build();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let d = ParameterGrid::new(NamedVenue::MC).defaults();
+    for sigma in ifls::workloads::SIGMAS {
+        let w = WorkloadBuilder::new(&venue)
+            .clients_normal(100, sigma)
+            .existing_uniform(d.fe)
+            .candidates_uniform(d.fn_)
+            .seed(5)
+            .build();
+        run_all_solvers(&venue, &tree, &w);
+    }
+}
+
+#[test]
+fn ip_tree_and_vip_tree_give_identical_answers() {
+    let venue = NamedVenue::CPH.build();
+    let vip = VipTree::build(&venue, VipTreeConfig::default());
+    let ip = VipTree::build(&venue, VipTreeConfig::ip_tree());
+    let w = WorkloadBuilder::new(&venue)
+        .clients_uniform(150)
+        .existing_uniform(10)
+        .candidates_uniform(20)
+        .seed(9)
+        .build();
+    let a = EfficientIfls::new(&vip).run(&w.clients, &w.existing, &w.candidates);
+    let b = EfficientIfls::new(&ip).run(&w.clients, &w.existing, &w.candidates);
+    assert!((a.objective - b.objective).abs() < 1e-9);
+}
+
+#[test]
+fn extensions_agree_with_their_oracles_on_named_venues() {
+    for nv in [NamedVenue::MC, NamedVenue::CPH] {
+        let venue = nv.build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let d = ParameterGrid::new(nv).defaults();
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(80)
+            .existing_uniform(d.fe.min(20))
+            .candidates_uniform(d.fn_.min(30))
+            .seed(11)
+            .build();
+        let md_eff = EfficientMinDist::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        let md_brute = BruteForceMinDist::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        assert!(
+            (md_eff.total - md_brute.total).abs() < 1e-6,
+            "{}: mindist {} vs {}",
+            venue.name(),
+            md_eff.total,
+            md_brute.total
+        );
+        let ms_eff = EfficientMaxSum::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        let ms_brute = BruteForceMaxSum::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        assert_eq!(ms_eff.wins, ms_brute.wins, "{}", venue.name());
+    }
+}
+
+#[test]
+fn efficient_retrieves_fewer_facilities_than_baseline_materializes() {
+    // §5's cost story at a venue with many facilities: the efficient
+    // approach touches far fewer (client, facility) pairs.
+    let venue = NamedVenue::MC.build();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let d = ParameterGrid::new(NamedVenue::MC).defaults();
+    let w = WorkloadBuilder::new(&venue)
+        .clients_uniform(500)
+        .existing_uniform(d.fe)
+        .candidates_uniform(d.fn_)
+        .seed(13)
+        .build();
+    let eff = EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    let base = ModifiedMinMax::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    assert!(
+        eff.stats.elapsed < base.stats.elapsed,
+        "efficient ({:?}) should beat the baseline ({:?}) on MC",
+        eff.stats.elapsed,
+        base.stats.elapsed
+    );
+    assert!(eff.stats.clients_pruned > 0, "Lemma 5.1 should fire");
+}
+
+#[test]
+fn objective_value_is_achieved_by_the_returned_answer() {
+    let venue = NamedVenue::CH.build();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let w = WorkloadBuilder::new(&venue)
+        .clients_uniform(150)
+        .existing_uniform(30)
+        .candidates_uniform(50)
+        .seed(17)
+        .build();
+    let eff = EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+    let evaluated =
+        ifls::core::evaluate_objective(&tree, &w.clients, &w.existing, eff.answer);
+    assert!((eff.objective - evaluated).abs() < 1e-6);
+}

@@ -1,0 +1,104 @@
+//! A venue in the spirit of the paper's running example (Figure 1): 22
+//! partitions, 4 existing coffee facilities, 13 candidate locations, 60
+//! clients. The exact geometry of Figure 1 is not published, so this is a
+//! structural analogue; the test walks the same story — the efficient
+//! approach prunes clients sitting inside existing facilities, converges
+//! to the same optimum as the baseline and brute force, and reports a
+//! candidate that actually minimizes the max distance.
+
+use ifls::prelude::*;
+use ifls_indoor::PartitionKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 22 partitions in three corridor-connected clusters, like Figure 1's
+/// three VIP-tree leaf groups (p1–p6, p7–p13, p14–p22).
+fn figure1_style_venue() -> Venue {
+    let mut b = VenueBuilder::new("figure-1");
+    let mut rooms = Vec::new();
+    // Three clusters of rooms along one long corridor.
+    let corridor = b.add_partition(
+        "corridor",
+        Rect::new(0.0, 10.0, 105.0, 14.0),
+        0,
+        PartitionKind::Corridor,
+    );
+    for i in 0..21 {
+        let x0 = f64::from(i) * 5.0;
+        let room = b.add_partition(
+            format!("p{}", i + 1),
+            Rect::new(x0, 0.0, x0 + 5.0, 10.0),
+            0,
+            PartitionKind::Room,
+        );
+        b.add_door(Point::new(x0 + 2.5, 10.0, 0), room, Some(corridor));
+        rooms.push(room);
+    }
+    let venue = b.build().expect("figure-1 venue is valid");
+    assert_eq!(venue.num_partitions(), 22);
+    venue
+}
+
+#[test]
+fn figure1_story_holds() {
+    let venue = figure1_style_venue();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+
+    // Rooms p1..p21 are at indices 1..=21 (0 is the corridor).
+    let room = |i: usize| venue.partitions()[i].id();
+    // Four existing coffee facilities spread like e1..e4.
+    let existing = vec![room(2), room(8), room(13), room(19)];
+    // Thirteen candidate locations n1..n13.
+    let candidates: Vec<PartitionId> = [1, 3, 4, 5, 6, 7, 9, 10, 11, 14, 15, 17, 21]
+        .iter()
+        .map(|&i| room(i))
+        .collect();
+
+    // Sixty clients spread over the rooms, some inside existing
+    // facilities (like c1, c17, c18, c52, c58, c59 in the paper).
+    let mut rng = StdRng::seed_from_u64(60);
+    let mut clients = Vec::new();
+    for k in 0..60 {
+        let p = if k % 10 == 0 {
+            existing[k / 10 % existing.len()]
+        } else {
+            room(1 + (k * 7) % 21)
+        };
+        let r = venue.partition(p).rect();
+        clients.push(IndoorPoint::new(
+            p,
+            Point::new(
+                rng.random_range(r.min_x..r.max_x),
+                rng.random_range(r.min_y..r.max_y),
+                0,
+            ),
+        ));
+    }
+
+    let eff = EfficientIfls::new(&tree).run(&clients, &existing, &candidates);
+    let base = ModifiedMinMax::new(&tree).run(&clients, &existing, &candidates);
+    let brute = BruteForce::new(&tree).run(&clients, &existing, &candidates);
+
+    // All three solvers find the same optimum.
+    assert!((eff.objective - brute.objective).abs() < 1e-9);
+    assert!((base.objective - brute.objective).abs() < 1e-9);
+
+    // Clients inside existing facilities are pruned immediately (§5.4's
+    // first step prunes c1, c17, c18, c52, c58, c59).
+    assert!(
+        eff.stats.clients_pruned >= 6,
+        "expected at least the 6 in-facility clients pruned, got {}",
+        eff.stats.clients_pruned
+    );
+
+    // The optimum strictly improves the status quo in this layout.
+    let status_quo = ifls::core::evaluate_objective(&tree, &clients, &existing, None);
+    assert!(eff.objective < status_quo);
+    assert!(eff.answer.is_some());
+
+    // And no other candidate does better (the argmin definition).
+    for &n in &candidates {
+        let o = ifls::core::evaluate_objective(&tree, &clients, &existing, Some(n));
+        assert!(o >= eff.objective - 1e-9);
+    }
+}
