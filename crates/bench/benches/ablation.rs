@@ -3,7 +3,7 @@
 
 mod common;
 
-use criterion::Criterion;
+use ifls_bench::harness::Criterion;
 use std::hint::black_box;
 
 use ifls_core::{EfficientConfig, EfficientIfls};
@@ -37,10 +37,11 @@ fn bench(c: &mut Criterion) {
         };
         group.bench_function(name, |b| {
             b.iter(|| {
-                black_box(
-                    EfficientIfls::with_config(&tree, cfg)
-                        .run(&w.clients, &w.existing, &w.candidates),
-                )
+                black_box(EfficientIfls::with_config(&tree, cfg).run(
+                    &w.clients,
+                    &w.existing,
+                    &w.candidates,
+                ))
             })
         });
     }

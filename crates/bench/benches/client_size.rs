@@ -3,7 +3,7 @@
 
 mod common;
 
-use criterion::{BenchmarkId, Criterion};
+use ifls_bench::harness::{BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ifls_core::{EfficientIfls, ModifiedMinMax};

@@ -1,13 +1,15 @@
-//! Shared fixtures for the Criterion benches.
+//! Shared fixtures for the micro-benches.
 //!
-//! The Criterion benches are *micro*-benchmarks: they run each paper
-//! dimension at 1/100 of the paper's client counts so the statistical
-//! machinery (many iterations) stays affordable. The `figures` binary is
-//! the harness that reproduces the figures at configurable scale.
+//! These are *micro*-benchmarks: they run each paper dimension at 1/100 of
+//! the paper's client counts so the statistical machinery (many
+//! iterations) stays affordable. The `figures` binary is the harness that
+//! reproduces the figures at configurable scale. Measurement runs on the
+//! in-tree Criterion-compatible harness ([`ifls_bench::harness`]), which
+//! keeps the workspace free of external dependencies.
 
-use criterion::Criterion;
+use ifls_bench::harness::Criterion;
 
-/// Criterion tuned for heavyweight end-to-end query benchmarks.
+/// Harness tuned for heavyweight end-to-end query benchmarks.
 pub fn criterion() -> Criterion {
     Criterion::default()
         .sample_size(10)

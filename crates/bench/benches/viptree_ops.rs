@@ -3,12 +3,14 @@
 
 mod common;
 
-use criterion::{BenchmarkId, Criterion};
+use ifls_bench::harness::{threads_arg, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use ifls_core::{parallel::default_threads, BatchRunner, IflsQuery};
 use ifls_indoor::{DoorId, IndoorPoint};
 use ifls_venues::NamedVenue;
 use ifls_viptree::{FacilityIndex, IncrementalNn, VipTree, VipTreeConfig};
+use ifls_workloads::{ParameterGrid, WorkloadBuilder};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("viptree_build");
@@ -97,6 +99,35 @@ fn bench(c: &mut Criterion) {
                 black_box(IncrementalNn::new(&tree, &idx, *p).take(10).count());
             }
         })
+    });
+    group.finish();
+
+    // Concurrent batch serving over the shared index (`--threads N`).
+    let d = ParameterGrid::new(NamedVenue::MC).defaults();
+    let queries: Vec<IflsQuery> = (0..16)
+        .map(|i| {
+            let w = WorkloadBuilder::new(&venue)
+                .clients_uniform(40)
+                .existing_uniform(d.fe)
+                .candidates_uniform(d.fn_)
+                .seed(100 + i)
+                .build();
+            IflsQuery {
+                clients: w.clients,
+                existing: w.existing,
+                candidates: w.candidates,
+            }
+        })
+        .collect();
+    let threads = threads_arg(default_threads());
+    let mut group = c.benchmark_group("viptree_batch");
+    group.bench_function(format!("minmax_x16_t{threads}").as_str(), |b| {
+        let runner = BatchRunner::with_threads(&tree, threads);
+        b.iter(|| black_box(runner.run_minmax(&queries)))
+    });
+    group.bench_function("minmax_x16_t1", |b| {
+        let runner = BatchRunner::with_threads(&tree, 1);
+        b.iter(|| black_box(runner.run_minmax(&queries)))
     });
     group.finish();
 }

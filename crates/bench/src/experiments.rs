@@ -8,8 +8,8 @@ use ifls_core::{EfficientConfig, EfficientIfls, ModifiedMinMax};
 use ifls_indoor::Venue;
 use ifls_venues::{McCategory, NamedVenue};
 use ifls_viptree::{VipTree, VipTreeConfig};
-use ifls_workloads::{Workload, WorkloadBuilder, CLIENT_SIZES, DEFAULT_CLIENTS, SIGMAS};
 use ifls_workloads::{ParameterGrid, SyntheticParams};
+use ifls_workloads::{Workload, WorkloadBuilder, CLIENT_SIZES, DEFAULT_CLIENTS, SIGMAS};
 
 use crate::measure::{compare, AlgoStats, Row, Scale};
 use crate::report::Table;
@@ -180,19 +180,38 @@ pub fn fig6(scale: &Scale) -> Vec<Table> {
 
 /// Fig. 7a / 8a: synthetic setting, client size sweep, one panel per venue.
 pub fn fig7a(scale: &Scale) -> Vec<Table> {
-    venue_sweep(scale, "Fig. 7a/8a", "|C|", 700, |g| g.sweep_clients(), |p, s| {
-        s.clients(p.clients).to_string()
-    })
+    venue_sweep(
+        scale,
+        "Fig. 7a/8a",
+        "|C|",
+        700,
+        |g| g.sweep_clients(),
+        |p, s| s.clients(p.clients).to_string(),
+    )
 }
 
 /// Fig. 7b / 8b: synthetic setting, |Fe| sweep.
 pub fn fig7b(scale: &Scale) -> Vec<Table> {
-    venue_sweep(scale, "Fig. 7b/8b", "|Fe|", 710, |g| g.sweep_fe(), |p, _| p.fe.to_string())
+    venue_sweep(
+        scale,
+        "Fig. 7b/8b",
+        "|Fe|",
+        710,
+        |g| g.sweep_fe(),
+        |p, _| p.fe.to_string(),
+    )
 }
 
 /// Fig. 7c / 8c: synthetic setting, |Fn| sweep.
 pub fn fig7c(scale: &Scale) -> Vec<Table> {
-    venue_sweep(scale, "Fig. 7c/8c", "|Fn|", 720, |g| g.sweep_fn(), |p, _| p.fn_.to_string())
+    venue_sweep(
+        scale,
+        "Fig. 7c/8c",
+        "|Fn|",
+        720,
+        |g| g.sweep_fn(),
+        |p, _| p.fn_.to_string(),
+    )
 }
 
 fn venue_sweep(
@@ -271,7 +290,8 @@ pub fn ablation(scale: &Scale) -> Vec<AblationRow> {
     let run_eff = |tree: &VipTree<'_>, cfg: EfficientConfig| -> AlgoStats {
         let mut acc = AlgoStats::default();
         for w in &ws {
-            let o = EfficientIfls::with_config(tree, cfg).run(&w.clients, &w.existing, &w.candidates);
+            let o =
+                EfficientIfls::with_config(tree, cfg).run(&w.clients, &w.existing, &w.candidates);
             acc.time_s += o.stats.elapsed.as_secs_f64();
             acc.mem_mib += o.stats.peak_mib();
             acc.dist_computations += o.stats.dist_computations as f64;
@@ -288,7 +308,10 @@ pub fn ablation(scale: &Scale) -> Vec<AblationRow> {
         }
     };
 
-    push("efficient (full)", run_eff(&tree, EfficientConfig::default()));
+    push(
+        "efficient (full)",
+        run_eff(&tree, EfficientConfig::default()),
+    );
     push(
         "efficient, no client grouping",
         run_eff(
@@ -363,7 +386,11 @@ pub fn render_ablation(rows: &[AblationRow]) -> String {
     for r in rows {
         out.push_str(&format!(
             "| {:<42} | {:>10.4} | {:>12.0} | {:>12.0} | {:>10.3} |\n",
-            r.name, r.stats.time_s, r.stats.dist_computations, r.stats.facilities_retrieved, r.stats.mem_mib
+            r.name,
+            r.stats.time_s,
+            r.stats.dist_computations,
+            r.stats.facilities_retrieved,
+            r.stats.mem_mib
         ));
     }
     out

@@ -47,7 +47,9 @@ impl Table {
         for r in &self.rows {
             out.push_str(&format!(
                 "| {:>8} | {:>15.3} | {:>15.3} | {:>8.2}x |\n",
-                r.x, r.efficient.mem_mib, r.baseline.mem_mib,
+                r.x,
+                r.efficient.mem_mib,
+                r.baseline.mem_mib,
                 r.memory_ratio()
             ));
         }
@@ -59,7 +61,10 @@ impl Table {
     /// computations).
     pub fn render_dists(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("## {} — indoor distance computations\n", self.title));
+        out.push_str(&format!(
+            "## {} — indoor distance computations\n",
+            self.title
+        ));
         out.push_str(&format!(
             "| {:>8} | {:>14} | {:>14} | {:>8} |\n",
             self.x_name, "efficient", "baseline", "ratio"

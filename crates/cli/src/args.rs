@@ -21,7 +21,8 @@ venue specs:
 
 query options:
   --objective minmax|mindist|maxsum   (default minmax)
-  --algorithm efficient|baseline|brute (default efficient)
+  --algorithm efficient|baseline|brute|parallel (default efficient)
+  --threads N        worker threads for --algorithm parallel (0 = all cores)
   --clients N        number of clients (default 1000)
   --sigma S          normal distribution; omit for uniform clients
   --fe N             existing facilities (default 10)
@@ -79,8 +80,10 @@ pub enum Command {
 pub struct CommonArgs {
     /// Objective: `minmax`, `mindist` or `maxsum`.
     pub objective: String,
-    /// Algorithm: `efficient`, `baseline` or `brute`.
+    /// Algorithm: `efficient`, `baseline`, `brute` or `parallel`.
     pub algorithm: String,
+    /// Worker threads for the parallel solver (`0` = all available cores).
+    pub threads: usize,
     /// Client count.
     pub clients: usize,
     /// Normal σ (uniform when `None`).
@@ -106,6 +109,7 @@ impl Default for CommonArgs {
         Self {
             objective: "minmax".into(),
             algorithm: "efficient".into(),
+            threads: 0,
             clients: 1000,
             sigma: None,
             fe: 10,
@@ -195,9 +199,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             while let Some(opt) = cur.next() {
                 match opt {
                     "--venue" => venue = Some(cur.value("--venue")?.to_string()),
-                    "--out" if command == "export" => {
-                        out = Some(cur.value("--out")?.to_string())
-                    }
+                    "--out" if command == "export" => out = Some(cur.value("--out")?.to_string()),
                     other => return Err(ParseError::UnknownOption(other.to_string())),
                 }
             }
@@ -216,6 +218,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--venue" => venue = Some(cur.value("--venue")?.to_string()),
                     "--objective" => a.objective = cur.value("--objective")?.to_string(),
                     "--algorithm" => a.algorithm = cur.value("--algorithm")?.to_string(),
+                    "--threads" => a.threads = cur.parsed("--threads")?,
                     "--clients" => a.clients = cur.parsed("--clients")?,
                     "--sigma" => a.sigma = Some(cur.parsed("--sigma")?),
                     "--fe" => a.fe = cur.parsed("--fe")?,
@@ -236,7 +239,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     value: a.objective,
                 });
             }
-            if !matches!(a.algorithm.as_str(), "efficient" | "baseline" | "brute") {
+            if !matches!(
+                a.algorithm.as_str(),
+                "efficient" | "baseline" | "brute" | "parallel"
+            ) {
                 return Err(ParseError::BadValue {
                     option: "--algorithm".into(),
                     value: a.algorithm,
@@ -319,7 +325,15 @@ mod tests {
     #[test]
     fn parses_query_with_defaults_and_overrides() {
         let cmd = parse(&v(&[
-            "query", "--venue", "grid:2x20", "--clients", "50", "--sigma", "0.5", "--top", "3",
+            "query",
+            "--venue",
+            "grid:2x20",
+            "--clients",
+            "50",
+            "--sigma",
+            "0.5",
+            "--top",
+            "3",
         ]))
         .unwrap();
         match cmd {
@@ -333,6 +347,36 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_parallel_algorithm_with_threads() {
+        let cmd = parse(&v(&[
+            "query",
+            "--venue",
+            "grid:2x20",
+            "--algorithm",
+            "parallel",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Query { args, .. } => {
+                assert_eq!(args.algorithm, "parallel");
+                assert_eq!(args.threads, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Default is 0 (auto-detect all cores).
+        match parse(&v(&["query", "--venue", "grid:2x20"])).unwrap() {
+            Command::Query { args, .. } => assert_eq!(args.threads, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse(&v(&["query", "--venue", "x", "--threads", "many"])),
+            Err(ParseError::BadValue { .. })
+        ));
     }
 
     #[test]

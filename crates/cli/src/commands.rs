@@ -5,7 +5,7 @@ use std::fmt;
 
 use ifls_core::maxsum::EfficientMaxSum;
 use ifls_core::mindist::{BruteForceMinDist, EfficientMinDist};
-use ifls_core::{BruteForce, EfficientIfls, ModifiedMinMax, QueryStats};
+use ifls_core::{BruteForce, EfficientIfls, ModifiedMinMax, ParallelSolver, QueryStats};
 use ifls_indoor::{PartitionId, Venue};
 use ifls_venues::{GridVenueSpec, McCategory, NamedVenue};
 use ifls_viptree::{VipTree, VipTreeConfig};
@@ -113,7 +113,11 @@ fn build_workload(venue: &Venue, a: &CommonArgs) -> Result<Workload, CommandErro
 }
 
 fn describe_partition(venue: &Venue, p: PartitionId) -> String {
-    format!("{p} (`{}`, level {})", venue.partition(p).name(), venue.partition(p).level_min())
+    format!(
+        "{p} (`{}`, level {})",
+        venue.partition(p).name(),
+        venue.partition(p).level_min()
+    )
 }
 
 fn stats_line(stats: &QueryStats) -> String {
@@ -172,10 +176,16 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
             if let Some(path) = &args.save_workload {
                 std::fs::write(path, ifls_workloads::workload_to_text(&w, &v))?;
             }
+            let parallel = (args.algorithm == "parallel")
+                .then(|| ParallelSolver::with_threads(&tree, args.threads));
+            let algo_label = match &parallel {
+                Some(p) => format!("parallel[{} threads]", p.threads()),
+                None => args.algorithm.clone(),
+            };
             let header = format!(
                 "{} query, {} algorithm: |C|={}, |Fe|={}, |Fn|={}, seed {}",
                 args.objective,
-                args.algorithm,
+                algo_label,
                 w.clients.len(),
                 w.existing.len(),
                 w.candidates.len(),
@@ -206,12 +216,18 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                         }
                         out
                     } else {
-                        let o = match algo {
-                            "efficient" => {
-                                EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates)
-                            }
-                            "baseline" => ModifiedMinMax::new(&tree)
-                                .run(&w.clients, &w.existing, &w.candidates),
+                        let o = match (algo, &parallel) {
+                            (_, Some(p)) => p.run_minmax(&w.clients, &w.existing, &w.candidates),
+                            ("efficient", _) => EfficientIfls::new(&tree).run(
+                                &w.clients,
+                                &w.existing,
+                                &w.candidates,
+                            ),
+                            ("baseline", _) => ModifiedMinMax::new(&tree).run(
+                                &w.clients,
+                                &w.existing,
+                                &w.candidates,
+                            ),
                             _ => BruteForce::new(&tree).run(&w.clients, &w.existing, &w.candidates),
                         };
                         match o.answer {
@@ -230,11 +246,16 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                     }
                 }
                 ("mindist", algo) => {
-                    let o = match algo {
-                        "efficient" => EfficientMinDist::new(&tree)
-                            .run(&w.clients, &w.existing, &w.candidates),
-                        _ => BruteForceMinDist::new(&tree)
-                            .run(&w.clients, &w.existing, &w.candidates),
+                    let o = match (algo, &parallel) {
+                        (_, Some(p)) => p.run_mindist(&w.clients, &w.existing, &w.candidates),
+                        ("efficient", _) => {
+                            EfficientMinDist::new(&tree).run(&w.clients, &w.existing, &w.candidates)
+                        }
+                        _ => BruteForceMinDist::new(&tree).run(
+                            &w.clients,
+                            &w.existing,
+                            &w.candidates,
+                        ),
                     };
                     match o.answer {
                         Some(n) => format!(
@@ -247,8 +268,9 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                     }
                 }
                 (_, algo) => {
-                    let o = match algo {
-                        "efficient" => {
+                    let o = match (algo, &parallel) {
+                        (_, Some(p)) => p.run_maxsum(&w.clients, &w.existing, &w.candidates),
+                        ("efficient", _) => {
                             EfficientMaxSum::new(&tree).run(&w.clients, &w.existing, &w.candidates)
                         }
                         _ => ifls_core::maxsum::BruteForceMaxSum::new(&tree).run(
@@ -271,7 +293,11 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
             };
             Ok(format!("{header}\n{body}"))
         }
-        Command::Render { venue, level, scale } => {
+        Command::Render {
+            venue,
+            level,
+            scale,
+        } => {
             let v = load_venue(venue)?;
             let (lo, hi) = v.levels();
             if *level < lo || *level > hi {
@@ -343,7 +369,10 @@ mod tests {
             load_venue("grid:notdims"),
             Err(CommandError::BadVenueSpec(_))
         ));
-        assert!(matches!(load_venue("/no/such/file"), Err(CommandError::Io(_))));
+        assert!(matches!(
+            load_venue("/no/such/file"),
+            Err(CommandError::Io(_))
+        ));
     }
 
     #[test]
@@ -376,7 +405,7 @@ mod tests {
     #[test]
     fn query_all_objectives_and_algorithms() {
         for objective in ["minmax", "mindist", "maxsum"] {
-            for algorithm in ["efficient", "baseline", "brute"] {
+            for algorithm in ["efficient", "baseline", "brute", "parallel"] {
                 let cmd = parse(&v(&[
                     "query",
                     "--venue",
@@ -402,10 +431,59 @@ mod tests {
     }
 
     #[test]
+    fn parallel_query_matches_efficient_answer() {
+        let ans = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("answer"))
+                .unwrap()
+                .to_string()
+        };
+        for objective in ["minmax", "mindist", "maxsum"] {
+            let run = |extra: &[&str]| {
+                let mut argv = v(&[
+                    "query",
+                    "--venue",
+                    "grid:2x16",
+                    "--objective",
+                    objective,
+                    "--clients",
+                    "40",
+                    "--fe",
+                    "2",
+                    "--fn",
+                    "5",
+                    "--seed",
+                    "9",
+                ]);
+                argv.extend(extra.iter().map(|s| s.to_string()));
+                execute(&parse(&argv).unwrap()).unwrap()
+            };
+            let serial = run(&[]);
+            for threads in ["1", "3"] {
+                let par = run(&["--algorithm", "parallel", "--threads", threads]);
+                assert_eq!(
+                    ans(&serial),
+                    ans(&par),
+                    "{objective} with {threads} threads diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn query_topk_lists_ranked_candidates() {
         let cmd = parse(&v(&[
-            "query", "--venue", "grid:2x16", "--clients", "30", "--fe", "2", "--fn", "5",
-            "--top", "3",
+            "query",
+            "--venue",
+            "grid:2x16",
+            "--clients",
+            "30",
+            "--fe",
+            "2",
+            "--fn",
+            "5",
+            "--top",
+            "3",
         ]))
         .unwrap();
         let out = execute(&cmd).unwrap();
@@ -419,25 +497,51 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("replay.workload");
         let save = parse(&v(&[
-            "query", "--venue", "grid:2x16", "--clients", "30", "--fe", "2", "--fn", "4",
-            "--seed", "5", "--save-workload", path.to_str().unwrap(),
+            "query",
+            "--venue",
+            "grid:2x16",
+            "--clients",
+            "30",
+            "--fe",
+            "2",
+            "--fn",
+            "4",
+            "--seed",
+            "5",
+            "--save-workload",
+            path.to_str().unwrap(),
         ]))
         .unwrap();
         let first = execute(&save).unwrap();
         let replay = parse(&v(&[
-            "query", "--venue", "grid:2x16", "--workload", path.to_str().unwrap(),
+            "query",
+            "--venue",
+            "grid:2x16",
+            "--workload",
+            path.to_str().unwrap(),
         ]))
         .unwrap();
         let second = execute(&replay).unwrap();
         // Same answer line (the stats line differs in timing).
-        let ans = |s: &str| s.lines().find(|l| l.contains("answer")).unwrap().to_string();
+        let ans = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("answer"))
+                .unwrap()
+                .to_string()
+        };
         assert_eq!(ans(&first), ans(&second));
     }
 
     #[test]
     fn query_real_setting_requires_categorized_venue() {
         let cmd = parse(&v(&[
-            "query", "--venue", "grid:2x16", "--category", "1", "--clients", "10",
+            "query",
+            "--venue",
+            "grid:2x16",
+            "--category",
+            "1",
+            "--clients",
+            "10",
         ]))
         .unwrap();
         assert!(matches!(execute(&cmd), Err(CommandError::Invalid(_))));
@@ -445,11 +549,23 @@ mod tests {
 
     #[test]
     fn path_command_prints_route() {
-        let cmd = parse(&v(&["path", "--venue", "grid:2x12", "--from", "2", "--to", "10"])).unwrap();
+        let cmd = parse(&v(&[
+            "path",
+            "--venue",
+            "grid:2x12",
+            "--from",
+            "2",
+            "--to",
+            "10",
+        ]))
+        .unwrap();
         let out = execute(&cmd).unwrap();
         assert!(out.contains("route"), "{out}");
         assert!(out.contains("m,"), "{out}");
-        let bad = parse(&v(&["path", "--venue", "grid:1x4", "--from", "0", "--to", "99"])).unwrap();
+        let bad = parse(&v(&[
+            "path", "--venue", "grid:1x4", "--from", "0", "--to", "99",
+        ]))
+        .unwrap();
         assert!(matches!(execute(&bad), Err(CommandError::Invalid(_))));
     }
 }

@@ -114,9 +114,7 @@ impl<'t, 'v> ModifiedMinMax<'t, 'v> {
         for &n in candidates {
             dist_computations += 1;
             facilities_retrieved += 1;
-            let d = self
-                .tree
-                .dist_point_to_partition(&clients[first_client], n);
+            let d = self.tree.dist_point_to_partition(&clients[first_client], n);
             if d < first_dist {
                 meter.add(cand_entry_bytes + 8);
                 ca.push(Candidate {

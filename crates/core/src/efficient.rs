@@ -323,6 +323,9 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
                 out.push((n, outcome.no_improve_value));
             }
         }
+        // Qualification order already sorts by objective; normalize ties to
+        // ascending id so the ranking is independent of input-slice order.
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
         out.truncate(k);
         out
     }
@@ -337,11 +340,24 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
     ) -> MinMaxOutcome {
         let full = self.solve_full(clients, existing, candidates, target);
         match full.qualified.first() {
-            Some(&(n, v)) => MinMaxOutcome {
-                answer: Some(n),
-                objective: v,
-                stats: full.stats,
-            },
+            Some(&(first, v)) => {
+                // Qualification order follows `d_low`, so every candidate tied
+                // at the minimal objective sits in the leading run of entries
+                // with bit-identical values. Break ties toward the lowest
+                // `PartitionId` so serial and sharded runs agree exactly.
+                let n = full
+                    .qualified
+                    .iter()
+                    .take_while(|(_, q)| q.to_bits() == v.to_bits())
+                    .map(|&(n, _)| n)
+                    .min()
+                    .unwrap_or(first);
+                MinMaxOutcome {
+                    answer: Some(n),
+                    objective: v,
+                    stats: full.stats,
+                }
+            }
             None if full.c_emptied => MinMaxOutcome {
                 answer: None,
                 objective: full.no_improve_value,
@@ -349,8 +365,7 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
             },
             None => {
                 // Defensive: queue and events exhausted without an answer.
-                let objective =
-                    brute::evaluate_objective(self.tree, clients, existing, None);
+                let objective = brute::evaluate_objective(self.tree, clients, existing, None);
                 MinMaxOutcome {
                     answer: None,
                     objective,
@@ -562,7 +577,10 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
             return;
         }
         let client_ids: Vec<u32> = if self.config.prune_clients {
-            list.iter().copied().filter(|&c| !st.covered[c as usize]).collect()
+            list.iter()
+                .copied()
+                .filter(|&c| !st.covered[c as usize])
+                .collect()
         } else {
             list.clone()
         };
@@ -641,7 +659,8 @@ mod tests {
             .candidates_uniform(fn_)
             .seed(seed)
             .build();
-        let eff = EfficientIfls::with_config(&tree, config).run(&w.clients, &w.existing, &w.candidates);
+        let eff =
+            EfficientIfls::with_config(&tree, config).run(&w.clients, &w.existing, &w.candidates);
         let brute = BruteForce::new(&tree).run(&w.clients, &w.existing, &w.candidates);
         assert!(
             (eff.objective - brute.objective).abs() < 1e-9,
@@ -717,8 +736,7 @@ mod tests {
         let venue = GridVenueSpec::new("t", 1, 10).build();
         let tree = VipTree::build(&venue, VipTreeConfig::default());
         let f = venue.partitions()[3].id();
-        let clients =
-            vec![ifls_indoor::IndoorPoint::new(f, venue.partition(f).center()); 5];
+        let clients = vec![ifls_indoor::IndoorPoint::new(f, venue.partition(f).center()); 5];
         let candidates = vec![venue.partitions()[5].id(), venue.partitions()[7].id()];
         let out = EfficientIfls::new(&tree).run(&clients, &[f], &candidates);
         assert_eq!(out.answer, None);
@@ -755,10 +773,10 @@ mod tests {
                 .seed(seed)
                 .build();
             for k in [1usize, 3, 9, 20] {
-                let eff = EfficientIfls::new(&tree)
-                    .run_topk(&w.clients, &w.existing, &w.candidates, k);
-                let brute = BruteForce::new(&tree)
-                    .run_topk(&w.clients, &w.existing, &w.candidates, k);
+                let eff =
+                    EfficientIfls::new(&tree).run_topk(&w.clients, &w.existing, &w.candidates, k);
+                let brute =
+                    BruteForce::new(&tree).run_topk(&w.clients, &w.existing, &w.candidates, k);
                 assert_eq!(eff.len(), brute.len(), "seed {seed} k {k}");
                 for (i, ((_, ev), (_, bv))) in eff.iter().zip(&brute).enumerate() {
                     assert!(
@@ -772,9 +790,8 @@ mod tests {
                 }
                 // Each reported value is achieved by its candidate.
                 for &(n, v) in &eff {
-                    let eval = crate::brute::evaluate_objective(
-                        &tree, &w.clients, &w.existing, Some(n),
-                    );
+                    let eval =
+                        crate::brute::evaluate_objective(&tree, &w.clients, &w.existing, Some(n));
                     assert!((v - eval).abs() < 1e-6, "seed {seed} {n}: {v} vs {eval}");
                 }
             }
@@ -792,7 +809,9 @@ mod tests {
             .seed(0)
             .build();
         let solver = EfficientIfls::new(&tree);
-        assert!(solver.run_topk(&w.clients, &w.existing, &w.candidates, 0).is_empty());
+        assert!(solver
+            .run_topk(&w.clients, &w.existing, &w.candidates, 0)
+            .is_empty());
         assert!(solver.run_topk(&w.clients, &w.existing, &[], 5).is_empty());
         let no_clients = solver.run_topk(&[], &w.existing, &w.candidates, 2);
         assert_eq!(no_clients.len(), 2);

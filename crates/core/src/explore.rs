@@ -94,12 +94,9 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .dist
-            .total_cmp(&self.dist)
-            .then_with(|| {
-                (other.client, other.facility.raw()).cmp(&(self.client, self.facility.raw()))
-            })
+        other.dist.total_cmp(&self.dist).then_with(|| {
+            (other.client, other.facility.raw()).cmp(&(self.client, self.facility.raw()))
+        })
     }
 }
 
@@ -256,7 +253,11 @@ mod tests {
         let mut last = 0.0f64;
         let mut seen_parts = HashSet::new();
         while let Some(e) = ex.pop(&mut meter) {
-            assert!(e.key >= last - 1e-12, "keys regressed: {} after {last}", e.key);
+            assert!(
+                e.key >= last - 1e-12,
+                "keys regressed: {} after {last}",
+                e.key
+            );
             last = e.key;
             match e.entity {
                 Entity::Part(p) => {
@@ -282,7 +283,10 @@ mod tests {
         while let Some(e) = ex.pop(&mut meter) {
             if let Entity::Part(p) = e.entity {
                 let exact = tree.min_dist_partition_to_partition(src, p);
-                assert!((e.key - exact).abs() < 1e-9, "partition keys are exact iMinD");
+                assert!(
+                    (e.key - exact).abs() < 1e-9,
+                    "partition keys are exact iMinD"
+                );
             }
             ex.expand(e.source, e.entity, &mut meter);
         }

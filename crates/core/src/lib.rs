@@ -22,7 +22,11 @@
 //!   clients at once, client grouping by partition, and Lemma 5.1 client
 //!   pruning driven by the global distance `Gd`.
 //!
-//! §7's extensions are provided in [`mindist`] and [`maxsum`].
+//! §7's extensions are provided in [`mindist`] and [`maxsum`]. The
+//! [`parallel`] module shards queries across scoped threads over the
+//! shared read-only index: [`ParallelSolver`] splits one query's candidate
+//! set, [`BatchRunner`] answers many independent queries concurrently;
+//! both are bit-identical to the serial solvers at every thread count.
 //!
 //! Every solver returns a [`MinMaxOutcome`] carrying the answer, the
 //! objective value, and instrumentation ([`QueryStats`]): indoor distance
@@ -37,6 +41,7 @@ pub mod maxsum;
 pub mod mindist;
 mod monitor;
 mod outcome;
+pub mod parallel;
 mod stats;
 
 pub use baseline::ModifiedMinMax;
@@ -44,4 +49,5 @@ pub use brute::{evaluate_objective, BruteForce};
 pub use efficient::{EfficientConfig, EfficientIfls};
 pub use monitor::{ClientId, IflsMonitor};
 pub use outcome::MinMaxOutcome;
+pub use parallel::{BatchRunner, IflsQuery, ParallelSolver};
 pub use stats::QueryStats;

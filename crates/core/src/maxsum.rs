@@ -301,12 +301,18 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
                 );
             }
             pops += 1;
-            // Early exit: best confirmed count is unbeatable.
+            // Early exit: best confirmed count is unbeatable. A rival that
+            // could still *tie* also counts as beatable when its id is
+            // smaller, so the lowest-id-wins tie-break stays exact.
             if pops.is_multiple_of(64) && undecided > 0 {
                 let (bn, bw) = best_candidate(&wins);
-                let beatable = candidates
-                    .iter()
-                    .any(|&n| n != bn && wins[n.index()] + undecided as u64 > bw);
+                let beatable = candidates.iter().any(|&n| {
+                    if n == bn {
+                        return false;
+                    }
+                    let potential = wins[n.index()] + undecided as u64;
+                    potential > bw || (potential == bw && n < bn)
+                });
                 if !beatable {
                     // `bn` is the argmax even though its own count may
                     // still grow; the exact count is evaluated after the

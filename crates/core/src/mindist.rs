@@ -232,9 +232,9 @@ impl<'t, 'v> EfficientMinDist<'t, 'v> {
         let mut exist_events: BinaryHeap<Event> = BinaryHeap::new();
         let mut cand_events: BinaryHeap<Event> = BinaryHeap::new();
         let push_event = |e: Event,
-                              exist_events: &mut BinaryHeap<Event>,
-                              cand_events: &mut BinaryHeap<Event>,
-                              meter: &mut MemoryMeter| {
+                          exist_events: &mut BinaryHeap<Event>,
+                          cand_events: &mut BinaryHeap<Event>,
+                          meter: &mut MemoryMeter| {
             if fe.contains(e.facility) {
                 exist_events.push(e);
             } else {

@@ -93,7 +93,10 @@ impl<'t, 'v> IflsMonitor<'t, 'v> {
         let mut candidates: Vec<PartitionId> = candidates.into_iter().collect();
         candidates.sort_unstable();
         candidates.dedup();
-        assert!(!candidates.is_empty(), "a monitor needs candidate locations");
+        assert!(
+            !candidates.is_empty(),
+            "a monitor needs candidate locations"
+        );
         let fe_index = FacilityIndex::build(tree, existing.iter().copied());
         let contribs = vec![Contributions::default(); candidates.len()];
         let order = (0..candidates.len() as u32)
@@ -215,11 +218,10 @@ impl<'t, 'v> IflsMonitor<'t, 'v> {
 mod tests {
     use super::*;
     use crate::brute;
+    use ifls_rng::StdRng;
     use ifls_venues::GridVenueSpec;
     use ifls_viptree::VipTreeConfig;
     use ifls_workloads::WorkloadBuilder;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     /// Recomputes the exact monitor objective from scratch.
     fn oracle(

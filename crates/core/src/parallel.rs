@@ -1,0 +1,457 @@
+//! Parallel batch query engine: scoped-thread sharding over a shared
+//! [`VipTree`].
+//!
+//! The index is read-only after construction (no interior mutability
+//! anywhere in `ifls-viptree`), so workers borrow it directly through
+//! [`std::thread::scope`] — no `Arc`, no cloning, no external thread-pool
+//! dependency. Two layers build on that:
+//!
+//! * [`ParallelSolver`] — answers *one* query faster by sharding the
+//!   candidate set `Fn` across workers. Each worker runs the serial
+//!   efficient solver on its contiguous shard; per-candidate objectives do
+//!   not depend on which other candidates are in the run, so merging the
+//!   shard winners by `(objective, PartitionId)` reproduces the serial
+//!   answer **bit for bit** at every thread count (enforced by the
+//!   equivalence and determinism tests). The dominated evaluation phases
+//!   can additionally shard *clients* via
+//!   [`ParallelSolver::evaluate_minmax_objective`], whose `max`-merge is
+//!   order-independent.
+//! * [`BatchRunner`] — answers *many independent* queries concurrently
+//!   (the serving shape: each user's query is small, the stream is not).
+//!   Queries are drawn from a shared atomic cursor, so uneven query costs
+//!   balance across workers, and results are returned in input order.
+//!
+//! Determinism contract: worker outputs are merged with explicit
+//! tie-breaking (lowest `PartitionId` wins at equal objective bits), and
+//! every serial solver uses the same rule, so thread count and scheduling
+//! never change an answer. Per-worker [`QueryStats`] are folded with
+//! [`QueryStats::merge`]; wall-clock `elapsed` is the outer measurement,
+//! while the work counters sum across workers (they can exceed the serial
+//! counters because shards repeat the shared coverage phase).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+use std::time::Instant;
+
+use ifls_indoor::{IndoorPoint, PartitionId};
+use ifls_viptree::VipTree;
+
+use crate::maxsum::{EfficientMaxSum, MaxSumOutcome};
+use crate::mindist::{EfficientMinDist, MinDistOutcome};
+use crate::{brute, EfficientConfig, EfficientIfls, MinMaxOutcome, QueryStats};
+
+// The whole module rests on the index being shareable across workers;
+// assert it where the borrow happens, not just in the index crate.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<VipTree<'static>>();
+};
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, or 1 if it cannot be determined.
+pub fn default_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Splits `len` items into `workers` contiguous ranges of near-equal size.
+fn chunk_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let workers = workers.min(len).max(1);
+    let base = len / workers;
+    let extra = len % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for i in 0..workers {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Runs `f(i)` for every `i in 0..n` on up to `threads` scoped workers and
+/// returns the results in input order. Work is claimed from a shared
+/// atomic cursor, so expensive items do not serialize behind a static
+/// split.
+fn run_indexed<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("parallel worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index visited"))
+        .collect()
+}
+
+/// Parallel IFLS solver: candidate-set sharding over scoped threads.
+///
+/// Produces answers bit-identical to the serial efficient solvers
+/// ([`EfficientIfls`], [`EfficientMinDist`](crate::mindist::EfficientMinDist),
+/// [`EfficientMaxSum`](crate::maxsum::EfficientMaxSum)) for every thread
+/// count, with explicit lowest-`PartitionId` tie-breaking.
+#[derive(Clone, Copy)]
+pub struct ParallelSolver<'t, 'v> {
+    tree: &'t VipTree<'v>,
+    threads: usize,
+    config: EfficientConfig,
+}
+
+impl<'t, 'v> ParallelSolver<'t, 'v> {
+    /// Creates a solver using every available hardware thread.
+    pub fn new(tree: &'t VipTree<'v>) -> Self {
+        Self::with_threads(tree, default_threads())
+    }
+
+    /// Creates a solver with an explicit worker count (`0` means "use the
+    /// available parallelism").
+    pub fn with_threads(tree: &'t VipTree<'v>, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        Self {
+            tree,
+            threads,
+            config: EfficientConfig::default(),
+        }
+    }
+
+    /// Replaces the per-worker solver configuration (ablations).
+    pub fn config(mut self, config: EfficientConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Answers a MinMax query (the paper's IFLS objective).
+    pub fn run_minmax(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+    ) -> MinMaxOutcome {
+        let start = Instant::now();
+        let ranges = chunk_ranges(candidates.len(), self.threads);
+        if ranges.len() <= 1 || clients.is_empty() {
+            return EfficientIfls::with_config(self.tree, self.config)
+                .run(clients, existing, candidates);
+        }
+        let partials = run_indexed(ranges.len(), ranges.len(), |i| {
+            EfficientIfls::with_config(self.tree, self.config).run(
+                clients,
+                existing,
+                &candidates[ranges[i].clone()],
+            )
+        });
+        let mut stats = QueryStats::default();
+        for p in &partials {
+            stats.merge(&p.stats);
+        }
+        stats.elapsed = start.elapsed();
+        let best = partials
+            .iter()
+            .filter_map(|o| o.answer.map(|n| (n, o.objective)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        match best {
+            Some((n, objective)) => MinMaxOutcome {
+                answer: Some(n),
+                objective,
+                stats,
+            },
+            // No shard improves on the status quo; every shard reports the
+            // same status-quo objective, computed from the shared coverage
+            // phase that does not depend on the candidate shard.
+            None => MinMaxOutcome {
+                answer: None,
+                objective: partials[0].objective,
+                stats,
+            },
+        }
+    }
+
+    /// Answers a MinDist (total/average distance) query.
+    pub fn run_mindist(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+    ) -> MinDistOutcome {
+        let start = Instant::now();
+        let ranges = chunk_ranges(candidates.len(), self.threads);
+        if ranges.len() <= 1 || clients.is_empty() {
+            return EfficientMinDist::with_config(self.tree, self.config)
+                .run(clients, existing, candidates);
+        }
+        let partials = run_indexed(ranges.len(), ranges.len(), |i| {
+            EfficientMinDist::with_config(self.tree, self.config).run(
+                clients,
+                existing,
+                &candidates[ranges[i].clone()],
+            )
+        });
+        let mut stats = QueryStats::default();
+        for p in &partials {
+            stats.merge(&p.stats);
+        }
+        stats.elapsed = start.elapsed();
+        let best = partials
+            .iter()
+            .filter_map(|o| o.answer.map(|n| (n, o.total)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        match best {
+            Some((n, total)) => MinDistOutcome {
+                answer: Some(n),
+                total,
+                stats,
+            },
+            None => MinDistOutcome {
+                answer: None,
+                total: partials[0].total,
+                stats,
+            },
+        }
+    }
+
+    /// Answers a MaxSum (captured clients) query.
+    pub fn run_maxsum(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+    ) -> MaxSumOutcome {
+        let start = Instant::now();
+        let ranges = chunk_ranges(candidates.len(), self.threads);
+        if ranges.len() <= 1 || clients.is_empty() {
+            return EfficientMaxSum::with_config(self.tree, self.config)
+                .run(clients, existing, candidates);
+        }
+        let partials = run_indexed(ranges.len(), ranges.len(), |i| {
+            EfficientMaxSum::with_config(self.tree, self.config).run(
+                clients,
+                existing,
+                &candidates[ranges[i].clone()],
+            )
+        });
+        let mut stats = QueryStats::default();
+        for p in &partials {
+            stats.merge(&p.stats);
+        }
+        stats.elapsed = start.elapsed();
+        let best = partials
+            .iter()
+            .filter_map(|o| o.answer.map(|n| (n, o.wins)))
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
+        match best {
+            Some((n, wins)) => MaxSumOutcome {
+                answer: Some(n),
+                wins,
+                stats,
+            },
+            None => MaxSumOutcome {
+                answer: None,
+                wins: 0,
+                stats,
+            },
+        }
+    }
+
+    /// Evaluates the MinMax objective of one placement by sharding the
+    /// *client* set across workers (the dominated phase of the brute-force
+    /// oracle). The merge is a plain `max`, which is order-independent, so
+    /// the result is bit-identical to [`evaluate_objective`](crate::evaluate_objective)
+    /// at every thread count.
+    pub fn evaluate_minmax_objective(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidate: Option<PartitionId>,
+    ) -> f64 {
+        let ranges = chunk_ranges(clients.len(), self.threads);
+        if ranges.len() <= 1 {
+            return brute::evaluate_objective(self.tree, clients, existing, candidate);
+        }
+        run_indexed(ranges.len(), ranges.len(), |i| {
+            brute::evaluate_objective(self.tree, &clients[ranges[i].clone()], existing, candidate)
+        })
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+}
+
+/// One independent IFLS query for [`BatchRunner`].
+#[derive(Clone, Debug, Default)]
+pub struct IflsQuery {
+    /// Client positions `C`.
+    pub clients: Vec<IndoorPoint>,
+    /// Existing facilities `Fe`.
+    pub existing: Vec<PartitionId>,
+    /// Candidate locations `Fn`.
+    pub candidates: Vec<PartitionId>,
+}
+
+/// Answers many independent IFLS queries concurrently over one shared
+/// index — the serving shape where throughput, not single-query latency,
+/// is the bottleneck.
+///
+/// Each query runs on the serial efficient solver (one query, one
+/// worker), so every individual result is bit-identical to a serial run;
+/// results come back in input order regardless of scheduling.
+#[derive(Clone, Copy)]
+pub struct BatchRunner<'t, 'v> {
+    tree: &'t VipTree<'v>,
+    threads: usize,
+    config: EfficientConfig,
+}
+
+impl<'t, 'v> BatchRunner<'t, 'v> {
+    /// Creates a runner using every available hardware thread.
+    pub fn new(tree: &'t VipTree<'v>) -> Self {
+        Self::with_threads(tree, default_threads())
+    }
+
+    /// Creates a runner with an explicit worker count (`0` means "use the
+    /// available parallelism").
+    pub fn with_threads(tree: &'t VipTree<'v>, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        Self {
+            tree,
+            threads,
+            config: EfficientConfig::default(),
+        }
+    }
+
+    /// Replaces the per-query solver configuration.
+    pub fn config(mut self, config: EfficientConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Answers every MinMax query, results in input order.
+    pub fn run_minmax(&self, queries: &[IflsQuery]) -> Vec<MinMaxOutcome> {
+        run_indexed(self.threads, queries.len(), |i| {
+            let q = &queries[i];
+            EfficientIfls::with_config(self.tree, self.config).run(
+                &q.clients,
+                &q.existing,
+                &q.candidates,
+            )
+        })
+    }
+
+    /// Answers every MinDist query, results in input order.
+    pub fn run_mindist(&self, queries: &[IflsQuery]) -> Vec<MinDistOutcome> {
+        run_indexed(self.threads, queries.len(), |i| {
+            let q = &queries[i];
+            EfficientMinDist::with_config(self.tree, self.config).run(
+                &q.clients,
+                &q.existing,
+                &q.candidates,
+            )
+        })
+    }
+
+    /// Answers every MaxSum query, results in input order.
+    pub fn run_maxsum(&self, queries: &[IflsQuery]) -> Vec<MaxSumOutcome> {
+        run_indexed(self.threads, queries.len(), |i| {
+            let q = &queries[i];
+            EfficientMaxSum::with_config(self.tree, self.config).run(
+                &q.clients,
+                &q.existing,
+                &q.candidates,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const _: () = {
+        const fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParallelSolver<'static, 'static>>();
+        assert_send_sync::<BatchRunner<'static, 'static>>();
+        assert_send_sync::<IflsQuery>();
+    };
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in 0..40usize {
+            for workers in 1..10usize {
+                let ranges = chunk_ranges(len, workers);
+                assert!(ranges.len() <= workers.max(1));
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty() || len == 0);
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn run_indexed_preserves_order() {
+        for threads in [1usize, 2, 4, 8] {
+            let out = run_indexed(threads, 23, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let venue = ifls_venues::GridVenueSpec::new("t", 1, 4).build();
+        let tree = VipTree::build(&venue, ifls_viptree::VipTreeConfig::default());
+        assert_eq!(
+            ParallelSolver::with_threads(&tree, 0).threads(),
+            default_threads()
+        );
+        assert_eq!(
+            BatchRunner::with_threads(&tree, 0).threads(),
+            default_threads()
+        );
+    }
+}

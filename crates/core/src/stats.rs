@@ -32,6 +32,22 @@ impl QueryStats {
     pub fn peak_mib(&self) -> f64 {
         self.peak_bytes as f64 / (1024.0 * 1024.0)
     }
+
+    /// Folds the counters of a concurrent worker into this aggregate.
+    ///
+    /// Work counters add up. `peak_bytes` also adds, because parallel
+    /// workers hold their scratch structures *simultaneously*, so the
+    /// process-wide structural peak is bounded by the sum of per-worker
+    /// peaks. `elapsed` takes the maximum: workers run side by side, so
+    /// the slowest one bounds the phase (callers typically overwrite it
+    /// with the measured outer wall-clock anyway).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.dist_computations += other.dist_computations;
+        self.facilities_retrieved += other.facilities_retrieved;
+        self.clients_pruned += other.clients_pruned;
+        self.peak_bytes += other.peak_bytes;
+        self.elapsed = self.elapsed.max(other.elapsed);
+    }
 }
 
 /// Incrementally tracked structural memory: the solvers bump the current
@@ -78,6 +94,30 @@ mod tests {
         let mut m = MemoryMeter::default();
         m.add(-50);
         assert_eq!(m.peak_bytes(), 0);
+    }
+
+    #[test]
+    fn merge_sums_work_and_memory_and_maxes_time() {
+        let mut a = QueryStats {
+            dist_computations: 10,
+            facilities_retrieved: 5,
+            clients_pruned: 2,
+            peak_bytes: 1_000,
+            elapsed: Duration::from_millis(30),
+        };
+        let b = QueryStats {
+            dist_computations: 7,
+            facilities_retrieved: 1,
+            clients_pruned: 0,
+            peak_bytes: 500,
+            elapsed: Duration::from_millis(40),
+        };
+        a.merge(&b);
+        assert_eq!(a.dist_computations, 17);
+        assert_eq!(a.facilities_retrieved, 6);
+        assert_eq!(a.clients_pruned, 2);
+        assert_eq!(a.peak_bytes, 1_500);
+        assert_eq!(a.elapsed, Duration::from_millis(40));
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! `IflsMonitor` consistency: after an arbitrary sequence of client
+//! inserts and removes, `answer()` must match a from-scratch `efficient`
+//! solve over the surviving client set.
+
+use ifls_core::{evaluate_objective, ClientId, EfficientIfls, IflsMonitor};
+use ifls_indoor::IndoorPoint;
+use ifls_rng::StdRng;
+use ifls_venues::{GridVenueSpec, RandomVenueSpec};
+use ifls_viptree::{VipTree, VipTreeConfig};
+use ifls_workloads::WorkloadBuilder;
+
+/// Checks the monitor against a from-scratch efficient solve.
+///
+/// The monitor always reports the best candidate's objective; the batch
+/// solver reports the status-quo objective with `answer: None` when no
+/// candidate strictly improves it. The two views must coincide: when the
+/// solver names an answer, objectives match; when it does not, the
+/// monitor's best candidate cannot beat the status quo either.
+fn assert_consistent(
+    tree: &VipTree<'_>,
+    monitor: &IflsMonitor<'_, '_>,
+    clients: &[IndoorPoint],
+    existing: &[ifls_indoor::PartitionId],
+    candidates: &[ifls_indoor::PartitionId],
+    step: usize,
+) {
+    let (mon_answer, mon_objective) = monitor.answer();
+    if clients.is_empty() {
+        assert_eq!(mon_objective, 0.0, "step {step}: empty client set");
+        return;
+    }
+    let solve = EfficientIfls::new(tree).run(clients, existing, candidates);
+    match solve.answer {
+        Some(n) => {
+            assert!(
+                (mon_objective - solve.objective).abs() < 1e-9,
+                "step {step}: monitor {mon_objective} vs efficient {} ({} clients)",
+                solve.objective,
+                clients.len()
+            );
+            // Both paths break ties toward the lowest candidate id; the
+            // monitor orders by objective *bits*, so equal objectives mean
+            // equal answers.
+            let mon_eval = evaluate_objective(tree, clients, existing, Some(mon_answer));
+            assert!(
+                (mon_eval - solve.objective).abs() < 1e-9,
+                "step {step}: monitor answer {mon_answer:?} achieves {mon_eval}, solver {n:?} achieves {}",
+                solve.objective
+            );
+        }
+        None => {
+            // No improvement exists: the best candidate ties the status quo.
+            assert!(
+                (mon_objective - solve.objective).abs() < 1e-9,
+                "step {step}: monitor {mon_objective} vs status quo {}",
+                solve.objective
+            );
+        }
+    }
+}
+
+#[test]
+fn monitor_matches_from_scratch_solve_under_churn() {
+    let venue = GridVenueSpec::new("churn", 2, 28).build();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let w = WorkloadBuilder::new(&venue)
+        .clients_uniform(50)
+        .existing_uniform(4)
+        .candidates_uniform(6)
+        .seed(21)
+        .build();
+    let mut monitor = IflsMonitor::new(&tree, w.existing.clone(), w.candidates.clone());
+
+    let mut rng = StdRng::seed_from_u64(0x30_11_17);
+    let mut live: Vec<(ClientId, IndoorPoint)> = Vec::new();
+    let mut pool = w.clients.clone();
+    for step in 0..80 {
+        let arrival = !pool.is_empty() && (live.is_empty() || rng.random_bool(0.55));
+        if arrival {
+            let p = pool.pop().expect("checked non-empty");
+            live.push((monitor.insert(p), p));
+        } else if let Some(idx) = (!live.is_empty()).then(|| rng.random_range(0..live.len())) {
+            let (id, _) = live.swap_remove(idx);
+            assert!(monitor.remove(id).is_some(), "step {step}: live handle");
+        } else {
+            break; // both the pool and the live set are exhausted
+        }
+        // Check every few steps (each check is a full solve).
+        if step % 5 == 0 || live.is_empty() {
+            let points: Vec<IndoorPoint> = live.iter().map(|&(_, p)| p).collect();
+            assert_consistent(&tree, &monitor, &points, &w.existing, &w.candidates, step);
+        }
+    }
+    assert_eq!(monitor.num_clients(), live.len());
+}
+
+#[test]
+fn monitor_matches_solve_on_random_venue_with_empty_existing() {
+    let venue = RandomVenueSpec {
+        cells_x: 4,
+        cells_y: 3,
+        levels: 2,
+        extra_door_prob: 0.4,
+        cell_size: 9.0,
+    }
+    .build(7);
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let w = WorkloadBuilder::new(&venue)
+        .clients_uniform(30)
+        .existing_uniform(0)
+        .candidates_uniform(5)
+        .seed(13)
+        .build();
+    let mut monitor = IflsMonitor::new(&tree, [], w.candidates.clone());
+    let mut live: Vec<(ClientId, IndoorPoint)> = Vec::new();
+    for (i, &c) in w.clients.iter().enumerate() {
+        live.push((monitor.insert(c), c));
+        if i % 3 == 2 {
+            let (id, _) = live.remove(0);
+            monitor.remove(id);
+        }
+        let points: Vec<IndoorPoint> = live.iter().map(|&(_, p)| p).collect();
+        assert_consistent(&tree, &monitor, &points, &[], &w.candidates, i);
+    }
+}

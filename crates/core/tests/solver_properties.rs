@@ -8,7 +8,7 @@ use ifls_venues::GridVenueSpec;
 use ifls_viptree::{VipTree, VipTreeConfig};
 use ifls_workloads::WorkloadBuilder;
 
-fn fixture() -> (ifls_indoor::Venue, ) {
+fn fixture() -> (ifls_indoor::Venue,) {
     (GridVenueSpec::new("sp", 3, 48).build(),)
 }
 

@@ -68,10 +68,16 @@ impl fmt::Display for VenueError {
                 write!(f, "door {door} references unknown partition {partition}")
             }
             VenueError::DoorOutsidePartition { door, partition } => {
-                write!(f, "door {door} lies outside the footprint of partition {partition}")
+                write!(
+                    f,
+                    "door {door} lies outside the footprint of partition {partition}"
+                )
             }
             VenueError::DoorLevelMismatch { door, partition } => {
-                write!(f, "door {door} is on a level outside partition {partition}'s span")
+                write!(
+                    f,
+                    "door {door} is on a level outside partition {partition}'s span"
+                )
             }
             VenueError::SelfLoopDoor { door } => {
                 write!(f, "door {door} connects a partition to itself")

@@ -111,7 +111,10 @@ impl Rect {
     #[inline]
     pub fn contains_xy(&self, x: f64, y: f64) -> bool {
         const EPS: f64 = 1e-9;
-        x >= self.min_x - EPS && x <= self.max_x + EPS && y >= self.min_y - EPS && y <= self.max_y + EPS
+        x >= self.min_x - EPS
+            && x <= self.max_x + EPS
+            && y >= self.min_y - EPS
+            && y <= self.max_y + EPS
     }
 
     /// Smallest rectangle covering both `self` and `other`.

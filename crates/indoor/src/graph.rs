@@ -317,9 +317,24 @@ mod tests {
     /// x=20, both at y=5.
     fn line_venue() -> Venue {
         let mut b = VenueBuilder::new("line");
-        let p0 = b.add_partition("p0", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
-        let p1 = b.add_partition("p1", Rect::new(10.0, 0.0, 20.0, 10.0), 0, PartitionKind::Room);
-        let p2 = b.add_partition("p2", Rect::new(20.0, 0.0, 30.0, 10.0), 0, PartitionKind::Room);
+        let p0 = b.add_partition(
+            "p0",
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            0,
+            PartitionKind::Room,
+        );
+        let p1 = b.add_partition(
+            "p1",
+            Rect::new(10.0, 0.0, 20.0, 10.0),
+            0,
+            PartitionKind::Room,
+        );
+        let p2 = b.add_partition(
+            "p2",
+            Rect::new(20.0, 0.0, 30.0, 10.0),
+            0,
+            PartitionKind::Room,
+        );
         b.add_door(Point::new(10.0, 5.0, 0), p0, Some(p1));
         b.add_door(Point::new(20.0, 5.0, 0), p1, Some(p2));
         b.build().unwrap()
@@ -359,7 +374,12 @@ mod tests {
         // Four rooms in a row: three doors; from door0, first hop to door2
         // must be door1.
         let mut b = VenueBuilder::new("line4");
-        let mut prev = b.add_partition("p0", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
+        let mut prev = b.add_partition(
+            "p0",
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            0,
+            PartitionKind::Room,
+        );
         let mut doors = Vec::new();
         for i in 1..4 {
             let x0 = f64::from(i) * 10.0;
@@ -383,7 +403,12 @@ mod tests {
     #[test]
     fn sssp_predecessor_walk_reconstructs_paths() {
         let mut b = VenueBuilder::new("line4");
-        let mut prev = b.add_partition("p0", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
+        let mut prev = b.add_partition(
+            "p0",
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            0,
+            PartitionKind::Room,
+        );
         let mut doors = Vec::new();
         for i in 1..4 {
             let x0 = f64::from(i) * 10.0;
@@ -461,7 +486,12 @@ mod tests {
     fn multi_level_distance_goes_through_stairwell() {
         let mut b = VenueBuilder::new("stairs");
         b.level_height(5.0);
-        let low = b.add_partition("low", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
+        let low = b.add_partition(
+            "low",
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            0,
+            PartitionKind::Room,
+        );
         let stair = b.add_spanning_partition(
             "stair",
             Rect::new(10.0, 0.0, 12.0, 10.0),
@@ -469,7 +499,12 @@ mod tests {
             1,
             PartitionKind::Stairwell,
         );
-        let high = b.add_partition("high", Rect::new(0.0, 0.0, 10.0, 10.0), 1, PartitionKind::Room);
+        let high = b.add_partition(
+            "high",
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            1,
+            PartitionKind::Room,
+        );
         b.add_door(Point::new(10.0, 5.0, 0), low, Some(stair));
         b.add_door(Point::new(10.0, 5.0, 1), stair, Some(high));
         let v = b.build().unwrap();

@@ -344,7 +344,10 @@ door 0 12 0 1 -
             assert_eq!(a.rect(), b.rect());
             assert_eq!(a.kind(), b.kind());
             assert_eq!(a.category(), b.category());
-            assert_eq!((a.level_min(), a.level_max()), (b.level_min(), b.level_max()));
+            assert_eq!(
+                (a.level_min(), a.level_max()),
+                (b.level_min(), b.level_max())
+            );
         }
         for (a, b) in v.doors().iter().zip(v2.doors()) {
             assert_eq!(a.pos(), b.pos());
@@ -400,7 +403,10 @@ door 0 12 0 1 -
         let text = "ifls-venue v1\npartition room 0 0 0 0 10 10 - x\ndoor 5 10\n";
         assert!(matches!(
             Venue::from_text(text),
-            Err(VenueParseError::BadFieldCount { context: "door", .. })
+            Err(VenueParseError::BadFieldCount {
+                context: "door",
+                ..
+            })
         ));
     }
 
@@ -410,7 +416,9 @@ door 0 12 0 1 -
         let text = "ifls-venue v1\npartition room 0 0 0 0 10 10 - lonely\n";
         assert!(matches!(
             Venue::from_text(text),
-            Err(VenueParseError::Invalid(VenueError::DoorlessPartition { .. }))
+            Err(VenueParseError::Invalid(
+                VenueError::DoorlessPartition { .. }
+            ))
         ));
     }
 

@@ -47,10 +47,10 @@ mod io;
 mod venue;
 
 pub use error::VenueError;
-pub use io::VenueParseError;
 pub use geom::{Point, Rect};
 pub use graph::{DoorGraph, GroundTruth};
 pub use ids::{DoorId, PartitionId};
+pub use io::VenueParseError;
 pub use venue::{Door, IndoorPoint, Partition, PartitionKind, Venue, VenueBuilder};
 
 /// Default vertical distance between consecutive levels, in meters.

@@ -524,7 +524,12 @@ mod tests {
     fn two_rooms() -> VenueBuilder {
         let mut b = VenueBuilder::new("t");
         let a = b.add_partition("a", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
-        let c = b.add_partition("b", Rect::new(10.0, 0.0, 20.0, 10.0), 0, PartitionKind::Room);
+        let c = b.add_partition(
+            "b",
+            Rect::new(10.0, 0.0, 20.0, 10.0),
+            0,
+            PartitionKind::Room,
+        );
         b.add_door(Point::new(10.0, 5.0, 0), a, Some(c));
         b
     }
@@ -545,7 +550,10 @@ mod tests {
 
     #[test]
     fn empty_venue_rejected() {
-        assert_eq!(VenueBuilder::new("e").build().unwrap_err(), VenueError::Empty);
+        assert_eq!(
+            VenueBuilder::new("e").build().unwrap_err(),
+            VenueError::Empty
+        );
     }
 
     #[test]
@@ -575,13 +583,21 @@ mod tests {
         let mut b = VenueBuilder::new("t");
         let a = b.add_partition("a", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
         b.add_door(Point::new(5.0, 5.0, 0), a, Some(a));
-        assert!(matches!(b.build().unwrap_err(), VenueError::SelfLoopDoor { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            VenueError::SelfLoopDoor { .. }
+        ));
     }
 
     #[test]
     fn doorless_partition_rejected() {
         let mut b = two_rooms();
-        b.add_partition("iso", Rect::new(100.0, 0.0, 110.0, 10.0), 0, PartitionKind::Room);
+        b.add_partition(
+            "iso",
+            Rect::new(100.0, 0.0, 110.0, 10.0),
+            0,
+            PartitionKind::Room,
+        );
         assert!(matches!(
             b.build().unwrap_err(),
             VenueError::DoorlessPartition { .. }
@@ -591,10 +607,23 @@ mod tests {
     #[test]
     fn disconnected_door_graph_rejected() {
         let mut b = two_rooms();
-        let x = b.add_partition("x", Rect::new(100.0, 0.0, 110.0, 10.0), 0, PartitionKind::Room);
-        let y = b.add_partition("y", Rect::new(110.0, 0.0, 120.0, 10.0), 0, PartitionKind::Room);
+        let x = b.add_partition(
+            "x",
+            Rect::new(100.0, 0.0, 110.0, 10.0),
+            0,
+            PartitionKind::Room,
+        );
+        let y = b.add_partition(
+            "y",
+            Rect::new(110.0, 0.0, 120.0, 10.0),
+            0,
+            PartitionKind::Room,
+        );
         b.add_door(Point::new(110.0, 5.0, 0), x, Some(y));
-        assert!(matches!(b.build().unwrap_err(), VenueError::Disconnected { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            VenueError::Disconnected { .. }
+        ));
     }
 
     #[test]
@@ -622,9 +651,19 @@ mod tests {
     fn locate_prefers_rooms_over_stairwells() {
         let mut b = VenueBuilder::new("t");
         let room = b.add_partition("a", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
-        let stair =
-            b.add_spanning_partition("s", Rect::new(8.0, 0.0, 10.0, 4.0), 0, 1, PartitionKind::Stairwell);
-        let up = b.add_partition("up", Rect::new(0.0, 0.0, 10.0, 10.0), 1, PartitionKind::Room);
+        let stair = b.add_spanning_partition(
+            "s",
+            Rect::new(8.0, 0.0, 10.0, 4.0),
+            0,
+            1,
+            PartitionKind::Stairwell,
+        );
+        let up = b.add_partition(
+            "up",
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            1,
+            PartitionKind::Room,
+        );
         b.add_door(Point::new(9.0, 0.0, 0), room, Some(stair));
         b.add_door(Point::new(9.0, 0.0, 1), stair, Some(up));
         let v = b.build().unwrap();
@@ -639,9 +678,19 @@ mod tests {
         let mut b = VenueBuilder::new("t");
         b.level_height(5.0);
         let room = b.add_partition("a", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
-        let stair =
-            b.add_spanning_partition("s", Rect::new(8.0, 0.0, 10.0, 4.0), 0, 1, PartitionKind::Stairwell);
-        let up = b.add_partition("up", Rect::new(0.0, 0.0, 10.0, 10.0), 1, PartitionKind::Room);
+        let stair = b.add_spanning_partition(
+            "s",
+            Rect::new(8.0, 0.0, 10.0, 4.0),
+            0,
+            1,
+            PartitionKind::Stairwell,
+        );
+        let up = b.add_partition(
+            "up",
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            1,
+            PartitionKind::Room,
+        );
         b.add_door(Point::new(9.0, 0.0, 0), room, Some(stair));
         b.add_door(Point::new(9.0, 4.0, 1), stair, Some(up));
         let v = b.build().unwrap();

@@ -1,9 +1,9 @@
-//! Property-based tests of the indoor distance metric and the text format,
-//! over randomized geometry.
-
-use proptest::prelude::*;
+//! Property-style tests of the indoor distance metric and the text format,
+//! over randomized geometry driven by a seeded internal PRNG (the build
+//! must work offline, so no external property-testing dependency).
 
 use ifls_indoor::{GroundTruth, IndoorPoint, PartitionKind, Point, Rect, Venue, VenueBuilder};
+use ifls_rng::StdRng;
 
 /// Builds a random single-level "strip" venue: `n` rooms in a row joined by
 /// doors at random wall positions, with random extra geometry jitter.
@@ -27,64 +27,61 @@ fn strip_venue(widths: &[f64], door_ys: &[f64]) -> Venue {
     b.build().expect("strip venues are valid")
 }
 
-fn strip_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
-    (2usize..8).prop_flat_map(|n| {
-        (
-            prop::collection::vec(2.0f64..20.0, n),
-            prop::collection::vec(0.5f64..9.5, n),
-        )
-    })
+/// Draws the `(widths, door_ys)` geometry of a random strip venue.
+fn draw_strip(rng: &mut StdRng) -> (Vec<f64>, Vec<f64>) {
+    let n = rng.random_range(2usize..8);
+    let widths = (0..n).map(|_| rng.random_range(2.0..20.0)).collect();
+    let door_ys = (0..n).map(|_| rng.random_range(0.5..9.5)).collect();
+    (widths, door_ys)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn indoor_metric_is_symmetric_and_triangular(
-        (widths, door_ys) in strip_strategy(),
-        fracs in prop::collection::vec((0.05f64..0.95, 0.05f64..0.95), 3),
-    ) {
+#[test]
+fn indoor_metric_is_symmetric_and_triangular() {
+    let mut rng = StdRng::seed_from_u64(0x1d00_0001);
+    for case in 0..48 {
+        let (widths, door_ys) = draw_strip(&mut rng);
         let venue = strip_venue(&widths, &door_ys);
         let gt = GroundTruth::compute(&venue);
         // Three random located points.
-        let pts: Vec<IndoorPoint> = fracs
-            .iter()
-            .enumerate()
-            .map(|(i, &(fx, fy))| {
+        let pts: Vec<IndoorPoint> = (0..3)
+            .map(|i| {
+                let fx = rng.random_range(0.05..0.95);
+                let fy = rng.random_range(0.05..0.95);
                 let p = venue.partitions()[i % venue.num_partitions()].id();
                 let r = venue.partition(p).rect();
                 IndoorPoint::new(
                     p,
-                    Point::new(
-                        r.min_x + fx * r.width(),
-                        r.min_y + fy * r.height(),
-                        0,
-                    ),
+                    Point::new(r.min_x + fx * r.width(), r.min_y + fy * r.height(), 0),
                 )
             })
             .collect();
         for a in &pts {
-            prop_assert!(gt.point_to_point(&venue, a, a).abs() < 1e-12);
+            assert!(gt.point_to_point(&venue, a, a).abs() < 1e-12);
             for b in &pts {
                 let ab = gt.point_to_point(&venue, a, b);
                 let ba = gt.point_to_point(&venue, b, a);
-                prop_assert!((ab - ba).abs() < 1e-9, "symmetry: {ab} vs {ba}");
-                prop_assert!(ab >= 0.0);
+                assert!((ab - ba).abs() < 1e-9, "case {case} symmetry: {ab} vs {ba}");
+                assert!(ab >= 0.0);
                 for c in &pts {
                     let ac = gt.point_to_point(&venue, a, c);
                     let cb = gt.point_to_point(&venue, c, b);
-                    prop_assert!(ab <= ac + cb + 1e-9, "triangle: {ab} > {ac}+{cb}");
+                    assert!(
+                        ab <= ac + cb + 1e-9,
+                        "case {case} triangle: {ab} > {ac}+{cb}"
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn point_to_partition_is_a_lower_bound_of_point_to_point(
-        (widths, door_ys) in strip_strategy(),
-        fx in 0.05f64..0.95,
-        fy in 0.05f64..0.95,
-    ) {
+#[test]
+fn point_to_partition_is_a_lower_bound_of_point_to_point() {
+    let mut rng = StdRng::seed_from_u64(0x1d00_0002);
+    for _ in 0..48 {
+        let (widths, door_ys) = draw_strip(&mut rng);
+        let fx = rng.random_range(0.05..0.95);
+        let fy = rng.random_range(0.05..0.95);
         let venue = strip_venue(&widths, &door_ys);
         let gt = GroundTruth::compute(&venue);
         let src = venue.partitions()[0].id();
@@ -98,46 +95,52 @@ proptest! {
             // Distance to any point inside q is at least the distance to q.
             let center = IndoorPoint::new(q, venue.partition(q).center());
             let to_center = gt.point_to_point(&venue, &a, &center);
-            prop_assert!(to_part <= to_center + 1e-9);
+            assert!(to_part <= to_center + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn venue_text_format_round_trips_random_strips(
-        (widths, door_ys) in strip_strategy(),
-    ) {
+#[test]
+fn venue_text_format_round_trips_random_strips() {
+    let mut rng = StdRng::seed_from_u64(0x1d00_0003);
+    for _ in 0..48 {
+        let (widths, door_ys) = draw_strip(&mut rng);
         let venue = strip_venue(&widths, &door_ys);
         let text = venue.to_text();
         let back = Venue::from_text(&text).expect("round trip");
-        prop_assert_eq!(venue.num_partitions(), back.num_partitions());
-        prop_assert_eq!(venue.num_doors(), back.num_doors());
+        assert_eq!(venue.num_partitions(), back.num_partitions());
+        assert_eq!(venue.num_doors(), back.num_doors());
         for (a, b) in venue.doors().iter().zip(back.doors()) {
-            prop_assert_eq!(a.pos(), b.pos());
+            assert_eq!(a.pos(), b.pos());
         }
         // Distances survive the round trip.
         let gt1 = GroundTruth::compute(&venue);
         let gt2 = GroundTruth::compute(&back);
         for d1 in venue.door_ids() {
             for d2 in venue.door_ids() {
-                prop_assert!((gt1.d2d(d1, d2) - gt2.d2d(d1, d2)).abs() < 1e-9);
+                assert!((gt1.d2d(d1, d2) - gt2.d2d(d1, d2)).abs() < 1e-9);
             }
         }
     }
+}
 
-    #[test]
-    fn rect_union_contains_inputs(
-        (ax, ay, aw, ah) in (-50.0f64..50.0, -50.0f64..50.0, 0.1f64..40.0, 0.1f64..40.0),
-        (bx, by, bw, bh) in (-50.0f64..50.0, -50.0f64..50.0, 0.1f64..40.0, 0.1f64..40.0),
-        (fx, fy) in (0.0f64..1.0, 0.0f64..1.0),
-    ) {
+#[test]
+fn rect_union_contains_inputs() {
+    let mut rng = StdRng::seed_from_u64(0x1d00_0004);
+    for _ in 0..200 {
+        let (ax, ay) = (rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0));
+        let (aw, ah) = (rng.random_range(0.1..40.0), rng.random_range(0.1..40.0));
+        let (bx, by) = (rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0));
+        let (bw, bh) = (rng.random_range(0.1..40.0), rng.random_range(0.1..40.0));
+        let (fx, fy) = (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
         let a = Rect::new(ax, ay, ax + aw, ay + ah);
         let b = Rect::new(bx, by, bx + bw, by + bh);
         let u = a.union(&b);
         // Any point of either rect lies in the union.
         let pa = (ax + fx * aw, ay + fy * ah);
         let pb = (bx + fx * bw, by + fy * bh);
-        prop_assert!(u.contains_xy(pa.0, pa.1));
-        prop_assert!(u.contains_xy(pb.0, pb.1));
-        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+        assert!(u.contains_xy(pa.0, pa.1));
+        assert!(u.contains_xy(pb.0, pb.1));
+        assert!(u.area() + 1e-9 >= a.area().max(b.area()));
     }
 }

@@ -1,0 +1,211 @@
+//! Self-contained deterministic PRNG used across the workspace.
+//!
+//! The build must succeed with no network access, so we cannot depend on the
+//! `rand` crate. This crate provides the small slice of its API the workspace
+//! actually uses — a seedable generator with `random_range` / `random_bool` —
+//! backed by xoshiro256++ (Blackman & Vigna), seeded through SplitMix64 so
+//! that low-entropy seeds (0, 1, 2, …) still produce well-mixed states.
+//!
+//! The generator is deliberately *not* cryptographic. It is used for venue
+//! synthesis, workload sampling, and property tests, where the requirements
+//! are reproducibility across runs/platforms and reasonable statistical
+//! quality.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable xoshiro256++ generator with a `rand`-compatible surface.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Builds a generator from a 64-bit seed via SplitMix64 state expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// Next raw 64 bits (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform f64 in `[0, 1)` using the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Unbiased uniform integer in `[0, n)` (rejection sampling).
+    fn uniform_u64_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Reject the partial final bucket so `% n` is exactly uniform.
+        let threshold = n.wrapping_neg() % n; // 2^64 mod n
+        loop {
+            let x = self.next_u64();
+            if x >= threshold {
+                return x % n;
+            }
+        }
+    }
+
+    /// Uniform sample from a half-open or inclusive range.
+    ///
+    /// Panics on empty ranges, mirroring `rand`.
+    pub fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// Ranges that [`StdRng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from `self`.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        loop {
+            let v = self.start + (self.end - self.start) * rng.next_f64();
+            // Guard against rounding up to the excluded endpoint.
+            if v < self.end {
+                return v;
+            }
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 range");
+        lo + (hi - lo) * rng.next_f64()
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let width = (self.end - self.start) as u64;
+                self.start + rng.uniform_u64_below(width) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range");
+                let width = (hi - lo) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.uniform_u64_below(width + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u32, u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(0);
+        let mut b = StdRng::seed_from_u64(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            let v: usize = rng.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u32 = rng.random_range(0..=4);
+            assert!(w <= 4);
+            let x: f64 = rng.random_range(-2.0..3.5);
+            assert!((-2.0..3.5).contains(&x));
+            let y: f64 = rng.random_range(1.0..=1.0);
+            assert_eq!(y, 1.0);
+        }
+    }
+
+    #[test]
+    fn integer_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 5];
+        for _ in 0..5_000 {
+            counts[rng.random_range(0..5usize)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 800, "value {i} drawn only {c} times");
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits {hits}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+}

@@ -105,7 +105,10 @@ impl GridVenueSpec {
 
     /// Planar building width implied by the widest floor.
     pub fn building_width(&self) -> f64 {
-        let max_rooms = (0..self.levels).map(|l| self.rooms_on_level(l)).max().unwrap_or(0);
+        let max_rooms = (0..self.levels)
+            .map(|l| self.rooms_on_level(l))
+            .max()
+            .unwrap_or(0);
         let per_side = max_rooms.div_ceil(2).max(1);
         f64::from(per_side) * self.room_width
     }
@@ -120,7 +123,10 @@ impl GridVenueSpec {
     /// spec, not runtime conditions.
     pub fn build(&self) -> Venue {
         assert!(self.levels >= 1, "a building needs at least one level");
-        assert!(self.segments_per_level >= 1, "each level needs a corridor segment");
+        assert!(
+            self.segments_per_level >= 1,
+            "each level needs a corridor segment"
+        );
         assert!(
             self.levels == 1 || self.stair_banks >= 1,
             "multi-level buildings need at least one stair bank"
@@ -251,7 +257,9 @@ impl GridVenueSpec {
             b.add_door(Point::new(x, yc, 0), segment_at(row, x), None);
         }
 
-        let venue = b.build().expect("grid venue spec produced an invalid venue");
+        let venue = b
+            .build()
+            .expect("grid venue spec produced an invalid venue");
         debug_assert_eq!(venue.num_partitions(), self.expected_partitions() as usize);
         debug_assert_eq!(venue.num_doors(), self.expected_doors() as usize);
         venue

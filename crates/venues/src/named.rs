@@ -99,7 +99,12 @@ pub enum NamedVenue {
 
 impl NamedVenue {
     /// All four venues, in the paper's order.
-    pub const ALL: [NamedVenue; 4] = [NamedVenue::MC, NamedVenue::CH, NamedVenue::CPH, NamedVenue::MZB];
+    pub const ALL: [NamedVenue; 4] = [
+        NamedVenue::MC,
+        NamedVenue::CH,
+        NamedVenue::CPH,
+        NamedVenue::MZB,
+    ];
 
     /// Short label as used in the paper's figures.
     pub const fn label(self) -> &'static str {

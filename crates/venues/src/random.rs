@@ -6,8 +6,7 @@
 //! between levels. They exercise code paths that the tidy corridor-backbone
 //! venues cannot (multiple shortest paths, high-degree rooms, dead ends).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ifls_rng::StdRng;
 
 use ifls_indoor::{PartitionId, PartitionKind, Point, Rect, Venue, VenueBuilder};
 
@@ -181,7 +180,8 @@ impl RandomVenueSpec {
             );
         }
 
-        b.build().expect("random venue spec produced an invalid venue")
+        b.build()
+            .expect("random venue spec produced an invalid venue")
     }
 }
 

@@ -144,7 +144,9 @@ mod tests {
     fn markers_override_fill() {
         let venue = GridVenueSpec::new("t", 1, 6).build();
         let target = venue.partitions()[3].id();
-        let s = AsciiFloorplan::new(&venue, 0, 1.0).mark(target, 'A').render();
+        let s = AsciiFloorplan::new(&venue, 0, 1.0)
+            .mark(target, 'A')
+            .render();
         assert!(s.contains('A'), "{s}");
     }
 

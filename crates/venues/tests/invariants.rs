@@ -50,7 +50,13 @@ fn check_venue(v: &Venue) {
     // Stairwells are the only partitions spanning multiple levels.
     for p in v.partitions() {
         if p.level_min() != p.level_max() {
-            assert_eq!(p.kind(), PartitionKind::Stairwell, "{}: {}", v.name(), p.id());
+            assert_eq!(
+                p.kind(),
+                PartitionKind::Stairwell,
+                "{}: {}",
+                v.name(),
+                p.id()
+            );
         }
     }
 }
@@ -146,6 +152,10 @@ fn room_area_dominates_circulation_area_in_malls() {
                 other += p.rect().area();
             }
         }
-        assert!(rooms > other, "{}: rooms {rooms} <= circulation {other}", v.name());
+        assert!(
+            rooms > other,
+            "{}: rooms {rooms} <= circulation {other}",
+            v.name()
+        );
     }
 }

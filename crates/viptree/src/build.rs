@@ -65,7 +65,8 @@ impl<'v> VipTree<'v> {
         let mut leaf_of = vec![NodeId::new(u32::MAX); num_parts];
         for group in &groups {
             let id = NodeId::from_index(nodes.len());
-            let parts: Vec<PartitionId> = group.iter().map(|&i| PartitionId::from_index(i)).collect();
+            let parts: Vec<PartitionId> =
+                group.iter().map(|&i| PartitionId::from_index(i)).collect();
             for &p in &parts {
                 leaf_of[p.index()] = id;
             }
@@ -235,7 +236,8 @@ impl<'v> VipTree<'v> {
                         nodes[c.index()]
                             .access_doors()
                             .map(|d| {
-                                node.door_index(d).expect("child access door in parent doors")
+                                node.door_index(d)
+                                    .expect("child access door in parent doors")
                                     as u32
                             })
                             .collect()
@@ -259,10 +261,8 @@ impl<'v> VipTree<'v> {
                 chain
             })
             .collect();
-        let access_door_ids: Vec<Vec<DoorId>> = nodes
-            .iter()
-            .map(|n| n.access_doors().collect())
-            .collect();
+        let access_door_ids: Vec<Vec<DoorId>> =
+            nodes.iter().map(|n| n.access_doors().collect()).collect();
         let node_door_ids: Vec<Vec<DoorId>> = nodes.iter().map(|n| n.doors.clone()).collect();
 
         let graph = DoorGraph::build(venue);
@@ -291,7 +291,9 @@ impl<'v> VipTree<'v> {
             let (dist, hop) = graph.sssp_with_first_hop(d);
             for &(ni, row) in &occ[d.index()] {
                 for (col, &d2) in node_door_ids[ni].iter().enumerate() {
-                    nodes[ni].mat.set(row, col, dist[d2.index()], hop[d2.index()]);
+                    nodes[ni]
+                        .mat
+                        .set(row, col, dist[d2.index()], hop[d2.index()]);
                 }
                 if nodes[ni].is_leaf() && config.vivid {
                     for (k, &anc) in ancestors_of[ni].iter().enumerate() {
@@ -377,7 +379,14 @@ mod tests {
     fn group_connected_star_groups_siblings() {
         // Star: 0 is the hub, 1..=5 its spokes; 2-hop closure is supplied
         // by the caller, as the tree builder does.
-        let adj = [vec![1, 2, 3, 4, 5], vec![0], vec![0], vec![0], vec![0], vec![0]];
+        let adj = [
+            vec![1, 2, 3, 4, 5],
+            vec![0],
+            vec![0],
+            vec![0],
+            vec![0],
+            vec![0],
+        ];
         let groups = group_connected(
             6,
             |i, out| {

@@ -189,12 +189,7 @@ impl VipTree<'_> {
     /// The `k` nearest facilities of `query` within `index`, in
     /// non-decreasing exact indoor distance (fewer if the layer holds
     /// fewer facilities).
-    pub fn k_nearest(
-        &self,
-        index: &FacilityIndex,
-        query: IndoorPoint,
-        k: usize,
-    ) -> Vec<NnEntry> {
+    pub fn k_nearest(&self, index: &FacilityIndex, query: IndoorPoint, k: usize) -> Vec<NnEntry> {
         IncrementalNn::new(self, index, query).take(k).collect()
     }
 
@@ -219,10 +214,7 @@ impl Iterator for IncrementalNn<'_, '_, '_> {
         while let Some(QueueEntry { dist, item }) = self.heap.pop() {
             match item {
                 QueueItem::Facility(p) => {
-                    return Some(NnEntry {
-                        facility: p,
-                        dist,
-                    });
+                    return Some(NnEntry { facility: p, dist });
                 }
                 QueueItem::Node(n) => match self.tree.children(n) {
                     NodeChildren::Partitions(ps) => {

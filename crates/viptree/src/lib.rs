@@ -51,10 +51,24 @@ mod path;
 mod tree;
 
 pub use knn::{FacilityIndex, IncrementalNn, NnEntry};
-pub use path::IndoorPath;
 pub use matrix::DistMatrix;
 pub use node::{NodeChildren, NodeId};
+pub use path::IndoorPath;
 pub use tree::{VipTree, VipTreeStats};
+
+// Compile-time audit of the concurrency contract: the index is immutable
+// after construction (no interior mutability, no per-query scratch inside
+// shared structs), so queries may share it by reference across threads.
+// `ifls-core`'s parallel engine relies on these bounds; breaking them —
+// e.g. by caching query state in a `Cell` — must fail the build, not the
+// race detector.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<VipTree<'static>>();
+    assert_send_sync::<FacilityIndex>();
+    assert_send_sync::<DistMatrix>();
+    assert_send_sync::<VipTreeConfig>();
+};
 
 /// Construction parameters for a [`VipTree`].
 #[derive(Clone, Copy, Debug)]

@@ -108,7 +108,12 @@ impl Node {
 
     /// Approximate heap footprint of this node's matrices, in bytes.
     pub fn approx_matrix_bytes(&self) -> usize {
-        self.mat.approx_bytes() + self.vivid.iter().map(DistMatrix::approx_bytes).sum::<usize>()
+        self.mat.approx_bytes()
+            + self
+                .vivid
+                .iter()
+                .map(DistMatrix::approx_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -139,7 +144,10 @@ mod tests {
         };
         assert_eq!(node.door_index(DoorId::new(5)), Some(1));
         assert_eq!(node.door_index(DoorId::new(3)), None);
-        assert_eq!(node.access_doors().collect::<Vec<_>>(), vec![DoorId::new(5)]);
+        assert_eq!(
+            node.access_doors().collect::<Vec<_>>(),
+            vec![DoorId::new(5)]
+        );
         assert!(node.is_leaf());
     }
 }

@@ -39,10 +39,7 @@ impl VipTree<'_> {
         let mut anc = self.parent(l1);
         let mut k = 0usize;
         while let Some(a) = anc {
-            if let Some(j) = self.nodes[a.index()]
-                .access_doors()
-                .position(|ad| ad == d2)
-            {
+            if let Some(j) = self.nodes[a.index()].access_doors().position(|ad| ad == d2) {
                 if self.config.vivid {
                     let h = self.nodes[l1.index()].vivid[k].hop(i1 as usize, j);
                     return (h != u32::MAX).then(|| DoorId::new(h));

@@ -127,17 +127,22 @@ impl<'v> WorkloadBuilder<'v> {
     /// Generates the workload.
     pub fn build(self) -> Workload {
         // Decorrelate client and facility streams.
-        let client_seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
-        let facility_seed = self.seed.wrapping_mul(0xD1B5_4A32_D192_ED03).wrapping_add(2);
-        let clients = generate_clients(self.venue, self.num_clients, self.distribution, client_seed);
+        let client_seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1);
+        let facility_seed = self
+            .seed
+            .wrapping_mul(0xD1B5_4A32_D192_ED03)
+            .wrapping_add(2);
+        let clients =
+            generate_clients(self.venue, self.num_clients, self.distribution, client_seed);
         let (existing, candidates) = match self.facilities {
             FacilityMode::Uniform {
                 existing,
                 candidates,
             } => uniform_facilities(self.venue, existing, candidates, facility_seed),
-            FacilityMode::RealSetting { category } => {
-                real_setting_facilities(self.venue, category)
-            }
+            FacilityMode::RealSetting { category } => real_setting_facilities(self.venue, category),
         };
         Workload {
             clients,

@@ -1,7 +1,6 @@
 //! Client generation: uniform and normal distributions over a venue.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ifls_rng::StdRng;
 use rand_distributions::sample_standard_normal;
 
 use ifls_indoor::{IndoorPoint, PartitionKind, Point, Venue};
@@ -46,7 +45,10 @@ fn uniform_clients(venue: &Venue, n: usize, rng: &mut StdRng) -> Vec<IndoorPoint
         .iter()
         .filter(|p| p.kind() != PartitionKind::Stairwell)
         .collect();
-    assert!(!eligible.is_empty(), "venue has no client-eligible partitions");
+    assert!(
+        !eligible.is_empty(),
+        "venue has no client-eligible partitions"
+    );
     // Cumulative areas for weighted sampling.
     let mut cum = Vec::with_capacity(eligible.len());
     let mut total = 0.0;
@@ -108,8 +110,7 @@ fn normal_clients(venue: &Venue, n: usize, sigma: f64, rng: &mut StdRng) -> Vec<
 /// Minimal normal sampling built on `rand`'s uniform floats (Box–Muller),
 /// keeping the dependency set to the approved crates.
 mod rand_distributions {
-    use rand::rngs::StdRng;
-    use rand::Rng;
+    use ifls_rng::StdRng;
 
     /// One standard-normal sample via the Box–Muller transform.
     pub fn sample_standard_normal(rng: &mut StdRng) -> f64 {
@@ -148,8 +149,7 @@ mod tests {
     fn normal_clients_land_inside_their_partitions() {
         let v = venue();
         for sigma in [0.125, 0.5, 2.0] {
-            let clients =
-                generate_clients(&v, 300, ClientDistribution::Normal { sigma }, 2);
+            let clients = generate_clients(&v, 300, ClientDistribution::Normal { sigma }, 2);
             assert_eq!(clients.len(), 300);
             for c in &clients {
                 assert!(v.partition(c.partition).contains(&c.pos));

@@ -1,7 +1,6 @@
 //! Facility set selection: synthetic (uniform) and real (category-based).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ifls_rng::StdRng;
 
 use ifls_indoor::{PartitionId, PartitionKind, Venue};
 use ifls_venues::McCategory;
@@ -106,8 +105,14 @@ mod tests {
     #[test]
     fn uniform_selection_is_deterministic_per_seed() {
         let v = GridVenueSpec::new("t", 2, 40).build();
-        assert_eq!(uniform_facilities(&v, 5, 5, 1), uniform_facilities(&v, 5, 5, 1));
-        assert_ne!(uniform_facilities(&v, 5, 5, 1), uniform_facilities(&v, 5, 5, 2));
+        assert_eq!(
+            uniform_facilities(&v, 5, 5, 1),
+            uniform_facilities(&v, 5, 5, 1)
+        );
+        assert_ne!(
+            uniform_facilities(&v, 5, 5, 1),
+            uniform_facilities(&v, 5, 5, 2)
+        );
     }
 
     #[test]

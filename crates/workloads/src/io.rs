@@ -87,7 +87,10 @@ impl fmt::Display for WorkloadParseError {
                 write!(f, "line {line}: client position lies outside its partition")
             }
             WorkloadParseError::OverlappingFacilities { id } => {
-                write!(f, "partition {id} is both an existing facility and a candidate")
+                write!(
+                    f,
+                    "partition {id} is both an existing facility and a candidate"
+                )
             }
         }
     }

@@ -39,7 +39,9 @@ fn main() {
     let minmax_time = t.elapsed();
     println!(
         "MinMax : `{}` — farthest traveler {:.0} m ({:?})",
-        venue.partition(minmax.answer.expect("answer exists")).name(),
+        venue
+            .partition(minmax.answer.expect("answer exists"))
+            .name(),
         minmax.objective,
         minmax_time
     );
@@ -48,7 +50,9 @@ fn main() {
     let mindist = EfficientMinDist::new(&tree).run(&w.clients, &w.existing, &w.candidates);
     println!(
         "MinDist: `{}` — average walk {:.0} m",
-        venue.partition(mindist.answer.expect("answer exists")).name(),
+        venue
+            .partition(mindist.answer.expect("answer exists"))
+            .name(),
         mindist.average(w.clients.len())
     );
     let brute_md = BruteForceMinDist::new(&tree).run(&w.clients, &w.existing, &w.candidates);
@@ -58,7 +62,9 @@ fn main() {
     let maxsum = EfficientMaxSum::new(&tree).run(&w.clients, &w.existing, &w.candidates);
     println!(
         "MaxSum : `{}` — captures {} of {} travelers",
-        venue.partition(maxsum.answer.expect("answer exists")).name(),
+        venue
+            .partition(maxsum.answer.expect("answer exists"))
+            .name(),
         maxsum.wins,
         w.clients.len()
     );

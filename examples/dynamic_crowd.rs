@@ -13,8 +13,7 @@
 use ifls::core::IflsMonitor;
 use ifls::prelude::*;
 use ifls::venues::copenhagen_airport;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ifls_rng::StdRng;
 
 fn main() {
     let venue = copenhagen_airport();

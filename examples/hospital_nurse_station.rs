@@ -81,7 +81,11 @@ fn build_hospital() -> (Venue, Vec<PartitionId>, Vec<PartitionId>) {
             level + 1,
             PartitionKind::Stairwell,
         );
-        b.add_door(Point::new(1.0, room_d + cw / 2.0, level), stair, Some(corridors[level as usize]));
+        b.add_door(
+            Point::new(1.0, room_d + cw / 2.0, level),
+            stair,
+            Some(corridors[level as usize]),
+        );
         b.add_door(
             Point::new(1.0, room_d + cw / 2.0, level + 1),
             stair,
@@ -107,7 +111,11 @@ fn main() {
     let beds: Vec<IndoorPoint> = venue
         .partitions()
         .iter()
-        .filter(|p| p.name().contains("ward") && !existing.contains(&p.id()) && !candidates.contains(&p.id()))
+        .filter(|p| {
+            p.name().contains("ward")
+                && !existing.contains(&p.id())
+                && !candidates.contains(&p.id())
+        })
         .map(|p| IndoorPoint::new(p.id(), p.center()))
         .collect();
     println!("{} patient beds placed", beds.len());
@@ -121,9 +129,7 @@ fn main() {
          (was {:.1} m)",
         venue.partition(station).name(),
         minmax.objective,
-        BruteForce::new(&tree)
-            .run(&beds, &existing, &[])
-            .objective
+        BruteForce::new(&tree).run(&beds, &existing, &[]).objective
     );
 
     let mindist = EfficientMinDist::new(&tree).run(&beds, &existing, &candidates);

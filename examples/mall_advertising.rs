@@ -50,7 +50,9 @@ fn main() {
     }
     println!(
         "  ({} distance computations, {} of {} shoppers pruned early)",
-        coffee.stats.dist_computations, coffee.stats.clients_pruned, w.clients.len()
+        coffee.stats.dist_computations,
+        coffee.stats.clients_pruned,
+        w.clients.len()
     );
 
     // 2. MaxSum: the advertising booth. The agency may not use fresh-food
@@ -68,7 +70,9 @@ fn main() {
     let booth = EfficientMaxSum::new(&tree).run(&w.clients, &w.existing, &allowed);
     println!(
         "advertising booth goes to `{}`: it becomes the closest attraction for {} of {} shoppers",
-        venue.partition(booth.answer.expect("candidates non-empty")).name(),
+        venue
+            .partition(booth.answer.expect("candidates non-empty"))
+            .name(),
         booth.wins,
         w.clients.len()
     );

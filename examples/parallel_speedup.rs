@@ -1,0 +1,100 @@
+//! Batch throughput of the parallel engine: the same 32-query batch served
+//! with 1 worker and with all available cores, answers compared
+//! bit-for-bit.
+//!
+//! ```sh
+//! cargo run --release --example parallel_speedup
+//! ```
+//!
+//! Workload scale follows Table 2 defaults on Melbourne Central (the
+//! paper's largest real venue). The measured speedup depends on the
+//! machine: on a single-core box the two runs necessarily tie; at 4+
+//! cores the batch path gains roughly the core count (the queries are
+//! independent and the shared VIP-tree is read-only).
+
+use std::time::{Duration, Instant};
+
+use ifls::prelude::*;
+use ifls::venues::NamedVenue;
+use ifls::workloads::ParameterGrid;
+use ifls_core::parallel::default_threads;
+
+const BATCH: usize = 16;
+const CLIENTS: usize = 200;
+const REPEATS: usize = 2;
+
+fn time_batch(
+    runner: &BatchRunner<'_, '_>,
+    queries: &[IflsQuery],
+) -> (Duration, Vec<MinMaxOutcome>) {
+    // Best-of-N to shave scheduler noise; answers are identical each run.
+    let mut best: Option<(Duration, Vec<MinMaxOutcome>)> = None;
+    for _ in 0..REPEATS {
+        let t0 = Instant::now();
+        let out = runner.run_minmax(queries);
+        let dt = t0.elapsed();
+        if best.as_ref().is_none_or(|(b, _)| dt < *b) {
+            best = Some((dt, out));
+        }
+    }
+    best.expect("REPEATS > 0")
+}
+
+fn main() {
+    let venue = NamedVenue::MC.build();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let d = ParameterGrid::new(NamedVenue::MC).defaults();
+
+    let queries: Vec<IflsQuery> = (0..BATCH as u64)
+        .map(|i| {
+            let w = WorkloadBuilder::new(&venue)
+                .clients_uniform(CLIENTS)
+                .existing_uniform(d.fe)
+                .candidates_uniform(d.fn_)
+                .seed(1000 + i)
+                .build();
+            IflsQuery {
+                clients: w.clients,
+                existing: w.existing,
+                candidates: w.candidates,
+            }
+        })
+        .collect();
+    println!(
+        "venue `{}`: {BATCH} MinMax queries, |C|={CLIENTS}, |Fe|={}, |Fn|={}",
+        venue.name(),
+        d.fe,
+        d.fn_
+    );
+
+    let threads = default_threads();
+    let (t1, serial) = time_batch(&BatchRunner::with_threads(&tree, 1), &queries);
+    let (tn, parallel) = time_batch(&BatchRunner::with_threads(&tree, threads), &queries);
+
+    // The whole point of the engine: sharding changes the schedule, never
+    // the answer.
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.answer, p.answer, "query {i}: answers diverged");
+        assert_eq!(
+            s.objective.to_bits(),
+            p.objective.to_bits(),
+            "query {i}: objective bits diverged"
+        );
+    }
+    println!("all {BATCH} answers bit-identical across thread counts");
+
+    println!(
+        "  1 thread : {t1:>10.2?}  ({:.1} ms/query)",
+        t1.as_secs_f64() * 1e3 / BATCH as f64
+    );
+    println!(
+        "{threads:>3} threads: {tn:>10.2?}  ({:.1} ms/query)",
+        tn.as_secs_f64() * 1e3 / BATCH as f64
+    );
+    let speedup = t1.as_secs_f64() / tn.as_secs_f64();
+    println!("speedup: {speedup:.2}x on {threads} available core(s)");
+    if threads == 1 {
+        println!("(single-core machine: both runs use one worker; any gap is timer noise)");
+    }
+}

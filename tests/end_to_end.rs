@@ -155,7 +155,6 @@ fn objective_value_is_achieved_by_the_returned_answer() {
         .seed(17)
         .build();
     let eff = EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates);
-    let evaluated =
-        ifls::core::evaluate_objective(&tree, &w.clients, &w.existing, eff.answer);
+    let evaluated = ifls::core::evaluate_objective(&tree, &w.clients, &w.existing, eff.answer);
     assert!((eff.objective - evaluated).abs() < 1e-6);
 }

@@ -8,8 +8,7 @@
 
 use ifls::prelude::*;
 use ifls_indoor::PartitionKind;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ifls_rng::StdRng;
 
 /// 22 partitions in three corridor-connected clusters, like Figure 1's
 /// three VIP-tree leaf groups (p1–p6, p7–p13, p14–p22).

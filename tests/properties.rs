@@ -1,37 +1,45 @@
-//! Property-based integration tests: random venues, random workloads, all
+//! Property-style integration tests: random venues, random workloads, all
 //! solvers against their oracles and the VIP-tree against Dijkstra ground
-//! truth.
-
-use proptest::prelude::*;
+//! truth. Randomness is driven by a seeded internal PRNG so every run
+//! exercises the same cases (no external property-testing dependency: the
+//! build must work offline).
 
 use ifls::core::maxsum::{BruteForceMaxSum, EfficientMaxSum};
 use ifls::core::mindist::{BruteForceMinDist, EfficientMinDist};
 use ifls::prelude::*;
 use ifls::venues::RandomVenueSpec;
+use ifls_rng::StdRng;
 
-/// Strategy for small-but-varied random venues.
-fn venue_spec() -> impl Strategy<Value = (RandomVenueSpec, u64)> {
-    (2u32..5, 2u32..5, 1u32..3, 0.0f64..0.9, any::<u64>()).prop_map(
-        |(cx, cy, levels, extra, seed)| {
-            (
-                RandomVenueSpec {
-                    cells_x: cx,
-                    cells_y: cy,
-                    levels,
-                    extra_door_prob: extra,
-                    cell_size: 10.0,
-                },
-                seed,
-            )
-        },
-    )
+/// Draws a small-but-varied random venue spec plus its build seed.
+fn draw_venue_spec(rng: &mut StdRng) -> (RandomVenueSpec, u64) {
+    let spec = RandomVenueSpec {
+        cells_x: rng.random_range(2u32..5),
+        cells_y: rng.random_range(2u32..5),
+        levels: rng.random_range(1u32..3),
+        extra_door_prob: rng.random_range(0.0..0.9),
+        cell_size: 10.0,
+    };
+    (spec, rng.next_u64())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Clamps requested `fe`/`fn` sizes to the venue's eligible pool; returns
+/// `None` when the venue cannot host the workload.
+fn fit_facilities(venue: &Venue, fe: usize, fn_: usize) -> Option<(usize, usize)> {
+    let pool = ifls::workloads::eligible_facility_partitions(venue).len();
+    let fe = fe.min(pool / 3);
+    let fn_ = fn_.min((pool - fe).max(1)).max(1);
+    if fe + fn_ > pool {
+        None
+    } else {
+        Some((fe, fn_))
+    }
+}
 
-    #[test]
-    fn viptree_distances_match_ground_truth((spec, seed) in venue_spec()) {
+#[test]
+fn viptree_distances_match_ground_truth() {
+    let mut rng = StdRng::seed_from_u64(0x1f15_0001);
+    for case in 0..12 {
+        let (spec, seed) = draw_venue_spec(&mut rng);
         let venue = spec.build(seed);
         let tree = VipTree::build(&venue, VipTreeConfig::default());
         let gt = GroundTruth::compute(&venue);
@@ -39,123 +47,136 @@ proptest! {
             for b in venue.door_ids() {
                 let tv = tree.door_to_door(a, b);
                 let gv = gt.d2d(a, b);
-                prop_assert!((tv - gv).abs() < 1e-9, "{a}->{b}: {tv} vs {gv}");
+                assert!((tv - gv).abs() < 1e-9, "case {case} {a}->{b}: {tv} vs {gv}");
             }
         }
     }
+}
 
-    #[test]
-    fn minmax_solvers_agree(
-        (spec, seed) in venue_spec(),
-        clients in 5usize..60,
-        fe in 0usize..5,
-        fn_ in 1usize..8,
-        wseed in any::<u64>(),
-    ) {
+#[test]
+fn minmax_solvers_agree() {
+    let mut rng = StdRng::seed_from_u64(0x1f15_0002);
+    for case in 0..24 {
+        let (spec, seed) = draw_venue_spec(&mut rng);
         let venue = spec.build(seed);
-        let pool = ifls::workloads::eligible_facility_partitions(&venue).len();
-        let fe = fe.min(pool / 3);
-        let fn_ = fn_.min((pool - fe).max(1)).max(1);
-        if fe + fn_ > pool {
-            return Ok(());
-        }
+        let clients = rng.random_range(5usize..60);
+        let Some((fe, fn_)) = fit_facilities(
+            &venue,
+            rng.random_range(0usize..5),
+            rng.random_range(1usize..8),
+        ) else {
+            continue;
+        };
         let tree = VipTree::build(&venue, VipTreeConfig::default());
         let w = WorkloadBuilder::new(&venue)
             .clients_uniform(clients)
             .existing_uniform(fe)
             .candidates_uniform(fn_)
-            .seed(wseed)
+            .seed(rng.next_u64())
             .build();
         let eff = EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates);
         let base = ModifiedMinMax::new(&tree).run(&w.clients, &w.existing, &w.candidates);
         let brute = BruteForce::new(&tree).run(&w.clients, &w.existing, &w.candidates);
-        prop_assert!((eff.objective - brute.objective).abs() < 1e-6,
-            "efficient {} vs brute {}", eff.objective, brute.objective);
-        prop_assert!((base.objective - brute.objective).abs() < 1e-6,
-            "baseline {} vs brute {}", base.objective, brute.objective);
+        assert!(
+            (eff.objective - brute.objective).abs() < 1e-6,
+            "case {case}: efficient {} vs brute {}",
+            eff.objective,
+            brute.objective
+        );
+        assert!(
+            (base.objective - brute.objective).abs() < 1e-6,
+            "case {case}: baseline {} vs brute {}",
+            base.objective,
+            brute.objective
+        );
         // The answers achieve the reported objectives.
         let eval = ifls::core::evaluate_objective(&tree, &w.clients, &w.existing, eff.answer);
-        prop_assert!((eff.objective - eval).abs() < 1e-6);
+        assert!((eff.objective - eval).abs() < 1e-6, "case {case}");
     }
+}
 
-    #[test]
-    fn mindist_solvers_agree(
-        (spec, seed) in venue_spec(),
-        clients in 5usize..40,
-        fe in 0usize..4,
-        fn_ in 1usize..6,
-        wseed in any::<u64>(),
-    ) {
+#[test]
+fn mindist_solvers_agree() {
+    let mut rng = StdRng::seed_from_u64(0x1f15_0003);
+    for case in 0..24 {
+        let (spec, seed) = draw_venue_spec(&mut rng);
         let venue = spec.build(seed);
-        let pool = ifls::workloads::eligible_facility_partitions(&venue).len();
-        let fe = fe.min(pool / 3);
-        let fn_ = fn_.min((pool - fe).max(1)).max(1);
-        if fe + fn_ > pool {
-            return Ok(());
-        }
+        let clients = rng.random_range(5usize..40);
+        let Some((fe, fn_)) = fit_facilities(
+            &venue,
+            rng.random_range(0usize..4),
+            rng.random_range(1usize..6),
+        ) else {
+            continue;
+        };
         let tree = VipTree::build(&venue, VipTreeConfig::default());
         let w = WorkloadBuilder::new(&venue)
             .clients_uniform(clients)
             .existing_uniform(fe)
             .candidates_uniform(fn_)
-            .seed(wseed)
+            .seed(rng.next_u64())
             .build();
         let eff = EfficientMinDist::new(&tree).run(&w.clients, &w.existing, &w.candidates);
         let brute = BruteForceMinDist::new(&tree).run(&w.clients, &w.existing, &w.candidates);
-        prop_assert!((eff.total - brute.total).abs() < 1e-6,
-            "efficient {} vs brute {}", eff.total, brute.total);
+        assert!(
+            (eff.total - brute.total).abs() < 1e-6,
+            "case {case}: efficient {} vs brute {}",
+            eff.total,
+            brute.total
+        );
     }
+}
 
-    #[test]
-    fn maxsum_solvers_agree(
-        (spec, seed) in venue_spec(),
-        clients in 5usize..40,
-        fe in 0usize..4,
-        fn_ in 1usize..6,
-        wseed in any::<u64>(),
-    ) {
+#[test]
+fn maxsum_solvers_agree() {
+    let mut rng = StdRng::seed_from_u64(0x1f15_0004);
+    for case in 0..24 {
+        let (spec, seed) = draw_venue_spec(&mut rng);
         let venue = spec.build(seed);
-        let pool = ifls::workloads::eligible_facility_partitions(&venue).len();
-        let fe = fe.min(pool / 3);
-        let fn_ = fn_.min((pool - fe).max(1)).max(1);
-        if fe + fn_ > pool {
-            return Ok(());
-        }
+        let clients = rng.random_range(5usize..40);
+        let Some((fe, fn_)) = fit_facilities(
+            &venue,
+            rng.random_range(0usize..4),
+            rng.random_range(1usize..6),
+        ) else {
+            continue;
+        };
         let tree = VipTree::build(&venue, VipTreeConfig::default());
         let w = WorkloadBuilder::new(&venue)
             .clients_uniform(clients)
             .existing_uniform(fe)
             .candidates_uniform(fn_)
-            .seed(wseed)
+            .seed(rng.next_u64())
             .build();
         let eff = EfficientMaxSum::new(&tree).run(&w.clients, &w.existing, &w.candidates);
         let brute = BruteForceMaxSum::new(&tree).run(&w.clients, &w.existing, &w.candidates);
-        prop_assert_eq!(eff.wins, brute.wins);
+        assert_eq!(eff.wins, brute.wins, "case {case}");
     }
+}
 
-    #[test]
-    fn adding_a_facility_never_hurts(
-        (spec, seed) in venue_spec(),
-        clients in 5usize..30,
-        wseed in any::<u64>(),
-    ) {
-        // Monotonicity of the MinMax objective: placing any new facility
-        // can only reduce (or keep) the maximum client distance.
+#[test]
+fn adding_a_facility_never_hurts() {
+    // Monotonicity of the MinMax objective: placing any new facility can
+    // only reduce (or keep) the maximum client distance.
+    let mut rng = StdRng::seed_from_u64(0x1f15_0005);
+    for _ in 0..24 {
+        let (spec, seed) = draw_venue_spec(&mut rng);
         let venue = spec.build(seed);
+        let clients = rng.random_range(5usize..30);
         if venue.num_partitions() < 4 {
-            return Ok(());
+            continue;
         }
         let tree = VipTree::build(&venue, VipTreeConfig::default());
         let w = WorkloadBuilder::new(&venue)
             .clients_uniform(clients)
             .existing_uniform(2)
             .candidates_uniform(2)
-            .seed(wseed)
+            .seed(rng.next_u64())
             .build();
         let before = ifls::core::evaluate_objective(&tree, &w.clients, &w.existing, None);
         for &n in &w.candidates {
             let after = ifls::core::evaluate_objective(&tree, &w.clients, &w.existing, Some(n));
-            prop_assert!(after <= before + 1e-9);
+            assert!(after <= before + 1e-9);
         }
     }
 }
