@@ -34,6 +34,7 @@ fn bench(c: &mut Criterion) {
         let cfg = EfficientConfig {
             group_clients: g,
             prune_clients: p,
+            ..EfficientConfig::default()
         };
         group.bench_function(name, |b| {
             b.iter(|| {

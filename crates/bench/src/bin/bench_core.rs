@@ -1,0 +1,328 @@
+//! Machine-readable perf baselines for the distance-kernel cache.
+//!
+//! Replays a *serving-shaped* query stream against each of the paper's four
+//! venues: the venue and the facility sets stay fixed while the client set
+//! churns from query to query, which is exactly the regime the shared memo
+//! cache targets. Every (venue, objective) pair is measured twice — once
+//! with a single [`DistCache`] that persists across the whole stream, once
+//! with caching disabled — and the per-query answers are compared
+//! bit-for-bit between the two modes. Any divergence exits non-zero, which
+//! the CI smoke job relies on.
+//!
+//! Results go to `BENCH_core.json` (override with `--out PATH`); the schema
+//! is documented in `EXPERIMENTS.md`. `--quick` shrinks the stream for CI.
+
+use std::time::Instant;
+
+use ifls_core::maxsum::EfficientMaxSum;
+use ifls_core::mindist::EfficientMinDist;
+use ifls_core::{EfficientConfig, EfficientIfls, QueryStats};
+use ifls_venues::NamedVenue;
+use ifls_viptree::{DistCache, VipTree, VipTreeConfig};
+use ifls_workloads::{Workload, WorkloadBuilder};
+
+/// Bumped whenever a field is added, renamed, or re-interpreted.
+const SCHEMA: &str = "ifls-bench-core/v1";
+
+/// Stream shape: how many distinct client sets and how often each repeats.
+#[derive(Clone, Copy)]
+struct StreamSpec {
+    clients: usize,
+    existing: usize,
+    candidates: usize,
+    queries: usize,
+    rounds: usize,
+}
+
+impl StreamSpec {
+    fn full() -> Self {
+        Self {
+            clients: 100,
+            existing: 12,
+            candidates: 24,
+            queries: 8,
+            rounds: 2,
+        }
+    }
+
+    fn quick() -> Self {
+        Self {
+            clients: 80,
+            existing: 6,
+            candidates: 12,
+            queries: 3,
+            rounds: 1,
+        }
+    }
+}
+
+/// One measured (venue, objective, cache mode) cell.
+struct RowOut {
+    venue: &'static str,
+    algorithm: &'static str,
+    threads: usize,
+    cache: bool,
+    queries: usize,
+    median_ns: u128,
+    dist_computations: u64,
+    cache_hit_rate: Option<f64>,
+    cache_bytes: usize,
+}
+
+/// Per-query fingerprint used for the cache-on vs cache-off divergence
+/// check: the chosen candidate plus the exact objective bits.
+#[derive(PartialEq, Eq, Debug)]
+struct Fingerprint {
+    answer: Option<u32>,
+    objective_bits: u64,
+}
+
+/// Everything one stream replay produces.
+struct StreamResult {
+    fingerprints: Vec<Fingerprint>,
+    times_ns: Vec<u128>,
+    dist_computations: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_bytes: usize,
+}
+
+fn median_ns(times: &[u128]) -> u128 {
+    let mut sorted = times.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+fn accumulate(out: &mut StreamResult, stats: &QueryStats) {
+    out.dist_computations += stats.dist_computations;
+    out.cache_hits += stats.cache_hits;
+    out.cache_misses += stats.cache_misses;
+    out.cache_bytes = out.cache_bytes.max(stats.cache_bytes);
+}
+
+/// Replays `rounds` passes over the query stream with one long-lived cache
+/// (or a disabled one), timing each query and fingerprinting the answers of
+/// the first round.
+fn run_stream(
+    tree: &VipTree<'_>,
+    queries: &[Workload],
+    algorithm: &'static str,
+    cache_on: bool,
+    rounds: usize,
+) -> StreamResult {
+    let config = EfficientConfig {
+        dist_cache: cache_on,
+        ..EfficientConfig::default()
+    };
+    let mut cache = DistCache::with_enabled(cache_on);
+    let mut out = StreamResult {
+        fingerprints: Vec::new(),
+        times_ns: Vec::new(),
+        dist_computations: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_bytes: 0,
+    };
+    for round in 0..rounds {
+        for w in queries {
+            let started = Instant::now();
+            let fp = match algorithm {
+                "efficient-minmax" => {
+                    let o = EfficientIfls::with_config(tree, config).run_with_cache(
+                        &w.clients,
+                        &w.existing,
+                        &w.candidates,
+                        &mut cache,
+                    );
+                    let fp = Fingerprint {
+                        answer: o.answer.map(|p| p.raw()),
+                        objective_bits: o.objective.to_bits(),
+                    };
+                    accumulate(&mut out, &o.stats);
+                    fp
+                }
+                "efficient-mindist" => {
+                    let o = EfficientMinDist::with_config(tree, config).run_with_cache(
+                        &w.clients,
+                        &w.existing,
+                        &w.candidates,
+                        &mut cache,
+                    );
+                    let fp = Fingerprint {
+                        answer: o.answer.map(|p| p.raw()),
+                        objective_bits: o.total.to_bits(),
+                    };
+                    accumulate(&mut out, &o.stats);
+                    fp
+                }
+                "efficient-maxsum" => {
+                    let o = EfficientMaxSum::with_config(tree, config).run_with_cache(
+                        &w.clients,
+                        &w.existing,
+                        &w.candidates,
+                        &mut cache,
+                    );
+                    let fp = Fingerprint {
+                        answer: o.answer.map(|p| p.raw()),
+                        objective_bits: o.wins,
+                    };
+                    accumulate(&mut out, &o.stats);
+                    fp
+                }
+                other => panic!("unknown algorithm {other}"),
+            };
+            out.times_ns.push(started.elapsed().as_nanos());
+            if round == 0 {
+                out.fingerprints.push(fp);
+            }
+        }
+    }
+    out
+}
+
+/// Builds the serving-shaped stream: facilities drawn once, clients churned
+/// per query with decorrelated seeds.
+fn build_stream(venue: &ifls_indoor::Venue, spec: StreamSpec) -> Vec<Workload> {
+    let base = WorkloadBuilder::new(venue)
+        .clients_uniform(spec.clients)
+        .existing_uniform(spec.existing)
+        .candidates_uniform(spec.candidates)
+        .seed(7)
+        .build();
+    (0..spec.queries)
+        .map(|q| {
+            let mut w = WorkloadBuilder::new(venue)
+                .clients_uniform(spec.clients)
+                .seed(1_000 + q as u64)
+                .build();
+            w.existing = base.existing.clone();
+            w.candidates = base.candidates.clone();
+            w
+        })
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, quick: bool, rows: &[RowOut]) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"{}\",", json_escape(SCHEMA));
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let hit_rate = match r.cache_hit_rate {
+            Some(h) => format!("{h:.6}"),
+            None => "null".to_string(),
+        };
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"venue\": \"{}\", \"algorithm\": \"{}\", \"threads\": {}, \
+             \"cache\": {}, \"queries\": {}, \"median_ns\": {}, \
+             \"dist_computations\": {}, \"cache_hit_rate\": {}, \
+             \"cache_bytes\": {}}}{}",
+            json_escape(r.venue),
+            json_escape(r.algorithm),
+            r.threads,
+            r.cache,
+            r.queries,
+            r.median_ns,
+            r.dist_computations,
+            hit_rate,
+            r.cache_bytes,
+            comma,
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_core.json".to_string());
+    let spec = if quick {
+        StreamSpec::quick()
+    } else {
+        StreamSpec::full()
+    };
+
+    const ALGORITHMS: [&str; 3] = ["efficient-minmax", "efficient-mindist", "efficient-maxsum"];
+
+    let mut rows = Vec::new();
+    let mut diverged = false;
+    for nv in NamedVenue::ALL {
+        let venue = nv.build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let queries = build_stream(&venue, spec);
+        for algorithm in ALGORITHMS {
+            let on = run_stream(&tree, &queries, algorithm, true, spec.rounds);
+            let off = run_stream(&tree, &queries, algorithm, false, spec.rounds);
+            if on.fingerprints != off.fingerprints {
+                diverged = true;
+                eprintln!(
+                    "DIVERGENCE: {} on {} answers differ between cache on/off",
+                    algorithm,
+                    nv.label()
+                );
+            }
+            let med_on = median_ns(&on.times_ns);
+            let med_off = median_ns(&off.times_ns);
+            let speedup = med_off as f64 / med_on.max(1) as f64;
+            let lookups = on.cache_hits + on.cache_misses;
+            println!(
+                "{:<4} {:<18} cache-on {:>9} ns  cache-off {:>9} ns  speedup {:>5.2}x  hit-rate {:>5.1}%",
+                nv.label(),
+                algorithm,
+                med_on,
+                med_off,
+                speedup,
+                if lookups == 0 {
+                    0.0
+                } else {
+                    100.0 * on.cache_hits as f64 / lookups as f64
+                },
+            );
+            for (mode, r) in [(true, &on), (false, &off)] {
+                let lookups = r.cache_hits + r.cache_misses;
+                rows.push(RowOut {
+                    venue: nv.label(),
+                    algorithm,
+                    threads: 1,
+                    cache: mode,
+                    queries: r.times_ns.len(),
+                    median_ns: median_ns(&r.times_ns),
+                    dist_computations: r.dist_computations,
+                    cache_hit_rate: if lookups == 0 {
+                        None
+                    } else {
+                        Some(r.cache_hits as f64 / lookups as f64)
+                    },
+                    cache_bytes: r.cache_bytes,
+                });
+            }
+        }
+    }
+
+    match write_json(&out_path, quick, &rows) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if diverged {
+        eprintln!("FAIL: cached and uncached answers diverged");
+        std::process::exit(1);
+    }
+}

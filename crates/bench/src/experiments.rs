@@ -318,7 +318,7 @@ pub fn ablation(scale: &Scale) -> Vec<AblationRow> {
             &tree,
             EfficientConfig {
                 group_clients: false,
-                prune_clients: true,
+                ..EfficientConfig::default()
             },
         ),
     );
@@ -327,8 +327,8 @@ pub fn ablation(scale: &Scale) -> Vec<AblationRow> {
         run_eff(
             &tree,
             EfficientConfig {
-                group_clients: true,
                 prune_clients: false,
+                ..EfficientConfig::default()
             },
         ),
     );
@@ -339,6 +339,7 @@ pub fn ablation(scale: &Scale) -> Vec<AblationRow> {
             EfficientConfig {
                 group_clients: false,
                 prune_clients: false,
+                ..EfficientConfig::default()
             },
         ),
     );

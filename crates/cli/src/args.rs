@@ -30,6 +30,7 @@ query options:
   --category 0..4    MC real setting: category index as Fe (overrides --fe/--fn)
   --seed N           RNG seed (default 0)
   --top K            report the top-K candidates (minmax/efficient only)
+  --no-dist-cache    disable the distance-kernel memo cache (ablation)
   --workload FILE    load the workload from a saved file instead of generating
   --save-workload FILE  write the generated workload for replay";
 
@@ -98,6 +99,9 @@ pub struct CommonArgs {
     pub seed: u64,
     /// Top-k (1 = single answer).
     pub top: usize,
+    /// Whether the efficient solvers memoize distance kernels
+    /// (`--no-dist-cache` clears it for ablation runs).
+    pub dist_cache: bool,
     /// Load the workload from this file instead of generating it.
     pub workload_file: Option<String>,
     /// Save the (generated or loaded) workload to this file.
@@ -117,6 +121,7 @@ impl Default for CommonArgs {
             category: None,
             seed: 0,
             top: 1,
+            dist_cache: true,
             workload_file: None,
             save_workload: None,
         }
@@ -226,6 +231,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--category" => a.category = Some(cur.parsed("--category")?),
                     "--seed" => a.seed = cur.parsed("--seed")?,
                     "--top" => a.top = cur.parsed("--top")?,
+                    "--no-dist-cache" => a.dist_cache = false,
                     "--workload" => a.workload_file = Some(cur.value("--workload")?.to_string()),
                     "--save-workload" => {
                         a.save_workload = Some(cur.value("--save-workload")?.to_string())
@@ -344,7 +350,16 @@ mod tests {
                 assert_eq!(args.top, 3);
                 assert_eq!(args.objective, "minmax");
                 assert_eq!(args.algorithm, "efficient");
+                assert!(args.dist_cache);
             }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_no_dist_cache_flag() {
+        match parse(&v(&["query", "--venue", "grid:1x8", "--no-dist-cache"])).unwrap() {
+            Command::Query { args, .. } => assert!(!args.dist_cache),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -5,7 +5,9 @@ use std::fmt;
 
 use ifls_core::maxsum::EfficientMaxSum;
 use ifls_core::mindist::{BruteForceMinDist, EfficientMinDist};
-use ifls_core::{BruteForce, EfficientIfls, ModifiedMinMax, ParallelSolver, QueryStats};
+use ifls_core::{
+    BruteForce, EfficientConfig, EfficientIfls, ModifiedMinMax, ParallelSolver, QueryStats,
+};
 use ifls_indoor::{PartitionId, Venue};
 use ifls_venues::{GridVenueSpec, McCategory, NamedVenue};
 use ifls_viptree::{VipTree, VipTreeConfig};
@@ -121,8 +123,16 @@ fn describe_partition(venue: &Venue, p: PartitionId) -> String {
 }
 
 fn stats_line(stats: &QueryStats) -> String {
+    let cache = match stats.cache_hit_rate() {
+        Some(rate) => format!(
+            ", cache {:.0}% hits ({:.1} KiB)",
+            rate * 100.0,
+            stats.cache_bytes as f64 / 1024.0
+        ),
+        None => String::new(),
+    };
     format!(
-        "time {:?}, {} distance computations, {} facilities retrieved, {} clients pruned, {:.2} MiB peak",
+        "time {:?}, {} distance computations, {} facilities retrieved, {} clients pruned, {:.2} MiB peak{cache}",
         stats.elapsed,
         stats.dist_computations,
         stats.facilities_retrieved,
@@ -176,8 +186,12 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
             if let Some(path) = &args.save_workload {
                 std::fs::write(path, ifls_workloads::workload_to_text(&w, &v))?;
             }
+            let config = EfficientConfig {
+                dist_cache: args.dist_cache,
+                ..EfficientConfig::default()
+            };
             let parallel = (args.algorithm == "parallel")
-                .then(|| ParallelSolver::with_threads(&tree, args.threads));
+                .then(|| ParallelSolver::with_threads(&tree, args.threads).config(config));
             let algo_label = match &parallel {
                 Some(p) => format!("parallel[{} threads]", p.threads()),
                 None => args.algorithm.clone(),
@@ -199,7 +213,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                                 "--top is supported by the efficient algorithm only".into(),
                             ));
                         }
-                        let top = EfficientIfls::new(&tree).run_topk(
+                        let top = EfficientIfls::with_config(&tree, config).run_topk(
                             &w.clients,
                             &w.existing,
                             &w.candidates,
@@ -218,7 +232,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                     } else {
                         let o = match (algo, &parallel) {
                             (_, Some(p)) => p.run_minmax(&w.clients, &w.existing, &w.candidates),
-                            ("efficient", _) => EfficientIfls::new(&tree).run(
+                            ("efficient", _) => EfficientIfls::with_config(&tree, config).run(
                                 &w.clients,
                                 &w.existing,
                                 &w.candidates,
@@ -248,9 +262,11 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 ("mindist", algo) => {
                     let o = match (algo, &parallel) {
                         (_, Some(p)) => p.run_mindist(&w.clients, &w.existing, &w.candidates),
-                        ("efficient", _) => {
-                            EfficientMinDist::new(&tree).run(&w.clients, &w.existing, &w.candidates)
-                        }
+                        ("efficient", _) => EfficientMinDist::with_config(&tree, config).run(
+                            &w.clients,
+                            &w.existing,
+                            &w.candidates,
+                        ),
                         _ => BruteForceMinDist::new(&tree).run(
                             &w.clients,
                             &w.existing,
@@ -270,9 +286,11 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 (_, algo) => {
                     let o = match (algo, &parallel) {
                         (_, Some(p)) => p.run_maxsum(&w.clients, &w.existing, &w.candidates),
-                        ("efficient", _) => {
-                            EfficientMaxSum::new(&tree).run(&w.clients, &w.existing, &w.candidates)
-                        }
+                        ("efficient", _) => EfficientMaxSum::with_config(&tree, config).run(
+                            &w.clients,
+                            &w.existing,
+                            &w.candidates,
+                        ),
                         _ => ifls_core::maxsum::BruteForceMaxSum::new(&tree).run(
                             &w.clients,
                             &w.existing,
@@ -467,6 +485,42 @@ mod tests {
                     "{objective} with {threads} threads diverged"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn no_dist_cache_flag_does_not_change_answers() {
+        let ans = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("answer"))
+                .unwrap()
+                .to_string()
+        };
+        for objective in ["minmax", "mindist", "maxsum"] {
+            let run = |extra: &[&str]| {
+                let mut argv = v(&[
+                    "query",
+                    "--venue",
+                    "grid:2x16",
+                    "--objective",
+                    objective,
+                    "--clients",
+                    "40",
+                    "--fe",
+                    "2",
+                    "--fn",
+                    "5",
+                    "--seed",
+                    "4",
+                ]);
+                argv.extend(extra.iter().map(|s| s.to_string()));
+                execute(&parse(&argv).unwrap()).unwrap()
+            };
+            assert_eq!(
+                ans(&run(&[])),
+                ans(&run(&["--no-dist-cache"])),
+                "{objective} diverged under --no-dist-cache"
+            );
         }
     }
 

@@ -80,9 +80,9 @@ impl<'t, 'v> ModifiedMinMax<'t, 'v> {
                 stats: QueryStats {
                     dist_computations,
                     facilities_retrieved,
-                    clients_pruned: 0,
                     peak_bytes: meter.peak_bytes(),
                     elapsed: start.elapsed(),
+                    ..QueryStats::default()
                 },
             };
         }
@@ -176,9 +176,9 @@ impl<'t, 'v> ModifiedMinMax<'t, 'v> {
         let stats = QueryStats {
             dist_computations,
             facilities_retrieved,
-            clients_pruned: 0,
             peak_bytes: meter.peak_bytes(),
             elapsed: start.elapsed(),
+            ..QueryStats::default()
         };
 
         // The objective is evaluated outside the timed section: the paper's

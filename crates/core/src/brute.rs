@@ -144,9 +144,9 @@ impl<'t, 'v> BruteForce<'t, 'v> {
         let stats = QueryStats {
             dist_computations,
             facilities_retrieved: (clients.len() * (existing.len() + candidates.len())) as u64,
-            clients_pruned: 0,
             peak_bytes: clients.len() * 8 * 2,
             elapsed: start.elapsed(),
+            ..QueryStats::default()
         };
         match best {
             Some((n, obj)) if obj < status_quo => MinMaxOutcome {

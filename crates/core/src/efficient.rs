@@ -31,10 +31,10 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use ifls_indoor::{IndoorPoint, PartitionId};
-use ifls_viptree::{FacilityIndex, VipTree};
+use ifls_viptree::{DistCache, FacilityIndex, VipTree};
 
 use crate::brute;
-use crate::explore::{Entity, Event, Explorer, EVENT_BYTES};
+use crate::explore::{retrieval_dists, ClientLegs, Entity, Event, Explorer, EVENT_BYTES};
 use crate::outcome::MinMaxOutcome;
 use crate::stats::{MemoryMeter, QueryStats};
 
@@ -48,6 +48,10 @@ pub struct EfficientConfig {
     /// Apply Lemma 5.1: stop doing work for clients whose
     /// nearest-existing-facility distance cannot be improved.
     pub prune_clients: bool,
+    /// Memoize door-distance vectors and `iMinD` bounds in a
+    /// [`DistCache`] (off = the `--no-dist-cache` ablation; answers are
+    /// bit-identical either way).
+    pub dist_cache: bool,
 }
 
 impl Default for EfficientConfig {
@@ -55,6 +59,7 @@ impl Default for EfficientConfig {
         Self {
             group_clients: true,
             prune_clients: true,
+            dist_cache: true,
         }
     }
 }
@@ -273,14 +278,31 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         Self { tree, config }
     }
 
-    /// Answers the query.
+    /// Answers the query with a fresh per-query distance cache (honoring
+    /// `config.dist_cache`).
     pub fn run(
         &self,
         clients: &[IndoorPoint],
         existing: &[PartitionId],
         candidates: &[PartitionId],
     ) -> MinMaxOutcome {
-        self.solve(clients, existing, candidates, 1)
+        let mut cache = DistCache::with_enabled(self.config.dist_cache);
+        self.run_with_cache(clients, existing, candidates, &mut cache)
+    }
+
+    /// Answers the query through a caller-owned [`DistCache`], letting
+    /// memoized door-distance vectors persist across queries (every cached
+    /// value is a pure function of the tree, so reuse cannot change
+    /// answers). This is how batch runners and monitors amortize the
+    /// distance kernel.
+    pub fn run_with_cache(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        cache: &mut DistCache<'_>,
+    ) -> MinMaxOutcome {
+        self.solve(clients, existing, candidates, 1, cache)
     }
 
     /// Top-k variant: the `k` candidates with the smallest objective
@@ -306,7 +328,8 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
             ids.dedup();
             return ids.into_iter().take(k).map(|n| (n, 0.0)).collect();
         }
-        let outcome = self.solve_full(clients, existing, candidates, k);
+        let mut cache = DistCache::with_enabled(self.config.dist_cache);
+        let outcome = self.solve_full(clients, existing, candidates, k, &mut cache);
         let mut out = outcome.qualified;
         if out.len() < k && outcome.c_emptied {
             let mut rest: Vec<PartitionId> = candidates
@@ -337,8 +360,9 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         existing: &[PartitionId],
         candidates: &[PartitionId],
         target: usize,
+        cache: &mut DistCache<'_>,
     ) -> MinMaxOutcome {
-        let full = self.solve_full(clients, existing, candidates, target);
+        let full = self.solve_full(clients, existing, candidates, target, cache);
         match full.qualified.first() {
             Some(&(first, v)) => {
                 // Qualification order follows `d_low`, so every candidate tied
@@ -381,11 +405,14 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         existing: &[PartitionId],
         candidates: &[PartitionId],
         target: usize,
+        cache: &mut DistCache<'_>,
     ) -> SolveOutcome {
         let start = Instant::now();
         let mut meter = MemoryMeter::default();
         let mut dist_computations = 0u64;
+        let mut point_via_lookups = 0u64;
         let mut facilities_retrieved = 0u64;
+        let cache_before = cache.stats();
         let tree = self.tree;
         let venue = tree.venue();
 
@@ -403,9 +430,9 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
                 stats: QueryStats {
                     dist_computations,
                     facilities_retrieved,
-                    clients_pruned: 0,
                     peak_bytes: meter.peak_bytes(),
                     elapsed: start.elapsed(),
+                    ..QueryStats::default()
                 },
             };
         }
@@ -414,6 +441,11 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         let fe = FacilityIndex::build(tree, existing.iter().copied());
         let fn_ = FacilityIndex::build(tree, candidates.iter().copied());
         meter.add((fe.approx_bytes() + fn_.approx_bytes()) as isize);
+
+        // Per-client door legs, computed once and reused by every grouped
+        // retrieval (the client→door half of each distance combine).
+        let legs = ClientLegs::build(tree, clients);
+        meter.add(legs.approx_bytes() as isize);
 
         let mut st = SearchState::new(clients.len(), venue.num_partitions());
         meter.add(
@@ -501,7 +533,10 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
                             self.retrieve_for_partition(
                                 &mut st,
                                 &mut meter,
+                                cache,
+                                &legs,
                                 &mut dist_computations,
+                                &mut point_via_lookups,
                                 &mut retrieve_shim(&fe, &mut facilities_retrieved),
                                 clients,
                                 source,
@@ -513,7 +548,7 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
                         // Non-facility entity: expand parent and children
                         // (Algorithm 3 lines 14–22).
                         if source_active {
-                            explorer.expand(source, entity, &mut meter);
+                            explorer.expand(source, entity, cache, &mut meter);
                         }
                     }
                 }
@@ -543,10 +578,15 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
             let _ = gd;
         }
 
+        let cache_after = cache.stats();
         let stats = QueryStats {
             dist_computations: dist_computations + explorer.dist_computations,
+            point_via_lookups,
             facilities_retrieved,
             clients_pruned: st.stats_clients_pruned,
+            cache_hits: cache_after.hits - cache_before.hits,
+            cache_misses: cache_after.misses - cache_before.misses,
+            cache_bytes: cache_after.bytes,
             peak_bytes: meter.peak_bytes(),
             elapsed: start.elapsed(),
         };
@@ -561,12 +601,19 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
 
     /// Retrieves facility `part` for every working client located in
     /// `source` (Algorithm 3 lines 10–13), grouped per §5 when enabled.
+    ///
+    /// Distance accounting matches [`retrieval_dists`]: the shared vector
+    /// counts once, per-client combines count as `point_via` lookups, so
+    /// grouped and ungrouped `dist_computations` are directly comparable.
     #[allow(clippy::too_many_arguments)]
     fn retrieve_for_partition(
         &self,
         st: &mut SearchState,
         meter: &mut MemoryMeter,
+        cache: &mut DistCache<'_>,
+        legs: &ClientLegs,
         dist_computations: &mut u64,
+        point_via_lookups: &mut u64,
         retrieved: &mut dyn FnMut(&mut SearchState, &mut MemoryMeter, u32, PartitionId, f64),
         clients: &[IndoorPoint],
         source: PartitionId,
@@ -587,28 +634,20 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         if client_ids.is_empty() {
             return;
         }
-        if self.config.group_clients {
-            // One shared door-distance vector for the whole partition.
-            *dist_computations += 1;
-            let shared = self.tree.door_dists_to_partition(source, part);
-            for c in client_ids {
-                *dist_computations += 1;
-                let d = if clients[c as usize].partition == part {
-                    0.0
-                } else {
-                    self.tree
-                        .dist_point_to_partition_via(&clients[c as usize], &shared)
-                };
-                retrieved(st, meter, c, part, d);
-            }
-        } else {
-            for c in client_ids {
-                *dist_computations += 1;
-                let d = self
-                    .tree
-                    .dist_point_to_partition(&clients[c as usize], part);
-                retrieved(st, meter, c, part, d);
-            }
+        let dists = retrieval_dists(
+            self.tree,
+            clients,
+            legs,
+            &client_ids,
+            source,
+            part,
+            self.config.group_clients,
+            cache,
+            dist_computations,
+            point_via_lookups,
+        );
+        for (c, d) in dists {
+            retrieved(st, meter, c, part, d);
         }
     }
 }
@@ -707,18 +746,21 @@ mod tests {
     fn ablation_configs_do_not_change_answers() {
         let venue = GridVenueSpec::new("t", 2, 30).build();
         for (g, p) in [(false, true), (true, false), (false, false)] {
-            for seed in 0..6 {
-                check_against_brute(
-                    &venue,
-                    seed,
-                    40,
-                    4,
-                    8,
-                    EfficientConfig {
-                        group_clients: g,
-                        prune_clients: p,
-                    },
-                );
+            for cache in [true, false] {
+                for seed in 0..6 {
+                    check_against_brute(
+                        &venue,
+                        seed,
+                        40,
+                        4,
+                        8,
+                        EfficientConfig {
+                            group_clients: g,
+                            prune_clients: p,
+                            dist_cache: cache,
+                        },
+                    );
+                }
             }
         }
     }
@@ -833,6 +875,7 @@ mod tests {
             EfficientConfig {
                 group_clients: true,
                 prune_clients: true,
+                ..EfficientConfig::default()
             },
         )
         .run(&w.clients, &w.existing, &w.candidates);
@@ -841,6 +884,7 @@ mod tests {
             EfficientConfig {
                 group_clients: true,
                 prune_clients: false,
+                ..EfficientConfig::default()
             },
         )
         .run(&w.clients, &w.existing, &w.candidates);
@@ -870,9 +914,66 @@ mod tests {
             EfficientConfig {
                 group_clients: false,
                 prune_clients: true,
+                ..EfficientConfig::default()
             },
         )
         .run(&w.clients, &w.existing, &w.candidates);
         assert!((grouped.objective - ungrouped.objective).abs() < 1e-9);
+        // Grouping replaces one full distance computation per client with a
+        // shared vector (counted once) plus a cheap per-client combine
+        // (counted as a point_via lookup), so with many clients per
+        // partition the grouped count must be strictly smaller.
+        assert!(
+            grouped.stats.dist_computations < ungrouped.stats.dist_computations,
+            "grouped {} vs ungrouped {}",
+            grouped.stats.dist_computations,
+            ungrouped.stats.dist_computations
+        );
+        assert!(grouped.stats.point_via_lookups > 0);
+        assert_eq!(ungrouped.stats.point_via_lookups, 0);
+    }
+
+    #[test]
+    fn retrieval_accounting_pins_grouped_semantics() {
+        // Pin the dist_computations semantics fixed in this revision: the
+        // grouped path counts each shared door-distance vector once and
+        // the per-client combines separately, making grouped and
+        // ungrouped counts directly comparable.
+        let venue = GridVenueSpec::new("t", 1, 12).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        // All clients in one partition, no pruning, so every retrieval
+        // touches every client.
+        let host = &venue.partitions()[0];
+        let clients: Vec<ifls_indoor::IndoorPoint> =
+            vec![ifls_indoor::IndoorPoint::new(host.id(), host.center()); 7];
+        let existing = vec![venue.partitions()[4].id()];
+        let candidates = vec![venue.partitions()[8].id(), venue.partitions()[10].id()];
+        let cfg = |group| EfficientConfig {
+            group_clients: group,
+            prune_clients: false,
+            dist_cache: false,
+        };
+        let grouped =
+            EfficientIfls::with_config(&tree, cfg(true)).run(&clients, &existing, &candidates);
+        let ungrouped =
+            EfficientIfls::with_config(&tree, cfg(false)).run(&clients, &existing, &candidates);
+        assert_eq!(grouped.answer, ungrouped.answer);
+        // Both runs retrieve the same (source, facility) pairs and expand
+        // the same entities; the iMinD evaluations are common. Grouped
+        // spends 1 distance computation per retrieved pair, ungrouped
+        // |clients| — and grouped reports exactly one point_via lookup per
+        // retrieved facility entry.
+        let retrievals = grouped.stats.facilities_retrieved;
+        assert_eq!(
+            grouped.stats.facilities_retrieved,
+            ungrouped.stats.facilities_retrieved
+        );
+        assert_eq!(grouped.stats.point_via_lookups, retrievals);
+        let per_pair = retrievals / clients.len() as u64;
+        assert_eq!(
+            ungrouped.stats.dist_computations - grouped.stats.dist_computations,
+            per_pair * (clients.len() as u64 - 1),
+            "grouped counts each shared vector once; ungrouped once per client"
+        );
     }
 }

@@ -14,7 +14,8 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
 use ifls_indoor::PartitionId;
-use ifls_viptree::{NodeChildren, NodeId, VipTree};
+use ifls_viptree::cache::combine_legs;
+use ifls_viptree::{DistCache, NodeChildren, NodeId, VipTree};
 
 use crate::stats::MemoryMeter;
 
@@ -148,27 +149,34 @@ impl<'t, 'v> Explorer<'t, 'v> {
 
     /// Expands a dequeued non-facility entity for its source: the parent
     /// and all children not equal to the source (Algorithm 3 lines 14–22).
-    pub fn expand(&mut self, source: PartitionId, entity: Entity, meter: &mut MemoryMeter) {
+    /// `iMinD` keys are computed through `cache`.
+    pub fn expand(
+        &mut self,
+        source: PartitionId,
+        entity: Entity,
+        cache: &mut DistCache<'_>,
+        meter: &mut MemoryMeter,
+    ) {
         match entity {
             Entity::Part(part) => {
                 let leaf = self.tree.leaf_of_partition(part);
-                self.enqueue(source, Entity::Node(leaf), meter);
+                self.enqueue(source, Entity::Node(leaf), cache, meter);
             }
             Entity::Node(node) => {
                 if let Some(parent) = self.tree.parent(node) {
-                    self.enqueue(source, Entity::Node(parent), meter);
+                    self.enqueue(source, Entity::Node(parent), cache, meter);
                 }
                 match self.tree.children(node) {
                     NodeChildren::Partitions(parts) => {
                         for &ch in parts {
                             if ch != source {
-                                self.enqueue(source, Entity::Part(ch), meter);
+                                self.enqueue(source, Entity::Part(ch), cache, meter);
                             }
                         }
                     }
                     NodeChildren::Nodes(ns) => {
                         for &ch in ns {
-                            self.enqueue(source, Entity::Node(ch), meter);
+                            self.enqueue(source, Entity::Node(ch), cache, meter);
                         }
                     }
                 }
@@ -178,14 +186,20 @@ impl<'t, 'v> Explorer<'t, 'v> {
 
     /// Enqueues `(source, entity)` with its `iMinD` key unless already
     /// enqueued for this source.
-    fn enqueue(&mut self, source: PartitionId, entity: Entity, meter: &mut MemoryMeter) {
+    fn enqueue(
+        &mut self,
+        source: PartitionId,
+        entity: Entity,
+        cache: &mut DistCache<'_>,
+        meter: &mut MemoryMeter,
+    ) {
         if !self.visited.insert((source, entity)) {
             return;
         }
         self.dist_computations += 1;
         let key = match entity {
-            Entity::Node(n) => self.tree.min_dist_partition_to_node(source, n),
-            Entity::Part(p) => self.tree.min_dist_partition_to_partition(source, p),
+            Entity::Node(n) => cache.min_dist_partition_to_node(self.tree, source, n),
+            Entity::Part(p) => cache.min_dist_partition_to_partition(self.tree, source, p),
         };
         self.queue.push(QEntry {
             key,
@@ -196,32 +210,81 @@ impl<'t, 'v> Explorer<'t, 'v> {
     }
 }
 
+/// Per-client door legs, precomputed once per query: `legs[c][j]` is the
+/// straight-line distance from client `c` to the `j`-th door of its
+/// partition (the client→door half of every grouped distance combine).
+pub(crate) struct ClientLegs {
+    legs: Vec<Vec<f64>>,
+}
+
+impl ClientLegs {
+    /// Computes every client's door legs.
+    pub fn build(tree: &VipTree<'_>, clients: &[ifls_indoor::IndoorPoint]) -> Self {
+        let venue = tree.venue();
+        let legs = clients
+            .iter()
+            .map(|c| {
+                venue
+                    .partition(c.partition)
+                    .doors()
+                    .iter()
+                    .map(|&d| venue.point_to_door(c, d))
+                    .collect()
+            })
+            .collect();
+        Self { legs }
+    }
+
+    /// The door legs of client `c`, in its partition's door order.
+    #[inline]
+    pub fn get(&self, c: usize) -> &[f64] {
+        &self.legs[c]
+    }
+
+    /// Approximate heap footprint, for the structural memory meter.
+    pub fn approx_bytes(&self) -> usize {
+        self.legs
+            .iter()
+            .map(|l| l.len() * std::mem::size_of::<f64>() + std::mem::size_of::<Vec<f64>>())
+            .sum()
+    }
+}
+
 /// Computes the exact distances from the given clients (all located in
 /// `source`) to facility partition `part`, grouped per §5 when `group` is
-/// set: the per-door distance vector is computed once and combined with
-/// each client's door legs.
+/// set: the per-door distance vector is fetched once (through the cache)
+/// and combined with each client's precomputed door legs.
+///
+/// Accounting: the shared vector counts as **one** distance computation;
+/// each per-client combine counts as one `point_via` lookup. Ungrouped,
+/// every client costs one full distance computation. This keeps grouped
+/// and ungrouped `dist_computations` directly comparable.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn retrieval_dists(
     tree: &VipTree<'_>,
     clients: &[ifls_indoor::IndoorPoint],
+    legs: &ClientLegs,
     ids: &[u32],
     source: PartitionId,
     part: PartitionId,
     group: bool,
+    cache: &mut DistCache<'_>,
     dist_computations: &mut u64,
+    point_via_lookups: &mut u64,
 ) -> Vec<(u32, f64)> {
     if ids.is_empty() {
         return Vec::new();
     }
     if group {
         *dist_computations += 1;
-        let shared = tree.door_dists_to_partition(source, part);
+        let shared = cache.door_dists(tree, source, part);
         ids.iter()
             .map(|&c| {
-                *dist_computations += 1;
+                *point_via_lookups += 1;
                 let d = if clients[c as usize].partition == part {
                     0.0
                 } else {
-                    tree.dist_point_to_partition_via(&clients[c as usize], &shared)
+                    combine_legs(legs.get(c as usize), shared)
                 };
                 (c, d)
             })
@@ -230,7 +293,10 @@ pub(crate) fn retrieval_dists(
         ids.iter()
             .map(|&c| {
                 *dist_computations += 1;
-                (c, tree.dist_point_to_partition(&clients[c as usize], part))
+                (
+                    c,
+                    cache.dist_point_to_partition(tree, &clients[c as usize], part),
+                )
             })
             .collect()
     }
@@ -247,6 +313,7 @@ mod tests {
         let venue = GridVenueSpec::new("t", 2, 24).build();
         let tree = VipTree::build(&venue, VipTreeConfig::default());
         let mut meter = MemoryMeter::default();
+        let mut cache = DistCache::default();
         let mut ex = Explorer::new(&tree);
         let src = venue.partitions()[4].id();
         ex.seed_source(src, &mut meter);
@@ -262,9 +329,9 @@ mod tests {
             match e.entity {
                 Entity::Part(p) => {
                     seen_parts.insert(p);
-                    ex.expand(e.source, e.entity, &mut meter);
+                    ex.expand(e.source, e.entity, &mut cache, &mut meter);
                 }
-                Entity::Node(_) => ex.expand(e.source, e.entity, &mut meter),
+                Entity::Node(_) => ex.expand(e.source, e.entity, &mut cache, &mut meter),
             }
         }
         // Every partition except the source itself is eventually dequeued.
@@ -277,6 +344,7 @@ mod tests {
         let venue = GridVenueSpec::new("t", 2, 20).build();
         let tree = VipTree::build(&venue, VipTreeConfig::default());
         let mut meter = MemoryMeter::default();
+        let mut cache = DistCache::default();
         let mut ex = Explorer::new(&tree);
         let src = venue.partitions()[0].id();
         ex.seed_source(src, &mut meter);
@@ -288,7 +356,7 @@ mod tests {
                     "partition keys are exact iMinD"
                 );
             }
-            ex.expand(e.source, e.entity, &mut meter);
+            ex.expand(e.source, e.entity, &mut cache, &mut meter);
         }
     }
 }

@@ -21,10 +21,10 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use ifls_indoor::{IndoorPoint, PartitionId};
-use ifls_viptree::{FacilityIndex, VipTree};
+use ifls_viptree::{DistCache, FacilityIndex, VipTree};
 
 use crate::brute;
-use crate::explore::{retrieval_dists, Entity, Event, Explorer, EVENT_BYTES};
+use crate::explore::{retrieval_dists, ClientLegs, Entity, Event, Explorer, EVENT_BYTES};
 use crate::stats::{MemoryMeter, QueryStats};
 use crate::EfficientConfig;
 
@@ -89,9 +89,9 @@ impl<'t, 'v> BruteForceMaxSum<'t, 'v> {
         let stats = QueryStats {
             dist_computations: (clients.len() * (existing.len() + candidates.len())) as u64,
             facilities_retrieved: (clients.len() * candidates.len()) as u64,
-            clients_pruned: 0,
             peak_bytes: clients.len() * 16,
             elapsed: start.elapsed(),
+            ..QueryStats::default()
         };
         match best {
             Some((n, wins)) => MaxSumOutcome {
@@ -128,12 +128,26 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
         Self { tree, config }
     }
 
-    /// Answers the query.
+    /// Answers the query with a fresh per-query distance cache.
     pub fn run(
         &self,
         clients: &[IndoorPoint],
         existing: &[PartitionId],
         candidates: &[PartitionId],
+    ) -> MaxSumOutcome {
+        let mut cache = DistCache::with_enabled(self.config.dist_cache);
+        self.run_with_cache(clients, existing, candidates, &mut cache)
+    }
+
+    /// Answers the query through a caller-provided distance cache, letting
+    /// memoized door-distance vectors persist across queries (the cache
+    /// stores pure tree geometry, so reuse never changes answers).
+    pub fn run_with_cache(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        cache: &mut DistCache<'_>,
     ) -> MaxSumOutcome {
         let start = Instant::now();
         let tree = self.tree;
@@ -152,6 +166,11 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
                 },
             };
         }
+
+        let cache_before = cache.stats();
+        let mut point_via_lookups = 0u64;
+        let legs = ClientLegs::build(tree, clients);
+        meter.add(legs.approx_bytes() as isize);
 
         let fe = FacilityIndex::build(tree, existing.iter().copied());
         let fn_ = FacilityIndex::build(tree, candidates.iter().copied());
@@ -256,11 +275,14 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
                         for (c, d) in retrieval_dists(
                             tree,
                             clients,
+                            &legs,
                             &ids,
                             source,
                             part,
                             self.config.group_clients,
+                            cache,
                             &mut dist_computations,
+                            &mut point_via_lookups,
                         ) {
                             facilities_retrieved += 1;
                             if fe.contains(part) {
@@ -279,7 +301,7 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
                 }
                 entity => {
                     if source_active {
-                        explorer.expand(source, entity, &mut meter);
+                        explorer.expand(source, entity, cache, &mut meter);
                     }
                 }
             }
@@ -355,10 +377,15 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
         }
 
         let (n, w) = answer.expect("set above");
+        let cache_after = cache.stats();
         let stats = QueryStats {
             dist_computations: dist_computations + explorer.dist_computations,
+            point_via_lookups,
             facilities_retrieved,
             clients_pruned,
+            cache_hits: cache_after.hits - cache_before.hits,
+            cache_misses: cache_after.misses - cache_before.misses,
+            cache_bytes: cache_after.bytes,
             peak_bytes: meter.peak_bytes(),
             elapsed: start.elapsed(),
         };
@@ -455,15 +482,18 @@ mod tests {
             .build();
         let brute = BruteForceMaxSum::new(&tree).run(&w.clients, &w.existing, &w.candidates);
         for (g, p) in [(false, true), (true, false), (false, false)] {
-            let eff = EfficientMaxSum::with_config(
-                &tree,
-                EfficientConfig {
-                    group_clients: g,
-                    prune_clients: p,
-                },
-            )
-            .run(&w.clients, &w.existing, &w.candidates);
-            assert_eq!(eff.wins, brute.wins, "g={g} p={p}");
+            for dc in [true, false] {
+                let eff = EfficientMaxSum::with_config(
+                    &tree,
+                    EfficientConfig {
+                        group_clients: g,
+                        prune_clients: p,
+                        dist_cache: dc,
+                    },
+                )
+                .run(&w.clients, &w.existing, &w.candidates);
+                assert_eq!(eff.wins, brute.wins, "g={g} p={p} dc={dc}");
+            }
         }
     }
 

@@ -20,7 +20,12 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use ifls_indoor::{IndoorPoint, PartitionId};
-use ifls_viptree::{FacilityIndex, IncrementalNn, VipTree};
+use ifls_viptree::{DistCache, FacilityIndex, IncrementalNn, VipTree};
+
+/// Bound on the monitor's door-distance memo: venues stay well below this,
+/// so in practice the cache never cycles, while a pathological churn
+/// pattern still cannot grow it without limit.
+const MONITOR_CACHE_ENTRIES: usize = 1 << 20;
 
 /// Handle to a client registered with an [`IflsMonitor`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -69,9 +74,10 @@ pub struct IflsMonitor<'t, 'v> {
     existing: Vec<PartitionId>,
     candidates: Vec<PartitionId>,
     fe_index: FacilityIndex,
-    /// Shared door-distance vectors per (client partition, facility),
-    /// lazily filled — the §5 grouping idea carried over to monitoring.
-    shared: HashMap<(PartitionId, PartitionId), Vec<f64>>,
+    /// Door-distance memo per (client partition, facility), lazily filled —
+    /// the §5 grouping idea carried over to monitoring, served by the same
+    /// [`DistCache`] kernel the batch solvers use.
+    cache: DistCache<'static>,
     clients: HashMap<ClientId, ClientEntry>,
     next_id: u64,
     /// Per-candidate contribution multisets.
@@ -107,7 +113,7 @@ impl<'t, 'v> IflsMonitor<'t, 'v> {
             existing,
             candidates,
             fe_index,
-            shared: HashMap::new(),
+            cache: DistCache::new(MONITOR_CACHE_ENTRIES),
             clients: HashMap::new(),
             next_id: 0,
             contribs,
@@ -137,10 +143,7 @@ impl<'t, 'v> IflsMonitor<'t, 'v> {
     /// partition to candidate `to` with the point's door legs.
     fn cached_dist(&mut self, point: &IndoorPoint, to: PartitionId) -> f64 {
         let tree = self.tree;
-        let dists = self
-            .shared
-            .entry((point.partition, to))
-            .or_insert_with(|| tree.door_dists_to_partition(point.partition, to));
+        let dists = self.cache.door_dists(tree, point.partition, to);
         tree.dist_point_to_partition_via(point, dists)
     }
 
@@ -209,7 +212,7 @@ impl<'t, 'v> IflsMonitor<'t, 'v> {
             .iter()
             .map(|c| c.values.len() * (8 + 4 + 32))
             .sum();
-        let cache: usize = self.shared.values().map(|v| v.len() * 8 + 48).sum();
+        let cache = self.cache.approx_bytes();
         self.clients.len() * per_client + multisets + cache + self.order.len() * 12
     }
 }

@@ -34,7 +34,8 @@ use std::thread;
 use std::time::Instant;
 
 use ifls_indoor::{IndoorPoint, PartitionId};
-use ifls_viptree::VipTree;
+use ifls_viptree::cache::DEFAULT_CACHE_ENTRIES;
+use ifls_viptree::{DistCache, SharedDistCache, VipTree};
 
 use crate::maxsum::{EfficientMaxSum, MaxSumOutcome};
 use crate::mindist::{EfficientMinDist, MinDistOutcome};
@@ -77,9 +78,25 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    run_indexed_state(threads, n, || (), |(), i| f(i))
+}
+
+/// Like [`run_indexed`], but every worker owns a mutable state built once
+/// by `init` and threaded through all the items it claims — the hook that
+/// lets batch workers keep a persistent [`DistCache`] across queries.
+/// Which worker answers which query is scheduling-dependent, but cache
+/// contents can never change an answer (every entry is a pure function of
+/// the tree), so results stay deterministic.
+fn run_indexed_state<S, R, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
     let workers = threads.min(n);
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -87,13 +104,14 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
+                    let mut state = init();
                     let mut out = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        out.push((i, f(i)));
+                        out.push((i, f(&mut state, i)));
                     }
                     out
                 })
@@ -156,6 +174,44 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
         self.threads
     }
 
+    /// Precomputes the immutable cache tier every shard will consult:
+    /// door-distance vectors from each distinct client partition to each
+    /// facility (existing ∪ candidates). Built before workers spawn and
+    /// shared by reference, so it adds no synchronization and — being a
+    /// pure function of the tree — cannot perturb answers. `None` when the
+    /// cache is disabled for ablation.
+    fn shared_tier(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+    ) -> Option<SharedDistCache> {
+        if !self.config.dist_cache {
+            return None;
+        }
+        let mut sources: Vec<PartitionId> = clients.iter().map(|c| c.partition).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        let mut targets: Vec<PartitionId> = existing.iter().chain(candidates).copied().collect();
+        targets.sort_unstable();
+        targets.dedup();
+        Some(SharedDistCache::build(
+            self.tree,
+            sources
+                .iter()
+                .flat_map(|&p| targets.iter().map(move |&q| (p, q))),
+        ))
+    }
+
+    /// A per-shard overflow cache layered over the shared tier (or a
+    /// pass-through when the cache is ablated away).
+    fn worker_cache<'s>(&self, shared: Option<&'s SharedDistCache>) -> DistCache<'s> {
+        match shared {
+            Some(s) => DistCache::with_shared(DEFAULT_CACHE_ENTRIES, s),
+            None => DistCache::with_enabled(self.config.dist_cache),
+        }
+    }
+
     /// Answers a MinMax query (the paper's IFLS objective).
     pub fn run_minmax(
         &self,
@@ -169,17 +225,22 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
             return EfficientIfls::with_config(self.tree, self.config)
                 .run(clients, existing, candidates);
         }
+        let shared = self.shared_tier(clients, existing, candidates);
         let partials = run_indexed(ranges.len(), ranges.len(), |i| {
-            EfficientIfls::with_config(self.tree, self.config).run(
+            let mut cache = self.worker_cache(shared.as_ref());
+            EfficientIfls::with_config(self.tree, self.config).run_with_cache(
                 clients,
                 existing,
                 &candidates[ranges[i].clone()],
+                &mut cache,
             )
         });
         let mut stats = QueryStats::default();
         for p in &partials {
             stats.merge(&p.stats);
         }
+        // Workers report local-tier bytes only; count the shared tier once.
+        stats.cache_bytes += shared.as_ref().map_or(0, SharedDistCache::approx_bytes);
         stats.elapsed = start.elapsed();
         let best = partials
             .iter()
@@ -215,17 +276,21 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
             return EfficientMinDist::with_config(self.tree, self.config)
                 .run(clients, existing, candidates);
         }
+        let shared = self.shared_tier(clients, existing, candidates);
         let partials = run_indexed(ranges.len(), ranges.len(), |i| {
-            EfficientMinDist::with_config(self.tree, self.config).run(
+            let mut cache = self.worker_cache(shared.as_ref());
+            EfficientMinDist::with_config(self.tree, self.config).run_with_cache(
                 clients,
                 existing,
                 &candidates[ranges[i].clone()],
+                &mut cache,
             )
         });
         let mut stats = QueryStats::default();
         for p in &partials {
             stats.merge(&p.stats);
         }
+        stats.cache_bytes += shared.as_ref().map_or(0, SharedDistCache::approx_bytes);
         stats.elapsed = start.elapsed();
         let best = partials
             .iter()
@@ -258,17 +323,21 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
             return EfficientMaxSum::with_config(self.tree, self.config)
                 .run(clients, existing, candidates);
         }
+        let shared = self.shared_tier(clients, existing, candidates);
         let partials = run_indexed(ranges.len(), ranges.len(), |i| {
-            EfficientMaxSum::with_config(self.tree, self.config).run(
+            let mut cache = self.worker_cache(shared.as_ref());
+            EfficientMaxSum::with_config(self.tree, self.config).run_with_cache(
                 clients,
                 existing,
                 &candidates[ranges[i].clone()],
+                &mut cache,
             )
         });
         let mut stats = QueryStats::default();
         for p in &partials {
             stats.merge(&p.stats);
         }
+        stats.cache_bytes += shared.as_ref().map_or(0, SharedDistCache::approx_bytes);
         stats.elapsed = start.elapsed();
         let best = partials
             .iter()
@@ -368,40 +437,66 @@ impl<'t, 'v> BatchRunner<'t, 'v> {
         self.threads
     }
 
-    /// Answers every MinMax query, results in input order.
+    /// Answers every MinMax query, results in input order. Each worker
+    /// keeps one [`DistCache`] alive across all the queries it claims, so
+    /// door-distance vectors memoized for one query serve the next — the
+    /// cross-query reuse the serving shape is built for.
     pub fn run_minmax(&self, queries: &[IflsQuery]) -> Vec<MinMaxOutcome> {
-        run_indexed(self.threads, queries.len(), |i| {
-            let q = &queries[i];
-            EfficientIfls::with_config(self.tree, self.config).run(
-                &q.clients,
-                &q.existing,
-                &q.candidates,
-            )
-        })
+        let config = self.config;
+        run_indexed_state(
+            self.threads,
+            queries.len(),
+            || DistCache::with_enabled(config.dist_cache),
+            |cache, i| {
+                let q = &queries[i];
+                EfficientIfls::with_config(self.tree, config).run_with_cache(
+                    &q.clients,
+                    &q.existing,
+                    &q.candidates,
+                    cache,
+                )
+            },
+        )
     }
 
-    /// Answers every MinDist query, results in input order.
+    /// Answers every MinDist query, results in input order (same
+    /// per-worker persistent cache as [`run_minmax`](Self::run_minmax)).
     pub fn run_mindist(&self, queries: &[IflsQuery]) -> Vec<MinDistOutcome> {
-        run_indexed(self.threads, queries.len(), |i| {
-            let q = &queries[i];
-            EfficientMinDist::with_config(self.tree, self.config).run(
-                &q.clients,
-                &q.existing,
-                &q.candidates,
-            )
-        })
+        let config = self.config;
+        run_indexed_state(
+            self.threads,
+            queries.len(),
+            || DistCache::with_enabled(config.dist_cache),
+            |cache, i| {
+                let q = &queries[i];
+                EfficientMinDist::with_config(self.tree, config).run_with_cache(
+                    &q.clients,
+                    &q.existing,
+                    &q.candidates,
+                    cache,
+                )
+            },
+        )
     }
 
-    /// Answers every MaxSum query, results in input order.
+    /// Answers every MaxSum query, results in input order (same
+    /// per-worker persistent cache as [`run_minmax`](Self::run_minmax)).
     pub fn run_maxsum(&self, queries: &[IflsQuery]) -> Vec<MaxSumOutcome> {
-        run_indexed(self.threads, queries.len(), |i| {
-            let q = &queries[i];
-            EfficientMaxSum::with_config(self.tree, self.config).run(
-                &q.clients,
-                &q.existing,
-                &q.candidates,
-            )
-        })
+        let config = self.config;
+        run_indexed_state(
+            self.threads,
+            queries.len(),
+            || DistCache::with_enabled(config.dist_cache),
+            |cache, i| {
+                let q = &queries[i];
+                EfficientMaxSum::with_config(self.tree, config).run_with_cache(
+                    &q.clients,
+                    &q.existing,
+                    &q.candidates,
+                    cache,
+                )
+            },
+        )
     }
 }
 

@@ -13,13 +13,28 @@ use std::time::Duration;
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct QueryStats {
     /// Exact indoor distance evaluations (point↔partition and door-set
-    /// minima) plus `iMinD` lower-bound evaluations.
+    /// minima) plus `iMinD` lower-bound evaluations. Counts *logical*
+    /// kernel evaluations, so it is invariant under the distance cache:
+    /// a hit and a recomputation count the same.
     pub dist_computations: u64,
+    /// Cheap per-client combines of a shared door-distance vector with the
+    /// client's door legs (`dist_point_to_partition_via`). Counted apart
+    /// from `dist_computations` so grouped and ungrouped runs stay
+    /// comparable: grouping replaces a full distance computation per
+    /// client with one shared computation plus one lookup per client.
+    pub point_via_lookups: u64,
     /// Facility entries retrieved into per-client lists (efficient
     /// approach) or candidate distances materialized (baseline).
     pub facilities_retrieved: u64,
     /// Clients pruned by Lemma 5.1 (efficient approach only).
     pub clients_pruned: u64,
+    /// Distance-cache lookups served from a memoized entry.
+    pub cache_hits: u64,
+    /// Distance-cache lookups that computed and inserted.
+    pub cache_misses: u64,
+    /// Approximate distance-cache footprint at the end of the query
+    /// (shared + local tiers), in bytes.
+    pub cache_bytes: usize,
     /// Peak structural memory, in bytes.
     pub peak_bytes: usize,
     /// Wall-clock time of the query.
@@ -43,10 +58,23 @@ impl QueryStats {
     /// with the measured outer wall-clock anyway).
     pub fn merge(&mut self, other: &QueryStats) {
         self.dist_computations += other.dist_computations;
+        self.point_via_lookups += other.point_via_lookups;
         self.facilities_retrieved += other.facilities_retrieved;
         self.clients_pruned += other.clients_pruned;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        // Workers report local-tier bytes only (the shared tier is counted
+        // once by the coordinator), so a plain sum stays honest.
+        self.cache_bytes += other.cache_bytes;
         self.peak_bytes += other.peak_bytes;
         self.elapsed = self.elapsed.max(other.elapsed);
+    }
+
+    /// The fraction of cache lookups served from a memoized entry, or
+    /// `None` when the cache saw no traffic.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
     }
 }
 
@@ -100,24 +128,47 @@ mod tests {
     fn merge_sums_work_and_memory_and_maxes_time() {
         let mut a = QueryStats {
             dist_computations: 10,
+            point_via_lookups: 4,
             facilities_retrieved: 5,
             clients_pruned: 2,
+            cache_hits: 8,
+            cache_misses: 2,
+            cache_bytes: 64,
             peak_bytes: 1_000,
             elapsed: Duration::from_millis(30),
         };
         let b = QueryStats {
             dist_computations: 7,
+            point_via_lookups: 3,
             facilities_retrieved: 1,
             clients_pruned: 0,
+            cache_hits: 2,
+            cache_misses: 3,
+            cache_bytes: 16,
             peak_bytes: 500,
             elapsed: Duration::from_millis(40),
         };
         a.merge(&b);
         assert_eq!(a.dist_computations, 17);
+        assert_eq!(a.point_via_lookups, 7);
         assert_eq!(a.facilities_retrieved, 6);
         assert_eq!(a.clients_pruned, 2);
+        assert_eq!(a.cache_hits, 10);
+        assert_eq!(a.cache_misses, 5);
+        assert_eq!(a.cache_bytes, 80);
         assert_eq!(a.peak_bytes, 1_500);
         assert_eq!(a.elapsed, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_idle_cache() {
+        assert_eq!(QueryStats::default().cache_hit_rate(), None);
+        let s = QueryStats {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..QueryStats::default()
+        };
+        assert_eq!(s.cache_hit_rate(), Some(0.75));
     }
 
     #[test]

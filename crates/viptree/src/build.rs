@@ -14,7 +14,7 @@
 
 use ifls_indoor::{DoorGraph, DoorId, PartitionId, Venue};
 
-use crate::matrix::DistMatrix;
+use crate::matrix::{DistArena, MatSlot};
 use crate::node::{Node, NodeChildren, NodeId};
 use crate::tree::VipTree;
 use crate::VipTreeConfig;
@@ -77,7 +77,7 @@ impl<'v> VipTree<'v> {
                 children: NodeChildren::Partitions(parts),
                 doors: Vec::new(),
                 access: Vec::new(),
-                mat: DistMatrix::default(),
+                mat: MatSlot::default(),
                 vivid: Vec::new(),
             });
         }
@@ -143,7 +143,7 @@ impl<'v> VipTree<'v> {
                     children: NodeChildren::Nodes(children),
                     doors: Vec::new(),
                     access: Vec::new(),
-                    mat: DistMatrix::default(),
+                    mat: MatSlot::default(),
                     vivid: Vec::new(),
                 });
                 next.push(id);
@@ -273,14 +273,17 @@ impl<'v> VipTree<'v> {
                 occ[d.index()].push((i, j));
             }
         }
-        // Allocate matrices.
+        // Reserve every matrix in one contiguous arena, in node-id order
+        // (leaf vivid chains follow their leaf's main matrix), so the hot
+        // lookup path walks a single flat allocation.
+        let mut arena = DistArena::default();
         for (i, node) in nodes.iter_mut().enumerate() {
             let nd = node.doors.len();
-            node.mat = DistMatrix::new(nd, nd);
+            node.mat = arena.reserve(nd, nd);
             if node.is_leaf() && config.vivid {
                 node.vivid = ancestors_of[i]
                     .iter()
-                    .map(|a| DistMatrix::new(nd, access_door_ids[a.index()].len()))
+                    .map(|a| arena.reserve(nd, access_door_ids[a.index()].len()))
                     .collect();
             }
         }
@@ -290,15 +293,15 @@ impl<'v> VipTree<'v> {
             }
             let (dist, hop) = graph.sssp_with_first_hop(d);
             for &(ni, row) in &occ[d.index()] {
+                let mat = nodes[ni].mat;
                 for (col, &d2) in node_door_ids[ni].iter().enumerate() {
-                    nodes[ni]
-                        .mat
-                        .set(row, col, dist[d2.index()], hop[d2.index()]);
+                    arena.set(mat, row, col, dist[d2.index()], hop[d2.index()]);
                 }
                 if nodes[ni].is_leaf() && config.vivid {
                     for (k, &anc) in ancestors_of[ni].iter().enumerate() {
+                        let slot = nodes[ni].vivid[k];
                         for (col, &a) in access_door_ids[anc.index()].iter().enumerate() {
-                            nodes[ni].vivid[k].set(row, col, dist[a.index()], hop[a.index()]);
+                            arena.set(slot, row, col, dist[a.index()], hop[a.index()]);
                         }
                     }
                 }
@@ -309,6 +312,7 @@ impl<'v> VipTree<'v> {
             venue,
             config,
             nodes,
+            arena,
             graph,
             root,
             leaf_of,

@@ -1,0 +1,557 @@
+//! Memoization of door-distance kernels over the VIP-tree.
+//!
+//! The efficient IFLS solvers (§5 of the paper) repeatedly ask two pure
+//! questions of the tree: the per-door distance vector
+//! [`VipTree::door_dists_to_partition`]`(source, part)` and the lower bound
+//! `iMinD(source, node)`. Both depend only on the immutable tree — never on
+//! the facility sets or the clients — so their values are globally valid:
+//! they can be memoized once and reused across candidates, across the three
+//! objectives, across queries, and across threads without any invalidation.
+//!
+//! Two tiers keep the parallel engines bit-identical at every thread count:
+//!
+//! * [`SharedDistCache`] — an immutable tier built *before* workers spawn
+//!   and shared by `&` across `std::thread::scope`; read-only, so no
+//!   synchronization and no cross-thread ordering effects.
+//! * [`DistCache`] — a per-worker (or per-query) mutable overflow tier with
+//!   a bounded entry count and deterministic whole-generation eviction.
+//!
+//! Because every cached value equals the recomputation bit-for-bit (same
+//! pure function, same fold order), a hit can never change an answer —
+//! cache on/off and any eviction schedule produce identical bits, which the
+//! `ifls-core` equivalence suites assert.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+use ifls_indoor::{IndoorPoint, PartitionId};
+
+use crate::node::NodeId;
+use crate::tree::VipTree;
+
+/// Fixed seed for the cache's hash maps: keeps iteration-independent
+/// behavior reproducible run to run (nothing here iterates maps, but a
+/// pinned seed removes even accidental sources of variation).
+const CACHE_HASH_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// FxHash-style multiplier (Firefox's hasher; public-domain constant).
+const FX_MULT: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A seeded, non-cryptographic hasher for small integer keys.
+#[derive(Clone, Copy, Debug)]
+pub struct SeededHashState {
+    seed: u64,
+}
+
+impl Default for SeededHashState {
+    fn default() -> Self {
+        Self {
+            seed: CACHE_HASH_SEED,
+        }
+    }
+}
+
+impl BuildHasher for SeededHashState {
+    type Hasher = SeededFxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> SeededFxHasher {
+        SeededFxHasher { hash: self.seed }
+    }
+}
+
+/// The hasher produced by [`SeededHashState`].
+#[derive(Clone, Copy, Debug)]
+pub struct SeededFxHasher {
+    hash: u64,
+}
+
+impl SeededFxHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(FX_MULT);
+    }
+}
+
+impl Hasher for SeededFxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// Approximate per-entry overhead of a cached vector beyond its payload:
+/// key, `Vec` header, and hash-map slot bookkeeping.
+const VEC_ENTRY_OVERHEAD: usize = 48;
+
+/// Approximate per-entry footprint of a cached scalar.
+const MIN_ENTRY_BYTES: usize = 32;
+
+/// Snapshot of a cache's counters (cumulative since construction).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DistCacheStats {
+    /// Lookups answered from a cached entry (shared or local tier).
+    pub hits: u64,
+    /// Lookups that had to compute and insert.
+    pub misses: u64,
+    /// Whole-generation flushes of the local tier.
+    pub evictions: u64,
+    /// Current local-tier entry count (the shared tier is accounted once
+    /// by whoever built it, not per consumer).
+    pub entries: usize,
+    /// Approximate local-tier bytes held.
+    pub bytes: usize,
+}
+
+/// The immutable cache tier: door-distance vectors precomputed before any
+/// worker thread spawns, then shared read-only by reference.
+///
+/// Building is just `door_dists_to_partition` per requested pair, so the
+/// tier is only worth its cost for pairs the query is guaranteed to revisit
+/// — e.g. every (client partition, existing facility) pair, which every
+/// candidate shard of `ifls-core`'s parallel solver touches.
+#[derive(Debug, Default)]
+pub struct SharedDistCache {
+    vecs: HashMap<(PartitionId, PartitionId), Vec<f64>, SeededHashState>,
+    bytes: usize,
+}
+
+impl SharedDistCache {
+    /// Precomputes the door-distance vector for every distinct pair in
+    /// `pairs` (same-partition pairs are skipped: callers short-circuit
+    /// them to 0 before consulting any cache).
+    pub fn build(
+        tree: &VipTree<'_>,
+        pairs: impl IntoIterator<Item = (PartitionId, PartitionId)>,
+    ) -> Self {
+        let mut vecs: HashMap<_, Vec<f64>, _> = HashMap::with_hasher(SeededHashState::default());
+        let mut bytes = 0usize;
+        for (p, q) in pairs {
+            if p == q {
+                continue;
+            }
+            vecs.entry((p, q)).or_insert_with(|| {
+                let v = tree.door_dists_to_partition(p, q);
+                bytes += v.len() * std::mem::size_of::<f64>() + VEC_ENTRY_OVERHEAD;
+                v
+            });
+        }
+        Self { vecs, bytes }
+    }
+
+    /// The cached vector for `(p, q)`, if precomputed.
+    #[inline]
+    pub fn get(&self, p: PartitionId, q: PartitionId) -> Option<&[f64]> {
+        self.vecs.get(&(p, q)).map(Vec::as_slice)
+    }
+
+    /// Number of precomputed vectors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vecs.len()
+    }
+
+    /// Whether the tier is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vecs.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes.
+    #[inline]
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// Default bound on the mutable tier's entry count.
+pub const DEFAULT_CACHE_ENTRIES: usize = 1 << 16;
+
+/// The mutable cache tier: a bounded memo map over
+/// `door_dists_to_partition` vectors and `iMinD(partition, node)` scalars,
+/// optionally backed by an immutable [`SharedDistCache`].
+///
+/// When the entry bound is reached the whole local generation is flushed —
+/// a deterministic policy whose timing cannot affect answers, because every
+/// entry is a pure function of the tree.
+#[derive(Debug)]
+pub struct DistCache<'s> {
+    shared: Option<&'s SharedDistCache>,
+    vecs: HashMap<(PartitionId, PartitionId), Vec<f64>, SeededHashState>,
+    mins: HashMap<(PartitionId, NodeId), f64, SeededHashState>,
+    max_entries: usize,
+    enabled: bool,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    local_bytes: usize,
+    /// Recompute buffer for disabled (ablation) mode.
+    scratch: Vec<f64>,
+}
+
+impl Default for DistCache<'_> {
+    fn default() -> Self {
+        Self::new(DEFAULT_CACHE_ENTRIES)
+    }
+}
+
+impl<'s> DistCache<'s> {
+    /// An enabled cache bounded to `max_entries` local entries
+    /// (vectors + scalars combined). A bound of 0 behaves like 1.
+    pub fn new(max_entries: usize) -> Self {
+        Self {
+            shared: None,
+            vecs: HashMap::with_hasher(SeededHashState::default()),
+            mins: HashMap::with_hasher(SeededHashState::default()),
+            max_entries: max_entries.max(1),
+            enabled: true,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            local_bytes: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// An enabled cache whose lookups consult `shared` first; entries
+    /// missing there overflow into the bounded local tier.
+    pub fn with_shared(max_entries: usize, shared: &'s SharedDistCache) -> Self {
+        let mut c = Self::new(max_entries);
+        c.shared = Some(shared);
+        c
+    }
+
+    /// A pass-through cache for ablation (`--no-dist-cache`): every lookup
+    /// recomputes; no counters move.
+    pub fn disabled() -> Self {
+        let mut c = Self::new(1);
+        c.enabled = false;
+        c
+    }
+
+    /// Creates a cache honoring an on/off flag.
+    pub fn with_enabled(enabled: bool) -> Self {
+        if enabled {
+            Self::default()
+        } else {
+            Self::disabled()
+        }
+    }
+
+    /// Whether lookups memoize (false for the ablation pass-through).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The door-distance vector from each door of `p` to partition `q`
+    /// (see [`VipTree::door_dists_to_partition`]), memoized.
+    pub fn door_dists(&mut self, tree: &VipTree<'_>, p: PartitionId, q: PartitionId) -> &[f64] {
+        if !self.enabled {
+            self.scratch = tree.door_dists_to_partition(p, q);
+            return &self.scratch;
+        }
+        if let Some(shared) = self.shared {
+            if shared.get(p, q).is_some() {
+                self.hits += 1;
+                return shared.get(p, q).expect("checked above");
+            }
+        }
+        let key = (p, q);
+        if self.vecs.contains_key(&key) {
+            self.hits += 1;
+            return &self.vecs[&key];
+        }
+        self.misses += 1;
+        self.maybe_evict();
+        let v = tree.door_dists_to_partition(p, q);
+        self.local_bytes += v.len() * std::mem::size_of::<f64>() + VEC_ENTRY_OVERHEAD;
+        self.vecs.entry(key).or_insert(v)
+    }
+
+    /// `iMinD(p, q)` through the cache — bit-identical to
+    /// [`VipTree::min_dist_partition_to_partition`].
+    pub fn min_dist_partition_to_partition(
+        &mut self,
+        tree: &VipTree<'_>,
+        p: PartitionId,
+        q: PartitionId,
+    ) -> f64 {
+        if p == q {
+            return 0.0;
+        }
+        self.door_dists(tree, p, q)
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// `iMinD(p, n)` through the cache — bit-identical to
+    /// [`VipTree::min_dist_partition_to_node`].
+    pub fn min_dist_partition_to_node(
+        &mut self,
+        tree: &VipTree<'_>,
+        p: PartitionId,
+        n: NodeId,
+    ) -> f64 {
+        if !self.enabled {
+            return tree.min_dist_partition_to_node(p, n);
+        }
+        let key = (p, n);
+        if let Some(&v) = self.mins.get(&key) {
+            self.hits += 1;
+            return v;
+        }
+        self.misses += 1;
+        self.maybe_evict();
+        let v = tree.min_dist_partition_to_node(p, n);
+        self.local_bytes += MIN_ENTRY_BYTES;
+        self.mins.insert(key, v);
+        v
+    }
+
+    /// Exact point-to-partition distance through the cache —
+    /// bit-identical to [`VipTree::dist_point_to_partition`].
+    pub fn dist_point_to_partition(
+        &mut self,
+        tree: &VipTree<'_>,
+        a: &IndoorPoint,
+        q: PartitionId,
+    ) -> f64 {
+        if a.partition == q {
+            return 0.0;
+        }
+        let dd = self.door_dists(tree, a.partition, q);
+        tree.dist_point_to_partition_via(a, dd)
+    }
+
+    fn maybe_evict(&mut self) {
+        if self.vecs.len() + self.mins.len() >= self.max_entries {
+            self.vecs.clear();
+            self.mins.clear();
+            self.local_bytes = 0;
+            self.evictions += 1;
+        }
+    }
+
+    /// Drops every local entry (the shared tier, if any, is untouched).
+    pub fn clear(&mut self) {
+        self.vecs.clear();
+        self.mins.clear();
+        self.local_bytes = 0;
+    }
+
+    /// Cumulative counters and the current local-tier footprint.
+    pub fn stats(&self) -> DistCacheStats {
+        DistCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.vecs.len() + self.mins.len(),
+            bytes: self.local_bytes,
+        }
+    }
+
+    /// Approximate heap footprint including the shared tier (for memory
+    /// reports of a cache that owns its whole footprint, e.g. a monitor).
+    #[inline]
+    pub fn approx_bytes(&self) -> usize {
+        self.local_bytes + self.shared.map_or(0, SharedDistCache::approx_bytes)
+    }
+}
+
+/// Combines precomputed client door legs with a shared door-distance
+/// vector: `min_j legs[j] + door_dists[j]`. With `legs[j] =`
+/// `point_to_door(client, doors[j])` in the client partition's door order,
+/// this equals [`VipTree::dist_point_to_partition_via`] bit-for-bit.
+#[inline]
+pub fn combine_legs(legs: &[f64], door_dists: &[f64]) -> f64 {
+    debug_assert_eq!(legs.len(), door_dists.len());
+    legs.iter()
+        .zip(door_dists)
+        .map(|(&l, &d)| l + d)
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VipTreeConfig;
+    use ifls_venues::GridVenueSpec;
+
+    fn fixture() -> ifls_indoor::Venue {
+        GridVenueSpec::new("t", 2, 24).build()
+    }
+
+    #[test]
+    fn cached_vectors_are_bitwise_identical_to_recomputation() {
+        let venue = fixture();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let mut cache = DistCache::default();
+        for p in venue.partition_ids() {
+            for q in venue.partition_ids().step_by(3) {
+                if p == q {
+                    continue;
+                }
+                let direct = tree.door_dists_to_partition(p, q);
+                // First lookup computes, second must hit.
+                let cached: Vec<f64> = cache.door_dists(&tree, p, q).to_vec();
+                let again: Vec<f64> = cache.door_dists(&tree, p, q).to_vec();
+                assert_eq!(direct.len(), cached.len());
+                for ((a, b), c) in direct.iter().zip(&cached).zip(&again) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                    assert_eq!(a.to_bits(), c.to_bits());
+                }
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits, s.misses, "every pair looked up exactly twice");
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn min_dists_match_tree_bitwise() {
+        let venue = fixture();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let mut cache = DistCache::default();
+        for p in venue.partition_ids().step_by(2) {
+            for q in venue.partition_ids().step_by(3) {
+                let a = tree.min_dist_partition_to_partition(p, q);
+                let b = cache.min_dist_partition_to_partition(&tree, p, q);
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for n in tree.node_ids() {
+                let a = tree.min_dist_partition_to_node(p, n);
+                let b = cache.min_dist_partition_to_node(&tree, p, n);
+                let c = cache.min_dist_partition_to_node(&tree, p, n);
+                assert_eq!(a.to_bits(), b.to_bits());
+                assert_eq!(a.to_bits(), c.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_cache_flushes_whole_generations() {
+        let venue = fixture();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let mut cache = DistCache::new(4);
+        let parts: Vec<_> = venue.partition_ids().collect();
+        let p = parts[0];
+        // Fill past the bound several times over.
+        for &q in parts.iter().skip(1).take(13) {
+            cache.door_dists(&tree, p, q);
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 13, "all distinct pairs computed once");
+        assert!(s.evictions >= 2, "bound of 4 must flush repeatedly");
+        assert!(s.entries <= 4, "entry count stays within the bound");
+        // Values survive eviction churn bit-identically.
+        let direct = tree.door_dists_to_partition(p, parts[1]);
+        for (a, b) in direct.iter().zip(cache.door_dists(&tree, p, parts[1])) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn disabled_cache_recomputes_and_counts_nothing() {
+        let venue = fixture();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let mut cache = DistCache::disabled();
+        let parts: Vec<_> = venue.partition_ids().collect();
+        for _ in 0..3 {
+            let v = cache.door_dists(&tree, parts[0], parts[5]).to_vec();
+            let direct = tree.door_dists_to_partition(parts[0], parts[5]);
+            assert_eq!(v.len(), direct.len());
+            for (a, b) in v.iter().zip(&direct) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+        assert!(!cache.is_enabled());
+    }
+
+    #[test]
+    fn shared_tier_hits_without_touching_local() {
+        let venue = fixture();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let parts: Vec<_> = venue.partition_ids().collect();
+        let pairs: Vec<_> = parts[1..5].iter().map(|&q| (parts[0], q)).collect();
+        let shared = SharedDistCache::build(&tree, pairs.iter().copied());
+        assert_eq!(shared.len(), 4);
+        let mut cache = DistCache::with_shared(16, &shared);
+        for &(p, q) in &pairs {
+            let v = cache.door_dists(&tree, p, q).to_vec();
+            let direct = tree.door_dists_to_partition(p, q);
+            for (a, b) in v.iter().zip(&direct) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits, 4, "all served from the shared tier");
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.entries, 0, "shared hits never populate the local tier");
+        assert_eq!(s.bytes, 0);
+        assert!(cache.approx_bytes() >= shared.approx_bytes());
+    }
+
+    #[test]
+    fn combine_legs_matches_point_via() {
+        let venue = fixture();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        for p in venue.partitions().iter().step_by(2) {
+            let a = ifls_indoor::IndoorPoint::new(p.id(), p.center());
+            let legs: Vec<f64> = p
+                .doors()
+                .iter()
+                .map(|&d| venue.point_to_door(&a, d))
+                .collect();
+            for q in venue.partition_ids().step_by(3) {
+                if q == p.id() {
+                    continue;
+                }
+                let dd = tree.door_dists_to_partition(p.id(), q);
+                let via = tree.dist_point_to_partition_via(&a, &dd);
+                let combined = combine_legs(&legs, &dd);
+                assert_eq!(via.to_bits(), combined.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_hasher_is_deterministic() {
+        let state = SeededHashState::default();
+        let mut h1 = state.build_hasher();
+        let mut h2 = state.build_hasher();
+        h1.write_u32(7);
+        h1.write_u64(11);
+        h2.write_u32(7);
+        h2.write_u64(11);
+        assert_eq!(h1.finish(), h2.finish());
+        let mut h3 = state.build_hasher();
+        h3.write_u32(8);
+        assert_ne!(h1.finish(), h3.finish());
+    }
+}

@@ -6,15 +6,17 @@
 //! verified against the Dijkstra ground truth by this crate's property
 //! tests.
 
+use std::cell::RefCell;
+
 use ifls_indoor::{DoorId, IndoorPoint, PartitionId};
 
 use crate::node::NodeId;
 use crate::tree::VipTree;
 
 /// A borrowed view of "distances from one door to a node's access doors":
-/// either a dense vivid-matrix row or a leaf-matrix row gathered through
-/// the access-door positions. Avoids allocating in the `door_to_door` hot
-/// path.
+/// either a dense vivid-matrix row, a leaf-matrix row gathered through the
+/// access-door positions, or a scratch buffer filled by the IP-tree climb.
+/// Never owns an allocation — the `door_to_door` hot path is alloc-free.
 enum AccessDists<'a> {
     /// Dense row, one entry per access door.
     Dense(&'a [f64]),
@@ -25,8 +27,6 @@ enum AccessDists<'a> {
         /// Access-door positions within the row.
         idx: &'a [u32],
     },
-    /// Owned fallback (IP-tree climbing mode).
-    Owned(Vec<f64>),
 }
 
 impl AccessDists<'_> {
@@ -35,9 +35,22 @@ impl AccessDists<'_> {
         match self {
             AccessDists::Dense(v) => v[i],
             AccessDists::Gather { row, idx } => row[idx[i] as usize],
-            AccessDists::Owned(v) => v[i],
         }
     }
+}
+
+/// Reusable buffers for the IP-tree level-by-level climb (non-vivid
+/// trees). One set per thread: the tree itself stays free of interior
+/// mutability, so sharing it by `&` across threads remains sound.
+#[derive(Default)]
+struct DistScratch {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+thread_local! {
+    static DIST_SCRATCH: RefCell<DistScratch> = RefCell::new(DistScratch::default());
 }
 
 impl VipTree<'_> {
@@ -46,16 +59,48 @@ impl VipTree<'_> {
         let (l1, i1) = self.door_home[d1.index()];
         let (l2, i2) = self.door_home[d2.index()];
         if l1 == l2 {
-            return self.nodes[l1.index()].mat.dist(i1 as usize, i2 as usize);
+            return self.mat(l1).dist(i1 as usize, i2 as usize);
         }
         let lca = self.lca(l1, l2);
         let c1 = self.ancestor_at_depth(l1, self.depth(lca) + 1);
         let c2 = self.ancestor_at_depth(l2, self.depth(lca) + 1);
-        let v1 = self.access_dists(l1, i1 as usize, c1);
-        let v2 = self.access_dists(l2, i2 as usize, c2);
+        if self.config.vivid || (c1 == l1 && c2 == l2) {
+            // Both access-dist vectors can be borrowed straight from the
+            // arena (vivid rows, or the leaves sit just below the LCA).
+            let v1 = self.access_dists(l1, i1 as usize, c1);
+            let v2 = self.access_dists(l2, i2 as usize, c2);
+            return self.compose_at_lca(lca, c1, c2, &v1, &v2);
+        }
+        // IP-tree mode: climb each side into per-thread scratch buffers
+        // instead of allocating per level.
+        DIST_SCRATCH.with(|s| {
+            let s = &mut *s.borrow_mut();
+            self.climb_into(l1, i1 as usize, c1, &mut s.a, &mut s.tmp);
+            self.climb_into(l2, i2 as usize, c2, &mut s.b, &mut s.tmp);
+            self.compose_at_lca(
+                lca,
+                c1,
+                c2,
+                &AccessDists::Dense(&s.a),
+                &AccessDists::Dense(&s.b),
+            )
+        })
+    }
+
+    /// Minimum of `v1[i] + mat_lca(pos1[i], pos2[j]) + v2[j]` over the
+    /// access doors of the LCA's two children — the final composition step
+    /// of every cross-leaf door distance.
+    fn compose_at_lca(
+        &self,
+        lca: NodeId,
+        c1: NodeId,
+        c2: NodeId,
+        v1: &AccessDists<'_>,
+        v2: &AccessDists<'_>,
+    ) -> f64 {
         let pos1 = self.access_positions_in_parent(lca, c1);
         let pos2 = self.access_positions_in_parent(lca, c2);
-        let mat = &self.nodes[lca.index()].mat;
+        let mat = self.mat(lca);
         let mut best = f64::INFINITY;
         for (i, &p1) in pos1.iter().enumerate() {
             let a = v1.get(i);
@@ -74,68 +119,60 @@ impl VipTree<'_> {
     }
 
     /// Allocation-free view of the distances from a door (home leaf +
-    /// row) to the access doors of `target` (the leaf itself or an
-    /// ancestor).
+    /// row) to the access doors of `target` (the leaf itself, or an
+    /// ancestor on a vivid tree).
     fn access_dists(&self, leaf: NodeId, row: usize, target: NodeId) -> AccessDists<'_> {
         if target == leaf {
-            let node = &self.nodes[leaf.index()];
             return AccessDists::Gather {
-                row: node.mat.dist_row(row),
-                idx: &node.access,
+                row: self.mat(leaf).dist_row(row),
+                idx: &self.nodes[leaf.index()].access,
             };
         }
-        if self.config.vivid {
-            let k = (self.depth(leaf) - self.depth(target) - 1) as usize;
-            return AccessDists::Dense(self.nodes[leaf.index()].vivid[k].dist_row(row));
-        }
-        AccessDists::Owned(self.door_to_access_of(leaf, row, target))
+        debug_assert!(self.config.vivid, "non-vivid ancestors use climb_into");
+        // Vivid matrices are ordered parent → root.
+        let k = (self.depth(leaf) - self.depth(target) - 1) as usize;
+        AccessDists::Dense(self.vivid_mat(leaf, k).dist_row(row))
     }
 
-    /// Distances from a door (identified by its home leaf and row) to the
-    /// access doors of `target`, which must be the leaf itself or one of
-    /// its ancestors. Order matches `target`'s access-door order.
-    fn door_to_access_of(&self, leaf: NodeId, row: usize, target: NodeId) -> Vec<f64> {
-        if target == leaf {
-            let node = &self.nodes[leaf.index()];
-            return node
+    /// Fills `out` with the distances from a door (home leaf + row) to the
+    /// access doors of `target` (the leaf itself or an ancestor), climbing
+    /// level by level. `tmp` is ping-pong scratch; both are cleared first.
+    fn climb_into(
+        &self,
+        leaf: NodeId,
+        row: usize,
+        target: NodeId,
+        out: &mut Vec<f64>,
+        tmp: &mut Vec<f64>,
+    ) {
+        let mat = self.mat(leaf);
+        out.clear();
+        out.extend(
+            self.nodes[leaf.index()]
                 .access
                 .iter()
-                .map(|&c| node.mat.dist(row, c as usize))
-                .collect();
-        }
-        if self.config.vivid {
-            // Vivid matrices are ordered parent → root.
-            let k = (self.depth(leaf) - self.depth(target) - 1) as usize;
-            let m = &self.nodes[leaf.index()].vivid[k];
-            return (0..m.cols()).map(|c| m.dist(row, c)).collect();
-        }
-        // IP-tree mode: climb level by level combining matrices.
-        let leaf_node = &self.nodes[leaf.index()];
+                .map(|&c| mat.dist(row, c as usize)),
+        );
         let mut cur = leaf;
-        let mut vec: Vec<f64> = leaf_node
-            .access
-            .iter()
-            .map(|&c| leaf_node.mat.dist(row, c as usize))
-            .collect();
         while cur != target {
             let parent = self.parent(cur).expect("target is an ancestor");
             let src_pos = self.access_positions_in_parent(parent, cur);
             let pnode = &self.nodes[parent.index()];
-            let mut next = vec![f64::INFINITY; pnode.access.len()];
-            for (j, &aj) in pnode.access.iter().enumerate() {
+            let pmat = self.mat(parent);
+            tmp.clear();
+            for &aj in pnode.access.iter() {
                 let mut best = f64::INFINITY;
-                for (i, &vi) in vec.iter().enumerate() {
-                    let d = vi + pnode.mat.dist(src_pos[i] as usize, aj as usize);
+                for (i, &vi) in out.iter().enumerate() {
+                    let d = vi + pmat.dist(src_pos[i] as usize, aj as usize);
                     if d < best {
                         best = d;
                     }
                 }
-                next[j] = best;
+                tmp.push(best);
             }
-            vec = next;
+            std::mem::swap(out, tmp);
             cur = parent;
         }
-        vec
     }
 
     /// Positions of `child`'s access doors within `parent`'s door list.

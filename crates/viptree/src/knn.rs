@@ -78,10 +78,11 @@ impl FacilityIndex {
         self.subtree_count[n.index()]
     }
 
-    /// Approximate heap footprint in bytes (for the structural memory
-    /// estimator).
+    /// Approximate footprint in bytes (for the structural memory
+    /// estimator): both payload vectors plus the struct itself, so the
+    /// estimate stays honest when many small layers are built per query.
     pub fn approx_bytes(&self) -> usize {
-        self.is_facility.len() + self.subtree_count.len() * 4
+        self.is_facility.len() + self.subtree_count.len() * 4 + std::mem::size_of::<Self>()
     }
 }
 
@@ -179,9 +180,10 @@ impl<'t, 'v, 'f> IncrementalNn<'t, 'v, 'f> {
         self.dist_computations
     }
 
-    /// Approximate current heap footprint in bytes.
+    /// Approximate current queue footprint in bytes: the allocated heap
+    /// capacity (not just the live entries) plus the search state itself.
     pub fn approx_queue_bytes(&self) -> usize {
-        self.heap.len() * std::mem::size_of::<QueueEntry>()
+        self.heap.capacity() * std::mem::size_of::<QueueEntry>() + std::mem::size_of::<Self>()
     }
 }
 

@@ -43,6 +43,7 @@
 //! ```
 
 mod build;
+pub mod cache;
 mod dist;
 mod knn;
 mod matrix;
@@ -50,8 +51,9 @@ mod node;
 mod path;
 mod tree;
 
+pub use cache::{DistCache, DistCacheStats, SharedDistCache};
 pub use knn::{FacilityIndex, IncrementalNn, NnEntry};
-pub use matrix::DistMatrix;
+pub use matrix::{DistArena, MatRef};
 pub use node::{NodeChildren, NodeId};
 pub use path::IndoorPath;
 pub use tree::{VipTree, VipTreeStats};
@@ -66,7 +68,8 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<VipTree<'static>>();
     assert_send_sync::<FacilityIndex>();
-    assert_send_sync::<DistMatrix>();
+    assert_send_sync::<DistArena>();
+    assert_send_sync::<SharedDistCache>();
     assert_send_sync::<VipTreeConfig>();
 };
 

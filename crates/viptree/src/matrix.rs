@@ -1,32 +1,130 @@
-//! Dense distance matrices with first-hop doors, as stored in VIP-tree
-//! nodes.
+//! Contiguous distance-matrix arena with first-hop doors, as stored in
+//! VIP-tree nodes.
+//!
+//! Every per-node matrix (leaf all-doors matrix, non-leaf access-door
+//! matrix, vivid door-to-ancestor matrices) lives in **one** pair of flat
+//! buffers owned by the tree: a `f64` distance arena and a `u32` first-hop
+//! arena. Nodes keep only [`MatSlot`] views — `(offset, rows, cols)`
+//! triples — so matrix reads are plain slice indexing into memory laid out
+//! in construction order, with no per-node allocations or pointer chasing.
 
-/// A `rows × cols` matrix of exact indoor distances, each entry paired with
-/// the first-hop door on a shortest path (the paper's `(dist, first-hop)`
-/// matrix entries, cf. Figure 2).
+/// A `(offset, rows, cols)` view into a [`DistArena`]: one logical
+/// `rows × cols` matrix, row-major, starting at `off`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatSlot {
+    off: usize,
+    rows: u32,
+    cols: u32,
+}
+
+impl MatSlot {
+    /// Number of rows.
+    #[inline]
+    pub fn rows(self) -> usize {
+        self.rows as usize
+    }
+
+    /// Number of columns (the row stride).
+    #[inline]
+    pub fn cols(self) -> usize {
+        self.cols as usize
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.rows() * self.cols()
+    }
+
+    /// Whether the slot holds no entries.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The contiguous arena backing every distance/hop matrix of a VIP-tree.
+///
+/// Matrices are reserved during construction with [`reserve`](Self::reserve)
+/// (appending `rows × cols` entries initialised to `+∞` / `u32::MAX`) and
+/// read through borrowed [`MatRef`] views. The arena is immutable after the
+/// build finishes, which is what lets the tree be shared by `&` across
+/// threads.
 #[derive(Clone, Debug, Default)]
-pub struct DistMatrix {
-    rows: usize,
-    cols: usize,
+pub struct DistArena {
     dist: Vec<f64>,
     hop: Vec<u32>,
 }
 
-impl DistMatrix {
-    /// Creates a matrix filled with `+∞` distances and invalid hops.
-    pub fn new(rows: usize, cols: usize) -> Self {
-        Self {
-            rows,
-            cols,
-            dist: vec![f64::INFINITY; rows * cols],
-            hop: vec![u32::MAX; rows * cols],
+impl DistArena {
+    /// Appends an uninitialised (`+∞` / `u32::MAX`) `rows × cols` matrix
+    /// and returns its slot.
+    pub fn reserve(&mut self, rows: usize, cols: usize) -> MatSlot {
+        let off = self.dist.len();
+        let n = rows * cols;
+        self.dist.resize(off + n, f64::INFINITY);
+        self.hop.resize(off + n, u32::MAX);
+        MatSlot {
+            off,
+            rows: u32::try_from(rows).expect("matrix rows exceed u32::MAX"),
+            cols: u32::try_from(cols).expect("matrix cols exceed u32::MAX"),
         }
     }
 
+    /// Borrows the matrix behind a slot.
+    #[inline]
+    pub fn view(&self, s: MatSlot) -> MatRef<'_> {
+        let n = s.len();
+        MatRef {
+            dist: &self.dist[s.off..s.off + n],
+            hop: &self.hop[s.off..s.off + n],
+            cols: s.cols(),
+        }
+    }
+
+    /// Sets the entry at `(r, c)` of the matrix behind `s`.
+    #[inline]
+    pub fn set(&mut self, s: MatSlot, r: usize, c: usize, dist: f64, hop: u32) {
+        debug_assert!(r < s.rows() && c < s.cols());
+        let i = s.off + r * s.cols() + c;
+        self.dist[i] = dist;
+        self.hop[i] = hop;
+    }
+
+    /// Total entries across all reserved matrices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Whether no matrix has been reserved.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dist.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes (used by the structural memory
+    /// estimator of the benchmarks).
+    pub fn approx_bytes(&self) -> usize {
+        self.dist.len() * std::mem::size_of::<f64>() + self.hop.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// A borrowed `rows × cols` matrix of exact indoor distances, each entry
+/// paired with the first-hop door on a shortest path (the paper's
+/// `(dist, first-hop)` matrix entries, cf. Figure 2).
+#[derive(Clone, Copy, Debug)]
+pub struct MatRef<'a> {
+    dist: &'a [f64],
+    hop: &'a [u32],
+    cols: usize,
+}
+
+impl<'a> MatRef<'a> {
     /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {
-        self.rows
+        self.dist.len().checked_div(self.cols).unwrap_or(0)
     }
 
     /// Number of columns.
@@ -38,35 +136,21 @@ impl DistMatrix {
     /// Distance at `(r, c)`.
     #[inline]
     pub fn dist(&self, r: usize, c: usize) -> f64 {
-        debug_assert!(r < self.rows && c < self.cols);
+        debug_assert!(c < self.cols);
         self.dist[r * self.cols + c]
     }
 
     /// Raw first-hop door id at `(r, c)` (`u32::MAX` if unset).
     #[inline]
     pub fn hop(&self, r: usize, c: usize) -> u32 {
-        debug_assert!(r < self.rows && c < self.cols);
+        debug_assert!(c < self.cols);
         self.hop[r * self.cols + c]
-    }
-
-    /// Sets the entry at `(r, c)`.
-    #[inline]
-    pub fn set(&mut self, r: usize, c: usize, dist: f64, hop: u32) {
-        debug_assert!(r < self.rows && c < self.cols);
-        self.dist[r * self.cols + c] = dist;
-        self.hop[r * self.cols + c] = hop;
     }
 
     /// One full distance row.
     #[inline]
-    pub fn dist_row(&self, r: usize) -> &[f64] {
+    pub fn dist_row(&self, r: usize) -> &'a [f64] {
         &self.dist[r * self.cols..(r + 1) * self.cols]
-    }
-
-    /// Approximate heap footprint in bytes (used by the structural memory
-    /// estimator of the benchmarks).
-    pub fn approx_bytes(&self) -> usize {
-        self.dist.len() * std::mem::size_of::<f64>() + self.hop.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -75,8 +159,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn new_matrix_is_infinite() {
-        let m = DistMatrix::new(2, 3);
+    fn reserved_matrix_is_infinite() {
+        let mut a = DistArena::default();
+        let s = a.reserve(2, 3);
+        let m = a.view(s);
         assert_eq!(m.rows(), 2);
         assert_eq!(m.cols(), 3);
         for r in 0..2 {
@@ -89,8 +175,10 @@ mod tests {
 
     #[test]
     fn set_and_get_round_trip() {
-        let mut m = DistMatrix::new(2, 2);
-        m.set(1, 0, 3.5, 7);
+        let mut a = DistArena::default();
+        let s = a.reserve(2, 2);
+        a.set(s, 1, 0, 3.5, 7);
+        let m = a.view(s);
         assert_eq!(m.dist(1, 0), 3.5);
         assert_eq!(m.hop(1, 0), 7);
         assert!(m.dist(0, 1).is_infinite());
@@ -98,15 +186,33 @@ mod tests {
 
     #[test]
     fn row_slices_are_contiguous() {
-        let mut m = DistMatrix::new(2, 2);
-        m.set(0, 0, 1.0, 0);
-        m.set(0, 1, 2.0, 0);
-        assert_eq!(m.dist_row(0), &[1.0, 2.0]);
+        let mut a = DistArena::default();
+        let s = a.reserve(2, 2);
+        a.set(s, 0, 0, 1.0, 0);
+        a.set(s, 0, 1, 2.0, 0);
+        assert_eq!(a.view(s).dist_row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn slots_are_disjoint_and_packed() {
+        let mut a = DistArena::default();
+        let s1 = a.reserve(2, 2);
+        let s2 = a.reserve(1, 3);
+        a.set(s1, 1, 1, 4.0, 1);
+        a.set(s2, 0, 0, 9.0, 2);
+        assert_eq!(a.len(), 4 + 3);
+        assert_eq!(a.view(s1).dist(1, 1), 4.0);
+        assert_eq!(a.view(s2).dist(0, 0), 9.0);
+        // s1's entries are untouched by writes through s2.
+        assert!(a.view(s1).dist(0, 0).is_infinite());
     }
 
     #[test]
     fn approx_bytes_scales_with_size() {
-        let m = DistMatrix::new(4, 5);
-        assert_eq!(m.approx_bytes(), 20 * 8 + 20 * 4);
+        let mut a = DistArena::default();
+        a.reserve(4, 5);
+        assert_eq!(a.approx_bytes(), 20 * 8 + 20 * 4);
+        a.reserve(2, 2);
+        assert_eq!(a.approx_bytes(), 24 * 8 + 24 * 4);
     }
 }

@@ -4,7 +4,7 @@ use std::fmt;
 
 use ifls_indoor::{DoorId, PartitionId};
 
-use crate::matrix::DistMatrix;
+use crate::matrix::MatSlot;
 
 /// Identifier of a VIP-tree node. Leaves come first in id order, then each
 /// upper level, with the root last.
@@ -79,13 +79,14 @@ pub(crate) struct Node {
     /// Exact global distances between all of `doors` (rows and columns in
     /// `doors` order), with first hops. For a leaf this covers the paper's
     /// "all doors × access doors" leaf matrix; for a non-leaf it covers the
-    /// "access doors of all children" matrix.
-    pub mat: DistMatrix,
+    /// "access doors of all children" matrix. The entries live in the
+    /// tree's shared [`crate::matrix::DistArena`]; this is a view into it.
+    pub mat: MatSlot,
     /// Leaf nodes only: for each proper ancestor (parent first, root last),
     /// exact distances from every door of this leaf to the ancestor's
-    /// access doors — the *vivid* matrices. Empty for non-leaves or when
-    /// built with `vivid: false`.
-    pub vivid: Vec<DistMatrix>,
+    /// access doors — the *vivid* matrices, as arena views. Empty for
+    /// non-leaves or when built with `vivid: false`.
+    pub vivid: Vec<MatSlot>,
 }
 
 impl Node {
@@ -104,16 +105,6 @@ impl Node {
     /// The node's access doors as ids.
     pub fn access_doors(&self) -> impl Iterator<Item = DoorId> + '_ {
         self.access.iter().map(|&i| self.doors[i as usize])
-    }
-
-    /// Approximate heap footprint of this node's matrices, in bytes.
-    pub fn approx_matrix_bytes(&self) -> usize {
-        self.mat.approx_bytes()
-            + self
-                .vivid
-                .iter()
-                .map(DistMatrix::approx_bytes)
-                .sum::<usize>()
     }
 }
 
@@ -139,7 +130,7 @@ mod tests {
             children: NodeChildren::Partitions(vec![]),
             doors: vec![DoorId::new(2), DoorId::new(5), DoorId::new(9)],
             access: vec![1],
-            mat: DistMatrix::new(3, 3),
+            mat: MatSlot::default(),
             vivid: vec![],
         };
         assert_eq!(node.door_index(DoorId::new(5)), Some(1));

@@ -30,9 +30,8 @@ impl VipTree<'_> {
     /// access door of an ancestor). `None` otherwise.
     pub fn stored_first_hop(&self, d1: DoorId, d2: DoorId) -> Option<DoorId> {
         let (l1, i1) = self.door_home[d1.index()];
-        let node = &self.nodes[l1.index()];
-        if let Some(j) = node.door_index(d2) {
-            let h = node.mat.hop(i1 as usize, j);
+        if let Some(j) = self.nodes[l1.index()].door_index(d2) {
+            let h = self.mat(l1).hop(i1 as usize, j);
             return (h != u32::MAX).then(|| DoorId::new(h));
         }
         // Vivid matrices: d2 may be an ancestor access door.
@@ -41,7 +40,7 @@ impl VipTree<'_> {
         while let Some(a) = anc {
             if let Some(j) = self.nodes[a.index()].access_doors().position(|ad| ad == d2) {
                 if self.config.vivid {
-                    let h = self.nodes[l1.index()].vivid[k].hop(i1 as usize, j);
+                    let h = self.vivid_mat(l1, k).hop(i1 as usize, j);
                     return (h != u32::MAX).then(|| DoorId::new(h));
                 }
                 return None;

@@ -2,6 +2,7 @@
 
 use ifls_indoor::{DoorId, PartitionId, Venue};
 
+use crate::matrix::{DistArena, MatRef};
 use crate::node::{Node, NodeChildren, NodeId};
 use crate::VipTreeConfig;
 
@@ -14,6 +15,9 @@ pub struct VipTree<'v> {
     pub(crate) venue: &'v Venue,
     pub(crate) config: VipTreeConfig,
     pub(crate) nodes: Vec<Node>,
+    /// One contiguous arena holding every node's distance/hop matrices;
+    /// nodes carry only `(offset, rows, cols)` slots into it.
+    pub(crate) arena: DistArena,
     /// The venue's door graph, retained for path reconstruction.
     pub(crate) graph: ifls_indoor::DoorGraph,
     pub(crate) root: NodeId,
@@ -197,6 +201,20 @@ impl<'v> VipTree<'v> {
         (0..self.nodes.len()).map(NodeId::from_index)
     }
 
+    /// The distance matrix of a node (all doors × all doors for leaves,
+    /// children's access doors for non-leaves), as an arena view.
+    #[inline]
+    pub(crate) fn mat(&self, n: NodeId) -> MatRef<'_> {
+        self.arena.view(self.nodes[n.index()].mat)
+    }
+
+    /// The `k`-th vivid matrix of a leaf (doors of the leaf × access doors
+    /// of its `k+1`-level ancestor), as an arena view.
+    #[inline]
+    pub(crate) fn vivid_mat(&self, leaf: NodeId, k: usize) -> MatRef<'_> {
+        self.arena.view(self.nodes[leaf.index()].vivid[k])
+    }
+
     /// Structural statistics.
     pub fn stats(&self) -> VipTreeStats {
         VipTreeStats {
@@ -204,7 +222,7 @@ impl<'v> VipTree<'v> {
             leaves: self.nodes.iter().filter(|n| n.is_leaf()).count(),
             height: self.nodes[self.root.index()].height,
             access_doors: self.nodes.iter().map(|n| n.access.len()).sum(),
-            matrix_bytes: self.nodes.iter().map(Node::approx_matrix_bytes).sum(),
+            matrix_bytes: self.arena.approx_bytes(),
         }
     }
 }
