@@ -1,0 +1,55 @@
+//! CI validator for `--metrics-out` JSONL files.
+//!
+//! `obs_check <file.jsonl>...` parses every line of each file with the
+//! in-tree JSON validator (no serde), then checks the `ifls-obs/v1`
+//! contract the smoke job relies on: a meta record, all six phase spans,
+//! and at least one latency histogram carrying p50/p95/p99. Any violation
+//! prints the reason and exits 1.
+
+use ifls_obs::Phase;
+
+fn check_file(path: &str) -> Result<(), String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let summary = ifls_obs::validate_jsonl(&content).map_err(|e| format!("{path}: {e}"))?;
+    if !summary.has_meta {
+        return Err(format!("{path}: missing the meta record"));
+    }
+    for phase in Phase::ALL {
+        if !summary.span_phases.iter().any(|p| p == phase.name()) {
+            return Err(format!(
+                "{path}: span record for `{}` missing",
+                phase.name()
+            ));
+        }
+    }
+    if summary.histograms_with_percentiles.is_empty() {
+        return Err(format!(
+            "{path}: no histogram record with p50/p95/p99 percentiles"
+        ));
+    }
+    println!(
+        "{path}: ok ({} records, {} phases, histograms: {})",
+        summary.records,
+        summary.span_phases.len(),
+        summary.histograms_with_percentiles.join(", ")
+    );
+    Ok(())
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: obs_check <metrics.jsonl>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        if let Err(e) = check_file(path) {
+            eprintln!("FAIL: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -32,7 +32,11 @@ query options:
   --top K            report the top-K candidates (minmax/efficient only)
   --no-dist-cache    disable the distance-kernel memo cache (ablation)
   --workload FILE    load the workload from a saved file instead of generating
-  --save-workload FILE  write the generated workload for replay";
+  --save-workload FILE  write the generated workload for replay
+  --trace            enable phase tracing; print the span/metric report
+  --metrics-out FILE write collected metrics to FILE (enables tracing)
+  --metrics-format text|jsonl|prom   metrics file format (default jsonl)
+  --stats-json       print the result as one JSON object on stdout";
 
 /// A parsed command.
 #[derive(Clone, Debug, PartialEq)]
@@ -106,6 +110,26 @@ pub struct CommonArgs {
     pub workload_file: Option<String>,
     /// Save the (generated or loaded) workload to this file.
     pub save_workload: Option<String>,
+    /// Enable phase tracing and print the observability report.
+    pub trace: bool,
+    /// Write collected metrics to this file (implies tracing).
+    pub metrics_out: Option<String>,
+    /// Metrics file format: `text`, `jsonl` or `prom`.
+    pub metrics_format: MetricsFormat,
+    /// Print the result as a single JSON object instead of the text report.
+    pub stats_json: bool,
+}
+
+/// Output format for `--metrics-out`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Human-readable aligned text.
+    Text,
+    /// One JSON object per line (schema `ifls-obs/v1`).
+    #[default]
+    Jsonl,
+    /// Prometheus text exposition format.
+    Prom,
 }
 
 impl Default for CommonArgs {
@@ -124,6 +148,10 @@ impl Default for CommonArgs {
             dist_cache: true,
             workload_file: None,
             save_workload: None,
+            trace: false,
+            metrics_out: None,
+            metrics_format: MetricsFormat::default(),
+            stats_json: false,
         }
     }
 }
@@ -236,6 +264,26 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--save-workload" => {
                         a.save_workload = Some(cur.value("--save-workload")?.to_string())
                     }
+                    "--trace" => a.trace = true,
+                    "--no-trace" => a.trace = false,
+                    "--metrics-out" => {
+                        a.metrics_out = Some(cur.value("--metrics-out")?.to_string())
+                    }
+                    "--metrics-format" => {
+                        let value = cur.value("--metrics-format")?;
+                        a.metrics_format = match value {
+                            "text" => MetricsFormat::Text,
+                            "jsonl" => MetricsFormat::Jsonl,
+                            "prom" => MetricsFormat::Prom,
+                            _ => {
+                                return Err(ParseError::BadValue {
+                                    option: "--metrics-format".into(),
+                                    value: value.to_string(),
+                                })
+                            }
+                        };
+                    }
+                    "--stats-json" => a.stats_json = true,
                     other => return Err(ParseError::UnknownOption(other.to_string())),
                 }
             }
@@ -392,6 +440,53 @@ mod tests {
             parse(&v(&["query", "--venue", "x", "--threads", "many"])),
             Err(ParseError::BadValue { .. })
         ));
+    }
+
+    #[test]
+    fn parses_trace_and_metrics_flags() {
+        let cmd = parse(&v(&[
+            "query",
+            "--venue",
+            "named:mc",
+            "--trace",
+            "--metrics-out",
+            "m.jsonl",
+            "--metrics-format",
+            "prom",
+            "--stats-json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Query { args, .. } => {
+                assert!(args.trace);
+                assert_eq!(args.metrics_out.as_deref(), Some("m.jsonl"));
+                assert_eq!(args.metrics_format, MetricsFormat::Prom);
+                assert!(args.stats_json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: tracing off, jsonl format, text report.
+        match parse(&v(&["query", "--venue", "named:mc"])).unwrap() {
+            Command::Query { args, .. } => {
+                assert!(!args.trace);
+                assert_eq!(args.metrics_out, None);
+                assert_eq!(args.metrics_format, MetricsFormat::Jsonl);
+                assert!(!args.stats_json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse(&v(&["query", "--venue", "x", "--metrics-format", "xml"])),
+            Err(ParseError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn no_trace_overrides_trace() {
+        match parse(&v(&["query", "--venue", "x", "--trace", "--no-trace"])).unwrap() {
+            Command::Query { args, .. } => assert!(!args.trace),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use ifls_venues::{GridVenueSpec, McCategory, NamedVenue};
 use ifls_viptree::{VipTree, VipTreeConfig};
 use ifls_workloads::{real_setting_facilities, Workload, WorkloadBuilder};
 
-use crate::args::{Command, CommonArgs};
+use crate::args::{Command, CommonArgs, MetricsFormat};
 
 /// Errors raised while executing a command.
 #[derive(Debug)]
@@ -131,13 +131,109 @@ fn stats_line(stats: &QueryStats) -> String {
         ),
         None => String::new(),
     };
+    // Percentiles come from the per-run latency histogram, so a parallel or
+    // batch aggregate reports its distribution, not just the outer max.
+    let latency = if stats.latencies.count() > 0 {
+        format!(
+            ", latency p50/p95/p99 {:?}/{:?}/{:?} ({} samples)",
+            std::time::Duration::from_nanos(stats.latencies.p50_ns()),
+            std::time::Duration::from_nanos(stats.latencies.p95_ns()),
+            std::time::Duration::from_nanos(stats.latencies.p99_ns()),
+            stats.latencies.count()
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "time {:?}, {} distance computations, {} facilities retrieved, {} clients pruned, {:.2} MiB peak{cache}",
+        "time {:?}, {} distance computations, {} facilities retrieved, {} clients pruned, {:.2} MiB peak{cache}{latency}",
         stats.elapsed,
         stats.dist_computations,
         stats.facilities_retrieved,
         stats.clients_pruned,
         stats.peak_mib()
+    )
+}
+
+/// One solved single-answer query, in objective-neutral form — the data
+/// `--stats-json` serializes.
+struct QuerySummary {
+    answer: Option<PartitionId>,
+    /// JSON key for the objective value (`max_distance_m`, …).
+    value_key: &'static str,
+    value: f64,
+    stats: QueryStats,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Serializes the final result and [`QueryStats`] as one JSON object
+/// (hand-rolled — the dependency set has no serde).
+fn stats_json_line(venue: &Venue, a: &CommonArgs, w: &Workload, s: &QuerySummary) -> String {
+    let answer = match s.answer {
+        Some(n) => format!("{}", n.index()),
+        None => "null".into(),
+    };
+    let lat = &s.stats.latencies;
+    format!(
+        concat!(
+            "{{\"schema\":\"ifls-stats/v1\",\"venue\":\"{venue}\",",
+            "\"objective\":\"{objective}\",\"algorithm\":\"{algorithm}\",",
+            "\"clients\":{clients},\"existing\":{existing},",
+            "\"candidates\":{candidates},\"seed\":{seed},",
+            "\"answer\":{answer},\"{value_key}\":{value},",
+            "\"stats\":{{\"elapsed_ns\":{elapsed_ns},",
+            "\"dist_computations\":{dist},\"point_via_lookups\":{via},",
+            "\"facilities_retrieved\":{retrieved},\"clients_pruned\":{pruned},",
+            "\"cache_hits\":{hits},\"cache_misses\":{misses},",
+            "\"cache_bytes\":{cache_bytes},\"peak_bytes\":{peak},",
+            "\"latency\":{{\"count\":{lcount},\"p50_ns\":{p50},",
+            "\"p95_ns\":{p95},\"p99_ns\":{p99}}}}}}}"
+        ),
+        venue = json_escape(venue.name()),
+        objective = json_escape(&a.objective),
+        algorithm = json_escape(&a.algorithm),
+        clients = w.clients.len(),
+        existing = w.existing.len(),
+        candidates = w.candidates.len(),
+        seed = a.seed,
+        answer = answer,
+        value_key = s.value_key,
+        value = json_num(s.value),
+        elapsed_ns = s.stats.elapsed.as_nanos(),
+        dist = s.stats.dist_computations,
+        via = s.stats.point_via_lookups,
+        retrieved = s.stats.facilities_retrieved,
+        pruned = s.stats.clients_pruned,
+        hits = s.stats.cache_hits,
+        misses = s.stats.cache_misses,
+        cache_bytes = s.stats.cache_bytes,
+        peak = s.stats.peak_bytes,
+        lcount = lat.count(),
+        p50 = lat.p50_ns(),
+        p95 = lat.p95_ns(),
+        p99 = lat.p99_ns(),
     )
 }
 
@@ -205,7 +301,16 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 w.candidates.len(),
                 args.seed
             );
-            let body = match (args.objective.as_str(), args.algorithm.as_str()) {
+            // Tracing stays enabled for the rest of the process once any
+            // query asks for it (a global off-switch could race another
+            // traced query in the same process); the sink is drained before
+            // the query so the report covers exactly this one.
+            let obs_wanted = args.trace || args.metrics_out.is_some();
+            if obs_wanted {
+                ifls_obs::set_enabled(true);
+                let _ = ifls_obs::take_local();
+            }
+            let (body, summary) = match (args.objective.as_str(), args.algorithm.as_str()) {
                 ("minmax", algo) => {
                     if args.top > 1 {
                         if algo != "efficient" {
@@ -228,7 +333,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                                 v_
                             ));
                         }
-                        out
+                        (out, None)
                     } else {
                         let o = match (algo, &parallel) {
                             (_, Some(p)) => p.run_minmax(&w.clients, &w.existing, &w.candidates),
@@ -244,7 +349,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                             ),
                             _ => BruteForce::new(&tree).run(&w.clients, &w.existing, &w.candidates),
                         };
-                        match o.answer {
+                        let text = match o.answer {
                             Some(n) => format!(
                                 "answer: {} — max client distance {:.2} m\n{}",
                                 describe_partition(&v, n),
@@ -256,7 +361,14 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                                 o.objective,
                                 stats_line(&o.stats)
                             ),
-                        }
+                        };
+                        let summary = QuerySummary {
+                            answer: o.answer,
+                            value_key: "max_distance_m",
+                            value: o.objective,
+                            stats: o.stats,
+                        };
+                        (text, Some(summary))
                     }
                 }
                 ("mindist", algo) => {
@@ -273,7 +385,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                             &w.candidates,
                         ),
                     };
-                    match o.answer {
+                    let text = match o.answer {
                         Some(n) => format!(
                             "answer: {} — average distance {:.2} m\n{}",
                             describe_partition(&v, n),
@@ -281,7 +393,14 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                             stats_line(&o.stats)
                         ),
                         None => "no candidates".to_string(),
-                    }
+                    };
+                    let summary = QuerySummary {
+                        answer: o.answer,
+                        value_key: "avg_distance_m",
+                        value: o.average(w.clients.len()),
+                        stats: o.stats,
+                    };
+                    (text, Some(summary))
                 }
                 (_, algo) => {
                     let o = match (algo, &parallel) {
@@ -297,7 +416,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                             &w.candidates,
                         ),
                     };
-                    match o.answer {
+                    let text = match o.answer {
                         Some(n) => format!(
                             "answer: {} — captures {} of {} clients\n{}",
                             describe_partition(&v, n),
@@ -306,10 +425,43 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                             stats_line(&o.stats)
                         ),
                         None => "no candidates".to_string(),
-                    }
+                    };
+                    let summary = QuerySummary {
+                        answer: o.answer,
+                        value_key: "clients_captured",
+                        value: o.wins as f64,
+                        stats: o.stats,
+                    };
+                    (text, Some(summary))
                 }
             };
-            Ok(format!("{header}\n{body}"))
+            let sink = if obs_wanted {
+                Some(ifls_obs::take_local())
+            } else {
+                None
+            };
+            if let (Some(path), Some(sink)) = (&args.metrics_out, &sink) {
+                let rendered = match args.metrics_format {
+                    MetricsFormat::Text => ifls_obs::to_text(sink),
+                    MetricsFormat::Jsonl => ifls_obs::to_jsonl(sink),
+                    MetricsFormat::Prom => ifls_obs::to_prometheus(sink),
+                };
+                std::fs::write(path, rendered)?;
+            }
+            if args.stats_json {
+                // Machine-readable mode: exactly one JSON object on stdout.
+                let summary = summary.ok_or_else(|| {
+                    CommandError::Invalid("--stats-json is not supported with --top".into())
+                })?;
+                return Ok(stats_json_line(&v, args, &w, &summary));
+            }
+            let mut out = format!("{header}\n{body}");
+            if args.trace {
+                let sink = sink.as_ref().expect("trace implies a drained sink");
+                out.push_str("\n\n");
+                out.push_str(&ifls_obs::to_text(sink));
+            }
+            Ok(out)
         }
         Command::Render {
             venue,
@@ -584,6 +736,135 @@ mod tests {
                 .to_string()
         };
         assert_eq!(ans(&first), ans(&second));
+    }
+
+    #[test]
+    fn traced_query_writes_jsonl_metrics_with_all_phases() {
+        let dir = std::env::temp_dir().join("ifls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        let cmd = parse(&v(&[
+            "query",
+            "--venue",
+            "grid:2x16",
+            "--clients",
+            "40",
+            "--fe",
+            "2",
+            "--fn",
+            "4",
+            "--trace",
+            "--metrics-out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        // The trace report rides along on stdout…
+        assert!(out.contains("phase"), "{out}");
+        assert!(out.contains("candidate_loop"), "{out}");
+        // …and the JSONL file validates and names all six phases.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let summary = ifls_obs::validate_jsonl(&text).unwrap();
+        assert!(summary.has_meta);
+        for phase in ifls_obs::Phase::ALL {
+            assert!(
+                summary.span_phases.iter().any(|p| p == phase.name()),
+                "phase {} missing from {text}",
+                phase.name()
+            );
+        }
+        assert!(summary
+            .histograms_with_percentiles
+            .iter()
+            .any(|h| h == "query_latency_ns"));
+    }
+
+    #[test]
+    fn metrics_format_prom_writes_exposition_text() {
+        let dir = std::env::temp_dir().join("ifls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.prom");
+        let cmd = parse(&v(&[
+            "query",
+            "--venue",
+            "grid:2x12",
+            "--clients",
+            "20",
+            "--fe",
+            "2",
+            "--fn",
+            "3",
+            "--metrics-out",
+            path.to_str().unwrap(),
+            "--metrics-format",
+            "prom",
+        ]))
+        .unwrap();
+        execute(&cmd).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("# TYPE ifls_span_time_ns_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("phase=\"candidate_loop\""), "{text}");
+    }
+
+    #[test]
+    fn stats_json_emits_one_valid_object() {
+        let cmd = parse(&v(&[
+            "query",
+            "--venue",
+            "grid:2x16",
+            "--clients",
+            "40",
+            "--fe",
+            "2",
+            "--fn",
+            "4",
+            "--stats-json",
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert_eq!(out.lines().count(), 1, "{out}");
+        ifls_obs::validate_json_line(&out).unwrap();
+        assert!(out.contains("\"schema\":\"ifls-stats/v1\""), "{out}");
+        assert!(out.contains("\"max_distance_m\":"), "{out}");
+        assert!(out.contains("\"p99_ns\":"), "{out}");
+        // --top produces a ranked list, not one answer: no JSON shape for it.
+        let topk = parse(&v(&[
+            "query",
+            "--venue",
+            "grid:2x16",
+            "--clients",
+            "20",
+            "--fe",
+            "2",
+            "--fn",
+            "4",
+            "--top",
+            "2",
+            "--stats-json",
+        ]))
+        .unwrap();
+        assert!(matches!(execute(&topk), Err(CommandError::Invalid(_))));
+    }
+
+    #[test]
+    fn stats_line_reports_latency_percentiles() {
+        let cmd = parse(&v(&[
+            "query",
+            "--venue",
+            "grid:2x12",
+            "--clients",
+            "20",
+            "--fe",
+            "2",
+            "--fn",
+            "3",
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("latency p50/p95/p99"), "{out}");
     }
 
     #[test]

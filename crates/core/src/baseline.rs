@@ -26,6 +26,7 @@
 use std::time::Instant;
 
 use ifls_indoor::{IndoorPoint, PartitionId};
+use ifls_obs::Phase;
 use ifls_viptree::{FacilityIndex, IncrementalNn, VipTree};
 
 use crate::brute;
@@ -74,20 +75,23 @@ impl<'t, 'v> ModifiedMinMax<'t, 'v> {
                 let nn = brute::nearest_facility_dists(self.tree, clients, existing);
                 nn.into_iter().fold(0.0, f64::max)
             };
+            let mut stats = QueryStats {
+                dist_computations,
+                facilities_retrieved,
+                peak_bytes: meter.peak_bytes(),
+                ..QueryStats::default()
+            };
+            stats.record_elapsed(start.elapsed());
+            stats.record_query_obs();
             return MinMaxOutcome {
                 answer: None,
                 objective,
-                stats: QueryStats {
-                    dist_computations,
-                    facilities_retrieved,
-                    peak_bytes: meter.peak_bytes(),
-                    elapsed: start.elapsed(),
-                    ..QueryStats::default()
-                },
+                stats,
             };
         }
 
         // --- Step 1: nearest existing facility per client, sorted desc. ---
+        let setup_span = ifls_obs::span(Phase::KnnInit);
         let fe_index = FacilityIndex::build(self.tree, existing.iter().copied());
         meter.add(fe_index.approx_bytes() as isize);
         let mut ls: Vec<(usize, f64)> = Vec::with_capacity(clients.len());
@@ -106,8 +110,10 @@ impl<'t, 'v> ModifiedMinMax<'t, 'v> {
         }
         meter.add((ls.len() * std::mem::size_of::<(usize, f64)>()) as isize);
         ls.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        drop(setup_span);
 
         // --- Step 2: CA from the worst-off client. ---
+        let loop_span = ifls_obs::span(Phase::CandidateLoop);
         let cand_entry_bytes = std::mem::size_of::<Candidate>() as isize;
         let (first_client, first_dist) = ls[0];
         let mut ca: Vec<Candidate> = Vec::new();
@@ -127,7 +133,10 @@ impl<'t, 'v> ModifiedMinMax<'t, 'v> {
         let mut ca_prev: Vec<Candidate> = ca.clone();
         meter.add((ca_prev.len() as isize) * (cand_entry_bytes + 8));
 
+        drop(loop_span);
+
         // --- Step 3: refinement loop. ---
+        let refine_span = ifls_obs::span(Phase::Refine);
         let mut considered = 1usize;
         while considered < ls.len() && ca.len() > 1 {
             // Keep the previous CA for Find_Ans's fallback.
@@ -153,14 +162,17 @@ impl<'t, 'v> ModifiedMinMax<'t, 'v> {
                 }
             }
             meter.add((ca.len() * 8) as isize);
-            ca.retain(|cand| *cand.dists.last().expect("pushed above") < li_dist);
-            // (3b): previously considered clients' recorded distances.
-            if !ca.is_empty() {
-                ca.retain(|cand| {
-                    cand.dists[..cand.dists.len() - 1]
-                        .iter()
-                        .all(|&d| d <= li_dist)
-                });
+            {
+                let _prune = ifls_obs::span(Phase::Prune);
+                ca.retain(|cand| *cand.dists.last().expect("pushed above") < li_dist);
+                // (3b): previously considered clients' recorded distances.
+                if !ca.is_empty() {
+                    ca.retain(|cand| {
+                        cand.dists[..cand.dists.len() - 1]
+                            .iter()
+                            .all(|&d| d <= li_dist)
+                    });
+                }
             }
             let dropped = before - ca.len();
             meter.add(-((dropped as isize) * cand_entry_bytes));
@@ -172,14 +184,16 @@ impl<'t, 'v> ModifiedMinMax<'t, 'v> {
             .iter()
             .min_by(|a, b| a.maxd.total_cmp(&b.maxd).then(a.id.cmp(&b.id)))
             .map(|c| c.id);
+        drop(refine_span);
 
-        let stats = QueryStats {
+        let mut stats = QueryStats {
             dist_computations,
             facilities_retrieved,
             peak_bytes: meter.peak_bytes(),
-            elapsed: start.elapsed(),
             ..QueryStats::default()
         };
+        stats.record_elapsed(start.elapsed());
+        stats.record_query_obs();
 
         // The objective is evaluated outside the timed section: the paper's
         // query (and its timing) ends once the location is found.

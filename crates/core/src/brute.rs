@@ -141,13 +141,14 @@ impl<'t, 'v> BruteForce<'t, 'v> {
             }
         }
 
-        let stats = QueryStats {
+        let mut stats = QueryStats {
             dist_computations,
             facilities_retrieved: (clients.len() * (existing.len() + candidates.len())) as u64,
             peak_bytes: clients.len() * 8 * 2,
-            elapsed: start.elapsed(),
             ..QueryStats::default()
         };
+        stats.record_elapsed(start.elapsed());
+        stats.record_query_obs();
         match best {
             Some((n, obj)) if obj < status_quo => MinMaxOutcome {
                 answer: Some(n),

@@ -31,6 +31,7 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use ifls_indoor::{IndoorPoint, PartitionId};
+use ifls_obs::Phase;
 use ifls_viptree::{DistCache, FacilityIndex, VipTree};
 
 use crate::brute;
@@ -423,21 +424,24 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
                 let nn = brute::nearest_facility_dists(tree, clients, existing);
                 nn.into_iter().fold(0.0, f64::max)
             };
+            let mut stats = QueryStats {
+                dist_computations,
+                facilities_retrieved,
+                peak_bytes: meter.peak_bytes(),
+                ..QueryStats::default()
+            };
+            stats.record_elapsed(start.elapsed());
+            stats.record_query_obs();
             return SolveOutcome {
                 qualified: Vec::new(),
                 c_emptied: clients.is_empty(),
                 no_improve_value: objective,
-                stats: QueryStats {
-                    dist_computations,
-                    facilities_retrieved,
-                    peak_bytes: meter.peak_bytes(),
-                    elapsed: start.elapsed(),
-                    ..QueryStats::default()
-                },
+                stats,
             };
         }
 
         // Object layer over Fe ∪ Fn in one shared index (§5.1).
+        let setup_span = ifls_obs::span(Phase::KnnInit);
         let fe = FacilityIndex::build(tree, existing.iter().copied());
         let fn_ = FacilityIndex::build(tree, candidates.iter().copied());
         meter.add((fe.approx_bytes() + fn_.approx_bytes()) as isize);
@@ -498,12 +502,16 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
                     explorer.seed_source(p, &mut meter);
                 }
             }
-
+        }
+        drop(setup_span);
+        if !done {
+            let _loop_span = ifls_obs::span(Phase::CandidateLoop);
             let mut gd = 0.0f64;
             'outer: while !done {
                 let Some(entry) = explorer.pop(&mut meter) else {
                     // Queue exhausted: every (source, facility) pair has
                     // been retrieved. Finish the d_low loop unbounded.
+                    let _refine = ifls_obs::span(Phase::Refine);
                     while let Some(next) = st.next_event_above(d_low) {
                         d_low = next;
                         st.advance(d_low, &mut meter, self.config.prune_clients);
@@ -554,14 +562,17 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
                 }
 
                 if !is_first {
+                    let _prune = ifls_obs::span(Phase::Prune);
                     is_first = st.check_list(gd, &mut meter);
                 }
                 if !is_first {
                     // Lemma 5.1 pruning up to Gd (Algorithm 3 lines 26–28).
+                    let _prune = ifls_obs::span(Phase::Prune);
                     st.advance(gd, &mut meter, self.config.prune_clients);
                     d_low = gd;
                 } else {
                     // increaseDist loop (Algorithm 3 lines 29–37).
+                    let _refine = ifls_obs::span(Phase::Refine);
                     while let Some(next) = st.next_event_above(d_low) {
                         if next > gd {
                             break;
@@ -579,7 +590,7 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         }
 
         let cache_after = cache.stats();
-        let stats = QueryStats {
+        let mut stats = QueryStats {
             dist_computations: dist_computations + explorer.dist_computations,
             point_via_lookups,
             facilities_retrieved,
@@ -588,8 +599,10 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
             cache_misses: cache_after.misses - cache_before.misses,
             cache_bytes: cache_after.bytes,
             peak_bytes: meter.peak_bytes(),
-            elapsed: start.elapsed(),
+            ..QueryStats::default()
         };
+        stats.record_elapsed(start.elapsed());
+        stats.record_query_obs();
         let _ = done;
         SolveOutcome {
             qualified: st.qualified,
@@ -634,6 +647,7 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         if client_ids.is_empty() {
             return;
         }
+        let _span = ifls_obs::span(Phase::GroupRetrieval);
         let dists = retrieval_dists(
             self.tree,
             clients,

@@ -31,7 +31,17 @@
 //! Every solver returns a [`MinMaxOutcome`] carrying the answer, the
 //! objective value, and instrumentation ([`QueryStats`]): indoor distance
 //! computations, retrieved facilities, pruned clients, structural peak
-//! memory, and wall-clock time.
+//! memory, wall-clock time, and a latency histogram with percentile
+//! readout.
+//!
+//! All solvers are additionally instrumented with [`ifls_obs`] phase spans
+//! (`knn_init`, `group_retrieval`, `prune`, `candidate_loop`, `refine`,
+//! `cache_lookup`) and counters. Tracing is off by default and compiles
+//! down to one relaxed atomic load per record site; enable it with
+//! [`ifls_obs::set_enabled`] and drain the thread's sink with
+//! [`ifls_obs::take_local`]. Observability can never change an answer:
+//! record calls only *read* solver state, and the parallel engine merges
+//! per-worker sinks in deterministic join order.
 
 mod baseline;
 mod brute;

@@ -21,6 +21,7 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use ifls_indoor::{IndoorPoint, PartitionId};
+use ifls_obs::Phase;
 use ifls_viptree::{DistCache, FacilityIndex, VipTree};
 
 use crate::brute;
@@ -86,13 +87,14 @@ impl<'t, 'v> BruteForceMaxSum<'t, 'v> {
                 best = Some((n, wins));
             }
         }
-        let stats = QueryStats {
+        let mut stats = QueryStats {
             dist_computations: (clients.len() * (existing.len() + candidates.len())) as u64,
             facilities_retrieved: (clients.len() * candidates.len()) as u64,
             peak_bytes: clients.len() * 16,
-            elapsed: start.elapsed(),
             ..QueryStats::default()
         };
+        stats.record_elapsed(start.elapsed());
+        stats.record_query_obs();
         match best {
             Some((n, wins)) => MaxSumOutcome {
                 answer: Some(n),
@@ -157,18 +159,19 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
         let mut facilities_retrieved = 0u64;
 
         if clients.is_empty() || candidates.is_empty() {
+            let mut stats = QueryStats::default();
+            stats.record_elapsed(start.elapsed());
+            stats.record_query_obs();
             return MaxSumOutcome {
                 answer: None,
                 wins: 0,
-                stats: QueryStats {
-                    elapsed: start.elapsed(),
-                    ..QueryStats::default()
-                },
+                stats,
             };
         }
 
         let cache_before = cache.stats();
         let mut point_via_lookups = 0u64;
+        let setup_span = ifls_obs::span(Phase::KnnInit);
         let legs = ClientLegs::build(tree, clients);
         meter.add(legs.approx_bytes() as isize);
 
@@ -213,6 +216,7 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
                 explorer.seed_source(p, &mut meter);
             }
         }
+        drop(setup_span);
 
         // Decides a client against its exact nearest-existing distance.
         let mut decide = |client: u32,
@@ -250,6 +254,7 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
         let mut answer: Option<(PartitionId, u64)> = None;
         let mut early_exit = false;
         let mut pops = 0u64;
+        let loop_span = ifls_obs::span(Phase::CandidateLoop);
         while let Some(entry) = explorer.pop(&mut meter) {
             let gd = entry.key;
             let source = entry.source;
@@ -272,6 +277,7 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
                         } else {
                             by_partition[source.index()].clone()
                         };
+                        let _span = ifls_obs::span(Phase::GroupRetrieval);
                         for (c, d) in retrieval_dists(
                             tree,
                             clients,
@@ -306,27 +312,31 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
                 }
             }
             // Existing events within the bound fix nn_e in distance order.
-            while let Some(e) = exist_events.peek() {
-                if e.dist > gd {
-                    break;
+            {
+                let _prune = ifls_obs::span(Phase::Prune);
+                while let Some(e) = exist_events.peek() {
+                    if e.dist > gd {
+                        break;
+                    }
+                    let e = exist_events.pop().expect("peeked");
+                    meter.add(-EVENT_BYTES);
+                    decide(
+                        e.client,
+                        e.dist,
+                        &mut buffered,
+                        &mut decided,
+                        &mut wins,
+                        &mut undecided,
+                        &mut meter,
+                    );
                 }
-                let e = exist_events.pop().expect("peeked");
-                meter.add(-EVENT_BYTES);
-                decide(
-                    e.client,
-                    e.dist,
-                    &mut buffered,
-                    &mut decided,
-                    &mut wins,
-                    &mut undecided,
-                    &mut meter,
-                );
             }
             pops += 1;
             // Early exit: best confirmed count is unbeatable. A rival that
             // could still *tie* also counts as beatable when its id is
             // smaller, so the lowest-id-wins tie-break stays exact.
             if pops.is_multiple_of(64) && undecided > 0 {
+                let _refine = ifls_obs::span(Phase::Refine);
                 let (bn, bw) = best_candidate(&wins);
                 let beatable = candidates.iter().any(|&n| {
                     if n == bn {
@@ -346,10 +356,13 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
             }
         }
 
+        drop(loop_span);
+
         if answer.is_none() {
             // Queue exhausted: remaining existing events decide their
             // clients; clients with no existing facility at all win with
             // every buffered candidate (nn_e = ∞).
+            let _refine = ifls_obs::span(Phase::Refine);
             while let Some(e) = exist_events.pop() {
                 meter.add(-EVENT_BYTES);
                 decide(
@@ -378,7 +391,7 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
 
         let (n, w) = answer.expect("set above");
         let cache_after = cache.stats();
-        let stats = QueryStats {
+        let mut stats = QueryStats {
             dist_computations: dist_computations + explorer.dist_computations,
             point_via_lookups,
             facilities_retrieved,
@@ -387,8 +400,10 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
             cache_misses: cache_after.misses - cache_before.misses,
             cache_bytes: cache_after.bytes,
             peak_bytes: meter.peak_bytes(),
-            elapsed: start.elapsed(),
+            ..QueryStats::default()
         };
+        stats.record_elapsed(start.elapsed());
+        stats.record_query_obs();
         // On early exit the confirmed count is only a lower bound of the
         // winner's final score; report the exact value (computed outside
         // the timed query, like the baseline's objective completion).

@@ -21,6 +21,7 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use ifls_indoor::{IndoorPoint, PartitionId};
+use ifls_obs::Phase;
 use ifls_viptree::{DistCache, FacilityIndex, VipTree};
 
 use crate::brute;
@@ -102,13 +103,14 @@ impl<'t, 'v> BruteForceMinDist<'t, 'v> {
                 best = Some((n, total));
             }
         }
-        let stats = QueryStats {
+        let mut stats = QueryStats {
             dist_computations: (clients.len() * (existing.len() + candidates.len())) as u64,
             facilities_retrieved: (clients.len() * candidates.len()) as u64,
             peak_bytes: clients.len() * 16,
-            elapsed: start.elapsed(),
             ..QueryStats::default()
         };
+        stats.record_elapsed(start.elapsed());
+        stats.record_query_obs();
         match best {
             Some((n, total)) => MinDistOutcome {
                 answer: Some(n),
@@ -217,18 +219,19 @@ impl<'t, 'v> EfficientMinDist<'t, 'v> {
             } else {
                 evaluate_total(tree, clients, existing, None)
             };
+            let mut stats = QueryStats::default();
+            stats.record_elapsed(start.elapsed());
+            stats.record_query_obs();
             return MinDistOutcome {
                 answer: None,
                 total,
-                stats: QueryStats {
-                    elapsed: start.elapsed(),
-                    ..QueryStats::default()
-                },
+                stats,
             };
         }
 
         let cache_before = cache.stats();
         let mut point_via_lookups = 0u64;
+        let setup_span = ifls_obs::span(Phase::KnnInit);
         let legs = ClientLegs::build(tree, clients);
         meter.add(legs.approx_bytes() as isize);
 
@@ -285,6 +288,7 @@ impl<'t, 'v> EfficientMinDist<'t, 'v> {
                 explorer.seed_source(p, &mut meter);
             }
         }
+        drop(setup_span);
 
         // Processes all pending events with distance ≤ `bound`.
         let mut process_events = |bound: f64,
@@ -373,18 +377,23 @@ impl<'t, 'v> EfficientMinDist<'t, 'v> {
 
         let mut answer: Option<(PartitionId, f64)>;
         let mut pops = 0u64;
+        let loop_span = ifls_obs::span(Phase::CandidateLoop);
         loop {
             let Some(entry) = explorer.pop(&mut meter) else {
                 // Everything retrieved: decide all remaining contributions.
-                process_events(
-                    f64::INFINITY,
-                    &mut exist_events,
-                    &mut cand_events,
-                    &mut totals,
-                    &mut pruned,
-                    &mut counted,
-                    &mut meter,
-                );
+                {
+                    let _prune = ifls_obs::span(Phase::Prune);
+                    process_events(
+                        f64::INFINITY,
+                        &mut exist_events,
+                        &mut cand_events,
+                        &mut totals,
+                        &mut pruned,
+                        &mut counted,
+                        &mut meter,
+                    );
+                }
+                let _refine = ifls_obs::span(Phase::Refine);
                 answer = check_answer(f64::INFINITY, &totals);
                 break;
             };
@@ -409,6 +418,7 @@ impl<'t, 'v> EfficientMinDist<'t, 'v> {
                         } else {
                             by_partition[source.index()].clone()
                         };
+                        let _span = ifls_obs::span(Phase::GroupRetrieval);
                         for (c, d) in retrieval_dists(
                             tree,
                             clients,
@@ -441,28 +451,33 @@ impl<'t, 'v> EfficientMinDist<'t, 'v> {
                     }
                 }
             }
-            process_events(
-                gd,
-                &mut exist_events,
-                &mut cand_events,
-                &mut totals,
-                &mut pruned,
-                &mut counted,
-                &mut meter,
-            );
+            {
+                let _prune = ifls_obs::span(Phase::Prune);
+                process_events(
+                    gd,
+                    &mut exist_events,
+                    &mut cand_events,
+                    &mut totals,
+                    &mut pruned,
+                    &mut counted,
+                    &mut meter,
+                );
+            }
             pops += 1;
             // The O(|Fn|) answer check is throttled; delaying it never
             // changes the answer, only when it is noticed.
             if pops.is_multiple_of(32) {
+                let _refine = ifls_obs::span(Phase::Refine);
                 answer = check_answer(gd, &totals);
                 if answer.is_some() {
                     break;
                 }
             }
         }
+        drop(loop_span);
 
         let cache_after = cache.stats();
-        let stats = QueryStats {
+        let mut stats = QueryStats {
             dist_computations: dist_computations + explorer.dist_computations,
             point_via_lookups,
             facilities_retrieved,
@@ -471,8 +486,10 @@ impl<'t, 'v> EfficientMinDist<'t, 'v> {
             cache_misses: cache_after.misses - cache_before.misses,
             cache_bytes: cache_after.bytes,
             peak_bytes: meter.peak_bytes(),
-            elapsed: start.elapsed(),
+            ..QueryStats::default()
         };
+        stats.record_elapsed(start.elapsed());
+        stats.record_query_obs();
         match answer {
             Some((n, total)) => MinDistOutcome {
                 answer: Some(n),

@@ -113,14 +113,21 @@ where
                         }
                         out.push((i, f(&mut state, i)));
                     }
-                    out
+                    // Hand the worker's observability sink back with its
+                    // results: worker threads die at scope exit, so any
+                    // spans/counters they recorded would be lost otherwise.
+                    (out, ifls_obs::take_local())
                 })
             })
             .collect();
+        // Joining in spawn order keeps the fold deterministic; merging is
+        // element-wise addition anyway, so scheduling cannot change totals.
         for h in handles {
-            for (i, r) in h.join().expect("parallel worker panicked") {
+            let (out, sink) = h.join().expect("parallel worker panicked");
+            for (i, r) in out {
                 slots[i] = Some(r);
             }
+            ifls_obs::merge_local(&sink);
         }
     });
     slots

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use ifls_obs::LatencyHistogram;
+
 /// Counters and measurements collected while answering one query.
 ///
 /// `peak_bytes` is a *structural* memory estimate: the solvers track the
@@ -39,6 +41,10 @@ pub struct QueryStats {
     pub peak_bytes: usize,
     /// Wall-clock time of the query.
     pub elapsed: Duration,
+    /// Per-run latency samples: every serial solve records its wall clock
+    /// here, so an aggregate merged from parallel shards or a batch carries
+    /// the full distribution (p50/p95/p99), not just the max `elapsed`.
+    pub latencies: LatencyHistogram,
 }
 
 impl QueryStats {
@@ -68,6 +74,26 @@ impl QueryStats {
         self.cache_bytes += other.cache_bytes;
         self.peak_bytes += other.peak_bytes;
         self.elapsed = self.elapsed.max(other.elapsed);
+        self.latencies.merge(&other.latencies);
+    }
+
+    /// Stamps the query's wall clock: sets `elapsed` and records the same
+    /// figure as one latency sample.
+    pub(crate) fn record_elapsed(&mut self, elapsed: Duration) {
+        self.elapsed = elapsed;
+        self.latencies.record_ns(elapsed.as_nanos() as u64);
+    }
+
+    /// Mirrors the finished query into the observability registry (no-op
+    /// while tracing is disabled): one `queries` tick, one
+    /// `query_latency_ns` sample and the cache-footprint gauge.
+    pub(crate) fn record_query_obs(&self) {
+        if !ifls_obs::enabled() {
+            return;
+        }
+        ifls_obs::counter_add(ifls_obs::Counter::Queries, 1);
+        ifls_obs::record_ns("query_latency_ns", self.elapsed.as_nanos() as u64);
+        ifls_obs::gauge_set("dist_cache_bytes", self.cache_bytes as f64);
     }
 
     /// The fraction of cache lookups served from a memoized entry, or
@@ -136,8 +162,10 @@ mod tests {
             cache_bytes: 64,
             peak_bytes: 1_000,
             elapsed: Duration::from_millis(30),
+            ..QueryStats::default()
         };
-        let b = QueryStats {
+        a.latencies.record_ns(30_000_000);
+        let mut b = QueryStats {
             dist_computations: 7,
             point_via_lookups: 3,
             facilities_retrieved: 1,
@@ -147,7 +175,9 @@ mod tests {
             cache_bytes: 16,
             peak_bytes: 500,
             elapsed: Duration::from_millis(40),
+            ..QueryStats::default()
         };
+        b.latencies.record_ns(40_000_000);
         a.merge(&b);
         assert_eq!(a.dist_computations, 17);
         assert_eq!(a.point_via_lookups, 7);
@@ -158,6 +188,21 @@ mod tests {
         assert_eq!(a.cache_bytes, 80);
         assert_eq!(a.peak_bytes, 1_500);
         assert_eq!(a.elapsed, Duration::from_millis(40));
+        // The merged aggregate keeps both latency samples, so percentiles
+        // survive where `elapsed` alone would collapse to the max.
+        assert_eq!(a.latencies.count(), 2);
+        assert!(a.latencies.p99_ns() >= a.latencies.p50_ns());
+    }
+
+    #[test]
+    fn record_elapsed_stamps_one_latency_sample() {
+        let mut s = QueryStats::default();
+        s.record_elapsed(Duration::from_micros(250));
+        assert_eq!(s.elapsed, Duration::from_micros(250));
+        assert_eq!(s.latencies.count(), 1);
+        // 250µs lands in the [2^17, 2^18) ns bucket.
+        let p50 = s.latencies.p50_ns();
+        assert!((131_072..=262_144).contains(&p50), "p50 = {p50}");
     }
 
     #[test]

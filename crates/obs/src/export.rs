@@ -1,0 +1,559 @@
+//! Exporters: human-readable text, JSONL (schema `ifls-obs/v1`) and
+//! Prometheus text exposition — plus a dependency-free JSONL validator used
+//! by CI.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{Counter, LatencyHistogram};
+use crate::{ObsSink, Phase};
+
+/// Schema identifier stamped on every JSONL export.
+pub const JSONL_SCHEMA: &str = "ifls-obs/v1";
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders a sink as an aligned human-readable report (the `--trace` view).
+pub fn to_text(sink: &ObsSink) -> String {
+    let mut out = String::new();
+    out.push_str("phase                 count      total       self\n");
+    for p in Phase::ALL {
+        let s = sink.span(p);
+        let _ = writeln!(
+            out,
+            "{:<20} {:>6} {:>10} {:>10}",
+            p.name(),
+            s.count,
+            fmt_ns(s.total_ns),
+            fmt_ns(s.self_ns),
+        );
+    }
+    out.push_str("counters\n");
+    for c in Counter::ALL {
+        let _ = writeln!(out, "  {:<25} {}", c.name(), sink.counter(c));
+    }
+    let gauges: Vec<_> = sink.gauges().collect();
+    if !gauges.is_empty() {
+        out.push_str("gauges\n");
+        for (name, v) in gauges {
+            let _ = writeln!(out, "  {name:<25} {v}");
+        }
+    }
+    for (name, h) in sink.histograms() {
+        let _ = writeln!(
+            out,
+            "histogram {name}: count={} p50={} p95={} p99={} mean={}",
+            h.count(),
+            fmt_ns(h.p50_ns()),
+            fmt_ns(h.p95_ns()),
+            fmt_ns(h.p99_ns()),
+            fmt_ns(if h.count() == 0 {
+                0
+            } else {
+                h.sum_ns() / h.count()
+            }),
+        );
+    }
+    out
+}
+
+/// A finite `f64` as a JSON number (`null` for NaN/±∞, which JSON lacks).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` on a finite f64 prints no exponent and integers without a
+        // dot — both valid JSON numbers.
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders a sink as JSONL: one self-describing record per line.
+///
+/// Schema `ifls-obs/v1` (stable; documented in DESIGN.md):
+///
+/// * `{"type":"meta","schema":"ifls-obs/v1"}` — first line.
+/// * `{"type":"span","phase":P,"count":N,"total_ns":N,"self_ns":N}` — one
+///   line per phase, all six always present, canonical order.
+/// * `{"type":"counter","name":S,"value":N}` — one line per counter slot.
+/// * `{"type":"gauge","name":S,"value":F}` — per named gauge, name order.
+/// * `{"type":"histogram","name":S,"count":N,"sum_ns":N,"p50_ns":N,
+///   "p95_ns":N,"p99_ns":N,"buckets":[[lo_ns,count],...]}` — per named
+///   histogram, name order; only non-empty buckets are listed.
+pub fn to_jsonl(sink: &ObsSink) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{\"type\":\"meta\",\"schema\":\"{JSONL_SCHEMA}\"}}");
+    for p in Phase::ALL {
+        let s = sink.span(p);
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"phase\":\"{}\",\"count\":{},\"total_ns\":{},\"self_ns\":{}}}",
+            p.name(),
+            s.count,
+            s.total_ns,
+            s.self_ns,
+        );
+    }
+    for c in Counter::ALL {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            c.name(),
+            sink.counter(c),
+        );
+    }
+    for (name, v) in sink.gauges() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{name}\",\"value\":{}}}",
+            json_f64(v),
+        );
+    }
+    for (name, h) in sink.histograms() {
+        let buckets: Vec<String> = h
+            .nonzero_buckets()
+            .map(|(lo, c)| format!("[{lo},{c}]"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":\"{name}\",\"count\":{},\"sum_ns\":{},\
+             \"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"buckets\":[{}]}}",
+            h.count(),
+            h.sum_ns(),
+            h.p50_ns(),
+            h.p95_ns(),
+            h.p99_ns(),
+            buckets.join(","),
+        );
+    }
+    out
+}
+
+fn prom_sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders a sink in the Prometheus text exposition format.
+///
+/// All durations stay in nanoseconds (names carry the `_ns` suffix);
+/// histogram buckets follow the cumulative `le` convention.
+pub fn to_prometheus(sink: &ObsSink) -> String {
+    let mut out = String::new();
+    out.push_str("# TYPE ifls_span_time_ns_total counter\n");
+    for p in Phase::ALL {
+        let _ = writeln!(
+            out,
+            "ifls_span_time_ns_total{{phase=\"{}\"}} {}",
+            p.name(),
+            sink.span(p).total_ns
+        );
+    }
+    out.push_str("# TYPE ifls_span_self_ns_total counter\n");
+    for p in Phase::ALL {
+        let _ = writeln!(
+            out,
+            "ifls_span_self_ns_total{{phase=\"{}\"}} {}",
+            p.name(),
+            sink.span(p).self_ns
+        );
+    }
+    out.push_str("# TYPE ifls_spans_total counter\n");
+    for p in Phase::ALL {
+        let _ = writeln!(
+            out,
+            "ifls_spans_total{{phase=\"{}\"}} {}",
+            p.name(),
+            sink.span(p).count
+        );
+    }
+    out.push_str("# TYPE ifls_events_total counter\n");
+    for c in Counter::ALL {
+        let _ = writeln!(
+            out,
+            "ifls_events_total{{name=\"{}\"}} {}",
+            c.name(),
+            sink.counter(c)
+        );
+    }
+    for (name, v) in sink.gauges() {
+        let m = format!("ifls_{}", prom_sanitize(name));
+        let _ = writeln!(out, "# TYPE {m} gauge");
+        let _ = writeln!(out, "{m} {v}");
+    }
+    for (name, h) in sink.histograms() {
+        let m = format!("ifls_{}", prom_sanitize(name));
+        let _ = writeln!(out, "# TYPE {m} histogram");
+        let total: u64 = h.nonzero_buckets().map(|(_, c)| c).sum();
+        let mut cum = 0u64;
+        for (lo, c) in h.nonzero_buckets() {
+            cum += c;
+            // `le` is the (exclusive) upper bound of the source bucket,
+            // which Prometheus treats as inclusive — a ≤ 1-ulp skew the
+            // log2 buckets already absorb.
+            let hi = LatencyHistogram::bucket_hi(LatencyHistogram::bucket_index(lo));
+            let _ = writeln!(out, "{m}_bucket{{le=\"{hi}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {total}");
+        let _ = writeln!(out, "{m}_sum {}", h.sum_ns());
+        let _ = writeln!(out, "{m}_count {}", h.count());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSONL validation (used by the `obs_check` CI binary and tests)
+// ---------------------------------------------------------------------------
+
+/// What [`validate_jsonl`] found in a metrics file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JsonlSummary {
+    /// Number of non-empty lines (all validated as JSON objects).
+    pub records: usize,
+    /// Whether the `ifls-obs/v1` meta record is present.
+    pub has_meta: bool,
+    /// Phase names seen on `"type":"span"` records.
+    pub span_phases: Vec<String>,
+    /// Names of `"type":"histogram"` records that carry all of
+    /// `p50_ns`/`p95_ns`/`p99_ns`.
+    pub histograms_with_percentiles: Vec<String>,
+}
+
+/// Validates one line as a standalone JSON value (RFC 8259 syntax).
+pub fn validate_json_line(line: &str) -> Result<(), String> {
+    let b = line.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err(format!("trailing bytes at offset {}", p.i));
+    }
+    Ok(())
+}
+
+/// Validates a whole JSONL export: every non-empty line must parse as a
+/// JSON object. Returns a summary of the span/histogram records found.
+pub fn validate_jsonl(content: &str) -> Result<JsonlSummary, String> {
+    let mut summary = JsonlSummary::default();
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        validate_json_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if !line.starts_with('{') {
+            return Err(format!("line {}: record is not a JSON object", lineno + 1));
+        }
+        summary.records += 1;
+        if line.contains("\"type\":\"meta\"") && line.contains(JSONL_SCHEMA) {
+            summary.has_meta = true;
+        }
+        if line.contains("\"type\":\"span\"") {
+            if let Some(phase) = extract_string_field(line, "phase") {
+                summary.span_phases.push(phase);
+            }
+        }
+        if line.contains("\"type\":\"histogram\"")
+            && line.contains("\"p50_ns\":")
+            && line.contains("\"p95_ns\":")
+            && line.contains("\"p99_ns\":")
+        {
+            if let Some(name) = extract_string_field(line, "name") {
+                summary.histograms_with_percentiles.push(name);
+            }
+        }
+    }
+    Ok(summary)
+}
+
+fn extract_string_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_owned())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at offset {}", c as char, self.i)),
+            None => Err(format!("unexpected end of input at offset {}", self.i)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => match self.peek() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => self.i += 1,
+                    Some(b'u') => {
+                        self.i += 1;
+                        for _ in 0..4 {
+                            match self.peek() {
+                                Some(h) if h.is_ascii_hexdigit() => self.i += 1,
+                                _ => return Err(format!("bad \\u escape at offset {}", self.i)),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at offset {}", self.i)),
+                },
+                0x00..=0x1f => {
+                    return Err(format!("raw control byte in string at offset {}", self.i))
+                }
+                _ => {}
+            }
+        }
+        Err("unterminated string".to_owned())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(format!("bad number at offset {}", self.i));
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(format!("bad fraction at offset {}", self.i));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(format!("bad exponent at offset {}", self.i));
+            }
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SpanAgg;
+
+    fn sample_sink() -> ObsSink {
+        let mut s = ObsSink::default();
+        s.spans[Phase::KnnInit.index()] = SpanAgg {
+            count: 2,
+            total_ns: 3_000,
+            self_ns: 2_500,
+        };
+        s.counters[Counter::DistCacheHits.index()] = 7;
+        s.gauges.insert("dist_cache_bytes", 1024.0);
+        let mut h = LatencyHistogram::default();
+        h.record_ns(900);
+        h.record_ns(1_800);
+        s.hists.insert("query_latency_ns", h);
+        s
+    }
+
+    #[test]
+    fn jsonl_is_valid_and_complete() {
+        let out = to_jsonl(&sample_sink());
+        let summary = validate_jsonl(&out).expect("export must validate");
+        assert!(summary.has_meta);
+        assert_eq!(
+            summary.span_phases,
+            Phase::ALL
+                .iter()
+                .map(|p| p.name().to_owned())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            summary.histograms_with_percentiles,
+            vec!["query_latency_ns".to_owned()]
+        );
+        // 1 meta + 6 spans + 5 counters + 1 gauge + 1 histogram.
+        assert_eq!(summary.records, 14);
+    }
+
+    #[test]
+    fn text_and_prometheus_render_all_sections() {
+        let s = sample_sink();
+        let text = to_text(&s);
+        for p in Phase::ALL {
+            assert!(text.contains(p.name()), "text misses {}", p.name());
+        }
+        assert!(text.contains("dist_cache_hits"));
+        assert!(text.contains("histogram query_latency_ns"));
+
+        let prom = to_prometheus(&s);
+        assert!(prom.contains("ifls_span_time_ns_total{phase=\"knn_init\"} 3000"));
+        assert!(prom.contains("ifls_events_total{name=\"dist_cache_hits\"} 7"));
+        assert!(prom.contains("ifls_dist_cache_bytes 1024"));
+        assert!(prom.contains("ifls_query_latency_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(prom.contains("ifls_query_latency_ns_count 2"));
+        // Cumulative le buckets are nondecreasing.
+        let mut last = 0u64;
+        for line in prom.lines().filter(|l| l.contains("_bucket{le=")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        for ok in [
+            "{}",
+            "{\"a\":1}",
+            "{\"a\":[1,2.5,-3,1e9],\"b\":{\"c\":null},\"d\":\"x\\n\\u00e9\"}",
+            " [true,false] ",
+            "\"str\"",
+            "-0.5e-2",
+        ] {
+            assert!(validate_json_line(ok).is_ok(), "should accept {ok}");
+        }
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1 2]",
+            "01e",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "nul",
+            "{\"a\":.5}",
+        ] {
+            assert!(validate_json_line(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn empty_sink_still_exports_all_phases() {
+        let out = to_jsonl(&ObsSink::default());
+        let summary = validate_jsonl(&out).unwrap();
+        assert_eq!(summary.span_phases.len(), 6);
+        assert!(summary.histograms_with_percentiles.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! The thread-local span stack and its drop guard.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::{metrics, Phase};
+
+/// One open span on the thread-local stack.
+struct Frame {
+    phase: Phase,
+    start: Instant,
+    /// Nanoseconds already attributed to closed child spans.
+    child_ns: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a span for `phase` on this thread's span stack.
+///
+/// Returns a guard that closes the span when dropped — lexical scoping,
+/// early returns, `?` and panics all unwind the stack correctly. When
+/// tracing is disabled the call is a single atomic load and the guard is
+/// inert.
+///
+/// Spans nest: a child's time is included in its parent's `total_ns` and
+/// subtracted from its `self_ns`. Guards must be dropped in LIFO order
+/// (guaranteed by lexical scopes); a guard dropped out of order closes
+/// every span opened after it as well.
+#[inline]
+pub fn span(phase: Phase) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { depth: None };
+    }
+    let depth = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(Frame {
+            phase,
+            start: Instant::now(),
+            child_ns: 0,
+        });
+        s.len()
+    });
+    SpanGuard { depth: Some(depth) }
+}
+
+/// Drop guard returned by [`span`]; records the phase timing on drop.
+#[must_use = "a span guard records its phase when dropped; bind it to a variable"]
+pub struct SpanGuard {
+    /// Stack depth right after pushing, or `None` for an inert guard.
+    depth: Option<usize>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(depth) = self.depth else { return };
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Close this guard's frame and (defensively) any frames opened
+            // above it that were leaked by an out-of-order drop.
+            while s.len() >= depth {
+                let frame = s.pop().expect("span stack underflow");
+                let total_ns = frame.start.elapsed().as_nanos() as u64;
+                let self_ns = total_ns.saturating_sub(frame.child_ns);
+                metrics::record_span_local(frame.phase, total_ns, self_ns);
+                if let Some(parent) = s.last_mut() {
+                    parent.child_ns += total_ns;
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{set_enabled, take_local};
+    use std::sync::Mutex;
+
+    /// The enable flag is global; serialize tests that toggle it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn spin(iters: u64) -> u64 {
+        let mut x = 1u64;
+        for i in 0..iters {
+            x = std::hint::black_box(x.wrapping_mul(6364136223846793005).wrapping_add(i));
+        }
+        x
+    }
+
+    #[test]
+    fn nested_spans_attribute_child_time_to_parent_total() {
+        let _l = LOCK.lock().unwrap();
+        set_enabled(true);
+        let _ = take_local();
+        {
+            let _outer = span(Phase::CandidateLoop);
+            spin(20_000);
+            {
+                let _inner = span(Phase::GroupRetrieval);
+                spin(20_000);
+            }
+            spin(20_000);
+        }
+        set_enabled(false);
+        let sink = take_local();
+        let outer = sink.span(Phase::CandidateLoop);
+        let inner = sink.span(Phase::GroupRetrieval);
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // Inclusive: the parent's total contains the child's.
+        assert!(outer.total_ns >= inner.total_ns);
+        // Self time excludes the child.
+        assert_eq!(outer.self_ns, outer.total_ns - inner.total_ns);
+        assert_eq!(inner.self_ns, inner.total_ns);
+    }
+
+    fn early_return_helper(bail: bool) -> u32 {
+        let _g = span(Phase::Prune);
+        if bail {
+            return 1; // _g drops here
+        }
+        let _inner = span(Phase::Refine);
+        2
+    }
+
+    #[test]
+    fn early_return_unwinds_the_stack() {
+        let _l = LOCK.lock().unwrap();
+        set_enabled(true);
+        let _ = take_local();
+        assert_eq!(early_return_helper(true), 1);
+        assert_eq!(early_return_helper(false), 2);
+        set_enabled(false);
+        let sink = take_local();
+        assert_eq!(sink.span(Phase::Prune).count, 2);
+        assert_eq!(sink.span(Phase::Refine).count, 1);
+        // The stack fully unwound both times: a fresh span works fine.
+        set_enabled(true);
+        {
+            let _g = span(Phase::KnnInit);
+        }
+        set_enabled(false);
+        assert_eq!(take_local().span(Phase::KnnInit).count, 1);
+    }
+
+    #[test]
+    fn panic_unwind_closes_open_spans() {
+        let _l = LOCK.lock().unwrap();
+        set_enabled(true);
+        let _ = take_local();
+        let result = std::panic::catch_unwind(|| {
+            let _g = span(Phase::CandidateLoop);
+            let _inner = span(Phase::CacheLookup);
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        set_enabled(false);
+        let sink = take_local();
+        assert_eq!(sink.span(Phase::CandidateLoop).count, 1);
+        assert_eq!(sink.span(Phase::CacheLookup).count, 1);
+        STACK.with(|s| assert!(s.borrow().is_empty(), "stack leaked frames"));
+    }
+
+    #[test]
+    fn out_of_order_drop_closes_inner_frames() {
+        let _l = LOCK.lock().unwrap();
+        set_enabled(true);
+        let _ = take_local();
+        let outer = span(Phase::CandidateLoop);
+        let inner = span(Phase::Refine);
+        // Dropping the outer guard first closes both frames.
+        drop(outer);
+        STACK.with(|s| assert!(s.borrow().is_empty()));
+        drop(inner); // inert: its frame is already closed
+        set_enabled(false);
+        let sink = take_local();
+        assert_eq!(sink.span(Phase::CandidateLoop).count, 1);
+        assert_eq!(sink.span(Phase::Refine).count, 1);
+    }
+}

@@ -25,6 +25,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasher, Hasher};
 
 use ifls_indoor::{IndoorPoint, PartitionId};
+use ifls_obs::{self as obs, Counter, Phase};
 
 use crate::node::NodeId;
 use crate::tree::VipTree;
@@ -276,16 +277,22 @@ impl<'s> DistCache<'s> {
         if let Some(shared) = self.shared {
             if shared.get(p, q).is_some() {
                 self.hits += 1;
+                obs::counter_add(Counter::DistCacheHits, 1);
                 return shared.get(p, q).expect("checked above");
             }
         }
         let key = (p, q);
         if self.vecs.contains_key(&key) {
             self.hits += 1;
+            obs::counter_add(Counter::DistCacheHits, 1);
             return &self.vecs[&key];
         }
         self.misses += 1;
+        obs::counter_add(Counter::DistCacheMisses, 1);
         self.maybe_evict();
+        // The miss path is where the kernel actually runs; hits are counted
+        // above but not timed (a span per hit would dwarf the hit itself).
+        let _span = obs::span(Phase::CacheLookup);
         let v = tree.door_dists_to_partition(p, q);
         self.local_bytes += v.len() * std::mem::size_of::<f64>() + VEC_ENTRY_OVERHEAD;
         self.vecs.entry(key).or_insert(v)
@@ -322,10 +329,13 @@ impl<'s> DistCache<'s> {
         let key = (p, n);
         if let Some(&v) = self.mins.get(&key) {
             self.hits += 1;
+            obs::counter_add(Counter::DistCacheHits, 1);
             return v;
         }
         self.misses += 1;
+        obs::counter_add(Counter::DistCacheMisses, 1);
         self.maybe_evict();
+        let _span = obs::span(Phase::CacheLookup);
         let v = tree.min_dist_partition_to_node(p, n);
         self.local_bytes += MIN_ENTRY_BYTES;
         self.mins.insert(key, v);
@@ -353,6 +363,7 @@ impl<'s> DistCache<'s> {
             self.mins.clear();
             self.local_bytes = 0;
             self.evictions += 1;
+            obs::counter_add(Counter::DistCacheEvictions, 1);
         }
     }
 

@@ -213,7 +213,11 @@ impl Iterator for IncrementalNn<'_, '_, '_> {
     type Item = NnEntry;
 
     fn next(&mut self) -> Option<NnEntry> {
+        // One kNN step per yielded facility: the baseline's per-client
+        // incremental-NN work all lands in the knn_init phase.
+        let _span = ifls_obs::span(ifls_obs::Phase::KnnInit);
         while let Some(QueueEntry { dist, item }) = self.heap.pop() {
+            ifls_obs::counter_add(ifls_obs::Counter::KnnSteps, 1);
             match item {
                 QueueItem::Facility(p) => {
                     return Some(NnEntry { facility: p, dist });
