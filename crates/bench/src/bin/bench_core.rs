@@ -30,7 +30,7 @@ use ifls_viptree::{DistCache, VipTree, VipTreeConfig};
 use ifls_workloads::{Workload, WorkloadBuilder};
 
 /// Bumped whenever a field is added, renamed, or re-interpreted.
-const SCHEMA: &str = "ifls-bench-core/v2";
+const SCHEMA: &str = "ifls-bench-core/v3";
 
 /// Stream shape: how many distinct client sets and how often each repeats.
 #[derive(Clone, Copy)]
@@ -78,6 +78,10 @@ struct RowOut {
     dist_computations: u64,
     cache_hit_rate: Option<f64>,
     cache_bytes: usize,
+    /// Wall-clock nanoseconds the venue's VIP-tree took to build (shared
+    /// by every row of the venue; `--build-threads` controls the worker
+    /// count and never changes the index bytes).
+    index_build_ns: u64,
     /// Per-phase span aggregates from the traced round (indexed by
     /// [`Phase`]); the timed rounds above run untraced.
     phases: [SpanAgg; ifls_obs::NUM_PHASES],
@@ -282,7 +286,7 @@ fn write_json(path: &str, quick: bool, rows: &[RowOut]) -> std::io::Result<()> {
              \"cache\": {}, \"queries\": {}, \"median_ns\": {}, \
              \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
              \"dist_computations\": {}, \"cache_hit_rate\": {}, \
-             \"cache_bytes\": {}, \"phases\": {}}}{}",
+             \"cache_bytes\": {}, \"index_build_ns\": {}, \"phases\": {}}}{}",
             json_escape(r.venue),
             json_escape(r.algorithm),
             r.threads,
@@ -295,6 +299,7 @@ fn write_json(path: &str, quick: bool, rows: &[RowOut]) -> std::io::Result<()> {
             r.dist_computations,
             hit_rate,
             r.cache_bytes,
+            r.index_build_ns,
             phases_json(&r.phases),
             comma,
         );
@@ -499,6 +504,12 @@ fn main() {
         std::process::exit(obs_smoke());
     }
     let quick = args.iter().any(|a| a == "--quick");
+    let build_threads: usize = args
+        .iter()
+        .position(|a| a == "--build-threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -522,7 +533,9 @@ fn main() {
     let mut diverged = false;
     for nv in NamedVenue::ALL {
         let venue = nv.build();
-        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let build_started = Instant::now();
+        let tree = VipTree::build_with_threads(&venue, VipTreeConfig::default(), build_threads);
+        let index_build_ns = build_started.elapsed().as_nanos() as u64;
         let queries = build_stream(&venue, spec);
         for algorithm in ALGORITHMS {
             let on = run_stream(&tree, &queries, algorithm, true, spec.rounds);
@@ -571,6 +584,7 @@ fn main() {
                         Some(r.cache_hits as f64 / lookups as f64)
                     },
                     cache_bytes: r.cache_bytes,
+                    index_build_ns,
                     phases: collect_phases(&tree, &queries, algorithm, mode),
                 });
             }

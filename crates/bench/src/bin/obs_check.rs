@@ -2,7 +2,7 @@
 //!
 //! `obs_check <file.jsonl>...` parses every line of each file with the
 //! in-tree JSON validator (no serde), then checks the `ifls-obs/v1`
-//! contract the smoke job relies on: a meta record, all six phase spans,
+//! contract the smoke job relies on: a meta record, all ten phase spans,
 //! and at least one latency histogram carrying p50/p95/p99. Any violation
 //! prints the reason and exits 1.
 

@@ -13,6 +13,9 @@ commands:
   query   --venue <spec> [workload] [solver]   answer an IFLS query
   path    --venue <spec> --from P --to P       shortest indoor route
   render  --venue <spec> [--level N] [--scale M] ASCII floorplan
+  index build   --venue <spec> --out FILE [--build-threads N]
+                                               build + save an ifls-index/v1 snapshot
+  index inspect --index FILE                   describe a snapshot without loading it
 
 venue specs:
   named:mc | named:ch | named:cph | named:mzb  the paper's venues
@@ -36,7 +39,12 @@ query options:
   --trace            enable phase tracing; print the span/metric report
   --metrics-out FILE write collected metrics to FILE (enables tracing)
   --metrics-format text|jsonl|prom   metrics file format (default jsonl)
-  --stats-json       print the result as one JSON object on stdout";
+  --stats-json       print the result as one JSON object on stdout
+  --index FILE       serve from a saved ifls-index/v1 snapshot (refusal is fatal)
+  --index-or-build FILE  like --index, but build in-process when the snapshot
+                     is missing or refused
+  --build-threads N  worker threads for index construction (0 = all cores;
+                     the built index is bit-identical at any thread count)";
 
 /// A parsed command.
 #[derive(Clone, Debug, PartialEq)]
@@ -78,6 +86,20 @@ pub enum Command {
         /// Meters per character cell.
         scale: f64,
     },
+    /// `ifls index build`.
+    IndexBuild {
+        /// Venue specification.
+        venue: String,
+        /// Snapshot output path.
+        out: String,
+        /// Worker threads for construction (0 = all cores).
+        threads: usize,
+    },
+    /// `ifls index inspect`.
+    IndexInspect {
+        /// Snapshot path.
+        path: String,
+    },
 }
 
 /// Workload and solver options for `ifls query`.
@@ -118,6 +140,13 @@ pub struct CommonArgs {
     pub metrics_format: MetricsFormat,
     /// Print the result as a single JSON object instead of the text report.
     pub stats_json: bool,
+    /// Serve from this `ifls-index/v1` snapshot instead of building.
+    pub index: Option<String>,
+    /// Whether a refused snapshot falls back to an in-process build
+    /// (`--index-or-build`) instead of aborting (`--index`).
+    pub index_or_build: bool,
+    /// Worker threads for index construction (0 = all cores).
+    pub build_threads: usize,
 }
 
 /// Output format for `--metrics-out`.
@@ -152,6 +181,9 @@ impl Default for CommonArgs {
             metrics_out: None,
             metrics_format: MetricsFormat::default(),
             stats_json: false,
+            index: None,
+            index_or_build: false,
+            build_threads: 0,
         }
     }
 }
@@ -284,6 +316,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         };
                     }
                     "--stats-json" => a.stats_json = true,
+                    "--index" => a.index = Some(cur.value("--index")?.to_string()),
+                    "--index-or-build" => {
+                        a.index = Some(cur.value("--index-or-build")?.to_string());
+                        a.index_or_build = true;
+                    }
+                    "--build-threads" => a.build_threads = cur.parsed("--build-threads")?,
                     other => return Err(ParseError::UnknownOption(other.to_string())),
                 }
             }
@@ -342,6 +380,44 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 from: from.ok_or(ParseError::MissingOption("--from"))?,
                 to: to.ok_or(ParseError::MissingOption("--to"))?,
             })
+        }
+        "index" => {
+            let sub = cur.next().ok_or(ParseError::MissingCommand)?;
+            match sub {
+                "build" => {
+                    let mut venue = None;
+                    let mut out = None;
+                    let mut threads = 0usize;
+                    while let Some(opt) = cur.next() {
+                        match opt {
+                            "--venue" => venue = Some(cur.value("--venue")?.to_string()),
+                            "--out" => out = Some(cur.value("--out")?.to_string()),
+                            "--build-threads" | "--threads" => {
+                                threads = cur.parsed(opt)?;
+                            }
+                            other => return Err(ParseError::UnknownOption(other.to_string())),
+                        }
+                    }
+                    Ok(Command::IndexBuild {
+                        venue: venue.ok_or(ParseError::MissingOption("--venue"))?,
+                        out: out.ok_or(ParseError::MissingOption("--out"))?,
+                        threads,
+                    })
+                }
+                "inspect" => {
+                    let mut path = None;
+                    while let Some(opt) = cur.next() {
+                        match opt {
+                            "--index" => path = Some(cur.value("--index")?.to_string()),
+                            other => return Err(ParseError::UnknownOption(other.to_string())),
+                        }
+                    }
+                    Ok(Command::IndexInspect {
+                        path: path.ok_or(ParseError::MissingOption("--index"))?,
+                    })
+                }
+                other => Err(ParseError::UnknownCommand(format!("index {other}"))),
+            }
         }
         other => Err(ParseError::UnknownCommand(other.to_string())),
     }
@@ -487,6 +563,80 @@ mod tests {
             Command::Query { args, .. } => assert!(!args.trace),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_index_flags_on_query() {
+        match parse(&v(&["query", "--venue", "x", "--index", "a.idx"])).unwrap() {
+            Command::Query { args, .. } => {
+                assert_eq!(args.index.as_deref(), Some("a.idx"));
+                assert!(!args.index_or_build);
+                assert_eq!(args.build_threads, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&v(&[
+            "query",
+            "--venue",
+            "x",
+            "--index-or-build",
+            "b.idx",
+            "--build-threads",
+            "4",
+        ]))
+        .unwrap()
+        {
+            Command::Query { args, .. } => {
+                assert_eq!(args.index.as_deref(), Some("b.idx"));
+                assert!(args.index_or_build);
+                assert_eq!(args.build_threads, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse(&v(&["query", "--venue", "x", "--index"])),
+            Err(ParseError::MissingValue("--index".into()))
+        );
+    }
+
+    #[test]
+    fn parses_index_subcommands() {
+        assert_eq!(
+            parse(&v(&[
+                "index",
+                "build",
+                "--venue",
+                "named:mzb",
+                "--out",
+                "mzb.idx",
+                "--build-threads",
+                "2",
+            ]))
+            .unwrap(),
+            Command::IndexBuild {
+                venue: "named:mzb".into(),
+                out: "mzb.idx".into(),
+                threads: 2,
+            }
+        );
+        assert_eq!(
+            parse(&v(&["index", "inspect", "--index", "mzb.idx"])).unwrap(),
+            Command::IndexInspect {
+                path: "mzb.idx".into()
+            }
+        );
+        assert_eq!(
+            parse(&v(&["index", "build", "--venue", "x"])),
+            Err(ParseError::MissingOption("--out"))
+        );
+        assert_eq!(
+            parse(&v(&["index", "inspect"])),
+            Err(ParseError::MissingOption("--index"))
+        );
+        assert_eq!(
+            parse(&v(&["index", "frobnicate"])),
+            Err(ParseError::UnknownCommand("index frobnicate".into()))
+        );
     }
 
     #[test]

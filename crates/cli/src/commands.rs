@@ -10,7 +10,7 @@ use ifls_core::{
 };
 use ifls_indoor::{PartitionId, Venue};
 use ifls_venues::{GridVenueSpec, McCategory, NamedVenue};
-use ifls_viptree::{VipTree, VipTreeConfig};
+use ifls_viptree::{SnapshotInfo, VipTree, VipTreeConfig};
 use ifls_workloads::{real_setting_facilities, Workload, WorkloadBuilder};
 
 use crate::args::{Command, CommonArgs, MetricsFormat};
@@ -72,6 +72,28 @@ pub fn load_venue(spec: &str) -> Result<Venue, CommandError> {
     let path = spec.strip_prefix("file:").unwrap_or(spec);
     let text = std::fs::read_to_string(path)?;
     Venue::from_text(&text).map_err(CommandError::Parse)
+}
+
+/// Obtains the query-serving VIP-tree: loaded from an `ifls-index/v1`
+/// snapshot when `--index`/`--index-or-build` name one, built in-process
+/// otherwise. A refused snapshot is fatal under `--index` (serving with a
+/// silently rebuilt index would mask a stale artifact) and falls back to a
+/// build only under `--index-or-build`. Returns whether the snapshot was
+/// actually used.
+fn obtain_tree<'v>(v: &'v Venue, a: &CommonArgs) -> Result<(VipTree<'v>, bool), CommandError> {
+    if let Some(path) = &a.index {
+        match VipTree::load_snapshot(v, std::path::Path::new(path)) {
+            Ok(tree) => return Ok((tree, true)),
+            Err(e) if a.index_or_build => {
+                eprintln!("index `{path}` refused ({e}); building in-process");
+            }
+            Err(e) => return Err(CommandError::Invalid(format!("index `{path}`: {e}"))),
+        }
+    }
+    Ok((
+        VipTree::build_with_threads(v, VipTreeConfig::default(), a.build_threads),
+        false,
+    ))
 }
 
 fn build_workload(venue: &Venue, a: &CommonArgs) -> Result<Workload, CommandError> {
@@ -144,8 +166,21 @@ fn stats_line(stats: &QueryStats) -> String {
     } else {
         String::new()
     };
+    let index = if stats.index_build_ns > 0 {
+        format!(
+            ", index {} in {:?}",
+            if stats.index_from_snapshot {
+                "loaded"
+            } else {
+                "built"
+            },
+            std::time::Duration::from_nanos(stats.index_build_ns)
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "time {:?}, {} distance computations, {} facilities retrieved, {} clients pruned, {:.2} MiB peak{cache}{latency}",
+        "time {:?}, {} distance computations, {} facilities retrieved, {} clients pruned, {:.2} MiB peak{cache}{latency}{index}",
         stats.elapsed,
         stats.dist_computations,
         stats.facilities_retrieved,
@@ -208,6 +243,7 @@ fn stats_json_line(venue: &Venue, a: &CommonArgs, w: &Workload, s: &QuerySummary
             "\"facilities_retrieved\":{retrieved},\"clients_pruned\":{pruned},",
             "\"cache_hits\":{hits},\"cache_misses\":{misses},",
             "\"cache_bytes\":{cache_bytes},\"peak_bytes\":{peak},",
+            "\"index_build_ns\":{index_ns},\"index_from_snapshot\":{from_snap},",
             "\"latency\":{{\"count\":{lcount},\"p50_ns\":{p50},",
             "\"p95_ns\":{p95},\"p99_ns\":{p99}}}}}}}"
         ),
@@ -230,6 +266,8 @@ fn stats_json_line(venue: &Venue, a: &CommonArgs, w: &Workload, s: &QuerySummary
         misses = s.stats.cache_misses,
         cache_bytes = s.stats.cache_bytes,
         peak = s.stats.peak_bytes,
+        index_ns = s.stats.index_build_ns,
+        from_snap = s.stats.index_from_snapshot,
         lcount = lat.count(),
         p50 = lat.p50_ns(),
         p95 = lat.p95_ns(),
@@ -277,7 +315,23 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
         }
         Command::Query { venue, args } => {
             let v = load_venue(venue)?;
-            let tree = VipTree::build(&v, VipTreeConfig::default());
+            // Tracing stays enabled for the rest of the process once any
+            // query asks for it (a global off-switch could race another
+            // traced query in the same process); the sink is drained before
+            // the index phase so the report covers exactly this execution,
+            // construction included.
+            let obs_wanted = args.trace || args.metrics_out.is_some();
+            if obs_wanted {
+                ifls_obs::set_enabled(true);
+                let _ = ifls_obs::take_local();
+            }
+            let index_started = std::time::Instant::now();
+            let (tree, index_from_snapshot) = obtain_tree(&v, args)?;
+            let index_build_ns = index_started.elapsed().as_nanos() as u64;
+            let stamp = |stats: &mut QueryStats| {
+                stats.index_build_ns = index_build_ns;
+                stats.index_from_snapshot = index_from_snapshot;
+            };
             let w = build_workload(&v, args)?;
             if let Some(path) = &args.save_workload {
                 std::fs::write(path, ifls_workloads::workload_to_text(&w, &v))?;
@@ -301,15 +355,6 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 w.candidates.len(),
                 args.seed
             );
-            // Tracing stays enabled for the rest of the process once any
-            // query asks for it (a global off-switch could race another
-            // traced query in the same process); the sink is drained before
-            // the query so the report covers exactly this one.
-            let obs_wanted = args.trace || args.metrics_out.is_some();
-            if obs_wanted {
-                ifls_obs::set_enabled(true);
-                let _ = ifls_obs::take_local();
-            }
             let (body, summary) = match (args.objective.as_str(), args.algorithm.as_str()) {
                 ("minmax", algo) => {
                     if args.top > 1 {
@@ -335,7 +380,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                         }
                         (out, None)
                     } else {
-                        let o = match (algo, &parallel) {
+                        let mut o = match (algo, &parallel) {
                             (_, Some(p)) => p.run_minmax(&w.clients, &w.existing, &w.candidates),
                             ("efficient", _) => EfficientIfls::with_config(&tree, config).run(
                                 &w.clients,
@@ -349,6 +394,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                             ),
                             _ => BruteForce::new(&tree).run(&w.clients, &w.existing, &w.candidates),
                         };
+                        stamp(&mut o.stats);
                         let text = match o.answer {
                             Some(n) => format!(
                                 "answer: {} — max client distance {:.2} m\n{}",
@@ -372,7 +418,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                     }
                 }
                 ("mindist", algo) => {
-                    let o = match (algo, &parallel) {
+                    let mut o = match (algo, &parallel) {
                         (_, Some(p)) => p.run_mindist(&w.clients, &w.existing, &w.candidates),
                         ("efficient", _) => EfficientMinDist::with_config(&tree, config).run(
                             &w.clients,
@@ -385,6 +431,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                             &w.candidates,
                         ),
                     };
+                    stamp(&mut o.stats);
                     let text = match o.answer {
                         Some(n) => format!(
                             "answer: {} — average distance {:.2} m\n{}",
@@ -403,7 +450,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                     (text, Some(summary))
                 }
                 (_, algo) => {
-                    let o = match (algo, &parallel) {
+                    let mut o = match (algo, &parallel) {
                         (_, Some(p)) => p.run_maxsum(&w.clients, &w.existing, &w.candidates),
                         ("efficient", _) => EfficientMaxSum::with_config(&tree, config).run(
                             &w.clients,
@@ -416,6 +463,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                             &w.candidates,
                         ),
                     };
+                    stamp(&mut o.stats);
                     let text = match o.answer {
                         Some(n) => format!(
                             "answer: {} — captures {} of {} clients\n{}",
@@ -513,6 +561,53 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 ));
             }
             Ok(out)
+        }
+        Command::IndexBuild {
+            venue,
+            out,
+            threads,
+        } => {
+            let v = load_venue(venue)?;
+            let started = std::time::Instant::now();
+            let tree = VipTree::build_with_threads(&v, VipTreeConfig::default(), *threads);
+            let build = started.elapsed();
+            tree.save_snapshot(std::path::Path::new(out))
+                .map_err(|e| CommandError::Invalid(format!("saving `{out}`: {e}")))?;
+            // Re-read through the validating path so the reported figures
+            // describe the artifact actually on disk.
+            let info = SnapshotInfo::read(std::path::Path::new(out))
+                .map_err(|e| CommandError::Invalid(format!("re-reading `{out}`: {e}")))?;
+            Ok(format!(
+                "wrote `{out}` ({} bytes, schema {})\n  venue:       `{}` fingerprint {}\n  nodes:       {} ({} partitions, {} doors)\n  arena:       {} entries\n  checksum:    {:016x}\n  build time:  {build:?}",
+                info.file_bytes,
+                ifls_viptree::SNAPSHOT_SCHEMA,
+                v.name(),
+                info.fingerprint,
+                info.num_nodes,
+                info.num_partitions,
+                info.num_doors,
+                info.arena_entries,
+                info.checksum,
+            ))
+        }
+        Command::IndexInspect { path } => {
+            let info = SnapshotInfo::read(std::path::Path::new(path))
+                .map_err(|e| CommandError::Invalid(format!("`{path}`: {e}")))?;
+            Ok(format!(
+                "snapshot `{path}` ({} bytes, schema {} v{})\n  fingerprint: {}\n  config:      leaf_max={} fanout={} vivid={}\n  partitions:  {}\n  doors:       {}\n  nodes:       {}\n  arena:       {} entries\n  checksum:    {:016x}",
+                info.file_bytes,
+                ifls_viptree::SNAPSHOT_SCHEMA,
+                info.version,
+                info.fingerprint,
+                info.config.leaf_max_partitions,
+                info.config.max_fanout,
+                info.config.vivid,
+                info.num_partitions,
+                info.num_doors,
+                info.num_nodes,
+                info.arena_entries,
+                info.checksum,
+            ))
         }
     }
 }
@@ -762,7 +857,7 @@ mod tests {
         // The trace report rides along on stdout…
         assert!(out.contains("phase"), "{out}");
         assert!(out.contains("candidate_loop"), "{out}");
-        // …and the JSONL file validates and names all six phases.
+        // …and the JSONL file validates and names all ten phases.
         let text = std::fs::read_to_string(&path).unwrap();
         let summary = ifls_obs::validate_jsonl(&text).unwrap();
         assert!(summary.has_meta);
@@ -773,6 +868,17 @@ mod tests {
                 phase.name()
             );
         }
+        // Tracing is enabled before the index is built, so the build
+        // phases carry real counts: the coordinator records exactly one
+        // row-fill span regardless of worker count.
+        assert!(
+            text.contains("\"phase\":\"build_row_fill\",\"count\":1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"name\":\"build_dijkstras\",\"value\":"),
+            "{text}"
+        );
         assert!(summary
             .histograms_with_percentiles
             .iter()
@@ -865,6 +971,173 @@ mod tests {
         .unwrap();
         let out = execute(&cmd).unwrap();
         assert!(out.contains("latency p50/p95/p99"), "{out}");
+    }
+
+    #[test]
+    fn index_build_inspect_and_serve_round_trip() {
+        let dir = std::env::temp_dir().join("ifls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid2x16.idx");
+        let idx = path.to_str().unwrap();
+        let built = execute(
+            &parse(&v(&[
+                "index",
+                "build",
+                "--venue",
+                "grid:2x16",
+                "--out",
+                idx,
+                "--build-threads",
+                "2",
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(built.contains("fingerprint"), "{built}");
+        assert!(built.contains("checksum"), "{built}");
+
+        let inspected =
+            execute(&parse(&v(&["index", "inspect", "--index", idx])).unwrap()).unwrap();
+        assert!(inspected.contains("ifls-index/v1"), "{inspected}");
+        assert!(inspected.contains("vivid=true"), "{inspected}");
+
+        // Serving from the snapshot answers exactly like building fresh.
+        let ans = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("answer"))
+                .unwrap()
+                .to_string()
+        };
+        let base = &[
+            "query",
+            "--venue",
+            "grid:2x16",
+            "--clients",
+            "30",
+            "--fe",
+            "2",
+            "--fn",
+            "4",
+            "--seed",
+            "6",
+        ];
+        let fresh = execute(&parse(&v(base)).unwrap()).unwrap();
+        let mut argv = v(base);
+        argv.extend(["--index".to_string(), idx.to_string()]);
+        let served = execute(&parse(&argv).unwrap()).unwrap();
+        assert_eq!(ans(&fresh), ans(&served));
+        assert!(fresh.contains("index built in"), "{fresh}");
+        assert!(served.contains("index loaded in"), "{served}");
+    }
+
+    #[test]
+    fn missing_index_is_fatal_unless_fallback_is_requested() {
+        let base = &[
+            "query",
+            "--venue",
+            "grid:2x12",
+            "--clients",
+            "20",
+            "--fe",
+            "2",
+            "--fn",
+            "3",
+        ];
+        let mut hard = v(base);
+        hard.extend(["--index".to_string(), "/no/such/index.idx".to_string()]);
+        assert!(matches!(
+            execute(&parse(&hard).unwrap()),
+            Err(CommandError::Invalid(_))
+        ));
+        let mut soft = v(base);
+        soft.extend([
+            "--index-or-build".to_string(),
+            "/no/such/index.idx".to_string(),
+        ]);
+        let out = execute(&parse(&soft).unwrap()).unwrap();
+        assert!(out.contains("answer"), "{out}");
+        assert!(out.contains("index built in"), "{out}");
+    }
+
+    #[test]
+    fn stale_index_is_refused_with_a_fingerprint_error() {
+        let dir = std::env::temp_dir().join("ifls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stale.idx");
+        let idx = path.to_str().unwrap();
+        execute(
+            &parse(&v(&[
+                "index",
+                "build",
+                "--venue",
+                "grid:2x12",
+                "--out",
+                idx,
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        // Same snapshot, different venue: the fingerprint gate refuses it.
+        let err = execute(
+            &parse(&v(&[
+                "query",
+                "--venue",
+                "grid:2x16",
+                "--index",
+                idx,
+                "--clients",
+                "10",
+            ]))
+            .unwrap(),
+        )
+        .unwrap_err();
+        match err {
+            CommandError::Invalid(msg) => {
+                assert!(msg.contains("fingerprint"), "{msg}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_json_reports_index_provenance() {
+        let dir = std::env::temp_dir().join("ifls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("json.idx");
+        let idx = path.to_str().unwrap();
+        execute(
+            &parse(&v(&[
+                "index",
+                "build",
+                "--venue",
+                "grid:2x12",
+                "--out",
+                idx,
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let base = &[
+            "query",
+            "--venue",
+            "grid:2x12",
+            "--clients",
+            "20",
+            "--fe",
+            "2",
+            "--fn",
+            "3",
+            "--stats-json",
+        ];
+        let fresh = execute(&parse(&v(base)).unwrap()).unwrap();
+        ifls_obs::validate_json_line(&fresh).unwrap();
+        assert!(fresh.contains("\"index_from_snapshot\":false"), "{fresh}");
+        assert!(fresh.contains("\"index_build_ns\":"), "{fresh}");
+        let mut argv = v(base);
+        argv.extend(["--index".to_string(), idx.to_string()]);
+        let served = execute(&parse(&argv).unwrap()).unwrap();
+        ifls_obs::validate_json_line(&served).unwrap();
+        assert!(served.contains("\"index_from_snapshot\":true"), "{served}");
     }
 
     #[test]

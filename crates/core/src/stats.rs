@@ -45,6 +45,14 @@ pub struct QueryStats {
     /// here, so an aggregate merged from parallel shards or a batch carries
     /// the full distribution (p50/p95/p99), not just the max `elapsed`.
     pub latencies: LatencyHistogram,
+    /// Nanoseconds spent obtaining the index before the first query —
+    /// building the VIP-tree, or loading a snapshot when `--index` was
+    /// used. Stamped by the CLI/bench drivers; zero when the caller built
+    /// the index out of band.
+    pub index_build_ns: u64,
+    /// Whether the index came from an `ifls-index/v1` snapshot rather than
+    /// a fresh build (`index_build_ns` then measures the load).
+    pub index_from_snapshot: bool,
 }
 
 impl QueryStats {
@@ -75,6 +83,9 @@ impl QueryStats {
         self.peak_bytes += other.peak_bytes;
         self.elapsed = self.elapsed.max(other.elapsed);
         self.latencies.merge(&other.latencies);
+        // One index serves all workers; keep the one recorded figure.
+        self.index_build_ns = self.index_build_ns.max(other.index_build_ns);
+        self.index_from_snapshot |= other.index_from_snapshot;
     }
 
     /// Stamps the query's wall clock: sets `elapsed` and records the same

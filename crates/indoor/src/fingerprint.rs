@@ -1,0 +1,221 @@
+//! Structural venue fingerprints for index-snapshot validation.
+//!
+//! An index snapshot (`ifls-index/v1`, see `ifls-viptree`) is only valid for
+//! the exact venue it was built from. [`VenueFingerprint`] hashes everything
+//! the distance model depends on — partition footprints, level spans, kinds,
+//! door positions and the door/partition topology — so a snapshot built
+//! against a venue that has since changed in any distance-relevant way is
+//! refused at load time instead of silently serving wrong answers.
+//!
+//! The hash is FNV-1a over a fixed little-endian serialization of the venue.
+//! FNV is not collision-resistant against adversaries, but snapshots are a
+//! local cache, not a trust boundary: the fingerprint guards against *stale*
+//! files, not malicious ones.
+
+use crate::venue::{PartitionKind, Venue};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a hasher over little-endian primitive encodings.
+///
+/// Shared by the fingerprint below and (via re-export) by the snapshot
+/// checksum in `ifls-viptree`, so both sides agree on one hash function
+/// without an external dependency.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// Starts a hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs raw bytes.
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Absorbs a `u32` as little-endian bytes.
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` as little-endian bytes.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `i32` as little-endian bytes.
+    #[inline]
+    pub fn write_i32(&mut self, v: i32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` by its exact bit pattern (so `-0.0 != 0.0`, and the
+    /// fingerprint changes iff the stored coordinate bits change).
+    #[inline]
+    pub fn write_f64(&mut self, v: f64) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    /// The current hash value.
+    #[inline]
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Hashes a byte slice in one call.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// A structural hash of a venue: partitions, doors and their topology.
+///
+/// Two venues get the same fingerprint iff they serialize identically under
+/// the scheme below — same name, level height, partition geometry/kind/door
+/// lists and door positions/sides, all in id order. Anything that can change
+/// an indoor distance (or the VIP-tree built over it) changes the
+/// fingerprint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VenueFingerprint(u64);
+
+impl VenueFingerprint {
+    /// Computes the fingerprint of a venue.
+    pub fn compute(venue: &Venue) -> Self {
+        let mut h = Fnv1a::new();
+        h.write(venue.name().as_bytes());
+        h.write(&[0]); // name terminator: "ab"+"c" != "a"+"bc"
+        h.write_f64(venue.level_height());
+        h.write_u32(venue.num_partitions() as u32);
+        for p in venue.partitions() {
+            let r = p.rect();
+            h.write_f64(r.min_x);
+            h.write_f64(r.min_y);
+            h.write_f64(r.max_x);
+            h.write_f64(r.max_y);
+            h.write_i32(p.level_min());
+            h.write_i32(p.level_max());
+            h.write_u32(match p.kind() {
+                PartitionKind::Room => 0,
+                PartitionKind::Corridor => 1,
+                PartitionKind::Hall => 2,
+                PartitionKind::Stairwell => 3,
+            });
+            h.write_u32(p.doors().len() as u32);
+            for &d in p.doors() {
+                h.write_u32(d.raw());
+            }
+        }
+        h.write_u32(venue.num_doors() as u32);
+        for d in venue.doors() {
+            let pos = d.pos();
+            h.write_f64(pos.x);
+            h.write_f64(pos.y);
+            h.write_i32(pos.level);
+            h.write_u32(d.side_a().raw());
+            // u32::MAX is unreachable as a real id (from_index would have
+            // panicked), so it is a safe "no second side" sentinel.
+            h.write_u32(d.side_b().map_or(u32::MAX, |p| p.raw()));
+        }
+        Self(h.finish())
+    }
+
+    /// The raw 64-bit hash.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a fingerprint from its raw value (e.g. read from a
+    /// snapshot header).
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+impl std::fmt::Display for VenueFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point, Rect};
+    use crate::venue::VenueBuilder;
+
+    fn base_builder() -> VenueBuilder {
+        let mut b = VenueBuilder::new("fp");
+        let a = b.add_partition("a", Rect::new(0.0, 0.0, 10.0, 10.0), 0, PartitionKind::Room);
+        let c = b.add_partition(
+            "b",
+            Rect::new(10.0, 0.0, 20.0, 10.0),
+            0,
+            PartitionKind::Room,
+        );
+        b.add_door(Point::new(10.0, 5.0, 0), a, Some(c));
+        b
+    }
+
+    #[test]
+    fn deterministic_across_rebuilds() {
+        let f1 = VenueFingerprint::compute(&base_builder().build().unwrap());
+        let f2 = VenueFingerprint::compute(&base_builder().build().unwrap());
+        assert_eq!(f1, f2);
+        assert_eq!(f1, VenueFingerprint::from_raw(f1.raw()));
+    }
+
+    #[test]
+    fn sensitive_to_structure() {
+        let base = VenueFingerprint::compute(&base_builder().build().unwrap());
+
+        // Extra door.
+        let mut b = base_builder();
+        b.add_door(Point::new(0.0, 5.0, 0), crate::PartitionId::new(0), None);
+        assert_ne!(base, VenueFingerprint::compute(&b.build().unwrap()));
+
+        // Different name.
+        let mut b = base_builder();
+        b.set_name("other");
+        assert_ne!(base, VenueFingerprint::compute(&b.build().unwrap()));
+
+        // Different level height.
+        let mut b = base_builder();
+        b.level_height(3.0);
+        assert_ne!(base, VenueFingerprint::compute(&b.build().unwrap()));
+    }
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        let f = VenueFingerprint::from_raw(0xabc);
+        assert_eq!(f.to_string(), "0000000000000abc");
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

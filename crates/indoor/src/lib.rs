@@ -40,6 +40,7 @@
 //! ```
 
 mod error;
+mod fingerprint;
 mod geom;
 mod graph;
 mod ids;
@@ -47,6 +48,7 @@ mod io;
 mod venue;
 
 pub use error::VenueError;
+pub use fingerprint::{fnv1a, Fnv1a, VenueFingerprint};
 pub use geom::{Point, Rect};
 pub use graph::{DoorGraph, GroundTruth};
 pub use ids::{DoorId, PartitionId};

@@ -83,7 +83,7 @@ fn json_f64(v: f64) -> String {
 ///
 /// * `{"type":"meta","schema":"ifls-obs/v1"}` — first line.
 /// * `{"type":"span","phase":P,"count":N,"total_ns":N,"self_ns":N}` — one
-///   line per phase, all six always present, canonical order.
+///   line per phase, all phases always present, canonical order.
 /// * `{"type":"counter","name":S,"value":N}` — one line per counter slot.
 /// * `{"type":"gauge","name":S,"value":F}` — per named gauge, name order.
 /// * `{"type":"histogram","name":S,"count":N,"sum_ns":N,"p50_ns":N,
@@ -492,8 +492,8 @@ mod tests {
             summary.histograms_with_percentiles,
             vec!["query_latency_ns".to_owned()]
         );
-        // 1 meta + 6 spans + 5 counters + 1 gauge + 1 histogram.
-        assert_eq!(summary.records, 14);
+        // 1 meta + 10 spans + 8 counters + 1 gauge + 1 histogram.
+        assert_eq!(summary.records, 21);
     }
 
     #[test]
@@ -553,7 +553,7 @@ mod tests {
     fn empty_sink_still_exports_all_phases() {
         let out = to_jsonl(&ObsSink::default());
         let summary = validate_jsonl(&out).unwrap();
-        assert_eq!(summary.span_phases.len(), 6);
+        assert_eq!(summary.span_phases.len(), crate::NUM_PHASES);
         assert!(summary.histograms_with_percentiles.is_empty());
     }
 }

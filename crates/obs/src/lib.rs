@@ -18,7 +18,7 @@
 //!
 //! ## Model
 //!
-//! * **Spans** ([`span`]) time one of six fixed query [`Phase`]s on a
+//! * **Spans** ([`span`]) time one of the fixed query/build [`Phase`]s on a
 //!   thread-local stack. A span is a drop guard: early returns, `?`, and
 //!   panics all close it correctly. Nested spans are *inclusive* — a child's
 //!   time is also part of its parent's total — and the stack additionally
@@ -66,7 +66,7 @@ pub use span::{span, SpanGuard};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-/// The six instrumented query phases, shared by every solver.
+/// The instrumented phases: six query-side, four build-side.
 ///
 /// The same vocabulary is used across the baseline, the three efficient
 /// solvers and the parallel engine so phase totals stay comparable:
@@ -81,6 +81,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// * `Refine` — `increaseDist` refinement of the answer bounds.
 /// * `CacheLookup` — distance-kernel computation on `DistCache` misses
 ///   (hits are counted, not timed; see [`Counter::DistCacheHits`]).
+///
+/// The build-side phases cover VIP-tree construction and index snapshots
+/// (see [`Phase::BUILD`]); only the coordinator thread records them, so
+/// their counts are independent of `--build-threads`:
+///
+/// * `BuildLeaves` — leaf formation (grouping partitions into leaves).
+/// * `BuildHierarchy` — internal-node grouping, door/access-door
+///   assignment and arena reservation (the serial plan).
+/// * `BuildRowFill` — the Dijkstra row fills into the reserved arena
+///   (serial or fanned over scoped workers).
+/// * `SnapshotIo` — saving/loading an `ifls-index/v1` snapshot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum Phase {
@@ -96,10 +107,18 @@ pub enum Phase {
     Refine = 4,
     /// Distance-kernel computation on cache misses.
     CacheLookup = 5,
+    /// VIP-tree leaf formation.
+    BuildLeaves = 6,
+    /// VIP-tree hierarchy grouping + arena reservation (the serial plan).
+    BuildHierarchy = 7,
+    /// Dijkstra row fills into the reserved arena.
+    BuildRowFill = 8,
+    /// Index snapshot save/load I/O.
+    SnapshotIo = 9,
 }
 
 /// Number of phases (the length of [`Phase::ALL`]).
-pub const NUM_PHASES: usize = 6;
+pub const NUM_PHASES: usize = 10;
 
 impl Phase {
     /// Every phase, in canonical export order.
@@ -110,6 +129,29 @@ impl Phase {
         Phase::CandidateLoop,
         Phase::Refine,
         Phase::CacheLookup,
+        Phase::BuildLeaves,
+        Phase::BuildHierarchy,
+        Phase::BuildRowFill,
+        Phase::SnapshotIo,
+    ];
+
+    /// The six query-side phases every traced query records.
+    pub const QUERY: [Phase; 6] = [
+        Phase::KnnInit,
+        Phase::GroupRetrieval,
+        Phase::Prune,
+        Phase::CandidateLoop,
+        Phase::Refine,
+        Phase::CacheLookup,
+    ];
+
+    /// The build-side phases recorded during index construction and
+    /// snapshot I/O.
+    pub const BUILD: [Phase; 4] = [
+        Phase::BuildLeaves,
+        Phase::BuildHierarchy,
+        Phase::BuildRowFill,
+        Phase::SnapshotIo,
     ];
 
     /// Stable snake_case name used by every exporter.
@@ -121,6 +163,10 @@ impl Phase {
             Phase::CandidateLoop => "candidate_loop",
             Phase::Refine => "refine",
             Phase::CacheLookup => "cache_lookup",
+            Phase::BuildLeaves => "build_leaves",
+            Phase::BuildHierarchy => "build_hierarchy",
+            Phase::BuildRowFill => "build_row_fill",
+            Phase::SnapshotIo => "snapshot_io",
         }
     }
 
@@ -206,12 +252,19 @@ mod tests {
                 "prune",
                 "candidate_loop",
                 "refine",
-                "cache_lookup"
+                "cache_lookup",
+                "build_leaves",
+                "build_hierarchy",
+                "build_row_fill",
+                "snapshot_io"
             ]
         );
         for (i, p) in Phase::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);
         }
+        // QUERY ++ BUILD is exactly ALL, in order.
+        let partitioned: Vec<_> = Phase::QUERY.iter().chain(Phase::BUILD.iter()).collect();
+        assert_eq!(partitioned, Phase::ALL.iter().collect::<Vec<_>>());
     }
 
     #[test]

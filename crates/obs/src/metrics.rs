@@ -22,10 +22,17 @@ pub enum Counter {
     KnnSteps = 3,
     /// Queries answered (one per solver run).
     Queries = 4,
+    /// Dijkstra row-source expansions during VIP-tree construction (one
+    /// per door that seeds at least one matrix row).
+    BuildDijkstras = 5,
+    /// Index snapshots written.
+    SnapshotSaves = 6,
+    /// Index snapshots loaded (successfully).
+    SnapshotLoads = 7,
 }
 
 /// Number of counter slots (the length of [`Counter::ALL`]).
-pub(crate) const NUM_COUNTERS: usize = 5;
+pub(crate) const NUM_COUNTERS: usize = 8;
 
 impl Counter {
     /// Every counter, in canonical export order.
@@ -35,6 +42,9 @@ impl Counter {
         Counter::DistCacheEvictions,
         Counter::KnnSteps,
         Counter::Queries,
+        Counter::BuildDijkstras,
+        Counter::SnapshotSaves,
+        Counter::SnapshotLoads,
     ];
 
     /// Stable snake_case name used by every exporter.
@@ -45,6 +55,9 @@ impl Counter {
             Counter::DistCacheEvictions => "dist_cache_evictions",
             Counter::KnnSteps => "knn_steps",
             Counter::Queries => "queries",
+            Counter::BuildDijkstras => "build_dijkstras",
+            Counter::SnapshotSaves => "snapshot_saves",
+            Counter::SnapshotLoads => "snapshot_loads",
         }
     }
 

@@ -8,11 +8,18 @@
 //!    `max_fanout` children, level by level, until a single root remains.
 //! 3. **Access doors** — per node, the doors with exactly one side inside
 //!    the node (exterior doors never count: no modeled path passes them).
-//! 4. **Matrices** — one Dijkstra per (node, door) row over the venue's
-//!    door graph fills every node matrix and the vivid leaf-to-ancestor
-//!    matrices with *exact global* distances and first-hop doors.
+//! 4. **Matrices** — one Dijkstra per door over the venue's door graph
+//!    fills every node matrix and the vivid leaf-to-ancestor matrices with
+//!    *exact global* distances and first-hop doors. Steps 1–3 plus the
+//!    arena reservation form a serial, deterministic *plan*; the row fills
+//!    are embarrassingly parallel over doors (each door owns its rows) and
+//!    can be fanned over scoped workers without changing a single byte of
+//!    the result — see [`VipTree::build_with_threads`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ifls_indoor::{DoorGraph, DoorId, PartitionId, Venue};
+use ifls_obs::{Counter, Phase};
 
 use crate::matrix::{DistArena, MatSlot};
 use crate::node::{Node, NodeChildren, NodeId};
@@ -20,16 +27,39 @@ use crate::tree::VipTree;
 use crate::VipTreeConfig;
 
 impl<'v> VipTree<'v> {
-    /// Builds the index for a venue.
+    /// Builds the index for a venue, serially.
     ///
-    /// Construction cost is dominated by one Dijkstra run per door per
-    /// containing node — well under a second for the paper's largest venue.
+    /// Construction cost is dominated by one Dijkstra run per door — see
+    /// [`VipTree::build_with_threads`] to fan those out over workers. The
+    /// resulting tree is bit-identical at any thread count, so the choice
+    /// is purely a wall-clock one.
     pub fn build(venue: &'v Venue, config: VipTreeConfig) -> Self {
+        Self::build_with_threads(venue, config, 1)
+    }
+
+    /// Builds the index for a venue, filling matrix rows with up to
+    /// `threads` workers (`0` = all available cores).
+    ///
+    /// Only the Dijkstra row fills are parallel; the plan that precedes
+    /// them — leaf formation, hierarchy, door assignment and arena
+    /// reservation — is cheap, serial and deterministic, and pre-assigns
+    /// every row a fixed [`MatSlot`] range. Workers claim whole doors from
+    /// an atomic cursor and write disjoint arena entries, so the
+    /// `DistArena` bytes and node layout are **bit-identical** to the
+    /// serial build at any thread count (the same guarantee the query
+    /// engine gives; `tests/build_equivalence.rs` enforces it).
+    pub fn build_with_threads(venue: &'v Venue, config: VipTreeConfig, threads: usize) -> Self {
         assert!(config.leaf_max_partitions >= 1, "leaves need capacity");
         assert!(config.max_fanout >= 2, "fanout below 2 cannot converge");
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
 
         let num_parts = venue.num_partitions();
 
+        let leaves_span = ifls_obs::span(Phase::BuildLeaves);
         // --- 1. Leaf formation over (extended) partition adjacency. ---
         // Neighbors are visited low-degree first so hub partitions
         // (corridor segments) absorb their rooms before reaching for other
@@ -81,6 +111,9 @@ impl<'v> VipTree<'v> {
                 vivid: Vec::new(),
             });
         }
+
+        drop(leaves_span);
+        let hierarchy_span = ifls_obs::span(Phase::BuildHierarchy);
 
         // --- 2. Hierarchy: group current-level nodes until one remains. ---
         // `owner[p]` tracks the current-level node containing partition p.
@@ -287,26 +320,72 @@ impl<'v> VipTree<'v> {
                     .collect();
             }
         }
-        for d in venue.door_ids() {
-            if occ[d.index()].is_empty() {
-                continue;
-            }
-            let (dist, hop) = graph.sssp_with_first_hop(d);
-            for &(ni, row) in &occ[d.index()] {
-                let mat = nodes[ni].mat;
-                for (col, &d2) in node_door_ids[ni].iter().enumerate() {
-                    arena.set(mat, row, col, dist[d2.index()], hop[d2.index()]);
+        drop(hierarchy_span);
+
+        // The plan is frozen: every (door, node) row now has a reserved,
+        // disjoint slot range. Fill rows serially or over scoped workers —
+        // each door's Dijkstra writes exactly the entries of its own rows,
+        // so the arena bytes cannot depend on scheduling.
+        let row_fill_span = ifls_obs::span(Phase::BuildRowFill);
+        {
+            let fill = arena.par_fill();
+            let nodes = &nodes;
+            let do_door = |d: DoorId| {
+                if occ[d.index()].is_empty() {
+                    return;
                 }
-                if nodes[ni].is_leaf() && config.vivid {
-                    for (k, &anc) in ancestors_of[ni].iter().enumerate() {
-                        let slot = nodes[ni].vivid[k];
-                        for (col, &a) in access_door_ids[anc.index()].iter().enumerate() {
-                            arena.set(slot, row, col, dist[a.index()], hop[a.index()]);
+                let (dist, hop) = graph.sssp_with_first_hop(d);
+                ifls_obs::counter_add(Counter::BuildDijkstras, 1);
+                for &(ni, row) in &occ[d.index()] {
+                    let mat = nodes[ni].mat;
+                    for (col, &d2) in node_door_ids[ni].iter().enumerate() {
+                        fill.set(mat, row, col, dist[d2.index()], hop[d2.index()]);
+                    }
+                    if nodes[ni].is_leaf() && config.vivid {
+                        for (k, &anc) in ancestors_of[ni].iter().enumerate() {
+                            let slot = nodes[ni].vivid[k];
+                            for (col, &a) in access_door_ids[anc.index()].iter().enumerate() {
+                                fill.set(slot, row, col, dist[a.index()], hop[a.index()]);
+                            }
                         }
                     }
                 }
+            };
+            let num_doors = venue.num_doors();
+            if threads <= 1 || num_doors < 2 {
+                for d in venue.door_ids() {
+                    do_door(d);
+                }
+            } else {
+                let cursor = AtomicUsize::new(0);
+                let workers = threads.min(num_doors);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            let cursor = &cursor;
+                            let do_door = &do_door;
+                            s.spawn(move || {
+                                loop {
+                                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                    if i >= num_doors {
+                                        break;
+                                    }
+                                    do_door(DoorId::from_index(i));
+                                }
+                                // Hand the worker's counters back for the
+                                // commutative merge below.
+                                ifls_obs::take_local()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        let sink = h.join().expect("build worker panicked");
+                        ifls_obs::merge_local(&sink);
+                    }
+                });
             }
         }
+        drop(row_fill_span);
 
         VipTree {
             venue,

@@ -49,6 +49,7 @@ mod knn;
 mod matrix;
 mod node;
 mod path;
+mod snapshot;
 mod tree;
 
 pub use cache::{DistCache, DistCacheStats, SharedDistCache};
@@ -56,6 +57,9 @@ pub use knn::{FacilityIndex, IncrementalNn, NnEntry};
 pub use matrix::{DistArena, MatRef};
 pub use node::{NodeChildren, NodeId};
 pub use path::IndoorPath;
+pub use snapshot::{
+    SnapshotError, SnapshotInfo, SNAPSHOT_MAGIC, SNAPSHOT_SCHEMA, SNAPSHOT_VERSION,
+};
 pub use tree::{VipTree, VipTreeStats};
 
 // Compile-time audit of the concurrency contract: the index is immutable
@@ -74,7 +78,7 @@ const _: () = {
 };
 
 /// Construction parameters for a [`VipTree`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct VipTreeConfig {
     /// Maximum number of partitions combined into one leaf node.
     pub leaf_max_partitions: usize,

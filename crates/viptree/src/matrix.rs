@@ -18,6 +18,19 @@ pub struct MatSlot {
 }
 
 impl MatSlot {
+    /// Reassembles a slot from its stored parts (snapshot loading); the
+    /// caller validates that the extent lies within the arena.
+    #[inline]
+    pub(crate) fn from_parts(off: usize, rows: u32, cols: u32) -> Self {
+        Self { off, rows, cols }
+    }
+
+    /// Offset of the first entry in the arena.
+    #[inline]
+    pub(crate) fn off(self) -> usize {
+        self.off
+    }
+
     /// Number of rows.
     #[inline]
     pub fn rows(self) -> usize {
@@ -107,6 +120,91 @@ impl DistArena {
     /// estimator of the benchmarks).
     pub fn approx_bytes(&self) -> usize {
         self.dist.len() * std::mem::size_of::<f64>() + self.hop.len() * std::mem::size_of::<u32>()
+    }
+
+    /// The flat buffers, for serialization.
+    #[inline]
+    pub(crate) fn raw_parts(&self) -> (&[f64], &[u32]) {
+        (&self.dist, &self.hop)
+    }
+
+    /// Reassembles an arena from deserialized buffers (equal lengths,
+    /// checked by the snapshot loader).
+    #[inline]
+    pub(crate) fn from_raw(dist: Vec<f64>, hop: Vec<u32>) -> Self {
+        debug_assert_eq!(dist.len(), hop.len());
+        Self { dist, hop }
+    }
+
+    /// FNV-1a over the exact bit content of both buffers (little-endian).
+    ///
+    /// Two arenas have equal checksums iff they are bit-identical — the
+    /// equality the parallel build and snapshot round-trips are tested and
+    /// benchmarked against.
+    pub fn checksum(&self) -> u64 {
+        let mut h = ifls_indoor::Fnv1a::new();
+        h.write_u64(self.dist.len() as u64);
+        for &d in &self.dist {
+            h.write_u64(d.to_bits());
+        }
+        for &p in &self.hop {
+            h.write_u32(p);
+        }
+        h.finish()
+    }
+
+    /// A shared-write handle for the parallel row fill.
+    ///
+    /// The exclusive borrow this takes guarantees no reader coexists with
+    /// the fill; disjointness of the *writes* is the caller's contract
+    /// (see [`ParFill::set`]).
+    #[inline]
+    pub(crate) fn par_fill(&mut self) -> ParFill<'_> {
+        ParFill {
+            dist: self.dist.as_mut_ptr(),
+            hop: self.hop.as_mut_ptr(),
+            len: self.dist.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A write-only view of a [`DistArena`] shareable across the scoped build
+/// workers.
+///
+/// Each worker claims whole doors, and every `(slot, row, col)` entry
+/// belongs to exactly one door (a row *is* a door within its node), so
+/// concurrent `set` calls never alias. The handle borrows the arena
+/// mutably, so no reads overlap the fill; writes happen-before the reads
+/// that follow via the thread joins that end the fill.
+pub(crate) struct ParFill<'a> {
+    dist: *mut f64,
+    hop: *mut u32,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut DistArena>,
+}
+
+// SAFETY: the raw pointers originate from one `&mut DistArena`, writes are
+// disjoint per the door-ownership contract above, and the borrow prevents
+// any concurrent reader.
+unsafe impl Send for ParFill<'_> {}
+unsafe impl Sync for ParFill<'_> {}
+
+impl ParFill<'_> {
+    /// Writes the entry at `(r, c)` of the matrix behind `s`.
+    ///
+    /// Caller contract: no two concurrent calls target the same entry.
+    #[inline]
+    pub fn set(&self, s: MatSlot, r: usize, c: usize, dist: f64, hop: u32) {
+        debug_assert!(r < s.rows() && c < s.cols());
+        let i = s.off + r * s.cols() + c;
+        assert!(i < self.len, "matrix slot outside the arena");
+        // SAFETY: `i` is bounds-checked above; disjointness per the caller
+        // contract makes the unsynchronized write race-free.
+        unsafe {
+            *self.dist.add(i) = dist;
+            *self.hop.add(i) = hop;
+        }
     }
 }
 
@@ -205,6 +303,57 @@ mod tests {
         assert_eq!(a.view(s2).dist(0, 0), 9.0);
         // s1's entries are untouched by writes through s2.
         assert!(a.view(s1).dist(0, 0).is_infinite());
+    }
+
+    #[test]
+    fn par_fill_matches_serial_set() {
+        let mut serial = DistArena::default();
+        let s1 = serial.reserve(2, 2);
+        let s2 = serial.reserve(1, 3);
+        serial.set(s1, 0, 1, 2.5, 4);
+        serial.set(s2, 0, 2, 7.0, 9);
+
+        let mut par = DistArena::default();
+        let p1 = par.reserve(2, 2);
+        let p2 = par.reserve(1, 3);
+        {
+            let fill = par.par_fill();
+            std::thread::scope(|scope| {
+                let f = &fill;
+                scope.spawn(move || f.set(p1, 0, 1, 2.5, 4));
+                scope.spawn(move || f.set(p2, 0, 2, 7.0, 9));
+            });
+        }
+        assert_eq!(serial.checksum(), par.checksum());
+        assert_eq!(par.view(p1).dist(0, 1), 2.5);
+        assert_eq!(par.view(p2).hop(0, 2), 9);
+    }
+
+    #[test]
+    fn checksum_detects_any_change() {
+        let mut a = DistArena::default();
+        let s = a.reserve(2, 2);
+        a.set(s, 0, 0, 1.0, 1);
+        let base = a.checksum();
+        let mut b = a.clone();
+        b.set(s, 0, 0, 1.0, 2); // hop-only change
+        assert_ne!(base, b.checksum());
+        let mut c = a.clone();
+        c.set(s, 0, 0, -0.0, 1);
+        a.set(s, 0, 0, 0.0, 1);
+        // Bit-exact: -0.0 and 0.0 differ.
+        assert_ne!(a.checksum(), c.checksum());
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_checksum() {
+        let mut a = DistArena::default();
+        let s = a.reserve(3, 2);
+        a.set(s, 2, 1, 6.25, 3);
+        let (d, h) = a.raw_parts();
+        let b = DistArena::from_raw(d.to_vec(), h.to_vec());
+        assert_eq!(a.checksum(), b.checksum());
+        assert_eq!(b.len(), a.len());
     }
 
     #[test]

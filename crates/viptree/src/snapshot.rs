@@ -1,0 +1,592 @@
+//! Versioned, checksummed index snapshots (`ifls-index/v1`).
+//!
+//! A snapshot persists everything `VipTree::build` computes — node layout,
+//! access doors, the flat `DistArena` — so a serving process starts by
+//! reading flat buffers instead of re-running one Dijkstra per door. The
+//! format is hand-rolled (the build image has no registry access), fully
+//! little-endian, versioned, and ends in an FNV-1a checksum over every
+//! preceding byte. A [`VenueFingerprint`] in the header ties the snapshot
+//! to the exact venue it was built from; loading against any other venue is
+//! a typed error, never a silent wrong answer.
+//!
+//! The venue itself and its door graph are *not* stored: the venue is the
+//! loader's input (the fingerprint proves it is the right one), and
+//! `DoorGraph::build` is a cheap adjacency pass — the expensive part of
+//! construction is the Dijkstra fills, which the snapshot makes free.
+//!
+//! Wire format (all integers little-endian; see DESIGN.md §10 for the
+//! field-by-field table):
+//!
+//! ```text
+//! magic           8 B   "IFLSIDX\0"
+//! version         u32   1
+//! fingerprint     u64   VenueFingerprint of the source venue
+//! config          leaf_max_partitions u32, max_fanout u32, vivid u8, pad [3]
+//! counts          num_partitions u32, num_doors u32, num_nodes u32,
+//!                 root u32, arena_len u64
+//! nodes           per node: parent u32 (MAX = none), depth u32, height u32,
+//!                 children (tag u8: 0 partitions / 1 nodes; count u32; ids),
+//!                 doors (count u32; ids), access (count u32; positions),
+//!                 mat slot (off u64, rows u32, cols u32),
+//!                 vivid slots (count u32; slots)
+//! leaf_of         u32 × num_partitions
+//! door_home       (node u32, row u32) × num_doors
+//! access pos      per node: child count u32; per child: count u32; values
+//! arena dist      f64 bit patterns, u64 × arena_len
+//! arena hop       u32 × arena_len
+//! checksum        u64   FNV-1a of every byte above
+//! ```
+
+use std::fmt;
+use std::path::Path;
+
+use ifls_indoor::{DoorGraph, DoorId, PartitionId, Venue, VenueFingerprint};
+use ifls_obs::{Counter, Phase};
+
+use crate::matrix::{DistArena, MatSlot};
+use crate::node::{Node, NodeChildren, NodeId};
+use crate::tree::VipTree;
+use crate::VipTreeConfig;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"IFLSIDX\0";
+
+/// The format version this build writes and reads.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Schema identifier, for docs and tooling output.
+pub const SNAPSHOT_SCHEMA: &str = "ifls-index/v1";
+
+/// Why a snapshot could not be saved or loaded.
+///
+/// Every failure mode is typed: callers decide whether to surface the error
+/// (`--index`) or fall back to a fresh build (`--index-or-build`); the
+/// library never rebuilds silently.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The file's version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The file ends before a complete record could be read.
+    Truncated,
+    /// The trailing FNV-1a checksum does not match the file's content.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the file's content.
+        computed: u64,
+    },
+    /// The snapshot was built from a different venue.
+    FingerprintMismatch {
+        /// Fingerprint stored in the snapshot.
+        snapshot: VenueFingerprint,
+        /// Fingerprint of the venue being loaded against.
+        venue: VenueFingerprint,
+    },
+    /// The checksum passed but a structural invariant does not hold (e.g.
+    /// an id or matrix slot out of range) — a crafted or buggy file.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not an ifls-index snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "snapshot version {v} is newer than supported version {SNAPSHOT_VERSION}"
+                )
+            }
+            SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch (stored {stored:016x}, computed {computed:016x})"
+            ),
+            SnapshotError::FingerprintMismatch { snapshot, venue } => write!(
+                f,
+                "snapshot was built from a different venue \
+                 (snapshot fingerprint {snapshot}, venue fingerprint {venue})"
+            ),
+            SnapshotError::Corrupt(what) => write!(f, "snapshot is corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Header-level description of a snapshot file (the `ifls index inspect`
+/// view). Produced by [`SnapshotInfo::read`], which also verifies the
+/// checksum, so an `Ok` info means the file is internally consistent.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotInfo {
+    /// Format version.
+    pub version: u32,
+    /// Fingerprint of the venue the snapshot was built from.
+    pub fingerprint: VenueFingerprint,
+    /// Construction configuration echoed into the header.
+    pub config: VipTreeConfig,
+    /// Number of partitions in the source venue.
+    pub num_partitions: u32,
+    /// Number of doors in the source venue.
+    pub num_doors: u32,
+    /// Number of tree nodes.
+    pub num_nodes: u32,
+    /// Total `DistArena` entries.
+    pub arena_entries: u64,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// The verified trailing checksum.
+    pub checksum: u64,
+}
+
+impl SnapshotInfo {
+    /// Reads and verifies a snapshot header from a file.
+    pub fn read(path: &Path) -> Result<Self, SnapshotError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Reads and verifies a snapshot header from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let body = verify_envelope(bytes)?;
+        let mut r = Reader { b: body, i: 0 };
+        r.skip(SNAPSHOT_MAGIC.len() + 4)?; // magic + version, verified above
+        let fingerprint = VenueFingerprint::from_raw(r.u64()?);
+        let config = VipTreeConfig {
+            leaf_max_partitions: r.u32()? as usize,
+            max_fanout: r.u32()? as usize,
+            vivid: r.u8()? != 0,
+        };
+        r.skip(3)?; // pad
+        Ok(SnapshotInfo {
+            version: SNAPSHOT_VERSION,
+            fingerprint,
+            config,
+            num_partitions: r.u32()?,
+            num_doors: r.u32()?,
+            num_nodes: r.u32()?,
+            arena_entries: {
+                let _root = r.u32()?;
+                r.u64()?
+            },
+            file_bytes: bytes.len() as u64,
+            checksum: read_footer(bytes),
+        })
+    }
+}
+
+impl<'v> VipTree<'v> {
+    /// Serializes the tree to `ifls-index/v1` bytes.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.bytes(&SNAPSHOT_MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        w.u64(VenueFingerprint::compute(self.venue).raw());
+        w.u32(self.config.leaf_max_partitions as u32);
+        w.u32(self.config.max_fanout as u32);
+        w.u8(u8::from(self.config.vivid));
+        w.bytes(&[0; 3]);
+        w.u32(self.venue.num_partitions() as u32);
+        w.u32(self.venue.num_doors() as u32);
+        w.u32(self.nodes.len() as u32);
+        w.u32(self.root.raw());
+        w.u64(self.arena.len() as u64);
+        for node in &self.nodes {
+            w.u32(node.parent.map_or(u32::MAX, NodeId::raw));
+            w.u32(node.depth);
+            w.u32(node.height);
+            match &node.children {
+                NodeChildren::Partitions(ps) => {
+                    w.u8(0);
+                    w.u32(ps.len() as u32);
+                    for p in ps {
+                        w.u32(p.raw());
+                    }
+                }
+                NodeChildren::Nodes(ns) => {
+                    w.u8(1);
+                    w.u32(ns.len() as u32);
+                    for n in ns {
+                        w.u32(n.raw());
+                    }
+                }
+            }
+            w.u32(node.doors.len() as u32);
+            for d in &node.doors {
+                w.u32(d.raw());
+            }
+            w.u32(node.access.len() as u32);
+            for &a in &node.access {
+                w.u32(a);
+            }
+            w.slot(node.mat);
+            w.u32(node.vivid.len() as u32);
+            for &v in &node.vivid {
+                w.slot(v);
+            }
+        }
+        for &l in &self.leaf_of {
+            w.u32(l.raw());
+        }
+        for &(n, row) in &self.door_home {
+            w.u32(n.raw());
+            w.u32(row);
+        }
+        for per_node in &self.child_access_pos {
+            w.u32(per_node.len() as u32);
+            for per_child in per_node {
+                w.u32(per_child.len() as u32);
+                for &pos in per_child {
+                    w.u32(pos);
+                }
+            }
+        }
+        let (dist, hop) = self.arena.raw_parts();
+        for &d in dist {
+            w.u64(d.to_bits());
+        }
+        for &h in hop {
+            w.u32(h);
+        }
+        let checksum = ifls_indoor::fnv1a(&w.buf);
+        w.u64(checksum);
+        w.buf
+    }
+
+    /// Saves the tree as a snapshot file (written atomically via a sibling
+    /// temp file + rename, so readers never observe a half-written index).
+    pub fn save_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
+        let _span = ifls_obs::span(Phase::SnapshotIo);
+        let bytes = self.snapshot_bytes();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        ifls_obs::counter_add(Counter::SnapshotSaves, 1);
+        Ok(())
+    }
+
+    /// Loads a tree from a snapshot file built for exactly this venue.
+    pub fn load_snapshot(venue: &'v Venue, path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_snapshot_bytes(venue, &bytes)
+    }
+
+    /// Loads a tree from snapshot bytes built for exactly this venue.
+    ///
+    /// Validation order: magic, version, checksum, fingerprint, structure.
+    /// The arena is read as two flat buffer copies — no per-entry parsing —
+    /// so load cost is essentially I/O plus one checksum pass.
+    pub fn from_snapshot_bytes(venue: &'v Venue, bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let _span = ifls_obs::span(Phase::SnapshotIo);
+        let body = verify_envelope(bytes)?;
+        let mut r = Reader { b: body, i: 0 };
+        r.skip(SNAPSHOT_MAGIC.len() + 4)?; // magic + version, verified above
+
+        let fingerprint = VenueFingerprint::from_raw(r.u64()?);
+        let venue_fp = VenueFingerprint::compute(venue);
+        if fingerprint != venue_fp {
+            return Err(SnapshotError::FingerprintMismatch {
+                snapshot: fingerprint,
+                venue: venue_fp,
+            });
+        }
+        let config = VipTreeConfig {
+            leaf_max_partitions: r.u32()? as usize,
+            max_fanout: r.u32()? as usize,
+            vivid: r.u8()? != 0,
+        };
+        r.skip(3)?;
+        let num_partitions = r.u32()? as usize;
+        let num_doors = r.u32()? as usize;
+        if num_partitions != venue.num_partitions() || num_doors != venue.num_doors() {
+            // Unreachable with an honest fingerprint; defends a crafted one.
+            return Err(SnapshotError::Corrupt("venue shape mismatch"));
+        }
+        let num_nodes = r.u32()? as usize;
+        let root = r.u32()?;
+        let arena_len = r.u64()? as usize;
+        if num_nodes == 0 || root as usize >= num_nodes {
+            return Err(SnapshotError::Corrupt("root outside node table"));
+        }
+
+        let check_node = |raw: u32| -> Result<NodeId, SnapshotError> {
+            if (raw as usize) < num_nodes {
+                Ok(NodeId::new(raw))
+            } else {
+                Err(SnapshotError::Corrupt("node id out of range"))
+            }
+        };
+        let check_slot = |s: MatSlot| -> Result<MatSlot, SnapshotError> {
+            match s.off().checked_add(s.len()) {
+                Some(end) if end <= arena_len => Ok(s),
+                _ => Err(SnapshotError::Corrupt("matrix slot outside the arena")),
+            }
+        };
+
+        let mut nodes = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            let parent_raw = r.u32()?;
+            let parent = if parent_raw == u32::MAX {
+                None
+            } else {
+                Some(check_node(parent_raw)?)
+            };
+            let depth = r.u32()?;
+            let height = r.u32()?;
+            let tag = r.u8()?;
+            let count = r.len_u32()?;
+            let children = match tag {
+                0 => {
+                    let mut ps = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let raw = r.u32()?;
+                        if raw as usize >= num_partitions {
+                            return Err(SnapshotError::Corrupt("partition id out of range"));
+                        }
+                        ps.push(PartitionId::new(raw));
+                    }
+                    NodeChildren::Partitions(ps)
+                }
+                1 => {
+                    let mut ns = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        ns.push(check_node(r.u32()?)?);
+                    }
+                    NodeChildren::Nodes(ns)
+                }
+                _ => return Err(SnapshotError::Corrupt("unknown children tag")),
+            };
+            let n_doors = r.len_u32()?;
+            let mut doors = Vec::with_capacity(n_doors);
+            for _ in 0..n_doors {
+                let raw = r.u32()?;
+                if raw as usize >= num_doors {
+                    return Err(SnapshotError::Corrupt("door id out of range"));
+                }
+                doors.push(DoorId::new(raw));
+            }
+            let n_access = r.len_u32()?;
+            let mut access = Vec::with_capacity(n_access);
+            for _ in 0..n_access {
+                let a = r.u32()?;
+                if a as usize >= doors.len() {
+                    return Err(SnapshotError::Corrupt("access position out of range"));
+                }
+                access.push(a);
+            }
+            let mat = check_slot(r.slot()?)?;
+            let n_vivid = r.len_u32()?;
+            let mut vivid = Vec::with_capacity(n_vivid);
+            for _ in 0..n_vivid {
+                vivid.push(check_slot(r.slot()?)?);
+            }
+            nodes.push(Node {
+                parent,
+                depth,
+                height,
+                children,
+                doors,
+                access,
+                mat,
+                vivid,
+            });
+        }
+
+        let mut leaf_of = Vec::with_capacity(num_partitions);
+        for _ in 0..num_partitions {
+            leaf_of.push(check_node(r.u32()?)?);
+        }
+        let mut door_home = Vec::with_capacity(num_doors);
+        for _ in 0..num_doors {
+            door_home.push((check_node(r.u32()?)?, r.u32()?));
+        }
+        let mut child_access_pos = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            let n_children = r.len_u32()?;
+            let mut per_node = Vec::with_capacity(n_children);
+            for _ in 0..n_children {
+                let n_pos = r.len_u32()?;
+                let mut per_child = Vec::with_capacity(n_pos);
+                for _ in 0..n_pos {
+                    per_child.push(r.u32()?);
+                }
+                per_node.push(per_child);
+            }
+            child_access_pos.push(per_node);
+        }
+
+        r.need(arena_len.checked_mul(12).ok_or(SnapshotError::Truncated)?)?;
+        let mut dist = Vec::with_capacity(arena_len);
+        for _ in 0..arena_len {
+            dist.push(f64::from_bits(r.u64()?));
+        }
+        let mut hop = Vec::with_capacity(arena_len);
+        for _ in 0..arena_len {
+            hop.push(r.u32()?);
+        }
+        if r.i != body.len() {
+            return Err(SnapshotError::Corrupt("trailing bytes after arena"));
+        }
+
+        ifls_obs::counter_add(Counter::SnapshotLoads, 1);
+        Ok(VipTree {
+            venue,
+            config,
+            nodes,
+            arena: DistArena::from_raw(dist, hop),
+            graph: DoorGraph::build(venue),
+            root: NodeId::new(root),
+            leaf_of,
+            door_home,
+            child_access_pos,
+        })
+    }
+
+    /// FNV-1a over the arena's exact bit content — the value the build
+    /// equivalence tests and `bench_build` compare across serial builds,
+    /// parallel builds and snapshot loads.
+    pub fn arena_checksum(&self) -> u64 {
+        self.arena.checksum()
+    }
+
+    /// FNV-1a over the complete serialized index (layout *and* arena):
+    /// equal iff the two trees are structurally bit-identical.
+    pub fn index_checksum(&self) -> u64 {
+        ifls_indoor::fnv1a(&self.snapshot_bytes())
+    }
+}
+
+/// Checks magic, version, minimum length and the trailing checksum;
+/// returns the checksummed region (everything except the 8-byte footer).
+fn verify_envelope(bytes: &[u8]) -> Result<&[u8], SnapshotError> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() {
+        return Err(SnapshotError::Truncated);
+    }
+    if bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 + 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let stored = read_footer(bytes);
+    let computed = ifls_indoor::fnv1a(body);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch { stored, computed });
+    }
+    Ok(body)
+}
+
+fn read_footer(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap())
+}
+
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn slot(&mut self, s: MatSlot) {
+        self.u64(s.off() as u64);
+        self.u32(s.rows() as u32);
+        self.u32(s.cols() as u32);
+    }
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Reader<'_> {
+    fn need(&self, n: usize) -> Result<(), SnapshotError> {
+        if self.i.checked_add(n).is_some_and(|end| end <= self.b.len()) {
+            Ok(())
+        } else {
+            Err(SnapshotError::Truncated)
+        }
+    }
+
+    fn skip(&mut self, n: usize) -> Result<(), SnapshotError> {
+        self.need(n)?;
+        self.i += n;
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        self.need(1)?;
+        let v = self.b[self.i];
+        self.i += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        self.need(4)?;
+        let v = u32::from_le_bytes(self.b[self.i..self.i + 4].try_into().unwrap());
+        self.i += 4;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        self.need(8)?;
+        let v = u64::from_le_bytes(self.b[self.i..self.i + 8].try_into().unwrap());
+        self.i += 8;
+        Ok(v)
+    }
+
+    /// Reads a `u32` count and bounds it against the bytes that remain, so
+    /// a crafted length cannot trigger a huge allocation.
+    fn len_u32(&mut self) -> Result<usize, SnapshotError> {
+        let n = self.u32()? as usize;
+        if n > self.b.len() - self.i {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn slot(&mut self) -> Result<MatSlot, SnapshotError> {
+        let off = self.u64()?;
+        let rows = self.u32()?;
+        let cols = self.u32()?;
+        let off = usize::try_from(off).map_err(|_| SnapshotError::Corrupt("slot offset"))?;
+        Ok(MatSlot::from_parts(off, rows, cols))
+    }
+}

@@ -33,6 +33,17 @@ pub struct VipTree<'v> {
     pub(crate) child_access_pos: Vec<Vec<Vec<u32>>>,
 }
 
+impl std::fmt::Debug for VipTree<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VipTree")
+            .field("venue", &self.venue.name())
+            .field("nodes", &self.nodes.len())
+            .field("root", &self.root)
+            .field("arena_entries", &self.arena.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Structural statistics of a built tree.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct VipTreeStats {

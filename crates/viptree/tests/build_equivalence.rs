@@ -1,0 +1,121 @@
+//! Parallel construction and snapshot round-trips are bit-identical.
+//!
+//! The build's determinism contract: the serial plan pre-assigns every
+//! matrix row a fixed arena range, workers only fill disjoint ranges with
+//! values that depend on nothing but the door they claimed — so any thread
+//! count yields the same `DistArena` bytes, node layout and access-door
+//! sets, and a snapshot save/load reproduces them exactly. These tests pin
+//! the contract over all four named venues and randomized grid venues.
+
+use ifls_indoor::{DoorId, Venue};
+use ifls_venues::{NamedVenue, RandomVenueSpec};
+use ifls_viptree::{VipTree, VipTreeConfig};
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn assert_equivalent(venue: &Venue, config: VipTreeConfig, label: &str) {
+    let serial = VipTree::build_with_threads(venue, config, 1);
+    let arena_checksum = serial.arena_checksum();
+    let index_checksum = serial.index_checksum();
+    for threads in THREAD_COUNTS {
+        let parallel = VipTree::build_with_threads(venue, config, threads);
+        assert_eq!(
+            parallel.arena_checksum(),
+            arena_checksum,
+            "{label}: arena bytes diverge at {threads} threads"
+        );
+        assert_eq!(
+            parallel.index_checksum(),
+            index_checksum,
+            "{label}: node/access-door layout diverges at {threads} threads"
+        );
+    }
+    // threads = 0 (auto) is also bit-identical.
+    assert_eq!(
+        VipTree::build_with_threads(venue, config, 0).index_checksum(),
+        index_checksum,
+        "{label}: auto thread count diverges"
+    );
+}
+
+#[test]
+fn named_venues_build_identically_at_any_thread_count() {
+    for nv in NamedVenue::ALL {
+        let venue = nv.build();
+        assert_equivalent(&venue, VipTreeConfig::default(), nv.label());
+    }
+}
+
+#[test]
+fn random_grid_venues_build_identically_at_any_thread_count() {
+    for seed in 0..6u64 {
+        let venue = RandomVenueSpec {
+            cells_x: 3 + (seed % 3) as u32,
+            cells_y: 2 + (seed % 4) as u32,
+            levels: 1 + (seed % 3) as u32,
+            extra_door_prob: 0.1 * seed as f64,
+            cell_size: 10.0,
+        }
+        .build(0xb111_d000 + seed);
+        assert_equivalent(&venue, VipTreeConfig::default(), &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn ip_tree_config_builds_identically_too() {
+    let venue = NamedVenue::MZB.build();
+    assert_equivalent(&venue, VipTreeConfig::ip_tree(), "MZB ip-tree");
+}
+
+#[test]
+fn snapshot_round_trip_is_bit_identical() {
+    for nv in NamedVenue::ALL {
+        let venue = nv.build();
+        let built = VipTree::build(&venue, VipTreeConfig::default());
+        let bytes = built.snapshot_bytes();
+        let loaded = VipTree::from_snapshot_bytes(&venue, &bytes).expect("round trip");
+        assert_eq!(
+            loaded.arena_checksum(),
+            built.arena_checksum(),
+            "{}: arena bytes",
+            nv.label()
+        );
+        assert_eq!(
+            loaded.index_checksum(),
+            built.index_checksum(),
+            "{}: full layout",
+            nv.label()
+        );
+        // Serializing the loaded tree reproduces the file byte-for-byte.
+        assert_eq!(loaded.snapshot_bytes(), bytes, "{}: re-save", nv.label());
+        assert_eq!(loaded.config(), built.config());
+        assert_eq!(loaded.root(), built.root());
+        assert_eq!(loaded.num_nodes(), built.num_nodes());
+    }
+}
+
+#[test]
+fn loaded_tree_answers_door_distances_identically() {
+    let venue = NamedVenue::CPH.build();
+    let built = VipTree::build(&venue, VipTreeConfig::default());
+    let loaded = VipTree::from_snapshot_bytes(&venue, &built.snapshot_bytes()).expect("round trip");
+    let n = venue.num_doors();
+    for a in (0..n).step_by(7) {
+        for b in (0..n).step_by(11) {
+            let (da, db) = (DoorId::from_index(a), DoorId::from_index(b));
+            assert_eq!(
+                built.door_to_door(da, db).to_bits(),
+                loaded.door_to_door(da, db).to_bits(),
+                "door {a} -> door {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_build_then_snapshot_matches_serial_snapshot() {
+    let venue = NamedVenue::MC.build();
+    let serial = VipTree::build_with_threads(&venue, VipTreeConfig::default(), 1);
+    let parallel = VipTree::build_with_threads(&venue, VipTreeConfig::default(), 4);
+    assert_eq!(serial.snapshot_bytes(), parallel.snapshot_bytes());
+}

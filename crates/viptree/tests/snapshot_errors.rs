@@ -1,0 +1,132 @@
+//! Snapshot failure modes are typed errors, never panics.
+//!
+//! A snapshot that is truncated, foreign, corrupt, stale or from the
+//! future must be *refused* with a precise [`SnapshotError`]; falling back
+//! to a rebuild is a caller policy (`--index-or-build`), not library
+//! behavior.
+
+use ifls_venues::{GridVenueSpec, NamedVenue};
+use ifls_viptree::{SnapshotError, SnapshotInfo, VipTree, VipTreeConfig, SNAPSHOT_VERSION};
+
+fn snapshot_fixture() -> (ifls_indoor::Venue, Vec<u8>) {
+    let venue = GridVenueSpec::small_office().build();
+    let bytes = VipTree::build(&venue, VipTreeConfig::default()).snapshot_bytes();
+    (venue, bytes)
+}
+
+#[test]
+fn truncated_file_is_refused() {
+    let (venue, bytes) = snapshot_fixture();
+    // Every strict prefix fails — near-empty prefixes as Truncated, longer
+    // ones as a checksum mismatch (the footer moved) — and never panics.
+    for cut in [0, 4, 11, 19, bytes.len() / 2, bytes.len() - 1] {
+        let err = VipTree::from_snapshot_bytes(&venue, &bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated | SnapshotError::ChecksumMismatch { .. }
+            ),
+            "prefix of {cut} bytes: unexpected {err:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_magic_is_refused() {
+    let (venue, mut bytes) = snapshot_fixture();
+    bytes[0] = b'X';
+    assert!(matches!(
+        VipTree::from_snapshot_bytes(&venue, &bytes).unwrap_err(),
+        SnapshotError::BadMagic
+    ));
+    assert!(matches!(
+        VipTree::from_snapshot_bytes(&venue, b"not a snapshot at all").unwrap_err(),
+        SnapshotError::BadMagic
+    ));
+}
+
+#[test]
+fn flipped_payload_byte_fails_the_checksum() {
+    let (venue, mut bytes) = snapshot_fixture();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    assert!(matches!(
+        VipTree::from_snapshot_bytes(&venue, &bytes).unwrap_err(),
+        SnapshotError::ChecksumMismatch { .. }
+    ));
+}
+
+#[test]
+fn future_version_is_refused_before_checksum() {
+    let (venue, mut bytes) = snapshot_fixture();
+    let future = (SNAPSHOT_VERSION + 1).to_le_bytes();
+    bytes[8..12].copy_from_slice(&future);
+    match VipTree::from_snapshot_bytes(&venue, &bytes).unwrap_err() {
+        SnapshotError::UnsupportedVersion(v) => assert_eq!(v, SNAPSHOT_VERSION + 1),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn fingerprint_mismatch_refuses_a_stale_snapshot() {
+    let (_, bytes) = snapshot_fixture();
+    // A structurally different venue: same builder family, one more column.
+    let other = GridVenueSpec::new("other", 2, 14).build();
+    assert!(matches!(
+        VipTree::from_snapshot_bytes(&other, &bytes).unwrap_err(),
+        SnapshotError::FingerprintMismatch { .. }
+    ));
+}
+
+#[test]
+fn missing_file_is_an_io_error() {
+    let venue = GridVenueSpec::small_office().build();
+    let err =
+        VipTree::load_snapshot(&venue, std::path::Path::new("/nonexistent/ifls.idx")).unwrap_err();
+    assert!(matches!(err, SnapshotError::Io(_)));
+    // Errors render as human-readable messages.
+    assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn save_load_via_files_round_trips() {
+    let venue = NamedVenue::MZB.build();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let dir = std::env::temp_dir().join(format!("ifls-snap-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mzb.idx");
+    tree.save_snapshot(&path).expect("save");
+
+    let info = SnapshotInfo::read(&path).expect("inspect");
+    assert_eq!(info.version, SNAPSHOT_VERSION);
+    assert_eq!(info.num_partitions as usize, venue.num_partitions());
+    assert_eq!(info.num_doors as usize, venue.num_doors());
+    assert_eq!(info.num_nodes as usize, tree.num_nodes());
+    assert_eq!(info.config, tree.config());
+    assert_eq!(
+        info.fingerprint,
+        ifls_indoor::VenueFingerprint::compute(&venue)
+    );
+
+    let loaded = VipTree::load_snapshot(&venue, &path).expect("load");
+    assert_eq!(loaded.index_checksum(), tree.index_checksum());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_structure_with_fixed_checksum_is_refused() {
+    let (venue, mut bytes) = snapshot_fixture();
+    // Point the root at a nonexistent node, then re-stamp the checksum so
+    // only the structural validation can catch it.
+    // magic(8) + version(4) + fingerprint(8) + config(12) + partition/door/
+    // node counts (3 × 4) put the root id at offset 44.
+    let root_off = 8 + 4 + 8 + 12 + 12;
+    bytes[root_off..root_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let body_len = bytes.len() - 8;
+    let fixed = ifls_indoor::fnv1a(&bytes[..body_len]).to_le_bytes();
+    bytes[body_len..].copy_from_slice(&fixed);
+    assert!(matches!(
+        VipTree::from_snapshot_bytes(&venue, &bytes).unwrap_err(),
+        SnapshotError::Corrupt(_)
+    ));
+}

@@ -1,0 +1,85 @@
+//! Serving from a snapshot is indistinguishable from building: the loaded
+//! index answers every objective with bit-identical results.
+//!
+//! The snapshot round trip is byte-exact by construction (pinned in
+//! `ifls-viptree`'s own tests); this integration suite pins the property
+//! that actually matters to a serving deployment — the *solvers* on top of
+//! a loaded tree choose the same candidate with the same objective bits as
+//! on a freshly built one, for all three objectives, whether the snapshot
+//! came from a serial or a parallel build.
+
+use ifls::core::maxsum::EfficientMaxSum;
+use ifls::core::mindist::EfficientMinDist;
+use ifls::prelude::*;
+use ifls::venues::NamedVenue;
+
+fn assert_same_answers(venue: &Venue, built: &VipTree<'_>, loaded: &VipTree<'_>, label: &str) {
+    let w = WorkloadBuilder::new(venue)
+        .clients_uniform(60)
+        .existing_uniform(6)
+        .candidates_uniform(12)
+        .seed(42)
+        .build();
+
+    let a = EfficientIfls::new(built).run(&w.clients, &w.existing, &w.candidates);
+    let b = EfficientIfls::new(loaded).run(&w.clients, &w.existing, &w.candidates);
+    assert_eq!(a.answer, b.answer, "{label}: minmax answer");
+    assert_eq!(
+        a.objective.to_bits(),
+        b.objective.to_bits(),
+        "{label}: minmax objective bits"
+    );
+
+    let a = EfficientMinDist::new(built).run(&w.clients, &w.existing, &w.candidates);
+    let b = EfficientMinDist::new(loaded).run(&w.clients, &w.existing, &w.candidates);
+    assert_eq!(a.answer, b.answer, "{label}: mindist answer");
+    assert_eq!(
+        a.total.to_bits(),
+        b.total.to_bits(),
+        "{label}: mindist total bits"
+    );
+
+    let a = EfficientMaxSum::new(built).run(&w.clients, &w.existing, &w.candidates);
+    let b = EfficientMaxSum::new(loaded).run(&w.clients, &w.existing, &w.candidates);
+    assert_eq!(a.answer, b.answer, "{label}: maxsum answer");
+    assert_eq!(a.wins, b.wins, "{label}: maxsum wins");
+}
+
+#[test]
+fn loaded_snapshot_serves_identically() {
+    // The smallest named venue plus a multi-level grid keep this affordable
+    // under the debug profile; byte-level equivalence across all four named
+    // venues and thread counts is pinned by `ifls-viptree`'s own checksum
+    // tests.
+    let venues = [
+        NamedVenue::CPH.build(),
+        ifls::venues::grid::GridVenueSpec::new("snap-grid", 3, 30).build(),
+    ];
+    for venue in &venues {
+        let built = VipTree::build(venue, VipTreeConfig::default());
+        let loaded =
+            VipTree::from_snapshot_bytes(venue, &built.snapshot_bytes()).expect("round trip");
+        assert_same_answers(venue, &built, &loaded, venue.name());
+    }
+}
+
+#[test]
+fn snapshot_of_a_parallel_build_serves_identically() {
+    let venue = NamedVenue::CPH.build();
+    let built = VipTree::build_with_threads(&venue, VipTreeConfig::default(), 4);
+    let loaded = VipTree::from_snapshot_bytes(&venue, &built.snapshot_bytes()).expect("round trip");
+    assert_same_answers(&venue, &built, &loaded, "CPH (4-thread build)");
+}
+
+#[test]
+fn snapshot_survives_a_disk_round_trip_end_to_end() {
+    let venue = NamedVenue::CPH.build();
+    let built = VipTree::build(&venue, VipTreeConfig::default());
+    let dir = std::env::temp_dir().join(format!("ifls-e2e-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cph.idx");
+    built.save_snapshot(&path).expect("save");
+    let loaded = VipTree::load_snapshot(&venue, &path).expect("load");
+    assert_same_answers(&venue, &built, &loaded, "CPH via disk");
+    std::fs::remove_dir_all(&dir).ok();
+}
