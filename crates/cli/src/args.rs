@@ -44,7 +44,12 @@ query options:
   --index-or-build FILE  like --index, but build in-process when the snapshot
                      is missing or refused
   --build-threads N  worker threads for index construction (0 = all cores;
-                     the built index is bit-identical at any thread count)";
+                     the built index is bit-identical at any thread count)
+  --deadline-ms N    soft wall-clock budget; on expiry the solver returns its
+                     best-so-far answer tagged degraded with an optimality gap
+  --max-dist-computations N  deterministic work cap with the same degraded-
+                     answer semantics as --deadline-ms
+  --strict           treat a degraded (budget-exhausted) answer as an error";
 
 /// A parsed command.
 #[derive(Clone, Debug, PartialEq)]
@@ -147,6 +152,12 @@ pub struct CommonArgs {
     pub index_or_build: bool,
     /// Worker threads for index construction (0 = all cores).
     pub build_threads: usize,
+    /// Soft wall-clock budget in milliseconds (`None` = unlimited).
+    pub deadline_ms: Option<u64>,
+    /// Cap on logical distance computations (`None` = unlimited).
+    pub max_dist_computations: Option<u64>,
+    /// Fail (exit non-zero) instead of reporting a degraded answer.
+    pub strict: bool,
 }
 
 /// Output format for `--metrics-out`.
@@ -184,6 +195,9 @@ impl Default for CommonArgs {
             index: None,
             index_or_build: false,
             build_threads: 0,
+            deadline_ms: None,
+            max_dist_computations: None,
+            strict: false,
         }
     }
 }
@@ -322,6 +336,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         a.index_or_build = true;
                     }
                     "--build-threads" => a.build_threads = cur.parsed("--build-threads")?,
+                    "--deadline-ms" => a.deadline_ms = Some(cur.parsed("--deadline-ms")?),
+                    "--max-dist-computations" => {
+                        a.max_dist_computations = Some(cur.parsed("--max-dist-computations")?)
+                    }
+                    "--strict" => a.strict = true,
                     other => return Err(ParseError::UnknownOption(other.to_string())),
                 }
             }
@@ -637,6 +656,42 @@ mod tests {
             parse(&v(&["index", "frobnicate"])),
             Err(ParseError::UnknownCommand("index frobnicate".into()))
         );
+    }
+
+    #[test]
+    fn parses_budget_flags() {
+        let cmd = parse(&v(&[
+            "query",
+            "--venue",
+            "named:mc",
+            "--deadline-ms",
+            "250",
+            "--max-dist-computations",
+            "100000",
+            "--strict",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Query { args, .. } => {
+                assert_eq!(args.deadline_ms, Some(250));
+                assert_eq!(args.max_dist_computations, Some(100_000));
+                assert!(args.strict);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: unlimited, non-strict.
+        match parse(&v(&["query", "--venue", "named:mc"])).unwrap() {
+            Command::Query { args, .. } => {
+                assert_eq!(args.deadline_ms, None);
+                assert_eq!(args.max_dist_computations, None);
+                assert!(!args.strict);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse(&v(&["query", "--venue", "x", "--deadline-ms", "soon"])),
+            Err(ParseError::BadValue { .. })
+        ));
     }
 
     #[test]

@@ -6,7 +6,8 @@ use std::fmt;
 use ifls_core::maxsum::EfficientMaxSum;
 use ifls_core::mindist::{BruteForceMinDist, EfficientMinDist};
 use ifls_core::{
-    BruteForce, EfficientConfig, EfficientIfls, ModifiedMinMax, ParallelSolver, QueryStats,
+    BruteForce, Budget, EfficientConfig, EfficientIfls, ModifiedMinMax, ParallelSolver, QueryStats,
+    Resolution, WorkerPanic,
 };
 use ifls_indoor::{PartitionId, Venue};
 use ifls_venues::{GridVenueSpec, McCategory, NamedVenue};
@@ -85,6 +86,10 @@ fn obtain_tree<'v>(v: &'v Venue, a: &CommonArgs) -> Result<(VipTree<'v>, bool), 
         match VipTree::load_snapshot(v, std::path::Path::new(path)) {
             Ok(tree) => return Ok((tree, true)),
             Err(e) if a.index_or_build => {
+                // The fallback is logged *and* counted: a fleet that silently
+                // rebuilds on every start is a regression the snapshot
+                // machinery exists to prevent.
+                ifls_obs::counter_add(ifls_obs::Counter::SnapshotFallbacks, 1);
                 eprintln!("index `{path}` refused ({e}); building in-process");
             }
             Err(e) => return Err(CommandError::Invalid(format!("index `{path}`: {e}"))),
@@ -94,6 +99,37 @@ fn obtain_tree<'v>(v: &'v Venue, a: &CommonArgs) -> Result<(VipTree<'v>, bool), 
         VipTree::build_with_threads(v, VipTreeConfig::default(), a.build_threads),
         false,
     ))
+}
+
+/// Builds the query budget from `--deadline-ms` / `--max-dist-computations`
+/// (unlimited when neither is given). The deadline clock starts here, so it
+/// covers solving only — index construction and workload generation are
+/// provisioning, not serving.
+fn build_budget(a: &CommonArgs) -> Budget {
+    let mut b = Budget::unlimited();
+    if let Some(ms) = a.deadline_ms {
+        b = b.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(cap) = a.max_dist_computations {
+        b = b.with_dist_cap(cap);
+    }
+    b
+}
+
+fn worker_panic_err(e: WorkerPanic) -> CommandError {
+    CommandError::Invalid(format!("parallel worker failure: {e}"))
+}
+
+/// Extra report line for a degraded answer (empty for exact ones).
+fn resolution_line(r: &Resolution, gap_unit: &str) -> String {
+    match r {
+        Resolution::Exact => String::new(),
+        Resolution::Degraded { gap, reason } => format!(
+            "\nDEGRADED answer ({}): best-so-far candidate, optimality gap <= {:.2} {gap_unit}",
+            reason.label(),
+            gap
+        ),
+    }
 }
 
 fn build_workload(venue: &Venue, a: &CommonArgs) -> Result<Workload, CommandError> {
@@ -196,6 +232,8 @@ struct QuerySummary {
     /// JSON key for the objective value (`max_distance_m`, …).
     value_key: &'static str,
     value: f64,
+    /// Exact, or budget-degraded with an optimality gap.
+    resolution: Resolution,
     stats: QueryStats,
 }
 
@@ -231,6 +269,10 @@ fn stats_json_line(venue: &Venue, a: &CommonArgs, w: &Workload, s: &QuerySummary
         None => "null".into(),
     };
     let lat = &s.stats.latencies;
+    let budget_reason = match s.resolution.reason() {
+        Some(r) => format!("\"{}\"", r.label()),
+        None => "null".into(),
+    };
     format!(
         concat!(
             "{{\"schema\":\"ifls-stats/v1\",\"venue\":\"{venue}\",",
@@ -238,6 +280,8 @@ fn stats_json_line(venue: &Venue, a: &CommonArgs, w: &Workload, s: &QuerySummary
             "\"clients\":{clients},\"existing\":{existing},",
             "\"candidates\":{candidates},\"seed\":{seed},",
             "\"answer\":{answer},\"{value_key}\":{value},",
+            "\"degraded\":{degraded},\"optimality_gap\":{gap},",
+            "\"budget_reason\":{budget_reason},",
             "\"stats\":{{\"elapsed_ns\":{elapsed_ns},",
             "\"dist_computations\":{dist},\"point_via_lookups\":{via},",
             "\"facilities_retrieved\":{retrieved},\"clients_pruned\":{pruned},",
@@ -257,6 +301,9 @@ fn stats_json_line(venue: &Venue, a: &CommonArgs, w: &Workload, s: &QuerySummary
         answer = answer,
         value_key = s.value_key,
         value = json_num(s.value),
+        degraded = !s.resolution.is_exact(),
+        gap = json_num(s.resolution.gap()),
+        budget_reason = budget_reason,
         elapsed_ns = s.stats.elapsed.as_nanos(),
         dist = s.stats.dist_computations,
         via = s.stats.point_via_lookups,
@@ -355,6 +402,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 w.candidates.len(),
                 args.seed
             );
+            let budget = build_budget(args);
             let (body, summary) = match (args.objective.as_str(), args.algorithm.as_str()) {
                 ("minmax", algo) => {
                     if args.top > 1 {
@@ -381,30 +429,37 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                         (out, None)
                     } else {
                         let mut o = match (algo, &parallel) {
-                            (_, Some(p)) => p.run_minmax(&w.clients, &w.existing, &w.candidates),
-                            ("efficient", _) => EfficientIfls::with_config(&tree, config).run(
+                            (_, Some(p)) => p
+                                .try_run_minmax(&w.clients, &w.existing, &w.candidates, &budget)
+                                .map_err(worker_panic_err)?,
+                            ("efficient", _) => EfficientIfls::with_config(&tree, config)
+                                .run_budgeted(&w.clients, &w.existing, &w.candidates, &budget),
+                            ("baseline", _) => ModifiedMinMax::new(&tree).run_budgeted(
                                 &w.clients,
                                 &w.existing,
                                 &w.candidates,
+                                &budget,
                             ),
-                            ("baseline", _) => ModifiedMinMax::new(&tree).run(
+                            _ => BruteForce::new(&tree).run_budgeted(
                                 &w.clients,
                                 &w.existing,
                                 &w.candidates,
+                                &budget,
                             ),
-                            _ => BruteForce::new(&tree).run(&w.clients, &w.existing, &w.candidates),
                         };
                         stamp(&mut o.stats);
                         let text = match o.answer {
                             Some(n) => format!(
-                                "answer: {} — max client distance {:.2} m\n{}",
+                                "answer: {} — max client distance {:.2} m{}\n{}",
                                 describe_partition(&v, n),
                                 o.objective,
+                                resolution_line(&o.resolution, "m"),
                                 stats_line(&o.stats)
                             ),
                             None => format!(
-                                "no candidate improves any client (max distance stays {:.2} m)\n{}",
+                                "no candidate improves any client (max distance stays {:.2} m){}\n{}",
                                 o.objective,
+                                resolution_line(&o.resolution, "m"),
                                 stats_line(&o.stats)
                             ),
                         };
@@ -412,6 +467,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                             answer: o.answer,
                             value_key: "max_distance_m",
                             value: o.objective,
+                            resolution: o.resolution,
                             stats: o.stats,
                         };
                         (text, Some(summary))
@@ -419,24 +475,25 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 }
                 ("mindist", algo) => {
                     let mut o = match (algo, &parallel) {
-                        (_, Some(p)) => p.run_mindist(&w.clients, &w.existing, &w.candidates),
-                        ("efficient", _) => EfficientMinDist::with_config(&tree, config).run(
+                        (_, Some(p)) => p
+                            .try_run_mindist(&w.clients, &w.existing, &w.candidates, &budget)
+                            .map_err(worker_panic_err)?,
+                        ("efficient", _) => EfficientMinDist::with_config(&tree, config)
+                            .run_budgeted(&w.clients, &w.existing, &w.candidates, &budget),
+                        _ => BruteForceMinDist::new(&tree).run_budgeted(
                             &w.clients,
                             &w.existing,
                             &w.candidates,
-                        ),
-                        _ => BruteForceMinDist::new(&tree).run(
-                            &w.clients,
-                            &w.existing,
-                            &w.candidates,
+                            &budget,
                         ),
                     };
                     stamp(&mut o.stats);
                     let text = match o.answer {
                         Some(n) => format!(
-                            "answer: {} — average distance {:.2} m\n{}",
+                            "answer: {} — average distance {:.2} m{}\n{}",
                             describe_partition(&v, n),
                             o.average(w.clients.len()),
+                            resolution_line(&o.resolution, "m (total)"),
                             stats_line(&o.stats)
                         ),
                         None => "no candidates".to_string(),
@@ -445,31 +502,33 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                         answer: o.answer,
                         value_key: "avg_distance_m",
                         value: o.average(w.clients.len()),
+                        resolution: o.resolution,
                         stats: o.stats,
                     };
                     (text, Some(summary))
                 }
                 (_, algo) => {
                     let mut o = match (algo, &parallel) {
-                        (_, Some(p)) => p.run_maxsum(&w.clients, &w.existing, &w.candidates),
-                        ("efficient", _) => EfficientMaxSum::with_config(&tree, config).run(
+                        (_, Some(p)) => p
+                            .try_run_maxsum(&w.clients, &w.existing, &w.candidates, &budget)
+                            .map_err(worker_panic_err)?,
+                        ("efficient", _) => EfficientMaxSum::with_config(&tree, config)
+                            .run_budgeted(&w.clients, &w.existing, &w.candidates, &budget),
+                        _ => ifls_core::maxsum::BruteForceMaxSum::new(&tree).run_budgeted(
                             &w.clients,
                             &w.existing,
                             &w.candidates,
-                        ),
-                        _ => ifls_core::maxsum::BruteForceMaxSum::new(&tree).run(
-                            &w.clients,
-                            &w.existing,
-                            &w.candidates,
+                            &budget,
                         ),
                     };
                     stamp(&mut o.stats);
                     let text = match o.answer {
                         Some(n) => format!(
-                            "answer: {} — captures {} of {} clients\n{}",
+                            "answer: {} — captures {} of {} clients{}\n{}",
                             describe_partition(&v, n),
                             o.wins,
                             w.clients.len(),
+                            resolution_line(&o.resolution, "clients"),
                             stats_line(&o.stats)
                         ),
                         None => "no candidates".to_string(),
@@ -478,11 +537,22 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                         answer: o.answer,
                         value_key: "clients_captured",
                         value: o.wins as f64,
+                        resolution: o.resolution,
                         stats: o.stats,
                     };
                     (text, Some(summary))
                 }
             };
+            if args.strict {
+                if let Some(s) = &summary {
+                    if let Resolution::Degraded { gap, reason } = &s.resolution {
+                        return Err(CommandError::Invalid(format!(
+                            "budget exhausted ({}) and --strict is set: refusing the degraded answer (optimality gap <= {gap:.2})",
+                            reason.label()
+                        )));
+                    }
+                }
+            }
             let sink = if obs_wanted {
                 Some(ifls_obs::take_local())
             } else {
@@ -1138,6 +1208,63 @@ mod tests {
         let served = execute(&parse(&argv).unwrap()).unwrap();
         ifls_obs::validate_json_line(&served).unwrap();
         assert!(served.contains("\"index_from_snapshot\":true"), "{served}");
+    }
+
+    #[test]
+    fn budgeted_query_reports_degraded_answer() {
+        // A one-distance cap trips the first checkpoint on every solver.
+        let base = &[
+            "query",
+            "--venue",
+            "grid:2x16",
+            "--clients",
+            "40",
+            "--fe",
+            "2",
+            "--fn",
+            "6",
+            "--seed",
+            "3",
+            "--max-dist-computations",
+            "1",
+        ];
+        let out = execute(&parse(&v(base)).unwrap()).unwrap();
+        assert!(out.contains("DEGRADED"), "{out}");
+        assert!(out.contains("dist_cap"), "{out}");
+        // The JSON shape carries the same information.
+        let mut argv = v(base);
+        argv.push("--stats-json".into());
+        let json = execute(&parse(&argv).unwrap()).unwrap();
+        ifls_obs::validate_json_line(&json).unwrap();
+        assert!(json.contains("\"degraded\":true"), "{json}");
+        assert!(json.contains("\"budget_reason\":\"dist_cap\""), "{json}");
+        assert!(json.contains("\"optimality_gap\":"), "{json}");
+        // --strict turns the degraded answer into a hard error.
+        argv.push("--strict".into());
+        assert!(matches!(
+            execute(&parse(&argv).unwrap()),
+            Err(CommandError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn unbudgeted_query_stays_exact_even_under_strict() {
+        let base = &[
+            "query",
+            "--venue",
+            "grid:2x12",
+            "--clients",
+            "20",
+            "--fe",
+            "2",
+            "--fn",
+            "3",
+            "--strict",
+            "--stats-json",
+        ];
+        let json = execute(&parse(&v(base)).unwrap()).unwrap();
+        assert!(json.contains("\"degraded\":false"), "{json}");
+        assert!(json.contains("\"budget_reason\":null"), "{json}");
     }
 
     #[test]

@@ -30,6 +30,7 @@ use ifls_obs::Phase;
 use ifls_viptree::{FacilityIndex, IncrementalNn, VipTree};
 
 use crate::brute;
+use crate::budget::{record_degraded_obs, Budget, Resolution};
 use crate::outcome::MinMaxOutcome;
 use crate::stats::{MemoryMeter, QueryStats};
 
@@ -62,10 +63,25 @@ impl<'t, 'v> ModifiedMinMax<'t, 'v> {
         existing: &[PartitionId],
         candidates: &[PartitionId],
     ) -> MinMaxOutcome {
+        self.run_budgeted(clients, existing, candidates, &Budget::unlimited())
+    }
+
+    /// [`run`](Self::run) under a cooperative [`Budget`], polled once per
+    /// client in step 1, per candidate in step 2 and per refinement round
+    /// in step 3. The baseline maintains no global lower bound, so a
+    /// degraded outcome reports the conservative gap `objective − 0`.
+    pub fn run_budgeted(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        budget: &Budget,
+    ) -> MinMaxOutcome {
         let start = Instant::now();
         let mut meter = MemoryMeter::default();
         let mut dist_computations = 0u64;
         let mut facilities_retrieved = 0u64;
+        let mut interrupted = None;
 
         if clients.is_empty() || candidates.is_empty() {
             // Degenerate queries: nothing to improve or nothing to place.
@@ -86,6 +102,7 @@ impl<'t, 'v> ModifiedMinMax<'t, 'v> {
             return MinMaxOutcome {
                 answer: None,
                 objective,
+                resolution: Resolution::Exact,
                 stats,
             };
         }
@@ -96,6 +113,11 @@ impl<'t, 'v> ModifiedMinMax<'t, 'v> {
         meter.add(fe_index.approx_bytes() as isize);
         let mut ls: Vec<(usize, f64)> = Vec::with_capacity(clients.len());
         for (i, c) in clients.iter().enumerate() {
+            // Budget checkpoint: one poll per client NN search.
+            if let Some(reason) = budget.check(dist_computations) {
+                interrupted = Some(reason);
+                break;
+            }
             let d = if existing.is_empty() {
                 f64::INFINITY
             } else {
@@ -115,19 +137,26 @@ impl<'t, 'v> ModifiedMinMax<'t, 'v> {
         // --- Step 2: CA from the worst-off client. ---
         let loop_span = ifls_obs::span(Phase::CandidateLoop);
         let cand_entry_bytes = std::mem::size_of::<Candidate>() as isize;
-        let (first_client, first_dist) = ls[0];
         let mut ca: Vec<Candidate> = Vec::new();
-        for &n in candidates {
-            dist_computations += 1;
-            facilities_retrieved += 1;
-            let d = self.tree.dist_point_to_partition(&clients[first_client], n);
-            if d < first_dist {
-                meter.add(cand_entry_bytes + 8);
-                ca.push(Candidate {
-                    id: n,
-                    dists: vec![d],
-                    maxd: d,
-                });
+        if interrupted.is_none() {
+            let (first_client, first_dist) = ls[0];
+            for &n in candidates {
+                // Budget checkpoint: one poll per candidate distance.
+                if let Some(reason) = budget.check(dist_computations) {
+                    interrupted = Some(reason);
+                    break;
+                }
+                dist_computations += 1;
+                facilities_retrieved += 1;
+                let d = self.tree.dist_point_to_partition(&clients[first_client], n);
+                if d < first_dist {
+                    meter.add(cand_entry_bytes + 8);
+                    ca.push(Candidate {
+                        id: n,
+                        dists: vec![d],
+                        maxd: d,
+                    });
+                }
             }
         }
         let mut ca_prev: Vec<Candidate> = ca.clone();
@@ -138,7 +167,12 @@ impl<'t, 'v> ModifiedMinMax<'t, 'v> {
         // --- Step 3: refinement loop. ---
         let refine_span = ifls_obs::span(Phase::Refine);
         let mut considered = 1usize;
-        while considered < ls.len() && ca.len() > 1 {
+        while interrupted.is_none() && considered < ls.len() && ca.len() > 1 {
+            // Budget checkpoint: one poll per refinement round.
+            if let Some(reason) = budget.check(dist_computations) {
+                interrupted = Some(reason);
+                break;
+            }
             // Keep the previous CA for Find_Ans's fallback.
             meter.add(-((ca_prev.iter().map(|c| c.dists.len()).sum::<usize>() * 8) as isize));
             meter.add(-((ca_prev.len() as isize) * cand_entry_bytes));
@@ -198,9 +232,21 @@ impl<'t, 'v> ModifiedMinMax<'t, 'v> {
         // The objective is evaluated outside the timed section: the paper's
         // query (and its timing) ends once the location is found.
         let objective = brute::evaluate_objective(self.tree, clients, existing, answer);
+        let resolution = match interrupted {
+            Some(reason) => {
+                let r = Resolution::Degraded {
+                    gap: objective.max(0.0),
+                    reason,
+                };
+                record_degraded_obs(&r);
+                r
+            }
+            None => Resolution::Exact,
+        };
         MinMaxOutcome {
             answer,
             objective,
+            resolution,
             stats,
         }
     }

@@ -6,6 +6,7 @@ use std::time::Instant;
 use ifls_indoor::{IndoorPoint, PartitionId};
 use ifls_viptree::VipTree;
 
+use crate::budget::{record_degraded_obs, Budget, Resolution};
 use crate::outcome::MinMaxOutcome;
 use crate::stats::QueryStats;
 
@@ -115,6 +116,20 @@ impl<'t, 'v> BruteForce<'t, 'v> {
         existing: &[PartitionId],
         candidates: &[PartitionId],
     ) -> MinMaxOutcome {
+        self.run_budgeted(clients, existing, candidates, &Budget::unlimited())
+    }
+
+    /// [`run`](Self::run) under a cooperative [`Budget`], polled once per
+    /// candidate. The oracle has no pruning bounds, so a degraded outcome
+    /// reports the conservative gap `objective − 0` (an unevaluated
+    /// candidate could in principle reach a zero objective).
+    pub fn run_budgeted(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        budget: &Budget,
+    ) -> MinMaxOutcome {
         let start = Instant::now();
         let mut dist_computations = 0u64;
         let nn_existing = nearest_facility_dists(self.tree, clients, existing);
@@ -122,7 +137,12 @@ impl<'t, 'v> BruteForce<'t, 'v> {
         let status_quo = nn_existing.iter().copied().fold(0.0, f64::max);
 
         let mut best: Option<(PartitionId, f64)> = None;
+        let mut interrupted = None;
         for &n in candidates {
+            if let Some(reason) = budget.check(dist_computations) {
+                interrupted = Some(reason);
+                break;
+            }
             let mut worst = 0.0f64;
             let mut per = nn_existing.clone();
             min_with_partition_dists(self.tree, clients, n, &mut per);
@@ -141,23 +161,43 @@ impl<'t, 'v> BruteForce<'t, 'v> {
             }
         }
 
+        // `dist_computations` counts evaluations actually performed, so an
+        // interrupted run reports truthful counters while an unbounded run
+        // reports exactly `|C|·(|Fe| + |Fn|)` as before.
         let mut stats = QueryStats {
             dist_computations,
-            facilities_retrieved: (clients.len() * (existing.len() + candidates.len())) as u64,
+            facilities_retrieved: dist_computations,
             peak_bytes: clients.len() * 8 * 2,
             ..QueryStats::default()
         };
         stats.record_elapsed(start.elapsed());
         stats.record_query_obs();
+        let resolution = match interrupted {
+            Some(reason) => {
+                let achieved = match best {
+                    Some((_, obj)) if obj < status_quo => obj,
+                    _ => status_quo,
+                };
+                let r = Resolution::Degraded {
+                    gap: achieved.max(0.0),
+                    reason,
+                };
+                record_degraded_obs(&r);
+                r
+            }
+            None => Resolution::Exact,
+        };
         match best {
             Some((n, obj)) if obj < status_quo => MinMaxOutcome {
                 answer: Some(n),
                 objective: obj,
+                resolution,
                 stats,
             },
             _ => MinMaxOutcome {
                 answer: None,
                 objective: status_quo,
+                resolution,
                 stats,
             },
         }

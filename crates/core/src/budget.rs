@@ -1,0 +1,335 @@
+//! Cooperative query budgets: deadlines, cancellation and work caps.
+//!
+//! A [`Budget`] is threaded through every solver (`efficient`, `mindist`,
+//! `maxsum`, `baseline`, `brute`). The solvers poll [`Budget::check`] at
+//! *checkpoints* — once per main-loop iteration — so a query can be stopped
+//! mid-flight without preemption. When a budget fires, the solver returns
+//! its best-so-far candidate tagged [`Resolution::Degraded`] with an
+//! optimality gap derived from the pruning lower bounds it already
+//! maintains (see DESIGN.md §11 for the per-objective gap definitions).
+//!
+//! The unlimited budget is free: [`Budget::check`] short-circuits on a
+//! single branch, performs no atomic traffic and reads no clock, so runs
+//! without a deadline stay bit-identical (answers *and* stats) to builds
+//! that predate the budget plumbing.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a budget stopped a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The shared [`CancelToken`] was cancelled (or a deterministic
+    /// checkpoint trip fired — tests use those to make cancellation
+    /// reproducible).
+    Cancelled,
+    /// The distance-computation cap was exceeded.
+    DistCap,
+}
+
+impl BudgetReason {
+    /// Stable snake_case label (for logs and `ifls-stats/v1`).
+    pub fn label(self) -> &'static str {
+        match self {
+            BudgetReason::Deadline => "deadline",
+            BudgetReason::Cancelled => "cancelled",
+            BudgetReason::DistCap => "dist_cap",
+        }
+    }
+}
+
+/// A shared flag for cancelling in-flight queries from another thread.
+///
+/// Clones share the flag: hand one clone to [`Budget::with_cancel`] and
+/// keep another to call [`CancelToken::cancel`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Every budget holding a clone of this token
+    /// trips at its next checkpoint.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Limits on one query (or one batch): wall-clock deadline, external
+/// cancellation, and a cap on logical distance computations.
+///
+/// Budgets are cheap to share: solvers take `&Budget`, and parallel
+/// workers poll the same instance concurrently. The checkpoint counter is
+/// atomic, so the deterministic [`cancel_at_checkpoint`]
+/// (Self::cancel_at_checkpoint) trip is exact for serial runs (the test
+/// harness sweeps it) and merely approximate across racing workers.
+#[derive(Debug, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    dist_cap: Option<u64>,
+    trip_at: Option<u64>,
+    checkpoints: AtomicU64,
+}
+
+impl Clone for Budget {
+    fn clone(&self) -> Self {
+        Budget {
+            deadline: self.deadline,
+            cancel: self.cancel.clone(),
+            dist_cap: self.dist_cap,
+            trip_at: self.trip_at,
+            // A clone starts its own checkpoint count; the cancel token
+            // stays shared.
+            checkpoints: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Budget {
+    /// A budget that never fires. [`check`](Self::check) is a single
+    /// branch, so unlimited runs are bit-identical to pre-budget builds.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Sets a wall-clock deadline `timeout` from now.
+    pub fn with_deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    pub fn with_deadline_at(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a shared cancellation token.
+    pub fn with_cancel(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// Caps the query's logical distance computations
+    /// (`QueryStats::dist_computations`); the budget fires at the first
+    /// checkpoint where the count exceeds `cap`. Deterministic, so tests
+    /// use this (not wall clocks) to force degradation.
+    pub fn with_dist_cap(mut self, cap: u64) -> Self {
+        self.dist_cap = Some(cap);
+        self
+    }
+
+    /// Deterministically trips the budget at the `k`-th checkpoint
+    /// (0-based), reported as [`BudgetReason::Cancelled`]. Exact for
+    /// serial solves; the cancellation-sweep tests iterate `k` over every
+    /// checkpoint index a query crosses.
+    pub fn cancel_at_checkpoint(mut self, k: u64) -> Self {
+        self.trip_at = Some(k);
+        self
+    }
+
+    /// Whether this budget can ever fire.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.cancel.is_none()
+            && self.dist_cap.is_none()
+            && self.trip_at.is_none()
+    }
+
+    /// The distance-computation cap, if any (solvers pass their running
+    /// counter to [`check`](Self::check)).
+    pub fn dist_cap(&self) -> Option<u64> {
+        self.dist_cap
+    }
+
+    /// Polls the budget at a solver checkpoint. `dists_so_far` is the
+    /// query's running logical distance-computation count. Returns the
+    /// first limit that has fired, or `None` to keep going.
+    ///
+    /// Order: deterministic trip, then cancellation, then the distance
+    /// cap, then the wall clock — so deterministic limits win ties and
+    /// tests never race the clock.
+    #[inline]
+    pub fn check(&self, dists_so_far: u64) -> Option<BudgetReason> {
+        if self.is_unlimited() {
+            return None;
+        }
+        self.check_slow(dists_so_far)
+    }
+
+    #[cold]
+    fn check_slow(&self, dists_so_far: u64) -> Option<BudgetReason> {
+        let k = self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        if let Some(trip) = self.trip_at {
+            if k >= trip {
+                return Some(BudgetReason::Cancelled);
+            }
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(BudgetReason::Cancelled);
+            }
+        }
+        if let Some(cap) = self.dist_cap {
+            if dists_so_far > cap {
+                return Some(BudgetReason::DistCap);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(BudgetReason::Deadline);
+            }
+        }
+        None
+    }
+
+    /// Checkpoints polled so far (on this instance; clones count apart).
+    pub fn checkpoints_crossed(&self) -> u64 {
+        self.checkpoints.load(Ordering::Relaxed)
+    }
+}
+
+/// Whether an outcome is exact or a budget-degraded best-so-far answer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Resolution {
+    /// The solver ran to completion; the answer is the true optimum.
+    Exact,
+    /// The budget fired mid-query. The answer is the best candidate found
+    /// so far and `gap` upper-bounds how far its objective can be from the
+    /// exact optimum — in distance units for MinMax/MinDist, in client
+    /// wins for MaxSum (see DESIGN.md §11).
+    Degraded {
+        /// Upper bound on `|achieved objective − exact optimum|`.
+        gap: f64,
+        /// Which budget limit fired.
+        reason: BudgetReason,
+    },
+}
+
+impl Resolution {
+    /// Whether the outcome is exact.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Resolution::Exact)
+    }
+
+    /// The optimality gap: 0 for exact outcomes.
+    pub fn gap(&self) -> f64 {
+        match self {
+            Resolution::Exact => 0.0,
+            Resolution::Degraded { gap, .. } => *gap,
+        }
+    }
+
+    /// The budget reason, if degraded.
+    pub fn reason(&self) -> Option<BudgetReason> {
+        match self {
+            Resolution::Exact => None,
+            Resolution::Degraded { reason, .. } => Some(*reason),
+        }
+    }
+}
+
+/// Ticks the `queries_degraded` obs counter when a solver returns a
+/// degraded outcome (no-op when tracing is disabled or the outcome is
+/// exact).
+pub(crate) fn record_degraded_obs(resolution: &Resolution) {
+    if !resolution.is_exact() && ifls_obs::enabled() {
+        ifls_obs::counter_add(ifls_obs::Counter::QueriesDegraded, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_fires_and_counts_nothing() {
+        let b = Budget::unlimited();
+        for _ in 0..1000 {
+            assert_eq!(b.check(u64::MAX), None);
+        }
+        // The fast path must not touch the counter: that is what keeps
+        // unlimited runs bit-identical and atomic-free.
+        assert_eq!(b.checkpoints_crossed(), 0);
+    }
+
+    #[test]
+    fn dist_cap_fires_only_above_cap() {
+        let b = Budget::unlimited().with_dist_cap(100);
+        assert_eq!(b.check(100), None);
+        assert_eq!(b.check(101), Some(BudgetReason::DistCap));
+    }
+
+    #[test]
+    fn expired_deadline_fires_immediately() {
+        let b = Budget::unlimited().with_deadline(Duration::ZERO);
+        assert_eq!(b.check(0), Some(BudgetReason::Deadline));
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().with_cancel(&token);
+        let b2 = b.clone();
+        assert_eq!(b.check(0), None);
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(b.check(0), Some(BudgetReason::Cancelled));
+        assert_eq!(b2.check(0), Some(BudgetReason::Cancelled));
+    }
+
+    #[test]
+    fn checkpoint_trip_is_exact() {
+        let b = Budget::unlimited().cancel_at_checkpoint(3);
+        assert_eq!(b.check(0), None); // checkpoint 0
+        assert_eq!(b.check(0), None); // checkpoint 1
+        assert_eq!(b.check(0), None); // checkpoint 2
+        assert_eq!(b.check(0), Some(BudgetReason::Cancelled)); // checkpoint 3
+    }
+
+    #[test]
+    fn clone_restarts_checkpoint_count() {
+        let b = Budget::unlimited().cancel_at_checkpoint(1);
+        assert_eq!(b.check(0), None);
+        let c = b.clone();
+        assert_eq!(c.check(0), None); // clone's checkpoint 0
+        assert_eq!(c.check(0), Some(BudgetReason::Cancelled));
+    }
+
+    #[test]
+    fn deterministic_trip_beats_the_clock() {
+        let b = Budget::unlimited()
+            .with_deadline(Duration::ZERO)
+            .cancel_at_checkpoint(0);
+        assert_eq!(b.check(0), Some(BudgetReason::Cancelled));
+    }
+
+    #[test]
+    fn resolution_accessors() {
+        assert!(Resolution::Exact.is_exact());
+        assert_eq!(Resolution::Exact.gap(), 0.0);
+        assert_eq!(Resolution::Exact.reason(), None);
+        let d = Resolution::Degraded {
+            gap: 2.5,
+            reason: BudgetReason::DistCap,
+        };
+        assert!(!d.is_exact());
+        assert_eq!(d.gap(), 2.5);
+        assert_eq!(d.reason(), Some(BudgetReason::DistCap));
+        assert_eq!(BudgetReason::Deadline.label(), "deadline");
+        assert_eq!(BudgetReason::Cancelled.label(), "cancelled");
+        assert_eq!(BudgetReason::DistCap.label(), "dist_cap");
+    }
+}

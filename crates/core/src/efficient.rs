@@ -35,6 +35,7 @@ use ifls_obs::Phase;
 use ifls_viptree::{DistCache, FacilityIndex, VipTree};
 
 use crate::brute;
+use crate::budget::{record_degraded_obs, Budget, BudgetReason, Resolution};
 use crate::explore::{retrieval_dists, ClientLegs, Entity, Event, Explorer, EVENT_BYTES};
 use crate::outcome::MinMaxOutcome;
 use crate::stats::{MemoryMeter, QueryStats};
@@ -79,8 +80,23 @@ struct SolveOutcome {
     c_emptied: bool,
     /// The status-quo objective (`max_c nn_e(c)`), valid once `c_emptied`.
     no_improve_value: f64,
+    /// Set when the budget fired mid-search (the main loop broke early).
+    interrupted: Option<DegradedInfo>,
     /// Instrumentation.
     stats: QueryStats,
+}
+
+/// What the solver knew when its budget fired.
+struct DegradedInfo {
+    /// Which budget limit fired.
+    reason: BudgetReason,
+    /// The `d_low` reached so far. No candidate qualified at or below it
+    /// and no uncovered client has an existing facility within it, so the
+    /// exact optimum (candidate or status quo) is ≥ this bound.
+    lower_bound: f64,
+    /// The candidate covering the most still-uncovered clients (ties to
+    /// the lowest id) — the best-so-far answer to report.
+    best_partial: Option<PartitionId>,
 }
 
 /// All mutable query state, grouped so helper methods can borrow it as one.
@@ -263,6 +279,27 @@ impl SearchState {
         }
         self.qualified.len() >= target
     }
+
+    /// Snapshot taken when a budget fires: the candidate covering the most
+    /// still-uncovered clients (ties broken toward the lowest id, so
+    /// degraded answers are deterministic for a fixed trip point).
+    fn degraded_info(
+        &self,
+        candidates: &[PartitionId],
+        reason: BudgetReason,
+        lower_bound: f64,
+    ) -> DegradedInfo {
+        let best_partial = candidates.iter().copied().max_by(|a, b| {
+            self.uncovered_have[a.index()]
+                .cmp(&self.uncovered_have[b.index()])
+                .then_with(|| b.cmp(a))
+        });
+        DegradedInfo {
+            reason,
+            lower_bound,
+            best_partial,
+        }
+    }
 }
 
 impl<'t, 'v> EfficientIfls<'t, 'v> {
@@ -287,8 +324,24 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         existing: &[PartitionId],
         candidates: &[PartitionId],
     ) -> MinMaxOutcome {
+        self.run_budgeted(clients, existing, candidates, &Budget::unlimited())
+    }
+
+    /// [`run`](Self::run) under a cooperative [`Budget`]. With an
+    /// unlimited budget this is bit-identical to `run`; when the budget
+    /// fires mid-search the outcome carries the best-so-far candidate
+    /// tagged [`Resolution::Degraded`] whose gap is
+    /// `objective − d_low` — `d_low` is the search's running lower bound
+    /// on the exact optimum, so the gap upper-bounds the distance error.
+    pub fn run_budgeted(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        budget: &Budget,
+    ) -> MinMaxOutcome {
         let mut cache = DistCache::with_enabled(self.config.dist_cache);
-        self.run_with_cache(clients, existing, candidates, &mut cache)
+        self.run_with_cache_budgeted(clients, existing, candidates, &mut cache, budget)
     }
 
     /// Answers the query through a caller-owned [`DistCache`], letting
@@ -303,7 +356,27 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         candidates: &[PartitionId],
         cache: &mut DistCache<'_>,
     ) -> MinMaxOutcome {
-        self.solve(clients, existing, candidates, 1, cache)
+        self.solve(
+            clients,
+            existing,
+            candidates,
+            1,
+            cache,
+            &Budget::unlimited(),
+        )
+    }
+
+    /// [`run_with_cache`](Self::run_with_cache) under a cooperative
+    /// [`Budget`] (see [`run_budgeted`](Self::run_budgeted)).
+    pub fn run_with_cache_budgeted(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        cache: &mut DistCache<'_>,
+        budget: &Budget,
+    ) -> MinMaxOutcome {
+        self.solve(clients, existing, candidates, 1, cache, budget)
     }
 
     /// Top-k variant: the `k` candidates with the smallest objective
@@ -330,7 +403,16 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
             return ids.into_iter().take(k).map(|n| (n, 0.0)).collect();
         }
         let mut cache = DistCache::with_enabled(self.config.dist_cache);
-        let outcome = self.solve_full(clients, existing, candidates, k, &mut cache);
+        // Budgets apply to single-answer runs; top-k rankings are always
+        // computed to completion.
+        let outcome = self.solve_full(
+            clients,
+            existing,
+            candidates,
+            k,
+            &mut cache,
+            &Budget::unlimited(),
+        );
         let mut out = outcome.qualified;
         if out.len() < k && outcome.c_emptied {
             let mut rest: Vec<PartitionId> = candidates
@@ -362,8 +444,27 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         candidates: &[PartitionId],
         target: usize,
         cache: &mut DistCache<'_>,
+        budget: &Budget,
     ) -> MinMaxOutcome {
-        let full = self.solve_full(clients, existing, candidates, target, cache);
+        let full = self.solve_full(clients, existing, candidates, target, cache, budget);
+        if let Some(info) = full.interrupted {
+            // Budget fired mid-search: report the best-so-far candidate
+            // with its exact objective (one evaluation, outside the timed
+            // loop) and a gap against the search's lower bound.
+            let objective =
+                brute::evaluate_objective(self.tree, clients, existing, info.best_partial);
+            let resolution = Resolution::Degraded {
+                gap: (objective - info.lower_bound).max(0.0),
+                reason: info.reason,
+            };
+            record_degraded_obs(&resolution);
+            return MinMaxOutcome {
+                answer: info.best_partial,
+                objective,
+                resolution,
+                stats: full.stats,
+            };
+        }
         match full.qualified.first() {
             Some(&(first, v)) => {
                 // Qualification order follows `d_low`, so every candidate tied
@@ -380,12 +481,14 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
                 MinMaxOutcome {
                     answer: Some(n),
                     objective: v,
+                    resolution: Resolution::Exact,
                     stats: full.stats,
                 }
             }
             None if full.c_emptied => MinMaxOutcome {
                 answer: None,
                 objective: full.no_improve_value,
+                resolution: Resolution::Exact,
                 stats: full.stats,
             },
             None => {
@@ -394,6 +497,7 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
                 MinMaxOutcome {
                     answer: None,
                     objective,
+                    resolution: Resolution::Exact,
                     stats: full.stats,
                 }
             }
@@ -407,6 +511,7 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         candidates: &[PartitionId],
         target: usize,
         cache: &mut DistCache<'_>,
+        budget: &Budget,
     ) -> SolveOutcome {
         let start = Instant::now();
         let mut meter = MemoryMeter::default();
@@ -436,6 +541,7 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
                 qualified: Vec::new(),
                 c_emptied: clients.is_empty(),
                 no_improve_value: objective,
+                interrupted: None,
                 stats,
             };
         }
@@ -451,6 +557,9 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         let legs = ClientLegs::build(tree, clients);
         meter.add(legs.approx_bytes() as isize);
 
+        if ifls_fault::should_fail(ifls_fault::FaultPoint::ScratchAlloc) {
+            panic!("injected fault: scratch alloc");
+        }
         let mut st = SearchState::new(clients.len(), venue.num_partitions());
         meter.add(
             (clients.len() * (2 + std::mem::size_of::<Vec<PartitionId>>())
@@ -504,15 +613,29 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
             }
         }
         drop(setup_span);
+        let mut interrupted: Option<DegradedInfo> = None;
         if !done {
             let _loop_span = ifls_obs::span(Phase::CandidateLoop);
             let mut gd = 0.0f64;
             'outer: while !done {
+                // Budget checkpoint: one poll per queue pop. On a trip,
+                // snapshot the best-so-far candidate and the `d_low`
+                // lower bound, then stop cooperatively.
+                if let Some(reason) = budget.check(dist_computations + explorer.dist_computations) {
+                    interrupted = Some(st.degraded_info(candidates, reason, d_low));
+                    break 'outer;
+                }
                 let Some(entry) = explorer.pop(&mut meter) else {
                     // Queue exhausted: every (source, facility) pair has
                     // been retrieved. Finish the d_low loop unbounded.
                     let _refine = ifls_obs::span(Phase::Refine);
                     while let Some(next) = st.next_event_above(d_low) {
+                        if let Some(reason) =
+                            budget.check(dist_computations + explorer.dist_computations)
+                        {
+                            interrupted = Some(st.degraded_info(candidates, reason, d_low));
+                            break 'outer;
+                        }
                         d_low = next;
                         st.advance(d_low, &mut meter, self.config.prune_clients);
                         if st.update_answers(candidates, d_low, target) {
@@ -608,6 +731,7 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
             qualified: st.qualified,
             c_emptied: st.c_emptied,
             no_improve_value: st.last_cover_dist,
+            interrupted,
             stats,
         }
     }

@@ -34,6 +34,13 @@
 //! memory, wall-clock time, and a latency histogram with percentile
 //! readout.
 //!
+//! Every solver also accepts a cooperative [`Budget`] (deadline, shared
+//! cancellation, distance-computation cap) via its `run_budgeted` entry
+//! point. When a budget fires mid-query the solver returns its best-so-far
+//! candidate tagged [`Resolution::Degraded`] with an optimality gap; with
+//! an unlimited budget the plumbing is a single branch per checkpoint and
+//! answers and stats stay bit-identical to the plain `run` paths.
+//!
 //! All solvers are additionally instrumented with [`ifls_obs`] phase spans
 //! (`knn_init`, `group_retrieval`, `prune`, `candidate_loop`, `refine`,
 //! `cache_lookup`) and counters. Tracing is off by default and compiles
@@ -45,6 +52,7 @@
 
 mod baseline;
 mod brute;
+pub mod budget;
 mod efficient;
 mod explore;
 pub mod maxsum;
@@ -56,8 +64,9 @@ mod stats;
 
 pub use baseline::ModifiedMinMax;
 pub use brute::{evaluate_objective, BruteForce};
+pub use budget::{Budget, BudgetReason, CancelToken, Resolution};
 pub use efficient::{EfficientConfig, EfficientIfls};
 pub use monitor::{ClientId, IflsMonitor};
 pub use outcome::MinMaxOutcome;
-pub use parallel::{BatchRunner, IflsQuery, ParallelSolver};
+pub use parallel::{BatchRunner, IflsQuery, ParallelSolver, WorkerPanic};
 pub use stats::QueryStats;

@@ -25,6 +25,7 @@ use ifls_obs::Phase;
 use ifls_viptree::{DistCache, FacilityIndex, VipTree};
 
 use crate::brute;
+use crate::budget::{record_degraded_obs, Budget, Resolution};
 use crate::explore::{retrieval_dists, ClientLegs, Entity, Event, Explorer, EVENT_BYTES};
 use crate::stats::{MemoryMeter, QueryStats};
 use crate::EfficientConfig;
@@ -36,6 +37,9 @@ pub struct MaxSumOutcome {
     pub answer: Option<PartitionId>,
     /// Number of clients whose nearest facility the answer would become.
     pub wins: u64,
+    /// Whether the answer is exact or a budget-degraded best-so-far
+    /// candidate (gap counted in client wins).
+    pub resolution: Resolution,
     /// Instrumentation.
     pub stats: QueryStats,
 }
@@ -72,10 +76,31 @@ impl<'t, 'v> BruteForceMaxSum<'t, 'v> {
         existing: &[PartitionId],
         candidates: &[PartitionId],
     ) -> MaxSumOutcome {
+        self.run_budgeted(clients, existing, candidates, &Budget::unlimited())
+    }
+
+    /// [`run`](Self::run) under a cooperative [`Budget`], polled once per
+    /// candidate. The oracle has no pruning bounds, so a degraded outcome
+    /// reports the conservative gap `|C| − wins` (an unevaluated candidate
+    /// could in principle capture every client).
+    pub fn run_budgeted(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        budget: &Budget,
+    ) -> MaxSumOutcome {
         let start = Instant::now();
         let nn = brute::nearest_facility_dists(self.tree, clients, existing);
         let mut best: Option<(PartitionId, u64)> = None;
+        let mut interrupted = None;
+        let mut dists = (clients.len() * existing.len()) as u64;
         for &n in candidates {
+            if let Some(reason) = budget.check(dists) {
+                interrupted = Some(reason);
+                break;
+            }
+            dists += clients.len() as u64;
             let mut with = vec![f64::INFINITY; clients.len()];
             brute::min_with_partition_dists(self.tree, clients, n, &mut with);
             let wins = nn.iter().zip(&with).filter(|(e, d)| *d < *e).count() as u64;
@@ -87,23 +112,40 @@ impl<'t, 'v> BruteForceMaxSum<'t, 'v> {
                 best = Some((n, wins));
             }
         }
+        // `dists` tracks evaluations actually performed, so an interrupted
+        // run reports truthful counters while an unbounded run reports
+        // exactly `|C|·(|Fe| + |Fn|)` as before.
         let mut stats = QueryStats {
-            dist_computations: (clients.len() * (existing.len() + candidates.len())) as u64,
-            facilities_retrieved: (clients.len() * candidates.len()) as u64,
+            dist_computations: dists,
+            facilities_retrieved: dists - (clients.len() * existing.len()) as u64,
             peak_bytes: clients.len() * 16,
             ..QueryStats::default()
         };
         stats.record_elapsed(start.elapsed());
         stats.record_query_obs();
+        let resolution = match interrupted {
+            Some(reason) => {
+                let achieved = best.map_or(0, |(_, w)| w);
+                let r = Resolution::Degraded {
+                    gap: (clients.len() as u64).saturating_sub(achieved) as f64,
+                    reason,
+                };
+                record_degraded_obs(&r);
+                r
+            }
+            None => Resolution::Exact,
+        };
         match best {
             Some((n, wins)) => MaxSumOutcome {
                 answer: Some(n),
                 wins,
+                resolution,
                 stats,
             },
             None => MaxSumOutcome {
                 answer: None,
                 wins: 0,
+                resolution,
                 stats,
             },
         }
@@ -137,8 +179,23 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
         existing: &[PartitionId],
         candidates: &[PartitionId],
     ) -> MaxSumOutcome {
+        self.run_budgeted(clients, existing, candidates, &Budget::unlimited())
+    }
+
+    /// [`run`](Self::run) under a cooperative [`Budget`]. When the budget
+    /// fires, the candidate with the most confirmed wins is reported with
+    /// its exact score; the gap is the best potential over all candidates
+    /// (`confirmed + undecided clients`) minus that score, an upper bound
+    /// on how many wins the exact optimum can exceed the answer by.
+    pub fn run_budgeted(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        budget: &Budget,
+    ) -> MaxSumOutcome {
         let mut cache = DistCache::with_enabled(self.config.dist_cache);
-        self.run_with_cache(clients, existing, candidates, &mut cache)
+        self.run_with_cache_budgeted(clients, existing, candidates, &mut cache, budget)
     }
 
     /// Answers the query through a caller-provided distance cache, letting
@@ -150,6 +207,19 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
         existing: &[PartitionId],
         candidates: &[PartitionId],
         cache: &mut DistCache<'_>,
+    ) -> MaxSumOutcome {
+        self.run_with_cache_budgeted(clients, existing, candidates, cache, &Budget::unlimited())
+    }
+
+    /// [`run_with_cache`](Self::run_with_cache) under a cooperative
+    /// [`Budget`] (see [`run_budgeted`](Self::run_budgeted)).
+    pub fn run_with_cache_budgeted(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        cache: &mut DistCache<'_>,
+        budget: &Budget,
     ) -> MaxSumOutcome {
         let start = Instant::now();
         let tree = self.tree;
@@ -165,6 +235,7 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
             return MaxSumOutcome {
                 answer: None,
                 wins: 0,
+                resolution: Resolution::Exact,
                 stats,
             };
         }
@@ -253,9 +324,18 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
 
         let mut answer: Option<(PartitionId, u64)> = None;
         let mut early_exit = false;
+        let mut interrupted = None;
         let mut pops = 0u64;
         let loop_span = ifls_obs::span(Phase::CandidateLoop);
-        while let Some(entry) = explorer.pop(&mut meter) {
+        loop {
+            // Budget checkpoint: one poll per queue pop.
+            if let Some(reason) = budget.check(dist_computations + explorer.dist_computations) {
+                interrupted = Some(reason);
+                break;
+            }
+            let Some(entry) = explorer.pop(&mut meter) else {
+                break;
+            };
             let gd = entry.key;
             let source = entry.source;
             let source_active = if self.config.prune_clients {
@@ -358,7 +438,7 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
 
         drop(loop_span);
 
-        if answer.is_none() {
+        if answer.is_none() && interrupted.is_none() {
             // Queue exhausted: remaining existing events decide their
             // clients; clients with no existing facility at all win with
             // every buffered candidate (nn_e = ∞).
@@ -389,7 +469,13 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
             answer = Some(best_candidate(&wins));
         }
 
-        let (n, w) = answer.expect("set above");
+        let (n, w) = match interrupted {
+            // Budget fired: the best-so-far answer is the candidate with
+            // the most confirmed wins (lowest id on ties, matching the
+            // exact tie-break).
+            Some(_) => best_candidate(&wins),
+            None => answer.expect("one of the two branches above assigned it"),
+        };
         let cache_after = cache.stats();
         let mut stats = QueryStats {
             dist_computations: dist_computations + explorer.dist_computations,
@@ -404,17 +490,37 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
         };
         stats.record_elapsed(start.elapsed());
         stats.record_query_obs();
-        // On early exit the confirmed count is only a lower bound of the
-        // winner's final score; report the exact value (computed outside
-        // the timed query, like the baseline's objective completion).
-        let wins = if early_exit {
+        // No candidate can beat its confirmed wins plus the still
+        // undecided clients, so the best potential bounds the exact
+        // optimum from above (only needed for a degraded gap).
+        let max_potential = candidates
+            .iter()
+            .map(|&c| wins[c.index()] + undecided as u64)
+            .fold(0u64, u64::max);
+        // On early exit (or a budget trip) the confirmed count is only a
+        // lower bound of the winner's final score; report the exact value
+        // (computed outside the timed query, like the baseline's objective
+        // completion).
+        let wins = if early_exit || interrupted.is_some() {
             evaluate_wins(tree, clients, existing, n)
         } else {
             w
         };
+        let resolution = match interrupted {
+            Some(reason) => {
+                let r = Resolution::Degraded {
+                    gap: (max_potential as f64 - wins as f64).max(0.0),
+                    reason,
+                };
+                record_degraded_obs(&r);
+                r
+            }
+            None => Resolution::Exact,
+        };
         MaxSumOutcome {
             answer: Some(n),
             wins,
+            resolution,
             stats,
         }
     }

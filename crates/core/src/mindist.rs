@@ -25,6 +25,7 @@ use ifls_obs::Phase;
 use ifls_viptree::{DistCache, FacilityIndex, VipTree};
 
 use crate::brute;
+use crate::budget::{record_degraded_obs, Budget, Resolution};
 use crate::explore::{retrieval_dists, ClientLegs, Entity, Event, Explorer, EVENT_BYTES};
 use crate::stats::{MemoryMeter, QueryStats};
 use crate::EfficientConfig;
@@ -37,6 +38,9 @@ pub struct MinDistOutcome {
     pub answer: Option<PartitionId>,
     /// The total distance `Σ_c iDist(c, NN(c, Fe ∪ answer))`.
     pub total: f64,
+    /// Whether the answer is exact or a budget-degraded best-so-far
+    /// candidate (gap in total-distance units).
+    pub resolution: Resolution,
     /// Instrumentation.
     pub stats: QueryStats,
 }
@@ -88,10 +92,31 @@ impl<'t, 'v> BruteForceMinDist<'t, 'v> {
         existing: &[PartitionId],
         candidates: &[PartitionId],
     ) -> MinDistOutcome {
+        self.run_budgeted(clients, existing, candidates, &Budget::unlimited())
+    }
+
+    /// [`run`](Self::run) under a cooperative [`Budget`], polled once per
+    /// candidate. The oracle has no pruning bounds, so a degraded outcome
+    /// reports the conservative gap `total − 0` (any unevaluated candidate
+    /// could in principle reach a zero total).
+    pub fn run_budgeted(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        budget: &Budget,
+    ) -> MinDistOutcome {
         let start = Instant::now();
         let nn = brute::nearest_facility_dists(self.tree, clients, existing);
         let mut best: Option<(PartitionId, f64)> = None;
+        let mut interrupted = None;
+        let mut dists = (clients.len() * existing.len()) as u64;
         for &n in candidates {
+            if let Some(reason) = budget.check(dists) {
+                interrupted = Some(reason);
+                break;
+            }
+            dists += clients.len() as u64;
             let mut per = nn.clone();
             brute::min_with_partition_dists(self.tree, clients, n, &mut per);
             let total: f64 = per.into_iter().sum();
@@ -103,23 +128,40 @@ impl<'t, 'v> BruteForceMinDist<'t, 'v> {
                 best = Some((n, total));
             }
         }
+        // `dists` tracks evaluations actually performed, so an interrupted
+        // run reports truthful counters while an unbounded run reports
+        // exactly `|C|·(|Fe| + |Fn|)` as before.
         let mut stats = QueryStats {
-            dist_computations: (clients.len() * (existing.len() + candidates.len())) as u64,
-            facilities_retrieved: (clients.len() * candidates.len()) as u64,
+            dist_computations: dists,
+            facilities_retrieved: dists - (clients.len() * existing.len()) as u64,
             peak_bytes: clients.len() * 16,
             ..QueryStats::default()
         };
         stats.record_elapsed(start.elapsed());
         stats.record_query_obs();
+        let resolution = match interrupted {
+            Some(reason) => {
+                let achieved = best.map_or_else(|| nn.iter().sum(), |(_, t)| t);
+                let r = Resolution::Degraded {
+                    gap: achieved.max(0.0),
+                    reason,
+                };
+                record_degraded_obs(&r);
+                r
+            }
+            None => Resolution::Exact,
+        };
         match best {
             Some((n, total)) => MinDistOutcome {
                 answer: Some(n),
                 total,
+                resolution,
                 stats,
             },
             None => MinDistOutcome {
                 answer: None,
                 total: nn.into_iter().sum(),
+                resolution,
                 stats,
             },
         }
@@ -192,8 +234,23 @@ impl<'t, 'v> EfficientMinDist<'t, 'v> {
         existing: &[PartitionId],
         candidates: &[PartitionId],
     ) -> MinDistOutcome {
+        self.run_budgeted(clients, existing, candidates, &Budget::unlimited())
+    }
+
+    /// [`run`](Self::run) under a cooperative [`Budget`]. When the budget
+    /// fires, the candidate with the smallest running lower bound
+    /// (`decided total + undecided · Gd`) is reported with its exact
+    /// total; the gap is that total minus the smallest lower bound over
+    /// all candidates, which upper-bounds the error vs. the exact optimum.
+    pub fn run_budgeted(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        budget: &Budget,
+    ) -> MinDistOutcome {
         let mut cache = DistCache::with_enabled(self.config.dist_cache);
-        self.run_with_cache(clients, existing, candidates, &mut cache)
+        self.run_with_cache_budgeted(clients, existing, candidates, &mut cache, budget)
     }
 
     /// Answers the query through a caller-provided distance cache, letting
@@ -205,6 +262,19 @@ impl<'t, 'v> EfficientMinDist<'t, 'v> {
         existing: &[PartitionId],
         candidates: &[PartitionId],
         cache: &mut DistCache<'_>,
+    ) -> MinDistOutcome {
+        self.run_with_cache_budgeted(clients, existing, candidates, cache, &Budget::unlimited())
+    }
+
+    /// [`run_with_cache`](Self::run_with_cache) under a cooperative
+    /// [`Budget`] (see [`run_budgeted`](Self::run_budgeted)).
+    pub fn run_with_cache_budgeted(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        cache: &mut DistCache<'_>,
+        budget: &Budget,
     ) -> MinDistOutcome {
         let start = Instant::now();
         let tree = self.tree;
@@ -225,6 +295,7 @@ impl<'t, 'v> EfficientMinDist<'t, 'v> {
             return MinDistOutcome {
                 answer: None,
                 total,
+                resolution: Resolution::Exact,
                 stats,
             };
         }
@@ -375,10 +446,20 @@ impl<'t, 'v> EfficientMinDist<'t, 'v> {
             Some((bn, bt))
         };
 
-        let mut answer: Option<(PartitionId, f64)>;
+        let mut answer: Option<(PartitionId, f64)> = None;
         let mut pops = 0u64;
+        let mut interrupted = None;
+        // The bound below which every contribution has been decided (the
+        // last `Gd` whose events were processed); the degraded lower
+        // bounds are taken at this bound.
+        let mut decided_bound = 0.0f64;
         let loop_span = ifls_obs::span(Phase::CandidateLoop);
         loop {
+            // Budget checkpoint: one poll per queue pop.
+            if let Some(reason) = budget.check(dist_computations + explorer.dist_computations) {
+                interrupted = Some(reason);
+                break;
+            }
             let Some(entry) = explorer.pop(&mut meter) else {
                 // Everything retrieved: decide all remaining contributions.
                 {
@@ -463,6 +544,7 @@ impl<'t, 'v> EfficientMinDist<'t, 'v> {
                     &mut meter,
                 );
             }
+            decided_bound = gd;
             pops += 1;
             // The O(|Fn|) answer check is throttled; delaying it never
             // changes the answer, only when it is noticed.
@@ -490,10 +572,44 @@ impl<'t, 'v> EfficientMinDist<'t, 'v> {
         };
         stats.record_elapsed(start.elapsed());
         stats.record_query_obs();
+        if let Some(reason) = interrupted {
+            // Budget fired: pick the candidate with the smallest lower
+            // bound (`decided + undecided · decided_bound`, the same
+            // bound `checkAnswer` uses), report its exact total (one
+            // evaluation, outside the timed loop) and the gap against the
+            // smallest lower bound over all candidates — a bound on the
+            // distance error vs. the exact optimum.
+            let mut best_n: Option<(PartitionId, f64)> = None;
+            for &n in candidates {
+                let undecided = n_clients as f64 - f64::from(totals.decided_cnt(n));
+                let lb = totals.decided_sum(n) + undecided * decided_bound;
+                let better = match best_n {
+                    None => true,
+                    Some((bn, blb)) => lb < blb || (lb == blb && n < bn),
+                };
+                if better {
+                    best_n = Some((n, lb));
+                }
+            }
+            let (n, global_lb) = best_n.expect("candidates checked non-empty above");
+            let total = evaluate_total(tree, clients, existing, Some(n));
+            let resolution = Resolution::Degraded {
+                gap: (total - global_lb).max(0.0),
+                reason,
+            };
+            record_degraded_obs(&resolution);
+            return MinDistOutcome {
+                answer: Some(n),
+                total,
+                resolution,
+                stats,
+            };
+        }
         match answer {
             Some((n, total)) => MinDistOutcome {
                 answer: Some(n),
                 total,
+                resolution: Resolution::Exact,
                 stats,
             },
             None => {
@@ -502,6 +618,7 @@ impl<'t, 'v> EfficientMinDist<'t, 'v> {
                 MinDistOutcome {
                     answer: None,
                     total,
+                    resolution: Resolution::Exact,
                     stats,
                 }
             }
@@ -608,6 +725,7 @@ mod tests {
         let o = MinDistOutcome {
             answer: None,
             total: 10.0,
+            resolution: Resolution::Exact,
             stats: QueryStats::default(),
         };
         assert_eq!(o.average(4), 2.5);

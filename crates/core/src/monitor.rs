@@ -47,6 +47,10 @@ impl Contributions {
 
     fn remove(&mut self, v: f64) {
         let bits = v.to_bits();
+        // Invariant: `remove` is only ever called with a value previously
+        // passed to `insert` and not yet removed (the monitor stores each
+        // client's current contribution and removes exactly that bit
+        // pattern), so the multiset entry must exist.
         let count = self.values.get_mut(&bits).expect("value was inserted");
         *count -= 1;
         if *count == 0 {
@@ -135,6 +139,8 @@ impl<'t, 'v> IflsMonitor<'t, 'v> {
     /// client contribution, with that objective value. With no clients the
     /// objective is 0 and the smallest candidate id is returned.
     pub fn answer(&self) -> (PartitionId, f64) {
+        // Invariant: `new` asserts a non-empty candidate set and `order`
+        // always holds one entry per candidate, so a first entry exists.
         let &(bits, ordinal) = self.order.first().expect("candidates non-empty");
         (self.candidates[ordinal as usize], f64::from_bits(bits))
     }

@@ -2,6 +2,7 @@
 
 use ifls_indoor::PartitionId;
 
+use crate::budget::Resolution;
 use crate::stats::QueryStats;
 
 /// The result of a MinMax IFLS query.
@@ -15,6 +16,9 @@ pub struct MinMaxOutcome {
     /// `answer` is `None` this is the clients' maximum
     /// nearest-existing-facility distance, which no candidate improves.
     pub objective: f64,
+    /// Whether the answer is exact or a budget-degraded best-so-far
+    /// candidate (with an optimality gap in distance units).
+    pub resolution: Resolution,
     /// Instrumentation collected during the query.
     pub stats: QueryStats,
 }
@@ -37,9 +41,11 @@ mod tests {
         let o = MinMaxOutcome {
             answer: Some(PartitionId::new(3)),
             objective: 7.5,
+            resolution: Resolution::Exact,
             stats: QueryStats::default(),
         };
         assert_eq!(o.objective(), 7.5);
         assert_eq!(o.answer, Some(PartitionId::new(3)));
+        assert!(o.resolution.is_exact());
     }
 }

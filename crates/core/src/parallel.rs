@@ -28,7 +28,32 @@
 //! [`QueryStats::merge`]; wall-clock `elapsed` is the outer measurement,
 //! while the work counters sum across workers (they can exceed the serial
 //! counters because shards repeat the shared coverage phase).
+//!
+//! # Fault isolation
+//!
+//! A panic inside one worker item (one query, one candidate shard) must
+//! not take down the whole batch. The sharded paths wrap every item in
+//! [`std::panic::catch_unwind`]; a failed item is re-run **once** by the
+//! coordinator, serially, on a fresh worker state (the panic may have left
+//! the old state torn). Only when the retry fails too does the typed
+//! [`WorkerPanic`] error surface — through the `try_run_*` methods, or as
+//! a plain panic from the infallible `run_*` wrappers. Each retried item
+//! ticks the `worker_retries` obs counter. A worker thread that dies
+//! outright (before draining the work cursor) just leaves its share to
+//! the surviving workers and the coordinator. The serial (`threads <= 1`)
+//! path stays panic-transparent: isolation is a property of sharding.
+//!
+//! # Budgets
+//!
+//! The `try_run_*` methods take a [`Budget`]; every worker item runs under
+//! its own [`Budget::clone`] (fresh checkpoint counter, shared cancel
+//! token and deadline), so deterministic checkpoint trips behave the same
+//! whether an item runs on a worker or on the coordinator's retry path.
+//! Shard resolutions merge conservatively: the merged answer is `Exact`
+//! only if every shard is, and a merged gap re-derives from the shards'
+//! lower (resp. upper) bounds — see DESIGN.md §11.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 use std::time::Instant;
@@ -37,6 +62,7 @@ use ifls_indoor::{IndoorPoint, PartitionId};
 use ifls_viptree::cache::DEFAULT_CACHE_ENTRIES;
 use ifls_viptree::{DistCache, SharedDistCache, VipTree};
 
+use crate::budget::{Budget, Resolution};
 use crate::maxsum::{EfficientMaxSum, MaxSumOutcome};
 use crate::mindist::{EfficientMinDist, MinDistOutcome};
 use crate::{brute, EfficientConfig, EfficientIfls, MinMaxOutcome, QueryStats};
@@ -47,6 +73,41 @@ const _: () = {
     const fn assert_sync<T: Sync>() {}
     assert_sync::<VipTree<'static>>();
 };
+
+/// A worker item panicked twice: once on its worker and once on the
+/// coordinator's serial retry. Carries the item index (query index for
+/// [`BatchRunner`], shard index for [`ParallelSolver`]) and the panic
+/// payload's message.
+#[derive(Clone, Debug)]
+pub struct WorkerPanic {
+    /// Input-order index of the item that failed.
+    pub index: usize,
+    /// The panic message (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker item {} panicked twice (retry exhausted): {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Number of worker threads to use by default: the machine's available
 /// parallelism, or 1 if it cannot be determined.
@@ -81,13 +142,41 @@ where
     run_indexed_state(threads, n, || (), |(), i| f(i))
 }
 
+/// Infallible wrapper over [`try_run_indexed_state`]: a double failure
+/// (worker and coordinator retry) becomes a panic carrying the
+/// [`WorkerPanic`] message.
+fn run_indexed_state<S, R, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    match try_run_indexed_state(threads, n, init, f) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
 /// Like [`run_indexed`], but every worker owns a mutable state built once
 /// by `init` and threaded through all the items it claims — the hook that
 /// lets batch workers keep a persistent [`DistCache`] across queries.
 /// Which worker answers which query is scheduling-dependent, but cache
 /// contents can never change an answer (every entry is a pure function of
 /// the tree), so results stay deterministic.
-fn run_indexed_state<S, R, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<R>
+///
+/// Fault isolation: each `f(state, i)` call runs under `catch_unwind`. An
+/// item that panics is rerun once by the coordinator after the workers
+/// finish, serially and on a fresh state (ticking the `worker_retries`
+/// counter); if the retry panics too, the error is returned. A worker
+/// thread that dies outside an item (a panic in `init` or an injected
+/// start fault) is tolerated the same way: any item it claimed but never
+/// returned is recomputed by the coordinator.
+fn try_run_indexed_state<S, R, I, F>(
+    threads: usize,
+    n: usize,
+    init: I,
+    f: F,
+) -> Result<Vec<R>, WorkerPanic>
 where
     R: Send,
     I: Fn() -> S + Sync,
@@ -95,8 +184,10 @@ where
 {
     let workers = threads.min(n);
     if workers <= 1 {
+        // Serial path: panics propagate unchanged, exactly as a plain loop
+        // would. Isolation (and retry) is a property of the sharded path.
         let mut state = init();
-        return (0..n).map(|i| f(&mut state, i)).collect();
+        return Ok((0..n).map(|i| f(&mut state, i)).collect());
     }
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -104,6 +195,9 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
+                    if ifls_fault::should_fail(ifls_fault::FaultPoint::WorkerStart) {
+                        panic!("injected fault: worker start");
+                    }
                     let mut state = init();
                     let mut out = Vec::new();
                     loop {
@@ -111,7 +205,13 @@ where
                         if i >= n {
                             break;
                         }
-                        out.push((i, f(&mut state, i)));
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut state, i))) {
+                            Ok(r) => out.push((i, r)),
+                            // Leave the slot empty for the coordinator's
+                            // retry pass and rebuild the worker state: the
+                            // panic may have left it torn mid-update.
+                            Err(_) => state = init(),
+                        }
                     }
                     // Hand the worker's observability sink back with its
                     // results: worker threads die at scope exit, so any
@@ -123,17 +223,89 @@ where
         // Joining in spawn order keeps the fold deterministic; merging is
         // element-wise addition anyway, so scheduling cannot change totals.
         for h in handles {
-            let (out, sink) = h.join().expect("parallel worker panicked");
-            for (i, r) in out {
-                slots[i] = Some(r);
+            // A worker that died outright returned nothing; whatever it
+            // left unfinished is recomputed below.
+            if let Ok((out, sink)) = h.join() {
+                for (i, r) in out {
+                    slots[i] = Some(r);
+                }
+                ifls_obs::merge_local(&sink);
             }
-            ifls_obs::merge_local(&sink);
         }
     });
-    slots
+    // Coordinator retry pass: recompute every empty slot serially, once,
+    // on a fresh state shared across retried items. A second panic on the
+    // same item surfaces as the typed error.
+    let mut retry_state: Option<S> = None;
+    for (i, slot) in slots.iter_mut().enumerate() {
+        if slot.is_some() {
+            continue;
+        }
+        ifls_obs::counter_add(ifls_obs::Counter::WorkerRetries, 1);
+        let state = retry_state.get_or_insert_with(&init);
+        match catch_unwind(AssertUnwindSafe(|| f(state, i))) {
+            Ok(r) => *slot = Some(r),
+            Err(payload) => {
+                return Err(WorkerPanic {
+                    index: i,
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+    Ok(slots
         .into_iter()
-        .map(|r| r.expect("every index visited"))
-        .collect()
+        .map(|r| r.expect("every empty slot filled by the retry pass above"))
+        .collect())
+}
+
+/// Merges shard resolutions for a minimizing objective (MinMax, MinDist).
+///
+/// Every shard reports an *achieved* value (a really-evaluated placement
+/// or the status quo) and a gap such that `achieved_i − gap_i`
+/// lower-bounds the shard's true optimum (exact shards have gap 0, so the
+/// bound is tight). The global optimum is the min over shard optima, hence
+/// `achieved − min_i(achieved_i − gap_i)` upper-bounds the merged answer's
+/// error. The per-shard degraded obs counter was already ticked inside
+/// each worker, so the merge does not tick again.
+fn merge_minimize_resolution<'a, I>(parts: I, achieved: f64) -> Resolution
+where
+    I: Iterator<Item = (f64, &'a Resolution)> + Clone,
+{
+    let reason = parts.clone().find_map(|(_, r)| r.reason());
+    match reason {
+        None => Resolution::Exact,
+        Some(reason) => {
+            let lower = parts
+                .map(|(obj, r)| obj - r.gap())
+                .fold(f64::INFINITY, f64::min);
+            Resolution::Degraded {
+                gap: (achieved - lower).max(0.0),
+                reason,
+            }
+        }
+    }
+}
+
+/// Merges shard resolutions for the maximizing MaxSum objective: each
+/// shard's `wins_i + gap_i` upper-bounds its true optimum, so the max over
+/// shards bounds the global optimum and the merged gap is the distance
+/// from the achieved win count to that bound.
+fn merge_maxsum_resolution(parts: &[MaxSumOutcome], achieved: u64) -> Resolution {
+    let reason = parts.iter().find_map(|o| o.resolution.reason());
+    match reason {
+        None => Resolution::Exact,
+        Some(reason) => {
+            let upper = parts
+                .iter()
+                .map(|o| o.wins as f64 + o.resolution.gap())
+                .fold(0.0, f64::max);
+            Resolution::Degraded {
+                gap: (upper - achieved as f64).max(0.0),
+                reason,
+            }
+        }
+    }
 }
 
 /// Parallel IFLS solver: candidate-set sharding over scoped threads.
@@ -226,22 +398,48 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
         existing: &[PartitionId],
         candidates: &[PartitionId],
     ) -> MinMaxOutcome {
+        match self.try_run_minmax(clients, existing, candidates, &Budget::unlimited()) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`run_minmax`](Self::run_minmax) under a cooperative [`Budget`],
+    /// with worker panics isolated per shard and retried once on the
+    /// coordinator before surfacing as [`WorkerPanic`].
+    pub fn try_run_minmax(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        budget: &Budget,
+    ) -> Result<MinMaxOutcome, WorkerPanic> {
         let start = Instant::now();
         let ranges = chunk_ranges(candidates.len(), self.threads);
         if ranges.len() <= 1 || clients.is_empty() {
-            return EfficientIfls::with_config(self.tree, self.config)
-                .run(clients, existing, candidates);
+            return Ok(EfficientIfls::with_config(self.tree, self.config)
+                .run_budgeted(clients, existing, candidates, budget));
         }
         let shared = self.shared_tier(clients, existing, candidates);
-        let partials = run_indexed(ranges.len(), ranges.len(), |i| {
-            let mut cache = self.worker_cache(shared.as_ref());
-            EfficientIfls::with_config(self.tree, self.config).run_with_cache(
-                clients,
-                existing,
-                &candidates[ranges[i].clone()],
-                &mut cache,
-            )
-        });
+        let partials = try_run_indexed_state(
+            ranges.len(),
+            ranges.len(),
+            || (),
+            |(), i| {
+                let mut cache = self.worker_cache(shared.as_ref());
+                // Each shard polls its own clone: fresh checkpoint counter,
+                // shared cancel token — so deterministic trips behave the
+                // same on a worker and on the coordinator's retry path.
+                let shard_budget = budget.clone();
+                EfficientIfls::with_config(self.tree, self.config).run_with_cache_budgeted(
+                    clients,
+                    existing,
+                    &candidates[ranges[i].clone()],
+                    &mut cache,
+                    &shard_budget,
+                )
+            },
+        )?;
         let mut stats = QueryStats::default();
         for p in &partials {
             stats.merge(&p.stats);
@@ -253,21 +451,23 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
             .iter()
             .filter_map(|o| o.answer.map(|n| (n, o.objective)))
             .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-        match best {
-            Some((n, objective)) => MinMaxOutcome {
-                answer: Some(n),
-                objective,
-                stats,
-            },
+        let (answer, objective) = match best {
+            Some((n, objective)) => (Some(n), objective),
             // No shard improves on the status quo; every shard reports the
             // same status-quo objective, computed from the shared coverage
             // phase that does not depend on the candidate shard.
-            None => MinMaxOutcome {
-                answer: None,
-                objective: partials[0].objective,
-                stats,
-            },
-        }
+            None => (None, partials[0].objective),
+        };
+        let resolution = merge_minimize_resolution(
+            partials.iter().map(|o| (o.objective, &o.resolution)),
+            objective,
+        );
+        Ok(MinMaxOutcome {
+            answer,
+            objective,
+            resolution,
+            stats,
+        })
     }
 
     /// Answers a MinDist (total/average distance) query.
@@ -277,22 +477,45 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
         existing: &[PartitionId],
         candidates: &[PartitionId],
     ) -> MinDistOutcome {
+        match self.try_run_mindist(clients, existing, candidates, &Budget::unlimited()) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`run_mindist`](Self::run_mindist) under a cooperative [`Budget`],
+    /// with per-shard panic isolation (see
+    /// [`try_run_minmax`](Self::try_run_minmax)).
+    pub fn try_run_mindist(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        budget: &Budget,
+    ) -> Result<MinDistOutcome, WorkerPanic> {
         let start = Instant::now();
         let ranges = chunk_ranges(candidates.len(), self.threads);
         if ranges.len() <= 1 || clients.is_empty() {
-            return EfficientMinDist::with_config(self.tree, self.config)
-                .run(clients, existing, candidates);
+            return Ok(EfficientMinDist::with_config(self.tree, self.config)
+                .run_budgeted(clients, existing, candidates, budget));
         }
         let shared = self.shared_tier(clients, existing, candidates);
-        let partials = run_indexed(ranges.len(), ranges.len(), |i| {
-            let mut cache = self.worker_cache(shared.as_ref());
-            EfficientMinDist::with_config(self.tree, self.config).run_with_cache(
-                clients,
-                existing,
-                &candidates[ranges[i].clone()],
-                &mut cache,
-            )
-        });
+        let partials = try_run_indexed_state(
+            ranges.len(),
+            ranges.len(),
+            || (),
+            |(), i| {
+                let mut cache = self.worker_cache(shared.as_ref());
+                let shard_budget = budget.clone();
+                EfficientMinDist::with_config(self.tree, self.config).run_with_cache_budgeted(
+                    clients,
+                    existing,
+                    &candidates[ranges[i].clone()],
+                    &mut cache,
+                    &shard_budget,
+                )
+            },
+        )?;
         let mut stats = QueryStats::default();
         for p in &partials {
             stats.merge(&p.stats);
@@ -303,18 +526,18 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
             .iter()
             .filter_map(|o| o.answer.map(|n| (n, o.total)))
             .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-        match best {
-            Some((n, total)) => MinDistOutcome {
-                answer: Some(n),
-                total,
-                stats,
-            },
-            None => MinDistOutcome {
-                answer: None,
-                total: partials[0].total,
-                stats,
-            },
-        }
+        let (answer, total) = match best {
+            Some((n, total)) => (Some(n), total),
+            None => (None, partials[0].total),
+        };
+        let resolution =
+            merge_minimize_resolution(partials.iter().map(|o| (o.total, &o.resolution)), total);
+        Ok(MinDistOutcome {
+            answer,
+            total,
+            resolution,
+            stats,
+        })
     }
 
     /// Answers a MaxSum (captured clients) query.
@@ -324,22 +547,45 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
         existing: &[PartitionId],
         candidates: &[PartitionId],
     ) -> MaxSumOutcome {
+        match self.try_run_maxsum(clients, existing, candidates, &Budget::unlimited()) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`run_maxsum`](Self::run_maxsum) under a cooperative [`Budget`],
+    /// with per-shard panic isolation (see
+    /// [`try_run_minmax`](Self::try_run_minmax)).
+    pub fn try_run_maxsum(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        budget: &Budget,
+    ) -> Result<MaxSumOutcome, WorkerPanic> {
         let start = Instant::now();
         let ranges = chunk_ranges(candidates.len(), self.threads);
         if ranges.len() <= 1 || clients.is_empty() {
-            return EfficientMaxSum::with_config(self.tree, self.config)
-                .run(clients, existing, candidates);
+            return Ok(EfficientMaxSum::with_config(self.tree, self.config)
+                .run_budgeted(clients, existing, candidates, budget));
         }
         let shared = self.shared_tier(clients, existing, candidates);
-        let partials = run_indexed(ranges.len(), ranges.len(), |i| {
-            let mut cache = self.worker_cache(shared.as_ref());
-            EfficientMaxSum::with_config(self.tree, self.config).run_with_cache(
-                clients,
-                existing,
-                &candidates[ranges[i].clone()],
-                &mut cache,
-            )
-        });
+        let partials = try_run_indexed_state(
+            ranges.len(),
+            ranges.len(),
+            || (),
+            |(), i| {
+                let mut cache = self.worker_cache(shared.as_ref());
+                let shard_budget = budget.clone();
+                EfficientMaxSum::with_config(self.tree, self.config).run_with_cache_budgeted(
+                    clients,
+                    existing,
+                    &candidates[ranges[i].clone()],
+                    &mut cache,
+                    &shard_budget,
+                )
+            },
+        )?;
         let mut stats = QueryStats::default();
         for p in &partials {
             stats.merge(&p.stats);
@@ -350,18 +596,17 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
             .iter()
             .filter_map(|o| o.answer.map(|n| (n, o.wins)))
             .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
-        match best {
-            Some((n, wins)) => MaxSumOutcome {
-                answer: Some(n),
-                wins,
-                stats,
-            },
-            None => MaxSumOutcome {
-                answer: None,
-                wins: 0,
-                stats,
-            },
-        }
+        let (answer, wins) = match best {
+            Some((n, wins)) => (Some(n), wins),
+            None => (None, 0),
+        };
+        let resolution = merge_maxsum_resolution(&partials, wins);
+        Ok(MaxSumOutcome {
+            answer,
+            wins,
+            resolution,
+            stats,
+        })
     }
 
     /// Evaluates the MinMax objective of one placement by sharding the
@@ -404,7 +649,9 @@ pub struct IflsQuery {
 ///
 /// Each query runs on the serial efficient solver (one query, one
 /// worker), so every individual result is bit-identical to a serial run;
-/// results come back in input order regardless of scheduling.
+/// results come back in input order regardless of scheduling. A query that
+/// panics is retried once on the coordinator without failing the batch
+/// (see the module docs on fault isolation).
 #[derive(Clone, Copy)]
 pub struct BatchRunner<'t, 'v> {
     tree: &'t VipTree<'v>,
@@ -449,18 +696,34 @@ impl<'t, 'v> BatchRunner<'t, 'v> {
     /// door-distance vectors memoized for one query serve the next — the
     /// cross-query reuse the serving shape is built for.
     pub fn run_minmax(&self, queries: &[IflsQuery]) -> Vec<MinMaxOutcome> {
+        match self.try_run_minmax(queries, &Budget::unlimited()) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`run_minmax`](Self::run_minmax) under a per-query [`Budget`]
+    /// (every query polls its own [`Budget::clone`]), with worker panics
+    /// isolated per query and retried once before failing the batch.
+    pub fn try_run_minmax(
+        &self,
+        queries: &[IflsQuery],
+        budget: &Budget,
+    ) -> Result<Vec<MinMaxOutcome>, WorkerPanic> {
         let config = self.config;
-        run_indexed_state(
+        try_run_indexed_state(
             self.threads,
             queries.len(),
             || DistCache::with_enabled(config.dist_cache),
             |cache, i| {
                 let q = &queries[i];
-                EfficientIfls::with_config(self.tree, config).run_with_cache(
+                let query_budget = budget.clone();
+                EfficientIfls::with_config(self.tree, config).run_with_cache_budgeted(
                     &q.clients,
                     &q.existing,
                     &q.candidates,
                     cache,
+                    &query_budget,
                 )
             },
         )
@@ -469,18 +732,33 @@ impl<'t, 'v> BatchRunner<'t, 'v> {
     /// Answers every MinDist query, results in input order (same
     /// per-worker persistent cache as [`run_minmax`](Self::run_minmax)).
     pub fn run_mindist(&self, queries: &[IflsQuery]) -> Vec<MinDistOutcome> {
+        match self.try_run_mindist(queries, &Budget::unlimited()) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`run_mindist`](Self::run_mindist) under a per-query [`Budget`],
+    /// with per-query panic isolation.
+    pub fn try_run_mindist(
+        &self,
+        queries: &[IflsQuery],
+        budget: &Budget,
+    ) -> Result<Vec<MinDistOutcome>, WorkerPanic> {
         let config = self.config;
-        run_indexed_state(
+        try_run_indexed_state(
             self.threads,
             queries.len(),
             || DistCache::with_enabled(config.dist_cache),
             |cache, i| {
                 let q = &queries[i];
-                EfficientMinDist::with_config(self.tree, config).run_with_cache(
+                let query_budget = budget.clone();
+                EfficientMinDist::with_config(self.tree, config).run_with_cache_budgeted(
                     &q.clients,
                     &q.existing,
                     &q.candidates,
                     cache,
+                    &query_budget,
                 )
             },
         )
@@ -489,18 +767,33 @@ impl<'t, 'v> BatchRunner<'t, 'v> {
     /// Answers every MaxSum query, results in input order (same
     /// per-worker persistent cache as [`run_minmax`](Self::run_minmax)).
     pub fn run_maxsum(&self, queries: &[IflsQuery]) -> Vec<MaxSumOutcome> {
+        match self.try_run_maxsum(queries, &Budget::unlimited()) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`run_maxsum`](Self::run_maxsum) under a per-query [`Budget`],
+    /// with per-query panic isolation.
+    pub fn try_run_maxsum(
+        &self,
+        queries: &[IflsQuery],
+        budget: &Budget,
+    ) -> Result<Vec<MaxSumOutcome>, WorkerPanic> {
         let config = self.config;
-        run_indexed_state(
+        try_run_indexed_state(
             self.threads,
             queries.len(),
             || DistCache::with_enabled(config.dist_cache),
             |cache, i| {
                 let q = &queries[i];
-                EfficientMaxSum::with_config(self.tree, config).run_with_cache(
+                let query_budget = budget.clone();
+                EfficientMaxSum::with_config(self.tree, config).run_with_cache_budgeted(
                     &q.clients,
                     &q.existing,
                     &q.candidates,
                     cache,
+                    &query_budget,
                 )
             },
         )
@@ -516,6 +809,7 @@ mod tests {
         assert_send_sync::<ParallelSolver<'static, 'static>>();
         assert_send_sync::<BatchRunner<'static, 'static>>();
         assert_send_sync::<IflsQuery>();
+        assert_send_sync::<WorkerPanic>();
     };
 
     #[test]
@@ -541,6 +835,68 @@ mod tests {
             let out = run_indexed(threads, 23, |i| i * i);
             assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn panicked_item_is_retried_once_by_coordinator() {
+        use std::sync::atomic::AtomicBool;
+        let fired = AtomicBool::new(false);
+        let out = try_run_indexed_state(
+            4,
+            16,
+            || (),
+            |(), i| {
+                if i == 7 && !fired.swap(true, Ordering::SeqCst) {
+                    panic!("transient worker fault");
+                }
+                i * 2
+            },
+        )
+        .expect("single panic is absorbed by the retry pass");
+        assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn double_failure_surfaces_typed_error() {
+        let err = try_run_indexed_state(
+            4,
+            8,
+            || (),
+            |(), i| {
+                if i == 3 {
+                    panic!("persistent worker fault");
+                }
+                i
+            },
+        )
+        .expect_err("an item that always panics must fail the run");
+        assert_eq!(err.index, 3);
+        assert!(err.message.contains("persistent worker fault"), "{err}");
+        assert!(err.to_string().contains("item 3"));
+    }
+
+    #[test]
+    fn serial_path_is_panic_transparent() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            try_run_indexed_state(1, 4, || (), |(), i| if i == 2 { panic!("boom") } else { i })
+        }));
+        assert!(caught.is_err(), "serial runs must not swallow panics");
+    }
+
+    #[test]
+    fn merged_resolution_is_exact_only_when_all_shards_are() {
+        let exact = [(5.0, Resolution::Exact), (7.0, Resolution::Exact)];
+        assert!(merge_minimize_resolution(exact.iter().map(|(o, r)| (*o, r)), 5.0).is_exact());
+
+        let degraded = Resolution::Degraded {
+            gap: 3.0,
+            reason: crate::budget::BudgetReason::DistCap,
+        };
+        let mixed = [(5.0, Resolution::Exact), (7.0, degraded)];
+        let merged = merge_minimize_resolution(mixed.iter().map(|(o, r)| (*o, r)), 5.0);
+        // Lower bound is min(5.0, 7.0 − 3.0) = 4.0, achieved 5.0 → gap 1.0.
+        assert_eq!(merged.gap(), 1.0);
+        assert_eq!(merged.reason(), Some(crate::budget::BudgetReason::DistCap));
     }
 
     #[test]

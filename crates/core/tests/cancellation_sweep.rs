@@ -1,0 +1,231 @@
+//! Cancellation is safe at *every* checkpoint a query crosses.
+//!
+//! For each objective, first count the checkpoints the query polls, then
+//! re-run it with a deterministic trip armed at every index in turn. Every
+//! interrupted run must return a coherent outcome: a `Cancelled` degraded
+//! resolution, a non-negative gap whose implied bound never undercuts the
+//! true optimum, an answer drawn from the candidate set, and stats that
+//! are a prefix of the full run's (never torn or inflated).
+
+use ifls_core::maxsum::EfficientMaxSum;
+use ifls_core::mindist::EfficientMinDist;
+use ifls_core::{
+    Budget, BudgetReason, CancelToken, EfficientIfls, ModifiedMinMax, QueryStats, Resolution,
+};
+use ifls_indoor::PartitionId;
+use ifls_venues::GridVenueSpec;
+use ifls_viptree::{VipTree, VipTreeConfig};
+use ifls_workloads::{Workload, WorkloadBuilder};
+
+const EPS: f64 = 1e-6;
+
+fn fixture() -> (ifls_indoor::Venue, Workload) {
+    let venue = GridVenueSpec::new("cancel-sweep", 1, 10).build();
+    let w = WorkloadBuilder::new(&venue)
+        .clients_uniform(8)
+        .existing_uniform(2)
+        .candidates_uniform(4)
+        .seed(0xca9c)
+        .build();
+    (venue, w)
+}
+
+/// Runs the query once with a never-firing trip armed so the budget's
+/// checkpoint counter records how many polls the query makes.
+fn count_checkpoints(run: &mut dyn FnMut(&Budget) -> Resolution) -> u64 {
+    let probe = Budget::unlimited().cancel_at_checkpoint(u64::MAX);
+    let resolution = run(&probe);
+    assert!(resolution.is_exact(), "probe budget fired");
+    probe.checkpoints_crossed()
+}
+
+fn assert_interrupted_sane(
+    label: &str,
+    resolution: &Resolution,
+    answer: Option<PartitionId>,
+    candidates: &[PartitionId],
+    stats: &QueryStats,
+    full: &QueryStats,
+) {
+    match resolution {
+        Resolution::Degraded { gap, reason } => {
+            assert_eq!(*reason, BudgetReason::Cancelled, "{label}");
+            assert!(*gap >= 0.0, "{label}: negative gap {gap}");
+        }
+        Resolution::Exact => panic!("{label}: tripped run reported exact"),
+    }
+    if let Some(a) = answer {
+        assert!(
+            candidates.contains(&a),
+            "{label}: answer {a:?} not a candidate"
+        );
+    }
+    // An interrupted run's counters are a prefix of the full run's work.
+    assert!(
+        stats.dist_computations <= full.dist_computations,
+        "{label}: dist count exceeds the full run"
+    );
+    assert!(
+        stats.facilities_retrieved <= full.facilities_retrieved,
+        "{label}: retrieval count exceeds the full run"
+    );
+    assert!(
+        stats.cache_hits + stats.cache_misses <= full.cache_hits + full.cache_misses,
+        "{label}: cache traffic exceeds the full run"
+    );
+}
+
+#[test]
+fn minmax_survives_cancellation_at_every_checkpoint() {
+    let (venue, w) = fixture();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let (c, e, n) = (&w.clients, &w.existing, &w.candidates);
+    let full = EfficientIfls::new(&tree).run(c, e, n);
+    let total = count_checkpoints(&mut |b| {
+        EfficientIfls::new(&tree)
+            .run_budgeted(c, e, n, b)
+            .resolution
+    });
+    assert!(total > 0, "query crossed no checkpoints");
+    for k in 0..total {
+        let budget = Budget::unlimited().cancel_at_checkpoint(k);
+        let got = EfficientIfls::new(&tree).run_budgeted(c, e, n, &budget);
+        let label = format!("minmax k={k}/{total}");
+        assert_interrupted_sane(
+            &label,
+            &got.resolution,
+            got.answer,
+            n,
+            &got.stats,
+            &full.stats,
+        );
+        // The implied lower bound must never exceed the true optimum.
+        let lower = got.objective - got.resolution.gap();
+        assert!(
+            lower <= full.objective + EPS,
+            "{label}: implied lower bound {lower} above optimum {}",
+            full.objective
+        );
+    }
+}
+
+#[test]
+fn mindist_survives_cancellation_at_every_checkpoint() {
+    let (venue, w) = fixture();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let (c, e, n) = (&w.clients, &w.existing, &w.candidates);
+    let full = EfficientMinDist::new(&tree).run(c, e, n);
+    let total = count_checkpoints(&mut |b| {
+        EfficientMinDist::new(&tree)
+            .run_budgeted(c, e, n, b)
+            .resolution
+    });
+    assert!(total > 0, "query crossed no checkpoints");
+    for k in 0..total {
+        let budget = Budget::unlimited().cancel_at_checkpoint(k);
+        let got = EfficientMinDist::new(&tree).run_budgeted(c, e, n, &budget);
+        let label = format!("mindist k={k}/{total}");
+        assert_interrupted_sane(
+            &label,
+            &got.resolution,
+            got.answer,
+            n,
+            &got.stats,
+            &full.stats,
+        );
+        let lower = got.total - got.resolution.gap();
+        assert!(
+            lower <= full.total + EPS,
+            "{label}: implied lower bound {lower} above optimum {}",
+            full.total
+        );
+    }
+}
+
+#[test]
+fn maxsum_survives_cancellation_at_every_checkpoint() {
+    let (venue, w) = fixture();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let (c, e, n) = (&w.clients, &w.existing, &w.candidates);
+    let full = EfficientMaxSum::new(&tree).run(c, e, n);
+    let total = count_checkpoints(&mut |b| {
+        EfficientMaxSum::new(&tree)
+            .run_budgeted(c, e, n, b)
+            .resolution
+    });
+    assert!(total > 0, "query crossed no checkpoints");
+    for k in 0..total {
+        let budget = Budget::unlimited().cancel_at_checkpoint(k);
+        let got = EfficientMaxSum::new(&tree).run_budgeted(c, e, n, &budget);
+        let label = format!("maxsum k={k}/{total}");
+        assert_interrupted_sane(
+            &label,
+            &got.resolution,
+            got.answer,
+            n,
+            &got.stats,
+            &full.stats,
+        );
+        // The implied upper bound must never undercut the true optimum.
+        let upper = got.wins as f64 + got.resolution.gap();
+        assert!(
+            upper + EPS >= full.wins as f64,
+            "{label}: implied upper bound {upper} below optimum {}",
+            full.wins
+        );
+    }
+}
+
+#[test]
+fn baseline_survives_cancellation_at_every_checkpoint() {
+    let (venue, w) = fixture();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let (c, e, n) = (&w.clients, &w.existing, &w.candidates);
+    let full = ModifiedMinMax::new(&tree).run(c, e, n);
+    let total = count_checkpoints(&mut |b| {
+        ModifiedMinMax::new(&tree)
+            .run_budgeted(c, e, n, b)
+            .resolution
+    });
+    assert!(total > 0, "query crossed no checkpoints");
+    for k in 0..total {
+        let budget = Budget::unlimited().cancel_at_checkpoint(k);
+        let got = ModifiedMinMax::new(&tree).run_budgeted(c, e, n, &budget);
+        let label = format!("baseline k={k}/{total}");
+        assert_interrupted_sane(
+            &label,
+            &got.resolution,
+            got.answer,
+            n,
+            &got.stats,
+            &full.stats,
+        );
+        let lower = got.objective - got.resolution.gap();
+        assert!(
+            lower <= full.objective + EPS,
+            "{label}: implied lower bound {lower} above optimum {}",
+            full.objective
+        );
+    }
+}
+
+#[test]
+fn shared_cancel_token_stops_a_run_before_it_starts() {
+    let (venue, w) = fixture();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = Budget::unlimited().with_cancel(&token);
+    let got =
+        EfficientIfls::new(&tree).run_budgeted(&w.clients, &w.existing, &w.candidates, &budget);
+    assert!(
+        matches!(
+            got.resolution,
+            Resolution::Degraded {
+                reason: BudgetReason::Cancelled,
+                ..
+            }
+        ),
+        "pre-cancelled token did not degrade the run"
+    );
+}

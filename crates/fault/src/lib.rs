@@ -1,0 +1,243 @@
+//! Deterministic fault injection for robustness tests.
+//!
+//! Production and test code call [`should_fail`] at a small set of named
+//! [`FaultPoint`]s. Without the `fault-inject` cargo feature the call is a
+//! constant `false` and the optimizer removes it entirely, so shipping
+//! binaries carry zero overhead. With the feature enabled, tests *arm* a
+//! point — either at an explicit hit index or at an [`ifls-rng`]-seeded one
+//! — and the point fires exactly once when that hit is reached.
+//!
+//! The plan is process-global (fault points are crossed on worker threads
+//! that the arming test does not control), so tests that arm points must
+//! serialize on a lock of their own; see `crates/core/tests/fault_inject.rs`.
+
+#![warn(missing_docs)]
+
+/// A named site in the codebase where a fault can be injected.
+///
+/// The numbering is stable: it is used to index the global arming table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum FaultPoint {
+    /// Allocation of a solver's scratch state at the start of a query
+    /// (`EfficientIfls::solve`). Firing here panics inside a worker shard.
+    ScratchAlloc = 0,
+    /// Distance-cache insert on the miss path
+    /// (`DistCache::door_dists`). Firing here panics mid-distance-kernel.
+    CacheInsert = 1,
+    /// Snapshot section read during `VipTree::from_snapshot_bytes`.
+    /// Firing here surfaces as a typed `SnapshotError`, not a panic.
+    SnapshotRead = 2,
+    /// Worker thread startup in `run_indexed_state`, before the worker
+    /// claims any item. Firing here kills the whole worker.
+    WorkerStart = 3,
+}
+
+/// Number of distinct fault points.
+pub const NUM_POINTS: usize = 4;
+
+impl FaultPoint {
+    /// Every fault point, in slot order.
+    pub const ALL: [FaultPoint; NUM_POINTS] = [
+        FaultPoint::ScratchAlloc,
+        FaultPoint::CacheInsert,
+        FaultPoint::SnapshotRead,
+        FaultPoint::WorkerStart,
+    ];
+
+    /// Stable snake_case name (for logs and test output).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::ScratchAlloc => "scratch_alloc",
+            FaultPoint::CacheInsert => "cache_insert",
+            FaultPoint::SnapshotRead => "snapshot_read",
+            FaultPoint::WorkerStart => "worker_start",
+        }
+    }
+}
+
+/// Returns `true` when the given fault point should fail *now*.
+///
+/// Call sites decide what "fail" means (panic, typed error). Without the
+/// `fault-inject` feature this is a constant `false`.
+#[inline(always)]
+pub fn should_fail(point: FaultPoint) -> bool {
+    #[cfg(feature = "fault-inject")]
+    {
+        imp::should_fail(point)
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        let _ = point;
+        false
+    }
+}
+
+/// Arms `point` to fire exactly once, at its `trigger_at`-th crossing
+/// (0-based) counted from this call. No-op without `fault-inject`.
+pub fn arm(point: FaultPoint, trigger_at: u64) {
+    #[cfg(feature = "fault-inject")]
+    imp::arm(point, trigger_at);
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        let _ = (point, trigger_at);
+    }
+}
+
+/// Arms `point` at a seeded hit index drawn uniformly from
+/// `0..window` with [`ifls_rng::StdRng`], so sweeps are reproducible from
+/// the seed alone. Returns the chosen trigger index.
+pub fn arm_seeded(point: FaultPoint, seed: u64, window: u64) -> u64 {
+    let mut rng = ifls_rng::StdRng::seed_from_u64(seed ^ point as u64);
+    let trigger = rng.random_range(0..window.max(1));
+    arm(point, trigger);
+    trigger
+}
+
+/// Disarms every fault point and resets hit/fire accounting.
+pub fn disarm_all() {
+    #[cfg(feature = "fault-inject")]
+    imp::disarm_all();
+}
+
+/// How many times `point` has been crossed since the last [`disarm_all`].
+/// Always 0 without `fault-inject`.
+pub fn hits(point: FaultPoint) -> u64 {
+    #[cfg(feature = "fault-inject")]
+    {
+        imp::hits(point)
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        let _ = point;
+        0
+    }
+}
+
+/// How many times `point` has fired since the last [`disarm_all`].
+/// Always 0 without `fault-inject`.
+pub fn fired(point: FaultPoint) -> u64 {
+    #[cfg(feature = "fault-inject")]
+    {
+        imp::fired(point)
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        let _ = point;
+        0
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+mod imp {
+    use super::{FaultPoint, NUM_POINTS};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    struct Slot {
+        armed: AtomicBool,
+        trigger: AtomicU64,
+        hits: AtomicU64,
+        fired: AtomicU64,
+    }
+
+    impl Slot {
+        const fn new() -> Self {
+            Slot {
+                armed: AtomicBool::new(false),
+                trigger: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                fired: AtomicU64::new(0),
+            }
+        }
+    }
+
+    static SLOTS: [Slot; NUM_POINTS] = [Slot::new(), Slot::new(), Slot::new(), Slot::new()];
+
+    pub(super) fn should_fail(point: FaultPoint) -> bool {
+        let slot = &SLOTS[point as usize];
+        let hit = slot.hits.fetch_add(1, Ordering::Relaxed);
+        if !slot.armed.load(Ordering::Relaxed) || hit != slot.trigger.load(Ordering::Relaxed) {
+            return false;
+        }
+        // Fire once: the swap makes concurrent crossings of the same hit
+        // index race safely (exactly one sees `true`).
+        if slot.armed.swap(false, Ordering::Relaxed) {
+            slot.fired.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(super) fn arm(point: FaultPoint, trigger_at: u64) {
+        let slot = &SLOTS[point as usize];
+        slot.hits.store(0, Ordering::Relaxed);
+        slot.fired.store(0, Ordering::Relaxed);
+        slot.trigger.store(trigger_at, Ordering::Relaxed);
+        slot.armed.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn disarm_all() {
+        for slot in &SLOTS {
+            slot.armed.store(false, Ordering::Relaxed);
+            slot.trigger.store(0, Ordering::Relaxed);
+            slot.hits.store(0, Ordering::Relaxed);
+            slot.fired.store(0, Ordering::Relaxed);
+        }
+    }
+
+    pub(super) fn hits(point: FaultPoint) -> u64 {
+        SLOTS[point as usize].hits.load(Ordering::Relaxed)
+    }
+
+    pub(super) fn fired(point: FaultPoint) -> u64 {
+        SLOTS[point as usize].fired.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The arming table is process-global; serialize every test that
+    // touches it.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn noop_without_feature_or_arming() {
+        let _g = LOCK.lock().unwrap();
+        disarm_all();
+        // Whether or not the feature is on, an un-armed point never fires.
+        for p in FaultPoint::ALL {
+            assert!(!should_fail(p), "{} fired while disarmed", p.name());
+        }
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn fires_exactly_once_at_trigger() {
+        let _g = LOCK.lock().unwrap();
+        disarm_all();
+        arm(FaultPoint::CacheInsert, 2);
+        assert!(!should_fail(FaultPoint::CacheInsert)); // hit 0
+        assert!(!should_fail(FaultPoint::CacheInsert)); // hit 1
+        assert!(should_fail(FaultPoint::CacheInsert)); // hit 2 fires
+        assert!(!should_fail(FaultPoint::CacheInsert)); // disarmed after fire
+        assert_eq!(fired(FaultPoint::CacheInsert), 1);
+        assert_eq!(hits(FaultPoint::CacheInsert), 4);
+        disarm_all();
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn seeded_arming_is_reproducible() {
+        let _g = LOCK.lock().unwrap();
+        disarm_all();
+        let a = arm_seeded(FaultPoint::ScratchAlloc, 42, 100);
+        disarm_all();
+        let b = arm_seeded(FaultPoint::ScratchAlloc, 42, 100);
+        assert_eq!(a, b);
+        assert!(a < 100);
+        disarm_all();
+    }
+}

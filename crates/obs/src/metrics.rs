@@ -29,10 +29,18 @@ pub enum Counter {
     SnapshotSaves = 6,
     /// Index snapshots loaded (successfully).
     SnapshotLoads = 7,
+    /// Snapshot loads that were refused (typed `SnapshotError`) and fell
+    /// back to an in-process build (`query --index-or-build`).
+    SnapshotFallbacks = 8,
+    /// Panicked worker shards retried serially by the parallel
+    /// coordinator (one tick per retried item).
+    WorkerRetries = 9,
+    /// Queries that returned a budget-degraded (best-so-far) answer.
+    QueriesDegraded = 10,
 }
 
 /// Number of counter slots (the length of [`Counter::ALL`]).
-pub(crate) const NUM_COUNTERS: usize = 8;
+pub(crate) const NUM_COUNTERS: usize = 11;
 
 impl Counter {
     /// Every counter, in canonical export order.
@@ -45,6 +53,9 @@ impl Counter {
         Counter::BuildDijkstras,
         Counter::SnapshotSaves,
         Counter::SnapshotLoads,
+        Counter::SnapshotFallbacks,
+        Counter::WorkerRetries,
+        Counter::QueriesDegraded,
     ];
 
     /// Stable snake_case name used by every exporter.
@@ -58,6 +69,9 @@ impl Counter {
             Counter::BuildDijkstras => "build_dijkstras",
             Counter::SnapshotSaves => "snapshot_saves",
             Counter::SnapshotLoads => "snapshot_loads",
+            Counter::SnapshotFallbacks => "snapshot_fallbacks",
+            Counter::WorkerRetries => "worker_retries",
+            Counter::QueriesDegraded => "queries_degraded",
         }
     }
 

@@ -379,6 +379,13 @@ impl<'v> VipTree<'v> {
                         })
                         .collect();
                     for h in handles {
+                        // Build-time workers are deliberately *not*
+                        // panic-isolated: construction is provisioning, a
+                        // panic there is a programmer error, and there is
+                        // no partially-built index worth salvaging — so
+                        // propagate it (unlike query serving, which
+                        // catches, retries and degrades; see
+                        // `ifls_core::parallel`).
                         let sink = h.join().expect("build worker panicked");
                         ifls_obs::merge_local(&sink);
                     }

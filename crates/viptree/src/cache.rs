@@ -278,6 +278,9 @@ impl<'s> DistCache<'s> {
             if shared.get(p, q).is_some() {
                 self.hits += 1;
                 obs::counter_add(Counter::DistCacheHits, 1);
+                // Invariant: the shared tier is immutable once published,
+                // so the entry probed two lines up cannot have vanished
+                // (the double lookup sidesteps a borrow-check limitation).
                 return shared.get(p, q).expect("checked above");
             }
         }
@@ -295,6 +298,9 @@ impl<'s> DistCache<'s> {
         let _span = obs::span(Phase::CacheLookup);
         let v = tree.door_dists_to_partition(p, q);
         self.local_bytes += v.len() * std::mem::size_of::<f64>() + VEC_ENTRY_OVERHEAD;
+        if ifls_fault::should_fail(ifls_fault::FaultPoint::CacheInsert) {
+            panic!("injected fault: cache insert");
+        }
         self.vecs.entry(key).or_insert(v)
     }
 

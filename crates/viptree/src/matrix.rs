@@ -79,6 +79,10 @@ impl DistArena {
         self.hop.resize(off + n, u32::MAX);
         MatSlot {
             off,
+            // Capacity invariant, not a runtime error path: dimensions are
+            // per-node door counts, bounded far below u32::MAX for any
+            // venue that fits in memory. A panic here means the arena was
+            // handed a nonsensical dimension by construction code.
             rows: u32::try_from(rows).expect("matrix rows exceed u32::MAX"),
             cols: u32::try_from(cols).expect("matrix cols exceed u32::MAX"),
         }

@@ -21,6 +21,8 @@ impl NodeId {
     /// Creates a node id from a dense index.
     #[inline]
     pub fn from_index(idx: usize) -> Self {
+        // Capacity invariant: node counts are bounded by partition counts,
+        // orders of magnitude below u32::MAX for any representable venue.
         Self(u32::try_from(idx).expect("node index exceeds u32::MAX"))
     }
 

@@ -295,6 +295,12 @@ impl<'v> VipTree<'v> {
     /// so load cost is essentially I/O plus one checksum pass.
     pub fn from_snapshot_bytes(venue: &'v Venue, bytes: &[u8]) -> Result<Self, SnapshotError> {
         let _span = ifls_obs::span(Phase::SnapshotIo);
+        if ifls_fault::should_fail(ifls_fault::FaultPoint::SnapshotRead) {
+            // Injected faults take the typed-error path, not a panic: the
+            // fuzzer and smoke tests assert that every load failure is a
+            // `SnapshotError` the caller can fall back from.
+            return Err(SnapshotError::Corrupt("injected fault: section read"));
+        }
         let body = verify_envelope(bytes)?;
         let mut r = Reader { b: body, i: 0 };
         r.skip(SNAPSHOT_MAGIC.len() + 4)?; // magic + version, verified above
@@ -485,6 +491,8 @@ fn verify_envelope(bytes: &[u8]) -> Result<&[u8], SnapshotError> {
     if bytes.len() < SNAPSHOT_MAGIC.len() + 4 + 8 {
         return Err(SnapshotError::Truncated);
     }
+    // Invariant: the length check above guarantees bytes 8..12 exist, so
+    // the 4-byte conversion cannot fail on any input (fuzzed or not).
     let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
     if version != SNAPSHOT_VERSION {
         return Err(SnapshotError::UnsupportedVersion(version));
@@ -499,6 +507,8 @@ fn verify_envelope(bytes: &[u8]) -> Result<&[u8], SnapshotError> {
 }
 
 fn read_footer(bytes: &[u8]) -> u64 {
+    // Invariant: only called from `verify_envelope` after its minimum-length
+    // check, so the final 8 bytes always exist.
     u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap())
 }
 
@@ -560,6 +570,8 @@ impl Reader<'_> {
 
     fn u32(&mut self) -> Result<u32, SnapshotError> {
         self.need(4)?;
+        // Invariant: `need` just proved the 4-byte window exists; the
+        // conversion is infallible on every input the fuzzer can produce.
         let v = u32::from_le_bytes(self.b[self.i..self.i + 4].try_into().unwrap());
         self.i += 4;
         Ok(v)
@@ -567,6 +579,7 @@ impl Reader<'_> {
 
     fn u64(&mut self) -> Result<u64, SnapshotError> {
         self.need(8)?;
+        // Invariant: `need` just proved the 8-byte window exists.
         let v = u64::from_le_bytes(self.b[self.i..self.i + 8].try_into().unwrap());
         self.i += 8;
         Ok(v)

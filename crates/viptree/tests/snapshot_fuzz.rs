@@ -1,0 +1,114 @@
+//! Snapshot corruption fuzzer: every mutated byte stream must be refused
+//! with a typed [`SnapshotError`] — never a panic, never a silently wrong
+//! tree.
+//!
+//! All mutations are drawn from [`ifls_rng::StdRng`] with fixed seeds, so
+//! a failure reproduces from the printed seed alone.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ifls_rng::StdRng;
+use ifls_venues::GridVenueSpec;
+use ifls_viptree::{SnapshotError, VipTree, VipTreeConfig};
+
+const FLIP_CASES: u64 = 700;
+const TRUNCATION_CASES: u64 = 200;
+const GARBAGE_CASES: u64 = 100;
+
+fn fixture() -> (ifls_indoor::Venue, Vec<u8>) {
+    let venue = GridVenueSpec::new("fuzz", 2, 10).build();
+    let bytes = VipTree::build(&venue, VipTreeConfig::default()).snapshot_bytes();
+    (venue, bytes)
+}
+
+/// Loads `bytes` under `catch_unwind`, failing the test on any panic, and
+/// returns the typed result.
+fn load_no_panic<'v>(
+    venue: &'v ifls_indoor::Venue,
+    bytes: &[u8],
+    label: &str,
+) -> Result<VipTree<'v>, SnapshotError> {
+    catch_unwind(AssertUnwindSafe(|| {
+        VipTree::from_snapshot_bytes(venue, bytes)
+    }))
+    .unwrap_or_else(|_| panic!("{label}: snapshot load panicked"))
+}
+
+#[test]
+fn flipped_bytes_are_always_refused_without_panicking() {
+    let (venue, bytes) = fixture();
+    for seed in 0..FLIP_CASES {
+        let mut rng = StdRng::seed_from_u64(0xf1_1b00 + seed);
+        let mut mutated = bytes.clone();
+        let pos = rng.random_range(0..mutated.len());
+        // A non-zero xor mask guarantees the byte actually changes.
+        let mask = rng.random_range(1u32..256) as u8;
+        mutated[pos] ^= mask;
+        match load_no_panic(&venue, &mutated, &format!("flip seed {seed}")) {
+            Err(_) => {}
+            Ok(tree) => {
+                // A load that *accepts* a mutated stream is only sound if
+                // the tree it yields re-serializes to the pristine bytes
+                // (i.e. the flip hit genuinely dead padding).
+                assert_eq!(
+                    tree.snapshot_bytes(),
+                    bytes,
+                    "flip seed {seed} at byte {pos} (mask {mask:#04x}): \
+                     corrupted snapshot accepted"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn truncations_are_always_refused_without_panicking() {
+    let (venue, bytes) = fixture();
+    for seed in 0..TRUNCATION_CASES {
+        let mut rng = StdRng::seed_from_u64(0x77_c000 + seed);
+        let cut = rng.random_range(0..bytes.len());
+        let err = load_no_panic(&venue, &bytes[..cut], &format!("cut seed {seed}"))
+            .expect_err("strict prefix accepted");
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated
+                    | SnapshotError::BadMagic
+                    | SnapshotError::ChecksumMismatch { .. }
+            ),
+            "cut seed {seed} at {cut}: unexpected {err:?}"
+        );
+    }
+}
+
+#[test]
+fn random_garbage_is_always_refused_without_panicking() {
+    let (venue, bytes) = fixture();
+    for seed in 0..GARBAGE_CASES {
+        let mut rng = StdRng::seed_from_u64(0x6a_4ba6e + seed);
+        let len = rng.random_range(0..bytes.len() * 2);
+        let garbage: Vec<u8> = (0..len)
+            .map(|_| rng.random_range(0u32..256) as u8)
+            .collect();
+        load_no_panic(&venue, &garbage, &format!("garbage seed {seed}"))
+            .expect_err("random bytes accepted as a snapshot");
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+#[test]
+fn injected_section_read_fault_is_a_typed_error() {
+    // The read-path fault point surfaces as `SnapshotError::Corrupt`, the
+    // same typed channel real corruption uses — so `--index-or-build`
+    // fallback logic is exercised by exactly the error it would see.
+    let (venue, bytes) = fixture();
+    ifls_fault::arm(ifls_fault::FaultPoint::SnapshotRead, 0);
+    let err = VipTree::from_snapshot_bytes(&venue, &bytes).unwrap_err();
+    ifls_fault::disarm_all();
+    assert!(
+        matches!(err, SnapshotError::Corrupt(_)),
+        "unexpected {err:?}"
+    );
+    // Disarmed, the identical bytes load cleanly.
+    VipTree::from_snapshot_bytes(&venue, &bytes).unwrap();
+}
