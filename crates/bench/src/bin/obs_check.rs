@@ -1,14 +1,22 @@
-//! CI validator for `--metrics-out` JSONL files.
+//! CI validator for exported metrics files.
 //!
-//! `obs_check <file.jsonl>...` parses every line of each file with the
-//! in-tree JSON validator (no serde), then checks the `ifls-obs/v1`
-//! contract the smoke job relies on: a meta record, all ten phase spans,
-//! and at least one latency histogram carrying p50/p95/p99. Any violation
-//! prints the reason and exits 1.
+//! Two modes, both built on the in-tree validators (no serde):
+//!
+//! * `obs_check <file.jsonl>...` — parses every line with the JSON
+//!   validator and checks the `ifls-obs/v1` contract the smoke job
+//!   relies on: a meta record, all ten phase spans, and at least one
+//!   latency histogram carrying p50/p95/p99.
+//! * `obs_check --prom [--require-event NAME]... <file.prom>...` —
+//!   validates Prometheus text exposition (sample grammar, `# TYPE`
+//!   lines, label quoting) as scraped from `ifls serve`'s `/metrics`,
+//!   and optionally requires named event counters (e.g.
+//!   `requests_total`) to be present.
+//!
+//! Any violation prints the reason and exits 1.
 
 use ifls_obs::Phase;
 
-fn check_file(path: &str) -> Result<(), String> {
+fn check_jsonl(path: &str) -> Result<(), String> {
     let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let summary = ifls_obs::validate_jsonl(&content).map_err(|e| format!("{path}: {e}"))?;
     if !summary.has_meta {
@@ -36,15 +44,64 @@ fn check_file(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn check_prom(path: &str, require_events: &[String]) -> Result<(), String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let summary = ifls_obs::validate_prometheus(&content).map_err(|e| format!("{path}: {e}"))?;
+    for event in require_events {
+        if !summary.event_names.iter().any(|n| n == event) {
+            return Err(format!(
+                "{path}: required event counter `{event}` is missing \
+                 (present: {})",
+                summary.event_names.join(", ")
+            ));
+        }
+    }
+    println!(
+        "{path}: ok ({} samples, {} families, events: {})",
+        summary.samples,
+        summary.families.len(),
+        summary.event_names.join(", ")
+    );
+    Ok(())
+}
+
 fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
-    if paths.is_empty() {
-        eprintln!("usage: obs_check <metrics.jsonl>...");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut prom = false;
+    let mut require_events = Vec::new();
+    let mut paths = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--prom" => prom = true,
+            "--require-event" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => require_events.push(name.clone()),
+                    None => {
+                        eprintln!("obs_check: `--require-event` needs a value");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            p => paths.push(p.to_string()),
+        }
+        i += 1;
+    }
+    if paths.is_empty() || (!prom && !require_events.is_empty()) {
+        eprintln!(
+            "usage: obs_check <metrics.jsonl>...\n       obs_check --prom [--require-event NAME]... <metrics.prom>..."
+        );
         std::process::exit(2);
     }
     let mut failed = false;
     for path in &paths {
-        if let Err(e) = check_file(path) {
+        let result = if prom {
+            check_prom(path, &require_events)
+        } else {
+            check_jsonl(path)
+        };
+        if let Err(e) = result {
             eprintln!("FAIL: {e}");
             failed = true;
         }

@@ -16,6 +16,7 @@ commands:
   index build   --venue <spec> --out FILE [--build-threads N]
                                                build + save an ifls-index/v1 snapshot
   index inspect --index FILE                   describe a snapshot without loading it
+  serve   --venue <spec> [server options]      long-lived HTTP/1.1 query daemon
 
 venue specs:
   named:mc | named:ch | named:cph | named:mzb  the paper's venues
@@ -49,7 +50,23 @@ query options:
                      best-so-far answer tagged degraded with an optimality gap
   --max-dist-computations N  deterministic work cap with the same degraded-
                      answer semantics as --deadline-ms
-  --strict           treat a degraded (budget-exhausted) answer as an error";
+  --strict           treat a degraded (budget-exhausted) answer as an error
+
+serve options:
+  --addr HOST:PORT   listen address (default 127.0.0.1:8787; port 0 = ephemeral)
+  --workers N        worker threads serving connections (0 = min(4, cores))
+  --queue-capacity N admission watermark: connections parked beyond the
+                     workers; one more arrival is shed with 503 (default 64)
+  --max-body-bytes N largest accepted request body (default 65536)
+  --default-deadline-ms N  per-query deadline when the request names none
+  --no-sighup        do not install the SIGHUP -> reload handler
+  --index FILE       serve from a saved ifls-index/v1 snapshot (refusal is
+                     fatal); also the default path for /reload and SIGHUP
+  --index-or-build FILE  like --index, but build in-process when the snapshot
+                     is refused; with --strict the fallback itself is refused
+                     and the daemon exits with a typed error
+  --build-threads N  worker threads for an in-process index build
+  --strict           refuse the --index-or-build rebuild fallback at startup";
 
 /// A parsed command.
 #[derive(Clone, Debug, PartialEq)]
@@ -105,6 +122,55 @@ pub enum Command {
         /// Snapshot path.
         path: String,
     },
+    /// `ifls serve`.
+    Serve {
+        /// Venue specification.
+        venue: String,
+        /// Daemon options.
+        args: ServeArgs,
+    },
+}
+
+/// Options for `ifls serve`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeArgs {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads serving connections (`0` = `min(4, cores)`).
+    pub workers: usize,
+    /// Admission watermark (parked connections beyond the workers).
+    pub queue_capacity: usize,
+    /// Largest accepted request body in bytes.
+    pub max_body_bytes: usize,
+    /// Default per-query deadline when the request names none.
+    pub default_deadline_ms: Option<u64>,
+    /// Install the `SIGHUP` → reload handler.
+    pub sighup: bool,
+    /// Serve from this `ifls-index/v1` snapshot.
+    pub index: Option<String>,
+    /// Fall back to an in-process build when the snapshot is refused.
+    pub index_or_build: bool,
+    /// Refuse the `--index-or-build` fallback (exit with a typed error).
+    pub strict: bool,
+    /// Worker threads for an in-process index build (0 = all cores).
+    pub build_threads: usize,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8787".into(),
+            workers: 0,
+            queue_capacity: 64,
+            max_body_bytes: 64 * 1024,
+            default_deadline_ms: None,
+            sighup: true,
+            index: None,
+            index_or_build: false,
+            strict: false,
+            build_threads: 0,
+        }
+    }
 }
 
 /// Workload and solver options for `ifls query`.
@@ -438,6 +504,35 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 other => Err(ParseError::UnknownCommand(format!("index {other}"))),
             }
         }
+        "serve" => {
+            let mut venue = None;
+            let mut a = ServeArgs::default();
+            while let Some(opt) = cur.next() {
+                match opt {
+                    "--venue" => venue = Some(cur.value("--venue")?.to_string()),
+                    "--addr" => a.addr = cur.value("--addr")?.to_string(),
+                    "--workers" => a.workers = cur.parsed("--workers")?,
+                    "--queue-capacity" => a.queue_capacity = cur.parsed("--queue-capacity")?,
+                    "--max-body-bytes" => a.max_body_bytes = cur.parsed("--max-body-bytes")?,
+                    "--default-deadline-ms" => {
+                        a.default_deadline_ms = Some(cur.parsed("--default-deadline-ms")?)
+                    }
+                    "--no-sighup" => a.sighup = false,
+                    "--index" => a.index = Some(cur.value("--index")?.to_string()),
+                    "--index-or-build" => {
+                        a.index = Some(cur.value("--index-or-build")?.to_string());
+                        a.index_or_build = true;
+                    }
+                    "--build-threads" => a.build_threads = cur.parsed("--build-threads")?,
+                    "--strict" => a.strict = true,
+                    other => return Err(ParseError::UnknownOption(other.to_string())),
+                }
+            }
+            Ok(Command::Serve {
+                venue: venue.ok_or(ParseError::MissingOption("--venue"))?,
+                args: a,
+            })
+        }
         other => Err(ParseError::UnknownCommand(other.to_string())),
     }
 }
@@ -692,6 +787,62 @@ mod tests {
             parse(&v(&["query", "--venue", "x", "--deadline-ms", "soon"])),
             Err(ParseError::BadValue { .. })
         ));
+    }
+
+    #[test]
+    fn parses_serve_command() {
+        match parse(&v(&["serve", "--venue", "named:mc"])).unwrap() {
+            Command::Serve { venue, args } => {
+                assert_eq!(venue, "named:mc");
+                assert_eq!(args, ServeArgs::default());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&v(&[
+            "serve",
+            "--venue",
+            "grid:2x20",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "8",
+            "--queue-capacity",
+            "16",
+            "--max-body-bytes",
+            "4096",
+            "--default-deadline-ms",
+            "250",
+            "--no-sighup",
+            "--index-or-build",
+            "a.idx",
+            "--build-threads",
+            "2",
+            "--strict",
+        ]))
+        .unwrap()
+        {
+            Command::Serve { args, .. } => {
+                assert_eq!(args.addr, "127.0.0.1:0");
+                assert_eq!(args.workers, 8);
+                assert_eq!(args.queue_capacity, 16);
+                assert_eq!(args.max_body_bytes, 4096);
+                assert_eq!(args.default_deadline_ms, Some(250));
+                assert!(!args.sighup);
+                assert_eq!(args.index.as_deref(), Some("a.idx"));
+                assert!(args.index_or_build);
+                assert_eq!(args.build_threads, 2);
+                assert!(args.strict);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse(&v(&["serve"])),
+            Err(ParseError::MissingOption("--venue"))
+        );
+        assert_eq!(
+            parse(&v(&["serve", "--venue", "x", "--top", "3"])),
+            Err(ParseError::UnknownOption("--top".into()))
+        );
     }
 
     #[test]

@@ -3,12 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
-use ifls_core::maxsum::EfficientMaxSum;
-use ifls_core::mindist::{BruteForceMinDist, EfficientMinDist};
-use ifls_core::{
-    BruteForce, Budget, EfficientConfig, EfficientIfls, ModifiedMinMax, ParallelSolver, QueryStats,
-    Resolution, WorkerPanic,
-};
+use ifls_core::api::{self, Algorithm, Objective, QuerySummary, SolveSpec, WorkloadIdent};
+use ifls_core::{Budget, EfficientConfig, EfficientIfls, QueryStats, Resolution, WorkerPanic};
 use ifls_indoor::{PartitionId, Venue};
 use ifls_venues::{GridVenueSpec, McCategory, NamedVenue};
 use ifls_viptree::{SnapshotInfo, VipTree, VipTreeConfig};
@@ -225,100 +221,28 @@ fn stats_line(stats: &QueryStats) -> String {
     )
 }
 
-/// One solved single-answer query, in objective-neutral form — the data
-/// `--stats-json` serializes.
-struct QuerySummary {
-    answer: Option<PartitionId>,
-    /// JSON key for the objective value (`max_distance_m`, …).
-    value_key: &'static str,
-    value: f64,
-    /// Exact, or budget-degraded with an optimality gap.
-    resolution: Resolution,
-    stats: QueryStats,
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn json_num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".into()
-    }
-}
-
-/// Serializes the final result and [`QueryStats`] as one JSON object
-/// (hand-rolled — the dependency set has no serde).
-fn stats_json_line(venue: &Venue, a: &CommonArgs, w: &Workload, s: &QuerySummary) -> String {
-    let answer = match s.answer {
-        Some(n) => format!("{}", n.index()),
-        None => "null".into(),
-    };
-    let lat = &s.stats.latencies;
-    let budget_reason = match s.resolution.reason() {
-        Some(r) => format!("\"{}\"", r.label()),
-        None => "null".into(),
-    };
-    format!(
-        concat!(
-            "{{\"schema\":\"ifls-stats/v1\",\"venue\":\"{venue}\",",
-            "\"objective\":\"{objective}\",\"algorithm\":\"{algorithm}\",",
-            "\"clients\":{clients},\"existing\":{existing},",
-            "\"candidates\":{candidates},\"seed\":{seed},",
-            "\"answer\":{answer},\"{value_key}\":{value},",
-            "\"degraded\":{degraded},\"optimality_gap\":{gap},",
-            "\"budget_reason\":{budget_reason},",
-            "\"stats\":{{\"elapsed_ns\":{elapsed_ns},",
-            "\"dist_computations\":{dist},\"point_via_lookups\":{via},",
-            "\"facilities_retrieved\":{retrieved},\"clients_pruned\":{pruned},",
-            "\"cache_hits\":{hits},\"cache_misses\":{misses},",
-            "\"cache_bytes\":{cache_bytes},\"peak_bytes\":{peak},",
-            "\"index_build_ns\":{index_ns},\"index_from_snapshot\":{from_snap},",
-            "\"latency\":{{\"count\":{lcount},\"p50_ns\":{p50},",
-            "\"p95_ns\":{p95},\"p99_ns\":{p99}}}}}}}"
-        ),
-        venue = json_escape(venue.name()),
-        objective = json_escape(&a.objective),
-        algorithm = json_escape(&a.algorithm),
-        clients = w.clients.len(),
-        existing = w.existing.len(),
-        candidates = w.candidates.len(),
-        seed = a.seed,
-        answer = answer,
-        value_key = s.value_key,
-        value = json_num(s.value),
-        degraded = !s.resolution.is_exact(),
-        gap = json_num(s.resolution.gap()),
-        budget_reason = budget_reason,
-        elapsed_ns = s.stats.elapsed.as_nanos(),
-        dist = s.stats.dist_computations,
-        via = s.stats.point_via_lookups,
-        retrieved = s.stats.facilities_retrieved,
-        pruned = s.stats.clients_pruned,
-        hits = s.stats.cache_hits,
-        misses = s.stats.cache_misses,
-        cache_bytes = s.stats.cache_bytes,
-        peak = s.stats.peak_bytes,
-        index_ns = s.stats.index_build_ns,
-        from_snap = s.stats.index_from_snapshot,
-        lcount = lat.count(),
-        p50 = lat.p50_ns(),
-        p95 = lat.p95_ns(),
-        p99 = lat.p99_ns(),
+/// Serializes the final result and [`QueryStats`] as one JSON object via
+/// the shared `ifls-stats/v1` encoder in [`ifls_core::api`] — the same
+/// bytes `ifls serve` puts on the wire.
+fn stats_json_line(
+    venue: &Venue,
+    a: &CommonArgs,
+    w: &Workload,
+    objective: Objective,
+    algorithm: Algorithm,
+    s: &QuerySummary,
+) -> String {
+    api::stats_json_line(
+        &WorkloadIdent {
+            venue: venue.name(),
+            clients: w.clients.len(),
+            existing: w.existing.len(),
+            candidates: w.candidates.len(),
+            seed: a.seed,
+        },
+        objective,
+        algorithm,
+        s,
     )
 }
 
@@ -387,11 +311,26 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 dist_cache: args.dist_cache,
                 ..EfficientConfig::default()
             };
-            let parallel = (args.algorithm == "parallel")
-                .then(|| ParallelSolver::with_threads(&tree, args.threads).config(config));
-            let algo_label = match &parallel {
-                Some(p) => format!("parallel[{} threads]", p.threads()),
-                None => args.algorithm.clone(),
+            let objective = Objective::parse(&args.objective)
+                .ok_or_else(|| CommandError::Invalid(format!("objective `{}`", args.objective)))?;
+            let algorithm = Algorithm::parse(&args.algorithm)
+                .ok_or_else(|| CommandError::Invalid(format!("algorithm `{}`", args.algorithm)))?;
+            let spec = SolveSpec {
+                objective,
+                algorithm,
+                threads: args.threads,
+                dist_cache: args.dist_cache,
+            };
+            let algo_label = match algorithm {
+                Algorithm::Parallel => {
+                    let t = if args.threads == 0 {
+                        ifls_core::parallel::default_threads()
+                    } else {
+                        args.threads
+                    };
+                    format!("parallel[{t} threads]")
+                }
+                _ => args.algorithm.clone(),
             };
             let header = format!(
                 "{} query, {} algorithm: |C|={}, |Fe|={}, |Fn|={}, seed {}",
@@ -403,145 +342,71 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 args.seed
             );
             let budget = build_budget(args);
-            let (body, summary) = match (args.objective.as_str(), args.algorithm.as_str()) {
-                ("minmax", algo) => {
-                    if args.top > 1 {
-                        if algo != "efficient" {
-                            return Err(CommandError::Invalid(
-                                "--top is supported by the efficient algorithm only".into(),
-                            ));
-                        }
-                        let top = EfficientIfls::with_config(&tree, config).run_topk(
-                            &w.clients,
-                            &w.existing,
-                            &w.candidates,
-                            args.top,
-                        );
-                        let mut out = String::new();
-                        for (rank, (n, v_)) in top.iter().enumerate() {
-                            out.push_str(&format!(
-                                "#{}: {} — max distance {:.2} m\n",
-                                rank + 1,
-                                describe_partition(&v, *n),
-                                v_
-                            ));
-                        }
-                        (out, None)
-                    } else {
-                        let mut o = match (algo, &parallel) {
-                            (_, Some(p)) => p
-                                .try_run_minmax(&w.clients, &w.existing, &w.candidates, &budget)
-                                .map_err(worker_panic_err)?,
-                            ("efficient", _) => EfficientIfls::with_config(&tree, config)
-                                .run_budgeted(&w.clients, &w.existing, &w.candidates, &budget),
-                            ("baseline", _) => ModifiedMinMax::new(&tree).run_budgeted(
-                                &w.clients,
-                                &w.existing,
-                                &w.candidates,
-                                &budget,
-                            ),
-                            _ => BruteForce::new(&tree).run_budgeted(
-                                &w.clients,
-                                &w.existing,
-                                &w.candidates,
-                                &budget,
-                            ),
-                        };
-                        stamp(&mut o.stats);
-                        let text = match o.answer {
-                            Some(n) => format!(
-                                "answer: {} — max client distance {:.2} m{}\n{}",
-                                describe_partition(&v, n),
-                                o.objective,
-                                resolution_line(&o.resolution, "m"),
-                                stats_line(&o.stats)
-                            ),
-                            None => format!(
-                                "no candidate improves any client (max distance stays {:.2} m){}\n{}",
-                                o.objective,
-                                resolution_line(&o.resolution, "m"),
-                                stats_line(&o.stats)
-                            ),
-                        };
-                        let summary = QuerySummary {
-                            answer: o.answer,
-                            value_key: "max_distance_m",
-                            value: o.objective,
-                            resolution: o.resolution,
-                            stats: o.stats,
-                        };
-                        (text, Some(summary))
-                    }
+            let (body, summary) = if objective == Objective::MinMax && args.top > 1 {
+                if algorithm != Algorithm::Efficient {
+                    return Err(CommandError::Invalid(
+                        "--top is supported by the efficient algorithm only".into(),
+                    ));
                 }
-                ("mindist", algo) => {
-                    let mut o = match (algo, &parallel) {
-                        (_, Some(p)) => p
-                            .try_run_mindist(&w.clients, &w.existing, &w.candidates, &budget)
-                            .map_err(worker_panic_err)?,
-                        ("efficient", _) => EfficientMinDist::with_config(&tree, config)
-                            .run_budgeted(&w.clients, &w.existing, &w.candidates, &budget),
-                        _ => BruteForceMinDist::new(&tree).run_budgeted(
-                            &w.clients,
-                            &w.existing,
-                            &w.candidates,
-                            &budget,
-                        ),
-                    };
-                    stamp(&mut o.stats);
-                    let text = match o.answer {
-                        Some(n) => format!(
-                            "answer: {} — average distance {:.2} m{}\n{}",
-                            describe_partition(&v, n),
-                            o.average(w.clients.len()),
-                            resolution_line(&o.resolution, "m (total)"),
-                            stats_line(&o.stats)
-                        ),
-                        None => "no candidates".to_string(),
-                    };
-                    let summary = QuerySummary {
-                        answer: o.answer,
-                        value_key: "avg_distance_m",
-                        value: o.average(w.clients.len()),
-                        resolution: o.resolution,
-                        stats: o.stats,
-                    };
-                    (text, Some(summary))
+                let top = EfficientIfls::with_config(&tree, config).run_topk(
+                    &w.clients,
+                    &w.existing,
+                    &w.candidates,
+                    args.top,
+                );
+                let mut out = String::new();
+                for (rank, (n, v_)) in top.iter().enumerate() {
+                    out.push_str(&format!(
+                        "#{}: {} — max distance {:.2} m\n",
+                        rank + 1,
+                        describe_partition(&v, *n),
+                        v_
+                    ));
                 }
-                (_, algo) => {
-                    let mut o = match (algo, &parallel) {
-                        (_, Some(p)) => p
-                            .try_run_maxsum(&w.clients, &w.existing, &w.candidates, &budget)
-                            .map_err(worker_panic_err)?,
-                        ("efficient", _) => EfficientMaxSum::with_config(&tree, config)
-                            .run_budgeted(&w.clients, &w.existing, &w.candidates, &budget),
-                        _ => ifls_core::maxsum::BruteForceMaxSum::new(&tree).run_budgeted(
-                            &w.clients,
-                            &w.existing,
-                            &w.candidates,
-                            &budget,
-                        ),
-                    };
-                    stamp(&mut o.stats);
-                    let text = match o.answer {
-                        Some(n) => format!(
-                            "answer: {} — captures {} of {} clients{}\n{}",
-                            describe_partition(&v, n),
-                            o.wins,
-                            w.clients.len(),
-                            resolution_line(&o.resolution, "clients"),
-                            stats_line(&o.stats)
-                        ),
-                        None => "no candidates".to_string(),
-                    };
-                    let summary = QuerySummary {
-                        answer: o.answer,
-                        value_key: "clients_captured",
-                        value: o.wins as f64,
-                        resolution: o.resolution,
-                        stats: o.stats,
-                    };
-                    (text, Some(summary))
-                }
+                (out, None)
+            } else {
+                let mut s = api::solve(
+                    &tree,
+                    &w.clients,
+                    &w.existing,
+                    &w.candidates,
+                    &spec,
+                    &budget,
+                )
+                .map_err(worker_panic_err)?;
+                stamp(&mut s.stats);
+                let text = match (objective, s.answer) {
+                    (Objective::MinMax, Some(n)) => format!(
+                        "answer: {} — max client distance {:.2} m{}\n{}",
+                        describe_partition(&v, n),
+                        s.value,
+                        resolution_line(&s.resolution, objective.gap_unit()),
+                        stats_line(&s.stats)
+                    ),
+                    (Objective::MinMax, None) => format!(
+                        "no candidate improves any client (max distance stays {:.2} m){}\n{}",
+                        s.value,
+                        resolution_line(&s.resolution, objective.gap_unit()),
+                        stats_line(&s.stats)
+                    ),
+                    (Objective::MinDist, Some(n)) => format!(
+                        "answer: {} — average distance {:.2} m{}\n{}",
+                        describe_partition(&v, n),
+                        s.value,
+                        resolution_line(&s.resolution, objective.gap_unit()),
+                        stats_line(&s.stats)
+                    ),
+                    (Objective::MaxSum, Some(n)) => format!(
+                        "answer: {} — captures {} of {} clients{}\n{}",
+                        describe_partition(&v, n),
+                        s.value as u64,
+                        w.clients.len(),
+                        resolution_line(&s.resolution, objective.gap_unit()),
+                        stats_line(&s.stats)
+                    ),
+                    (_, None) => "no candidates".to_string(),
+                };
+                (text, Some(s))
             };
             if args.strict {
                 if let Some(s) = &summary {
@@ -571,7 +436,9 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 let summary = summary.ok_or_else(|| {
                     CommandError::Invalid("--stats-json is not supported with --top".into())
                 })?;
-                return Ok(stats_json_line(&v, args, &w, &summary));
+                return Ok(stats_json_line(
+                    &v, args, &w, objective, algorithm, &summary,
+                ));
             }
             let mut out = format!("{header}\n{body}");
             if args.trace {
@@ -659,6 +526,35 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 info.arena_entries,
                 info.checksum,
             ))
+        }
+        Command::Serve { venue, args } => {
+            let v = load_venue(venue)?;
+            let opts = ifls_serve::ServeOptions {
+                addr: args.addr.clone(),
+                workers: args.workers,
+                queue_capacity: args.queue_capacity,
+                max_body_bytes: args.max_body_bytes,
+                default_deadline_ms: args.default_deadline_ms,
+                sighup_reload: args.sighup,
+                index: args.index.as_ref().map(std::path::PathBuf::from),
+                index_or_build: args.index_or_build,
+                strict: args.strict,
+                build_threads: args.build_threads,
+                ..ifls_serve::ServeOptions::default()
+            };
+            let server = ifls_serve::Server::start(v, opts)
+                .map_err(|e| CommandError::Invalid(e.to_string()))?;
+            // The banner goes straight to stdout (not the returned report):
+            // a daemon never returns, and wrapper scripts need the resolved
+            // ephemeral port before any request can be sent.
+            println!("ifls-serve listening on http://{}", server.addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            // Serve until the process is killed (SIGHUP reloads; SIGTERM /
+            // SIGINT end it). `park` can wake spuriously, hence the loop.
+            loop {
+                std::thread::park();
+            }
         }
         Command::IndexInspect { path } => {
             let info = SnapshotInfo::read(std::path::Path::new(path))

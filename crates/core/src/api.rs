@@ -1,0 +1,466 @@
+//! Objective-neutral solver entry points shared by every front end.
+//!
+//! The CLI (`ifls query`), the daemon (`ifls serve`) and the bench
+//! harnesses all answer the same question — *run objective X with
+//! algorithm Y over this workload under this budget* — and they must all
+//! agree bit-for-bit. This module is the single dispatch point: parse the
+//! objective/algorithm names once ([`Objective`], [`Algorithm`]), run
+//! [`solve`], and render the result with the one `ifls-stats/v1` encoder
+//! ([`stats_json_line`]). A front end that bypassed this module could
+//! drift from the others; none do.
+
+use ifls_indoor::{IndoorPoint, PartitionId};
+use ifls_viptree::VipTree;
+
+use crate::budget::{Budget, Resolution};
+use crate::maxsum::{BruteForceMaxSum, EfficientMaxSum};
+use crate::mindist::{BruteForceMinDist, EfficientMinDist};
+use crate::parallel::{ParallelSolver, WorkerPanic};
+use crate::stats::QueryStats;
+use crate::{BruteForce, EfficientConfig, EfficientIfls, ModifiedMinMax};
+
+/// The three query objectives of the paper (§3, §7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Minimize the maximum client→nearest-facility distance.
+    MinMax,
+    /// Minimize the total (equivalently average) client distance.
+    MinDist,
+    /// Maximize the number of clients captured by the new facility.
+    MaxSum,
+}
+
+impl Objective {
+    /// Parses the stable CLI/wire name (`minmax` | `mindist` | `maxsum`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "minmax" => Some(Objective::MinMax),
+            "mindist" => Some(Objective::MinDist),
+            "maxsum" => Some(Objective::MaxSum),
+            _ => None,
+        }
+    }
+
+    /// The stable name, identical to what [`Objective::parse`] accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::MinMax => "minmax",
+            Objective::MinDist => "mindist",
+            Objective::MaxSum => "maxsum",
+        }
+    }
+
+    /// The `ifls-stats/v1` key carrying this objective's value.
+    pub fn value_key(self) -> &'static str {
+        match self {
+            Objective::MinMax => "max_distance_m",
+            Objective::MinDist => "avg_distance_m",
+            Objective::MaxSum => "clients_captured",
+        }
+    }
+
+    /// Unit label for degraded-answer gap reporting.
+    pub fn gap_unit(self) -> &'static str {
+        match self {
+            Objective::MinMax => "m",
+            Objective::MinDist => "m (total)",
+            Objective::MaxSum => "clients",
+        }
+    }
+}
+
+/// The four interchangeable solver families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// §5's single-pass efficient solver (the paper's contribution).
+    Efficient,
+    /// §4's adapted MinMax baseline (MinMax only; other objectives fall
+    /// back to brute force, exactly as the CLI always has).
+    Baseline,
+    /// The literal definition — the correctness oracle.
+    Brute,
+    /// Candidate-sharded scoped-thread solver, bit-identical to serial.
+    Parallel,
+}
+
+impl Algorithm {
+    /// Parses the stable CLI/wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "efficient" => Some(Algorithm::Efficient),
+            "baseline" => Some(Algorithm::Baseline),
+            "brute" => Some(Algorithm::Brute),
+            "parallel" => Some(Algorithm::Parallel),
+            _ => None,
+        }
+    }
+
+    /// The stable name, identical to what [`Algorithm::parse`] accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Efficient => "efficient",
+            Algorithm::Baseline => "baseline",
+            Algorithm::Brute => "brute",
+            Algorithm::Parallel => "parallel",
+        }
+    }
+}
+
+/// How to run one query: objective + algorithm + knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveSpec {
+    /// Which objective to optimize.
+    pub objective: Objective,
+    /// Which solver family answers it.
+    pub algorithm: Algorithm,
+    /// Worker threads for [`Algorithm::Parallel`] (`0` = all cores).
+    pub threads: usize,
+    /// Whether the efficient solvers memoize distance kernels.
+    pub dist_cache: bool,
+}
+
+impl Default for SolveSpec {
+    fn default() -> Self {
+        Self {
+            objective: Objective::MinMax,
+            algorithm: Algorithm::Efficient,
+            threads: 0,
+            dist_cache: true,
+        }
+    }
+}
+
+/// One solved single-answer query in objective-neutral form: the shape
+/// `ifls-stats/v1` serializes and every front end reports.
+#[derive(Clone, Debug)]
+pub struct QuerySummary {
+    /// The selected candidate partition (`None`: no candidate improves).
+    pub answer: Option<PartitionId>,
+    /// JSON key for the objective value (see [`Objective::value_key`]).
+    pub value_key: &'static str,
+    /// The objective value (MinDist reports the per-client average).
+    pub value: f64,
+    /// Exact, or budget-degraded with an optimality gap.
+    pub resolution: Resolution,
+    /// Instrumentation collected during the query.
+    pub stats: QueryStats,
+}
+
+/// Answers one IFLS query. This is *the* dispatch used by the CLI and the
+/// daemon; anything answered here is bit-identical across front ends by
+/// construction.
+pub fn solve(
+    tree: &VipTree<'_>,
+    clients: &[IndoorPoint],
+    existing: &[PartitionId],
+    candidates: &[PartitionId],
+    spec: &SolveSpec,
+    budget: &Budget,
+) -> Result<QuerySummary, WorkerPanic> {
+    let config = EfficientConfig {
+        dist_cache: spec.dist_cache,
+        ..EfficientConfig::default()
+    };
+    let parallel = (spec.algorithm == Algorithm::Parallel)
+        .then(|| ParallelSolver::with_threads(tree, spec.threads).config(config));
+    let summary =
+        match spec.objective {
+            Objective::MinMax => {
+                let o = match (spec.algorithm, &parallel) {
+                    (_, Some(p)) => p.try_run_minmax(clients, existing, candidates, budget)?,
+                    (Algorithm::Efficient, _) => EfficientIfls::with_config(tree, config)
+                        .run_budgeted(clients, existing, candidates, budget),
+                    (Algorithm::Baseline, _) => ModifiedMinMax::new(tree)
+                        .run_budgeted(clients, existing, candidates, budget),
+                    _ => BruteForce::new(tree).run_budgeted(clients, existing, candidates, budget),
+                };
+                QuerySummary {
+                    answer: o.answer,
+                    value_key: Objective::MinMax.value_key(),
+                    value: o.objective,
+                    resolution: o.resolution,
+                    stats: o.stats,
+                }
+            }
+            Objective::MinDist => {
+                let o = match (spec.algorithm, &parallel) {
+                    (_, Some(p)) => p.try_run_mindist(clients, existing, candidates, budget)?,
+                    (Algorithm::Efficient, _) => EfficientMinDist::with_config(tree, config)
+                        .run_budgeted(clients, existing, candidates, budget),
+                    _ => BruteForceMinDist::new(tree)
+                        .run_budgeted(clients, existing, candidates, budget),
+                };
+                QuerySummary {
+                    answer: o.answer,
+                    value_key: Objective::MinDist.value_key(),
+                    value: o.average(clients.len()),
+                    resolution: o.resolution,
+                    stats: o.stats,
+                }
+            }
+            Objective::MaxSum => {
+                let o = match (spec.algorithm, &parallel) {
+                    (_, Some(p)) => p.try_run_maxsum(clients, existing, candidates, budget)?,
+                    (Algorithm::Efficient, _) => EfficientMaxSum::with_config(tree, config)
+                        .run_budgeted(clients, existing, candidates, budget),
+                    _ => BruteForceMaxSum::new(tree)
+                        .run_budgeted(clients, existing, candidates, budget),
+                };
+                QuerySummary {
+                    answer: o.answer,
+                    value_key: Objective::MaxSum.value_key(),
+                    value: o.wins as f64,
+                    resolution: o.resolution,
+                    stats: o.stats,
+                }
+            }
+        };
+    Ok(summary)
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON number (`null` for non-finite values).
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Identity of the workload a summary answered, for `ifls-stats/v1`.
+#[derive(Clone, Debug)]
+pub struct WorkloadIdent<'a> {
+    /// Venue name.
+    pub venue: &'a str,
+    /// Client count.
+    pub clients: usize,
+    /// Existing-facility count.
+    pub existing: usize,
+    /// Candidate count.
+    pub candidates: usize,
+    /// RNG seed the workload was generated from.
+    pub seed: u64,
+}
+
+/// Serializes one solved query as a single `ifls-stats/v1` JSON line
+/// (hand-rolled — the dependency set has no serde). This is the exact
+/// encoder behind `ifls query --stats-json` and every `ifls serve`
+/// response body.
+pub fn stats_json_line(
+    ident: &WorkloadIdent<'_>,
+    objective: Objective,
+    algorithm: Algorithm,
+    s: &QuerySummary,
+) -> String {
+    let answer = match s.answer {
+        Some(n) => format!("{}", n.index()),
+        None => "null".into(),
+    };
+    let lat = &s.stats.latencies;
+    let budget_reason = match s.resolution.reason() {
+        Some(r) => format!("\"{}\"", r.label()),
+        None => "null".into(),
+    };
+    format!(
+        concat!(
+            "{{\"schema\":\"ifls-stats/v1\",\"venue\":\"{venue}\",",
+            "\"objective\":\"{objective}\",\"algorithm\":\"{algorithm}\",",
+            "\"clients\":{clients},\"existing\":{existing},",
+            "\"candidates\":{candidates},\"seed\":{seed},",
+            "\"answer\":{answer},\"{value_key}\":{value},",
+            "\"degraded\":{degraded},\"optimality_gap\":{gap},",
+            "\"budget_reason\":{budget_reason},",
+            "\"stats\":{{\"elapsed_ns\":{elapsed_ns},",
+            "\"dist_computations\":{dist},\"point_via_lookups\":{via},",
+            "\"facilities_retrieved\":{retrieved},\"clients_pruned\":{pruned},",
+            "\"cache_hits\":{hits},\"cache_misses\":{misses},",
+            "\"cache_bytes\":{cache_bytes},\"peak_bytes\":{peak},",
+            "\"index_build_ns\":{index_ns},\"index_from_snapshot\":{from_snap},",
+            "\"latency\":{{\"count\":{lcount},\"p50_ns\":{p50},",
+            "\"p95_ns\":{p95},\"p99_ns\":{p99}}}}}}}"
+        ),
+        venue = json_escape(ident.venue),
+        objective = json_escape(objective.name()),
+        algorithm = json_escape(algorithm.name()),
+        clients = ident.clients,
+        existing = ident.existing,
+        candidates = ident.candidates,
+        seed = ident.seed,
+        answer = answer,
+        value_key = s.value_key,
+        value = json_num(s.value),
+        degraded = !s.resolution.is_exact(),
+        gap = json_num(s.resolution.gap()),
+        budget_reason = budget_reason,
+        elapsed_ns = s.stats.elapsed.as_nanos(),
+        dist = s.stats.dist_computations,
+        via = s.stats.point_via_lookups,
+        retrieved = s.stats.facilities_retrieved,
+        pruned = s.stats.clients_pruned,
+        hits = s.stats.cache_hits,
+        misses = s.stats.cache_misses,
+        cache_bytes = s.stats.cache_bytes,
+        peak = s.stats.peak_bytes,
+        index_ns = s.stats.index_build_ns,
+        from_snap = s.stats.index_from_snapshot,
+        lcount = lat.count(),
+        p50 = lat.p50_ns(),
+        p95 = lat.p95_ns(),
+        p99 = lat.p99_ns(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifls_venues::GridVenueSpec;
+    use ifls_viptree::VipTreeConfig;
+    use ifls_workloads::WorkloadBuilder;
+
+    #[test]
+    fn names_round_trip() {
+        for o in [Objective::MinMax, Objective::MinDist, Objective::MaxSum] {
+            assert_eq!(Objective::parse(o.name()), Some(o));
+        }
+        for a in [
+            Algorithm::Efficient,
+            Algorithm::Baseline,
+            Algorithm::Brute,
+            Algorithm::Parallel,
+        ] {
+            assert_eq!(Algorithm::parse(a.name()), Some(a));
+        }
+        assert_eq!(Objective::parse("mean"), None);
+        assert_eq!(Algorithm::parse("magic"), None);
+    }
+
+    #[test]
+    fn solve_matches_direct_solver_calls() {
+        let venue = GridVenueSpec::new("api", 2, 12).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(30)
+            .existing_uniform(2)
+            .candidates_uniform(4)
+            .seed(11)
+            .build();
+        let spec = SolveSpec::default();
+        let got = solve(
+            &tree,
+            &w.clients,
+            &w.existing,
+            &w.candidates,
+            &spec,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        let want = EfficientIfls::new(&tree).run(&w.clients, &w.existing, &w.candidates);
+        assert_eq!(got.answer, want.answer);
+        assert_eq!(got.value, want.objective);
+        assert!(got.resolution.is_exact());
+        // Every algorithm agrees on the answer for every objective. The
+        // objective *value* is only ULP-comparable across algorithms —
+        // MinDist averages a sum whose accumulation order differs between
+        // the baseline and the single-pass solver — so values get a
+        // relative tolerance while answers must match exactly.
+        for objective in [Objective::MinMax, Objective::MinDist, Objective::MaxSum] {
+            let mut results = Vec::new();
+            for algorithm in [
+                Algorithm::Efficient,
+                Algorithm::Baseline,
+                Algorithm::Brute,
+                Algorithm::Parallel,
+            ] {
+                let s = SolveSpec {
+                    objective,
+                    algorithm,
+                    threads: 2,
+                    dist_cache: true,
+                };
+                let r = solve(
+                    &tree,
+                    &w.clients,
+                    &w.existing,
+                    &w.candidates,
+                    &s,
+                    &Budget::unlimited(),
+                )
+                .unwrap();
+                results.push((algorithm, r.answer, r.value));
+            }
+            let (_, answer0, value0) = results[0];
+            for (algorithm, answer, value) in &results[1..] {
+                assert_eq!(
+                    *answer, answer0,
+                    "{objective:?}/{algorithm:?} answer diverged: {results:?}"
+                );
+                assert!(
+                    (*value - value0).abs() <= 1e-9 * value0.abs().max(1.0),
+                    "{objective:?}/{algorithm:?} value diverged: {results:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_json_line_is_valid_json() {
+        let venue = GridVenueSpec::new("api-json", 1, 8).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(10)
+            .existing_uniform(2)
+            .candidates_uniform(3)
+            .seed(3)
+            .build();
+        let spec = SolveSpec::default();
+        let s = solve(
+            &tree,
+            &w.clients,
+            &w.existing,
+            &w.candidates,
+            &spec,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        let line = stats_json_line(
+            &WorkloadIdent {
+                venue: venue.name(),
+                clients: w.clients.len(),
+                existing: w.existing.len(),
+                candidates: w.candidates.len(),
+                seed: 3,
+            },
+            spec.objective,
+            spec.algorithm,
+            &s,
+        );
+        ifls_obs::validate_json_line(&line).unwrap();
+        assert!(line.contains("\"schema\":\"ifls-stats/v1\""), "{line}");
+        assert!(line.contains("\"max_distance_m\":"), "{line}");
+    }
+
+    #[test]
+    fn json_helpers_escape_and_null() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(f64::INFINITY), "null");
+        assert_eq!(json_num(f64::NAN), "null");
+    }
+}

@@ -50,6 +50,7 @@
 //! record calls only *read* solver state, and the parallel engine merges
 //! per-worker sinks in deterministic join order.
 
+pub mod api;
 mod baseline;
 mod brute;
 pub mod budget;
@@ -62,6 +63,7 @@ mod outcome;
 pub mod parallel;
 mod stats;
 
+pub use api::{solve, Algorithm, Objective, QuerySummary, SolveSpec, WorkloadIdent};
 pub use baseline::ModifiedMinMax;
 pub use brute::{evaluate_objective, BruteForce};
 pub use budget::{Budget, BudgetReason, CancelToken, Resolution};

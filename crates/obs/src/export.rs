@@ -283,6 +283,158 @@ pub fn validate_jsonl(content: &str) -> Result<JsonlSummary, String> {
     Ok(summary)
 }
 
+// ---------------------------------------------------------------------------
+// Prometheus text exposition validation (the `/metrics` scrape contract)
+// ---------------------------------------------------------------------------
+
+/// What [`validate_prometheus`] found in a scrape body.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PromSummary {
+    /// Number of sample lines (all validated).
+    pub samples: usize,
+    /// `(family, type)` pairs from `# TYPE` lines, in order of appearance.
+    pub families: Vec<(String, String)>,
+    /// `name="…"` label values seen on `ifls_events_total` samples.
+    pub event_names: Vec<String>,
+}
+
+impl PromSummary {
+    /// Whether a `# TYPE family kind` declaration is present.
+    pub fn has_family(&self, family: &str, kind: &str) -> bool {
+        self.families.iter().any(|(f, k)| f == family && k == kind)
+    }
+}
+
+fn is_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn validate_prom_sample(line: &str) -> Result<String, String> {
+    // name{label="value",…} value  — labels optional, no timestamp support
+    // (the exporter never writes one).
+    let (name_part, rest) = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}').ok_or("unterminated label set")?;
+            let labels = &line[open + 1..close];
+            if !labels.is_empty() {
+                for pair in split_prom_labels(labels)? {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("label `{pair}` missing `=`"))?;
+                    if !is_metric_name(k) {
+                        return Err(format!("bad label name `{k}`"));
+                    }
+                    if !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                        return Err(format!("label value `{v}` is not quoted"));
+                    }
+                }
+            }
+            (&line[..open], line[close + 1..].trim())
+        }
+        None => {
+            let sp = line
+                .find(|c: char| c.is_ascii_whitespace())
+                .ok_or("sample has no value")?;
+            (&line[..sp], line[sp..].trim())
+        }
+    };
+    if !is_metric_name(name_part) {
+        return Err(format!("bad metric name `{name_part}`"));
+    }
+    let value = rest.trim();
+    let ok = value.parse::<f64>().is_ok() || matches!(value, "+Inf" | "-Inf" | "NaN");
+    if !ok {
+        return Err(format!("bad sample value `{value}`"));
+    }
+    Ok(name_part.to_owned())
+}
+
+/// Splits a Prometheus label body on commas that are outside quotes.
+fn split_prom_labels(s: &str) -> Result<Vec<&str>, String> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\\' if in_quotes => escaped = !escaped,
+            '"' if !escaped => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => escaped = false,
+        }
+    }
+    if in_quotes {
+        return Err("unterminated label value quote".into());
+    }
+    let last = s[start..].trim();
+    if !last.is_empty() {
+        out.push(last);
+    }
+    Ok(out)
+}
+
+/// Validates a Prometheus text exposition body (the `/metrics` response of
+/// `ifls serve` and the CLI's `--metrics-format prom` output): every
+/// non-empty line must be a well-formed `# TYPE`/`# HELP` comment or a
+/// sample, and every sample's family must not contradict its declared
+/// type. Returns a summary of the families and samples found.
+pub fn validate_prometheus(content: &str) -> Result<PromSummary, String> {
+    let mut summary = PromSummary::default();
+    for (lineno, raw) in content.lines().enumerate() {
+        let line = raw.trim();
+        let fail = |e: String| format!("line {}: {e}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut it = decl.split_whitespace();
+                let family = it.next().ok_or_else(|| fail("TYPE without name".into()))?;
+                let kind = it.next().ok_or_else(|| fail("TYPE without kind".into()))?;
+                if !is_metric_name(family) {
+                    return Err(fail(format!("bad family name `{family}`")));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(fail(format!("unknown metric type `{kind}`")));
+                }
+                summary.families.push((family.to_owned(), kind.to_owned()));
+            }
+            // `# HELP …` and free comments are fine as-is.
+            continue;
+        }
+        let name = validate_prom_sample(line).map_err(fail)?;
+        if name == "ifls_events_total" {
+            if let Some(v) = extract_prom_label(line, "name") {
+                summary.event_names.push(v);
+            }
+        }
+        summary.samples += 1;
+    }
+    if summary.samples == 0 {
+        return Err("no samples found".into());
+    }
+    Ok(summary)
+}
+
+fn extract_prom_label(line: &str, label: &str) -> Option<String> {
+    let pat = format!("{label}=\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_owned())
+}
+
 fn extract_string_field(line: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\":\"");
     let start = line.find(&pat)? + pat.len();
@@ -492,8 +644,12 @@ mod tests {
             summary.histograms_with_percentiles,
             vec!["query_latency_ns".to_owned()]
         );
-        // 1 meta + 10 spans + 8 counters + 1 gauge + 1 histogram.
-        assert_eq!(summary.records, 21);
+        // 1 meta + one span per phase + one record per counter + 1 gauge
+        // + 1 histogram.
+        assert_eq!(
+            summary.records,
+            1 + Phase::ALL.len() + Counter::ALL.len() + 1 + 1
+        );
     }
 
     #[test]

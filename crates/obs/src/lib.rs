@@ -60,7 +60,10 @@ mod export;
 mod metrics;
 mod span;
 
-pub use export::{to_jsonl, to_prometheus, to_text, validate_json_line, validate_jsonl};
+pub use export::{
+    to_jsonl, to_prometheus, to_text, validate_json_line, validate_jsonl, validate_prometheus,
+    PromSummary,
+};
 pub use metrics::{Counter, LatencyHistogram, ObsSink, SpanAgg, HIST_BUCKETS};
 pub use span::{span, SpanGuard};
 

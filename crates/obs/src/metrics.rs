@@ -37,10 +37,20 @@ pub enum Counter {
     WorkerRetries = 9,
     /// Queries that returned a budget-degraded (best-so-far) answer.
     QueriesDegraded = 10,
+    /// HTTP requests accepted and answered by `ifls serve` (any status).
+    RequestsTotal = 11,
+    /// Requests shed by admission control (503 + `Retry-After`) because
+    /// the connection queue was at its watermark.
+    RequestsShed = 12,
+    /// Snapshot hot-swaps applied by `ifls serve` (`/reload` or SIGHUP).
+    ReloadsApplied = 13,
+    /// Hot-swap attempts refused with a typed error (corrupt or stale
+    /// replacement snapshot); the old index keeps serving.
+    ReloadsRefused = 14,
 }
 
 /// Number of counter slots (the length of [`Counter::ALL`]).
-pub(crate) const NUM_COUNTERS: usize = 11;
+pub(crate) const NUM_COUNTERS: usize = 15;
 
 impl Counter {
     /// Every counter, in canonical export order.
@@ -56,6 +66,10 @@ impl Counter {
         Counter::SnapshotFallbacks,
         Counter::WorkerRetries,
         Counter::QueriesDegraded,
+        Counter::RequestsTotal,
+        Counter::RequestsShed,
+        Counter::ReloadsApplied,
+        Counter::ReloadsRefused,
     ];
 
     /// Stable snake_case name used by every exporter.
@@ -72,6 +86,10 @@ impl Counter {
             Counter::SnapshotFallbacks => "snapshot_fallbacks",
             Counter::WorkerRetries => "worker_retries",
             Counter::QueriesDegraded => "queries_degraded",
+            Counter::RequestsTotal => "requests_total",
+            Counter::RequestsShed => "requests_shed",
+            Counter::ReloadsApplied => "reloads_applied",
+            Counter::ReloadsRefused => "reloads_refused",
         }
     }
 

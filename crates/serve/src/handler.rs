@@ -1,0 +1,360 @@
+//! Request routing and the four endpoints.
+//!
+//! | method | path       | purpose                                         |
+//! |--------|------------|-------------------------------------------------|
+//! | POST   | `/query`   | answer one IFLS query (`ifls-stats/v1` NDJSON)  |
+//! | GET    | `/metrics` | Prometheus text exposition of the server sink   |
+//! | GET    | `/healthz` | liveness + installed-index provenance           |
+//! | POST   | `/reload`  | re-validate and hot-swap the snapshot           |
+//!
+//! Every failure is a typed JSON error (`ifls-serve-error/v1`): a `kind`
+//! machine code plus a human `detail`. Handlers validate *before* work —
+//! any input that could make library code panic (oversized facility
+//! counts, non-positive sigma) is refused with a 4xx instead.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ifls_core::api::{self, Algorithm, Objective, SolveSpec, WorkloadIdent};
+use ifls_core::Budget;
+use ifls_obs as obs;
+use ifls_workloads::{eligible_facility_partitions, WorkloadBuilder};
+
+use crate::http::{Request, Response};
+use crate::json::{parse_object, JsonValue};
+use crate::{snapshot_error_kind, ReloadRefused, Shared};
+
+/// Largest accepted `clients` value: bounds the work one request can pin
+/// a worker with (the deadline budget bounds solve time, but workload
+/// generation runs before the budget clock starts).
+const MAX_CLIENTS: u64 = 1_000_000;
+
+/// Renders the standard error body (`ifls-serve-error/v1`).
+pub(crate) fn error_response(status: u16, kind: &str, detail: &str) -> Response {
+    let body = format!(
+        "{{\"schema\":\"ifls-serve-error/v1\",\"error\":\"{}\",\"detail\":\"{}\"}}\n",
+        api::json_escape(kind),
+        api::json_escape(detail)
+    );
+    Response::new(status, "application/json", body)
+}
+
+/// Dispatches one request to its endpoint.
+pub(crate) fn route(shared: &Arc<Shared>, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/query") => query(shared, req),
+        ("GET", "/metrics") => metrics(shared),
+        ("GET", "/healthz") => healthz(shared),
+        ("POST", "/reload") => reload(shared, req),
+        (_, "/query") | (_, "/reload") => error_response(405, "method_not_allowed", "use POST")
+            .with_header("Allow", "POST".into()),
+        (_, "/metrics") | (_, "/healthz") => {
+            error_response(405, "method_not_allowed", "use GET").with_header("Allow", "GET".into())
+        }
+        (_, path) => error_response(404, "not_found", &format!("no such endpoint `{path}`")),
+    }
+}
+
+/// A `/query` body, decoded and validated. Defaults mirror the CLI's
+/// `CommonArgs` so the empty object `{}` asks the CLI's default question.
+struct QueryRequest {
+    objective: Objective,
+    algorithm: Algorithm,
+    clients: usize,
+    fe: usize,
+    fn_: usize,
+    seed: u64,
+    sigma: Option<f64>,
+    threads: usize,
+    dist_cache: bool,
+    deadline_ms: Option<u64>,
+    max_dist_computations: Option<u64>,
+}
+
+fn parse_query_request(body: &str) -> Result<QueryRequest, Response> {
+    let bad = |detail: String| error_response(400, "bad_request", &detail);
+    let fields = parse_object(body).map_err(|e| bad(format!("request body: {e}")))?;
+    let mut q = QueryRequest {
+        objective: Objective::MinMax,
+        algorithm: Algorithm::Efficient,
+        clients: 1000,
+        fe: 10,
+        fn_: 20,
+        seed: 0,
+        sigma: None,
+        threads: 0,
+        dist_cache: true,
+        deadline_ms: None,
+        max_dist_computations: None,
+    };
+    for (key, value) in &fields {
+        let type_err = |want: &str| bad(format!("field `{key}` must be {want}"));
+        match key.as_str() {
+            "objective" => {
+                let s = value.as_str().ok_or_else(|| type_err("a string"))?;
+                q.objective =
+                    Objective::parse(s).ok_or_else(|| bad(format!("unknown objective `{s}`")))?;
+            }
+            "algorithm" => {
+                let s = value.as_str().ok_or_else(|| type_err("a string"))?;
+                q.algorithm =
+                    Algorithm::parse(s).ok_or_else(|| bad(format!("unknown algorithm `{s}`")))?;
+            }
+            "clients" => {
+                q.clients = value
+                    .as_u64()
+                    .ok_or_else(|| type_err("a non-negative integer"))?
+                    as usize
+            }
+            "fe" => {
+                q.fe = value
+                    .as_u64()
+                    .ok_or_else(|| type_err("a non-negative integer"))?
+                    as usize
+            }
+            "fn" => {
+                q.fn_ = value
+                    .as_u64()
+                    .ok_or_else(|| type_err("a non-negative integer"))?
+                    as usize
+            }
+            "seed" => {
+                q.seed = value
+                    .as_u64()
+                    .ok_or_else(|| type_err("a non-negative integer"))?
+            }
+            "sigma" => match value {
+                JsonValue::Null => q.sigma = None,
+                _ => q.sigma = Some(value.as_f64().ok_or_else(|| type_err("a number"))?),
+            },
+            "threads" => {
+                q.threads = value
+                    .as_u64()
+                    .ok_or_else(|| type_err("a non-negative integer"))?
+                    as usize
+            }
+            "dist_cache" => q.dist_cache = value.as_bool().ok_or_else(|| type_err("a boolean"))?,
+            "deadline_ms" => {
+                q.deadline_ms = Some(
+                    value
+                        .as_u64()
+                        .ok_or_else(|| type_err("a non-negative integer"))?,
+                )
+            }
+            "max_dist_computations" => {
+                q.max_dist_computations = Some(
+                    value
+                        .as_u64()
+                        .ok_or_else(|| type_err("a non-negative integer"))?,
+                )
+            }
+            _ => return Err(bad(format!("unknown field `{key}`"))),
+        }
+    }
+    Ok(q)
+}
+
+fn query(shared: &Arc<Shared>, req: &Request) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) if !s.trim().is_empty() => s,
+        Ok(_) => "{}",
+        Err(_) => return error_response(400, "bad_request", "request body is not UTF-8"),
+    };
+    let q = match parse_query_request(body) {
+        Ok(q) => q,
+        Err(resp) => return resp,
+    };
+    // Protocol-level errors (400) outrank semantic limits (422): a
+    // malformed Deadline-Ms header is refused before the body is judged.
+    let header_deadline = match req.header("deadline-ms") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Some(ms),
+            Err(_) => {
+                return error_response(
+                    400,
+                    "bad_request",
+                    &format!("Deadline-Ms header `{v}` is not an integer"),
+                )
+            }
+        },
+        None => None,
+    };
+    // Validate against everything that would make workload generation
+    // panic: the daemon's contract is typed 4xx, never a crash.
+    if q.clients as u64 > MAX_CLIENTS {
+        return error_response(
+            422,
+            "limits",
+            &format!("clients {} exceeds the {MAX_CLIENTS} limit", q.clients),
+        );
+    }
+    if let Some(s) = q.sigma {
+        if !(s.is_finite() && s > 0.0) {
+            return error_response(422, "limits", "sigma must be a positive finite number");
+        }
+    }
+    let eligible = eligible_facility_partitions(shared.venue).len();
+    if q.fe + q.fn_ > eligible {
+        return error_response(
+            422,
+            "limits",
+            &format!(
+                "fe + fn = {} exceeds the venue's {eligible} eligible facility partitions",
+                q.fe + q.fn_
+            ),
+        );
+    }
+    if q.fn_ == 0 {
+        return error_response(422, "limits", "fn must be at least 1");
+    }
+    // Deadline precedence: request field > Deadline-Ms header > server
+    // default. The budget clock starts *after* workload generation, like
+    // the CLI's (provisioning is not serving).
+    let deadline_ms = q
+        .deadline_ms
+        .or(header_deadline)
+        .or(shared.opts.default_deadline_ms);
+    let builder = WorkloadBuilder::new(shared.venue)
+        .existing_uniform(q.fe)
+        .candidates_uniform(q.fn_)
+        .seed(q.seed);
+    let builder = match q.sigma {
+        Some(s) => builder.clients_normal(q.clients, s),
+        None => builder.clients_uniform(q.clients),
+    };
+    let w = builder.build();
+    let tv = shared.current_tree();
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = deadline_ms {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(cap) = q.max_dist_computations {
+        budget = budget.with_dist_cap(cap);
+    }
+    let spec = SolveSpec {
+        objective: q.objective,
+        algorithm: q.algorithm,
+        threads: q.threads,
+        dist_cache: q.dist_cache,
+    };
+    let summary = match api::solve(
+        &tv.tree,
+        &w.clients,
+        &w.existing,
+        &w.candidates,
+        &spec,
+        &budget,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            return error_response(
+                500,
+                "worker_panic",
+                &format!("parallel worker failure: {e}"),
+            )
+        }
+    };
+    let line = api::stats_json_line(
+        &WorkloadIdent {
+            venue: shared.venue.name(),
+            clients: w.clients.len(),
+            existing: w.existing.len(),
+            candidates: w.candidates.len(),
+            seed: q.seed,
+        },
+        q.objective,
+        q.algorithm,
+        &summary,
+    );
+    Response::new(200, "application/x-ndjson", format!("{line}\n"))
+        .with_header("Index-Version", tv.version.to_string())
+}
+
+fn metrics(shared: &Arc<Shared>) -> Response {
+    // Fold this thread's pending records plus the live queue depth in, so
+    // one scrape sees a consistent, current sink.
+    obs::gauge_set("queue_depth", shared.queue.depth() as f64);
+    obs::gauge_set("queue_capacity", shared.queue.capacity() as f64);
+    shared.flush_local_obs();
+    let sink = shared.metrics.lock().unwrap().clone();
+    Response::new(200, "text/plain; version=0.0.4", obs::to_prometheus(&sink))
+}
+
+fn healthz(shared: &Arc<Shared>) -> Response {
+    let tv = shared.current_tree();
+    let body = format!(
+        concat!(
+            "{{\"schema\":\"ifls-serve-health/v1\",\"status\":\"ok\",",
+            "\"venue\":\"{venue}\",\"fingerprint\":\"{fp}\",",
+            "\"index_version\":{version},\"source\":\"{source}\",",
+            "\"uptime_ms\":{uptime},\"queue_depth\":{depth},",
+            "\"queue_capacity\":{capacity}}}\n"
+        ),
+        venue = api::json_escape(shared.venue.name()),
+        fp = tv.fingerprint,
+        version = tv.version,
+        source = api::json_escape(&tv.source),
+        uptime = shared.started.elapsed().as_millis(),
+        depth = shared.queue.depth(),
+        capacity = shared.queue.capacity(),
+    );
+    Response::new(200, "application/json", body)
+}
+
+fn reload(shared: &Arc<Shared>, req: &Request) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s.trim(),
+        Err(_) => return error_response(400, "bad_request", "request body is not UTF-8"),
+    };
+    let mut path_override = None;
+    if !body.is_empty() {
+        let fields = match parse_object(body) {
+            Ok(f) => f,
+            Err(e) => return error_response(400, "bad_request", &format!("request body: {e}")),
+        };
+        for (key, value) in &fields {
+            match key.as_str() {
+                "index" => match value.as_str() {
+                    Some(p) => path_override = Some(std::path::PathBuf::from(p)),
+                    None => {
+                        return error_response(400, "bad_request", "field `index` must be a string")
+                    }
+                },
+                _ => return error_response(400, "bad_request", &format!("unknown field `{key}`")),
+            }
+        }
+    }
+    let result = shared.reload(path_override.as_deref());
+    shared.flush_local_obs();
+    match result {
+        Ok(tv) => Response::new(
+            200,
+            "application/json",
+            format!(
+                concat!(
+                    "{{\"schema\":\"ifls-serve-reload/v1\",\"status\":\"applied\",",
+                    "\"index_version\":{},\"fingerprint\":\"{}\",\"source\":\"{}\"}}\n"
+                ),
+                tv.version,
+                tv.fingerprint,
+                api::json_escape(&tv.source)
+            ),
+        ),
+        Err(ReloadRefused::NoPath) => error_response(
+            409,
+            "no_index_path",
+            "the daemon was started without --index and the request named no `index` path",
+        ),
+        Err(ReloadRefused::Snapshot { path, error }) => {
+            let resp = error_response(
+                422,
+                snapshot_error_kind(&error),
+                &format!("index `{}`: {error}", path.display()),
+            );
+            // The refusal is non-fatal by design: report which index is
+            // still serving so operators can see nothing was lost.
+            let tv = shared.current_tree();
+            resp.with_header("Index-Version", tv.version.to_string())
+        }
+    }
+}

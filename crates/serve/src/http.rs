@@ -1,0 +1,272 @@
+//! Hand-rolled HTTP/1.1 framing over `std::net` (no external deps).
+//!
+//! Only what the daemon needs: request-line + headers + `Content-Length`
+//! bodies, keep-alive by default, explicit `Connection: close`. No chunked
+//! transfer, no pipelining guarantees beyond read-in-order, no TLS. Every
+//! parse failure is a typed [`HttpError`] the connection handler turns
+//! into a 4xx response — a malformed request must never hang or kill the
+//! daemon.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on one header line (request line included).
+const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// Hard cap on the number of header lines per request.
+const MAX_HEADERS: usize = 100;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-case method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target, query string included, as sent.
+    pub path: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection cleanly before sending anything.
+    Eof,
+    /// Socket-level failure (including read timeouts).
+    Io(std::io::Error),
+    /// The request violates the framing this server speaks → 400.
+    BadRequest(String),
+    /// A body-carrying request without `Content-Length` → 411.
+    LengthRequired,
+    /// The declared body exceeds the server's limit → 413.
+    PayloadTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The server's limit.
+        limit: usize,
+    },
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one line terminated by `\n`, stripping the trailing `\r\n`/`\n`.
+/// Returns `None` on clean EOF before any byte.
+fn read_line(r: &mut BufReader<TcpStream>) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::BadRequest("unterminated header line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let s = String::from_utf8(buf)
+                        .map_err(|_| HttpError::BadRequest("non-UTF-8 header bytes".into()))?;
+                    return Ok(Some(s));
+                }
+                if buf.len() >= MAX_LINE_BYTES {
+                    return Err(HttpError::BadRequest("header line too long".into()));
+                }
+                buf.push(byte[0]);
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Reads and parses one request from the connection.
+///
+/// `max_body` bounds the accepted `Content-Length`; larger declarations
+/// are refused *before* reading the body, so an oversized upload costs the
+/// server one header parse, not `Content-Length` bytes of buffering.
+pub fn read_request(r: &mut BufReader<TcpStream>, max_body: usize) -> Result<Request, HttpError> {
+    let line = match read_line(r)? {
+        None => return Err(HttpError::Eof),
+        Some(l) => l,
+    };
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line `{line}`"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+    if !method.chars().all(|c| c.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest(format!(
+            "malformed method `{method}`"
+        )));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?.ok_or(HttpError::Eof)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::BadRequest("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header `{line}`")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest(format!(
+                "malformed header name `{name}`"
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let req = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::BadRequest(
+            "chunked transfer encoding is not supported".into(),
+        ));
+    }
+    let content_length = match req.header("content-length") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length `{v}`")))?,
+        ),
+        None => None,
+    };
+    let body = match (req.method.as_str(), content_length) {
+        ("POST" | "PUT", None) => return Err(HttpError::LengthRequired),
+        (_, None) | (_, Some(0)) => Vec::new(),
+        (_, Some(n)) if n > max_body => {
+            return Err(HttpError::PayloadTooLarge {
+                declared: n,
+                limit: max_body,
+            })
+        }
+        (_, Some(n)) => {
+            let mut body = vec![0u8; n];
+            r.read_exact(&mut body)
+                .map_err(|_| HttpError::BadRequest("body shorter than content-length".into()))?;
+            body
+        }
+    };
+    Ok(Request { body, ..req })
+}
+
+/// A response ready to serialize.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Extra headers (name, value), written verbatim.
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+    /// Whether to advertise and perform `Connection: close`.
+    pub close: bool,
+}
+
+impl Response {
+    /// A response with the given status and a one-line body.
+    pub fn new(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type,
+            extra_headers: Vec::new(),
+            body: body.into(),
+            close: false,
+        }
+    }
+
+    /// Adds an extra header.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra_headers.push((name, value));
+        self
+    }
+
+    /// Marks the connection for close after this response.
+    pub fn closing(mut self) -> Self {
+        self.close = true;
+        self
+    }
+}
+
+/// Canonical reason phrases for the statuses the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes one response, flushing the stream. The response is written
+/// as a single `write_all` so a concurrently-killed worker can never
+/// interleave a torn status line with another response.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(resp.body.len() + 256);
+    out.extend_from_slice(
+        format!("HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status)).as_bytes(),
+    );
+    out.extend_from_slice(format!("Content-Type: {}\r\n", resp.content_type).as_bytes());
+    out.extend_from_slice(format!("Content-Length: {}\r\n", resp.body.len()).as_bytes());
+    for (name, value) in &resp.extra_headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    if resp.close {
+        out.extend_from_slice(b"Connection: close\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&resp.body);
+    stream.write_all(&out)?;
+    stream.flush()
+}

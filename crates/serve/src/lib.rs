@@ -1,0 +1,567 @@
+#![warn(missing_docs)]
+
+//! # ifls-serve — the long-lived IFLS query daemon
+//!
+//! `ifls serve` turns the one-shot CLI pipeline into a resident process: a
+//! hand-rolled HTTP/1.1 server over [`std::net`] (the build image has no
+//! registry access, so there is no tokio/hyper — and none is needed for a
+//! CPU-bound query service) in front of a persistent worker pool that
+//! shares one [`VipTree`] loaded once from an `ifls-index/v1` snapshot.
+//!
+//! The design goals, in priority order:
+//!
+//! 1. **Bit-identical answers.** Every `/query` goes through
+//!    [`ifls_core::api::solve`] and is rendered by the one `ifls-stats/v1`
+//!    encoder — the same dispatch and encoder the CLI uses, so a daemon
+//!    response is byte-for-byte the CLI's `--stats-json` line for the same
+//!    workload on the same snapshot.
+//! 2. **Bounded badness.** Admission control sheds load with a clean
+//!    `503 + Retry-After` once the connection queue crosses its watermark
+//!    ([`ServeOptions::queue_capacity`]); per-request [`Budget`] deadlines
+//!    (request field, `Deadline-Ms` header, or server default) turn
+//!    overruns into *degraded* answers with a sound optimality gap instead
+//!    of timeouts; malformed input is a typed 4xx, never a panic or a hang.
+//! 3. **Hot reload without a blip.** `POST /reload` (or `SIGHUP` on Unix)
+//!    re-validates a snapshot from disk — magic, version, checksum *and*
+//!    venue fingerprint — and swaps it in atomically behind a
+//!    `Mutex<Arc<VipTree>>`. In-flight queries keep the [`Arc`] they
+//!    cloned and drain on the old index; a refused snapshot leaves the old
+//!    index serving and reports a typed reason.
+//!
+//! Protocol grammar, status codes and watermark semantics are documented
+//! in DESIGN.md §12.
+//!
+//! [`Budget`]: ifls_core::Budget
+
+mod handler;
+mod http;
+mod json;
+mod pool;
+
+pub use http::{read_request, write_response, HttpError, Request, Response};
+pub use pool::ConnQueue;
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ifls_indoor::{Venue, VenueFingerprint};
+use ifls_obs::{self as obs, Counter, ObsSink};
+use ifls_viptree::{SnapshotError, VipTree, VipTreeConfig};
+
+/// How to run the daemon.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads serving connections (`0` = `min(4, cores)`).
+    pub workers: usize,
+    /// Admission watermark: connections parked beyond the workers. One
+    /// more arrival while the queue is full is shed with `503`.
+    pub queue_capacity: usize,
+    /// Largest accepted request body, in bytes (larger → `413`).
+    pub max_body_bytes: usize,
+    /// Default per-query deadline when the request names none.
+    pub default_deadline_ms: Option<u64>,
+    /// `Retry-After` seconds advertised on shed responses.
+    pub retry_after_secs: u64,
+    /// `ifls-index/v1` snapshot to serve from (also the `SIGHUP` /
+    /// `/reload` default). `None` builds the index in-process.
+    pub index: Option<PathBuf>,
+    /// Fall back to an in-process build when the snapshot is refused.
+    pub index_or_build: bool,
+    /// Refuse the `index_or_build` fallback: a daemon that silently
+    /// rebuilds at startup masks a stale or corrupt artifact, so strict
+    /// mode turns the fallback into a typed startup error.
+    pub strict: bool,
+    /// Threads for an in-process index build (`0` = all cores).
+    pub build_threads: usize,
+    /// Per-connection socket read timeout (idle keep-alive connections
+    /// are closed after this long).
+    pub read_timeout: Duration,
+    /// Install a `SIGHUP` → reload handler (Unix only; ignored elsewhere).
+    pub sighup_reload: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_capacity: 64,
+            max_body_bytes: 64 * 1024,
+            default_deadline_ms: None,
+            retry_after_secs: 1,
+            index: None,
+            index_or_build: false,
+            strict: false,
+            build_threads: 0,
+            read_timeout: Duration::from_secs(5),
+            sighup_reload: true,
+        }
+    }
+}
+
+/// Why the daemon failed to start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Could not bind the listen address.
+    Bind(std::io::Error),
+    /// The startup snapshot was refused (and no fallback was allowed).
+    Snapshot {
+        /// The snapshot path.
+        path: PathBuf,
+        /// Why it was refused.
+        error: SnapshotError,
+    },
+    /// `--strict` refused the `--index-or-build` fallback: the snapshot
+    /// was rejected and a silent in-process rebuild is exactly what
+    /// strict mode exists to prevent.
+    StrictFallbackRefused {
+        /// The snapshot path.
+        path: PathBuf,
+        /// Why the snapshot was refused.
+        error: SnapshotError,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind(e) => write!(f, "cannot bind listen address: {e}"),
+            ServeError::Snapshot { path, error } => {
+                write!(f, "index `{}`: {error}", path.display())
+            }
+            ServeError::StrictFallbackRefused { path, error } => write!(
+                f,
+                "index `{}` refused ({error}); --strict forbids the in-process \
+                 rebuild fallback, refusing to start",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Stable wire label for a [`SnapshotError`] variant (used in reload
+/// refusal responses and logs).
+pub fn snapshot_error_kind(e: &SnapshotError) -> &'static str {
+    match e {
+        SnapshotError::Io(_) => "io",
+        SnapshotError::BadMagic => "bad_magic",
+        SnapshotError::UnsupportedVersion(_) => "unsupported_version",
+        SnapshotError::Truncated => "truncated",
+        SnapshotError::ChecksumMismatch { .. } => "checksum_mismatch",
+        SnapshotError::FingerprintMismatch { .. } => "fingerprint_mismatch",
+        SnapshotError::Corrupt(_) => "corrupt",
+    }
+}
+
+/// One installed index: the tree plus its provenance. Swapped as a unit
+/// under [`Shared::tree`]; request handlers clone the [`Arc`] and release
+/// the lock, so in-flight queries drain on whichever version they started
+/// with while a reload installs the next one.
+#[derive(Clone)]
+pub struct TreeVersion {
+    /// The shared index.
+    pub tree: Arc<VipTree<'static>>,
+    /// Monotonic install counter (1 = the startup index).
+    pub version: u64,
+    /// Fingerprint of the venue the index answers for.
+    pub fingerprint: VenueFingerprint,
+    /// `snapshot:<path>` or `built`.
+    pub source: String,
+}
+
+/// State shared by the acceptor, the workers, and reloads.
+pub(crate) struct Shared {
+    pub(crate) venue: &'static Venue,
+    pub(crate) tree: Mutex<TreeVersion>,
+    pub(crate) queue: pool::ConnQueue,
+    pub(crate) metrics: Mutex<ObsSink>,
+    pub(crate) started: Instant,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) opts: ServeOptions,
+}
+
+impl Shared {
+    /// Drains this thread's observability records into the server sink.
+    pub(crate) fn flush_local_obs(&self) {
+        let local = obs::take_local();
+        if !local.is_empty() {
+            self.metrics.lock().unwrap().merge(&local);
+        }
+    }
+
+    /// Re-validates and installs a snapshot; the old index keeps serving
+    /// on any failure. Returns the new [`TreeVersion`] on success.
+    pub(crate) fn reload(
+        &self,
+        path_override: Option<&Path>,
+    ) -> Result<TreeVersion, ReloadRefused> {
+        let path = match path_override.or(self.opts.index.as_deref()) {
+            Some(p) => p.to_path_buf(),
+            None => return Err(ReloadRefused::NoPath),
+        };
+        match VipTree::load_snapshot_with_info(self.venue, &path) {
+            Ok((tree, info)) => {
+                let mut tv = self.tree.lock().unwrap();
+                *tv = TreeVersion {
+                    tree: Arc::new(tree),
+                    version: tv.version + 1,
+                    fingerprint: info.fingerprint,
+                    source: format!("snapshot:{}", path.display()),
+                };
+                obs::counter_add(Counter::ReloadsApplied, 1);
+                Ok(tv.clone())
+            }
+            Err(error) => {
+                obs::counter_add(Counter::ReloadsRefused, 1);
+                Err(ReloadRefused::Snapshot { path, error })
+            }
+        }
+    }
+
+    pub(crate) fn current_tree(&self) -> TreeVersion {
+        self.tree.lock().unwrap().clone()
+    }
+}
+
+/// Why a reload left the old index serving.
+pub(crate) enum ReloadRefused {
+    /// The daemon was started without `--index` and the request named no
+    /// replacement path.
+    NoPath,
+    /// The replacement snapshot failed validation.
+    Snapshot { path: PathBuf, error: SnapshotError },
+}
+
+/// A running daemon. Dropping it does *not* stop the threads; call
+/// [`Server::shutdown`] for an orderly stop (tests do; a real deployment
+/// just lets the process exit).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds or loads the index, binds the listener, and starts the
+    /// acceptor + worker threads. The `venue` is leaked to `'static`
+    /// (one leak per server, for the life of the process — the index
+    /// borrows it and must outlive every worker thread).
+    pub fn start(venue: Venue, opts: ServeOptions) -> Result<Server, ServeError> {
+        obs::set_enabled(true);
+        let venue: &'static Venue = Box::leak(Box::new(venue));
+        let initial = initial_tree(venue, &opts)?;
+        let listener = TcpListener::bind(&opts.addr).map_err(ServeError::Bind)?;
+        let addr = listener.local_addr().map_err(ServeError::Bind)?;
+        let workers = if opts.workers == 0 {
+            ifls_core::parallel::default_threads().min(4)
+        } else {
+            opts.workers
+        };
+        let shared = Arc::new(Shared {
+            venue,
+            tree: Mutex::new(initial),
+            queue: pool::ConnQueue::new(opts.queue_capacity),
+            metrics: Mutex::new(ObsSink::default()),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            opts,
+        });
+        // Records from the initial load (snapshot I/O span, a possible
+        // fallback counter) belong to the server sink.
+        shared.flush_local_obs();
+        let mut threads = Vec::new();
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker"),
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-acceptor".into())
+                    .spawn(move || acceptor_loop(&shared, listener))
+                    .expect("spawn acceptor"),
+            );
+        }
+        if shared.opts.sighup_reload {
+            if let Some(handle) = sighup::install(Arc::clone(&shared)) {
+                threads.push(handle);
+            }
+        }
+        Ok(Server {
+            shared,
+            addr,
+            threads,
+        })
+    }
+
+    /// The bound listen address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Programmatic reload (same path as `POST /reload`). Returns the new
+    /// index version on success.
+    pub fn reload(&self, path: Option<&Path>) -> Result<u64, String> {
+        let r = self
+            .shared
+            .reload(path)
+            .map(|tv| tv.version)
+            .map_err(|e| match e {
+                ReloadRefused::NoPath => "no snapshot path to reload from".to_string(),
+                ReloadRefused::Snapshot { path, error } => {
+                    format!("index `{}`: {error}", path.display())
+                }
+            });
+        self.shared.flush_local_obs();
+        r
+    }
+
+    /// A snapshot of the server's merged metrics sink.
+    pub fn metrics_sink(&self) -> ObsSink {
+        self.shared.metrics.lock().unwrap().clone()
+    }
+
+    /// Stops accepting, drains the queue, and joins every thread.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        // Unblock the acceptor's blocking `accept` with a no-op connect.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Resolves the startup index per `--index` / `--index-or-build` /
+/// `--strict` (same ladder as the CLI's `obtain_tree`, with the strict
+/// refusal on top).
+fn initial_tree(venue: &'static Venue, opts: &ServeOptions) -> Result<TreeVersion, ServeError> {
+    if let Some(path) = &opts.index {
+        match VipTree::load_snapshot_with_info(venue, path) {
+            Ok((tree, info)) => {
+                return Ok(TreeVersion {
+                    tree: Arc::new(tree),
+                    version: 1,
+                    fingerprint: info.fingerprint,
+                    source: format!("snapshot:{}", path.display()),
+                })
+            }
+            Err(error) if opts.index_or_build => {
+                obs::counter_add(Counter::SnapshotFallbacks, 1);
+                if opts.strict {
+                    return Err(ServeError::StrictFallbackRefused {
+                        path: path.clone(),
+                        error,
+                    });
+                }
+                eprintln!(
+                    "index `{}` refused ({error}); building in-process",
+                    path.display()
+                );
+            }
+            Err(error) => {
+                return Err(ServeError::Snapshot {
+                    path: path.clone(),
+                    error,
+                })
+            }
+        }
+    }
+    let tree = VipTree::build_with_threads(venue, VipTreeConfig::default(), opts.build_threads);
+    Ok(TreeVersion {
+        tree: Arc::new(tree),
+        version: 1,
+        fingerprint: VenueFingerprint::compute(venue),
+        source: "built".into(),
+    })
+}
+
+/// The acceptor: admit into the bounded queue or shed with a clean 503.
+fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let conn = match conn {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        if let Err(conn) = shared.queue.try_push(conn) {
+            shed(shared, conn);
+        }
+    }
+    shared.flush_local_obs();
+}
+
+/// Sheds one connection on a detached thread: read (and discard) the
+/// request so the client has finished sending before the refusal lands —
+/// responding at accept time and closing immediately can turn into a
+/// connection reset before the client ever reads the 503.
+fn shed(shared: &Arc<Shared>, conn: TcpStream) {
+    obs::counter_add(Counter::RequestsShed, 1);
+    shared.flush_local_obs();
+    let retry_after = shared.opts.retry_after_secs;
+    let max_body = shared.opts.max_body_bytes;
+    let _ = std::thread::Builder::new()
+        .name("serve-shed".into())
+        .spawn(move || {
+            let _ = conn.set_read_timeout(Some(Duration::from_millis(500)));
+            let mut reader = BufReader::new(match conn.try_clone() {
+                Ok(c) => c,
+                Err(_) => return,
+            });
+            let _ = http::read_request(&mut reader, max_body);
+            let resp = handler::error_response(
+                503,
+                "overloaded",
+                "connection queue is at its watermark; retry later",
+            )
+            .with_header("Retry-After", retry_after.to_string())
+            .closing();
+            let mut conn = conn;
+            let _ = http::write_response(&mut conn, &resp);
+        });
+}
+
+/// One worker: park on the queue, own a connection for its keep-alive
+/// lifetime, answer request by request.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(conn) = shared.queue.pop() {
+        handle_connection(shared, conn);
+        shared.flush_local_obs();
+    }
+    shared.flush_local_obs();
+}
+
+fn handle_connection(shared: &Arc<Shared>, conn: TcpStream) {
+    let _ = conn.set_read_timeout(Some(shared.opts.read_timeout));
+    let mut writer = match conn.try_clone() {
+        Ok(c) => c,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(conn);
+    loop {
+        let request = match http::read_request(&mut reader, shared.opts.max_body_bytes) {
+            Ok(r) => r,
+            Err(HttpError::Eof) | Err(HttpError::Io(_)) => return,
+            Err(HttpError::BadRequest(detail)) => {
+                let resp = handler::error_response(400, "bad_request", &detail).closing();
+                let _ = http::write_response(&mut writer, &resp);
+                return;
+            }
+            Err(HttpError::LengthRequired) => {
+                let resp = handler::error_response(
+                    411,
+                    "length_required",
+                    "body-carrying requests must send Content-Length",
+                )
+                .closing();
+                let _ = http::write_response(&mut writer, &resp);
+                return;
+            }
+            Err(HttpError::PayloadTooLarge { declared, limit }) => {
+                let resp = handler::error_response(
+                    413,
+                    "payload_too_large",
+                    &format!("request body of {declared} B exceeds the {limit} B limit"),
+                )
+                .closing();
+                let _ = http::write_response(&mut writer, &resp);
+                return;
+            }
+        };
+        let started = Instant::now();
+        let wants_close = request.wants_close();
+        let response = handler::route(shared, &request);
+        obs::counter_add(Counter::RequestsTotal, 1);
+        obs::record_ns(
+            "serve_request_latency_ns",
+            started.elapsed().as_nanos() as u64,
+        );
+        let close = response.close || wants_close;
+        let response = if wants_close {
+            response.closing()
+        } else {
+            response
+        };
+        shared.flush_local_obs();
+        if http::write_response(&mut writer, &response).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// `SIGHUP` → reload, without a libc dependency: `std` already links
+/// libc, so the C `signal` entry point can be declared directly. The
+/// handler only flips an [`AtomicBool`]; a poll thread applies the reload
+/// outside async-signal context.
+#[cfg(unix)]
+mod sighup {
+    use super::*;
+
+    static HUP_PENDING: AtomicBool = AtomicBool::new(false);
+
+    const SIGHUP: i32 = 1;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sighup(_: i32) {
+        HUP_PENDING.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn install(shared: Arc<Shared>) -> Option<std::thread::JoinHandle<()>> {
+        unsafe {
+            signal(SIGHUP, on_sighup as *const () as usize);
+        }
+        std::thread::Builder::new()
+            .name("serve-sighup".into())
+            .spawn(move || loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if HUP_PENDING.swap(false, Ordering::SeqCst) {
+                    match shared.reload(None) {
+                        Ok(tv) => eprintln!(
+                            "SIGHUP reload applied: {} (version {})",
+                            tv.source, tv.version
+                        ),
+                        Err(ReloadRefused::NoPath) => {
+                            eprintln!("SIGHUP reload skipped: no snapshot path")
+                        }
+                        Err(ReloadRefused::Snapshot { path, error }) => {
+                            eprintln!("SIGHUP reload refused: index `{}`: {error}", path.display())
+                        }
+                    }
+                    shared.flush_local_obs();
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            })
+            .ok()
+    }
+}
+
+#[cfg(not(unix))]
+mod sighup {
+    use super::*;
+
+    pub(crate) fn install(_shared: Arc<Shared>) -> Option<std::thread::JoinHandle<()>> {
+        None
+    }
+}

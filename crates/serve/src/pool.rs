@@ -1,0 +1,134 @@
+//! Bounded connection queue between the acceptor and the worker pool.
+//!
+//! This queue *is* the admission controller: its capacity is the shed
+//! watermark. The acceptor does a non-blocking [`ConnQueue::try_push`];
+//! when the queue is full the connection is refused up front with a clean
+//! `503 + Retry-After` instead of being buried in an unbounded backlog
+//! that would blow every deadline it eventually serves.
+
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded MPMC queue of accepted connections (`Mutex` + `Condvar`;
+/// nothing fancier is needed — pushes are one acceptor thread, pops are a
+/// handful of workers parked between connections).
+pub struct ConnQueue {
+    inner: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    /// A queue admitting at most `capacity` parked connections.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueState {
+                conns: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The shed watermark (the queue's capacity).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of parked connections.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().conns.len()
+    }
+
+    /// Enqueues a connection, or hands it back when the queue is at the
+    /// watermark (→ shed) or closed (→ drop on shutdown).
+    pub fn try_push(&self, conn: TcpStream) -> Result<(), TcpStream> {
+        let mut st = self.inner.lock().unwrap();
+        if st.closed || st.conns.len() >= self.capacity {
+            return Err(conn);
+        }
+        st.conns.push_back(conn);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a connection is available or the queue closes.
+    /// `None` means shutdown: the worker should exit its loop.
+    pub fn pop(&self) -> Option<TcpStream> {
+        let mut st = self.inner.lock().unwrap();
+        loop {
+            if let Some(conn) = st.conns.pop_front() {
+                return Some(conn);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+
+    /// Closes the queue: parked connections are dropped, blocked `pop`s
+    /// wake with `None`, later pushes are refused.
+    pub fn close(&self) {
+        let mut st = self.inner.lock().unwrap();
+        st.closed = true;
+        st.conns.clear();
+        drop(st);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::Arc;
+
+    fn conn_pair(listener: &TcpListener) -> TcpStream {
+        let addr = listener.local_addr().unwrap();
+        let c = TcpStream::connect(addr).unwrap();
+        let _ = listener.accept().unwrap();
+        c
+    }
+
+    #[test]
+    fn push_pop_and_watermark() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let q = ConnQueue::new(2);
+        assert!(q.try_push(conn_pair(&listener)).is_ok());
+        assert!(q.try_push(conn_pair(&listener)).is_ok());
+        assert_eq!(q.depth(), 2);
+        // At the watermark: the third is handed back (would be shed).
+        assert!(q.try_push(conn_pair(&listener)).is_err());
+        assert!(q.pop().is_some());
+        assert_eq!(q.depth(), 1);
+        assert!(q.try_push(conn_pair(&listener)).is_ok());
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(ConnQueue::new(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop().is_none())
+            })
+            .collect();
+        // Give the workers a moment to park, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert!(h.join().unwrap(), "worker should see shutdown");
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        assert!(q.try_push(conn_pair(&listener)).is_err());
+    }
+}

@@ -288,6 +288,28 @@ impl<'v> VipTree<'v> {
         Self::from_snapshot_bytes(venue, &bytes)
     }
 
+    /// Loads a tree from a snapshot file and returns it together with the
+    /// verified header description.
+    ///
+    /// This is the hot-swap entry point of `ifls serve`: a reload must
+    /// re-run the *full* validation gauntlet (magic, version, checksum,
+    /// venue fingerprint, structural invariants) against the venue already
+    /// resident in the daemon, and on success report the replacement's
+    /// identity (fingerprint + checksum) so `/healthz` and the reload
+    /// response can prove which artifact is now serving. The file is read
+    /// once; tree and info are decoded from the same bytes, so they can
+    /// never describe different artifacts even if the file is concurrently
+    /// replaced.
+    pub fn load_snapshot_with_info(
+        venue: &'v Venue,
+        path: &Path,
+    ) -> Result<(Self, SnapshotInfo), SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        let tree = Self::from_snapshot_bytes(venue, &bytes)?;
+        let info = SnapshotInfo::from_bytes(&bytes)?;
+        Ok((tree, info))
+    }
+
     /// Loads a tree from snapshot bytes built for exactly this venue.
     ///
     /// Validation order: magic, version, checksum, fingerprint, structure.

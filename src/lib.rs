@@ -23,6 +23,7 @@
 //! * [`workloads`] — client/facility generators and the Table 2 grid.
 //! * [`core`] — the IFLS algorithms: the modified MinMax baseline, the
 //!   efficient single-pass approach, and the MinDist/MaxSum extensions.
+//! * [`obs`] — zero-dependency tracing and metrics.
 //!
 //! # Quickstart
 //!
@@ -48,6 +49,7 @@
 
 pub use ifls_core as core;
 pub use ifls_indoor as indoor;
+pub use ifls_obs as obs;
 pub use ifls_venues as venues;
 pub use ifls_viptree as viptree;
 pub use ifls_workloads as workloads;

@@ -1,0 +1,140 @@
+//! Shared plumbing for the `ifls serve` black-box suites: a deliberately
+//! separate, minimal HTTP/1.1 client (testing the daemon with its own
+//! framing code would be circular) plus helpers for snapshots and for
+//! comparing daemon responses against the CLI/serial oracle.
+
+#![allow(dead_code)] // each suite uses its own subset
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+pub use ifls_serve::{ServeOptions, Server};
+
+/// Server options tuned for tests: ephemeral port, no signal handler,
+/// short read timeout so shutdown never waits on an idle keep-alive.
+pub fn test_opts() -> ServeOptions {
+    ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        sighup_reload: false,
+        read_timeout: Duration::from_millis(500),
+        ..ServeOptions::default()
+    }
+}
+
+/// A parsed response from the one-shot client.
+pub struct HttpResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl HttpResponse {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Sends raw bytes and reads everything until the server closes. The
+/// malformed-framing tests need byte-level control the structured helper
+/// below deliberately doesn't offer.
+pub fn raw_roundtrip(addr: SocketAddr, bytes: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(bytes).expect("write");
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    out
+}
+
+/// One request per connection (`Connection: close`), fully read.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> HttpResponse {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n");
+    for (name, value) in headers {
+        req.push_str(&format!("{name}: {value}\r\n"));
+    }
+    if let Some(b) = body {
+        req.push_str(&format!("Content-Length: {}\r\n\r\n{b}", b.len()));
+    } else {
+        req.push_str("\r\n");
+    }
+    s.write_all(req.as_bytes()).expect("write request");
+    read_response(&mut BufReader::new(s))
+}
+
+/// Reads one response from an established reader (for keep-alive flows).
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> HttpResponse {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("read status");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line {status_line:?}"));
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read header");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line.split_once(':').expect("header colon");
+        let (name, value) = (name.trim().to_string(), value.trim().to_string());
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().expect("content-length");
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("read body");
+    HttpResponse {
+        status,
+        headers,
+        body: String::from_utf8(body).expect("utf-8 body"),
+    }
+}
+
+/// POSTs one `/query` body.
+pub fn post_query(addr: SocketAddr, json: &str) -> HttpResponse {
+    request(addr, "POST", "/query", &[], Some(json))
+}
+
+/// The deterministic prefix of an `ifls-stats/v1` line: everything before
+/// the `stats` object (which carries wall-clock timings). Two runs of the
+/// same query on the same index agree on this prefix bit-for-bit.
+pub fn answer_prefix(line: &str) -> &str {
+    let at = line
+        .find("\"stats\":")
+        .unwrap_or_else(|| panic!("no stats object in {line:?}"));
+    &line[..at]
+}
+
+/// A unique temp path for this test (removed by the OS eventually; tests
+/// also clean up behind themselves where it matters).
+pub fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ifls-serve-test-{}-{name}", std::process::id()))
+}
+
+/// Runs the CLI (`ifls query --stats-json ...`) in-process and returns
+/// its single JSON line — the oracle the daemon must match bit-for-bit on
+/// the deterministic prefix.
+pub fn cli_stats_json(args: &[&str]) -> String {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let cmd = ifls_cli::parse(&argv).expect("cli parse");
+    ifls_cli::commands::execute(&cmd).expect("cli execute")
+}

@@ -1,0 +1,268 @@
+//! Hot-swap suite for `ifls serve`: a reload mid-load must never fail an
+//! in-flight or subsequent request; a corrupted replacement snapshot must
+//! be refused with a typed reason while the old index keeps serving; and
+//! `--strict --index-or-build` must refuse the silent-rebuild fallback at
+//! startup instead of quietly masking a bad snapshot.
+
+#[path = "serve_common/mod.rs"]
+mod serve_common;
+
+use serve_common::*;
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use ifls::obs::Counter;
+use ifls::viptree::{VipTree, VipTreeConfig};
+use ifls_cli::commands::load_venue;
+use ifls_serve::ServeError;
+
+const VENUE_SPEC: &str = "grid:2x12";
+
+fn write_snapshot(name: &str, config: VipTreeConfig) -> PathBuf {
+    let venue = load_venue(VENUE_SPEC).unwrap();
+    let path = temp_path(name);
+    VipTree::build(&venue, config).save_snapshot(&path).unwrap();
+    path
+}
+
+fn reload_with(addr: std::net::SocketAddr, index: &Path) -> HttpResponse {
+    let body = format!(
+        "{{\"index\":\"{}\"}}",
+        index.display().to_string().replace('\\', "/")
+    );
+    request(addr, "POST", "/reload", &[], Some(&body))
+}
+
+#[test]
+fn hot_swap_under_load_fails_no_request() {
+    let a = write_snapshot("reload-a.idx", VipTreeConfig::default());
+    // A structurally different tree over the same venue: answers must be
+    // identical, so a mid-flight swap is invisible to correct clients.
+    let b = write_snapshot(
+        "reload-b.idx",
+        VipTreeConfig {
+            max_fanout: 2,
+            ..VipTreeConfig::default()
+        },
+    );
+    let venue = load_venue(VENUE_SPEC).unwrap();
+    let server = Server::start(
+        venue,
+        ServeOptions {
+            index: Some(a.clone()),
+            workers: 4,
+            ..test_opts()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let expected = {
+        let resp = post_query(addr, "{\"clients\":60,\"fe\":3,\"fn\":6,\"seed\":11}");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        answer_prefix(resp.body.trim_end()).to_string()
+    };
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut hammers = Vec::new();
+        for t in 0..6 {
+            let stop = &stop;
+            let expected = &expected;
+            hammers.push(scope.spawn(move || {
+                let mut served = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let resp = post_query(addr, "{\"clients\":60,\"fe\":3,\"fn\":6,\"seed\":11}");
+                    assert_eq!(resp.status, 200, "thread {t}: {}", resp.body);
+                    assert_eq!(
+                        answer_prefix(resp.body.trim_end()),
+                        expected,
+                        "thread {t}: answer changed across the swap"
+                    );
+                    served += 1;
+                }
+                served
+            }));
+        }
+        // Swap A -> B -> A while the hammers run.
+        for (version, idx) in [(2u64, &b), (3u64, &a)] {
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            let resp = reload_with(addr, idx);
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            assert!(
+                resp.body.contains(&format!("\"index_version\":{version}")),
+                "{}",
+                resp.body
+            );
+            assert!(
+                resp.body.contains("\"status\":\"applied\""),
+                "{}",
+                resp.body
+            );
+        }
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        stop.store(true, Ordering::Relaxed);
+        let total: u32 = hammers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total >= 12, "hammers barely ran ({total} requests)");
+    });
+    // The swap is visible in /healthz...
+    let resp = request(addr, "GET", "/healthz", &[], None);
+    assert!(resp.body.contains("\"index_version\":3"), "{}", resp.body);
+    // ...and counted in the server metrics.
+    let sink = server.metrics_sink();
+    assert_eq!(sink.counter(Counter::ReloadsApplied), 2);
+    assert_eq!(sink.counter(Counter::ReloadsRefused), 0);
+    server.shutdown();
+    for p in [a, b] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn corrupted_replacements_are_refused_and_the_old_index_keeps_serving() {
+    let a = write_snapshot("reload-good.idx", VipTreeConfig::default());
+    let bytes = std::fs::read(&a).unwrap();
+
+    // A bit flip in the payload: the checksum catches it.
+    let flipped = temp_path("reload-flipped.idx");
+    let mut v = bytes.clone();
+    let mid = v.len() / 2;
+    v[mid] ^= 0xff;
+    std::fs::write(&flipped, &v).unwrap();
+
+    // Truncation: depending on where the cut lands this reads as a short
+    // file or as a checksum failure — both are refusals.
+    let truncated = temp_path("reload-truncated.idx");
+    std::fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+
+    // A foreign file entirely.
+    let garbage = temp_path("reload-garbage.idx");
+    std::fs::write(&garbage, b"this is not a snapshot").unwrap();
+
+    // A valid snapshot of a *different* venue.
+    let other_venue = load_venue("grid:3x8").unwrap();
+    let foreign = temp_path("reload-foreign.idx");
+    VipTree::build(&other_venue, VipTreeConfig::default())
+        .save_snapshot(&foreign)
+        .unwrap();
+
+    let venue = load_venue(VENUE_SPEC).unwrap();
+    let server = Server::start(
+        venue,
+        ServeOptions {
+            index: Some(a.clone()),
+            ..test_opts()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let expected = {
+        let resp = post_query(addr, "{\"clients\":40,\"fe\":2,\"fn\":5,\"seed\":7}");
+        assert_eq!(resp.status, 200);
+        answer_prefix(resp.body.trim_end()).to_string()
+    };
+    let missing = temp_path("reload-missing.idx");
+    let cases: [(&Path, &[&str]); 5] = [
+        (&flipped, &["checksum_mismatch", "corrupt"]),
+        (&truncated, &["truncated", "checksum_mismatch"]),
+        (&garbage, &["bad_magic", "truncated"]),
+        (&foreign, &["fingerprint_mismatch"]),
+        (&missing, &["io"]),
+    ];
+    for (path, kinds) in cases {
+        let resp = reload_with(addr, path);
+        assert_eq!(resp.status, 422, "{}: {}", path.display(), resp.body);
+        assert!(
+            kinds
+                .iter()
+                .any(|k| resp.body.contains(&format!("\"error\":\"{k}\""))),
+            "{}: expected one of {kinds:?} in {}",
+            path.display(),
+            resp.body
+        );
+        // The refusal names the index still serving.
+        assert_eq!(resp.header("Index-Version"), Some("1"));
+        // And that index still answers, identically.
+        let resp = post_query(addr, "{\"clients\":40,\"fe\":2,\"fn\":5,\"seed\":7}");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(answer_prefix(resp.body.trim_end()), expected);
+    }
+    let sink = server.metrics_sink();
+    assert_eq!(sink.counter(Counter::ReloadsRefused), 5);
+    assert_eq!(sink.counter(Counter::ReloadsApplied), 0);
+    // A good replacement still goes through after all those refusals.
+    let resp = reload_with(addr, &a);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"index_version\":2"), "{}", resp.body);
+    server.shutdown();
+    for p in [a, flipped, truncated, garbage, foreign] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn reload_without_any_path_is_a_409_conflict() {
+    let venue = load_venue(VENUE_SPEC).unwrap();
+    let server = Server::start(venue, test_opts()).unwrap();
+    let addr = server.addr();
+    let resp = request(addr, "POST", "/reload", &[], Some(""));
+    assert_eq!(resp.status, 409, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"error\":\"no_index_path\""),
+        "{}",
+        resp.body
+    );
+    // Naming a path in the request body works even without --index.
+    let a = write_snapshot("reload-named.idx", VipTreeConfig::default());
+    let resp = reload_with(addr, &a);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"source\":\"snapshot:"),
+        "{}",
+        resp.body
+    );
+    server.shutdown();
+    let _ = std::fs::remove_file(a);
+}
+
+#[test]
+fn strict_daemon_refuses_the_silent_rebuild_fallback() {
+    let broken = temp_path("strict-broken.idx");
+    std::fs::write(&broken, b"not a snapshot at all").unwrap();
+    // Strict: a bad snapshot under --index-or-build is a startup error,
+    // not a quiet rebuild.
+    let venue = load_venue(VENUE_SPEC).unwrap();
+    let err = Server::start(
+        venue,
+        ServeOptions {
+            index: Some(broken.clone()),
+            index_or_build: true,
+            strict: true,
+            ..test_opts()
+        },
+    )
+    .err()
+    .expect("strict startup must refuse the fallback");
+    match err {
+        ServeError::StrictFallbackRefused { path, .. } => assert_eq!(path, broken),
+        other => panic!("wrong error: {other}"),
+    }
+    // Non-strict: the fallback build happens, and it is *counted* — the
+    // SnapshotFallbacks counter is the paper trail.
+    let _ = ifls::obs::take_local(); // isolate from earlier obs in this thread
+    let venue = load_venue(VENUE_SPEC).unwrap();
+    let server = Server::start(
+        venue,
+        ServeOptions {
+            index: Some(broken.clone()),
+            index_or_build: true,
+            strict: false,
+            ..test_opts()
+        },
+    )
+    .unwrap();
+    let resp = request(server.addr(), "GET", "/healthz", &[], None);
+    assert!(resp.body.contains("\"source\":\"built\""), "{}", resp.body);
+    assert_eq!(server.metrics_sink().counter(Counter::SnapshotFallbacks), 1);
+    server.shutdown();
+    let _ = std::fs::remove_file(broken);
+}
