@@ -47,10 +47,14 @@ pub enum Counter {
     /// Hot-swap attempts refused with a typed error (corrupt or stale
     /// replacement snapshot); the old index keeps serving.
     ReloadsRefused = 14,
+    /// Handler panics caught by the `ifls serve` worker loop: the
+    /// connection is dropped but the worker survives to take the next
+    /// one (an escaped panic would permanently shrink the fixed pool).
+    ServePanics = 15,
 }
 
 /// Number of counter slots (the length of [`Counter::ALL`]).
-pub(crate) const NUM_COUNTERS: usize = 15;
+pub(crate) const NUM_COUNTERS: usize = 16;
 
 impl Counter {
     /// Every counter, in canonical export order.
@@ -70,6 +74,7 @@ impl Counter {
         Counter::RequestsShed,
         Counter::ReloadsApplied,
         Counter::ReloadsRefused,
+        Counter::ServePanics,
     ];
 
     /// Stable snake_case name used by every exporter.
@@ -90,6 +95,7 @@ impl Counter {
             Counter::RequestsShed => "requests_shed",
             Counter::ReloadsApplied => "reloads_applied",
             Counter::ReloadsRefused => "reloads_refused",
+            Counter::ServePanics => "serve_panics",
         }
     }
 

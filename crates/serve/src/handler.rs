@@ -22,7 +22,7 @@ use ifls_workloads::{eligible_facility_partitions, WorkloadBuilder};
 
 use crate::http::{Request, Response};
 use crate::json::{parse_object, JsonValue};
-use crate::{snapshot_error_kind, ReloadRefused, Shared};
+use crate::{lock_unpoisoned, snapshot_error_kind, ReloadRefused, Shared};
 
 /// Largest accepted `clients` value: bounds the work one request can pin
 /// a worker with (the deadline budget bounds solve time, but workload
@@ -193,14 +193,17 @@ fn query(shared: &Arc<Shared>, req: &Request) -> Response {
             return error_response(422, "limits", "sigma must be a positive finite number");
         }
     }
+    // Checked: `fe + fn` must not wrap (release builds have no
+    // overflow-checks, so a plain `+` on two huge values would wrap past
+    // this guard and panic deep inside workload generation).
     let eligible = eligible_facility_partitions(shared.venue).len();
-    if q.fe + q.fn_ > eligible {
+    if q.fe.checked_add(q.fn_).is_none_or(|total| total > eligible) {
         return error_response(
             422,
             "limits",
             &format!(
-                "fe + fn = {} exceeds the venue's {eligible} eligible facility partitions",
-                q.fe + q.fn_
+                "fe + fn = {} + {} exceeds the venue's {eligible} eligible facility partitions",
+                q.fe, q.fn_
             ),
         );
     }
@@ -276,7 +279,7 @@ fn metrics(shared: &Arc<Shared>) -> Response {
     obs::gauge_set("queue_depth", shared.queue.depth() as f64);
     obs::gauge_set("queue_capacity", shared.queue.capacity() as f64);
     shared.flush_local_obs();
-    let sink = shared.metrics.lock().unwrap().clone();
+    let sink = lock_unpoisoned(&shared.metrics).clone();
     Response::new(200, "text/plain; version=0.0.4", obs::to_prometheus(&sink))
 }
 

@@ -9,6 +9,7 @@
 
 use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Hard cap on one header line (request line included).
 const MAX_LINE_BYTES: usize = 8 * 1024;
@@ -72,11 +73,22 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
+/// The error a request gets when it crosses its wall-clock read deadline.
+fn deadline_exceeded() -> HttpError {
+    HttpError::Io(std::io::Error::new(
+        std::io::ErrorKind::TimedOut,
+        "request read deadline exceeded",
+    ))
+}
+
 /// Reads one line terminated by `\n`, stripping the trailing `\r\n`/`\n`.
 /// Returns `None` on clean EOF before any byte.
-fn read_line(r: &mut BufReader<TcpStream>) -> Result<Option<String>, HttpError> {
+fn read_line(r: &mut BufReader<TcpStream>, deadline: Instant) -> Result<Option<String>, HttpError> {
     let mut buf = Vec::with_capacity(128);
     loop {
+        if Instant::now() >= deadline {
+            return Err(deadline_exceeded());
+        }
         let mut byte = [0u8; 1];
         match r.read(&mut byte) {
             Ok(0) => {
@@ -109,8 +121,19 @@ fn read_line(r: &mut BufReader<TcpStream>) -> Result<Option<String>, HttpError> 
 /// `max_body` bounds the accepted `Content-Length`; larger declarations
 /// are refused *before* reading the body, so an oversized upload costs the
 /// server one header parse, not `Content-Length` bytes of buffering.
-pub fn read_request(r: &mut BufReader<TcpStream>, max_body: usize) -> Result<Request, HttpError> {
-    let line = match read_line(r)? {
+///
+/// `max_wall` caps the total wall-clock time spent reading this request
+/// (headers and body together). The socket's read timeout only bounds each
+/// read *syscall*, so a slow-loris client dripping one byte per
+/// almost-timeout would otherwise hold the reader forever; crossing the
+/// wall cap is an [`HttpError::Io`] and the caller drops the connection.
+pub fn read_request(
+    r: &mut BufReader<TcpStream>,
+    max_body: usize,
+    max_wall: Duration,
+) -> Result<Request, HttpError> {
+    let deadline = Instant::now() + max_wall;
+    let line = match read_line(r, deadline)? {
         None => return Err(HttpError::Eof),
         Some(l) => l,
     };
@@ -135,7 +158,7 @@ pub fn read_request(r: &mut BufReader<TcpStream>, max_body: usize) -> Result<Req
     }
     let mut headers = Vec::new();
     loop {
-        let line = read_line(r)?.ok_or(HttpError::Eof)?;
+        let line = read_line(r, deadline)?.ok_or(HttpError::Eof)?;
         if line.is_empty() {
             break;
         }
@@ -183,9 +206,25 @@ pub fn read_request(r: &mut BufReader<TcpStream>, max_body: usize) -> Result<Req
             })
         }
         (_, Some(n)) => {
+            // Chunked loop rather than `read_exact` so the wall deadline
+            // is enforced between reads — a dripped body is bounded the
+            // same way dripped headers are.
             let mut body = vec![0u8; n];
-            r.read_exact(&mut body)
-                .map_err(|_| HttpError::BadRequest("body shorter than content-length".into()))?;
+            let mut filled = 0;
+            while filled < n {
+                if Instant::now() >= deadline {
+                    return Err(deadline_exceeded());
+                }
+                match r.read(&mut body[filled..]) {
+                    Ok(0) => {
+                        return Err(HttpError::BadRequest(
+                            "body shorter than content-length".into(),
+                        ))
+                    }
+                    Ok(k) => filled += k,
+                    Err(e) => return Err(HttpError::Io(e)),
+                }
+            }
             body
         }
     };

@@ -44,8 +44,8 @@ pub use pool::ConnQueue;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use ifls_indoor::{Venue, VenueFingerprint};
@@ -82,6 +82,11 @@ pub struct ServeOptions {
     /// Per-connection socket read timeout (idle keep-alive connections
     /// are closed after this long).
     pub read_timeout: Duration,
+    /// Hard wall-clock cap on reading one full request, headers and body
+    /// together. `read_timeout` only bounds each read syscall, so a
+    /// slow-loris client dripping one byte per almost-timeout could hold
+    /// a worker forever; crossing this cap closes the connection.
+    pub request_read_timeout: Duration,
     /// Install a `SIGHUP` → reload handler (Unix only; ignored elsewhere).
     pub sighup_reload: bool,
 }
@@ -100,6 +105,7 @@ impl Default for ServeOptions {
             strict: false,
             build_threads: 0,
             read_timeout: Duration::from_secs(5),
+            request_read_timeout: Duration::from_secs(10),
             sighup_reload: true,
         }
     }
@@ -185,7 +191,18 @@ pub(crate) struct Shared {
     pub(crate) metrics: Mutex<ObsSink>,
     pub(crate) started: Instant,
     pub(crate) shutdown: AtomicBool,
+    /// Live shed-responder threads (see [`MAX_SHED_THREADS`]).
+    pub(crate) shed_active: AtomicUsize,
     pub(crate) opts: ServeOptions,
+}
+
+/// Locks ignoring poisoning. Worker threads survive handler panics (see
+/// [`worker_loop`]), so a panic that happened to unwind through one of
+/// these critical sections must not wedge metrics or reloads for every
+/// other thread — the guarded state is merge-only counters or a
+/// whole-value swap, both valid after an unwind.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl Shared {
@@ -193,7 +210,7 @@ impl Shared {
     pub(crate) fn flush_local_obs(&self) {
         let local = obs::take_local();
         if !local.is_empty() {
-            self.metrics.lock().unwrap().merge(&local);
+            lock_unpoisoned(&self.metrics).merge(&local);
         }
     }
 
@@ -209,7 +226,7 @@ impl Shared {
         };
         match VipTree::load_snapshot_with_info(self.venue, &path) {
             Ok((tree, info)) => {
-                let mut tv = self.tree.lock().unwrap();
+                let mut tv = lock_unpoisoned(&self.tree);
                 *tv = TreeVersion {
                     tree: Arc::new(tree),
                     version: tv.version + 1,
@@ -227,7 +244,7 @@ impl Shared {
     }
 
     pub(crate) fn current_tree(&self) -> TreeVersion {
-        self.tree.lock().unwrap().clone()
+        lock_unpoisoned(&self.tree).clone()
     }
 }
 
@@ -272,6 +289,7 @@ impl Server {
             metrics: Mutex::new(ObsSink::default()),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
+            shed_active: AtomicUsize::new(0),
             opts,
         });
         // Records from the initial load (snapshot I/O span, a possible
@@ -332,7 +350,7 @@ impl Server {
 
     /// A snapshot of the server's merged metrics sink.
     pub fn metrics_sink(&self) -> ObsSink {
-        self.shared.metrics.lock().unwrap().clone()
+        lock_unpoisoned(&self.shared.metrics).clone()
     }
 
     /// Stops accepting, drains the queue, and joins every thread.
@@ -408,41 +426,76 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
     shared.flush_local_obs();
 }
 
-/// Sheds one connection on a detached thread: read (and discard) the
-/// request so the client has finished sending before the refusal lands —
-/// responding at accept time and closing immediately can turn into a
-/// connection reset before the client ever reads the 503.
+/// Upper bound on live shed-responder threads. Past the cap the 503 is
+/// written inline from the acceptor with a short write timeout: admission
+/// control exists to bound resource use under overload, so it must not
+/// itself be able to mint one thread per shed connection without limit.
+const MAX_SHED_THREADS: usize = 32;
+
+/// How long one shed responder may spend reading the doomed request.
+const SHED_READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Sheds one connection with a `503 + Retry-After`. Up to
+/// [`MAX_SHED_THREADS`] at a time get a detached thread that first reads
+/// (and discards) the request, so the client has finished sending before
+/// the refusal lands — responding at accept time and closing immediately
+/// can turn into a connection reset before the client ever reads the 503.
+/// Beyond the cap the response is a best-effort inline write instead.
 fn shed(shared: &Arc<Shared>, conn: TcpStream) {
     obs::counter_add(Counter::RequestsShed, 1);
     shared.flush_local_obs();
-    let retry_after = shared.opts.retry_after_secs;
+    let resp = handler::error_response(
+        503,
+        "overloaded",
+        "connection queue is at its watermark; retry later",
+    )
+    .with_header("Retry-After", shared.opts.retry_after_secs.to_string())
+    .closing();
+    if shared.shed_active.fetch_add(1, Ordering::SeqCst) >= MAX_SHED_THREADS {
+        shared.shed_active.fetch_sub(1, Ordering::SeqCst);
+        // Saturated: answer from the acceptor without reading the
+        // request. The short write timeout keeps a dead-slow client from
+        // stalling accepts; losing the read-first nicety is the price of
+        // staying bounded.
+        let mut conn = conn;
+        let _ = conn.set_write_timeout(Some(Duration::from_millis(100)));
+        let _ = http::write_response(&mut conn, &resp);
+        return;
+    }
     let max_body = shared.opts.max_body_bytes;
-    let _ = std::thread::Builder::new()
+    let on_thread = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
         .name("serve-shed".into())
         .spawn(move || {
-            let _ = conn.set_read_timeout(Some(Duration::from_millis(500)));
-            let mut reader = BufReader::new(match conn.try_clone() {
-                Ok(c) => c,
-                Err(_) => return,
-            });
-            let _ = http::read_request(&mut reader, max_body);
-            let resp = handler::error_response(
-                503,
-                "overloaded",
-                "connection queue is at its watermark; retry later",
-            )
-            .with_header("Retry-After", retry_after.to_string())
-            .closing();
-            let mut conn = conn;
-            let _ = http::write_response(&mut conn, &resp);
+            let _ = conn.set_read_timeout(Some(SHED_READ_TIMEOUT));
+            if let Ok(clone) = conn.try_clone() {
+                let mut reader = BufReader::new(clone);
+                let _ = http::read_request(&mut reader, max_body, SHED_READ_TIMEOUT);
+                let mut conn = conn;
+                let _ = http::write_response(&mut conn, &resp);
+            }
+            on_thread.shed_active.fetch_sub(1, Ordering::SeqCst);
         });
+    if spawned.is_err() {
+        shared.shed_active.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// One worker: park on the queue, own a connection for its keep-alive
 /// lifetime, answer request by request.
+///
+/// Connections are handled under `catch_unwind`: handlers validate their
+/// way out of every known panic, but an escaped panic must cost exactly
+/// one connection, never a worker — with a fixed pool, each lost worker
+/// would shrink capacity until the daemon accepts but never answers.
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(conn) = shared.queue.pop() {
-        handle_connection(shared, conn);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(shared, conn)
+        }));
+        if caught.is_err() {
+            obs::counter_add(Counter::ServePanics, 1);
+        }
         shared.flush_local_obs();
     }
     shared.flush_local_obs();
@@ -456,7 +509,11 @@ fn handle_connection(shared: &Arc<Shared>, conn: TcpStream) {
     };
     let mut reader = BufReader::new(conn);
     loop {
-        let request = match http::read_request(&mut reader, shared.opts.max_body_bytes) {
+        let request = match http::read_request(
+            &mut reader,
+            shared.opts.max_body_bytes,
+            shared.opts.request_read_timeout,
+        ) {
             Ok(r) => r,
             Err(HttpError::Eof) | Err(HttpError::Io(_)) => return,
             Err(HttpError::BadRequest(detail)) => {

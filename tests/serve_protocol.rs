@@ -118,6 +118,11 @@ fn malformed_bodies_get_typed_400s_and_the_daemon_survives() {
         "{\"sigma\":0}",
         "{\"fn\":0}",
         "{\"clients\":999999999}", // above the request work cap
+        // fe + fn at the wrap boundary: a plain `+` on these overflows in
+        // release builds (no overflow-checks), sails past the limit guard
+        // and panics in the workload generator. Must stay a typed 422.
+        "{\"fe\":18446744073709551615,\"fn\":2}",
+        "{\"fe\":2,\"fn\":18446744073709551615}",
     ] {
         let resp = post_query(addr, bad);
         assert_eq!(resp.status, 422, "body {bad:?} -> {}", resp.body);
@@ -188,6 +193,62 @@ fn oversized_requests_are_refused_with_413() {
         resp.body
     );
     // The refusal happens per-connection; a fresh request is served.
+    let resp = post_query(addr, "{\"clients\":20,\"fe\":2,\"fn\":3}");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_connections_are_cut_at_the_request_deadline() {
+    use std::io::{ErrorKind, Read, Write};
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+
+    let venue = load_venue(VENUE_SPEC).unwrap();
+    let server = Server::start(
+        venue,
+        ServeOptions {
+            read_timeout: Duration::from_millis(400),
+            request_read_timeout: Duration::from_millis(600),
+            ..test_opts()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let started = Instant::now();
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+    s.write_all(b"POST /query HTTP/1.1\r\nX-Drip: ").unwrap();
+    // Drip one header byte per ~50 ms: every socket read succeeds well
+    // inside the 400 ms per-syscall timeout, so only the whole-request
+    // wall deadline can end this connection.
+    let mut closed = false;
+    for _ in 0..200 {
+        if s.write_all(b"x").is_err() {
+            closed = true;
+            break;
+        }
+        let mut buf = [0u8; 64];
+        match s.read(&mut buf) {
+            Ok(0) => {
+                closed = true; // EOF: the server hung up
+                break;
+            }
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => {
+                closed = true; // reset: also a hang-up
+                break;
+            }
+        }
+    }
+    assert!(closed, "slow-loris connection was never cut");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "cut took {:?}, expected ~600ms",
+        started.elapsed()
+    );
+    // The worker that cut it is free to serve a real client again.
     let resp = post_query(addr, "{\"clients\":20,\"fe\":2,\"fn\":3}");
     assert_eq!(resp.status, 200, "{}", resp.body);
     server.shutdown();
