@@ -11,10 +11,14 @@
 //!
 //! Timing runs execute with tracing *disabled* (the production default);
 //! a separate traced round per cell collects the per-phase span breakdown
-//! that lands in the `phases` column. `--md PATH` additionally renders the
+//! that lands in the `phases` column. Cache-on rows run against a tree
+//! carrying the snapshot-shipped warm door-vector tier (what `index build
+//! --cache-warm` produces); cache-off rows use the same tree but the
+//! disabled cache never consults it. `--md PATH` additionally renders the
 //! rows as a markdown report (used to regenerate
-//! `figures_quick_output.md`), and `--obs-smoke` runs the disabled-mode
-//! overhead assertion the CI bench-smoke job enforces.
+//! `figures_quick_output.md`), `--obs-smoke` runs the disabled-mode
+//! overhead assertion the CI bench-smoke job enforces, and `--cache-smoke`
+//! fails if the cache-on MZB stream regresses the cache-off one by >5%.
 //!
 //! Results go to `BENCH_core.json` (override with `--out PATH`); the schema
 //! is documented in `EXPERIMENTS.md`. `--quick` shrinks the stream for CI.
@@ -30,7 +34,7 @@ use ifls_viptree::{DistCache, VipTree, VipTreeConfig};
 use ifls_workloads::{Workload, WorkloadBuilder};
 
 /// Bumped whenever a field is added, renamed, or re-interpreted.
-const SCHEMA: &str = "ifls-bench-core/v3";
+const SCHEMA: &str = "ifls-bench-core/v4";
 
 /// Stream shape: how many distinct client sets and how often each repeats.
 #[derive(Clone, Copy)]
@@ -78,6 +82,9 @@ struct RowOut {
     dist_computations: u64,
     cache_hit_rate: Option<f64>,
     cache_bytes: usize,
+    /// Bytes of the tree's warm tier as reported by the solvers (zero on
+    /// cache-off rows: a disabled cache never consults the warm tier).
+    cache_warm_bytes: usize,
     /// Wall-clock nanoseconds the venue's VIP-tree took to build (shared
     /// by every row of the venue; `--build-threads` controls the worker
     /// count and never changes the index bytes).
@@ -104,6 +111,7 @@ struct StreamResult {
     cache_hits: u64,
     cache_misses: u64,
     cache_bytes: usize,
+    cache_warm_bytes: usize,
 }
 
 fn median_ns(times: &[u128]) -> u128 {
@@ -117,6 +125,7 @@ fn accumulate(out: &mut StreamResult, stats: &QueryStats) {
     out.cache_hits += stats.cache_hits;
     out.cache_misses += stats.cache_misses;
     out.cache_bytes = out.cache_bytes.max(stats.cache_bytes);
+    out.cache_warm_bytes = out.cache_warm_bytes.max(stats.cache_warm_bytes);
 }
 
 /// Replays `rounds` passes over the query stream with one long-lived cache
@@ -142,6 +151,7 @@ fn run_stream(
         cache_hits: 0,
         cache_misses: 0,
         cache_bytes: 0,
+        cache_warm_bytes: 0,
     };
     for round in 0..rounds {
         for w in queries {
@@ -286,7 +296,8 @@ fn write_json(path: &str, quick: bool, rows: &[RowOut]) -> std::io::Result<()> {
              \"cache\": {}, \"queries\": {}, \"median_ns\": {}, \
              \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
              \"dist_computations\": {}, \"cache_hit_rate\": {}, \
-             \"cache_bytes\": {}, \"index_build_ns\": {}, \"phases\": {}}}{}",
+             \"cache_bytes\": {}, \"cache_warm_bytes\": {}, \
+             \"index_build_ns\": {}, \"phases\": {}}}{}",
             json_escape(r.venue),
             json_escape(r.algorithm),
             r.threads,
@@ -299,6 +310,7 @@ fn write_json(path: &str, quick: bool, rows: &[RowOut]) -> std::io::Result<()> {
             r.dist_computations,
             hit_rate,
             r.cache_bytes,
+            r.cache_warm_bytes,
             r.index_build_ns,
             phases_json(&r.phases),
             comma,
@@ -339,11 +351,15 @@ fn write_md(path: &str, quick: bool, rows: &[RowOut]) -> std::io::Result<()> {
     );
     let _ = writeln!(
         s,
-        "from the per-query log2 histogram (`ifls-obs`), so p50/p95/p99 are bucket upper"
+        "from the per-query log2 histogram (`ifls-obs`) with within-bucket interpolation"
     );
     let _ = writeln!(
         s,
-        "bounds; the phase table reports traced self-time per phase over one replay round."
+        "(midpoint convention), so they sit inside their bucket rather than pinning to its"
+    );
+    let _ = writeln!(
+        s,
+        "upper bound; the phase table reports traced self-time per phase over one replay round."
     );
     for nv in NamedVenue::ALL {
         let venue_rows: Vec<&RowOut> = rows.iter().filter(|r| r.venue == nv.label()).collect();
@@ -498,10 +514,50 @@ fn obs_smoke() -> i32 {
     }
 }
 
+/// The CI cache regression gate: on the venue where the old cache was a
+/// wash (MZB's ~4% hit rate made lookups pure overhead), the cache-on
+/// stream must not regress the cache-off stream by more than 5%. Uses the
+/// best median of three replays per mode so scheduler noise cannot fail
+/// the job.
+fn cache_smoke() -> i32 {
+    const REGRESSION_BUDGET: f64 = 1.05;
+    let venue = NamedVenue::MZB.build();
+    let mut tree = VipTree::build(&venue, VipTreeConfig::default());
+    let tier = tree.build_warm_tier(ifls_viptree::DEFAULT_WARM_BUDGET_BYTES, 0);
+    tree.set_warm_tier(Some(tier));
+    let queries = build_stream(&venue, StreamSpec::quick());
+    let best_median = |cache_on: bool| -> u128 {
+        (0..3)
+            .map(|_| {
+                median_ns(&run_stream(&tree, &queries, "efficient-minmax", cache_on, 1).times_ns)
+            })
+            .min()
+            .expect("three replays")
+    };
+    let med_off = best_median(false);
+    let med_on = best_median(true);
+    let ratio = med_on as f64 / med_off.max(1) as f64;
+    println!(
+        "cache-smoke: MZB efficient-minmax cache-on {:.3} ms vs cache-off {:.3} ms ({ratio:.3}x)",
+        ms(med_on),
+        ms(med_off),
+    );
+    if ratio > REGRESSION_BUDGET {
+        eprintln!(
+            "FAIL: cache-on median is {ratio:.3}x the cache-off median (budget {REGRESSION_BUDGET}x)"
+        );
+        return 1;
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--obs-smoke") {
         std::process::exit(obs_smoke());
+    }
+    if args.iter().any(|a| a == "--cache-smoke") {
+        std::process::exit(cache_smoke());
     }
     let quick = args.iter().any(|a| a == "--quick");
     let build_threads: usize = args
@@ -534,8 +590,13 @@ fn main() {
     for nv in NamedVenue::ALL {
         let venue = nv.build();
         let build_started = Instant::now();
-        let tree = VipTree::build_with_threads(&venue, VipTreeConfig::default(), build_threads);
+        let mut tree = VipTree::build_with_threads(&venue, VipTreeConfig::default(), build_threads);
         let index_build_ns = build_started.elapsed().as_nanos() as u64;
+        // Serve the stream the way a warm snapshot would: the tier rides
+        // on the tree, cache-on rows start warm, and the disabled cache of
+        // the off rows never consults it.
+        let tier = tree.build_warm_tier(ifls_viptree::DEFAULT_WARM_BUDGET_BYTES, build_threads);
+        tree.set_warm_tier(Some(tier));
         let queries = build_stream(&venue, spec);
         for algorithm in ALGORITHMS {
             let on = run_stream(&tree, &queries, algorithm, true, spec.rounds);
@@ -584,6 +645,7 @@ fn main() {
                         Some(r.cache_hits as f64 / lookups as f64)
                     },
                     cache_bytes: r.cache_bytes,
+                    cache_warm_bytes: r.cache_warm_bytes,
                     index_build_ns,
                     phases: collect_phases(&tree, &queries, algorithm, mode),
                 });

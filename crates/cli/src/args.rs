@@ -13,8 +13,8 @@ commands:
   query   --venue <spec> [workload] [solver]   answer an IFLS query
   path    --venue <spec> --from P --to P       shortest indoor route
   render  --venue <spec> [--level N] [--scale M] ASCII floorplan
-  index build   --venue <spec> --out FILE [--build-threads N]
-                                               build + save an ifls-index/v1 snapshot
+  index build   --venue <spec> --out FILE [--build-threads N] [--cache-warm]
+                                               build + save an ifls-index/v2 snapshot
   index inspect --index FILE                   describe a snapshot without loading it
   serve   --venue <spec> [server options]      long-lived HTTP/1.1 query daemon
 
@@ -35,6 +35,8 @@ query options:
   --seed N           RNG seed (default 0)
   --top K            report the top-K candidates (minmax/efficient only)
   --no-dist-cache    disable the distance-kernel memo cache (ablation)
+  --no-cache-admission  always admit into the cache's local tier instead of
+                     the adaptive hit-rate controller (ablation)
   --workload FILE    load the workload from a saved file instead of generating
   --save-workload FILE  write the generated workload for replay
   --trace            enable phase tracing; print the span/metric report
@@ -66,7 +68,13 @@ serve options:
                      is refused; with --strict the fallback itself is refused
                      and the daemon exits with a typed error
   --build-threads N  worker threads for an in-process index build
-  --strict           refuse the --index-or-build rebuild fallback at startup";
+  --no-cache-admission  default the per-query cache admission controller off
+                     for requests that do not name `cache_admission`
+  --strict           refuse the --index-or-build rebuild fallback at startup
+
+index build options:
+  --cache-warm       precompute the high-reuse door-vector warm tier and ship
+                     it inside the snapshot (queries served from it start warm)";
 
 /// A parsed command.
 #[derive(Clone, Debug, PartialEq)]
@@ -116,6 +124,8 @@ pub enum Command {
         out: String,
         /// Worker threads for construction (0 = all cores).
         threads: usize,
+        /// Precompute and ship the warm door-vector tier.
+        warm: bool,
     },
     /// `ifls index inspect`.
     IndexInspect {
@@ -154,6 +164,9 @@ pub struct ServeArgs {
     pub strict: bool,
     /// Worker threads for an in-process index build (0 = all cores).
     pub build_threads: usize,
+    /// Default for requests that do not name `cache_admission`
+    /// (`--no-cache-admission` clears it).
+    pub cache_admission: bool,
 }
 
 impl Default for ServeArgs {
@@ -169,6 +182,7 @@ impl Default for ServeArgs {
             index_or_build: false,
             strict: false,
             build_threads: 0,
+            cache_admission: true,
         }
     }
 }
@@ -199,6 +213,9 @@ pub struct CommonArgs {
     /// Whether the efficient solvers memoize distance kernels
     /// (`--no-dist-cache` clears it for ablation runs).
     pub dist_cache: bool,
+    /// Whether the cache's adaptive admission controller may gate the
+    /// local tier (`--no-cache-admission` pins admission always-on).
+    pub cache_admission: bool,
     /// Load the workload from this file instead of generating it.
     pub workload_file: Option<String>,
     /// Save the (generated or loaded) workload to this file.
@@ -252,6 +269,7 @@ impl Default for CommonArgs {
             seed: 0,
             top: 1,
             dist_cache: true,
+            cache_admission: true,
             workload_file: None,
             save_workload: None,
             trace: false,
@@ -372,6 +390,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--seed" => a.seed = cur.parsed("--seed")?,
                     "--top" => a.top = cur.parsed("--top")?,
                     "--no-dist-cache" => a.dist_cache = false,
+                    "--no-cache-admission" => a.cache_admission = false,
                     "--workload" => a.workload_file = Some(cur.value("--workload")?.to_string()),
                     "--save-workload" => {
                         a.save_workload = Some(cur.value("--save-workload")?.to_string())
@@ -473,6 +492,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     let mut venue = None;
                     let mut out = None;
                     let mut threads = 0usize;
+                    let mut warm = false;
                     while let Some(opt) = cur.next() {
                         match opt {
                             "--venue" => venue = Some(cur.value("--venue")?.to_string()),
@@ -480,6 +500,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             "--build-threads" | "--threads" => {
                                 threads = cur.parsed(opt)?;
                             }
+                            "--cache-warm" => warm = true,
                             other => return Err(ParseError::UnknownOption(other.to_string())),
                         }
                     }
@@ -487,6 +508,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         venue: venue.ok_or(ParseError::MissingOption("--venue"))?,
                         out: out.ok_or(ParseError::MissingOption("--out"))?,
                         threads,
+                        warm,
                     })
                 }
                 "inspect" => {
@@ -524,6 +546,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         a.index_or_build = true;
                     }
                     "--build-threads" => a.build_threads = cur.parsed("--build-threads")?,
+                    "--no-cache-admission" => a.cache_admission = false,
                     "--strict" => a.strict = true,
                     other => return Err(ParseError::UnknownOption(other.to_string())),
                 }
@@ -597,7 +620,39 @@ mod tests {
     #[test]
     fn parses_no_dist_cache_flag() {
         match parse(&v(&["query", "--venue", "grid:1x8", "--no-dist-cache"])).unwrap() {
-            Command::Query { args, .. } => assert!(!args.dist_cache),
+            Command::Query { args, .. } => {
+                assert!(!args.dist_cache);
+                assert!(args.cache_admission);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_no_cache_admission_flag() {
+        match parse(&v(&[
+            "query",
+            "--venue",
+            "grid:1x8",
+            "--no-cache-admission",
+        ]))
+        .unwrap()
+        {
+            Command::Query { args, .. } => {
+                assert!(args.dist_cache);
+                assert!(!args.cache_admission);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&v(&[
+            "serve",
+            "--venue",
+            "grid:1x8",
+            "--no-cache-admission",
+        ]))
+        .unwrap()
+        {
+            Command::Serve { args, .. } => assert!(!args.cache_admission),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -731,6 +786,25 @@ mod tests {
                 venue: "named:mzb".into(),
                 out: "mzb.idx".into(),
                 threads: 2,
+                warm: false,
+            }
+        );
+        assert_eq!(
+            parse(&v(&[
+                "index",
+                "build",
+                "--venue",
+                "named:mc",
+                "--out",
+                "mc.idx",
+                "--cache-warm",
+            ]))
+            .unwrap(),
+            Command::IndexBuild {
+                venue: "named:mc".into(),
+                out: "mc.idx".into(),
+                threads: 0,
+                warm: true,
             }
         );
         assert_eq!(

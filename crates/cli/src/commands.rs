@@ -7,7 +7,7 @@ use ifls_core::api::{self, Algorithm, Objective, QuerySummary, SolveSpec, Worklo
 use ifls_core::{Budget, EfficientConfig, EfficientIfls, QueryStats, Resolution, WorkerPanic};
 use ifls_indoor::{PartitionId, Venue};
 use ifls_venues::{GridVenueSpec, McCategory, NamedVenue};
-use ifls_viptree::{SnapshotInfo, VipTree, VipTreeConfig};
+use ifls_viptree::{CacheAdmission, SnapshotInfo, VipTree, VipTreeConfig};
 use ifls_workloads::{real_setting_facilities, Workload, WorkloadBuilder};
 
 use crate::args::{Command, CommonArgs, MetricsFormat};
@@ -178,11 +178,18 @@ fn describe_partition(venue: &Venue, p: PartitionId) -> String {
 
 fn stats_line(stats: &QueryStats) -> String {
     let cache = match stats.cache_hit_rate() {
-        Some(rate) => format!(
-            ", cache {:.0}% hits ({:.1} KiB)",
-            rate * 100.0,
-            stats.cache_bytes as f64 / 1024.0
-        ),
+        Some(rate) => {
+            let warm = if stats.cache_warm_bytes > 0 {
+                format!(", warm {:.1} KiB", stats.cache_warm_bytes as f64 / 1024.0)
+            } else {
+                String::new()
+            };
+            format!(
+                ", cache {:.0}% hits ({:.1} KiB{warm})",
+                rate * 100.0,
+                stats.cache_bytes as f64 / 1024.0
+            )
+        }
         None => String::new(),
     };
     // Percentiles come from the per-run latency histogram, so a parallel or
@@ -309,6 +316,11 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
             }
             let config = EfficientConfig {
                 dist_cache: args.dist_cache,
+                cache_admission: if args.cache_admission {
+                    CacheAdmission::Adaptive
+                } else {
+                    CacheAdmission::AlwaysOn
+                },
                 ..EfficientConfig::default()
             };
             let objective = Objective::parse(&args.objective)
@@ -320,6 +332,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 algorithm,
                 threads: args.threads,
                 dist_cache: args.dist_cache,
+                cache_admission: args.cache_admission,
             };
             let algo_label = match algorithm {
                 Algorithm::Parallel => {
@@ -503,10 +516,15 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
             venue,
             out,
             threads,
+            warm,
         } => {
             let v = load_venue(venue)?;
             let started = std::time::Instant::now();
-            let tree = VipTree::build_with_threads(&v, VipTreeConfig::default(), *threads);
+            let mut tree = VipTree::build_with_threads(&v, VipTreeConfig::default(), *threads);
+            if *warm {
+                let tier = tree.build_warm_tier(ifls_viptree::DEFAULT_WARM_BUDGET_BYTES, *threads);
+                tree.set_warm_tier(Some(tier));
+            }
             let build = started.elapsed();
             tree.save_snapshot(std::path::Path::new(out))
                 .map_err(|e| CommandError::Invalid(format!("saving `{out}`: {e}")))?;
@@ -515,7 +533,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
             let info = SnapshotInfo::read(std::path::Path::new(out))
                 .map_err(|e| CommandError::Invalid(format!("re-reading `{out}`: {e}")))?;
             Ok(format!(
-                "wrote `{out}` ({} bytes, schema {})\n  venue:       `{}` fingerprint {}\n  nodes:       {} ({} partitions, {} doors)\n  arena:       {} entries\n  checksum:    {:016x}\n  build time:  {build:?}",
+                "wrote `{out}` ({} bytes, schema {})\n  venue:       `{}` fingerprint {}\n  nodes:       {} ({} partitions, {} doors)\n  arena:       {} entries\n  warm tier:   {} targets ({} cells, {} node mins)\n  checksum:    {:016x}\n  build time:  {build:?}",
                 info.file_bytes,
                 ifls_viptree::SNAPSHOT_SCHEMA,
                 v.name(),
@@ -524,6 +542,9 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 info.num_partitions,
                 info.num_doors,
                 info.arena_entries,
+                info.warm_targets,
+                info.warm_cells,
+                info.warm_node_mins,
                 info.checksum,
             ))
         }
@@ -540,6 +561,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 index_or_build: args.index_or_build,
                 strict: args.strict,
                 build_threads: args.build_threads,
+                default_cache_admission: args.cache_admission,
                 ..ifls_serve::ServeOptions::default()
             };
             let server = ifls_serve::Server::start(v, opts)
@@ -560,9 +582,9 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
             let info = SnapshotInfo::read(std::path::Path::new(path))
                 .map_err(|e| CommandError::Invalid(format!("`{path}`: {e}")))?;
             Ok(format!(
-                "snapshot `{path}` ({} bytes, schema {} v{})\n  fingerprint: {}\n  config:      leaf_max={} fanout={} vivid={}\n  partitions:  {}\n  doors:       {}\n  nodes:       {}\n  arena:       {} entries\n  checksum:    {:016x}",
+                "snapshot `{path}` ({} bytes, schema {} v{})\n  fingerprint: {}\n  config:      leaf_max={} fanout={} vivid={}\n  partitions:  {}\n  doors:       {}\n  nodes:       {}\n  arena:       {} entries\n  warm tier:   {} targets ({} cells, {} node mins)\n  checksum:    {:016x}",
                 info.file_bytes,
-                ifls_viptree::SNAPSHOT_SCHEMA,
+                ifls_viptree::snapshot_schema_for(info.version),
                 info.version,
                 info.fingerprint,
                 info.config.leaf_max_partitions,
@@ -572,6 +594,9 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 info.num_doors,
                 info.num_nodes,
                 info.arena_entries,
+                info.warm_targets,
+                info.warm_cells,
+                info.warm_node_mins,
                 info.checksum,
             ))
         }
@@ -964,8 +989,9 @@ mod tests {
 
         let inspected =
             execute(&parse(&v(&["index", "inspect", "--index", idx])).unwrap()).unwrap();
-        assert!(inspected.contains("ifls-index/v1"), "{inspected}");
+        assert!(inspected.contains("ifls-index/v2"), "{inspected}");
         assert!(inspected.contains("vivid=true"), "{inspected}");
+        assert!(inspected.contains("warm tier:   0 targets"), "{inspected}");
 
         // Serving from the snapshot answers exactly like building fresh.
         let ans = |s: &str| {

@@ -117,6 +117,9 @@ pub struct SolveSpec {
     pub threads: usize,
     /// Whether the efficient solvers memoize distance kernels.
     pub dist_cache: bool,
+    /// Whether the cache's local tier uses adaptive admission (`false` =
+    /// the `--no-cache-admission` ablation: always insert).
+    pub cache_admission: bool,
 }
 
 impl Default for SolveSpec {
@@ -126,6 +129,7 @@ impl Default for SolveSpec {
             algorithm: Algorithm::Efficient,
             threads: 0,
             dist_cache: true,
+            cache_admission: true,
         }
     }
 }
@@ -159,6 +163,11 @@ pub fn solve(
 ) -> Result<QuerySummary, WorkerPanic> {
     let config = EfficientConfig {
         dist_cache: spec.dist_cache,
+        cache_admission: if spec.cache_admission {
+            ifls_viptree::CacheAdmission::Adaptive
+        } else {
+            ifls_viptree::CacheAdmission::AlwaysOn
+        },
         ..EfficientConfig::default()
     };
     let parallel = (spec.algorithm == Algorithm::Parallel)
@@ -291,7 +300,8 @@ pub fn stats_json_line(
             "\"dist_computations\":{dist},\"point_via_lookups\":{via},",
             "\"facilities_retrieved\":{retrieved},\"clients_pruned\":{pruned},",
             "\"cache_hits\":{hits},\"cache_misses\":{misses},",
-            "\"cache_bytes\":{cache_bytes},\"peak_bytes\":{peak},",
+            "\"cache_bytes\":{cache_bytes},\"cache_warm_bytes\":{warm_bytes},",
+            "\"peak_bytes\":{peak},",
             "\"index_build_ns\":{index_ns},\"index_from_snapshot\":{from_snap},",
             "\"latency\":{{\"count\":{lcount},\"p50_ns\":{p50},",
             "\"p95_ns\":{p95},\"p99_ns\":{p99}}}}}}}"
@@ -317,6 +327,7 @@ pub fn stats_json_line(
         hits = s.stats.cache_hits,
         misses = s.stats.cache_misses,
         cache_bytes = s.stats.cache_bytes,
+        warm_bytes = s.stats.cache_warm_bytes,
         peak = s.stats.peak_bytes,
         index_ns = s.stats.index_build_ns,
         from_snap = s.stats.index_from_snapshot,
@@ -393,6 +404,7 @@ mod tests {
                     algorithm,
                     threads: 2,
                     dist_cache: true,
+                    cache_admission: true,
                 };
                 let r = solve(
                     &tree,

@@ -32,7 +32,7 @@ use std::time::Instant;
 
 use ifls_indoor::{IndoorPoint, PartitionId};
 use ifls_obs::Phase;
-use ifls_viptree::{DistCache, FacilityIndex, VipTree};
+use ifls_viptree::{CacheAdmission, DistCache, FacilityIndex, VipTree};
 
 use crate::brute;
 use crate::budget::{record_degraded_obs, Budget, BudgetReason, Resolution};
@@ -54,6 +54,10 @@ pub struct EfficientConfig {
     /// [`DistCache`] (off = the `--no-dist-cache` ablation; answers are
     /// bit-identical either way).
     pub dist_cache: bool,
+    /// Admission policy of the cache's local tier
+    /// (`AlwaysOn` = the `--no-cache-admission` ablation; answers are
+    /// bit-identical under every policy).
+    pub cache_admission: CacheAdmission,
 }
 
 impl Default for EfficientConfig {
@@ -62,6 +66,7 @@ impl Default for EfficientConfig {
             group_clients: true,
             prune_clients: true,
             dist_cache: true,
+            cache_admission: CacheAdmission::Adaptive,
         }
     }
 }
@@ -340,7 +345,8 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         candidates: &[PartitionId],
         budget: &Budget,
     ) -> MinMaxOutcome {
-        let mut cache = DistCache::with_enabled(self.config.dist_cache);
+        let mut cache = DistCache::with_enabled(self.config.dist_cache)
+            .admission_mode(self.config.cache_admission);
         self.run_with_cache_budgeted(clients, existing, candidates, &mut cache, budget)
     }
 
@@ -402,7 +408,8 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
             ids.dedup();
             return ids.into_iter().take(k).map(|n| (n, 0.0)).collect();
         }
-        let mut cache = DistCache::with_enabled(self.config.dist_cache);
+        let mut cache = DistCache::with_enabled(self.config.dist_cache)
+            .admission_mode(self.config.cache_admission);
         // Budgets apply to single-answer runs; top-k rankings are always
         // computed to completion.
         let outcome = self.solve_full(
@@ -721,6 +728,9 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
             cache_hits: cache_after.hits - cache_before.hits,
             cache_misses: cache_after.misses - cache_before.misses,
             cache_bytes: cache_after.bytes,
+            cache_warm_bytes: tree
+                .warm_tier()
+                .map_or(0, ifls_viptree::WarmTier::approx_bytes),
             peak_bytes: meter.peak_bytes(),
             ..QueryStats::default()
         };
@@ -896,6 +906,7 @@ mod tests {
                             group_clients: g,
                             prune_clients: p,
                             dist_cache: cache,
+                            ..EfficientConfig::default()
                         },
                     );
                 }
@@ -1090,6 +1101,7 @@ mod tests {
             group_clients: group,
             prune_clients: false,
             dist_cache: false,
+            ..EfficientConfig::default()
         };
         let grouped =
             EfficientIfls::with_config(&tree, cfg(true)).run(&clients, &existing, &candidates);

@@ -249,7 +249,8 @@ impl<'t, 'v> EfficientMinDist<'t, 'v> {
         candidates: &[PartitionId],
         budget: &Budget,
     ) -> MinDistOutcome {
-        let mut cache = DistCache::with_enabled(self.config.dist_cache);
+        let mut cache = DistCache::with_enabled(self.config.dist_cache)
+            .admission_mode(self.config.cache_admission);
         self.run_with_cache_budgeted(clients, existing, candidates, &mut cache, budget)
     }
 
@@ -567,6 +568,9 @@ impl<'t, 'v> EfficientMinDist<'t, 'v> {
             cache_hits: cache_after.hits - cache_before.hits,
             cache_misses: cache_after.misses - cache_before.misses,
             cache_bytes: cache_after.bytes,
+            cache_warm_bytes: tree
+                .warm_tier()
+                .map_or(0, ifls_viptree::WarmTier::approx_bytes),
             peak_bytes: meter.peak_bytes(),
             ..QueryStats::default()
         };
@@ -701,6 +705,7 @@ mod tests {
                         group_clients: g,
                         prune_clients: p,
                         dist_cache: dc,
+                        ..EfficientConfig::default()
                     },
                 )
                 .run(&w.clients, &w.existing, &w.candidates);

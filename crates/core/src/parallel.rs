@@ -389,6 +389,7 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
             Some(s) => DistCache::with_shared(DEFAULT_CACHE_ENTRIES, s),
             None => DistCache::with_enabled(self.config.dist_cache),
         }
+        .admission_mode(self.config.cache_admission)
     }
 
     /// Answers a MinMax query (the paper's IFLS objective).
@@ -714,7 +715,7 @@ impl<'t, 'v> BatchRunner<'t, 'v> {
         try_run_indexed_state(
             self.threads,
             queries.len(),
-            || DistCache::with_enabled(config.dist_cache),
+            || DistCache::with_enabled(config.dist_cache).admission_mode(config.cache_admission),
             |cache, i| {
                 let q = &queries[i];
                 let query_budget = budget.clone();
@@ -749,7 +750,7 @@ impl<'t, 'v> BatchRunner<'t, 'v> {
         try_run_indexed_state(
             self.threads,
             queries.len(),
-            || DistCache::with_enabled(config.dist_cache),
+            || DistCache::with_enabled(config.dist_cache).admission_mode(config.cache_admission),
             |cache, i| {
                 let q = &queries[i];
                 let query_budget = budget.clone();
@@ -784,7 +785,7 @@ impl<'t, 'v> BatchRunner<'t, 'v> {
         try_run_indexed_state(
             self.threads,
             queries.len(),
-            || DistCache::with_enabled(config.dist_cache),
+            || DistCache::with_enabled(config.dist_cache).admission_mode(config.cache_admission),
             |cache, i| {
                 let q = &queries[i];
                 let query_budget = budget.clone();

@@ -37,6 +37,10 @@ pub struct QueryStats {
     /// Approximate distance-cache footprint at the end of the query
     /// (shared + local tiers), in bytes.
     pub cache_bytes: usize,
+    /// Bytes of the tree's snapshot-shipped warm tier, when one is
+    /// attached (reported apart from `cache_bytes`: the warm tier is a
+    /// property of the index, not of any one query's cache).
+    pub cache_warm_bytes: usize,
     /// Peak structural memory, in bytes.
     pub peak_bytes: usize,
     /// Wall-clock time of the query.
@@ -80,6 +84,8 @@ impl QueryStats {
         // Workers report local-tier bytes only (the shared tier is counted
         // once by the coordinator), so a plain sum stays honest.
         self.cache_bytes += other.cache_bytes;
+        // One warm tier serves every worker; keep the one recorded figure.
+        self.cache_warm_bytes = self.cache_warm_bytes.max(other.cache_warm_bytes);
         self.peak_bytes += other.peak_bytes;
         self.elapsed = self.elapsed.max(other.elapsed);
         self.latencies.merge(&other.latencies);

@@ -13,7 +13,9 @@ use ifls_core::{BatchRunner, EfficientConfig, EfficientIfls, IflsQuery, Parallel
 use ifls_indoor::{IndoorPoint, PartitionId, Venue};
 use ifls_rng::StdRng;
 use ifls_venues::RandomVenueSpec;
-use ifls_viptree::{DistCache, SharedDistCache, VipTree, VipTreeConfig};
+use ifls_viptree::{
+    CacheAdmission, DistCache, SharedDistCache, VipTree, VipTreeConfig, DEFAULT_WARM_BUDGET_BYTES,
+};
 use ifls_workloads::WorkloadBuilder;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -285,6 +287,191 @@ fn parallel_solver_bit_identical_across_threads_and_cache_modes() {
                 assert_eq!(p.wins, ref_maxsum.wins, "{label}: maxsum wins");
             }
         }
+    }
+}
+
+/// Builds a second tree over the same venue with the snapshot-shipped warm
+/// tier attached (what `index build --cache-warm` produces).
+fn with_warm_tier(venue: &Venue) -> VipTree<'_> {
+    let mut tree = VipTree::build(venue, VipTreeConfig::default());
+    let tier = tree.build_warm_tier(DEFAULT_WARM_BUDGET_BYTES, 2);
+    tree.set_warm_tier(Some(tier));
+    tree
+}
+
+/// Every admission mode (adaptive, always-on, always-off) crossed with
+/// warm-tier presence returns bit-identical answers AND an identical
+/// `dist_computations` count, serially and at 1/2/4/8 threads.
+/// `dist_computations` tallies logical kernel evaluations at the call
+/// site, *before* the cache is consulted, so no cache state may change it.
+#[test]
+fn admission_and_warm_modes_are_bit_identical_with_identical_work() {
+    const MODES: [CacheAdmission; 3] = [
+        CacheAdmission::Adaptive,
+        CacheAdmission::AlwaysOn,
+        CacheAdmission::AlwaysOff,
+    ];
+    let mut rng = StdRng::seed_from_u64(0xcac4_e005);
+    for case_no in 0..3 {
+        let case = random_case(&mut rng);
+        let cold = VipTree::build(&case.venue, VipTreeConfig::default());
+        let warm = with_warm_tier(&case.venue);
+
+        // Reference: cache fully off, serial, cold tree.
+        let reference = EfficientIfls::with_config(&cold, config(false)).run(
+            &case.clients,
+            &case.existing,
+            &case.candidates,
+        );
+        let ref_mindist = EfficientMinDist::with_config(&cold, config(false)).run(
+            &case.clients,
+            &case.existing,
+            &case.candidates,
+        );
+        let ref_maxsum = EfficientMaxSum::with_config(&cold, config(false)).run(
+            &case.clients,
+            &case.existing,
+            &case.candidates,
+        );
+
+        // The parallel engine partitions candidates across workers, which
+        // changes the pruning bounds each worker sees — its logical kernel
+        // count legitimately differs from the serial solver's. So the
+        // work-invariance claim is pinned per execution shape: every cache
+        // mode must match a cache-off run *at the same thread count*.
+        let par_baseline: Vec<[u64; 3]> = THREAD_COUNTS
+            .iter()
+            .map(|&threads| {
+                let par = ParallelSolver::with_threads(&cold, threads).config(config(false));
+                [
+                    par.run_minmax(&case.clients, &case.existing, &case.candidates)
+                        .stats
+                        .dist_computations,
+                    par.run_mindist(&case.clients, &case.existing, &case.candidates)
+                        .stats
+                        .dist_computations,
+                    par.run_maxsum(&case.clients, &case.existing, &case.candidates)
+                        .stats
+                        .dist_computations,
+                ]
+            })
+            .collect();
+
+        for (tree_label, tree) in [("cold", &cold), ("warm", &warm)] {
+            for admission in MODES {
+                let cfg = EfficientConfig {
+                    cache_admission: admission,
+                    ..EfficientConfig::default()
+                };
+                let label = format!("case {case_no} {tree_label} {admission:?}");
+
+                let got = EfficientIfls::with_config(tree, cfg).run(
+                    &case.clients,
+                    &case.existing,
+                    &case.candidates,
+                );
+                assert_eq!(got.answer, reference.answer, "{label}: minmax answer");
+                assert_eq!(
+                    got.objective.to_bits(),
+                    reference.objective.to_bits(),
+                    "{label}: minmax objective bits"
+                );
+                assert_eq!(
+                    got.stats.dist_computations, reference.stats.dist_computations,
+                    "{label}: minmax dist_computations"
+                );
+
+                let got = EfficientMinDist::with_config(tree, cfg).run(
+                    &case.clients,
+                    &case.existing,
+                    &case.candidates,
+                );
+                assert_eq!(got.answer, ref_mindist.answer, "{label}: mindist answer");
+                assert_eq!(
+                    got.total.to_bits(),
+                    ref_mindist.total.to_bits(),
+                    "{label}: mindist total bits"
+                );
+                assert_eq!(
+                    got.stats.dist_computations, ref_mindist.stats.dist_computations,
+                    "{label}: mindist dist_computations"
+                );
+
+                let got = EfficientMaxSum::with_config(tree, cfg).run(
+                    &case.clients,
+                    &case.existing,
+                    &case.candidates,
+                );
+                assert_eq!(got.answer, ref_maxsum.answer, "{label}: maxsum answer");
+                assert_eq!(got.wins, ref_maxsum.wins, "{label}: maxsum wins");
+                assert_eq!(
+                    got.stats.dist_computations, ref_maxsum.stats.dist_computations,
+                    "{label}: maxsum dist_computations"
+                );
+
+                for (ti, &threads) in THREAD_COUNTS.iter().enumerate() {
+                    let tlabel = format!("{label} t={threads}");
+                    let par = ParallelSolver::with_threads(tree, threads).config(cfg);
+                    let p = par.run_minmax(&case.clients, &case.existing, &case.candidates);
+                    assert_eq!(p.answer, reference.answer, "{tlabel}: minmax answer");
+                    assert_eq!(
+                        p.objective.to_bits(),
+                        reference.objective.to_bits(),
+                        "{tlabel}: minmax objective bits"
+                    );
+                    assert_eq!(
+                        p.stats.dist_computations, par_baseline[ti][0],
+                        "{tlabel}: minmax dist_computations"
+                    );
+                    let p = par.run_mindist(&case.clients, &case.existing, &case.candidates);
+                    assert_eq!(p.answer, ref_mindist.answer, "{tlabel}: mindist answer");
+                    assert_eq!(
+                        p.stats.dist_computations, par_baseline[ti][1],
+                        "{tlabel}: mindist dist_computations"
+                    );
+                    let p = par.run_maxsum(&case.clients, &case.existing, &case.candidates);
+                    assert_eq!(p.answer, ref_maxsum.answer, "{tlabel}: maxsum answer");
+                    assert_eq!(
+                        p.stats.dist_computations, par_baseline[ti][2],
+                        "{tlabel}: maxsum dist_computations"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The warm tier serves the exact bits the live kernel computes: every
+/// covered (source, target) pair gathered through the cache matches the
+/// uncached tree kernel bit for bit, and a warm-tree cache never reports
+/// a different answer than a cold one on the same lookup sequence.
+#[test]
+fn warm_tier_lookups_are_bit_identical_to_tree_kernels() {
+    let mut rng = StdRng::seed_from_u64(0xcac4_e006);
+    for case_no in 0..4 {
+        let case = random_case(&mut rng);
+        let warm = with_warm_tier(&case.venue);
+        let tier = warm.warm_tier().expect("warm tier attached");
+        assert!(tier.num_targets() > 0, "case {case_no}: empty warm tier");
+        let parts: Vec<PartitionId> = case.venue.partition_ids().collect();
+        let mut cache = DistCache::new(1 << 12);
+        for &p in &parts {
+            for &q in tier.targets() {
+                let want = warm.door_dists_to_partition(p, q);
+                let got = cache.door_dists(&warm, p, q);
+                assert_eq!(got.len(), want.len(), "case {case_no} ({p}, {q}): len");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "case {case_no} ({p}, {q}): warm bits"
+                    );
+                }
+            }
+        }
+        // Warm hits are real hits: the local tier never re-stores them.
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "case {case_no}: no warm hits recorded");
     }
 }
 

@@ -51,10 +51,20 @@ pub enum Counter {
     /// connection is dropped but the worker survives to take the next
     /// one (an escaped panic would permanently shrink the fixed pool).
     ServePanics = 15,
+    /// `DistCache` admission transitions to *admitting*: the adaptive
+    /// controller re-opened the local tier after a probation period.
+    CacheAdmissionOn = 16,
+    /// `DistCache` admission transitions to *not admitting*: the sampled
+    /// hit rate over the sliding window fell below the reuse threshold,
+    /// so the local tier stops inserting (and stops being probed).
+    CacheAdmissionOff = 17,
+    /// `DistCache` misses whose insert was rejected because admission was
+    /// off (the kernel still ran; the result was not retained).
+    CacheInsertsRejected = 18,
 }
 
 /// Number of counter slots (the length of [`Counter::ALL`]).
-pub(crate) const NUM_COUNTERS: usize = 16;
+pub(crate) const NUM_COUNTERS: usize = 19;
 
 impl Counter {
     /// Every counter, in canonical export order.
@@ -75,6 +85,9 @@ impl Counter {
         Counter::ReloadsApplied,
         Counter::ReloadsRefused,
         Counter::ServePanics,
+        Counter::CacheAdmissionOn,
+        Counter::CacheAdmissionOff,
+        Counter::CacheInsertsRejected,
     ];
 
     /// Stable snake_case name used by every exporter.
@@ -96,6 +109,9 @@ impl Counter {
             Counter::ReloadsApplied => "reloads_applied",
             Counter::ReloadsRefused => "reloads_refused",
             Counter::ServePanics => "serve_panics",
+            Counter::CacheAdmissionOn => "cache_admission_on",
+            Counter::CacheAdmissionOff => "cache_admission_off",
+            Counter::CacheInsertsRejected => "cache_inserts_rejected",
         }
     }
 
@@ -231,9 +247,12 @@ impl LatencyHistogram {
     ///
     /// The target rank is `ceil(q · count)` (clamped to `[1, count]`); the
     /// readout walks the cumulative bucket counts to the bucket containing
-    /// that rank and interpolates linearly inside it:
-    /// `lo + (hi - lo) · rank_within_bucket / bucket_count`. Returns 0 for
-    /// an empty histogram.
+    /// that rank and interpolates linearly inside it at the rank's
+    /// *midpoint*: `lo + (hi - lo) · (rank_within_bucket - ½) /
+    /// bucket_count`. The midpoint convention keeps the readout strictly
+    /// inside the bucket — the last rank of a bucket reads just below
+    /// `hi` instead of the raw log2 upper bound (which made a 55 ms
+    /// stream report a 4.29 s p95). Returns 0 for an empty histogram.
     pub fn percentile_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -252,7 +271,7 @@ impl LatencyHistogram {
                 let lo = Self::bucket_lo(i) as f64;
                 let hi = Self::bucket_hi(i) as f64;
                 let k = (target - cum) as f64;
-                return (lo + (hi - lo) * k / c as f64) as u64;
+                return (lo + (hi - lo) * (k - 0.5) / c as f64) as u64;
             }
             cum += c;
         }
@@ -419,12 +438,21 @@ mod tests {
         }
         assert_eq!(h.count(), 4);
         assert_eq!(h.sum_ns(), 32);
-        // target rank = ceil(0.5 * 4) = 2 → 8 + (16-8) * 2/4 = 12.
-        assert_eq!(h.p50_ns(), 12);
-        // rank 4 → 8 + 8 * 4/4 = 16 (the bucket's upper bound).
-        assert_eq!(h.percentile_ns(1.0), 16);
-        // rank 1 → 8 + 8 * 1/4 = 10.
-        assert_eq!(h.percentile_ns(0.25), 10);
+        // target rank = ceil(0.5 * 4) = 2 → 8 + (16-8) * 1.5/4 = 11.
+        assert_eq!(h.p50_ns(), 11);
+        // rank 4 → 8 + 8 * 3.5/4 = 15: strictly below the bucket's upper
+        // bound (the raw `hi` readout is the bug this pins against).
+        assert_eq!(h.percentile_ns(1.0), 15);
+        // rank 1 → 8 + 8 * 0.5/4 = 9.
+        assert_eq!(h.percentile_ns(0.25), 9);
+        // A single-sample bucket reads its midpoint, not its upper bound.
+        let mut one = LatencyHistogram::default();
+        one.record_ns(55_000_000); // bucket [2^25, 2^26)
+        let p95 = one.p95_ns();
+        assert!(
+            (33_554_432..67_108_864).contains(&p95),
+            "p95 = {p95} must stay inside the sample's bucket"
+        );
     }
 
     #[test]

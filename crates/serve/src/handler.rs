@@ -67,11 +67,15 @@ struct QueryRequest {
     sigma: Option<f64>,
     threads: usize,
     dist_cache: bool,
+    cache_admission: bool,
     deadline_ms: Option<u64>,
     max_dist_computations: Option<u64>,
 }
 
-fn parse_query_request(body: &str) -> Result<QueryRequest, Response> {
+fn parse_query_request(
+    body: &str,
+    default_cache_admission: bool,
+) -> Result<QueryRequest, Response> {
     let bad = |detail: String| error_response(400, "bad_request", &detail);
     let fields = parse_object(body).map_err(|e| bad(format!("request body: {e}")))?;
     let mut q = QueryRequest {
@@ -84,6 +88,7 @@ fn parse_query_request(body: &str) -> Result<QueryRequest, Response> {
         sigma: None,
         threads: 0,
         dist_cache: true,
+        cache_admission: default_cache_admission,
         deadline_ms: None,
         max_dist_computations: None,
     };
@@ -134,6 +139,9 @@ fn parse_query_request(body: &str) -> Result<QueryRequest, Response> {
                     as usize
             }
             "dist_cache" => q.dist_cache = value.as_bool().ok_or_else(|| type_err("a boolean"))?,
+            "cache_admission" => {
+                q.cache_admission = value.as_bool().ok_or_else(|| type_err("a boolean"))?
+            }
             "deadline_ms" => {
                 q.deadline_ms = Some(
                     value
@@ -160,7 +168,7 @@ fn query(shared: &Arc<Shared>, req: &Request) -> Response {
         Ok(_) => "{}",
         Err(_) => return error_response(400, "bad_request", "request body is not UTF-8"),
     };
-    let q = match parse_query_request(body) {
+    let q = match parse_query_request(body, shared.opts.default_cache_admission) {
         Ok(q) => q,
         Err(resp) => return resp,
     };
@@ -239,6 +247,7 @@ fn query(shared: &Arc<Shared>, req: &Request) -> Response {
         algorithm: q.algorithm,
         threads: q.threads,
         dist_cache: q.dist_cache,
+        cache_admission: q.cache_admission,
     };
     let summary = match api::solve(
         &tv.tree,
@@ -285,13 +294,15 @@ fn metrics(shared: &Arc<Shared>) -> Response {
 
 fn healthz(shared: &Arc<Shared>) -> Response {
     let tv = shared.current_tree();
+    let warm = tv.tree.warm_tier();
     let body = format!(
         concat!(
             "{{\"schema\":\"ifls-serve-health/v1\",\"status\":\"ok\",",
             "\"venue\":\"{venue}\",\"fingerprint\":\"{fp}\",",
             "\"index_version\":{version},\"source\":\"{source}\",",
             "\"uptime_ms\":{uptime},\"queue_depth\":{depth},",
-            "\"queue_capacity\":{capacity}}}\n"
+            "\"queue_capacity\":{capacity},",
+            "\"warm_targets\":{warm_targets},\"warm_bytes\":{warm_bytes}}}\n"
         ),
         venue = api::json_escape(shared.venue.name()),
         fp = tv.fingerprint,
@@ -300,6 +311,8 @@ fn healthz(shared: &Arc<Shared>) -> Response {
         uptime = shared.started.elapsed().as_millis(),
         depth = shared.queue.depth(),
         capacity = shared.queue.capacity(),
+        warm_targets = warm.map_or(0, ifls_viptree::WarmTier::num_targets),
+        warm_bytes = warm.map_or(0, ifls_viptree::WarmTier::approx_bytes),
     );
     Response::new(200, "application/json", body)
 }

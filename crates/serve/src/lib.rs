@@ -89,6 +89,10 @@ pub struct ServeOptions {
     pub request_read_timeout: Duration,
     /// Install a `SIGHUP` → reload handler (Unix only; ignored elsewhere).
     pub sighup_reload: bool,
+    /// Default for requests that do not name `cache_admission`: whether
+    /// the distance cache's adaptive admission controller may gate the
+    /// local tier (`false` pins admission always-on).
+    pub default_cache_admission: bool,
 }
 
 impl Default for ServeOptions {
@@ -107,6 +111,7 @@ impl Default for ServeOptions {
             read_timeout: Duration::from_secs(5),
             request_read_timeout: Duration::from_secs(10),
             sighup_reload: true,
+            default_cache_admission: true,
         }
     }
 }

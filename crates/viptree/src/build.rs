@@ -404,6 +404,7 @@ impl<'v> VipTree<'v> {
             leaf_of,
             door_home,
             child_access_pos,
+            warm: None,
         }
     }
 }

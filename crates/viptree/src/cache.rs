@@ -8,21 +8,35 @@
 //! they can be memoized once and reused across candidates, across the three
 //! objectives, across queries, and across threads without any invalidation.
 //!
-//! Two tiers keep the parallel engines bit-identical at every thread count:
+//! Three tiers keep the parallel engines bit-identical at every thread
+//! count:
 //!
-//! * [`SharedDistCache`] — an immutable tier built *before* workers spawn
-//!   and shared by `&` across `std::thread::scope`; read-only, so no
-//!   synchronization and no cross-thread ordering effects.
-//! * [`DistCache`] — a per-worker (or per-query) mutable overflow tier with
-//!   a bounded entry count and deterministic whole-generation eviction.
+//! * [`WarmTier`](crate::WarmTier) — an optional dense `door × partition`
+//!   matrix owned by the tree itself (built at `index build` time and
+//!   shipped inside `ifls-index/v2` snapshots); read-only, probed first
+//!   for door-vector lookups.
+//! * [`SharedDistCache`] — an immutable per-query tier built *before*
+//!   workers spawn and shared by `&` across `std::thread::scope`;
+//!   read-only, so no synchronization and no cross-thread ordering
+//!   effects.
+//! * [`DistCache`] — a per-worker (or per-query) mutable overflow tier
+//!   with a bounded entry count and deterministic whole-generation
+//!   eviction.
+//!
+//! The mutable tier is an open-addressed, power-of-two flat table: packed
+//! `(partition, partition)` / `(partition, node)` small-int keys, one
+//! multiply-shift hash, linear probing, inline slots. Vector payloads live
+//! in one append-only `f64` arena addressed by `(offset, len)` spans —
+//! no per-entry allocation and no `BuildHasher` indirection on the hot
+//! path. An adaptive admission controller samples the observed hit rate
+//! over a sliding window and stops inserting (and probing) when the venue
+//! exhibits no reuse, so a cache that cannot win costs ~zero.
 //!
 //! Because every cached value equals the recomputation bit-for-bit (same
 //! pure function, same fold order), a hit can never change an answer —
-//! cache on/off and any eviction schedule produce identical bits, which the
-//! `ifls-core` equivalence suites assert.
-
-use std::collections::HashMap;
-use std::hash::{BuildHasher, Hasher};
+//! cache on/off, any admission mode, any eviction schedule and any thread
+//! count produce identical bits, which the `ifls-core` equivalence suites
+//! assert.
 
 use ifls_indoor::{IndoorPoint, PartitionId};
 use ifls_obs::{self as obs, Counter, Phase};
@@ -30,104 +44,264 @@ use ifls_obs::{self as obs, Counter, Phase};
 use crate::node::NodeId;
 use crate::tree::VipTree;
 
-/// Fixed seed for the cache's hash maps: keeps iteration-independent
-/// behavior reproducible run to run (nothing here iterates maps, but a
-/// pinned seed removes even accidental sources of variation).
-const CACHE_HASH_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+/// Sentinel marking an empty slot. Real keys pack two dense `u32` ids,
+/// both strictly below `u32::MAX`, so the sentinel can never collide.
+const EMPTY_KEY: u64 = u64::MAX;
 
-/// FxHash-style multiplier (Firefox's hasher; public-domain constant).
-const FX_MULT: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// Multiply-shift hash constant (the odd golden-ratio mix word). One
+/// multiply and one shift map a packed key to its home slot.
+const HASH_MULT: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// A seeded, non-cryptographic hasher for small integer keys.
-#[derive(Clone, Copy, Debug)]
-pub struct SeededHashState {
-    seed: u64,
+/// Packs two dense ids into one table key.
+#[inline]
+fn pack(a: u32, b: u32) -> u64 {
+    ((a as u64) << 32) | b as u64
 }
 
-impl Default for SeededHashState {
-    fn default() -> Self {
-        Self {
-            seed: CACHE_HASH_SEED,
+/// Home slot of `key` in a table of `2^(64 - shift)` slots.
+#[inline]
+fn home_slot(key: u64, shift: u32) -> usize {
+    (key.wrapping_mul(HASH_MULT) >> shift) as usize
+}
+
+/// Open-addressed flat table mapping packed keys to `f64` vectors stored
+/// as `(offset, len)` spans into one shared append-only arena.
+///
+/// Capacity is always a power of two, kept at most half full; lookups are
+/// one multiply-shift hash plus a linear probe over inline slots. Slots
+/// are allocated lazily on the first insert, and a whole-generation
+/// [`clear`](FlatVecTable::clear) resets the key array and truncates the
+/// arena without releasing capacity.
+#[derive(Debug, Default)]
+struct FlatVecTable {
+    keys: Vec<u64>,
+    spans: Vec<(u32, u32)>,
+    arena: Vec<f64>,
+    len: usize,
+    shift: u32,
+}
+
+impl FlatVecTable {
+    /// The stored span for `key`, if present.
+    #[inline]
+    fn span_of(&self, key: u64) -> Option<(u32, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = home_slot(key, self.shift);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.spans[i]);
+            }
+            if k == EMPTY_KEY {
+                return None;
+            }
+            i = (i + 1) & mask;
         }
     }
-}
 
-impl BuildHasher for SeededHashState {
-    type Hasher = SeededFxHasher;
-
+    /// The arena slice behind a span returned by `span_of`.
     #[inline]
-    fn build_hasher(&self) -> SeededFxHasher {
-        SeededFxHasher { hash: self.seed }
-    }
-}
-
-/// The hasher produced by [`SeededHashState`].
-#[derive(Clone, Copy, Debug)]
-pub struct SeededFxHasher {
-    hash: u64,
-}
-
-impl SeededFxHasher {
-    #[inline]
-    fn mix(&mut self, v: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(FX_MULT);
-    }
-}
-
-impl Hasher for SeededFxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
+    fn slice(&self, span: (u32, u32)) -> &[f64] {
+        let (off, len) = (span.0 as usize, span.1 as usize);
+        &self.arena[off..off + len]
     }
 
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.mix(b as u64);
+    /// Inserts `v` under `key` (the caller has already checked absence)
+    /// and returns the arena-backed slice.
+    fn insert(&mut self, key: u64, v: &[f64]) -> &[f64] {
+        debug_assert!(self.span_of(key).is_none(), "flat-table double insert");
+        self.grow_if_needed();
+        let off = self.arena.len();
+        debug_assert!(off + v.len() <= u32::MAX as usize, "arena span overflow");
+        self.arena.extend_from_slice(v);
+        let span = (off as u32, v.len() as u32);
+        let mask = self.keys.len() - 1;
+        let mut i = home_slot(key, self.shift);
+        while self.keys[i] != EMPTY_KEY {
+            i = (i + 1) & mask;
+        }
+        self.keys[i] = key;
+        self.spans[i] = span;
+        self.len += 1;
+        self.slice(span)
+    }
+
+    /// Doubles the slot array whenever the next insert would cross the
+    /// ½ load factor (allocating the first 64 slots lazily).
+    fn grow_if_needed(&mut self) {
+        if (self.len + 1) * 2 <= self.keys.len() {
+            return;
+        }
+        let new_cap = (self.keys.len() * 2).max(64);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; new_cap]);
+        let old_spans = std::mem::replace(&mut self.spans, vec![(0, 0); new_cap]);
+        self.shift = 64 - new_cap.trailing_zeros();
+        let mask = new_cap - 1;
+        for (k, s) in old_keys.into_iter().zip(old_spans) {
+            if k == EMPTY_KEY {
+                continue;
+            }
+            let mut i = home_slot(k, self.shift);
+            while self.keys[i] != EMPTY_KEY {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = k;
+            self.spans[i] = s;
         }
     }
 
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.mix(v as u64);
+    /// Whole-generation flush: every key slot is reset and the arena is
+    /// truncated; capacity is retained for the next generation.
+    fn clear(&mut self) {
+        self.keys.fill(EMPTY_KEY);
+        self.arena.clear();
+        self.len = 0;
     }
 
     #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.mix(v);
+    fn entries(&self) -> usize {
+        self.len
     }
 
+    /// Footprint: `capacity × slot size` (8-byte key + 8-byte span per
+    /// slot) plus the live arena payload.
     #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.mix(v as u64);
+    fn bytes(&self) -> usize {
+        self.keys.len() * 16 + self.arena.len() * std::mem::size_of::<f64>()
     }
 }
 
-/// Approximate per-entry overhead of a cached vector beyond its payload:
-/// key, `Vec` header, and hash-map slot bookkeeping.
-const VEC_ENTRY_OVERHEAD: usize = 48;
+/// Open-addressed flat table mapping packed keys to inline `f64` scalars
+/// (the `iMinD(partition, node)` memo). Same layout rules as
+/// [`FlatVecTable`] with the value stored directly in the slot.
+#[derive(Debug, Default)]
+struct FlatMinTable {
+    keys: Vec<u64>,
+    vals: Vec<f64>,
+    len: usize,
+    shift: u32,
+}
 
-/// Approximate per-entry footprint of a cached scalar.
-const MIN_ENTRY_BYTES: usize = 32;
+impl FlatMinTable {
+    #[inline]
+    fn get(&self, key: u64) -> Option<f64> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = home_slot(key, self.shift);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.vals[i]);
+            }
+            if k == EMPTY_KEY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, key: u64, v: f64) {
+        debug_assert!(self.get(key).is_none(), "flat-table double insert");
+        if (self.len + 1) * 2 > self.keys.len() {
+            let new_cap = (self.keys.len() * 2).max(64);
+            let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; new_cap]);
+            let old_vals = std::mem::replace(&mut self.vals, vec![0.0; new_cap]);
+            self.shift = 64 - new_cap.trailing_zeros();
+            let mask = new_cap - 1;
+            for (k, val) in old_keys.into_iter().zip(old_vals) {
+                if k == EMPTY_KEY {
+                    continue;
+                }
+                let mut i = home_slot(k, self.shift);
+                while self.keys[i] != EMPTY_KEY {
+                    i = (i + 1) & mask;
+                }
+                self.keys[i] = k;
+                self.vals[i] = val;
+            }
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = home_slot(key, self.shift);
+        while self.keys[i] != EMPTY_KEY {
+            i = (i + 1) & mask;
+        }
+        self.keys[i] = key;
+        self.vals[i] = v;
+        self.len += 1;
+    }
+
+    fn clear(&mut self) {
+        self.keys.fill(EMPTY_KEY);
+        self.len = 0;
+    }
+
+    #[inline]
+    fn entries(&self) -> usize {
+        self.len
+    }
+
+    /// Footprint: `capacity × slot size` (8-byte key + 8-byte value).
+    #[inline]
+    fn bytes(&self) -> usize {
+        self.keys.len() * 16
+    }
+}
+
+/// How the mutable tier decides whether to retain computed entries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CacheAdmission {
+    /// Sample the local hit rate over a sliding window; stop inserting
+    /// (and probing) while the observed reuse stays below the threshold,
+    /// re-probing periodically. The default.
+    #[default]
+    Adaptive,
+    /// Always insert (the pre-adaptive behavior; `--no-cache-admission`).
+    AlwaysOn,
+    /// Never insert into the local tier (immutable tiers still serve).
+    AlwaysOff,
+}
+
+/// Sliding admission window: local-tier lookups per hit-rate sample.
+pub const ADMISSION_WINDOW: u32 = 4096;
+
+/// Minimum sampled hit rate (percent) for the local tier to keep
+/// admitting inserts.
+const ADMISSION_MIN_HIT_PCT: u32 = 5;
+
+/// After this many windows with admission off, re-admit for one probation
+/// window to re-sample the workload.
+const ADMISSION_PROBATION_WINDOWS: u32 = 8;
 
 /// Snapshot of a cache's counters (cumulative since construction).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct DistCacheStats {
-    /// Lookups answered from a cached entry (shared or local tier).
+    /// Lookups answered from a cached entry (warm, shared or local tier).
     pub hits: u64,
-    /// Lookups that had to compute and insert.
+    /// Lookups that had to compute the kernel.
     pub misses: u64,
     /// Whole-generation flushes of the local tier.
     pub evictions: u64,
-    /// Current local-tier entry count (the shared tier is accounted once
-    /// by whoever built it, not per consumer).
+    /// Current local-tier entry count (immutable tiers are accounted once
+    /// by whoever built them, not per consumer).
     pub entries: usize,
-    /// Approximate local-tier bytes held.
+    /// Local-tier footprint: slot capacity × slot size + arena payload.
     pub bytes: usize,
+    /// Misses whose insert was rejected because admission was off.
+    pub inserts_rejected: u64,
+    /// Whether the local tier is currently admitting inserts.
+    pub admitting: bool,
 }
 
-/// The immutable cache tier: door-distance vectors precomputed before any
-/// worker thread spawns, then shared read-only by reference.
+/// The immutable per-query cache tier: door-distance vectors precomputed
+/// before any worker thread spawns, then shared read-only by reference.
+///
+/// Internally an open-addressed flat table (same layout as the mutable
+/// tier) — built once, probed lock-free by every worker.
 ///
 /// Building is just `door_dists_to_partition` per requested pair, so the
 /// tier is only worth its cost for pairs the query is guaranteed to revisit
@@ -135,8 +309,7 @@ pub struct DistCacheStats {
 /// candidate shard of `ifls-core`'s parallel solver touches.
 #[derive(Debug, Default)]
 pub struct SharedDistCache {
-    vecs: HashMap<(PartitionId, PartitionId), Vec<f64>, SeededHashState>,
-    bytes: usize,
+    table: FlatVecTable,
 }
 
 impl SharedDistCache {
@@ -147,52 +320,60 @@ impl SharedDistCache {
         tree: &VipTree<'_>,
         pairs: impl IntoIterator<Item = (PartitionId, PartitionId)>,
     ) -> Self {
-        let mut vecs: HashMap<_, Vec<f64>, _> = HashMap::with_hasher(SeededHashState::default());
-        let mut bytes = 0usize;
+        let mut table = FlatVecTable::default();
         for (p, q) in pairs {
             if p == q {
                 continue;
             }
-            vecs.entry((p, q)).or_insert_with(|| {
+            let key = pack(p.raw(), q.raw());
+            if table.span_of(key).is_none() {
                 let v = tree.door_dists_to_partition(p, q);
-                bytes += v.len() * std::mem::size_of::<f64>() + VEC_ENTRY_OVERHEAD;
-                v
-            });
+                table.insert(key, &v);
+            }
         }
-        Self { vecs, bytes }
+        Self { table }
     }
 
     /// The cached vector for `(p, q)`, if precomputed.
     #[inline]
     pub fn get(&self, p: PartitionId, q: PartitionId) -> Option<&[f64]> {
-        self.vecs.get(&(p, q)).map(Vec::as_slice)
+        self.table
+            .span_of(pack(p.raw(), q.raw()))
+            .map(|s| self.table.slice(s))
     }
 
     /// Number of precomputed vectors.
     #[inline]
     pub fn len(&self) -> usize {
-        self.vecs.len()
+        self.table.entries()
     }
 
     /// Whether the tier is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.vecs.is_empty()
+        self.table.entries() == 0
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate heap footprint in bytes (capacity × slot size plus the
+    /// arena payload).
     #[inline]
     pub fn approx_bytes(&self) -> usize {
-        self.bytes
+        self.table.bytes()
     }
 }
 
 /// Default bound on the mutable tier's entry count.
-pub const DEFAULT_CACHE_ENTRIES: usize = 1 << 16;
+///
+/// Sized so the serving-shaped streams on the largest named venue (MZB:
+/// ~1.3k partitions, working sets of a few hundred thousand memo entries)
+/// stop thrashing through whole-generation flushes; slots are 16 bytes and
+/// allocated lazily, so small queries never pay for the headroom.
+pub const DEFAULT_CACHE_ENTRIES: usize = 1 << 19;
 
-/// The mutable cache tier: a bounded memo map over
+/// The mutable cache tier: a bounded memo table over
 /// `door_dists_to_partition` vectors and `iMinD(partition, node)` scalars,
-/// optionally backed by an immutable [`SharedDistCache`].
+/// optionally backed by an immutable [`SharedDistCache`] and by the
+/// tree's own [`WarmTier`](crate::WarmTier).
 ///
 /// When the entry bound is reached the whole local generation is flushed —
 /// a deterministic policy whose timing cannot affect answers, because every
@@ -200,15 +381,20 @@ pub const DEFAULT_CACHE_ENTRIES: usize = 1 << 16;
 #[derive(Debug)]
 pub struct DistCache<'s> {
     shared: Option<&'s SharedDistCache>,
-    vecs: HashMap<(PartitionId, PartitionId), Vec<f64>, SeededHashState>,
-    mins: HashMap<(PartitionId, NodeId), f64, SeededHashState>,
+    vecs: FlatVecTable,
+    mins: FlatMinTable,
     max_entries: usize,
     enabled: bool,
+    admission: CacheAdmission,
+    admitting: bool,
+    window_lookups: u32,
+    window_hits: u32,
+    idle_lookups: u32,
     hits: u64,
     misses: u64,
     evictions: u64,
-    local_bytes: usize,
-    /// Recompute buffer for disabled (ablation) mode.
+    inserts_rejected: u64,
+    /// Recompute / warm-gather buffer for values not retained locally.
     scratch: Vec<f64>,
 }
 
@@ -224,14 +410,19 @@ impl<'s> DistCache<'s> {
     pub fn new(max_entries: usize) -> Self {
         Self {
             shared: None,
-            vecs: HashMap::with_hasher(SeededHashState::default()),
-            mins: HashMap::with_hasher(SeededHashState::default()),
+            vecs: FlatVecTable::default(),
+            mins: FlatMinTable::default(),
             max_entries: max_entries.max(1),
             enabled: true,
+            admission: CacheAdmission::Adaptive,
+            admitting: true,
+            window_lookups: 0,
+            window_hits: 0,
+            idle_lookups: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
-            local_bytes: 0,
+            inserts_rejected: 0,
             scratch: Vec::new(),
         }
     }
@@ -261,10 +452,70 @@ impl<'s> DistCache<'s> {
         }
     }
 
+    /// Sets the admission mode (builder-style), resetting the controller.
+    pub fn admission_mode(mut self, mode: CacheAdmission) -> Self {
+        self.admission = mode;
+        self.admitting = mode != CacheAdmission::AlwaysOff;
+        self.window_lookups = 0;
+        self.window_hits = 0;
+        self.idle_lookups = 0;
+        self
+    }
+
+    /// The configured admission mode.
+    #[inline]
+    pub fn admission(&self) -> CacheAdmission {
+        self.admission
+    }
+
     /// Whether lookups memoize (false for the ablation pass-through).
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Applies pending admission decisions. Runs at the *top* of a lookup
+    /// — never between a probe and the use of its result — so a flush can
+    /// never invalidate a slice the caller is about to receive.
+    fn admission_tick(&mut self) {
+        if self.admission != CacheAdmission::Adaptive {
+            return;
+        }
+        if self.admitting {
+            if self.window_lookups >= ADMISSION_WINDOW {
+                if self.window_hits * 100 < self.window_lookups * ADMISSION_MIN_HIT_PCT {
+                    // The venue shows no local reuse: flush the dead
+                    // generation and stop paying for inserts.
+                    self.admitting = false;
+                    self.vecs.clear();
+                    self.mins.clear();
+                    obs::counter_add(Counter::CacheAdmissionOff, 1);
+                }
+                self.window_lookups = 0;
+                self.window_hits = 0;
+            }
+        } else if self.idle_lookups >= ADMISSION_PROBATION_WINDOWS * ADMISSION_WINDOW {
+            // Probation: re-admit for one window to re-sample reuse.
+            self.idle_lookups = 0;
+            self.admitting = true;
+            obs::counter_add(Counter::CacheAdmissionOn, 1);
+        }
+    }
+
+    /// Records one local-tier lookup outcome for the admission sampler.
+    /// Lookups served by the immutable tiers are not counted: admission
+    /// judges whether the *local* tier earns its inserts.
+    #[inline]
+    fn observe_local(&mut self, hit: bool) {
+        if self.admission != CacheAdmission::Adaptive {
+            return;
+        }
+        if self.admitting {
+            self.window_lookups += 1;
+            self.window_hits += hit as u32;
+        } else {
+            self.idle_lookups += 1;
+        }
     }
 
     /// The door-distance vector from each door of `p` to partition `q`
@@ -284,24 +535,43 @@ impl<'s> DistCache<'s> {
                 return shared.get(p, q).expect("checked above");
             }
         }
-        let key = (p, q);
-        if self.vecs.contains_key(&key) {
-            self.hits += 1;
-            obs::counter_add(Counter::DistCacheHits, 1);
-            return &self.vecs[&key];
+        if let Some(warm) = tree.warm_tier() {
+            if warm.covers(q) {
+                self.hits += 1;
+                obs::counter_add(Counter::DistCacheHits, 1);
+                warm.gather_into(tree.venue(), p, q, &mut self.scratch);
+                return &self.scratch;
+            }
+        }
+        self.admission_tick();
+        let key = pack(p.raw(), q.raw());
+        if self.admitting {
+            if let Some(span) = self.vecs.span_of(key) {
+                self.hits += 1;
+                obs::counter_add(Counter::DistCacheHits, 1);
+                self.observe_local(true);
+                return self.vecs.slice(span);
+            }
         }
         self.misses += 1;
         obs::counter_add(Counter::DistCacheMisses, 1);
+        self.observe_local(false);
+        if !self.admitting {
+            self.inserts_rejected += 1;
+            obs::counter_add(Counter::CacheInsertsRejected, 1);
+            let _span = obs::span(Phase::CacheLookup);
+            self.scratch = tree.door_dists_to_partition(p, q);
+            return &self.scratch;
+        }
         self.maybe_evict();
         // The miss path is where the kernel actually runs; hits are counted
         // above but not timed (a span per hit would dwarf the hit itself).
         let _span = obs::span(Phase::CacheLookup);
         let v = tree.door_dists_to_partition(p, q);
-        self.local_bytes += v.len() * std::mem::size_of::<f64>() + VEC_ENTRY_OVERHEAD;
         if ifls_fault::should_fail(ifls_fault::FaultPoint::CacheInsert) {
             panic!("injected fault: cache insert");
         }
-        self.vecs.entry(key).or_insert(v)
+        self.vecs.insert(key, &v)
     }
 
     /// `iMinD(p, q)` through the cache — bit-identical to
@@ -332,18 +602,35 @@ impl<'s> DistCache<'s> {
         if !self.enabled {
             return tree.min_dist_partition_to_node(p, n);
         }
-        let key = (p, n);
-        if let Some(&v) = self.mins.get(&key) {
-            self.hits += 1;
-            obs::counter_add(Counter::DistCacheHits, 1);
-            return v;
+        if let Some(warm) = tree.warm_tier() {
+            if warm.has_node_mins() {
+                self.hits += 1;
+                obs::counter_add(Counter::DistCacheHits, 1);
+                return warm.node_min(p, n);
+            }
+        }
+        self.admission_tick();
+        let key = pack(p.raw(), n.raw());
+        if self.admitting {
+            if let Some(v) = self.mins.get(key) {
+                self.hits += 1;
+                obs::counter_add(Counter::DistCacheHits, 1);
+                self.observe_local(true);
+                return v;
+            }
         }
         self.misses += 1;
         obs::counter_add(Counter::DistCacheMisses, 1);
+        self.observe_local(false);
+        if !self.admitting {
+            self.inserts_rejected += 1;
+            obs::counter_add(Counter::CacheInsertsRejected, 1);
+            let _span = obs::span(Phase::CacheLookup);
+            return tree.min_dist_partition_to_node(p, n);
+        }
         self.maybe_evict();
         let _span = obs::span(Phase::CacheLookup);
         let v = tree.min_dist_partition_to_node(p, n);
-        self.local_bytes += MIN_ENTRY_BYTES;
         self.mins.insert(key, v);
         v
     }
@@ -364,20 +651,18 @@ impl<'s> DistCache<'s> {
     }
 
     fn maybe_evict(&mut self) {
-        if self.vecs.len() + self.mins.len() >= self.max_entries {
+        if self.vecs.entries() + self.mins.entries() >= self.max_entries {
             self.vecs.clear();
             self.mins.clear();
-            self.local_bytes = 0;
             self.evictions += 1;
             obs::counter_add(Counter::DistCacheEvictions, 1);
         }
     }
 
-    /// Drops every local entry (the shared tier, if any, is untouched).
+    /// Drops every local entry (the immutable tiers are untouched).
     pub fn clear(&mut self) {
         self.vecs.clear();
         self.mins.clear();
-        self.local_bytes = 0;
     }
 
     /// Cumulative counters and the current local-tier footprint.
@@ -386,8 +671,10 @@ impl<'s> DistCache<'s> {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
-            entries: self.vecs.len() + self.mins.len(),
-            bytes: self.local_bytes,
+            entries: self.vecs.entries() + self.mins.entries(),
+            bytes: self.vecs.bytes() + self.mins.bytes(),
+            inserts_rejected: self.inserts_rejected,
+            admitting: self.admitting,
         }
     }
 
@@ -395,7 +682,7 @@ impl<'s> DistCache<'s> {
     /// reports of a cache that owns its whole footprint, e.g. a monitor).
     #[inline]
     pub fn approx_bytes(&self) -> usize {
-        self.local_bytes + self.shared.map_or(0, SharedDistCache::approx_bytes)
+        self.vecs.bytes() + self.mins.bytes() + self.shared.map_or(0, SharedDistCache::approx_bytes)
     }
 }
 
@@ -446,6 +733,7 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.hits, s.misses, "every pair looked up exactly twice");
         assert!(s.bytes > 0);
+        assert!(s.admitting, "short runs never trip adaptive admission");
     }
 
     #[test]
@@ -530,7 +818,7 @@ mod tests {
         assert_eq!(s.hits, 4, "all served from the shared tier");
         assert_eq!(s.misses, 0);
         assert_eq!(s.entries, 0, "shared hits never populate the local tier");
-        assert_eq!(s.bytes, 0);
+        assert_eq!(s.bytes, 0, "slots are allocated lazily");
         assert!(cache.approx_bytes() >= shared.approx_bytes());
     }
 
@@ -558,17 +846,90 @@ mod tests {
     }
 
     #[test]
-    fn seeded_hasher_is_deterministic() {
-        let state = SeededHashState::default();
-        let mut h1 = state.build_hasher();
-        let mut h2 = state.build_hasher();
-        h1.write_u32(7);
-        h1.write_u64(11);
-        h2.write_u32(7);
-        h2.write_u64(11);
-        assert_eq!(h1.finish(), h2.finish());
-        let mut h3 = state.build_hasher();
-        h3.write_u32(8);
-        assert_ne!(h1.finish(), h3.finish());
+    fn flat_table_probe_survives_growth_and_clear() {
+        let mut t = FlatVecTable::default();
+        assert_eq!(t.bytes(), 0, "no allocation before the first insert");
+        // Insert enough keys to force several doublings, with adversarial
+        // clustered keys (sequential packs hash near each other).
+        let n = 500u32;
+        for i in 0..n {
+            let key = pack(i / 7, i);
+            let payload = [i as f64, (i * 2) as f64 + 0.5];
+            t.insert(key, &payload);
+        }
+        assert_eq!(t.entries(), n as usize);
+        assert!(t.keys.len().is_power_of_two());
+        assert!(t.entries() * 2 <= t.keys.len(), "load factor stays ≤ ½");
+        for i in 0..n {
+            let got = t.span_of(pack(i / 7, i)).map(|s| t.slice(s).to_vec());
+            assert_eq!(got, Some(vec![i as f64, (i * 2) as f64 + 0.5]));
+        }
+        assert!(t.span_of(pack(9999, 1)).is_none());
+        let cap = t.keys.len();
+        t.clear();
+        assert_eq!(t.entries(), 0);
+        assert_eq!(t.keys.len(), cap, "clear retains capacity");
+        assert!(t.span_of(pack(0, 0)).is_none());
+        // The min table follows the same rules.
+        let mut m = FlatMinTable::default();
+        for i in 0..n {
+            m.insert(pack(i, i / 3), i as f64);
+        }
+        for i in 0..n {
+            assert_eq!(m.get(pack(i, i / 3)), Some(i as f64));
+        }
+        assert_eq!(m.get(pack(n, 0)), None);
+    }
+
+    #[test]
+    fn adaptive_admission_shuts_off_and_reprobes() {
+        // Needs parts × nodes > one admission window of distinct lookups.
+        let venue = GridVenueSpec::new("t", 3, 300).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let parts: Vec<_> = venue.partition_ids().collect();
+        let mut cache = DistCache::default();
+        // A zero-reuse stream: every (p, n) min lookup is distinct, so the
+        // sampled hit rate is 0% and admission must shut off after the
+        // first window.
+        let nodes: Vec<_> = tree.node_ids().collect();
+        let mut i = 0u64;
+        let mut fire = |cache: &mut DistCache<'_>, count: u64| {
+            for _ in 0..count {
+                let p = parts[(i % parts.len() as u64) as usize];
+                let n = nodes[((i / parts.len() as u64) % nodes.len() as u64) as usize];
+                // Distinctness doesn't matter for the sampler (repeats
+                // would raise the hit rate), so walk a long diagonal.
+                let a = cache.min_dist_partition_to_node(&tree, p, n);
+                let b = tree.min_dist_partition_to_node(p, n);
+                assert_eq!(a.to_bits(), b.to_bits(), "answers never change");
+                i += 1;
+            }
+        };
+        // The diagonal repeats after parts×nodes lookups; keep the stream
+        // within one pass so every lookup misses.
+        let distinct = (parts.len() * nodes.len()) as u64;
+        assert!(distinct > u64::from(ADMISSION_WINDOW) + 16);
+        fire(&mut cache, u64::from(ADMISSION_WINDOW) + 16);
+        let s = cache.stats();
+        assert!(!s.admitting, "0% hit rate must shut admission off");
+        assert!(s.inserts_rejected > 0);
+        assert_eq!(s.entries, 0, "the dead generation is flushed");
+        // After the probation period the controller re-admits.
+        fire(
+            &mut cache,
+            u64::from(ADMISSION_PROBATION_WINDOWS * ADMISSION_WINDOW) + 16,
+        );
+        assert!(cache.stats().admitting, "probation re-opens the tier");
+
+        // AlwaysOff never admits; AlwaysOn never rejects.
+        let mut off = DistCache::default().admission_mode(CacheAdmission::AlwaysOff);
+        let d1 = off.min_dist_partition_to_node(&tree, parts[0], nodes[2]);
+        let d2 = off.min_dist_partition_to_node(&tree, parts[0], nodes[2]);
+        assert_eq!(d1.to_bits(), d2.to_bits());
+        let s = off.stats();
+        assert_eq!((s.entries, s.hits), (0, 0));
+        assert_eq!(s.inserts_rejected, s.misses);
+        let on = DistCache::default().admission_mode(CacheAdmission::AlwaysOn);
+        assert_eq!(on.admission(), CacheAdmission::AlwaysOn);
     }
 }

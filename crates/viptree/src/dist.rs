@@ -228,18 +228,26 @@ impl VipTree<'_> {
             .partition(p)
             .doors()
             .iter()
-            .map(|&ds| {
-                if self.venue.door(ds).partitions().any(|side| side == q) {
-                    return 0.0;
-                }
-                self.venue
-                    .partition(q)
-                    .doors()
-                    .iter()
-                    .map(|&dt| self.door_to_door(ds, dt))
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|&ds| self.door_dist_from(ds, q))
             .collect()
+    }
+
+    /// Exact indoor distance from door `ds` to partition `q` (0 when the
+    /// door opens into `q`).
+    ///
+    /// This is the scalar kernel behind [`Self::door_dists_to_partition`]
+    /// and the warm tier ([`crate::WarmTier`]) alike — both must call this
+    /// one function so their values cannot diverge by a bit.
+    pub fn door_dist_from(&self, ds: DoorId, q: PartitionId) -> f64 {
+        if self.venue.door(ds).partitions().any(|side| side == q) {
+            return 0.0;
+        }
+        self.venue
+            .partition(q)
+            .doors()
+            .iter()
+            .map(|&dt| self.door_to_door(ds, dt))
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Combines per-door facility distances (from

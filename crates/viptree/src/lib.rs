@@ -51,16 +51,21 @@ mod node;
 mod path;
 mod snapshot;
 mod tree;
+pub mod warm;
 
-pub use cache::{DistCache, DistCacheStats, SharedDistCache};
+pub use cache::{
+    CacheAdmission, DistCache, DistCacheStats, SharedDistCache, DEFAULT_CACHE_ENTRIES,
+};
 pub use knn::{FacilityIndex, IncrementalNn, NnEntry};
 pub use matrix::{DistArena, MatRef};
 pub use node::{NodeChildren, NodeId};
 pub use path::IndoorPath;
 pub use snapshot::{
-    SnapshotError, SnapshotInfo, SNAPSHOT_MAGIC, SNAPSHOT_SCHEMA, SNAPSHOT_VERSION,
+    snapshot_schema_for, SnapshotError, SnapshotInfo, SNAPSHOT_MAGIC, SNAPSHOT_MIN_VERSION,
+    SNAPSHOT_SCHEMA, SNAPSHOT_VERSION,
 };
 pub use tree::{VipTree, VipTreeStats};
+pub use warm::{WarmTier, DEFAULT_WARM_BUDGET_BYTES};
 
 // Compile-time audit of the concurrency contract: the index is immutable
 // after construction (no interior mutability, no per-query scratch inside

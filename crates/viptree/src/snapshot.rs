@@ -1,4 +1,4 @@
-//! Versioned, checksummed index snapshots (`ifls-index/v1`).
+//! Versioned, checksummed index snapshots (`ifls-index/v2`).
 //!
 //! A snapshot persists everything `VipTree::build` computes — node layout,
 //! access doors, the flat `DistArena` — so a serving process starts by
@@ -19,11 +19,13 @@
 //!
 //! ```text
 //! magic           8 B   "IFLSIDX\0"
-//! version         u32   1
+//! version         u32   2 (version-1 files remain loadable)
 //! fingerprint     u64   VenueFingerprint of the source venue
 //! config          leaf_max_partitions u32, max_fanout u32, vivid u8, pad [3]
 //! counts          num_partitions u32, num_doors u32, num_nodes u32,
 //!                 root u32, arena_len u64
+//! warm counts     v2 only: warm_targets u32, warm_cells u64,
+//!                 warm_node_mins u64 (all 0 = absent)
 //! nodes           per node: parent u32 (MAX = none), depth u32, height u32,
 //!                 children (tag u8: 0 partitions / 1 nodes; count u32; ids),
 //!                 doors (count u32; ids), access (count u32; positions),
@@ -34,8 +36,17 @@
 //! access pos      per node: child count u32; per child: count u32; values
 //! arena dist      f64 bit patterns, u64 × arena_len
 //! arena hop       u32 × arena_len
+//! warm section    v2 only: target partition u32 × warm_targets, then
+//!                 f64 bit patterns u64 × warm_cells (column-major,
+//!                 warm_cells = warm_targets × num_doors), then
+//!                 f64 bit patterns u64 × warm_node_mins (row-major,
+//!                 warm_node_mins = num_partitions × num_nodes or 0)
 //! checksum        u64   FNV-1a of every byte above
 //! ```
+//!
+//! Version 1 is exactly this layout minus the three `warm counts` fields
+//! and the `warm section`; loading a v1 file yields a tree with no warm
+//! tier.
 
 use std::fmt;
 use std::path::Path;
@@ -51,11 +62,23 @@ use crate::VipTreeConfig;
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"IFLSIDX\0";
 
-/// The format version this build writes and reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// The format version this build writes.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
-/// Schema identifier, for docs and tooling output.
-pub const SNAPSHOT_SCHEMA: &str = "ifls-index/v1";
+/// The oldest format version this build still reads.
+pub const SNAPSHOT_MIN_VERSION: u32 = 1;
+
+/// Schema identifier of the version this build writes.
+pub const SNAPSHOT_SCHEMA: &str = "ifls-index/v2";
+
+/// Schema identifier for a given supported on-disk version (`inspect`
+/// reports the file's actual version, not the writer's).
+pub fn snapshot_schema_for(version: u32) -> &'static str {
+    match version {
+        1 => "ifls-index/v1",
+        _ => SNAPSHOT_SCHEMA,
+    }
+}
 
 /// Why a snapshot could not be saved or loaded.
 ///
@@ -99,7 +122,8 @@ impl fmt::Display for SnapshotError {
             SnapshotError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "snapshot version {v} is newer than supported version {SNAPSHOT_VERSION}"
+                    "snapshot version {v} is outside the supported range \
+                     {SNAPSHOT_MIN_VERSION}..={SNAPSHOT_VERSION}"
                 )
             }
             SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
@@ -151,6 +175,14 @@ pub struct SnapshotInfo {
     pub num_nodes: u32,
     /// Total `DistArena` entries.
     pub arena_entries: u64,
+    /// Warm-tier target partitions (columns); 0 for v1 files or cold
+    /// builds.
+    pub warm_targets: u32,
+    /// Warm-tier precomputed cells (`warm_targets × num_doors`).
+    pub warm_cells: u64,
+    /// Warm-tier precomputed node minima (`num_partitions × num_nodes`,
+    /// or 0 when the matrix is absent).
+    pub warm_node_mins: u64,
     /// Total file size in bytes.
     pub file_bytes: u64,
     /// The verified trailing checksum.
@@ -167,7 +199,8 @@ impl SnapshotInfo {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
         let body = verify_envelope(bytes)?;
         let mut r = Reader { b: body, i: 0 };
-        r.skip(SNAPSHOT_MAGIC.len() + 4)?; // magic + version, verified above
+        r.skip(SNAPSHOT_MAGIC.len())?; // magic, verified above
+        let version = r.u32()?; // in the supported range, verified above
         let fingerprint = VenueFingerprint::from_raw(r.u64()?);
         let config = VipTreeConfig {
             leaf_max_partitions: r.u32()? as usize,
@@ -175,17 +208,27 @@ impl SnapshotInfo {
             vivid: r.u8()? != 0,
         };
         r.skip(3)?; // pad
+        let num_partitions = r.u32()?;
+        let num_doors = r.u32()?;
+        let num_nodes = r.u32()?;
+        let _root = r.u32()?;
+        let arena_entries = r.u64()?;
+        let (warm_targets, warm_cells, warm_node_mins) = if version >= 2 {
+            (r.u32()?, r.u64()?, r.u64()?)
+        } else {
+            (0, 0, 0)
+        };
         Ok(SnapshotInfo {
-            version: SNAPSHOT_VERSION,
+            version,
             fingerprint,
             config,
-            num_partitions: r.u32()?,
-            num_doors: r.u32()?,
-            num_nodes: r.u32()?,
-            arena_entries: {
-                let _root = r.u32()?;
-                r.u64()?
-            },
+            num_partitions,
+            num_doors,
+            num_nodes,
+            arena_entries,
+            warm_targets,
+            warm_cells,
+            warm_node_mins,
             file_bytes: bytes.len() as u64,
             checksum: read_footer(bytes),
         })
@@ -193,7 +236,8 @@ impl SnapshotInfo {
 }
 
 impl<'v> VipTree<'v> {
-    /// Serializes the tree to `ifls-index/v1` bytes.
+    /// Serializes the tree to `ifls-index/v2` bytes (including the warm
+    /// tier, when one is attached).
     pub fn snapshot_bytes(&self) -> Vec<u8> {
         let mut w = Writer::default();
         w.bytes(&SNAPSHOT_MAGIC);
@@ -208,6 +252,12 @@ impl<'v> VipTree<'v> {
         w.u32(self.nodes.len() as u32);
         w.u32(self.root.raw());
         w.u64(self.arena.len() as u64);
+        // Warm counts are in the header so `inspect` sees them without a
+        // full parse; the bulky section itself trails the arena.
+        let warm = self.warm.as_ref();
+        w.u32(warm.map_or(0, |t| t.num_targets() as u32));
+        w.u64(warm.map_or(0, |t| t.cells().len() as u64));
+        w.u64(warm.map_or(0, |t| t.node_min_cells().len() as u64));
         for node in &self.nodes {
             w.u32(node.parent.map_or(u32::MAX, NodeId::raw));
             w.u32(node.depth);
@@ -264,6 +314,17 @@ impl<'v> VipTree<'v> {
         }
         for &h in hop {
             w.u32(h);
+        }
+        if let Some(t) = warm {
+            for &q in t.targets() {
+                w.u32(q.raw());
+            }
+            for &c in t.cells() {
+                w.u64(c.to_bits());
+            }
+            for &c in t.node_min_cells() {
+                w.u64(c.to_bits());
+            }
         }
         let checksum = ifls_indoor::fnv1a(&w.buf);
         w.u64(checksum);
@@ -325,7 +386,8 @@ impl<'v> VipTree<'v> {
         }
         let body = verify_envelope(bytes)?;
         let mut r = Reader { b: body, i: 0 };
-        r.skip(SNAPSHOT_MAGIC.len() + 4)?; // magic + version, verified above
+        r.skip(SNAPSHOT_MAGIC.len())?; // magic, verified above
+        let version = r.u32()?; // in the supported range, verified above
 
         let fingerprint = VenueFingerprint::from_raw(r.u64()?);
         let venue_fp = VenueFingerprint::compute(venue);
@@ -350,8 +412,19 @@ impl<'v> VipTree<'v> {
         let num_nodes = r.u32()? as usize;
         let root = r.u32()?;
         let arena_len = r.u64()? as usize;
+        let (warm_targets, warm_cells, warm_node_mins) = if version >= 2 {
+            (r.u32()? as usize, r.u64()? as usize, r.u64()? as usize)
+        } else {
+            (0, 0, 0)
+        };
         if num_nodes == 0 || root as usize >= num_nodes {
             return Err(SnapshotError::Corrupt("root outside node table"));
+        }
+        if warm_targets > num_partitions || warm_cells != warm_targets * num_doors {
+            return Err(SnapshotError::Corrupt("warm tier counts inconsistent"));
+        }
+        if warm_node_mins != 0 && Some(warm_node_mins) != num_partitions.checked_mul(num_nodes) {
+            return Err(SnapshotError::Corrupt("warm node-min count inconsistent"));
         }
 
         let check_node = |raw: u32| -> Result<NodeId, SnapshotError> {
@@ -469,6 +542,44 @@ impl<'v> VipTree<'v> {
         for _ in 0..arena_len {
             hop.push(r.u32()?);
         }
+        let warm = if warm_targets > 0 || warm_node_mins > 0 {
+            r.need(
+                warm_targets
+                    .checked_mul(4)
+                    .and_then(|t| warm_cells.checked_mul(8).map(|c| t + c))
+                    .and_then(|tc| warm_node_mins.checked_mul(8).map(|m| tc + m))
+                    .ok_or(SnapshotError::Truncated)?,
+            )?;
+            let mut targets = Vec::with_capacity(warm_targets);
+            for _ in 0..warm_targets {
+                let raw = r.u32()?;
+                if raw as usize >= num_partitions {
+                    return Err(SnapshotError::Corrupt("warm target out of range"));
+                }
+                targets.push(PartitionId::new(raw));
+            }
+            let mut cells = Vec::with_capacity(warm_cells);
+            for _ in 0..warm_cells {
+                cells.push(f64::from_bits(r.u64()?));
+            }
+            let mut node_mins = Vec::with_capacity(warm_node_mins);
+            for _ in 0..warm_node_mins {
+                node_mins.push(f64::from_bits(r.u64()?));
+            }
+            Some(
+                crate::warm::WarmTier::from_parts(
+                    num_partitions,
+                    num_doors,
+                    num_nodes,
+                    targets,
+                    cells,
+                    node_mins,
+                )
+                .map_err(SnapshotError::Corrupt)?,
+            )
+        } else {
+            None
+        };
         if r.i != body.len() {
             return Err(SnapshotError::Corrupt("trailing bytes after arena"));
         }
@@ -484,6 +595,7 @@ impl<'v> VipTree<'v> {
             leaf_of,
             door_home,
             child_access_pos,
+            warm,
         })
     }
 
@@ -516,7 +628,7 @@ fn verify_envelope(bytes: &[u8]) -> Result<&[u8], SnapshotError> {
     // Invariant: the length check above guarantees bytes 8..12 exist, so
     // the 4-byte conversion cannot fail on any input (fuzzed or not).
     let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if version != SNAPSHOT_VERSION {
+    if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     let body = &bytes[..bytes.len() - 8];

@@ -31,6 +31,10 @@ pub struct VipTree<'v> {
     /// (outer index = node id of the parent, middle = child ordinal,
     /// inner = the child's access doors in order). Empty vectors for leaves.
     pub(crate) child_access_pos: Vec<Vec<Vec<u32>>>,
+    /// Optional precomputed door-distance tier (built at `index build`
+    /// time or loaded from an `ifls-index/v2` snapshot); never affects
+    /// answers, only whether the cache starts warm.
+    pub(crate) warm: Option<crate::warm::WarmTier>,
 }
 
 impl std::fmt::Debug for VipTree<'_> {

@@ -71,6 +71,75 @@ fn snapshot_of_a_parallel_build_serves_identically() {
     assert_same_answers(&venue, &built, &loaded, "CPH (4-thread build)");
 }
 
+/// A snapshot carrying the warm door-vector tier (`index build
+/// --cache-warm`) serves bit-identically to a cold in-process build: the
+/// tier is precomputed by the same kernel the solvers would call.
+#[test]
+fn warm_snapshot_serves_identically_to_cold_build() {
+    let venue = NamedVenue::CPH.build();
+    let cold = VipTree::build(&venue, VipTreeConfig::default());
+    let mut warm = VipTree::build(&venue, VipTreeConfig::default());
+    let tier = warm.build_warm_tier(ifls::viptree::DEFAULT_WARM_BUDGET_BYTES, 2);
+    warm.set_warm_tier(Some(tier));
+    let bytes = warm.snapshot_bytes();
+    let loaded = VipTree::from_snapshot_bytes(&venue, &bytes).expect("warm round trip");
+    let got = loaded
+        .warm_tier()
+        .expect("warm tier survives the round trip");
+    let want = warm.warm_tier().unwrap();
+    assert_eq!(got.targets(), want.targets(), "warm targets");
+    assert_eq!(got.entries(), want.entries(), "warm cells");
+    assert!(want.has_node_mins(), "CPH node minima fit the budget");
+    assert_eq!(
+        got.node_min_entries(),
+        want.node_min_entries(),
+        "warm node mins"
+    );
+    let info = ifls::viptree::SnapshotInfo::from_bytes(&bytes).expect("info");
+    assert_eq!(info.version, ifls::viptree::SNAPSHOT_VERSION);
+    assert_eq!(info.warm_targets as usize, want.num_targets());
+    assert_eq!(info.warm_cells as usize, want.entries());
+    assert_eq!(info.warm_node_mins as usize, want.node_min_entries());
+    assert_same_answers(&venue, &cold, &loaded, "CPH warm snapshot");
+}
+
+/// A version-1 file — the exact v2 layout minus the warm counts and warm
+/// section — still loads, types as v1, and serves identically. Forged by
+/// byte surgery on a cold v2 snapshot so the test never needs a checked-in
+/// binary fixture.
+#[test]
+fn v1_snapshot_still_loads_and_serves() {
+    let venue = NamedVenue::CPH.build();
+    let built = VipTree::build(&venue, VipTreeConfig::default());
+    let v2 = built.snapshot_bytes();
+
+    // Header layout: magic 8 + version 4 + fingerprint 8 + config 12 +
+    // counts 24 = offset 56, then the v2-only warm counts (u32 + u64 + u64).
+    const WARM_COUNTS_AT: usize = 56;
+    const WARM_COUNTS_LEN: usize = 20;
+    let mut v1 = v2[..v2.len() - 8].to_vec(); // drop the checksum footer
+    assert_eq!(
+        &v1[WARM_COUNTS_AT..WARM_COUNTS_AT + WARM_COUNTS_LEN],
+        &[0u8; WARM_COUNTS_LEN],
+        "cold build must write zero warm counts"
+    );
+    v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+    v1.drain(WARM_COUNTS_AT..WARM_COUNTS_AT + WARM_COUNTS_LEN);
+    let checksum = ifls::indoor::fnv1a(&v1);
+    v1.extend_from_slice(&checksum.to_le_bytes());
+
+    let info = ifls::viptree::SnapshotInfo::from_bytes(&v1).expect("v1 info");
+    assert_eq!(info.version, 1);
+    assert_eq!(info.warm_targets, 0);
+    assert_eq!(
+        ifls::viptree::snapshot_schema_for(info.version),
+        "ifls-index/v1"
+    );
+    let loaded = VipTree::from_snapshot_bytes(&venue, &v1).expect("v1 load");
+    assert!(loaded.warm_tier().is_none(), "v1 files carry no warm tier");
+    assert_same_answers(&venue, &built, &loaded, "CPH v1 snapshot");
+}
+
 #[test]
 fn snapshot_survives_a_disk_round_trip_end_to_end() {
     let venue = NamedVenue::CPH.build();
