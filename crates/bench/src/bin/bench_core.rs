@@ -17,8 +17,11 @@
 //! disabled cache never consults it. `--md PATH` additionally renders the
 //! rows as a markdown report (used to regenerate
 //! `figures_quick_output.md`), `--obs-smoke` runs the disabled-mode
-//! overhead assertion the CI bench-smoke job enforces, and `--cache-smoke`
-//! fails if the cache-on MZB stream regresses the cache-off one by >5%.
+//! overhead assertion the CI bench-smoke job enforces, `--cache-smoke`
+//! fails if the cache-on MZB stream regresses the cache-off one by >5%,
+//! and `--trace-smoke` fails if per-request trace capture plus
+//! flight-recorder offers cost more than 3% on the same stream (or change
+//! any answer bit).
 //!
 //! Results go to `BENCH_core.json` (override with `--out PATH`); the schema
 //! is documented in `EXPERIMENTS.md`. `--quick` shrinks the stream for CI.
@@ -551,6 +554,120 @@ fn cache_smoke() -> i32 {
     0
 }
 
+/// One pass over the stream with tracing enabled, optionally capturing a
+/// per-request trace per query and offering it to `recorder` — the same
+/// per-request work `ifls serve` does around each solver dispatch.
+fn run_traced_stream(
+    tree: &VipTree<'_>,
+    queries: &[Workload],
+    recorder: Option<&ifls_obs::FlightRecorder>,
+) -> (Vec<Fingerprint>, Vec<u128>) {
+    let config = EfficientConfig::default();
+    let mut cache = DistCache::with_enabled(true);
+    let mut fingerprints = Vec::new();
+    let mut times = Vec::new();
+    for w in queries {
+        let started = Instant::now();
+        let scope = recorder.map(|_| ifls_obs::TraceScope::begin(ifls_obs::TraceContext::next()));
+        let o = EfficientIfls::with_config(tree, config).run_with_cache(
+            &w.clients,
+            &w.existing,
+            &w.candidates,
+            &mut cache,
+        );
+        if let (Some(scope), Some(rec)) = (scope, recorder) {
+            if let Some(mut t) = scope.finish() {
+                t.status = 200;
+                t.objective = "minmax".into();
+                t.algorithm = "efficient".into();
+                t.total_ns = started.elapsed().as_nanos() as u64;
+                t.dist_computations = o.stats.dist_computations;
+                t.cache_hits = o.stats.cache_hits;
+                t.cache_misses = o.stats.cache_misses;
+                rec.offer(t);
+            }
+        }
+        times.push(started.elapsed().as_nanos());
+        fingerprints.push(Fingerprint {
+            answer: o.answer.map(|p| p.raw()),
+            objective_bits: o.objective.to_bits(),
+        });
+    }
+    (fingerprints, times)
+}
+
+/// The CI recorder-overhead gate: with tracing enabled either way, adding
+/// per-request trace capture + flight-recorder offers to the MZB stream
+/// must stay within 3% of the capture-off stream and return bit-identical
+/// answers. Best median of three replays per mode, like `--cache-smoke`.
+fn trace_smoke() -> i32 {
+    const RECORDER_BUDGET: f64 = 1.03;
+    let venue = NamedVenue::MZB.build();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let queries = build_stream(&venue, StreamSpec::quick());
+    ifls_obs::set_enabled(true);
+    let _ = ifls_obs::take_local();
+    ifls_obs::seed_trace_ids(1);
+    let recorder = ifls_obs::FlightRecorder::new(64);
+    let best = |rec: Option<&ifls_obs::FlightRecorder>| -> (Vec<Fingerprint>, u128) {
+        let mut best_ns = u128::MAX;
+        let mut fps = Vec::new();
+        for _ in 0..3 {
+            let (f, times) = run_traced_stream(&tree, &queries, rec);
+            best_ns = best_ns.min(median_ns(&times));
+            fps = f;
+        }
+        (fps, best_ns)
+    };
+    let (fps_off, med_off) = best(None);
+    let (fps_on, med_on) = best(Some(&recorder));
+    let _ = ifls_obs::take_local();
+    ifls_obs::set_enabled(false);
+    let ratio = med_on as f64 / med_off.max(1) as f64;
+    println!(
+        "trace-smoke: MZB efficient-minmax recorder-on {:.3} ms vs recorder-off {:.3} ms \
+         ({ratio:.3}x), {} trace(s) retained",
+        ms(med_on),
+        ms(med_off),
+        recorder.len(),
+    );
+    let mut failed = false;
+    if fps_on != fps_off {
+        eprintln!("FAIL: answers diverged between recorder-on and recorder-off");
+        failed = true;
+    }
+    // The retained traces must round-trip through the wire format.
+    let dump = ifls_obs::to_trace_jsonl(&recorder.snapshot(), recorder.capacity());
+    match ifls_obs::validate_trace_jsonl(&dump) {
+        Ok(summary) => {
+            if summary.requests != recorder.len() {
+                eprintln!(
+                    "FAIL: dump carries {} traces, recorder holds {}",
+                    summary.requests,
+                    recorder.len()
+                );
+                failed = true;
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL: recorder dump does not validate: {e}");
+            failed = true;
+        }
+    }
+    if ratio > RECORDER_BUDGET {
+        eprintln!(
+            "FAIL: recorder-on median is {ratio:.3}x the recorder-off median \
+             (budget {RECORDER_BUDGET}x)"
+        );
+        failed = true;
+    }
+    if failed {
+        1
+    } else {
+        0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--obs-smoke") {
@@ -558,6 +675,9 @@ fn main() {
     }
     if args.iter().any(|a| a == "--cache-smoke") {
         std::process::exit(cache_smoke());
+    }
+    if args.iter().any(|a| a == "--trace-smoke") {
+        std::process::exit(trace_smoke());
     }
     let quick = args.iter().any(|a| a == "--quick");
     let build_threads: usize = args

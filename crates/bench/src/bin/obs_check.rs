@@ -1,6 +1,6 @@
 //! CI validator for exported metrics files.
 //!
-//! Two modes, both built on the in-tree validators (no serde):
+//! Three modes, all built on the in-tree validators (no serde):
 //!
 //! * `obs_check <file.jsonl>...` — parses every line with the JSON
 //!   validator and checks the `ifls-obs/v1` contract the smoke job
@@ -11,6 +11,10 @@
 //!   lines, label quoting) as scraped from `ifls serve`'s `/metrics`,
 //!   and optionally requires named event counters (e.g.
 //!   `requests_total`) to be present.
+//! * `obs_check --trace <file.jsonl>...` — validates `ifls-trace/v1`
+//!   flight-recorder dumps (from `GET /debug/requests` or a `SIGUSR1`
+//!   dump): the meta record, every request record's fields, unique trace
+//!   ids, and per-request span self-times summing to at most the total.
 //!
 //! Any violation prints the reason and exits 1.
 
@@ -65,15 +69,35 @@ fn check_prom(path: &str, require_events: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn check_trace(path: &str) -> Result<(), String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let summary = ifls_obs::validate_trace_jsonl(&content).map_err(|e| format!("{path}: {e}"))?;
+    if !summary.has_meta {
+        return Err(format!("{path}: missing the ifls-trace/v1 meta record"));
+    }
+    println!(
+        "{path}: ok ({} request traces, {} span cells, {} degraded, {} shed, {} panicked, {} SLO violations)",
+        summary.requests,
+        summary.spans,
+        summary.degraded,
+        summary.shed,
+        summary.panicked,
+        summary.slo_violations
+    );
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut prom = false;
+    let mut trace = false;
     let mut require_events = Vec::new();
     let mut paths = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--prom" => prom = true,
+            "--trace" => trace = true,
             "--require-event" => {
                 i += 1;
                 match args.get(i) {
@@ -88,9 +112,9 @@ fn main() {
         }
         i += 1;
     }
-    if paths.is_empty() || (!prom && !require_events.is_empty()) {
+    if paths.is_empty() || (!prom && !require_events.is_empty()) || (prom && trace) {
         eprintln!(
-            "usage: obs_check <metrics.jsonl>...\n       obs_check --prom [--require-event NAME]... <metrics.prom>..."
+            "usage: obs_check <metrics.jsonl>...\n       obs_check --prom [--require-event NAME]... <metrics.prom>...\n       obs_check --trace <trace.jsonl>..."
         );
         std::process::exit(2);
     }
@@ -98,6 +122,8 @@ fn main() {
     for path in &paths {
         let result = if prom {
             check_prom(path, &require_events)
+        } else if trace {
+            check_trace(path)
         } else {
             check_jsonl(path)
         };

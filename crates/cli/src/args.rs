@@ -17,6 +17,7 @@ commands:
                                                build + save an ifls-index/v2 snapshot
   index inspect --index FILE                   describe a snapshot without loading it
   serve   --venue <spec> [server options]      long-lived HTTP/1.1 query daemon
+  trace   --input FILE [--top N] [--json]      inspect an ifls-trace/v1 dump
 
 venue specs:
   named:mc | named:ch | named:cph | named:mzb  the paper's venues
@@ -71,6 +72,19 @@ serve options:
   --no-cache-admission  default the per-query cache admission controller off
                      for requests that do not name `cache_admission`
   --strict           refuse the --index-or-build rebuild fallback at startup
+  --slo-ms N         SLO latency target for /query; /metrics then tracks
+                     slo_requests_good/bad and the remaining error budget
+  --recorder-capacity N  flight-recorder size: request traces retained for
+                     GET /debug/requests (default 64; 0 disables tracing)
+  --trace-dump FILE  where SIGUSR1 dumps the recorder's traces as
+                     ifls-trace/v1 JSONL (default ifls-trace-dump.jsonl)
+  --no-trace-dump    do not install the SIGUSR1 dump handler
+
+trace options:
+  --input FILE       ifls-trace/v1 JSONL dump (from GET /debug/requests or a
+                     SIGUSR1 dump) to analyze offline
+  --top N            rows in the slowest-requests table (default 10)
+  --json             print a machine-readable summary object instead
 
 index build options:
   --cache-warm       precompute the high-reuse door-vector warm tier and ship
@@ -139,6 +153,15 @@ pub enum Command {
         /// Daemon options.
         args: ServeArgs,
     },
+    /// `ifls trace`.
+    Trace {
+        /// `ifls-trace/v1` JSONL dump to analyze.
+        input: String,
+        /// Rows in the slowest-requests table.
+        top: usize,
+        /// Print a machine-readable summary instead of the tables.
+        json: bool,
+    },
 }
 
 /// Options for `ifls serve`.
@@ -167,6 +190,13 @@ pub struct ServeArgs {
     /// Default for requests that do not name `cache_admission`
     /// (`--no-cache-admission` clears it).
     pub cache_admission: bool,
+    /// SLO latency target for `/query` in milliseconds (`None` = no SLO
+    /// accounting).
+    pub slo_ms: Option<u64>,
+    /// Flight-recorder capacity (0 disables per-request tracing).
+    pub recorder_capacity: usize,
+    /// `SIGUSR1` trace-dump path (`--no-trace-dump` clears it).
+    pub trace_dump: Option<String>,
 }
 
 impl Default for ServeArgs {
@@ -183,6 +213,9 @@ impl Default for ServeArgs {
             strict: false,
             build_threads: 0,
             cache_admission: true,
+            slo_ms: None,
+            recorder_capacity: 64,
+            trace_dump: Some("ifls-trace-dump.jsonl".into()),
         }
     }
 }
@@ -548,12 +581,36 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--build-threads" => a.build_threads = cur.parsed("--build-threads")?,
                     "--no-cache-admission" => a.cache_admission = false,
                     "--strict" => a.strict = true,
+                    "--slo-ms" => a.slo_ms = Some(cur.parsed("--slo-ms")?),
+                    "--recorder-capacity" => {
+                        a.recorder_capacity = cur.parsed("--recorder-capacity")?
+                    }
+                    "--trace-dump" => a.trace_dump = Some(cur.value("--trace-dump")?.to_string()),
+                    "--no-trace-dump" => a.trace_dump = None,
                     other => return Err(ParseError::UnknownOption(other.to_string())),
                 }
             }
             Ok(Command::Serve {
                 venue: venue.ok_or(ParseError::MissingOption("--venue"))?,
                 args: a,
+            })
+        }
+        "trace" => {
+            let mut input = None;
+            let mut top = 10usize;
+            let mut json = false;
+            while let Some(opt) = cur.next() {
+                match opt {
+                    "--input" => input = Some(cur.value("--input")?.to_string()),
+                    "--top" => top = cur.parsed("--top")?,
+                    "--json" => json = true,
+                    other => return Err(ParseError::UnknownOption(other.to_string())),
+                }
+            }
+            Ok(Command::Trace {
+                input: input.ok_or(ParseError::MissingOption("--input"))?,
+                top,
+                json,
             })
         }
         other => Err(ParseError::UnknownCommand(other.to_string())),
@@ -892,6 +949,12 @@ mod tests {
             "--build-threads",
             "2",
             "--strict",
+            "--slo-ms",
+            "50",
+            "--recorder-capacity",
+            "128",
+            "--trace-dump",
+            "dump.jsonl",
         ]))
         .unwrap()
         {
@@ -906,7 +969,14 @@ mod tests {
                 assert!(args.index_or_build);
                 assert_eq!(args.build_threads, 2);
                 assert!(args.strict);
+                assert_eq!(args.slo_ms, Some(50));
+                assert_eq!(args.recorder_capacity, 128);
+                assert_eq!(args.trace_dump.as_deref(), Some("dump.jsonl"));
             }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&v(&["serve", "--venue", "x", "--no-trace-dump"])).unwrap() {
+            Command::Serve { args, .. } => assert_eq!(args.trace_dump, None),
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(
@@ -916,6 +986,34 @@ mod tests {
         assert_eq!(
             parse(&v(&["serve", "--venue", "x", "--top", "3"])),
             Err(ParseError::UnknownOption("--top".into()))
+        );
+    }
+
+    #[test]
+    fn parses_trace_command() {
+        assert_eq!(
+            parse(&v(&["trace", "--input", "dump.jsonl"])).unwrap(),
+            Command::Trace {
+                input: "dump.jsonl".into(),
+                top: 10,
+                json: false,
+            }
+        );
+        assert_eq!(
+            parse(&v(&["trace", "--input", "d.jsonl", "--top", "3", "--json"])).unwrap(),
+            Command::Trace {
+                input: "d.jsonl".into(),
+                top: 3,
+                json: true,
+            }
+        );
+        assert_eq!(
+            parse(&v(&["trace"])),
+            Err(ParseError::MissingOption("--input"))
+        );
+        assert_eq!(
+            parse(&v(&["trace", "--input", "d", "--venue", "x"])),
+            Err(ParseError::UnknownOption("--venue".into()))
         );
     }
 

@@ -253,6 +253,130 @@ fn stats_json_line(
     )
 }
 
+/// Renders the `ifls trace` report over a validated `ifls-trace/v1` dump:
+/// headline counts, the top-N slowest-request table, and the per-phase
+/// self-time breakdown — or one machine-readable summary object under
+/// `--json`.
+fn render_trace_report(
+    input: &str,
+    summary: &ifls_obs::TraceSummary,
+    traces: &[ifls_obs::RequestTrace],
+    top: usize,
+    json: bool,
+) -> String {
+    if json {
+        return format!(
+            concat!(
+                "{{\"schema\":\"ifls-trace-summary/v1\",\"requests\":{},",
+                "\"degraded\":{},\"shed\":{},\"panicked\":{},",
+                "\"slo_violations\":{},\"spans\":{}}}"
+            ),
+            summary.requests,
+            summary.degraded,
+            summary.shed,
+            summary.panicked,
+            summary.slo_violations,
+            summary.spans,
+        );
+    }
+    let mut out = format!(
+        "trace dump `{input}`: {} request(s) ({} degraded, {} shed, {} panicked, {} SLO violations)\n",
+        summary.requests, summary.degraded, summary.shed, summary.panicked, summary.slo_violations
+    );
+    let mut by_latency: Vec<&ifls_obs::RequestTrace> = traces.iter().collect();
+    by_latency.sort_by(|a, b| {
+        b.total_ns
+            .cmp(&a.total_ns)
+            .then(a.trace_id.cmp(&b.trace_id))
+    });
+    out.push_str("\nslowest requests:\n");
+    out.push_str(&format!(
+        "  {:>8} {:>6} {:>9} {:>10} {:>12} {:>12} {:>8}  flags\n",
+        "trace", "status", "objective", "algorithm", "total", "queue wait", "dists"
+    ));
+    for t in by_latency.iter().take(top) {
+        let mut flags = Vec::new();
+        if t.degraded {
+            flags.push(if t.reason.is_empty() {
+                "degraded".to_string()
+            } else {
+                format!("degraded({})", t.reason)
+            });
+        }
+        if t.shed {
+            flags.push("shed".into());
+        }
+        if t.panicked {
+            flags.push("panicked".into());
+        }
+        if t.slo_violation {
+            flags.push("slo".into());
+        }
+        out.push_str(&format!(
+            "  {:>8} {:>6} {:>9} {:>10} {:>12?} {:>12?} {:>8}  {}\n",
+            t.trace_id,
+            t.status,
+            if t.objective.is_empty() {
+                "-"
+            } else {
+                &t.objective
+            },
+            if t.algorithm.is_empty() {
+                "-"
+            } else {
+                &t.algorithm
+            },
+            std::time::Duration::from_nanos(t.total_ns),
+            std::time::Duration::from_nanos(t.queue_wait_ns),
+            t.dist_computations,
+            if flags.is_empty() {
+                "-".to_string()
+            } else {
+                flags.join(",")
+            },
+        ));
+    }
+    // Self-times attribute each nanosecond to exactly one phase, so the
+    // fold across requests is a sound where-did-the-time-go breakdown.
+    let mut phases: Vec<(&'static str, u64, u64)> = Vec::new();
+    for t in traces {
+        for s in &t.spans {
+            let name = s.phase.name();
+            match phases.iter_mut().find(|e| e.0 == name) {
+                Some(e) => {
+                    e.1 += s.self_ns;
+                    e.2 += s.count;
+                }
+                None => phases.push((name, s.self_ns, s.count)),
+            }
+        }
+    }
+    phases.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let total_self: u64 = phases.iter().map(|e| e.1).sum();
+    if !phases.is_empty() {
+        out.push_str("\nper-phase self time (all requests):\n");
+        out.push_str(&format!(
+            "  {:<16} {:>12} {:>7} {:>10}\n",
+            "phase", "self", "share", "spans"
+        ));
+        for (name, self_ns, count) in &phases {
+            let share = if total_self > 0 {
+                100.0 * *self_ns as f64 / total_self as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {:<16} {:>12?} {:>6.1}% {:>10}\n",
+                name,
+                std::time::Duration::from_nanos(*self_ns),
+                share,
+                count,
+            ));
+        }
+    }
+    out
+}
+
 /// Executes a parsed command, returning its human-readable output.
 pub fn execute(cmd: &Command) -> Result<String, CommandError> {
     match cmd {
@@ -562,6 +686,9 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 strict: args.strict,
                 build_threads: args.build_threads,
                 default_cache_admission: args.cache_admission,
+                slo_ms: args.slo_ms,
+                recorder_capacity: args.recorder_capacity,
+                trace_dump: args.trace_dump.as_ref().map(std::path::PathBuf::from),
                 ..ifls_serve::ServeOptions::default()
             };
             let server = ifls_serve::Server::start(v, opts)
@@ -577,6 +704,12 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
             loop {
                 std::thread::park();
             }
+        }
+        Command::Trace { input, top, json } => {
+            let text = std::fs::read_to_string(input)?;
+            let (summary, traces) = ifls_obs::parse_trace_jsonl(&text)
+                .map_err(|e| CommandError::Invalid(format!("`{input}`: {e}")))?;
+            Ok(render_trace_report(input, &summary, &traces, *top, *json))
         }
         Command::IndexInspect { path } => {
             let info = SnapshotInfo::read(std::path::Path::new(path))
@@ -1187,6 +1320,67 @@ mod tests {
         let json = execute(&parse(&v(base)).unwrap()).unwrap();
         assert!(json.contains("\"degraded\":false"), "{json}");
         assert!(json.contains("\"budget_reason\":null"), "{json}");
+    }
+
+    #[test]
+    fn trace_command_reports_slowest_requests_and_phase_breakdown() {
+        let dir = std::env::temp_dir().join("ifls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let traces = vec![
+            ifls_obs::RequestTrace {
+                trace_id: 7,
+                status: 200,
+                objective: "minmax".into(),
+                algorithm: "efficient".into(),
+                total_ns: 5_000_000,
+                queue_wait_ns: 1_000,
+                dist_computations: 42,
+                spans: vec![ifls_obs::TraceSpan {
+                    phase: ifls_obs::Phase::CandidateLoop,
+                    depth: 0,
+                    count: 1,
+                    total_ns: 4_000_000,
+                    self_ns: 4_000_000,
+                }],
+                ..ifls_obs::RequestTrace::default()
+            },
+            ifls_obs::RequestTrace {
+                trace_id: 9,
+                status: 200,
+                objective: "minmax".into(),
+                algorithm: "efficient".into(),
+                total_ns: 9_000_000,
+                degraded: true,
+                gap: 2.5,
+                reason: "deadline".into(),
+                slo_violation: true,
+                ..ifls_obs::RequestTrace::default()
+            },
+        ];
+        std::fs::write(&path, ifls_obs::to_trace_jsonl(&traces, 8)).unwrap();
+        let input = path.to_str().unwrap();
+        let out = execute(&parse(&v(&["trace", "--input", input, "--top", "5"])).unwrap()).unwrap();
+        assert!(out.contains("2 request(s) (1 degraded"), "{out}");
+        assert!(out.contains("degraded(deadline)"), "{out}");
+        assert!(out.contains("candidate_loop"), "{out}");
+        // The slowest (degraded) request sorts first.
+        let slow_line = out.lines().position(|l| l.contains("9ms")).unwrap();
+        let fast_line = out.lines().position(|l| l.contains("5ms")).unwrap();
+        assert!(slow_line < fast_line, "{out}");
+        let json = execute(&parse(&v(&["trace", "--input", input, "--json"])).unwrap()).unwrap();
+        assert!(
+            json.contains("\"schema\":\"ifls-trace-summary/v1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"requests\":2"), "{json}");
+        assert!(json.contains("\"slo_violations\":1"), "{json}");
+        // A corrupt dump is a typed error, not a panic.
+        std::fs::write(&path, "{\"type\":\"nonsense\"}\n").unwrap();
+        assert!(matches!(
+            execute(&parse(&v(&["trace", "--input", input])).unwrap()),
+            Err(CommandError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -227,6 +227,55 @@ pub fn solve(
     Ok(summary)
 }
 
+/// Answers one IFLS query while capturing a per-request span trace under
+/// `ctx` (see [`ifls_obs::TraceScope`]).
+///
+/// The solver dispatch is *exactly* [`solve`] — the scope only observes
+/// the span closures the aggregate sink already records, so answers and
+/// stats are bit-identical with tracing on or off. The returned
+/// [`ifls_obs::RequestTrace`] carries the span tree plus the solver-side
+/// outcome fields (objective/algorithm, dist computations, cache
+/// hits/misses, degradation state); the caller overwrites `total_ns` and
+/// fills transport-side fields (status, queue wait). `None` when
+/// observability is disabled or another trace is already active on this
+/// thread.
+///
+/// With [`Algorithm::Parallel`], worker-thread spans reach the aggregate
+/// sink through the coordinator's merge as always but are not part of the
+/// per-request tree (capture is thread-local); the coordinator-side spans
+/// and all outcome fields still are.
+pub fn solve_traced(
+    tree: &VipTree<'_>,
+    clients: &[IndoorPoint],
+    existing: &[PartitionId],
+    candidates: &[PartitionId],
+    spec: &SolveSpec,
+    budget: &Budget,
+    ctx: ifls_obs::TraceContext,
+) -> Result<(QuerySummary, Option<ifls_obs::RequestTrace>), WorkerPanic> {
+    let scope = ifls_obs::TraceScope::begin(ctx);
+    let result = solve(tree, clients, existing, candidates, spec, budget);
+    let trace = scope.finish();
+    let summary = result?;
+    let trace = trace.map(|mut t| {
+        t.objective = spec.objective.name().to_owned();
+        t.algorithm = spec.algorithm.name().to_owned();
+        t.total_ns = summary.stats.elapsed.as_nanos() as u64;
+        t.dist_computations = summary.stats.dist_computations;
+        t.cache_hits = summary.stats.cache_hits;
+        t.cache_misses = summary.stats.cache_misses;
+        t.degraded = !summary.resolution.is_exact();
+        t.gap = summary.resolution.gap();
+        t.reason = summary
+            .resolution
+            .reason()
+            .map(|r| r.label().to_owned())
+            .unwrap_or_default();
+        t
+    });
+    Ok((summary, trace))
+}
+
 /// Escapes a string for embedding in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -429,6 +478,75 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn solve_traced_is_bit_identical_and_captures_spans() {
+        let venue = GridVenueSpec::new("api-trace", 2, 10).build();
+        let tree = VipTree::build(&venue, VipTreeConfig::default());
+        let w = WorkloadBuilder::new(&venue)
+            .clients_uniform(40)
+            .existing_uniform(2)
+            .candidates_uniform(5)
+            .seed(7)
+            .build();
+        let spec = SolveSpec::default();
+        let budget = Budget::unlimited();
+        let plain = solve(
+            &tree,
+            &w.clients,
+            &w.existing,
+            &w.candidates,
+            &spec,
+            &budget,
+        )
+        .unwrap();
+        ifls_obs::set_enabled(true);
+        let _ = ifls_obs::take_local();
+        let (traced, trace) = solve_traced(
+            &tree,
+            &w.clients,
+            &w.existing,
+            &w.candidates,
+            &spec,
+            &budget,
+            ifls_obs::TraceContext::with_id(42),
+        )
+        .unwrap();
+        ifls_obs::set_enabled(false);
+        let _ = ifls_obs::take_local();
+        // Tracing observes; it never changes the answer.
+        assert_eq!(traced.answer, plain.answer);
+        assert_eq!(traced.value, plain.value);
+        assert_eq!(
+            traced.stats.dist_computations,
+            plain.stats.dist_computations
+        );
+        let t = trace.expect("obs enabled: a trace must be captured");
+        assert_eq!(t.trace_id, 42);
+        assert_eq!(t.objective, "minmax");
+        assert_eq!(t.algorithm, "efficient");
+        assert_eq!(t.dist_computations, traced.stats.dist_computations);
+        assert!(!t.degraded);
+        assert!(!t.spans.is_empty(), "solver spans must be captured");
+        let self_sum: u64 = t.spans.iter().map(|s| s.self_ns).sum();
+        assert!(
+            self_sum <= t.total_ns,
+            "self-time sum {self_sum} exceeds elapsed {}",
+            t.total_ns
+        );
+        // Disabled mode: the scope is inert.
+        let (_, none) = solve_traced(
+            &tree,
+            &w.clients,
+            &w.existing,
+            &w.candidates,
+            &spec,
+            &budget,
+            ifls_obs::TraceContext::with_id(43),
+        )
+        .unwrap();
+        assert!(none.is_none());
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub fn to_text(sink: &ObsSink) -> String {
 }
 
 /// A finite `f64` as a JSON number (`null` for NaN/±∞, which JSON lacks).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         // `{}` on a finite f64 prints no exponent and integers without a
         // dot — both valid JSON numbers.

@@ -28,6 +28,11 @@
 //! * **Gauges** ([`gauge_set`]) are last-write-wins named `f64` readings.
 //! * **Histograms** ([`record_ns`]) are named fixed-bucket log2 latency
 //!   histograms ([`LatencyHistogram`]) with interpolated p50/p95/p99.
+//! * **Request traces** ([`TraceScope`] under a [`TraceContext`]) capture
+//!   one request's span closures into a bounded per-`(phase, depth)` tree;
+//!   a [`FlightRecorder`] tail-samples completed traces (the K slowest
+//!   plus every degraded/shed/panicked request) for `GET /debug/requests`
+//!   and `ifls trace` (schema `ifls-trace/v1`).
 //!
 //! All records land in a per-thread [`ObsSink`]. The parallel engine drains
 //! each worker's sink at join ([`take_local`]) and folds it into the
@@ -59,6 +64,7 @@
 mod export;
 mod metrics;
 mod span;
+mod trace;
 
 pub use export::{
     to_jsonl, to_prometheus, to_text, validate_json_line, validate_jsonl, validate_prometheus,
@@ -66,6 +72,11 @@ pub use export::{
 };
 pub use metrics::{Counter, LatencyHistogram, ObsSink, SpanAgg, HIST_BUCKETS};
 pub use span::{span, SpanGuard};
+pub use trace::{
+    parse_trace_jsonl, seed_trace_ids, to_trace_jsonl, trace_json_line, validate_trace_jsonl,
+    FlightRecorder, RequestTrace, TraceContext, TraceScope, TraceSpan, TraceSummary,
+    MAX_TRACE_DEPTH, TRACE_SCHEMA,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -61,10 +61,21 @@ pub enum Counter {
     /// `DistCache` misses whose insert was rejected because admission was
     /// off (the kernel still ran; the result was not retained).
     CacheInsertsRejected = 18,
+    /// `ifls serve` queries that met the configured `--slo-ms` target
+    /// (status 200 within the target latency).
+    SloGood = 19,
+    /// `ifls serve` queries that missed the SLO target (over-latency or
+    /// a non-200 solver outcome).
+    SloBad = 20,
+    /// Request traces admitted by the flight recorder.
+    TracesRecorded = 21,
+    /// Request traces the flight recorder declined (healthy and faster
+    /// than everything retained).
+    TracesDropped = 22,
 }
 
 /// Number of counter slots (the length of [`Counter::ALL`]).
-pub(crate) const NUM_COUNTERS: usize = 19;
+pub(crate) const NUM_COUNTERS: usize = 23;
 
 impl Counter {
     /// Every counter, in canonical export order.
@@ -88,6 +99,10 @@ impl Counter {
         Counter::CacheAdmissionOn,
         Counter::CacheAdmissionOff,
         Counter::CacheInsertsRejected,
+        Counter::SloGood,
+        Counter::SloBad,
+        Counter::TracesRecorded,
+        Counter::TracesDropped,
     ];
 
     /// Stable snake_case name used by every exporter.
@@ -112,6 +127,10 @@ impl Counter {
             Counter::CacheAdmissionOn => "cache_admission_on",
             Counter::CacheAdmissionOff => "cache_admission_off",
             Counter::CacheInsertsRejected => "cache_inserts_rejected",
+            Counter::SloGood => "slo_requests_good",
+            Counter::SloBad => "slo_requests_bad",
+            Counter::TracesRecorded => "traces_recorded",
+            Counter::TracesDropped => "traces_dropped",
         }
     }
 

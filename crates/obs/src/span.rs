@@ -64,6 +64,10 @@ impl Drop for SpanGuard {
                 let total_ns = frame.start.elapsed().as_nanos() as u64;
                 let self_ns = total_ns.saturating_sub(frame.child_ns);
                 metrics::record_span_local(frame.phase, total_ns, self_ns);
+                // Feed an active per-request trace, if any (see
+                // `crate::trace`): same numbers, observed not redirected,
+                // so the aggregate sink is unaffected.
+                crate::trace::record_trace_span(frame.phase, s.len(), total_ns, self_ns);
                 if let Some(parent) = s.last_mut() {
                     parent.child_ns += total_ns;
                 }

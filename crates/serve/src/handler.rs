@@ -1,16 +1,22 @@
-//! Request routing and the four endpoints.
+//! Request routing and the five endpoints.
 //!
-//! | method | path       | purpose                                         |
-//! |--------|------------|-------------------------------------------------|
-//! | POST   | `/query`   | answer one IFLS query (`ifls-stats/v1` NDJSON)  |
-//! | GET    | `/metrics` | Prometheus text exposition of the server sink   |
-//! | GET    | `/healthz` | liveness + installed-index provenance           |
-//! | POST   | `/reload`  | re-validate and hot-swap the snapshot           |
+//! | method | path              | purpose                                        |
+//! |--------|-------------------|------------------------------------------------|
+//! | POST   | `/query`          | answer one IFLS query (`ifls-stats/v1` NDJSON) |
+//! | GET    | `/metrics`        | Prometheus text exposition of the server sink  |
+//! | GET    | `/healthz`        | liveness + installed-index provenance          |
+//! | POST   | `/reload`         | re-validate and hot-swap the snapshot          |
+//! | GET    | `/debug/requests` | flight-recorder traces (`ifls-trace/v1` JSONL) |
 //!
 //! Every failure is a typed JSON error (`ifls-serve-error/v1`): a `kind`
 //! machine code plus a human `detail`. Handlers validate *before* work —
 //! any input that could make library code panic (oversized facility
 //! counts, non-positive sigma) is refused with a 4xx instead.
+//!
+//! When the flight recorder is on, [`route`] additionally returns the
+//! request's partially-filled [`obs::RequestTrace`]; the transport loop in
+//! `lib.rs` finalizes it (status, full wall time, queue wait, SLO verdict)
+//! and offers it to the recorder.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -39,19 +45,39 @@ pub(crate) fn error_response(status: u16, kind: &str, detail: &str) -> Response 
     Response::new(status, "application/json", body)
 }
 
-/// Dispatches one request to its endpoint.
-pub(crate) fn route(shared: &Arc<Shared>, req: &Request) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/query") => query(shared, req),
+/// Dispatches one request to its endpoint. `ctx` is `Some` exactly when
+/// the flight recorder is on; the returned trace mirrors that.
+pub(crate) fn route(
+    shared: &Arc<Shared>,
+    req: &Request,
+    ctx: Option<obs::TraceContext>,
+) -> (Response, Option<obs::RequestTrace>) {
+    if let ("POST", "/query") = (req.method.as_str(), req.path.as_str()) {
+        return query(shared, req, ctx);
+    }
+    let resp = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/metrics") => metrics(shared),
         ("GET", "/healthz") => healthz(shared),
+        ("GET", "/debug/requests") => debug_requests(shared),
         ("POST", "/reload") => reload(shared, req),
         (_, "/query") | (_, "/reload") => error_response(405, "method_not_allowed", "use POST")
             .with_header("Allow", "POST".into()),
-        (_, "/metrics") | (_, "/healthz") => {
+        (_, "/metrics") | (_, "/healthz") | (_, "/debug/requests") => {
             error_response(405, "method_not_allowed", "use GET").with_header("Allow", "GET".into())
         }
         (_, path) => error_response(404, "not_found", &format!("no such endpoint `{path}`")),
+    };
+    // Non-query endpoints still yield a (spanless) trace so every answered
+    // request is accounted for by the recorder's offer path.
+    (resp, ctx.map(base_trace))
+}
+
+/// A trace carrying only the request's identity; everything else is
+/// filled by the transport loop after the response is built.
+fn base_trace(ctx: obs::TraceContext) -> obs::RequestTrace {
+    obs::RequestTrace {
+        trace_id: ctx.trace_id(),
+        ..obs::RequestTrace::default()
     }
 }
 
@@ -162,7 +188,28 @@ fn parse_query_request(
     Ok(q)
 }
 
-fn query(shared: &Arc<Shared>, req: &Request) -> Response {
+fn query(
+    shared: &Arc<Shared>,
+    req: &Request,
+    ctx: Option<obs::TraceContext>,
+) -> (Response, Option<obs::RequestTrace>) {
+    let mut trace = None;
+    let resp = query_inner(shared, req, ctx, &mut trace);
+    // Requests refused before the solver ran (4xx) fall back to an
+    // identity-only trace so they still reach the recorder.
+    let trace = trace.or_else(|| ctx.map(base_trace));
+    (resp, trace)
+}
+
+/// The `/query` body: parse → validate → solve → render. Early returns are
+/// all typed errors; on a solver dispatch under an active `ctx` the solver
+/// trace is handed out through `trace_out`.
+fn query_inner(
+    shared: &Arc<Shared>,
+    req: &Request,
+    ctx: Option<obs::TraceContext>,
+    trace_out: &mut Option<obs::RequestTrace>,
+) -> Response {
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) if !s.trim().is_empty() => s,
         Ok(_) => "{}",
@@ -249,14 +296,30 @@ fn query(shared: &Arc<Shared>, req: &Request) -> Response {
         dist_cache: q.dist_cache,
         cache_admission: q.cache_admission,
     };
-    let summary = match api::solve(
-        &tv.tree,
-        &w.clients,
-        &w.existing,
-        &w.candidates,
-        &spec,
-        &budget,
-    ) {
+    let result = match ctx {
+        Some(c) => api::solve_traced(
+            &tv.tree,
+            &w.clients,
+            &w.existing,
+            &w.candidates,
+            &spec,
+            &budget,
+            c,
+        )
+        .map(|(summary, t)| {
+            *trace_out = t;
+            summary
+        }),
+        None => api::solve(
+            &tv.tree,
+            &w.clients,
+            &w.existing,
+            &w.candidates,
+            &spec,
+            &budget,
+        ),
+    };
+    let summary = match result {
         Ok(s) => s,
         Err(e) => {
             return error_response(
@@ -282,19 +345,77 @@ fn query(shared: &Arc<Shared>, req: &Request) -> Response {
         .with_header("Index-Version", tv.version.to_string())
 }
 
+/// Good-request fraction the SLO error budget is sized against: a 99%
+/// availability target leaves 1% of tracked requests as the budget.
+const SLO_TARGET_GOOD_FRACTION: f64 = 0.99;
+
+/// Remaining fraction of the SLO error budget: `1 - bad / (allowed bad)`.
+/// `1.0` with nothing tracked yet; negative once the budget is blown.
+fn slo_error_budget_remaining(good: u64, bad: u64) -> f64 {
+    let total = (good + bad) as f64;
+    if total <= 0.0 {
+        return 1.0;
+    }
+    let allowed = total * (1.0 - SLO_TARGET_GOOD_FRACTION);
+    1.0 - (bad as f64) / allowed
+}
+
 fn metrics(shared: &Arc<Shared>) -> Response {
     // Fold this thread's pending records plus the live queue depth in, so
     // one scrape sees a consistent, current sink.
     obs::gauge_set("queue_depth", shared.queue.depth() as f64);
     obs::gauge_set("queue_capacity", shared.queue.capacity() as f64);
+    if let Some(slo_ms) = shared.opts.slo_ms {
+        let (good, bad) = {
+            let sink = lock_unpoisoned(&shared.metrics);
+            (
+                sink.counter(obs::Counter::SloGood),
+                sink.counter(obs::Counter::SloBad),
+            )
+        };
+        obs::gauge_set("slo_target_ms", slo_ms as f64);
+        obs::gauge_set(
+            "slo_error_budget_remaining",
+            slo_error_budget_remaining(good, bad),
+        );
+    }
     shared.flush_local_obs();
     let sink = lock_unpoisoned(&shared.metrics).clone();
     Response::new(200, "text/plain; version=0.0.4", obs::to_prometheus(&sink))
 }
 
+/// `GET /debug/requests`: the flight recorder's retained traces as
+/// `ifls-trace/v1` JSONL (meta line first, then one record per trace,
+/// best-ranked first).
+fn debug_requests(shared: &Arc<Shared>) -> Response {
+    match &shared.recorder {
+        Some(rec) => Response::new(
+            200,
+            "application/x-ndjson",
+            obs::to_trace_jsonl(&rec.snapshot(), rec.capacity()),
+        ),
+        None => error_response(
+            404,
+            "recorder_disabled",
+            "the daemon was started with recorder capacity 0",
+        ),
+    }
+}
+
 fn healthz(shared: &Arc<Shared>) -> Response {
     let tv = shared.current_tree();
     let warm = tv.tree.warm_tier();
+    // Flush first so this worker's own served requests are visible in the
+    // totals a health probe reads.
+    shared.flush_local_obs();
+    let (requests_total, requests_shed, serve_panics) = {
+        let sink = lock_unpoisoned(&shared.metrics);
+        (
+            sink.counter(obs::Counter::RequestsTotal),
+            sink.counter(obs::Counter::RequestsShed),
+            sink.counter(obs::Counter::ServePanics),
+        )
+    };
     let body = format!(
         concat!(
             "{{\"schema\":\"ifls-serve-health/v1\",\"status\":\"ok\",",
@@ -302,6 +423,9 @@ fn healthz(shared: &Arc<Shared>) -> Response {
             "\"index_version\":{version},\"source\":\"{source}\",",
             "\"uptime_ms\":{uptime},\"queue_depth\":{depth},",
             "\"queue_capacity\":{capacity},",
+            "\"requests_total\":{requests_total},",
+            "\"requests_shed\":{requests_shed},",
+            "\"serve_panics\":{serve_panics},",
             "\"warm_targets\":{warm_targets},\"warm_bytes\":{warm_bytes}}}\n"
         ),
         venue = api::json_escape(shared.venue.name()),
@@ -311,6 +435,9 @@ fn healthz(shared: &Arc<Shared>) -> Response {
         uptime = shared.started.elapsed().as_millis(),
         depth = shared.queue.depth(),
         capacity = shared.queue.capacity(),
+        requests_total = requests_total,
+        requests_shed = requests_shed,
+        serve_panics = serve_panics,
         warm_targets = warm.map_or(0, ifls_viptree::WarmTier::num_targets),
         warm_bytes = warm.map_or(0, ifls_viptree::WarmTier::approx_bytes),
     );

@@ -27,6 +27,13 @@
 //!    `Mutex<Arc<VipTree>>`. In-flight queries keep the [`Arc`] they
 //!    cloned and drain on the old index; a refused snapshot leaves the old
 //!    index serving and reports a typed reason.
+//! 4. **"Why was that slow?" is answerable.** Every request is traced end
+//!    to end — queue wait, per-phase self-times, cache and budget state —
+//!    and a fixed-capacity flight recorder retains the K slowest plus
+//!    every degraded/shed/panicked request for `GET /debug/requests`,
+//!    `SIGUSR1` dumps and offline `ifls trace` analysis, while `/metrics`
+//!    tracks per-(objective × algorithm) latency and an SLO error budget
+//!    ([`ServeOptions::slo_ms`]).
 //!
 //! Protocol grammar, status codes and watermark semantics are documented
 //! in DESIGN.md §12.
@@ -93,6 +100,20 @@ pub struct ServeOptions {
     /// the distance cache's adaptive admission controller may gate the
     /// local tier (`false` pins admission always-on).
     pub default_cache_admission: bool,
+    /// SLO latency target for `/query` requests, in milliseconds. When
+    /// set, every answered query ticks `slo_requests_good` or
+    /// `slo_requests_bad` and `/metrics` exports the remaining error
+    /// budget as a gauge. `None` disables SLO accounting.
+    pub slo_ms: Option<u64>,
+    /// Flight-recorder capacity: how many completed request traces are
+    /// retained for `GET /debug/requests` (the K slowest plus every
+    /// degraded/shed/panicked request). `0` disables the recorder and
+    /// per-request trace capture entirely.
+    pub recorder_capacity: usize,
+    /// Where `SIGUSR1` dumps the recorder's traces (`ifls-trace/v1`
+    /// JSONL, readable with `ifls trace`). `None` disables the signal
+    /// dump; the `GET /debug/requests` endpoint is unaffected.
+    pub trace_dump: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -112,6 +133,9 @@ impl Default for ServeOptions {
             request_read_timeout: Duration::from_secs(10),
             sighup_reload: true,
             default_cache_admission: true,
+            slo_ms: None,
+            recorder_capacity: 64,
+            trace_dump: Some(PathBuf::from("ifls-trace-dump.jsonl")),
         }
     }
 }
@@ -198,6 +222,10 @@ pub(crate) struct Shared {
     pub(crate) shutdown: AtomicBool,
     /// Live shed-responder threads (see [`MAX_SHED_THREADS`]).
     pub(crate) shed_active: AtomicUsize,
+    /// The slow-query flight recorder (`None` when
+    /// [`ServeOptions::recorder_capacity`] is 0: no per-request traces
+    /// are captured at all).
+    pub(crate) recorder: Option<obs::FlightRecorder>,
     pub(crate) opts: ServeOptions,
 }
 
@@ -251,6 +279,20 @@ impl Shared {
     pub(crate) fn current_tree(&self) -> TreeVersion {
         lock_unpoisoned(&self.tree).clone()
     }
+
+    /// Writes the recorder's retained traces to
+    /// [`ServeOptions::trace_dump`] as `ifls-trace/v1` JSONL (the
+    /// `SIGUSR1` action). `Ok(None)` when there is no recorder or no dump
+    /// path configured.
+    pub(crate) fn dump_traces(&self) -> std::io::Result<Option<(usize, PathBuf)>> {
+        let (Some(rec), Some(path)) = (&self.recorder, &self.opts.trace_dump) else {
+            return Ok(None);
+        };
+        let traces = rec.snapshot();
+        let n = traces.len();
+        std::fs::write(path, obs::to_trace_jsonl(&traces, rec.capacity()))?;
+        Ok(Some((n, path.clone())))
+    }
 }
 
 /// Why a reload left the old index serving.
@@ -287,6 +329,8 @@ impl Server {
         } else {
             opts.workers
         };
+        let recorder =
+            (opts.recorder_capacity > 0).then(|| obs::FlightRecorder::new(opts.recorder_capacity));
         let shared = Arc::new(Shared {
             venue,
             tree: Mutex::new(initial),
@@ -295,6 +339,7 @@ impl Server {
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
             shed_active: AtomicUsize::new(0),
+            recorder,
             opts,
         });
         // Records from the initial load (snapshot I/O span, a possible
@@ -319,8 +364,10 @@ impl Server {
                     .expect("spawn acceptor"),
             );
         }
-        if shared.opts.sighup_reload {
-            if let Some(handle) = sighup::install(Arc::clone(&shared)) {
+        let hup = shared.opts.sighup_reload;
+        let usr1 = shared.recorder.is_some() && shared.opts.trace_dump.is_some();
+        if hup || usr1 {
+            if let Some(handle) = signals::install(Arc::clone(&shared), hup, usr1) {
                 threads.push(handle);
             }
         }
@@ -448,6 +495,16 @@ const SHED_READ_TIMEOUT: Duration = Duration::from_millis(500);
 /// Beyond the cap the response is a best-effort inline write instead.
 fn shed(shared: &Arc<Shared>, conn: TcpStream) {
     obs::counter_add(Counter::RequestsShed, 1);
+    if let Some(rec) = &shared.recorder {
+        // Shed requests never reach a handler, so they get a synthetic
+        // trace — flagged, and therefore never evicted by fast requests.
+        rec.offer(obs::RequestTrace {
+            trace_id: obs::TraceContext::next().trace_id(),
+            status: 503,
+            shed: true,
+            ..obs::RequestTrace::default()
+        });
+    }
     shared.flush_local_obs();
     let resp = handler::error_response(
         503,
@@ -494,25 +551,39 @@ fn shed(shared: &Arc<Shared>, conn: TcpStream) {
 /// one connection, never a worker — with a fixed pool, each lost worker
 /// would shrink capacity until the daemon accepts but never answers.
 fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(conn) = shared.queue.pop() {
+    while let Some((conn, queue_wait)) = shared.queue.pop() {
+        obs::record_ns("serve_queue_wait_ns", queue_wait.as_nanos() as u64);
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_connection(shared, conn)
+            handle_connection(shared, conn, queue_wait)
         }));
         if caught.is_err() {
             obs::counter_add(Counter::ServePanics, 1);
+            if let Some(rec) = &shared.recorder {
+                // The request that unwound never finalized its own trace;
+                // record a synthetic flagged one so the panic is visible
+                // in `/debug/requests`, not just as a counter.
+                rec.offer(obs::RequestTrace {
+                    trace_id: obs::TraceContext::next().trace_id(),
+                    panicked: true,
+                    ..obs::RequestTrace::default()
+                });
+            }
         }
         shared.flush_local_obs();
     }
     shared.flush_local_obs();
 }
 
-fn handle_connection(shared: &Arc<Shared>, conn: TcpStream) {
+fn handle_connection(shared: &Arc<Shared>, conn: TcpStream, queue_wait: Duration) {
     let _ = conn.set_read_timeout(Some(shared.opts.read_timeout));
     let mut writer = match conn.try_clone() {
         Ok(c) => c,
         Err(_) => return,
     };
     let mut reader = BufReader::new(conn);
+    // Only the first request on a keep-alive connection spent time parked
+    // in the queue; later ones are served as they arrive.
+    let mut queue_wait_ns = queue_wait.as_nanos() as u64;
     loop {
         let request = match http::read_request(
             &mut reader,
@@ -549,12 +620,13 @@ fn handle_connection(shared: &Arc<Shared>, conn: TcpStream) {
         };
         let started = Instant::now();
         let wants_close = request.wants_close();
-        let response = handler::route(shared, &request);
+        let trace_ctx = shared.recorder.as_ref().map(|_| obs::TraceContext::next());
+        let (response, trace) = handler::route(shared, &request, trace_ctx);
         obs::counter_add(Counter::RequestsTotal, 1);
-        obs::record_ns(
-            "serve_request_latency_ns",
-            started.elapsed().as_nanos() as u64,
-        );
+        let total_ns = started.elapsed().as_nanos() as u64;
+        obs::record_ns("serve_request_latency_ns", total_ns);
+        finish_request_obs(shared, response.status, trace, total_ns, queue_wait_ns);
+        queue_wait_ns = 0;
         let close = response.close || wants_close;
         let response = if wants_close {
             response.closing()
@@ -568,17 +640,85 @@ fn handle_connection(shared: &Arc<Shared>, conn: TcpStream) {
     }
 }
 
-/// `SIGHUP` → reload, without a libc dependency: `std` already links
-/// libc, so the C `signal` entry point can be declared directly. The
-/// handler only flips an [`AtomicBool`]; a poll thread applies the reload
-/// outside async-signal context.
+/// Transport-side completion bookkeeping for one answered request: the
+/// per-(objective × algorithm) latency histogram, SLO accounting, and the
+/// flight-recorder offer. `trace` is `None` exactly when the recorder is
+/// disabled, so with `--recorder-capacity 0` this is one branch.
+fn finish_request_obs(
+    shared: &Arc<Shared>,
+    status: u16,
+    trace: Option<obs::RequestTrace>,
+    total_ns: u64,
+    queue_wait_ns: u64,
+) {
+    let Some(mut t) = trace else { return };
+    t.status = status;
+    // The handler stamped the solver's own elapsed time; overwrite with
+    // the full request wall time (parse + solve + render) the client saw.
+    t.total_ns = total_ns;
+    t.queue_wait_ns = queue_wait_ns;
+    if !t.objective.is_empty() {
+        // Only requests that actually reached a solver dispatch carry an
+        // objective; those are the ones the SLO and the per-combination
+        // histograms track.
+        if let Some(name) = combo_hist_name(&t.objective, &t.algorithm) {
+            obs::record_ns(name, total_ns);
+        }
+        if let Some(slo_ms) = shared.opts.slo_ms {
+            let within = total_ns <= slo_ms.saturating_mul(1_000_000);
+            let good = status == 200 && within;
+            let c = if good {
+                Counter::SloGood
+            } else {
+                Counter::SloBad
+            };
+            obs::counter_add(c, 1);
+            t.slo_violation = !good;
+        }
+    }
+    if let Some(rec) = &shared.recorder {
+        rec.offer(t);
+    }
+}
+
+/// The per-(objective × algorithm) latency histogram name. Histogram keys
+/// are `&'static str`, so the 3×4 grid is a fixed table; an unknown pair
+/// (possible only if a new variant forgets this table) records nothing.
+fn combo_hist_name(objective: &str, algorithm: &str) -> Option<&'static str> {
+    Some(match (objective, algorithm) {
+        ("minmax", "efficient") => "serve_latency_minmax_efficient_ns",
+        ("minmax", "baseline") => "serve_latency_minmax_baseline_ns",
+        ("minmax", "brute") => "serve_latency_minmax_brute_ns",
+        ("minmax", "parallel") => "serve_latency_minmax_parallel_ns",
+        ("mindist", "efficient") => "serve_latency_mindist_efficient_ns",
+        ("mindist", "baseline") => "serve_latency_mindist_baseline_ns",
+        ("mindist", "brute") => "serve_latency_mindist_brute_ns",
+        ("mindist", "parallel") => "serve_latency_mindist_parallel_ns",
+        ("maxsum", "efficient") => "serve_latency_maxsum_efficient_ns",
+        ("maxsum", "baseline") => "serve_latency_maxsum_baseline_ns",
+        ("maxsum", "brute") => "serve_latency_maxsum_brute_ns",
+        ("maxsum", "parallel") => "serve_latency_maxsum_parallel_ns",
+        _ => return None,
+    })
+}
+
+/// `SIGHUP` → reload and `SIGUSR1` → trace dump, without a libc
+/// dependency: `std` already links libc, so the C `signal` entry point
+/// can be declared directly. Handlers only flip an [`AtomicBool`]; one
+/// poll thread applies the reload/dump outside async-signal context.
 #[cfg(unix)]
-mod sighup {
+mod signals {
     use super::*;
 
     static HUP_PENDING: AtomicBool = AtomicBool::new(false);
+    static USR1_PENDING: AtomicBool = AtomicBool::new(false);
 
     const SIGHUP: i32 = 1;
+    /// `SIGUSR1` is 10 on Linux, 30 on the BSD-numbered Unixes (macOS).
+    #[cfg(target_os = "linux")]
+    const SIGUSR1: i32 = 10;
+    #[cfg(all(unix, not(target_os = "linux")))]
+    const SIGUSR1: i32 = 30;
 
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
@@ -588,17 +728,30 @@ mod sighup {
         HUP_PENDING.store(true, Ordering::SeqCst);
     }
 
-    pub(crate) fn install(shared: Arc<Shared>) -> Option<std::thread::JoinHandle<()>> {
+    extern "C" fn on_sigusr1(_: i32) {
+        USR1_PENDING.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn install(
+        shared: Arc<Shared>,
+        hup: bool,
+        usr1: bool,
+    ) -> Option<std::thread::JoinHandle<()>> {
         unsafe {
-            signal(SIGHUP, on_sighup as *const () as usize);
+            if hup {
+                signal(SIGHUP, on_sighup as *const () as usize);
+            }
+            if usr1 {
+                signal(SIGUSR1, on_sigusr1 as *const () as usize);
+            }
         }
         std::thread::Builder::new()
-            .name("serve-sighup".into())
+            .name("serve-signals".into())
             .spawn(move || loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                if HUP_PENDING.swap(false, Ordering::SeqCst) {
+                if hup && HUP_PENDING.swap(false, Ordering::SeqCst) {
                     match shared.reload(None) {
                         Ok(tv) => eprintln!(
                             "SIGHUP reload applied: {} (version {})",
@@ -613,6 +766,17 @@ mod sighup {
                     }
                     shared.flush_local_obs();
                 }
+                if usr1 && USR1_PENDING.swap(false, Ordering::SeqCst) {
+                    match shared.dump_traces() {
+                        Ok(Some((n, path))) => eprintln!(
+                            "SIGUSR1 trace dump: {n} request trace(s) -> {}",
+                            path.display()
+                        ),
+                        Ok(None) => {}
+                        Err(e) => eprintln!("SIGUSR1 trace dump failed: {e}"),
+                    }
+                    shared.flush_local_obs();
+                }
                 std::thread::sleep(Duration::from_millis(200));
             })
             .ok()
@@ -620,10 +784,14 @@ mod sighup {
 }
 
 #[cfg(not(unix))]
-mod sighup {
+mod signals {
     use super::*;
 
-    pub(crate) fn install(_shared: Arc<Shared>) -> Option<std::thread::JoinHandle<()>> {
+    pub(crate) fn install(
+        _shared: Arc<Shared>,
+        _hup: bool,
+        _usr1: bool,
+    ) -> Option<std::thread::JoinHandle<()>> {
         None
     }
 }

@@ -5,10 +5,17 @@
 //! when the queue is full the connection is refused up front with a clean
 //! `503 + Retry-After` instead of being buried in an unbounded backlog
 //! that would blow every deadline it eventually serves.
+//!
+//! Every admitted connection is stamped at enqueue time, and
+//! [`ConnQueue::pop`] hands the worker the measured **queue wait**
+//! (enqueue → dequeue) alongside the stream — the otherwise-invisible
+//! slice of request latency spent parked behind the pool, recorded as the
+//! `serve_queue_wait_ns` histogram and in each request trace.
 
 use std::collections::VecDeque;
 use std::net::TcpStream;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// A bounded MPMC queue of accepted connections (`Mutex` + `Condvar`;
 /// nothing fancier is needed — pushes are one acceptor thread, pops are a
@@ -20,7 +27,7 @@ pub struct ConnQueue {
 }
 
 struct QueueState {
-    conns: VecDeque<TcpStream>,
+    conns: VecDeque<(TcpStream, Instant)>,
     closed: bool,
 }
 
@@ -54,19 +61,20 @@ impl ConnQueue {
         if st.closed || st.conns.len() >= self.capacity {
             return Err(conn);
         }
-        st.conns.push_back(conn);
+        st.conns.push_back((conn, Instant::now()));
         drop(st);
         self.ready.notify_one();
         Ok(())
     }
 
     /// Blocks until a connection is available or the queue closes.
+    /// Returns the connection and how long it waited parked in the queue.
     /// `None` means shutdown: the worker should exit its loop.
-    pub fn pop(&self) -> Option<TcpStream> {
+    pub fn pop(&self) -> Option<(TcpStream, Duration)> {
         let mut st = self.inner.lock().unwrap();
         loop {
-            if let Some(conn) = st.conns.pop_front() {
-                return Some(conn);
+            if let Some((conn, enqueued)) = st.conns.pop_front() {
+                return Some((conn, enqueued.elapsed()));
             }
             if st.closed {
                 return None;
@@ -111,6 +119,19 @@ mod tests {
         assert!(q.pop().is_some());
         assert_eq!(q.depth(), 1);
         assert!(q.try_push(conn_pair(&listener)).is_ok());
+    }
+
+    #[test]
+    fn pop_reports_the_time_spent_parked() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let q = ConnQueue::new(4);
+        q.try_push(conn_pair(&listener)).unwrap();
+        std::thread::sleep(Duration::from_millis(15));
+        let (_conn, wait) = q.pop().unwrap();
+        assert!(
+            wait >= Duration::from_millis(15),
+            "queue wait {wait:?} must cover the parked time"
+        );
     }
 
     #[test]

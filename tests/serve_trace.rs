@@ -1,0 +1,161 @@
+//! Black-box suite for the `ifls serve` flight recorder and SLO surface.
+//!
+//! Boots the daemon with the recorder on and checks the observability
+//! contract end to end over real sockets: `GET /debug/requests` must
+//! stream well-formed `ifls-trace/v1` JSONL whose per-request span
+//! self-times sum to at most the request total, a budget-degraded query
+//! must be retrievable from the dump with its reason and span tree, the
+//! SLO counters and per-combo histograms must show up in `/metrics`,
+//! and turning the recorder on must not change a single answer bit.
+
+#[path = "serve_common/mod.rs"]
+mod serve_common;
+
+use serve_common::*;
+
+use ifls_cli::commands::load_venue;
+
+const VENUE_SPEC: &str = "grid:2x12";
+
+#[test]
+fn degraded_requests_are_retrievable_from_debug_requests() {
+    let venue = load_venue(VENUE_SPEC).unwrap();
+    let server = Server::start(venue, test_opts()).unwrap();
+    let addr = server.addr();
+    // A healthy query and a budget-starved one: the dist cap of 1 forces
+    // a degraded answer, which the recorder must never evict.
+    let resp = post_query(addr, "{\"clients\":40,\"fe\":2,\"fn\":4,\"seed\":3}");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let resp = post_query(
+        addr,
+        "{\"clients\":60,\"fe\":3,\"fn\":6,\"seed\":1,\"max_dist_computations\":1}",
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"degraded\":true"), "{}", resp.body);
+
+    let resp = request(addr, "GET", "/debug/requests", &[], None);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(resp.header("Content-Type"), Some("application/x-ndjson"));
+    // The validator enforces the whole wire contract: meta record, field
+    // soundness, unique trace ids, and per-request span self-times that
+    // sum to at most the request total.
+    let summary = ifls::obs::validate_trace_jsonl(&resp.body)
+        .unwrap_or_else(|e| panic!("invalid trace dump: {e}\n{}", resp.body));
+    assert!(summary.has_meta, "meta record missing:\n{}", resp.body);
+    assert!(
+        summary.requests >= 2,
+        "expected both queries in the dump:\n{}",
+        resp.body
+    );
+    assert!(
+        summary.degraded >= 1,
+        "degraded query not retained:\n{}",
+        resp.body
+    );
+    assert!(summary.spans > 0, "no span cells recorded:\n{}", resp.body);
+    // The degraded trace carries the typed reason and a real span tree.
+    let (_, traces) = ifls::obs::parse_trace_jsonl(&resp.body).unwrap();
+    let degraded = traces
+        .iter()
+        .find(|t| t.degraded)
+        .expect("a degraded trace");
+    assert_eq!(degraded.status, 200);
+    assert_eq!(degraded.objective, "minmax");
+    assert_eq!(degraded.algorithm, "efficient");
+    assert!(!degraded.reason.is_empty(), "degraded trace has no reason");
+    assert!(degraded.total_ns > 0);
+    assert!(!degraded.spans.is_empty(), "degraded trace has no spans");
+    server.shutdown();
+}
+
+#[test]
+fn answers_are_bit_identical_with_the_recorder_on_and_off() {
+    let body = "{\"clients\":80,\"fe\":4,\"fn\":8,\"seed\":9}";
+    let venue = load_venue(VENUE_SPEC).unwrap();
+    let plain = Server::start(
+        venue,
+        ServeOptions {
+            recorder_capacity: 0,
+            ..test_opts()
+        },
+    )
+    .unwrap();
+    let venue = load_venue(VENUE_SPEC).unwrap();
+    let traced = Server::start(venue, test_opts()).unwrap();
+    let off = post_query(plain.addr(), body);
+    let on = post_query(traced.addr(), body);
+    assert_eq!(off.status, 200, "{}", off.body);
+    assert_eq!(on.status, 200, "{}", on.body);
+    assert_eq!(
+        answer_prefix(off.body.trim_end()),
+        answer_prefix(on.body.trim_end()),
+        "tracing changed the answer"
+    );
+    // With the recorder disabled the debug endpoint is a typed 404.
+    let resp = request(plain.addr(), "GET", "/debug/requests", &[], None);
+    assert_eq!(resp.status, 404, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"error\":\"recorder_disabled\""),
+        "{}",
+        resp.body
+    );
+    plain.shutdown();
+    traced.shutdown();
+}
+
+#[test]
+fn metrics_and_healthz_carry_slo_and_request_counters() {
+    let venue = load_venue(VENUE_SPEC).unwrap();
+    let server = Server::start(
+        venue,
+        ServeOptions {
+            // A generous target: the fast query lands good, and the
+            // tracker's gauges appear either way.
+            slo_ms: Some(60_000),
+            ..test_opts()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    for seed in 0..3 {
+        let resp = post_query(
+            addr,
+            &format!("{{\"clients\":20,\"fe\":2,\"fn\":3,\"seed\":{seed}}}"),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    let resp = request(addr, "GET", "/metrics", &[], None);
+    assert_eq!(resp.status, 200);
+    let summary = ifls::obs::validate_prometheus(&resp.body)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{}", resp.body));
+    for event in ["slo_requests_good", "slo_requests_bad"] {
+        assert!(
+            summary.event_names.iter().any(|n| n == event),
+            "{event} missing: {:?}",
+            summary.event_names
+        );
+    }
+    for family in [
+        "slo_target_ms",
+        "slo_error_budget_remaining",
+        "serve_latency_minmax_efficient_ns",
+        "serve_queue_wait_ns",
+    ] {
+        assert!(
+            resp.body.contains(family),
+            "{family} missing:\n{}",
+            resp.body
+        );
+    }
+    let resp = request(addr, "GET", "/healthz", &[], None);
+    assert_eq!(resp.status, 200);
+    ifls::obs::validate_json_line(resp.body.trim_end()).unwrap();
+    for field in [
+        "\"requests_total\":",
+        "\"requests_shed\":",
+        "\"serve_panics\":",
+    ] {
+        assert!(resp.body.contains(field), "{field} missing: {}", resp.body);
+    }
+    server.shutdown();
+}
