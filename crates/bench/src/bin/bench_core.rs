@@ -19,9 +19,11 @@
 //! `figures_quick_output.md`), `--obs-smoke` runs the disabled-mode
 //! overhead assertion the CI bench-smoke job enforces, `--cache-smoke`
 //! fails if the cache-on MZB stream regresses the cache-off one by >5%,
-//! and `--trace-smoke` fails if per-request trace capture plus
+//! `--trace-smoke` fails if per-request trace capture plus
 //! flight-recorder offers cost more than 3% on the same stream (or change
-//! any answer bit).
+//! any answer bit), and `--batch-smoke` fails unless batch dispatch
+//! through [`BatchRunner`] beats sequential dispatch of the same queries
+//! by ≥1.2x with bit-identical answers.
 //!
 //! Results go to `BENCH_core.json` (override with `--out PATH`); the schema
 //! is documented in `EXPERIMENTS.md`. `--quick` shrinks the stream for CI.
@@ -30,6 +32,7 @@ use std::time::Instant;
 
 use ifls_core::maxsum::EfficientMaxSum;
 use ifls_core::mindist::EfficientMinDist;
+use ifls_core::parallel::{BatchRunner, IflsQuery};
 use ifls_core::{EfficientConfig, EfficientIfls, QueryStats};
 use ifls_obs::{Counter, LatencyHistogram, Phase, SpanAgg};
 use ifls_venues::NamedVenue;
@@ -37,7 +40,15 @@ use ifls_viptree::{DistCache, VipTree, VipTreeConfig};
 use ifls_workloads::{Workload, WorkloadBuilder};
 
 /// Bumped whenever a field is added, renamed, or re-interpreted.
-const SCHEMA: &str = "ifls-bench-core/v4";
+const SCHEMA: &str = "ifls-bench-core/v5";
+
+/// Below this many samples the reported percentiles are exact order
+/// statistics over the raw per-query times (nearest-rank convention); at
+/// or above it they come from the log2 latency histogram with
+/// within-bucket interpolation. Bench streams are short, and a log2
+/// bucket can be wider than the whole spread of a 24-query stream —
+/// exact statistics cost nothing at this scale and remove that error.
+const EXACT_PERCENTILE_MAX: usize = 128;
 
 /// Stream shape: how many distinct client sets and how often each repeats.
 #[derive(Clone, Copy)]
@@ -83,6 +94,15 @@ struct RowOut {
     p95_ns: u64,
     p99_ns: u64,
     dist_computations: u64,
+    /// Aggregate solve throughput of the row's stream.
+    queries_per_sec: f64,
+    /// Work-steal operations observed while the row ran (zero on the
+    /// single-threaded streams; populated by batch rows).
+    steals: u64,
+    /// Requests answered through a serve-side micro-batch while the row
+    /// ran (zero here — the serve benchmark populates it; the column is
+    /// part of the shared v5 schema).
+    batched_requests: u64,
     cache_hit_rate: Option<f64>,
     cache_bytes: usize,
     /// Bytes of the tree's warm tier as reported by the solvers (zero on
@@ -121,6 +141,34 @@ fn median_ns(times: &[u128]) -> u128 {
     let mut sorted = times.to_vec();
     sorted.sort_unstable();
     sorted[sorted.len() / 2]
+}
+
+/// `(p50, p95, p99)` for one stream: exact order statistics when the
+/// sample count is under [`EXACT_PERCENTILE_MAX`], histogram-interpolated
+/// above (the histogram is the only thing that scales to long streams).
+fn percentiles_ns(times: &[u128], hist: &LatencyHistogram) -> (u64, u64, u64) {
+    if times.is_empty() || times.len() >= EXACT_PERCENTILE_MAX {
+        return (hist.p50_ns(), hist.p95_ns(), hist.p99_ns());
+    }
+    let mut sorted = times.to_vec();
+    sorted.sort_unstable();
+    let pick = |q: f64| -> u64 {
+        // Nearest-rank: the smallest sample with at least q of the mass
+        // at or below it.
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1] as u64
+    };
+    (pick(0.50), pick(0.95), pick(0.99))
+}
+
+/// Aggregate throughput of one stream replay (queries per second of
+/// wall time actually spent solving).
+fn queries_per_sec(times: &[u128]) -> f64 {
+    let total_ns: u128 = times.iter().sum();
+    if total_ns == 0 {
+        return 0.0;
+    }
+    times.len() as f64 * 1e9 / total_ns as f64
 }
 
 fn accumulate(out: &mut StreamResult, stats: &QueryStats) {
@@ -298,7 +346,9 @@ fn write_json(path: &str, quick: bool, rows: &[RowOut]) -> std::io::Result<()> {
             "    {{\"venue\": \"{}\", \"algorithm\": \"{}\", \"threads\": {}, \
              \"cache\": {}, \"queries\": {}, \"median_ns\": {}, \
              \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
-             \"dist_computations\": {}, \"cache_hit_rate\": {}, \
+             \"dist_computations\": {}, \"queries_per_sec\": {:.3}, \
+             \"steals\": {}, \"batched_requests\": {}, \
+             \"cache_hit_rate\": {}, \
              \"cache_bytes\": {}, \"cache_warm_bytes\": {}, \
              \"index_build_ns\": {}, \"phases\": {}}}{}",
             json_escape(r.venue),
@@ -311,6 +361,9 @@ fn write_json(path: &str, quick: bool, rows: &[RowOut]) -> std::io::Result<()> {
             r.p95_ns,
             r.p99_ns,
             r.dist_computations,
+            r.queries_per_sec,
+            r.steals,
+            r.batched_requests,
             hit_rate,
             r.cache_bytes,
             r.cache_warm_bytes,
@@ -554,6 +607,129 @@ fn cache_smoke() -> i32 {
     0
 }
 
+/// The CI batch-throughput gate: 16 MZB MinMax queries that share one
+/// client set (the serving shape micro-batching targets) must run at
+/// least 1.2x faster through [`BatchRunner`] — shared client legs, one
+/// scheduler pass, persistent per-worker caches — than dispatched
+/// sequentially, each query standalone with a fresh cache. Answers must
+/// be bit-identical between the two dispatch modes. Best-of-3 per mode so
+/// scheduler noise cannot fail the job; a traced (untimed) round reports
+/// the steal counter.
+fn batch_smoke() -> i32 {
+    const SPEEDUP_FLOOR: f64 = 1.2;
+    const THREADS: usize = 4;
+    let venue = NamedVenue::MZB.build();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    // The serving shape micro-batching is built for: every query shares
+    // one client population and draws its facilities from one shared pool
+    // of 24 sites (8 existing + 12 candidates per query, distinct per-seed
+    // shuffles). Facility overlap across queries is what the batch path's
+    // persistent per-worker caches turn into saved distance work; the
+    // sequential baseline recomputes it per query.
+    let base = WorkloadBuilder::new(&venue)
+        .clients_uniform(240)
+        .existing_uniform(8)
+        .candidates_uniform(16)
+        .seed(0xba7c)
+        .build();
+    let clients = base.clients;
+    let mut pool = [base.existing, base.candidates].concat();
+    let queries: Vec<IflsQuery> = (0..16)
+        .map(|i| {
+            let mut rng = ifls_rng::StdRng::seed_from_u64(0xba7c_0100 + i as u64);
+            for a in 0..pool.len() {
+                let b = rng.random_range(a..pool.len());
+                pool.swap(a, b);
+            }
+            IflsQuery {
+                clients: clients.clone(),
+                existing: pool[..8].to_vec(),
+                candidates: pool[8..20].to_vec(),
+            }
+        })
+        .collect();
+    let config = EfficientConfig::default();
+
+    let sequential = |queries: &[IflsQuery]| -> (Vec<Fingerprint>, u128) {
+        let started = Instant::now();
+        let fps = queries
+            .iter()
+            .map(|q| {
+                let mut cache = DistCache::with_enabled(config.dist_cache)
+                    .admission_mode(config.cache_admission);
+                let o = EfficientIfls::with_config(&tree, config).run_with_cache(
+                    &q.clients,
+                    &q.existing,
+                    &q.candidates,
+                    &mut cache,
+                );
+                Fingerprint {
+                    answer: o.answer.map(|p| p.raw()),
+                    objective_bits: o.objective.to_bits(),
+                }
+            })
+            .collect();
+        (fps, started.elapsed().as_nanos())
+    };
+    let runner = BatchRunner::with_threads(&tree, THREADS).config(config);
+    let batched = |queries: &[IflsQuery]| -> (Vec<Fingerprint>, u128) {
+        let started = Instant::now();
+        let fps = runner
+            .run_minmax(queries)
+            .into_iter()
+            .map(|o| Fingerprint {
+                answer: o.answer.map(|p| p.raw()),
+                objective_bits: o.objective.to_bits(),
+            })
+            .collect();
+        (fps, started.elapsed().as_nanos())
+    };
+
+    let mut seq_ns = u128::MAX;
+    let mut batch_ns = u128::MAX;
+    let mut fps_seq = Vec::new();
+    let mut fps_batch = Vec::new();
+    for _ in 0..3 {
+        let (f, ns) = sequential(&queries);
+        seq_ns = seq_ns.min(ns);
+        fps_seq = f;
+        let (f, ns) = batched(&queries);
+        batch_ns = batch_ns.min(ns);
+        fps_batch = f;
+    }
+
+    // Untimed traced round: surface how much the scheduler actually stole.
+    ifls_obs::set_enabled(true);
+    let _ = ifls_obs::take_local();
+    let _ = runner.run_minmax(&queries);
+    let steals = ifls_obs::take_local().counter(Counter::Steals);
+    ifls_obs::set_enabled(false);
+
+    let speedup = seq_ns as f64 / batch_ns.max(1) as f64;
+    let qps = queries.len() as f64 * 1e9 / batch_ns.max(1) as f64;
+    println!(
+        "batch-smoke: MZB minmax x{} sequential {:.3} ms, batched({THREADS} threads) {:.3} ms \
+         => {speedup:.2}x, {qps:.1} queries/s, {steals} steal(s)",
+        queries.len(),
+        ms(seq_ns),
+        ms(batch_ns),
+    );
+    let mut failed = false;
+    if fps_batch != fps_seq {
+        eprintln!("FAIL: batched answers diverged from sequential dispatch");
+        failed = true;
+    }
+    if speedup < SPEEDUP_FLOOR {
+        eprintln!("FAIL: batched throughput is {speedup:.2}x sequential (floor {SPEEDUP_FLOOR}x)");
+        failed = true;
+    }
+    if failed {
+        1
+    } else {
+        0
+    }
+}
+
 /// One pass over the stream with tracing enabled, optionally capturing a
 /// per-request trace per query and offering it to `recorder` — the same
 /// per-request work `ifls serve` does around each solver dispatch.
@@ -679,6 +855,9 @@ fn main() {
     if args.iter().any(|a| a == "--trace-smoke") {
         std::process::exit(trace_smoke());
     }
+    if args.iter().any(|a| a == "--batch-smoke") {
+        std::process::exit(batch_smoke());
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let build_threads: usize = args
         .iter()
@@ -748,6 +927,7 @@ fn main() {
             );
             for (mode, r) in [(true, &on), (false, &off)] {
                 let lookups = r.cache_hits + r.cache_misses;
+                let (p50_ns, p95_ns, p99_ns) = percentiles_ns(&r.times_ns, &r.latencies);
                 rows.push(RowOut {
                     venue: nv.label(),
                     algorithm,
@@ -755,10 +935,13 @@ fn main() {
                     cache: mode,
                     queries: r.times_ns.len(),
                     median_ns: median_ns(&r.times_ns),
-                    p50_ns: r.latencies.p50_ns(),
-                    p95_ns: r.latencies.p95_ns(),
-                    p99_ns: r.latencies.p99_ns(),
+                    p50_ns,
+                    p95_ns,
+                    p99_ns,
                     dist_computations: r.dist_computations,
+                    queries_per_sec: queries_per_sec(&r.times_ns),
+                    steals: 0,
+                    batched_requests: 0,
                     cache_hit_rate: if lookups == 0 {
                         None
                     } else {

@@ -76,6 +76,11 @@ serve options:
                      slo_requests_good/bad and the remaining error budget
   --recorder-capacity N  flight-recorder size: request traces retained for
                      GET /debug/requests (default 64; 0 disables tracing)
+  --max-batch N      serve-side micro-batching: when the connection queue
+                     runs deep, up to N queued /query requests with the same
+                     solve shape are answered through one batch solve with
+                     shared client legs (default 1 = off; responses are
+                     bit-identical either way)
   --trace-dump FILE  where SIGUSR1 dumps the recorder's traces as
                      ifls-trace/v1 JSONL (default ifls-trace-dump.jsonl)
   --no-trace-dump    do not install the SIGUSR1 dump handler
@@ -197,6 +202,8 @@ pub struct ServeArgs {
     pub recorder_capacity: usize,
     /// `SIGUSR1` trace-dump path (`--no-trace-dump` clears it).
     pub trace_dump: Option<String>,
+    /// Micro-batch ceiling for queued `/query` requests (1 = off).
+    pub max_batch: usize,
 }
 
 impl Default for ServeArgs {
@@ -216,6 +223,7 @@ impl Default for ServeArgs {
             slo_ms: None,
             recorder_capacity: 64,
             trace_dump: Some("ifls-trace-dump.jsonl".into()),
+            max_batch: 1,
         }
     }
 }
@@ -587,6 +595,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     }
                     "--trace-dump" => a.trace_dump = Some(cur.value("--trace-dump")?.to_string()),
                     "--no-trace-dump" => a.trace_dump = None,
+                    "--max-batch" => a.max_batch = cur.parsed("--max-batch")?,
                     other => return Err(ParseError::UnknownOption(other.to_string())),
                 }
             }
@@ -955,6 +964,8 @@ mod tests {
             "128",
             "--trace-dump",
             "dump.jsonl",
+            "--max-batch",
+            "8",
         ]))
         .unwrap()
         {
@@ -972,6 +983,7 @@ mod tests {
                 assert_eq!(args.slo_ms, Some(50));
                 assert_eq!(args.recorder_capacity, 128);
                 assert_eq!(args.trace_dump.as_deref(), Some("dump.jsonl"));
+                assert_eq!(args.max_batch, 8);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -689,6 +689,7 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 slo_ms: args.slo_ms,
                 recorder_capacity: args.recorder_capacity,
                 trace_dump: args.trace_dump.as_ref().map(std::path::PathBuf::from),
+                max_batch: args.max_batch,
                 ..ifls_serve::ServeOptions::default()
             };
             let server = ifls_serve::Server::start(v, opts)

@@ -106,8 +106,10 @@ impl Algorithm {
     }
 }
 
-/// How to run one query: objective + algorithm + knobs.
-#[derive(Clone, Copy, Debug)]
+/// How to run one query: objective + algorithm + knobs. Equality is the
+/// serve-side micro-batch compatibility test: requests solve together
+/// only when their specs match field for field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SolveSpec {
     /// Which objective to optimize.
     pub objective: Objective,
@@ -150,6 +152,20 @@ pub struct QuerySummary {
     pub stats: QueryStats,
 }
 
+/// The [`EfficientConfig`] a [`SolveSpec`] implies (shared by [`solve`]
+/// and [`solve_batch`]).
+fn config_of(spec: &SolveSpec) -> EfficientConfig {
+    EfficientConfig {
+        dist_cache: spec.dist_cache,
+        cache_admission: if spec.cache_admission {
+            ifls_viptree::CacheAdmission::Adaptive
+        } else {
+            ifls_viptree::CacheAdmission::AlwaysOn
+        },
+        ..EfficientConfig::default()
+    }
+}
+
 /// Answers one IFLS query. This is *the* dispatch used by the CLI and the
 /// daemon; anything answered here is bit-identical across front ends by
 /// construction.
@@ -161,15 +177,7 @@ pub fn solve(
     spec: &SolveSpec,
     budget: &Budget,
 ) -> Result<QuerySummary, WorkerPanic> {
-    let config = EfficientConfig {
-        dist_cache: spec.dist_cache,
-        cache_admission: if spec.cache_admission {
-            ifls_viptree::CacheAdmission::Adaptive
-        } else {
-            ifls_viptree::CacheAdmission::AlwaysOn
-        },
-        ..EfficientConfig::default()
-    };
+    let config = config_of(spec);
     let parallel = (spec.algorithm == Algorithm::Parallel)
         .then(|| ParallelSolver::with_threads(tree, spec.threads).config(config));
     let summary =
@@ -257,23 +265,164 @@ pub fn solve_traced(
     let result = solve(tree, clients, existing, candidates, spec, budget);
     let trace = scope.finish();
     let summary = result?;
-    let trace = trace.map(|mut t| {
-        t.objective = spec.objective.name().to_owned();
-        t.algorithm = spec.algorithm.name().to_owned();
-        t.total_ns = summary.stats.elapsed.as_nanos() as u64;
-        t.dist_computations = summary.stats.dist_computations;
-        t.cache_hits = summary.stats.cache_hits;
-        t.cache_misses = summary.stats.cache_misses;
-        t.degraded = !summary.resolution.is_exact();
-        t.gap = summary.resolution.gap();
-        t.reason = summary
-            .resolution
-            .reason()
-            .map(|r| r.label().to_owned())
-            .unwrap_or_default();
-        t
-    });
+    let trace = trace.map(|t| fill_trace(t, spec, &summary));
     Ok((summary, trace))
+}
+
+/// Copies the solver-side outcome fields into a captured trace (shared by
+/// [`solve_traced`] and [`solve_batch`]).
+fn fill_trace(
+    mut t: ifls_obs::RequestTrace,
+    spec: &SolveSpec,
+    summary: &QuerySummary,
+) -> ifls_obs::RequestTrace {
+    t.objective = spec.objective.name().to_owned();
+    t.algorithm = spec.algorithm.name().to_owned();
+    t.total_ns = summary.stats.elapsed.as_nanos() as u64;
+    t.dist_computations = summary.stats.dist_computations;
+    t.cache_hits = summary.stats.cache_hits;
+    t.cache_misses = summary.stats.cache_misses;
+    t.degraded = !summary.resolution.is_exact();
+    t.gap = summary.resolution.gap();
+    t.reason = summary
+        .resolution
+        .reason()
+        .map(|r| r.label().to_owned())
+        .unwrap_or_default();
+    t
+}
+
+/// One query of a serve-side micro-batch: a workload plus its own budget
+/// and (optional) trace context.
+#[derive(Clone)]
+pub struct BatchQuery {
+    /// Client positions `C`.
+    pub clients: Vec<IndoorPoint>,
+    /// Existing facilities `Fe`.
+    pub existing: Vec<PartitionId>,
+    /// Candidate locations `Fn`.
+    pub candidates: Vec<PartitionId>,
+    /// This query's own budget (its deadline clock is already running).
+    pub budget: Budget,
+    /// Trace context when the caller's flight recorder is on.
+    pub ctx: Option<ifls_obs::TraceContext>,
+}
+
+/// Answers many queries under one [`SolveSpec`] through the work-stealing
+/// batch scheduler, returning per-query summaries and traces in input
+/// order — the solver half of `ifls serve`'s micro-batching.
+///
+/// Responses must be indistinguishable from the unbatched path, so every
+/// query gets a **fresh** [`ifls_viptree::DistCache`] (batching may never
+/// leak one request's cache state into another's stats); the amortization
+/// comes from sharing [`ClientLegs`](crate::explore) across queries with
+/// bitwise-identical client sets and from draining the batch through one
+/// scheduler pass instead of per-request dispatch. Each query runs wholly
+/// on one worker thread, so its [`ifls_obs::TraceScope`] captures the same
+/// span tree the unbatched path would. Non-[`Algorithm::Efficient`] specs
+/// fall back to per-query [`solve`]/[`solve_traced`] calls.
+pub fn solve_batch(
+    tree: &VipTree<'_>,
+    threads: usize,
+    queries: &[BatchQuery],
+    spec: &SolveSpec,
+) -> Result<Vec<(QuerySummary, Option<ifls_obs::RequestTrace>)>, WorkerPanic> {
+    if spec.algorithm != Algorithm::Efficient {
+        let mut out = Vec::with_capacity(queries.len());
+        for q in queries {
+            out.push(match q.ctx {
+                Some(c) => solve_traced(
+                    tree,
+                    &q.clients,
+                    &q.existing,
+                    &q.candidates,
+                    spec,
+                    &q.budget,
+                    c,
+                )?,
+                None => (
+                    solve(
+                        tree,
+                        &q.clients,
+                        &q.existing,
+                        &q.candidates,
+                        spec,
+                        &q.budget,
+                    )?,
+                    None,
+                ),
+            });
+        }
+        return Ok(out);
+    }
+    let config = config_of(spec);
+    let (pool, by_query) =
+        crate::parallel::legs_pool(tree, queries.iter().map(|q| q.clients.as_slice()));
+    crate::parallel::run_batch_indexed(threads, queries.len(), |i| {
+        let q = &queries[i];
+        let budget = q.budget.clone();
+        let legs = Some(&pool[by_query[i]]);
+        let scope = q.ctx.map(ifls_obs::TraceScope::begin);
+        let mut cache = ifls_viptree::DistCache::with_enabled(config.dist_cache)
+            .admission_mode(config.cache_admission);
+        let summary = match spec.objective {
+            Objective::MinMax => {
+                let o = EfficientIfls::with_config(tree, config).run_with_cache_budgeted_legs(
+                    &q.clients,
+                    &q.existing,
+                    &q.candidates,
+                    &mut cache,
+                    &budget,
+                    legs,
+                );
+                QuerySummary {
+                    answer: o.answer,
+                    value_key: Objective::MinMax.value_key(),
+                    value: o.objective,
+                    resolution: o.resolution,
+                    stats: o.stats,
+                }
+            }
+            Objective::MinDist => {
+                let o = EfficientMinDist::with_config(tree, config).run_with_cache_budgeted_legs(
+                    &q.clients,
+                    &q.existing,
+                    &q.candidates,
+                    &mut cache,
+                    &budget,
+                    legs,
+                );
+                QuerySummary {
+                    answer: o.answer,
+                    value_key: Objective::MinDist.value_key(),
+                    value: o.average(q.clients.len()),
+                    resolution: o.resolution,
+                    stats: o.stats,
+                }
+            }
+            Objective::MaxSum => {
+                let o = EfficientMaxSum::with_config(tree, config).run_with_cache_budgeted_legs(
+                    &q.clients,
+                    &q.existing,
+                    &q.candidates,
+                    &mut cache,
+                    &budget,
+                    legs,
+                );
+                QuerySummary {
+                    answer: o.answer,
+                    value_key: Objective::MaxSum.value_key(),
+                    value: o.wins as f64,
+                    resolution: o.resolution,
+                    stats: o.stats,
+                }
+            }
+        };
+        let trace = scope
+            .and_then(ifls_obs::TraceScope::finish)
+            .map(|t| fill_trace(t, spec, &summary));
+        (summary, trace)
+    })
 }
 
 /// Escapes a string for embedding in a JSON string literal.

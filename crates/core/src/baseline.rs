@@ -89,7 +89,7 @@ impl<'t, 'v> ModifiedMinMax<'t, 'v> {
                 0.0
             } else {
                 let nn = brute::nearest_facility_dists(self.tree, clients, existing);
-                nn.into_iter().fold(0.0, f64::max)
+                ifls_viptree::kernels::max_fold(&nn)
             };
             let mut stats = QueryStats {
                 dist_computations,

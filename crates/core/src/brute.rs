@@ -23,7 +23,7 @@ pub fn evaluate_objective(
     if let Some(n) = candidate {
         min_with_partition_dists(tree, clients, n, &mut per_client);
     }
-    per_client.into_iter().fold(0.0, f64::max)
+    ifls_viptree::kernels::max_fold(&per_client)
 }
 
 /// For every client, the distance to its nearest facility among `facilities`
@@ -96,7 +96,7 @@ impl<'t, 'v> BruteForce<'t, 'v> {
             .map(|&n| {
                 let mut per = nn_existing.clone();
                 min_with_partition_dists(self.tree, clients, n, &mut per);
-                (n, per.into_iter().fold(0.0, f64::max))
+                (n, ifls_viptree::kernels::max_fold(&per))
             })
             .collect();
         scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
@@ -134,7 +134,7 @@ impl<'t, 'v> BruteForce<'t, 'v> {
         let mut dist_computations = 0u64;
         let nn_existing = nearest_facility_dists(self.tree, clients, existing);
         dist_computations += (clients.len() * existing.len()) as u64;
-        let status_quo = nn_existing.iter().copied().fold(0.0, f64::max);
+        let status_quo = ifls_viptree::kernels::max_fold(&nn_existing);
 
         let mut best: Option<(PartitionId, f64)> = None;
         let mut interrupted = None;

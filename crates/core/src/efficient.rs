@@ -369,6 +369,7 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
             1,
             cache,
             &Budget::unlimited(),
+            None,
         )
     }
 
@@ -382,7 +383,25 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         cache: &mut DistCache<'_>,
         budget: &Budget,
     ) -> MinMaxOutcome {
-        self.solve(clients, existing, candidates, 1, cache, budget)
+        self.solve(clients, existing, candidates, 1, cache, budget, None)
+    }
+
+    /// [`run_with_cache_budgeted`](Self::run_with_cache_budgeted) with the
+    /// client door legs precomputed by the caller and shared read-only —
+    /// the batch-engine hook that computes [`ClientLegs`] once per distinct
+    /// client set instead of once per query/shard. Legs are a pure function
+    /// of the clients and the venue, so a shared table is bit-identical to
+    /// an inline build; `None` builds inline.
+    pub(crate) fn run_with_cache_budgeted_legs(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        cache: &mut DistCache<'_>,
+        budget: &Budget,
+        legs: Option<&ClientLegs>,
+    ) -> MinMaxOutcome {
+        self.solve(clients, existing, candidates, 1, cache, budget, legs)
     }
 
     /// Top-k variant: the `k` candidates with the smallest objective
@@ -419,6 +438,7 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
             k,
             &mut cache,
             &Budget::unlimited(),
+            None,
         );
         let mut out = outcome.qualified;
         if out.len() < k && outcome.c_emptied {
@@ -444,6 +464,7 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
     }
 
     /// Shared solver body; `target` is the number of qualifiers to collect.
+    #[allow(clippy::too_many_arguments)]
     fn solve(
         &self,
         clients: &[IndoorPoint],
@@ -452,8 +473,17 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         target: usize,
         cache: &mut DistCache<'_>,
         budget: &Budget,
+        shared_legs: Option<&ClientLegs>,
     ) -> MinMaxOutcome {
-        let full = self.solve_full(clients, existing, candidates, target, cache, budget);
+        let full = self.solve_full(
+            clients,
+            existing,
+            candidates,
+            target,
+            cache,
+            budget,
+            shared_legs,
+        );
         if let Some(info) = full.interrupted {
             // Budget fired mid-search: report the best-so-far candidate
             // with its exact objective (one evaluation, outside the timed
@@ -511,6 +541,7 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn solve_full(
         &self,
         clients: &[IndoorPoint],
@@ -519,6 +550,7 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         target: usize,
         cache: &mut DistCache<'_>,
         budget: &Budget,
+        shared_legs: Option<&ClientLegs>,
     ) -> SolveOutcome {
         let start = Instant::now();
         let mut meter = MemoryMeter::default();
@@ -534,7 +566,7 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
                 0.0
             } else {
                 let nn = brute::nearest_facility_dists(tree, clients, existing);
-                nn.into_iter().fold(0.0, f64::max)
+                ifls_viptree::kernels::max_fold(&nn)
             };
             let mut stats = QueryStats {
                 dist_computations,
@@ -560,8 +592,17 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
         meter.add((fe.approx_bytes() + fn_.approx_bytes()) as isize);
 
         // Per-client door legs, computed once and reused by every grouped
-        // retrieval (the client→door half of each distance combine).
-        let legs = ClientLegs::build(tree, clients);
+        // retrieval (the client→door half of each distance combine). A
+        // batch caller may hand in a table shared across its queries; the
+        // meter charges it either way so stats match the inline build.
+        let legs_owned;
+        let legs = match shared_legs {
+            Some(shared) => shared,
+            None => {
+                legs_owned = ClientLegs::build(tree, clients);
+                &legs_owned
+            }
+        };
         meter.add(legs.approx_bytes() as isize);
 
         if ifls_fault::should_fail(ifls_fault::FaultPoint::ScratchAlloc) {
@@ -672,7 +713,7 @@ impl<'t, 'v> EfficientIfls<'t, 'v> {
                                 &mut st,
                                 &mut meter,
                                 cache,
-                                &legs,
+                                legs,
                                 &mut dist_computations,
                                 &mut point_via_lookups,
                                 &mut retrieve_shim(&fe, &mut facilities_retrieved),

@@ -222,6 +222,22 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
         cache: &mut DistCache<'_>,
         budget: &Budget,
     ) -> MaxSumOutcome {
+        self.run_with_cache_budgeted_legs(clients, existing, candidates, cache, budget, None)
+    }
+
+    /// [`run_with_cache_budgeted`](Self::run_with_cache_budgeted) with the
+    /// client door legs precomputed by the caller and shared read-only
+    /// across the queries of a batch (see the MinMax solver's variant for
+    /// the bit-identity argument); `None` builds them inline.
+    pub(crate) fn run_with_cache_budgeted_legs(
+        &self,
+        clients: &[IndoorPoint],
+        existing: &[PartitionId],
+        candidates: &[PartitionId],
+        cache: &mut DistCache<'_>,
+        budget: &Budget,
+        shared_legs: Option<&ClientLegs>,
+    ) -> MaxSumOutcome {
         let start = Instant::now();
         let tree = self.tree;
         let venue = tree.venue();
@@ -244,7 +260,14 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
         let cache_before = cache.stats();
         let mut point_via_lookups = 0u64;
         let setup_span = ifls_obs::span(Phase::KnnInit);
-        let legs = ClientLegs::build(tree, clients);
+        let legs_owned;
+        let legs = match shared_legs {
+            Some(shared) => shared,
+            None => {
+                legs_owned = ClientLegs::build(tree, clients);
+                &legs_owned
+            }
+        };
         meter.add(legs.approx_bytes() as isize);
 
         let fe = FacilityIndex::build(tree, existing.iter().copied());
@@ -362,7 +385,7 @@ impl<'t, 'v> EfficientMaxSum<'t, 'v> {
                         for (c, d) in retrieval_dists(
                             tree,
                             clients,
-                            &legs,
+                            legs,
                             &ids,
                             source,
                             part,

@@ -18,8 +18,23 @@
 //!   order-independent.
 //! * [`BatchRunner`] — answers *many independent* queries concurrently
 //!   (the serving shape: each user's query is small, the stream is not).
-//!   Queries are drawn from a shared atomic cursor, so uneven query costs
-//!   balance across workers, and results are returned in input order.
+//!   Queries are distributed by a work-stealing scheduler (see below), so
+//!   uneven query costs balance across workers, and results are returned
+//!   in input order. Queries sharing one client set also share one
+//!   [`ClientLegs`] table, computed once per distinct set.
+//!
+//! # Work stealing
+//!
+//! Both layers schedule items through per-worker chunked deques: worker
+//! `w` is seeded with the `w`-th contiguous chunk of the input and pops
+//! from the front of its own deque; a worker whose deque runs dry scans
+//! the other deques (starting at its right neighbour, wrapping) and
+//! steals the back *half* of the first non-empty one it finds. Steal-half
+//! keeps lock traffic logarithmic in the imbalance instead of linear, and
+//! stealing from the back preserves the victim's front-to-back locality.
+//! Each successful steal ticks the `steals` obs counter. Results land in
+//! input-order slots, so the merge is independent of who computed what —
+//! steal order can change *timing*, never *answers*.
 //!
 //! Determinism contract: worker outputs are merged with explicit
 //! tie-breaking (lowest `PartitionId` wins at equal objective bits), and
@@ -53,16 +68,18 @@
 //! only if every shard is, and a merged gap re-derives from the shards'
 //! lower (resp. upper) bounds — see DESIGN.md §11.
 
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
 use std::time::Instant;
 
 use ifls_indoor::{IndoorPoint, PartitionId};
 use ifls_viptree::cache::DEFAULT_CACHE_ENTRIES;
-use ifls_viptree::{DistCache, SharedDistCache, VipTree};
+use ifls_viptree::{CacheAdmission, DistCache, SharedDistCache, VipTree};
 
 use crate::budget::{Budget, Resolution};
+use crate::explore::ClientLegs;
 use crate::maxsum::{EfficientMaxSum, MaxSumOutcome};
 use crate::mindist::{EfficientMinDist, MinDistOutcome};
 use crate::{brute, EfficientConfig, EfficientIfls, MinMaxOutcome, QueryStats};
@@ -130,10 +147,50 @@ fn chunk_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
     ranges
 }
 
+/// Locks a deque, recovering from poisoning: the queue holds plain item
+/// indices, which cannot be torn by a panic elsewhere.
+fn lock_deque(m: &Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Claims the next work item for worker `w`: pop from the front of its own
+/// deque, or — when that runs dry — steal the back half of the first
+/// non-empty victim deque, scanning from the right neighbour and wrapping.
+/// The first stolen item is returned and the rest (if any) refill `w`'s
+/// own deque. Returns `None` only when every deque is empty.
+///
+/// Locks never nest (the victim guard drops before the own-deque guard is
+/// taken), so stealing cannot deadlock. Each successful steal ticks the
+/// `steals` obs counter once, whatever the number of items moved.
+fn next_item(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(i) = lock_deque(&deques[w]).pop_front() {
+        return Some(i);
+    }
+    let workers = deques.len();
+    for off in 1..workers {
+        let victim = (w + off) % workers;
+        let mut stolen = {
+            let mut guard = lock_deque(&deques[victim]);
+            let len = guard.len();
+            if len == 0 {
+                continue;
+            }
+            guard.split_off(len - len.div_ceil(2))
+        };
+        ifls_obs::counter_add(ifls_obs::Counter::Steals, 1);
+        let first = stolen.pop_front().expect("stole at least one item");
+        if !stolen.is_empty() {
+            lock_deque(&deques[w]).extend(stolen);
+        }
+        return Some(first);
+    }
+    None
+}
+
 /// Runs `f(i)` for every `i in 0..n` on up to `threads` scoped workers and
-/// returns the results in input order. Work is claimed from a shared
-/// atomic cursor, so expensive items do not serialize behind a static
-/// split.
+/// returns the results in input order. Work is distributed through
+/// per-worker deques with steal-half balancing (see the module docs), so
+/// expensive items do not serialize behind a static split.
 fn run_indexed<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -169,8 +226,10 @@ where
 /// finish, serially and on a fresh state (ticking the `worker_retries`
 /// counter); if the retry panics too, the error is returned. A worker
 /// thread that dies outside an item (a panic in `init` or an injected
-/// start fault) is tolerated the same way: any item it claimed but never
-/// returned is recomputed by the coordinator.
+/// start fault) leaves its seeded deque behind; surviving workers steal
+/// and finish it, so a dead-at-start worker costs no coordinator retries.
+/// Only items a worker claimed and then lost to a panic reach the
+/// coordinator's retry pass.
 fn try_run_indexed_state<S, R, I, F>(
     threads: usize,
     n: usize,
@@ -189,22 +248,26 @@ where
         let mut state = init();
         return Ok((0..n).map(|i| f(&mut state, i)).collect());
     }
-    let cursor = AtomicUsize::new(0);
+    // Per-worker deques, seeded with contiguous chunks so each worker
+    // starts on its own cache-friendly range and only pays lock traffic
+    // once imbalance actually develops.
+    let deques: Vec<Mutex<VecDeque<usize>>> = chunk_ranges(n, workers)
+        .into_iter()
+        .map(|r| Mutex::new(r.collect()))
+        .collect();
+    let deques = &deques;
+    let (init, f) = (&init, &f);
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                s.spawn(move || {
                     if ifls_fault::should_fail(ifls_fault::FaultPoint::WorkerStart) {
                         panic!("injected fault: worker start");
                     }
                     let mut state = init();
                     let mut out = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
+                    while let Some(i) = next_item(deques, w) {
                         match catch_unwind(AssertUnwindSafe(|| f(&mut state, i))) {
                             Ok(r) => out.push((i, r)),
                             // Leave the slot empty for the coordinator's
@@ -223,8 +286,9 @@ where
         // Joining in spawn order keeps the fold deterministic; merging is
         // element-wise addition anyway, so scheduling cannot change totals.
         for h in handles {
-            // A worker that died outright returned nothing; whatever it
-            // left unfinished is recomputed below.
+            // A worker that died outright returned nothing; its deque was
+            // stolen by survivors, and anything still missing (an item
+            // lost to a mid-`f` panic) is recomputed below.
             if let Ok((out, sink)) = h.join() {
                 for (i, r) in out {
                     slots[i] = Some(r);
@@ -422,6 +486,12 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
                 .run_budgeted(clients, existing, candidates, budget));
         }
         let shared = self.shared_tier(clients, existing, candidates);
+        // Per-client door legs are identical across shards (pure geometry,
+        // independent of the candidate shard), so build them once and
+        // share read-only. Each shard still charges the legs bytes to its
+        // own meter, keeping per-shard stats bit-identical to inline
+        // construction.
+        let legs = ClientLegs::build(self.tree, clients);
         let partials = try_run_indexed_state(
             ranges.len(),
             ranges.len(),
@@ -432,12 +502,13 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
                 // shared cancel token — so deterministic trips behave the
                 // same on a worker and on the coordinator's retry path.
                 let shard_budget = budget.clone();
-                EfficientIfls::with_config(self.tree, self.config).run_with_cache_budgeted(
+                EfficientIfls::with_config(self.tree, self.config).run_with_cache_budgeted_legs(
                     clients,
                     existing,
                     &candidates[ranges[i].clone()],
                     &mut cache,
                     &shard_budget,
+                    Some(&legs),
                 )
             },
         )?;
@@ -501,6 +572,7 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
                 .run_budgeted(clients, existing, candidates, budget));
         }
         let shared = self.shared_tier(clients, existing, candidates);
+        let legs = ClientLegs::build(self.tree, clients);
         let partials = try_run_indexed_state(
             ranges.len(),
             ranges.len(),
@@ -508,12 +580,13 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
             |(), i| {
                 let mut cache = self.worker_cache(shared.as_ref());
                 let shard_budget = budget.clone();
-                EfficientMinDist::with_config(self.tree, self.config).run_with_cache_budgeted(
+                EfficientMinDist::with_config(self.tree, self.config).run_with_cache_budgeted_legs(
                     clients,
                     existing,
                     &candidates[ranges[i].clone()],
                     &mut cache,
                     &shard_budget,
+                    Some(&legs),
                 )
             },
         )?;
@@ -571,6 +644,7 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
                 .run_budgeted(clients, existing, candidates, budget));
         }
         let shared = self.shared_tier(clients, existing, candidates);
+        let legs = ClientLegs::build(self.tree, clients);
         let partials = try_run_indexed_state(
             ranges.len(),
             ranges.len(),
@@ -578,12 +652,13 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
             |(), i| {
                 let mut cache = self.worker_cache(shared.as_ref());
                 let shard_budget = budget.clone();
-                EfficientMaxSum::with_config(self.tree, self.config).run_with_cache_budgeted(
+                EfficientMaxSum::with_config(self.tree, self.config).run_with_cache_budgeted_legs(
                     clients,
                     existing,
                     &candidates[ranges[i].clone()],
                     &mut cache,
                     &shard_budget,
+                    Some(&legs),
                 )
             },
         )?;
@@ -631,6 +706,62 @@ impl<'t, 'v> ParallelSolver<'t, 'v> {
         .into_iter()
         .fold(0.0, f64::max)
     }
+}
+
+/// Bitwise identity key for one client position: the partition id plus
+/// the exact coordinate bits. Two queries share a [`ClientLegs`] table
+/// only when their client lists are bitwise identical element for element
+/// — the only equivalence safe without tolerance reasoning.
+type ClientKey = (u32, u64, u64, i32);
+
+/// The dedupe key of a whole client set (order-sensitive: legs are
+/// indexed by client position).
+fn client_set_key(clients: &[IndoorPoint]) -> Vec<ClientKey> {
+    clients
+        .iter()
+        .map(|c| {
+            (
+                c.partition.raw(),
+                c.pos.x.to_bits(),
+                c.pos.y.to_bits(),
+                c.pos.level,
+            )
+        })
+        .collect()
+}
+
+/// Builds one [`ClientLegs`] table per *distinct* client set (bitwise
+/// identity, via [`client_set_key`]) and maps each input set to its table
+/// index. Legs are pure geometry and tick no counters, so sharing is
+/// stats-neutral: each query still charges the same legs bytes to its own
+/// memory meter.
+pub(crate) fn legs_pool<'a>(
+    tree: &VipTree<'_>,
+    client_sets: impl Iterator<Item = &'a [IndoorPoint]>,
+) -> (Vec<ClientLegs>, Vec<usize>) {
+    let mut pool: Vec<ClientLegs> = Vec::new();
+    let mut by_key: HashMap<Vec<ClientKey>, usize> = HashMap::new();
+    let mut by_set = Vec::new();
+    for clients in client_sets {
+        let idx = *by_key.entry(client_set_key(clients)).or_insert_with(|| {
+            pool.push(ClientLegs::build(tree, clients));
+            pool.len() - 1
+        });
+        by_set.push(idx);
+    }
+    (pool, by_set)
+}
+
+/// Runs `f(i)` for every `i in 0..n` through the work-stealing scheduler
+/// with the same per-item fault isolation and single coordinator retry as
+/// [`BatchRunner`] — the hook the serve-side micro-batch path dispatches
+/// through (each item carries its own budget and trace scope inside `f`).
+pub(crate) fn run_batch_indexed<R, F>(threads: usize, n: usize, f: F) -> Result<Vec<R>, WorkerPanic>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    try_run_indexed_state(threads.max(1), n, || (), |(), i| f(i))
 }
 
 /// One independent IFLS query for [`BatchRunner`].
@@ -692,6 +823,30 @@ impl<'t, 'v> BatchRunner<'t, 'v> {
         self.threads
     }
 
+    /// One [`ClientLegs`] table per *distinct* client set in the batch
+    /// (see [`legs_pool`]): micro-batches typically carry many queries
+    /// against one client population, so this collapses the batch's leg
+    /// construction to a single pass.
+    fn shared_legs(&self, queries: &[IflsQuery]) -> (Vec<ClientLegs>, Vec<usize>) {
+        legs_pool(self.tree, queries.iter().map(|q| q.clients.as_slice()))
+    }
+
+    /// The admission mode for the persistent per-worker caches. A batch
+    /// declares cross-query reuse upfront, so the *adaptive* heuristic —
+    /// built to stop one-shot serving queries from paying insert costs on
+    /// streams that never reuse — is resolved to always-admit: on a cold
+    /// tree its sampling window sees the first query's near-zero hit rate
+    /// and shuts insertion off exactly when the next query in the batch
+    /// is about to reuse those entries. Explicit `AlwaysOn`/`AlwaysOff`
+    /// configs (ablations) are honored unchanged; cached values are pure
+    /// functions of the tree, so admission policy cannot change answers.
+    fn worker_admission(&self) -> CacheAdmission {
+        match self.config.cache_admission {
+            CacheAdmission::Adaptive => CacheAdmission::AlwaysOn,
+            explicit => explicit,
+        }
+    }
+
     /// Answers every MinMax query, results in input order. Each worker
     /// keeps one [`DistCache`] alive across all the queries it claims, so
     /// door-distance vectors memoized for one query serve the next — the
@@ -712,19 +867,22 @@ impl<'t, 'v> BatchRunner<'t, 'v> {
         budget: &Budget,
     ) -> Result<Vec<MinMaxOutcome>, WorkerPanic> {
         let config = self.config;
+        let admission = self.worker_admission();
+        let (legs_pool, legs_by_query) = self.shared_legs(queries);
         try_run_indexed_state(
             self.threads,
             queries.len(),
-            || DistCache::with_enabled(config.dist_cache).admission_mode(config.cache_admission),
+            || DistCache::with_enabled(config.dist_cache).admission_mode(admission),
             |cache, i| {
                 let q = &queries[i];
                 let query_budget = budget.clone();
-                EfficientIfls::with_config(self.tree, config).run_with_cache_budgeted(
+                EfficientIfls::with_config(self.tree, config).run_with_cache_budgeted_legs(
                     &q.clients,
                     &q.existing,
                     &q.candidates,
                     cache,
                     &query_budget,
+                    Some(&legs_pool[legs_by_query[i]]),
                 )
             },
         )
@@ -747,19 +905,22 @@ impl<'t, 'v> BatchRunner<'t, 'v> {
         budget: &Budget,
     ) -> Result<Vec<MinDistOutcome>, WorkerPanic> {
         let config = self.config;
+        let admission = self.worker_admission();
+        let (legs_pool, legs_by_query) = self.shared_legs(queries);
         try_run_indexed_state(
             self.threads,
             queries.len(),
-            || DistCache::with_enabled(config.dist_cache).admission_mode(config.cache_admission),
+            || DistCache::with_enabled(config.dist_cache).admission_mode(admission),
             |cache, i| {
                 let q = &queries[i];
                 let query_budget = budget.clone();
-                EfficientMinDist::with_config(self.tree, config).run_with_cache_budgeted(
+                EfficientMinDist::with_config(self.tree, config).run_with_cache_budgeted_legs(
                     &q.clients,
                     &q.existing,
                     &q.candidates,
                     cache,
                     &query_budget,
+                    Some(&legs_pool[legs_by_query[i]]),
                 )
             },
         )
@@ -782,19 +943,22 @@ impl<'t, 'v> BatchRunner<'t, 'v> {
         budget: &Budget,
     ) -> Result<Vec<MaxSumOutcome>, WorkerPanic> {
         let config = self.config;
+        let admission = self.worker_admission();
+        let (legs_pool, legs_by_query) = self.shared_legs(queries);
         try_run_indexed_state(
             self.threads,
             queries.len(),
-            || DistCache::with_enabled(config.dist_cache).admission_mode(config.cache_admission),
+            || DistCache::with_enabled(config.dist_cache).admission_mode(admission),
             |cache, i| {
                 let q = &queries[i];
                 let query_budget = budget.clone();
-                EfficientMaxSum::with_config(self.tree, config).run_with_cache_budgeted(
+                EfficientMaxSum::with_config(self.tree, config).run_with_cache_budgeted_legs(
                     &q.clients,
                     &q.existing,
                     &q.candidates,
                     cache,
                     &query_budget,
+                    Some(&legs_pool[legs_by_query[i]]),
                 )
             },
         )
@@ -840,7 +1004,7 @@ mod tests {
 
     #[test]
     fn panicked_item_is_retried_once_by_coordinator() {
-        use std::sync::atomic::AtomicBool;
+        use std::sync::atomic::{AtomicBool, Ordering};
         let fired = AtomicBool::new(false);
         let out = try_run_indexed_state(
             4,
@@ -874,6 +1038,63 @@ mod tests {
         assert_eq!(err.index, 3);
         assert!(err.message.contains("persistent worker fault"), "{err}");
         assert!(err.to_string().contains("item 3"));
+    }
+
+    #[test]
+    fn idle_worker_steals_from_a_busy_one() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        // deque0 = [0, 1], deque1 = [2]. Item 0 blocks until item 1 has
+        // run; worker 0 is stuck inside item 0, so item 1 can only run if
+        // worker 1 steals it after finishing item 2. No stealing → this
+        // test deadlocks instead of passing.
+        let item1_done = AtomicBool::new(false);
+        let was_enabled = ifls_obs::enabled();
+        ifls_obs::set_enabled(true);
+        let before = ifls_obs::take_local().counter(ifls_obs::Counter::Steals);
+        let out = try_run_indexed_state(
+            2,
+            3,
+            || (),
+            |(), i| {
+                match i {
+                    0 => {
+                        while !item1_done.load(Ordering::SeqCst) {
+                            thread::yield_now();
+                        }
+                    }
+                    1 => item1_done.store(true, Ordering::SeqCst),
+                    _ => {}
+                }
+                i * 10
+            },
+        )
+        .expect("no panics in this run");
+        assert_eq!(out, vec![0, 10, 20]);
+        let after = ifls_obs::take_local().counter(ifls_obs::Counter::Steals);
+        ifls_obs::set_enabled(was_enabled);
+        assert!(after > before, "the forced steal must tick the counter");
+    }
+
+    #[test]
+    fn steals_preserve_input_order_under_imbalance() {
+        // Front-load all the cost onto worker 0's chunk so the other
+        // workers drain their own deques and then steal; the merged output
+        // must stay in input order regardless of who computed what.
+        for threads in [2usize, 4, 8] {
+            let out = try_run_indexed_state(
+                threads,
+                33,
+                || (),
+                |(), i| {
+                    if i < 33 / threads {
+                        thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    i * 3 + 1
+                },
+            )
+            .expect("no panics in this run");
+            assert_eq!(out, (0..33).map(|i| i * 3 + 1).collect::<Vec<_>>());
+        }
     }
 
     #[test]

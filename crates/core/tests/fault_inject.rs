@@ -149,6 +149,56 @@ fn cache_insert_panic_in_sharded_query_is_retried() {
 }
 
 #[test]
+fn worker_panic_under_work_stealing_across_thread_counts() {
+    let _g = LOCK.lock().unwrap();
+    ifls_fault::disarm_all();
+    let venue = GridVenueSpec::new("fault-steal", 2, 12).build();
+    let tree = VipTree::build(&venue, VipTreeConfig::default());
+    let queries = batch_fixture(&venue);
+    let reference = BatchRunner::with_threads(&tree, 1).run_minmax(&queries);
+
+    // One worker: the scheduler's serial path is deliberately
+    // panic-transparent — the injected panic surfaces to the caller.
+    ifls_fault::arm(FaultPoint::ScratchAlloc, 5);
+    let unwound = with_quiet_panics(|| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            BatchRunner::with_threads(&tree, 1).run_minmax(&queries)
+        }))
+    });
+    ifls_fault::disarm_all();
+    assert!(
+        unwound.is_err(),
+        "the serial path must stay panic-transparent"
+    );
+
+    // Work-stealing runners: the panicked item is isolated on whichever
+    // deque (owned or stolen) it was claimed from, retried exactly once
+    // by the coordinator, and the answers never move.
+    for threads in [2usize, 4, 8] {
+        let runner = BatchRunner::with_threads(&tree, threads);
+        ifls_fault::arm(FaultPoint::ScratchAlloc, 5);
+        let (got, retries) = counting(Counter::WorkerRetries, || {
+            with_quiet_panics(|| runner.try_run_minmax(&queries, &Budget::unlimited()))
+        });
+        ifls_fault::disarm_all();
+        let got = got.unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+        assert_eq!(
+            retries, 1,
+            "{threads} threads: exactly one coordinator retry"
+        );
+        assert_eq!(got.len(), reference.len());
+        for (i, (g, r)) in got.iter().zip(&reference).enumerate() {
+            assert_eq!(g.answer, r.answer, "{threads} threads, query {i}");
+            assert_eq!(
+                g.objective.to_bits(),
+                r.objective.to_bits(),
+                "{threads} threads, query {i}"
+            );
+        }
+    }
+}
+
+#[test]
 fn seeded_fault_sweep_never_changes_an_answer() {
     // Reproducible sweep: arm each panic-style point at an ifls-rng-seeded
     // hit index and check the batch always completes with the reference

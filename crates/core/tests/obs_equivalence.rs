@@ -258,6 +258,13 @@ fn metric_counts_deterministic_across_runs() {
             );
         }
         for counter in Counter::ALL {
+            // Steals is the one deliberately timing-dependent counter:
+            // which deque a thief drains depends on scheduling, so its
+            // count varies run to run even though the answers (asserted
+            // elsewhere in this suite) never do.
+            if counter == Counter::Steals {
+                continue;
+            }
             assert_eq!(
                 a.counter(counter),
                 b.counter(counter),

@@ -72,10 +72,19 @@ pub enum Counter {
     /// Request traces the flight recorder declined (healthy and faster
     /// than everything retained).
     TracesDropped = 22,
+    /// Successful work-steal operations in the batch scheduler (one tick
+    /// per victim deque a thief drained items from). Unlike every other
+    /// counter this one is timing-dependent by design: which deque a
+    /// thief hits varies run to run, while the answers never do.
+    Steals = 23,
+    /// `/query` requests answered through a serve-side micro-batch (only
+    /// requests solved via the batch path tick this; a batch of one goes
+    /// through the ordinary per-request path and does not).
+    BatchedRequests = 24,
 }
 
 /// Number of counter slots (the length of [`Counter::ALL`]).
-pub(crate) const NUM_COUNTERS: usize = 23;
+pub(crate) const NUM_COUNTERS: usize = 25;
 
 impl Counter {
     /// Every counter, in canonical export order.
@@ -103,6 +112,8 @@ impl Counter {
         Counter::SloBad,
         Counter::TracesRecorded,
         Counter::TracesDropped,
+        Counter::Steals,
+        Counter::BatchedRequests,
     ];
 
     /// Stable snake_case name used by every exporter.
@@ -131,6 +142,8 @@ impl Counter {
             Counter::SloBad => "slo_requests_bad",
             Counter::TracesRecorded => "traces_recorded",
             Counter::TracesDropped => "traces_dropped",
+            Counter::Steals => "steals",
+            Counter::BatchedRequests => "batched_requests",
         }
     }
 

@@ -188,48 +188,60 @@ fn parse_query_request(
     Ok(q)
 }
 
+/// A `/query` request past every gate and ready to solve: the generated
+/// workload, its budget, and the spec. Produced by [`prepare_query`],
+/// consumed by [`solve_one`] (per-request path) or the batch solver.
+struct PreparedQuery {
+    spec: SolveSpec,
+    seed: u64,
+    clients: Vec<ifls_indoor::IndoorPoint>,
+    existing: Vec<ifls_indoor::PartitionId>,
+    candidates: Vec<ifls_indoor::PartitionId>,
+    budget: Budget,
+}
+
 fn query(
     shared: &Arc<Shared>,
     req: &Request,
     ctx: Option<obs::TraceContext>,
 ) -> (Response, Option<obs::RequestTrace>) {
-    let mut trace = None;
-    let resp = query_inner(shared, req, ctx, &mut trace);
-    // Requests refused before the solver ran (4xx) fall back to an
-    // identity-only trace so they still reach the recorder.
-    let trace = trace.or_else(|| ctx.map(base_trace));
-    (resp, trace)
+    let p = match prepare_query(shared, req) {
+        Ok(p) => p,
+        // Requests refused before the solver ran (4xx) fall back to an
+        // identity-only trace so they still reach the recorder.
+        Err(resp) => return (resp, ctx.map(base_trace)),
+    };
+    let tv = shared.current_tree();
+    solve_one(shared, &tv, &p, ctx)
 }
 
-/// The `/query` body: parse → validate → solve → render. Early returns are
-/// all typed errors; on a solver dispatch under an active `ctx` the solver
-/// trace is handed out through `trace_out`.
-fn query_inner(
-    shared: &Arc<Shared>,
-    req: &Request,
-    ctx: Option<obs::TraceContext>,
-    trace_out: &mut Option<obs::RequestTrace>,
-) -> Response {
+/// The `/query` front half: parse → validate → generate the workload and
+/// budget. Early returns are all typed errors, exactly the responses the
+/// pre-refactor single-path handler produced.
+fn prepare_query(shared: &Arc<Shared>, req: &Request) -> Result<PreparedQuery, Response> {
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) if !s.trim().is_empty() => s,
         Ok(_) => "{}",
-        Err(_) => return error_response(400, "bad_request", "request body is not UTF-8"),
+        Err(_) => {
+            return Err(error_response(
+                400,
+                "bad_request",
+                "request body is not UTF-8",
+            ))
+        }
     };
-    let q = match parse_query_request(body, shared.opts.default_cache_admission) {
-        Ok(q) => q,
-        Err(resp) => return resp,
-    };
+    let q = parse_query_request(body, shared.opts.default_cache_admission)?;
     // Protocol-level errors (400) outrank semantic limits (422): a
     // malformed Deadline-Ms header is refused before the body is judged.
     let header_deadline = match req.header("deadline-ms") {
         Some(v) => match v.parse::<u64>() {
             Ok(ms) => Some(ms),
             Err(_) => {
-                return error_response(
+                return Err(error_response(
                     400,
                     "bad_request",
                     &format!("Deadline-Ms header `{v}` is not an integer"),
-                )
+                ))
             }
         },
         None => None,
@@ -237,15 +249,19 @@ fn query_inner(
     // Validate against everything that would make workload generation
     // panic: the daemon's contract is typed 4xx, never a crash.
     if q.clients as u64 > MAX_CLIENTS {
-        return error_response(
+        return Err(error_response(
             422,
             "limits",
             &format!("clients {} exceeds the {MAX_CLIENTS} limit", q.clients),
-        );
+        ));
     }
     if let Some(s) = q.sigma {
         if !(s.is_finite() && s > 0.0) {
-            return error_response(422, "limits", "sigma must be a positive finite number");
+            return Err(error_response(
+                422,
+                "limits",
+                "sigma must be a positive finite number",
+            ));
         }
     }
     // Checked: `fe + fn` must not wrap (release builds have no
@@ -253,17 +269,17 @@ fn query_inner(
     // this guard and panic deep inside workload generation).
     let eligible = eligible_facility_partitions(shared.venue).len();
     if q.fe.checked_add(q.fn_).is_none_or(|total| total > eligible) {
-        return error_response(
+        return Err(error_response(
             422,
             "limits",
             &format!(
                 "fe + fn = {} + {} exceeds the venue's {eligible} eligible facility partitions",
                 q.fe, q.fn_
             ),
-        );
+        ));
     }
     if q.fn_ == 0 {
-        return error_response(422, "limits", "fn must be at least 1");
+        return Err(error_response(422, "limits", "fn must be at least 1"));
     }
     // Deadline precedence: request field > Deadline-Ms header > server
     // default. The budget clock starts *after* workload generation, like
@@ -281,7 +297,6 @@ fn query_inner(
         None => builder.clients_uniform(q.clients),
     };
     let w = builder.build();
-    let tv = shared.current_tree();
     let mut budget = Budget::unlimited();
     if let Some(ms) = deadline_ms {
         budget = budget.with_deadline(Duration::from_millis(ms));
@@ -289,60 +304,213 @@ fn query_inner(
     if let Some(cap) = q.max_dist_computations {
         budget = budget.with_dist_cap(cap);
     }
-    let spec = SolveSpec {
-        objective: q.objective,
-        algorithm: q.algorithm,
-        threads: q.threads,
-        dist_cache: q.dist_cache,
-        cache_admission: q.cache_admission,
-    };
+    Ok(PreparedQuery {
+        spec: SolveSpec {
+            objective: q.objective,
+            algorithm: q.algorithm,
+            threads: q.threads,
+            dist_cache: q.dist_cache,
+            cache_admission: q.cache_admission,
+        },
+        seed: q.seed,
+        clients: w.clients,
+        existing: w.existing,
+        candidates: w.candidates,
+        budget,
+    })
+}
+
+/// The `/query` back half for one request: solve (traced when the
+/// recorder is on) and render the `ifls-stats/v1` line.
+fn solve_one(
+    shared: &Arc<Shared>,
+    tv: &crate::TreeVersion,
+    p: &PreparedQuery,
+    ctx: Option<obs::TraceContext>,
+) -> (Response, Option<obs::RequestTrace>) {
+    let mut trace_out = None;
     let result = match ctx {
         Some(c) => api::solve_traced(
             &tv.tree,
-            &w.clients,
-            &w.existing,
-            &w.candidates,
-            &spec,
-            &budget,
+            &p.clients,
+            &p.existing,
+            &p.candidates,
+            &p.spec,
+            &p.budget,
             c,
         )
         .map(|(summary, t)| {
-            *trace_out = t;
+            trace_out = t;
             summary
         }),
         None => api::solve(
             &tv.tree,
-            &w.clients,
-            &w.existing,
-            &w.candidates,
-            &spec,
-            &budget,
+            &p.clients,
+            &p.existing,
+            &p.candidates,
+            &p.spec,
+            &p.budget,
         ),
     };
-    let summary = match result {
-        Ok(s) => s,
-        Err(e) => {
-            return error_response(
+    match result {
+        Ok(summary) => {
+            let resp = render_query(
+                shared,
+                tv,
+                &p.spec,
+                p.seed,
+                (p.clients.len(), p.existing.len(), p.candidates.len()),
+                &summary,
+            );
+            (resp, trace_out.or_else(|| ctx.map(base_trace)))
+        }
+        Err(e) => (
+            error_response(
                 500,
                 "worker_panic",
                 &format!("parallel worker failure: {e}"),
-            )
-        }
-    };
+            ),
+            ctx.map(base_trace),
+        ),
+    }
+}
+
+/// Renders one solved `/query` as its `ifls-stats/v1` NDJSON response.
+/// `counts` is `(clients, existing, candidates)` — passed separately so
+/// the batch path can report sizes after the workload vectors moved into
+/// the solver.
+fn render_query(
+    shared: &Arc<Shared>,
+    tv: &crate::TreeVersion,
+    spec: &SolveSpec,
+    seed: u64,
+    counts: (usize, usize, usize),
+    summary: &api::QuerySummary,
+) -> Response {
     let line = api::stats_json_line(
         &WorkloadIdent {
             venue: shared.venue.name(),
-            clients: w.clients.len(),
-            existing: w.existing.len(),
-            candidates: w.candidates.len(),
-            seed: q.seed,
+            clients: counts.0,
+            existing: counts.1,
+            candidates: counts.2,
+            seed,
         },
-        q.objective,
-        q.algorithm,
-        &summary,
+        spec.objective,
+        spec.algorithm,
+        summary,
     );
     Response::new(200, "application/x-ndjson", format!("{line}\n"))
         .with_header("Index-Version", tv.version.to_string())
+}
+
+/// Answers a micro-batch of already-read requests, one response per
+/// request, in input order.
+///
+/// `/query` requests that parse, validate, and share a [`SolveSpec`] are
+/// solved together through [`api::solve_batch`] (fresh per-query caches,
+/// shared client legs — responses stay bit-identical to the unbatched
+/// path); each of them ticks the `batched_requests` counter. Everything
+/// else — other endpoints, refused requests, and singleton shapes — takes
+/// exactly the per-request path. One index snapshot is pinned for the
+/// whole batch, so a concurrent `/reload` cannot split a batch across
+/// index versions.
+pub(crate) fn route_batch(
+    shared: &Arc<Shared>,
+    reqs: &[Request],
+    ctxs: &[Option<obs::TraceContext>],
+) -> Vec<(Response, Option<obs::RequestTrace>)> {
+    let mut out: Vec<Option<(Response, Option<obs::RequestTrace>)>> =
+        (0..reqs.len()).map(|_| None).collect();
+    let mut prepared: Vec<(usize, PreparedQuery)> = Vec::new();
+    for (i, req) in reqs.iter().enumerate() {
+        if (req.method.as_str(), req.path.as_str()) == ("POST", "/query") {
+            match prepare_query(shared, req) {
+                Ok(p) => prepared.push((i, p)),
+                Err(resp) => out[i] = Some((resp, ctxs[i].map(base_trace))),
+            }
+        } else {
+            out[i] = Some(route(shared, req, ctxs[i]));
+        }
+    }
+    let tv = shared.current_tree();
+    // Group compatible queries by spec. Batches are small (≤ max-batch),
+    // so a linear scan beats hashing.
+    let mut groups: Vec<(SolveSpec, Vec<usize>)> = Vec::new();
+    for (pi, (_, p)) in prepared.iter().enumerate() {
+        match groups.iter_mut().find(|(s, _)| *s == p.spec) {
+            Some((_, members)) => members.push(pi),
+            None => groups.push((p.spec, vec![pi])),
+        }
+    }
+    for (spec, members) in groups {
+        if members.len() == 1 {
+            let (i, p) = &prepared[members[0]];
+            out[*i] = Some(solve_one(shared, &tv, p, ctxs[*i]));
+            continue;
+        }
+        // Hand the workload vectors to the batch solver without cloning;
+        // response rendering reads the counts back from `queries`.
+        let queries: Vec<api::BatchQuery> = members
+            .iter()
+            .map(|&pi| {
+                let (i, p) = &mut prepared[pi];
+                api::BatchQuery {
+                    clients: std::mem::take(&mut p.clients),
+                    existing: std::mem::take(&mut p.existing),
+                    candidates: std::mem::take(&mut p.candidates),
+                    budget: p.budget.clone(),
+                    ctx: ctxs[*i],
+                }
+            })
+            .collect();
+        match api::solve_batch(&tv.tree, batch_threads(shared), &queries, &spec) {
+            Ok(results) => {
+                obs::counter_add(obs::Counter::BatchedRequests, results.len() as u64);
+                for (k, (summary, trace)) in results.into_iter().enumerate() {
+                    let (i, p) = &prepared[members[k]];
+                    let q = &queries[k];
+                    let resp = render_query(
+                        shared,
+                        &tv,
+                        &p.spec,
+                        p.seed,
+                        (q.clients.len(), q.existing.len(), q.candidates.len()),
+                        &summary,
+                    );
+                    out[*i] = Some((resp, trace.or_else(|| ctxs[*i].map(base_trace))));
+                }
+            }
+            Err(e) => {
+                // A query panicked twice (worker + retry): fail the whole
+                // group with the same typed error the parallel path uses.
+                for &pi in &members {
+                    let i = prepared[pi].0;
+                    out[i] = Some((
+                        error_response(
+                            500,
+                            "worker_panic",
+                            &format!("parallel worker failure: {e}"),
+                        ),
+                        ctxs[i].map(base_trace),
+                    ));
+                }
+            }
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every request answered by exactly one path"))
+        .collect()
+}
+
+/// Worker threads for the in-batch solver: the daemon's resolved worker
+/// count, floored at 2 so the scheduler's per-query panic isolation stays
+/// in effect (the serial path is deliberately panic-transparent).
+fn batch_threads(shared: &Arc<Shared>) -> usize {
+    let resolved = match shared.opts.workers {
+        0 => ifls_core::parallel::default_threads().min(4),
+        w => w,
+    };
+    resolved.max(2)
 }
 
 /// Good-request fraction the SLO error budget is sized against: a 99%

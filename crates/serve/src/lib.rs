@@ -114,6 +114,13 @@ pub struct ServeOptions {
     /// JSONL, readable with `ifls trace`). `None` disables the signal
     /// dump; the `GET /debug/requests` endpoint is unaffected.
     pub trace_dump: Option<PathBuf>,
+    /// Micro-batching: the most queued connections one worker drains and
+    /// answers in a single batch when the queue is running deep (`1`
+    /// disables batching). Batched `/query` requests that share a solve
+    /// shape are answered through the batch solver with shared client
+    /// legs; responses are bit-identical to the unbatched path, and every
+    /// batched connection is closed after its one exchange.
+    pub max_batch: usize,
 }
 
 impl Default for ServeOptions {
@@ -136,6 +143,7 @@ impl Default for ServeOptions {
             slo_ms: None,
             recorder_capacity: 64,
             trace_dump: Some(PathBuf::from("ifls-trace-dump.jsonl")),
+            max_batch: 1,
         }
     }
 }
@@ -550,11 +558,31 @@ fn shed(shared: &Arc<Shared>, conn: TcpStream) {
 /// way out of every known panic, but an escaped panic must cost exactly
 /// one connection, never a worker — with a fixed pool, each lost worker
 /// would shrink capacity until the daemon accepts but never answers.
+/// Queue depth below which a worker serves connections one at a time even
+/// when `--max-batch` allows more: batching a trickle only adds latency
+/// without amortizing anything.
+const MICRO_BATCH_WATERMARK: usize = 2;
+
 fn worker_loop(shared: &Arc<Shared>) {
-    while let Some((conn, queue_wait)) = shared.queue.pop() {
-        obs::record_ns("serve_queue_wait_ns", queue_wait.as_nanos() as u64);
+    let max_batch = shared.opts.max_batch.max(1);
+    loop {
+        // With batching off this is exactly the old single-pop loop;
+        // `pop_batch` below still returns singleton batches while the
+        // queue stays under the watermark.
+        let batch = if max_batch <= 1 {
+            shared.queue.pop().map(|c| vec![c])
+        } else {
+            shared.queue.pop_batch(max_batch, MICRO_BATCH_WATERMARK)
+        };
+        let Some(mut batch) = batch else { break };
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_connection(shared, conn, queue_wait)
+            if batch.len() == 1 {
+                let (conn, queue_wait) = batch.pop().expect("len checked");
+                obs::record_ns("serve_queue_wait_ns", queue_wait.as_nanos() as u64);
+                handle_connection(shared, conn, queue_wait);
+            } else {
+                handle_batch(shared, batch);
+            }
         }));
         if caught.is_err() {
             obs::counter_add(Counter::ServePanics, 1);
@@ -637,6 +665,83 @@ fn handle_connection(shared: &Arc<Shared>, conn: TcpStream, queue_wait: Duration
         if http::write_response(&mut writer, &response).is_err() || close {
             return;
         }
+    }
+}
+
+/// Serves one micro-batch (two or more connections drained together by
+/// [`pool::ConnQueue::pop_batch`]): read one request from every
+/// connection, answer them through [`handler::route_batch`] — which
+/// solves compatible `/query` requests together with shared client legs —
+/// and write every response with `Connection: close`. Batched connections
+/// get exactly one exchange: keep-alive would couple unrelated clients'
+/// connection lifetimes to each other's batches.
+///
+/// Read errors get the same per-connection handling as
+/// [`handle_connection`]'s first read (protocol errors answered with a
+/// typed 4xx, EOF/IO errors dropped); those connections simply leave the
+/// batch. Traces, budgets, per-request latency records, and SLO
+/// accounting are all per request, exactly as on the unbatched path.
+fn handle_batch(shared: &Arc<Shared>, batch: Vec<(TcpStream, Duration)>) {
+    let mut writers: Vec<TcpStream> = Vec::with_capacity(batch.len());
+    let mut requests: Vec<http::Request> = Vec::with_capacity(batch.len());
+    let mut waits_ns: Vec<u64> = Vec::with_capacity(batch.len());
+    let mut started: Vec<Instant> = Vec::with_capacity(batch.len());
+    for (conn, queue_wait) in batch {
+        obs::record_ns("serve_queue_wait_ns", queue_wait.as_nanos() as u64);
+        let _ = conn.set_read_timeout(Some(shared.opts.read_timeout));
+        let mut writer = match conn.try_clone() {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let mut reader = BufReader::new(conn);
+        match http::read_request(
+            &mut reader,
+            shared.opts.max_body_bytes,
+            shared.opts.request_read_timeout,
+        ) {
+            Ok(r) => {
+                writers.push(writer);
+                requests.push(r);
+                waits_ns.push(queue_wait.as_nanos() as u64);
+                started.push(Instant::now());
+            }
+            Err(HttpError::Eof) | Err(HttpError::Io(_)) => {}
+            Err(HttpError::BadRequest(detail)) => {
+                let resp = handler::error_response(400, "bad_request", &detail).closing();
+                let _ = http::write_response(&mut writer, &resp);
+            }
+            Err(HttpError::LengthRequired) => {
+                let resp = handler::error_response(
+                    411,
+                    "length_required",
+                    "body-carrying requests must send Content-Length",
+                )
+                .closing();
+                let _ = http::write_response(&mut writer, &resp);
+            }
+            Err(HttpError::PayloadTooLarge { declared, limit }) => {
+                let resp = handler::error_response(
+                    413,
+                    "payload_too_large",
+                    &format!("request body of {declared} B exceeds the {limit} B limit"),
+                )
+                .closing();
+                let _ = http::write_response(&mut writer, &resp);
+            }
+        }
+    }
+    let ctxs: Vec<Option<obs::TraceContext>> = requests
+        .iter()
+        .map(|_| shared.recorder.as_ref().map(|_| obs::TraceContext::next()))
+        .collect();
+    let answered = handler::route_batch(shared, &requests, &ctxs);
+    for (k, (response, trace)) in answered.into_iter().enumerate() {
+        obs::counter_add(Counter::RequestsTotal, 1);
+        let total_ns = started[k].elapsed().as_nanos() as u64;
+        obs::record_ns("serve_request_latency_ns", total_ns);
+        finish_request_obs(shared, response.status, trace, total_ns, waits_ns[k]);
+        shared.flush_local_obs();
+        let _ = http::write_response(&mut writers[k], &response.closing());
     }
 }
 

@@ -83,6 +83,41 @@ impl ConnQueue {
         }
     }
 
+    /// Like [`pop`](Self::pop), but drains up to `max` connections in one
+    /// call when the queue is running deep — the admission side of serve
+    /// micro-batching. Blocks for the first connection exactly like
+    /// `pop`; extras are drained without blocking, and only when the
+    /// total depth at wake-up (the popped connection plus what is still
+    /// parked) reaches `low_watermark` — below that, batching a trickle
+    /// would only add latency without amortizing anything. Every
+    /// connection keeps its own queue-wait measurement. `None` means
+    /// shutdown, exactly like `pop`.
+    pub fn pop_batch(
+        &self,
+        max: usize,
+        low_watermark: usize,
+    ) -> Option<Vec<(TcpStream, Duration)>> {
+        let mut st = self.inner.lock().unwrap();
+        loop {
+            if let Some((conn, enqueued)) = st.conns.pop_front() {
+                let mut batch = vec![(conn, enqueued.elapsed())];
+                if 1 + st.conns.len() >= low_watermark {
+                    while batch.len() < max {
+                        match st.conns.pop_front() {
+                            Some((c, t)) => batch.push((c, t.elapsed())),
+                            None => break,
+                        }
+                    }
+                }
+                return Some(batch);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+
     /// Closes the queue: parked connections are dropped, blocked `pop`s
     /// wake with `None`, later pushes are refused.
     pub fn close(&self) {
@@ -132,6 +167,25 @@ mod tests {
             wait >= Duration::from_millis(15),
             "queue wait {wait:?} must cover the parked time"
         );
+    }
+
+    #[test]
+    fn pop_batch_drains_above_the_watermark_only() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let q = ConnQueue::new(8);
+        // Depth 1 is below the watermark: no draining, a batch of one.
+        q.try_push(conn_pair(&listener)).unwrap();
+        let batch = q.pop_batch(4, 2).unwrap();
+        assert_eq!(batch.len(), 1);
+        // Depth 3 clears the watermark: drained up to `max`.
+        for _ in 0..3 {
+            q.try_push(conn_pair(&listener)).unwrap();
+        }
+        let batch = q.pop_batch(2, 2).unwrap();
+        assert_eq!(batch.len(), 2, "capped at max");
+        let batch = q.pop_batch(4, 1).unwrap();
+        assert_eq!(batch.len(), 1, "only one left to drain");
+        assert_eq!(q.depth(), 0);
     }
 
     #[test]

@@ -585,10 +585,7 @@ impl<'s> DistCache<'s> {
         if p == q {
             return 0.0;
         }
-        self.door_dists(tree, p, q)
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min)
+        crate::kernels::min_fold(self.door_dists(tree, p, q))
     }
 
     /// `iMinD(p, n)` through the cache — bit-identical to
@@ -693,10 +690,7 @@ impl<'s> DistCache<'s> {
 #[inline]
 pub fn combine_legs(legs: &[f64], door_dists: &[f64]) -> f64 {
     debug_assert_eq!(legs.len(), door_dists.len());
-    legs.iter()
-        .zip(door_dists)
-        .map(|(&l, &d)| l + d)
-        .fold(f64::INFINITY, f64::min)
+    crate::kernels::min_add2(legs, door_dists)
 }
 
 #[cfg(test)]

@@ -269,9 +269,7 @@ impl VipTree<'_> {
         if p == q {
             return 0.0;
         }
-        self.door_dists_to_partition(p, q)
-            .into_iter()
-            .fold(f64::INFINITY, f64::min)
+        crate::kernels::min_fold(&self.door_dists_to_partition(p, q))
     }
 
     /// `iMinD(p, N)`: a lower bound on the distance from any point of

@@ -45,6 +45,7 @@
 mod build;
 pub mod cache;
 mod dist;
+pub mod kernels;
 mod knn;
 mod matrix;
 mod node;

@@ -1,6 +1,8 @@
 //! Batch throughput of the parallel engine: the same 32-query batch served
 //! with 1 worker and with all available cores, answers compared
-//! bit-for-bit.
+//! bit-for-bit. Also reports how many work-steal operations the chunked
+//! deques absorbed — the scheduler's rebalancing is visible in the steal
+//! counter, never in the answers.
 //!
 //! ```sh
 //! cargo run --release --example parallel_speedup
@@ -26,8 +28,13 @@ const REPEATS: usize = 2;
 fn time_batch(
     runner: &BatchRunner<'_, '_>,
     queries: &[IflsQuery],
-) -> (Duration, Vec<MinMaxOutcome>) {
+) -> (Duration, Vec<MinMaxOutcome>, u64) {
     // Best-of-N to shave scheduler noise; answers are identical each run.
+    // Steal counts are summed over all repeats (each run rebalances
+    // independently, and zero is meaningful on a serial runner).
+    let was_enabled = ifls_obs::enabled();
+    ifls_obs::set_enabled(true);
+    let _ = ifls_obs::take_local();
     let mut best: Option<(Duration, Vec<MinMaxOutcome>)> = None;
     for _ in 0..REPEATS {
         let t0 = Instant::now();
@@ -37,7 +44,10 @@ fn time_batch(
             best = Some((dt, out));
         }
     }
-    best.expect("REPEATS > 0")
+    let steals = ifls_obs::take_local().counter(ifls_obs::Counter::Steals);
+    ifls_obs::set_enabled(was_enabled);
+    let (dt, out) = best.expect("REPEATS > 0");
+    (dt, out, steals)
 }
 
 fn main() {
@@ -68,8 +78,8 @@ fn main() {
     );
 
     let threads = default_threads();
-    let (t1, serial) = time_batch(&BatchRunner::with_threads(&tree, 1), &queries);
-    let (tn, parallel) = time_batch(&BatchRunner::with_threads(&tree, threads), &queries);
+    let (t1, serial, steals_1) = time_batch(&BatchRunner::with_threads(&tree, 1), &queries);
+    let (tn, parallel, steals_n) = time_batch(&BatchRunner::with_threads(&tree, threads), &queries);
 
     // The whole point of the engine: sharding changes the schedule, never
     // the answer.
@@ -85,11 +95,11 @@ fn main() {
     println!("all {BATCH} answers bit-identical across thread counts");
 
     println!(
-        "  1 thread : {t1:>10.2?}  ({:.1} ms/query)",
+        "  1 thread : {t1:>10.2?}  ({:.1} ms/query, {steals_1} steals)",
         t1.as_secs_f64() * 1e3 / BATCH as f64
     );
     println!(
-        "{threads:>3} threads: {tn:>10.2?}  ({:.1} ms/query)",
+        "{threads:>3} threads: {tn:>10.2?}  ({:.1} ms/query, {steals_n} steals over {REPEATS} runs)",
         tn.as_secs_f64() * 1e3 / BATCH as f64
     );
     let speedup = t1.as_secs_f64() / tn.as_secs_f64();
