@@ -4,9 +4,15 @@
 //! drives a running daemon with C keep-alive connections, each issuing
 //! requests back-to-back (closed loop: a new request starts only when the
 //! previous response is fully read), and reports an
-//! `ifls-bench-serve/v1` JSON object: status-class counts, throughput,
-//! and a p50/p95/p99 latency distribution from the same log2 histogram
-//! the engine uses ([`ifls_obs::LatencyHistogram`]).
+//! `ifls-bench-serve/v2` JSON object: status-class counts, retry counts,
+//! throughput, and a p50/p95/p99 latency distribution from the same log2
+//! histogram the engine uses ([`ifls_obs::LatencyHistogram`]).
+//!
+//! When the daemon sheds a request (`503` + `Retry-After`), the client
+//! honors the advertised delay with seeded jittered backoff (uniform in
+//! `[delay/2, delay]`, [`ifls_rng::StdRng`] keyed by `--backoff-seed` and
+//! the worker index, so a rerun replays the same schedule) and retries up
+//! to `--max-retries` times before counting the request as shed.
 //!
 //! `--smoke` is the CI gate: 100 requests, then exit non-zero unless
 //! every one came back `200` with a well-formed `ifls-stats/v1` body.
@@ -24,9 +30,10 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ifls_obs::LatencyHistogram;
+use ifls_rng::StdRng;
 
 struct Config {
     addr: String,
@@ -42,6 +49,8 @@ struct Config {
     out: Option<String>,
     smoke: bool,
     burst: bool,
+    max_retries: u64,
+    backoff_seed: u64,
 }
 
 impl Default for Config {
@@ -60,6 +69,8 @@ impl Default for Config {
             out: None,
             smoke: false,
             burst: false,
+            max_retries: 3,
+            backoff_seed: 0x1F15,
         }
     }
 }
@@ -90,6 +101,12 @@ fn parse_args() -> Result<Config, String> {
                 cfg.deadline_ms = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?)
             }
             "--fixed-seed" => cfg.vary_seed = false,
+            "--max-retries" => {
+                cfg.max_retries = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--backoff-seed" => {
+                cfg.backoff_seed = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
             "--out" => cfg.out = Some(value(&mut i)?),
             "--smoke" => {
                 cfg.smoke = true;
@@ -115,12 +132,13 @@ fn parse_args() -> Result<Config, String> {
 }
 
 /// One HTTP exchange over an established connection. Returns the status
-/// code and body, or an error string (the caller reconnects).
+/// code, body, and the parsed `Retry-After` seconds when the daemon sent
+/// one, or an error string (the caller reconnects).
 fn exchange(
     stream: &mut TcpStream,
     reader: &mut BufReader<TcpStream>,
     body: &str,
-) -> Result<(u16, String), String> {
+) -> Result<(u16, String, Option<u64>), String> {
     let request = format!(
         "POST /query HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
         body.len(),
@@ -139,6 +157,7 @@ fn exchange(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("malformed status line `{}`", status_line.trim()))?;
     let mut content_length = 0usize;
+    let mut retry_after = None;
     loop {
         let mut line = String::new();
         reader
@@ -148,13 +167,20 @@ fn exchange(
         if line.is_empty() {
             break;
         }
-        if let Some(v) = line
-            .to_ascii_lowercase()
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower
             .strip_prefix("content-length:")
             .map(str::trim)
             .and_then(|v| v.parse().ok())
         {
             content_length = v;
+        }
+        if let Some(v) = lower
+            .strip_prefix("retry-after:")
+            .map(str::trim)
+            .and_then(|v| v.parse().ok())
+        {
+            retry_after = Some(v);
         }
     }
     let mut body = vec![0u8; content_length];
@@ -162,13 +188,13 @@ fn exchange(
         .read_exact(&mut body)
         .map_err(|e| format!("read body: {e}"))?;
     String::from_utf8(body)
-        .map(|b| (status, b))
+        .map(|b| (status, b, retry_after))
         .map_err(|_| "response body is not UTF-8".into())
 }
 
 /// One-shot request on a fresh connection (used by the burst gate, where
 /// batched responses close the connection after the exchange anyway).
-fn exchange_once(addr: &str, body: &str) -> Result<(u16, String), String> {
+fn exchange_once(addr: &str, body: &str) -> Result<(u16, String, Option<u64>), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
     exchange(&mut stream, &mut reader, body)
@@ -218,14 +244,14 @@ fn burst(cfg: &Config) -> i32 {
     let mut baseline = Vec::new();
     for seed in 0..cfg.requests {
         match exchange_once(&cfg.addr, &burst_body(cfg, seed)) {
-            Ok((200, body)) => match stable_answer(&body) {
+            Ok((200, body, _)) => match stable_answer(&body) {
                 Some(s) => baseline.push(s),
                 None => {
                     eprintln!("burst FAILED: seed {seed} baseline body is not ifls-stats/v1");
                     return 1;
                 }
             },
-            Ok((status, body)) => {
+            Ok((status, body, _)) => {
                 eprintln!(
                     "burst FAILED: seed {seed} baseline got {status}: {}",
                     body.trim()
@@ -240,7 +266,7 @@ fn burst(cfg: &Config) -> i32 {
     }
 
     // Burst round: the same seeds from C concurrent connections.
-    let results: Vec<Mutex<Option<Result<(u16, String), String>>>> =
+    let results: Vec<Mutex<Option<Result<(u16, String, Option<u64>), String>>>> =
         (0..cfg.requests).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for t in 0..cfg.concurrency {
@@ -260,13 +286,13 @@ fn burst(cfg: &Config) -> i32 {
     for (seed, slot) in results.iter().enumerate() {
         let outcome = slot.lock().unwrap().take().expect("every seed answered");
         match outcome {
-            Ok((200, body)) => {
+            Ok((200, body, _)) => {
                 if stable_answer(&body).as_ref() != Some(&baseline[seed]) {
                     eprintln!("burst FAILED: seed {seed} answer diverged from the baseline");
                     failed = true;
                 }
             }
-            Ok((status, body)) => {
+            Ok((status, body, _)) => {
                 eprintln!("burst FAILED: seed {seed} got {status}: {}", body.trim());
                 failed = true;
             }
@@ -314,6 +340,7 @@ struct Tally {
     shed: u64,
     other_status: u64,
     errors: u64,
+    retries: u64,
     histogram: LatencyHistogram,
 }
 
@@ -324,13 +351,18 @@ impl Tally {
         self.shed += other.shed;
         self.other_status += other.other_status;
         self.errors += other.errors;
+        self.retries += other.retries;
         self.histogram.merge(&other.histogram);
     }
 }
 
-fn client_loop(cfg: &Config, next: &AtomicU64) -> Tally {
+fn client_loop(cfg: &Config, next: &AtomicU64, worker: u64) -> Tally {
     let mut tally = Tally::default();
     let mut conn: Option<(TcpStream, BufReader<TcpStream>)> = None;
+    // Seeded per worker so a rerun with the same seed replays the same
+    // backoff schedule — jitter without losing reproducibility.
+    let mut rng =
+        StdRng::seed_from_u64(cfg.backoff_seed ^ worker.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= cfg.requests {
@@ -347,7 +379,10 @@ fn client_loop(cfg: &Config, next: &AtomicU64) -> Tally {
         );
         // One reconnect attempt per request: a daemon closing an idle
         // keep-alive connection is normal, a second failure is an error.
+        // A shed (`503`) is retried up to `--max-retries` times after
+        // sleeping a jittered slice of the advertised `Retry-After`.
         let mut attempt = 0;
+        let mut retries = 0;
         let outcome = loop {
             if conn.is_none() {
                 match TcpStream::connect(&cfg.addr) {
@@ -364,7 +399,19 @@ fn client_loop(cfg: &Config, next: &AtomicU64) -> Tally {
             let (stream, reader) = conn.as_mut().unwrap();
             let started = Instant::now();
             match exchange(stream, reader, &body) {
-                Ok((status, resp_body)) => break Ok((status, resp_body, started.elapsed())),
+                Ok((503, resp_body, retry_after)) => {
+                    if retries >= cfg.max_retries {
+                        break Ok((503, resp_body, started.elapsed()));
+                    }
+                    retries += 1;
+                    tally.retries += 1;
+                    // Shed responses carry `Connection: close`.
+                    conn = None;
+                    let advertised_ms = retry_after.unwrap_or(1).clamp(1, 30) * 1000;
+                    let jittered = rng.random_range((advertised_ms / 2)..=advertised_ms);
+                    std::thread::sleep(Duration::from_millis(jittered));
+                }
+                Ok((status, resp_body, _)) => break Ok((status, resp_body, started.elapsed())),
                 Err(e) => {
                     conn = None;
                     attempt += 1;
@@ -401,7 +448,8 @@ fn main() {
             eprintln!(
                 "usage: bench_serve --addr HOST:PORT [--requests N] [--concurrency C] \
                  [--objective O] [--algorithm A] [--clients N] [--fe N] [--fn N] \
-                 [--deadline-ms N] [--fixed-seed] [--out FILE] [--smoke] [--burst]"
+                 [--deadline-ms N] [--fixed-seed] [--max-retries N] [--backoff-seed N] \
+                 [--out FILE] [--smoke] [--burst]"
             );
             std::process::exit(2);
         }
@@ -413,9 +461,10 @@ fn main() {
     let total = Mutex::new(Tally::default());
     let started = Instant::now();
     std::thread::scope(|scope| {
-        for _ in 0..cfg.concurrency {
-            scope.spawn(|| {
-                let tally = client_loop(&cfg, &next);
+        for t in 0..cfg.concurrency {
+            let (cfg, next, total) = (&cfg, &next, &total);
+            scope.spawn(move || {
+                let tally = client_loop(cfg, next, t as u64);
                 total.lock().unwrap().merge(&tally);
             });
         }
@@ -426,12 +475,12 @@ fn main() {
     let rps = cfg.requests as f64 / elapsed.as_secs_f64();
     let report = format!(
         concat!(
-            "{{\"schema\":\"ifls-bench-serve/v1\",\"addr\":\"{addr}\",",
+            "{{\"schema\":\"ifls-bench-serve/v2\",\"addr\":\"{addr}\",",
             "\"requests\":{requests},\"concurrency\":{concurrency},",
             "\"objective\":\"{objective}\",\"algorithm\":\"{algorithm}\",",
             "\"clients\":{clients},\"fe\":{fe},\"fn\":{fn_},",
             "\"ok\":{ok},\"degraded\":{degraded},\"shed\":{shed},",
-            "\"other_status\":{other},\"errors\":{errors},",
+            "\"other_status\":{other},\"errors\":{errors},\"retries\":{retries},",
             "\"elapsed_ms\":{elapsed_ms:.3},\"throughput_rps\":{rps:.1},",
             "\"latency\":{{\"count\":{lcount},\"p50_ns\":{p50},",
             "\"p95_ns\":{p95},\"p99_ns\":{p99}}}}}"
@@ -449,6 +498,7 @@ fn main() {
         shed = t.shed,
         other = t.other_status,
         errors = t.errors,
+        retries = t.retries,
         elapsed_ms = elapsed_ms,
         rps = rps,
         lcount = t.histogram.count(),
@@ -466,8 +516,8 @@ fn main() {
     if cfg.smoke {
         let p99_ms = t.histogram.p99_ns() as f64 / 1e6;
         eprintln!(
-            "smoke: {}/{} ok, {} errors, p99 {p99_ms:.2} ms",
-            t.ok, cfg.requests, t.errors
+            "smoke: {}/{} ok, {} errors, {} retries, p99 {p99_ms:.2} ms",
+            t.ok, cfg.requests, t.errors, t.retries
         );
         if t.ok != cfg.requests {
             eprintln!(

@@ -1,0 +1,443 @@
+//! Deterministic chaos soak for `ifls serve`.
+//!
+//! Boots the daemon in-process, records a fault-free sequential baseline
+//! for every request seed, then installs a seeded [`FaultSchedule`] —
+//! recurring worker panics (`worker_heartbeat`), one wedged worker
+//! (`queue_wedge` delay longer than the wedge threshold) and recurring
+//! slow reads (`io_read` delays) — and replays the same seeds under
+//! closed-loop concurrent load. The soak passes only when:
+//!
+//! - every response is a typed HTTP status (no hangs, no torn frames,
+//!   no transport errors);
+//! - every `200` body is bit-identical to its sequential baseline on the
+//!   deterministic prefix;
+//! - the injected faults actually fired (≥3 worker panics, ≥1 wedge,
+//!   ≥2 delays) and `/metrics` shows the supervisor respawning;
+//! - after the schedule is disarmed, `/readyz` reports the pool back at
+//!   target strength.
+//!
+//! The binary refuses to run unless it was built with
+//! `--features fault-inject`: without the feature every crossing compiles
+//! to a constant `false` and the soak would assert nothing.
+//!
+//! `--smoke` is the CI gate: 240 requests at concurrency 6. The report is
+//! one `ifls-bench-soak/v1` JSON line.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ifls_fault::{self as fault, FaultAction, FaultPoint, FaultSchedule};
+use ifls_serve::{ServeOptions, Server};
+use ifls_venues::GridVenueSpec;
+
+struct Config {
+    seed: u64,
+    requests: u64,
+    concurrency: usize,
+    wedge_ms: u64,
+    out: Option<String>,
+    smoke: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            seed: 0xC0A5,
+            requests: 400,
+            concurrency: 8,
+            wedge_ms: 400,
+            out: None,
+            smoke: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Config, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = Config::default();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("option `{}` needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => cfg.seed = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--requests" => cfg.requests = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--concurrency" => {
+                cfg.concurrency = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--wedge-ms" => cfg.wedge_ms = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => cfg.out = Some(value(&mut i)?),
+            "--smoke" => {
+                cfg.smoke = true;
+                cfg.requests = 240;
+                cfg.concurrency = 6;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    if cfg.concurrency == 0 || cfg.requests == 0 {
+        return Err("--requests and --concurrency must be at least 1".into());
+    }
+    Ok(cfg)
+}
+
+/// One request on a fresh connection (`Connection: close`): status + body.
+/// A transport-level failure is an `Err` — under this fault schedule no
+/// accepted connection may ever be dropped without a typed response.
+fn exchange_once(addr: &str, body: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    let request = format!(
+        "POST /query HTTP/1.1\r\nHost: soak\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read status: {e}"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line `{}`", status_line.trim()))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read header: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse().ok())
+        {
+            content_length = v;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    String::from_utf8(body)
+        .map(|b| (status, b))
+        .map_err(|_| "response body is not UTF-8".into())
+}
+
+/// Plain GET returning (status, body).
+fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: soak\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut out = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut out)
+        .map_err(|e| format!("read: {e}"))?;
+    let status: u16 = out
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "malformed response".to_string())?;
+    let body = out
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// A named counter from the `/metrics` Prometheus exposition.
+fn scrape_counter(metrics: &str, name: &str) -> u64 {
+    let needle = format!("ifls_events_total{{name=\"{name}\"}}");
+    metrics
+        .lines()
+        .find(|l| l.starts_with(&needle))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// The deterministic slice of an `ifls-stats/v1` body (everything before
+/// the volatile `stats` timings) plus the `dist_computations` count.
+fn stable_answer(body: &str) -> Option<(String, String)> {
+    let prefix = body.split("\"stats\":").next()?.to_string();
+    let dist = body
+        .split("\"dist_computations\":")
+        .nth(1)?
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>();
+    Some((prefix, dist))
+}
+
+fn query_body(seed: u64) -> String {
+    format!(
+        "{{\"objective\":\"minmax\",\"algorithm\":\"efficient\",\
+         \"clients\":120,\"fe\":4,\"fn\":8,\"seed\":{seed}}}"
+    )
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    typed_failures: u64,
+    transport_errors: u64,
+    answer_divergence: u64,
+}
+
+fn main() {
+    let cfg = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_soak: {e}");
+            eprintln!(
+                "usage: bench_soak [--seed N] [--requests N] [--concurrency C] \
+                 [--wedge-ms N] [--out FILE] [--smoke]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if !fault::enabled() {
+        eprintln!(
+            "bench_soak: built without the `fault-inject` feature — the schedule would be \
+             a no-op and the soak would assert nothing.\n\
+             rebuild with: cargo run --release --features fault-inject --bin bench_soak"
+        );
+        std::process::exit(2);
+    }
+
+    // An in-process daemon on an ephemeral port. The wedge threshold is
+    // low so a wedged worker is detected within the soak's budget; the
+    // queue-wedge delay below is sized to cross it decisively.
+    let venue = GridVenueSpec::new("soak", 2, 24).build();
+    let server = Server::start(
+        venue,
+        ServeOptions {
+            workers: 4,
+            sighup_reload: false,
+            sigterm_drain: false,
+            worker_wedge_ms: cfg.wedge_ms,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("bench_soak: cannot start daemon: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.addr().to_string();
+
+    // Phase 1 — fault-free sequential baseline: the serial oracle every
+    // chaos-round 200 must match bit-for-bit on the deterministic prefix.
+    let mut baseline = Vec::with_capacity(cfg.requests as usize);
+    for seed in 0..cfg.requests {
+        match exchange_once(&addr, &query_body(seed)) {
+            Ok((200, body)) => match stable_answer(&body) {
+                Some(s) => baseline.push(s),
+                None => {
+                    eprintln!("soak FAILED: seed {seed} baseline body is not ifls-stats/v1");
+                    std::process::exit(1);
+                }
+            },
+            Ok((status, body)) => {
+                eprintln!(
+                    "soak FAILED: seed {seed} baseline got {status}: {}",
+                    body.trim()
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("soak FAILED: seed {seed} baseline: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Phase 2 — the seeded chaos schedule. Worker panics recur (every
+    // 35th heartbeat crossing), one worker wedges (a queue-pop delay of
+    // 3× the wedge threshold), two reads stall briefly.
+    let wedge_delay = Duration::from_millis(cfg.wedge_ms * 3);
+    let schedule = FaultSchedule::seeded(cfg.seed)
+        .every(FaultPoint::WorkerHeartbeat, 35, 10, FaultAction::Fail)
+        .nth(FaultPoint::QueueWedge, 20, FaultAction::Delay(wedge_delay))
+        .every(
+            FaultPoint::IoRead,
+            80,
+            30,
+            FaultAction::Delay(Duration::from_millis(50)),
+        );
+    schedule.install();
+
+    let next = AtomicU64::new(0);
+    let total = Mutex::new(Tally::default());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.concurrency {
+            let (next, total, baseline, addr) = (&next, &total, &baseline, addr.as_str());
+            scope.spawn(move || {
+                let mut tally = Tally::default();
+                loop {
+                    let seed = next.fetch_add(1, Ordering::Relaxed);
+                    if seed >= cfg.requests {
+                        break;
+                    }
+                    match exchange_once(addr, &query_body(seed)) {
+                        Ok((200, body)) => {
+                            if stable_answer(&body).as_ref() == Some(&baseline[seed as usize]) {
+                                tally.ok += 1;
+                            } else {
+                                eprintln!("soak: seed {seed} answer diverged from the baseline");
+                                tally.answer_divergence += 1;
+                            }
+                        }
+                        Ok((status, _)) if (400..=599).contains(&status) => {
+                            tally.typed_failures += 1;
+                        }
+                        Ok((status, body)) => {
+                            eprintln!("soak: seed {seed} got unexpected {status}: {}", body.trim());
+                            tally.transport_errors += 1;
+                        }
+                        Err(e) => {
+                            eprintln!("soak: seed {seed}: {e}");
+                            tally.transport_errors += 1;
+                        }
+                    }
+                }
+                total.lock().unwrap().merge(&tally);
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let t = total.into_inner().unwrap();
+
+    let panics_fired = fault::fired(FaultPoint::WorkerHeartbeat);
+    let wedges_fired = fault::fired(FaultPoint::QueueWedge);
+    let delays_fired = fault::fired(FaultPoint::IoRead);
+
+    // Phase 3 — recovery: stop injecting, then the supervisor must bring
+    // the pool back to target strength (readiness includes pool health).
+    fault::disarm_all();
+    let recover_deadline = Instant::now() + Duration::from_secs(15);
+    let mut recovered = false;
+    while Instant::now() < recover_deadline {
+        if matches!(http_get(&addr, "/readyz"), Ok((200, _))) {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let metrics = http_get(&addr, "/metrics")
+        .map(|(_, b)| b)
+        .unwrap_or_default();
+    let respawned = scrape_counter(&metrics, "workers_respawned");
+    let wedged = scrape_counter(&metrics, "workers_wedged");
+
+    let report = format!(
+        concat!(
+            "{{\"schema\":\"ifls-bench-soak/v1\",\"seed\":{seed},",
+            "\"requests\":{requests},\"concurrency\":{concurrency},",
+            "\"ok\":{ok},\"typed_failures\":{typed},\"transport_errors\":{transport},",
+            "\"answer_divergence\":{diverged},",
+            "\"worker_panics_fired\":{panics},\"wedges_fired\":{wedges},",
+            "\"io_delays_fired\":{delays},",
+            "\"workers_respawned\":{respawned},\"workers_wedged\":{wedged},",
+            "\"recovered\":{recovered},\"elapsed_ms\":{elapsed_ms:.3}}}"
+        ),
+        seed = cfg.seed,
+        requests = cfg.requests,
+        concurrency = cfg.concurrency,
+        ok = t.ok,
+        typed = t.typed_failures,
+        transport = t.transport_errors,
+        diverged = t.answer_divergence,
+        panics = panics_fired,
+        wedges = wedges_fired,
+        delays = delays_fired,
+        respawned = respawned,
+        wedged = wedged,
+        recovered = recovered,
+        elapsed_ms = elapsed.as_secs_f64() * 1e3,
+    );
+    println!("{report}");
+    if let Some(path) = &cfg.out {
+        if let Err(e) = std::fs::write(path, format!("{report}\n")) {
+            eprintln!("bench_soak: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let mut failed = false;
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("soak FAILED: {what}");
+            failed = true;
+        }
+    };
+    check(
+        t.transport_errors == 0,
+        "transport errors: every accepted request must get a typed response",
+    );
+    check(
+        t.answer_divergence == 0,
+        "answers diverged from the serial baseline",
+    );
+    check(
+        panics_fired >= 3,
+        "fewer than 3 worker panics fired — the schedule never bit",
+    );
+    check(wedges_fired >= 1, "the queue-wedge delay never fired");
+    check(delays_fired >= 2, "fewer than 2 io_read delays fired");
+    check(
+        respawned >= panics_fired,
+        "workers_respawned below the injected death count",
+    );
+    check(wedged >= 1, "the supervisor never declared a worker wedged");
+    check(
+        recovered,
+        "/readyz never came back after the schedule was disarmed",
+    );
+    eprintln!(
+        "soak: {}/{} ok, {} typed failures, {} panics, {} wedges, {} delays, \
+         {} respawned, recovered={}",
+        t.ok,
+        cfg.requests,
+        t.typed_failures,
+        panics_fired,
+        wedges_fired,
+        delays_fired,
+        respawned,
+        recovered
+    );
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
+impl Tally {
+    fn merge(&mut self, other: &Tally) {
+        self.ok += other.ok;
+        self.typed_failures += other.typed_failures;
+        self.transport_errors += other.transport_errors;
+        self.answer_divergence += other.answer_divergence;
+    }
+}

@@ -82,8 +82,16 @@ serve options:
                      shared client legs (default 1 = off; responses are
                      bit-identical either way)
   --trace-dump FILE  where SIGUSR1 dumps the recorder's traces as
-                     ifls-trace/v1 JSONL (default ifls-trace-dump.jsonl)
+                     ifls-trace/v1 JSONL (default ifls-trace-dump.jsonl);
+                     also where a graceful drain writes its final dump (plus
+                     a FILE.metrics.prom metrics snapshot)
   --no-trace-dump    do not install the SIGUSR1 dump handler
+  --worker-wedge-ms N  heartbeat staleness after which the supervisor
+                     declares a worker wedged, retires it, and respawns a
+                     replacement (default 5000)
+  --drain-deadline-ms N  how long a graceful drain (SIGTERM or
+                     POST /shutdown) waits for queued + in-flight requests
+                     to finish before tearing the pool down (default 5000)
 
 trace options:
   --input FILE       ifls-trace/v1 JSONL dump (from GET /debug/requests or a
@@ -204,6 +212,10 @@ pub struct ServeArgs {
     pub trace_dump: Option<String>,
     /// Micro-batch ceiling for queued `/query` requests (1 = off).
     pub max_batch: usize,
+    /// Heartbeat staleness (ms) before a worker is declared wedged.
+    pub worker_wedge_ms: u64,
+    /// Graceful-drain budget (ms) for queued + in-flight requests.
+    pub drain_deadline_ms: u64,
 }
 
 impl Default for ServeArgs {
@@ -224,6 +236,8 @@ impl Default for ServeArgs {
             recorder_capacity: 64,
             trace_dump: Some("ifls-trace-dump.jsonl".into()),
             max_batch: 1,
+            worker_wedge_ms: 5_000,
+            drain_deadline_ms: 5_000,
         }
     }
 }
@@ -596,6 +610,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--trace-dump" => a.trace_dump = Some(cur.value("--trace-dump")?.to_string()),
                     "--no-trace-dump" => a.trace_dump = None,
                     "--max-batch" => a.max_batch = cur.parsed("--max-batch")?,
+                    "--worker-wedge-ms" => a.worker_wedge_ms = cur.parsed("--worker-wedge-ms")?,
+                    "--drain-deadline-ms" => {
+                        a.drain_deadline_ms = cur.parsed("--drain-deadline-ms")?
+                    }
                     other => return Err(ParseError::UnknownOption(other.to_string())),
                 }
             }
@@ -966,6 +984,10 @@ mod tests {
             "dump.jsonl",
             "--max-batch",
             "8",
+            "--worker-wedge-ms",
+            "750",
+            "--drain-deadline-ms",
+            "1500",
         ]))
         .unwrap()
         {
@@ -984,6 +1006,8 @@ mod tests {
                 assert_eq!(args.recorder_capacity, 128);
                 assert_eq!(args.trace_dump.as_deref(), Some("dump.jsonl"));
                 assert_eq!(args.max_batch, 8);
+                assert_eq!(args.worker_wedge_ms, 750);
+                assert_eq!(args.drain_deadline_ms, 1500);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -690,6 +690,8 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
                 recorder_capacity: args.recorder_capacity,
                 trace_dump: args.trace_dump.as_ref().map(std::path::PathBuf::from),
                 max_batch: args.max_batch,
+                worker_wedge_ms: args.worker_wedge_ms,
+                drain_deadline_ms: args.drain_deadline_ms,
                 ..ifls_serve::ServeOptions::default()
             };
             let server = ifls_serve::Server::start(v, opts)
@@ -700,11 +702,12 @@ pub fn execute(cmd: &Command) -> Result<String, CommandError> {
             println!("ifls-serve listening on http://{}", server.addr());
             use std::io::Write as _;
             let _ = std::io::stdout().flush();
-            // Serve until the process is killed (SIGHUP reloads; SIGTERM /
-            // SIGINT end it). `park` can wake spuriously, hence the loop.
-            loop {
-                std::thread::park();
-            }
+            // Serve until a drain completes (SIGTERM or `POST /shutdown`
+            // flips the acceptor to refuse and `wait` returns once every
+            // accepted request has been answered) or the process is killed
+            // outright (SIGKILL / SIGINT never reach this point).
+            server.wait();
+            Ok("ifls-serve drained and stopped".to_string())
         }
         Command::Trace { input, top, json } => {
             let text = std::fs::read_to_string(input)?;

@@ -81,10 +81,16 @@ pub enum Counter {
     /// requests solved via the batch path tick this; a batch of one goes
     /// through the ordinary per-request path and does not).
     BatchedRequests = 24,
+    /// Serve pool workers respawned by the supervisor after a death or a
+    /// wedge (rate-limited by the respawn token bucket).
+    WorkersRespawned = 25,
+    /// Serve pool workers declared wedged (heartbeat stale past the
+    /// configured wedge window) and retired by the supervisor.
+    WorkersWedged = 26,
 }
 
 /// Number of counter slots (the length of [`Counter::ALL`]).
-pub(crate) const NUM_COUNTERS: usize = 25;
+pub(crate) const NUM_COUNTERS: usize = 27;
 
 impl Counter {
     /// Every counter, in canonical export order.
@@ -114,6 +120,8 @@ impl Counter {
         Counter::TracesDropped,
         Counter::Steals,
         Counter::BatchedRequests,
+        Counter::WorkersRespawned,
+        Counter::WorkersWedged,
     ];
 
     /// Stable snake_case name used by every exporter.
@@ -144,6 +152,8 @@ impl Counter {
             Counter::TracesDropped => "traces_dropped",
             Counter::Steals => "steals",
             Counter::BatchedRequests => "batched_requests",
+            Counter::WorkersRespawned => "workers_respawned",
+            Counter::WorkersWedged => "workers_wedged",
         }
     }
 

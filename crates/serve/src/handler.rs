@@ -5,7 +5,9 @@
 //! | POST   | `/query`          | answer one IFLS query (`ifls-stats/v1` NDJSON) |
 //! | GET    | `/metrics`        | Prometheus text exposition of the server sink  |
 //! | GET    | `/healthz`        | liveness + installed-index provenance          |
+//! | GET    | `/readyz`         | readiness: pool at target and not draining     |
 //! | POST   | `/reload`         | re-validate and hot-swap the snapshot          |
+//! | POST   | `/shutdown`       | begin a graceful drain                         |
 //! | GET    | `/debug/requests` | flight-recorder traces (`ifls-trace/v1` JSONL) |
 //!
 //! Every failure is a typed JSON error (`ifls-serve-error/v1`): a `kind`
@@ -58,11 +60,15 @@ pub(crate) fn route(
     let resp = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/metrics") => metrics(shared),
         ("GET", "/healthz") => healthz(shared),
+        ("GET", "/readyz") => readyz(shared),
         ("GET", "/debug/requests") => debug_requests(shared),
         ("POST", "/reload") => reload(shared, req),
-        (_, "/query") | (_, "/reload") => error_response(405, "method_not_allowed", "use POST")
-            .with_header("Allow", "POST".into()),
-        (_, "/metrics") | (_, "/healthz") | (_, "/debug/requests") => {
+        ("POST", "/shutdown") => shutdown_endpoint(shared),
+        (_, "/query") | (_, "/reload") | (_, "/shutdown") => {
+            error_response(405, "method_not_allowed", "use POST")
+                .with_header("Allow", "POST".into())
+        }
+        (_, "/metrics") | (_, "/healthz") | (_, "/readyz") | (_, "/debug/requests") => {
             error_response(405, "method_not_allowed", "use GET").with_header("Allow", "GET".into())
         }
         (_, path) => error_response(404, "not_found", &format!("no such endpoint `{path}`")),
@@ -533,6 +539,13 @@ fn metrics(shared: &Arc<Shared>) -> Response {
     // one scrape sees a consistent, current sink.
     obs::gauge_set("queue_depth", shared.queue.depth() as f64);
     obs::gauge_set("queue_capacity", shared.queue.capacity() as f64);
+    obs::gauge_set("queue_drain_rate", shared.queue.drain_rate_per_sec());
+    obs::gauge_set("pool_target", shared.supervisor.target() as f64);
+    obs::gauge_set("pool_active", shared.supervisor.active() as f64);
+    obs::gauge_set(
+        "draining",
+        shared.draining.load(std::sync::atomic::Ordering::SeqCst) as u8 as f64,
+    );
     if let Some(slo_ms) = shared.opts.slo_ms {
         let (good, bad) = {
             let sink = lock_unpoisoned(&shared.metrics);
@@ -576,17 +589,29 @@ fn healthz(shared: &Arc<Shared>) -> Response {
     // Flush first so this worker's own served requests are visible in the
     // totals a health probe reads.
     shared.flush_local_obs();
-    let (requests_total, requests_shed, serve_panics) = {
+    let (requests_total, requests_shed, serve_panics, workers_respawned, workers_wedged) = {
         let sink = lock_unpoisoned(&shared.metrics);
         (
             sink.counter(obs::Counter::RequestsTotal),
             sink.counter(obs::Counter::RequestsShed),
             sink.counter(obs::Counter::ServePanics),
+            sink.counter(obs::Counter::WorkersRespawned),
+            sink.counter(obs::Counter::WorkersWedged),
         )
+    };
+    let pool_target = shared.supervisor.target();
+    let pool_active = shared.supervisor.active();
+    let draining = shared.draining.load(std::sync::atomic::Ordering::SeqCst);
+    // Liveness stays "ok" as long as the process answers; a shrunken pool
+    // is reported as degraded here and as not-ready on `/readyz`.
+    let status = if pool_active < pool_target {
+        "degraded"
+    } else {
+        "ok"
     };
     let body = format!(
         concat!(
-            "{{\"schema\":\"ifls-serve-health/v1\",\"status\":\"ok\",",
+            "{{\"schema\":\"ifls-serve-health/v1\",\"status\":\"{status}\",",
             "\"venue\":\"{venue}\",\"fingerprint\":\"{fp}\",",
             "\"index_version\":{version},\"source\":\"{source}\",",
             "\"uptime_ms\":{uptime},\"queue_depth\":{depth},",
@@ -594,8 +619,13 @@ fn healthz(shared: &Arc<Shared>) -> Response {
             "\"requests_total\":{requests_total},",
             "\"requests_shed\":{requests_shed},",
             "\"serve_panics\":{serve_panics},",
+            "\"pool_target\":{pool_target},\"pool_active\":{pool_active},",
+            "\"workers_respawned\":{workers_respawned},",
+            "\"workers_wedged\":{workers_wedged},",
+            "\"draining\":{draining},",
             "\"warm_targets\":{warm_targets},\"warm_bytes\":{warm_bytes}}}\n"
         ),
+        status = status,
         venue = api::json_escape(shared.venue.name()),
         fp = tv.fingerprint,
         version = tv.version,
@@ -606,10 +636,59 @@ fn healthz(shared: &Arc<Shared>) -> Response {
         requests_total = requests_total,
         requests_shed = requests_shed,
         serve_panics = serve_panics,
+        pool_target = pool_target,
+        pool_active = pool_active,
+        workers_respawned = workers_respawned,
+        workers_wedged = workers_wedged,
+        draining = draining,
         warm_targets = warm.map_or(0, ifls_viptree::WarmTier::num_targets),
         warm_bytes = warm.map_or(0, ifls_viptree::WarmTier::approx_bytes),
     );
     Response::new(200, "application/json", body)
+}
+
+/// `GET /readyz`: readiness as distinct from liveness. Ready means the
+/// index is installed, the pool is at its target size, and no drain has
+/// begun — exactly the conditions under which sending this daemon
+/// traffic is a good idea. Not-ready is a 503 with the failing
+/// conditions spelled out, so an orchestrator's probe log says *why*.
+fn readyz(shared: &Arc<Shared>) -> Response {
+    let draining = shared.draining.load(std::sync::atomic::Ordering::SeqCst);
+    let pool_target = shared.supervisor.target();
+    let pool_active = shared.supervisor.active();
+    let index_version = shared.current_tree().version;
+    let ready = !draining && pool_active >= pool_target && index_version > 0;
+    let body = format!(
+        concat!(
+            "{{\"schema\":\"ifls-serve-ready/v1\",\"ready\":{ready},",
+            "\"draining\":{draining},\"pool_active\":{pool_active},",
+            "\"pool_target\":{pool_target},\"index_version\":{index_version}}}\n"
+        ),
+        ready = ready,
+        draining = draining,
+        pool_active = pool_active,
+        pool_target = pool_target,
+        index_version = index_version,
+    );
+    Response::new(if ready { 200 } else { 503 }, "application/json", body)
+}
+
+/// `POST /shutdown`: begins a graceful drain (idempotent — a second call
+/// while draining is the same 202) and answers before the drain
+/// completes; this request is itself in-flight, so the coordinator waits
+/// for its response to land.
+fn shutdown_endpoint(shared: &Arc<Shared>) -> Response {
+    crate::begin_drain(shared, "POST /shutdown");
+    Response::new(
+        202,
+        "application/json",
+        format!(
+            "{{\"schema\":\"ifls-serve-shutdown/v1\",\"status\":\"draining\",\
+             \"drain_deadline_ms\":{}}}\n",
+            shared.opts.drain_deadline_ms
+        ),
+    )
+    .closing()
 }
 
 fn reload(shared: &Arc<Shared>, req: &Request) -> Response {

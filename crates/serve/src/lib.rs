@@ -44,6 +44,7 @@ mod handler;
 mod http;
 mod json;
 mod pool;
+mod supervisor;
 
 pub use http::{read_request, write_response, HttpError, Request, Response};
 pub use pool::ConnQueue;
@@ -52,8 +53,10 @@ use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+use ifls_fault::{self as fault, FaultPoint};
 
 use ifls_indoor::{Venue, VenueFingerprint};
 use ifls_obs::{self as obs, Counter, ObsSink};
@@ -121,6 +124,18 @@ pub struct ServeOptions {
     /// legs; responses are bit-identical to the unbatched path, and every
     /// batched connection is closed after its one exchange.
     pub max_batch: usize,
+    /// How long a worker's heartbeat may stand still before the
+    /// supervisor declares it wedged, retires it, and spawns a
+    /// replacement. Also sets the idle wake interval (a quarter of this,
+    /// clamped to 10–250 ms) so parked workers keep ticking.
+    pub worker_wedge_ms: u64,
+    /// Budget for a graceful drain (SIGTERM or `POST /shutdown`): how
+    /// long the daemon waits for queued and in-flight requests to finish
+    /// before tearing the pool down anyway.
+    pub drain_deadline_ms: u64,
+    /// Install a `SIGTERM` → graceful drain handler (Unix only; ignored
+    /// elsewhere).
+    pub sigterm_drain: bool,
 }
 
 impl Default for ServeOptions {
@@ -144,6 +159,9 @@ impl Default for ServeOptions {
             recorder_capacity: 64,
             trace_dump: Some(PathBuf::from("ifls-trace-dump.jsonl")),
             max_batch: 1,
+            worker_wedge_ms: 5_000,
+            drain_deadline_ms: 5_000,
+            sigterm_drain: true,
         }
     }
 }
@@ -228,12 +246,28 @@ pub(crate) struct Shared {
     pub(crate) metrics: Mutex<ObsSink>,
     pub(crate) started: Instant,
     pub(crate) shutdown: AtomicBool,
+    /// Graceful drain in progress: the acceptor refuses new work with a
+    /// 503, responses close their connections, and the supervisor stops
+    /// respawning. Set (once) by [`begin_drain`].
+    pub(crate) draining: AtomicBool,
+    /// Requests a worker currently holds (popped and not yet answered).
+    /// The drain coordinator waits for this to reach zero.
+    pub(crate) in_flight: AtomicUsize,
     /// Live shed-responder threads (see [`MAX_SHED_THREADS`]).
     pub(crate) shed_active: AtomicUsize,
     /// The slow-query flight recorder (`None` when
     /// [`ServeOptions::recorder_capacity`] is 0: no per-request traces
     /// are captured at all).
     pub(crate) recorder: Option<obs::FlightRecorder>,
+    /// The worker pool's supervisor (owns every worker handle).
+    pub(crate) supervisor: supervisor::Supervisor,
+    /// The bound listen address (the drain coordinator self-connects to
+    /// unblock the acceptor).
+    pub(crate) addr: SocketAddr,
+    /// Flipped once by the drain coordinator when the daemon has fully
+    /// stopped; [`Server::wait`] blocks on it.
+    pub(crate) stopped: Mutex<bool>,
+    pub(crate) stopped_cv: Condvar,
     pub(crate) opts: ServeOptions,
 }
 
@@ -251,7 +285,11 @@ impl Shared {
     pub(crate) fn flush_local_obs(&self) {
         let local = obs::take_local();
         if !local.is_empty() {
-            lock_unpoisoned(&self.metrics).merge(&local);
+            let mut sink = lock_unpoisoned(&self.metrics);
+            if fault::should_fail(FaultPoint::LockPoison) {
+                panic!("injected panic while holding the metrics lock");
+            }
+            sink.merge(&local);
         }
     }
 
@@ -285,7 +323,11 @@ impl Shared {
     }
 
     pub(crate) fn current_tree(&self) -> TreeVersion {
-        lock_unpoisoned(&self.tree).clone()
+        let tv = lock_unpoisoned(&self.tree);
+        if fault::should_fail(FaultPoint::LockPoison) {
+            panic!("injected panic while holding the tree-version lock");
+        }
+        tv.clone()
     }
 
     /// Writes the recorder's retained traces to
@@ -298,9 +340,38 @@ impl Shared {
         };
         let traces = rec.snapshot();
         let n = traces.len();
-        std::fs::write(path, obs::to_trace_jsonl(&traces, rec.capacity()))?;
+        write_atomic(
+            path,
+            obs::to_trace_jsonl(&traces, rec.capacity()).as_bytes(),
+        )?;
         Ok(Some((n, path.clone())))
     }
+
+    /// The drain coordinator's final flush: the flight-recorder dump plus
+    /// a Prometheus snapshot of the merged metrics sink next to it
+    /// (`<trace-dump>.metrics.prom`), both written atomically. A daemon
+    /// without a recorder or dump path skips both — drain must never
+    /// invent a file the operator did not configure.
+    pub(crate) fn dump_final(&self) -> std::io::Result<Option<(usize, PathBuf)>> {
+        let dumped = self.dump_traces()?;
+        if let (Some(_), Some(path)) = (&dumped, &self.opts.trace_dump) {
+            let sink = lock_unpoisoned(&self.metrics).clone();
+            let mut prom_path = path.clone().into_os_string();
+            prom_path.push(".metrics.prom");
+            write_atomic(Path::new(&prom_path), obs::to_prometheus(&sink).as_bytes())?;
+        }
+        Ok(dumped)
+    }
+}
+
+/// Write-then-rename: a crash mid-write leaves the previous dump intact,
+/// and a reader never sees a torn file.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.to_path_buf().into_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Why a reload left the old index serving.
@@ -346,23 +417,21 @@ impl Server {
             metrics: Mutex::new(ObsSink::default()),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
             shed_active: AtomicUsize::new(0),
             recorder,
+            supervisor: supervisor::Supervisor::new(workers),
+            addr,
+            stopped: Mutex::new(false),
+            stopped_cv: Condvar::new(),
             opts,
         });
         // Records from the initial load (snapshot I/O span, a possible
         // fallback counter) belong to the server sink.
         shared.flush_local_obs();
+        shared.supervisor.spawn_initial(&shared);
         let mut threads = Vec::new();
-        for i in 0..workers {
-            let shared = Arc::clone(&shared);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker"),
-            );
-        }
         {
             let shared = Arc::clone(&shared);
             threads.push(
@@ -372,10 +441,20 @@ impl Server {
                     .expect("spawn acceptor"),
             );
         }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-supervisor".into())
+                    .spawn(move || supervisor_loop(&shared))
+                    .expect("spawn supervisor"),
+            );
+        }
         let hup = shared.opts.sighup_reload;
         let usr1 = shared.recorder.is_some() && shared.opts.trace_dump.is_some();
-        if hup || usr1 {
-            if let Some(handle) = signals::install(Arc::clone(&shared), hup, usr1) {
+        let term = shared.opts.sigterm_drain;
+        if hup || usr1 || term {
+            if let Some(handle) = signals::install(Arc::clone(&shared), hup, usr1, term) {
                 threads.push(handle);
             }
         }
@@ -413,15 +492,129 @@ impl Server {
         lock_unpoisoned(&self.shared.metrics).clone()
     }
 
-    /// Stops accepting, drains the queue, and joins every thread.
+    /// Immediate stop: close the queue (parked connections are dropped),
+    /// stop accepting, join every thread. Tests use this for fast
+    /// teardown; a deployment gets the graceful path via `SIGTERM`,
+    /// `POST /shutdown`, or [`Server::begin_shutdown`] + [`Server::wait`].
     pub fn shutdown(self) {
+        // Draining first keeps the supervisor from respawning workers
+        // that would immediately see the closed queue.
+        self.shared.draining.store(true, Ordering::SeqCst);
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.queue.close();
         // Unblock the acceptor's blocking `accept` with a no-op connect.
         let _ = TcpStream::connect(self.addr);
+        self.shared.supervisor.join_workers();
         for t in self.threads {
             let _ = t.join();
         }
+        let mut stopped = lock_unpoisoned(&self.shared.stopped);
+        *stopped = true;
+        self.shared.stopped_cv.notify_all();
+    }
+
+    /// Starts a graceful drain (idempotent): the same path `SIGTERM` and
+    /// `POST /shutdown` take. Returns immediately; pair with
+    /// [`Server::wait`] to block until the drain completes.
+    pub fn begin_shutdown(&self) {
+        begin_drain(&self.shared, "api");
+    }
+
+    /// Blocks until a drain (from `SIGTERM`, `POST /shutdown`, or
+    /// [`Server::begin_shutdown`]) has fully stopped the daemon, then
+    /// joins every thread. A daemon that is never asked to stop blocks
+    /// here forever — this is the serve command's foreground wait.
+    pub fn wait(self) {
+        {
+            let mut stopped = lock_unpoisoned(&self.shared.stopped);
+            while !*stopped {
+                stopped = self
+                    .shared
+                    .stopped_cv
+                    .wait(stopped)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        self.shared.supervisor.join_workers();
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Flips the daemon into drain mode (idempotent) and hands the rest to a
+/// coordinator thread: refuse new work, finish queued + in-flight
+/// requests under the [`ServeOptions::drain_deadline_ms`] budget, flush
+/// the final dump, stop.
+pub(crate) fn begin_drain(shared: &Arc<Shared>, reason: &str) {
+    if shared.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    eprintln!(
+        "drain started ({reason}): refusing new work, finishing {} queued + {} in-flight \
+         request(s) within {}ms",
+        shared.queue.depth(),
+        shared.in_flight.load(Ordering::SeqCst),
+        shared.opts.drain_deadline_ms
+    );
+    let on_thread = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name("serve-drain".into())
+        .spawn(move || drain_coordinator(&on_thread))
+        .expect("spawn drain coordinator");
+}
+
+fn drain_coordinator(shared: &Arc<Shared>) {
+    let deadline = Instant::now() + Duration::from_millis(shared.opts.drain_deadline_ms);
+    // Quiet means empty queue and zero in-flight requests, observed on
+    // two consecutive polls: a connection is briefly neither (popped,
+    // guard not yet registered), and the double read closes that window.
+    let mut quiet_streak = 0;
+    while Instant::now() < deadline {
+        let quiet = shared.queue.depth() == 0 && shared.in_flight.load(Ordering::SeqCst) == 0;
+        quiet_streak = if quiet { quiet_streak + 1 } else { 0 };
+        if quiet_streak >= 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.queue.close();
+    let _ = TcpStream::connect(shared.addr);
+    // Workers exit at their next loop iteration; give any deadline
+    // overrun a moment so the final dump still sees those requests.
+    let grace = Instant::now() + Duration::from_millis(250);
+    while shared.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < grace {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    shared.flush_local_obs();
+    match shared.dump_final() {
+        Ok(Some((n, path))) => eprintln!(
+            "drain complete: {n} request trace(s) -> {} (+ metrics snapshot)",
+            path.display()
+        ),
+        Ok(None) => eprintln!("drain complete"),
+        Err(e) => eprintln!("drain complete; final dump failed: {e}"),
+    }
+    let mut stopped = lock_unpoisoned(&shared.stopped);
+    *stopped = true;
+    shared.stopped_cv.notify_all();
+}
+
+/// The supervisor thread: periodic [`supervisor::Supervisor::tick`]
+/// passes while the daemon is live; a draining pool is expected to
+/// shrink, so passes stop once a drain begins.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    let wedge = Duration::from_millis(shared.opts.worker_wedge_ms.max(1));
+    let interval = (wedge / 4).clamp(Duration::from_millis(10), Duration::from_millis(250));
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if !shared.draining.load(Ordering::SeqCst) {
+            shared.supervisor.tick(shared, wedge);
+        }
+        std::thread::sleep(interval);
     }
 }
 
@@ -479,8 +672,23 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
             Ok(c) => c,
             Err(_) => continue,
         };
+        if shared.draining.load(Ordering::SeqCst) {
+            // A draining daemon refuses every new connection with the
+            // same clean 503 as overload: the client's retry lands on a
+            // healthy peer (or this process, restarted).
+            shed(
+                shared,
+                conn,
+                "draining: the daemon is shutting down; retry later",
+            );
+            continue;
+        }
         if let Err(conn) = shared.queue.try_push(conn) {
-            shed(shared, conn);
+            shed(
+                shared,
+                conn,
+                "connection queue is at its watermark; retry later",
+            );
         }
     }
     shared.flush_local_obs();
@@ -495,13 +703,27 @@ const MAX_SHED_THREADS: usize = 32;
 /// How long one shed responder may spend reading the doomed request.
 const SHED_READ_TIMEOUT: Duration = Duration::from_millis(500);
 
+/// `Retry-After` seconds for a shed response, priced from the observed
+/// queue drain rate: how long until the backlog ahead of a retry has
+/// drained, clamped to 1–30 s. Falls back to the configured constant
+/// when the queue has not drained recently enough to measure.
+pub(crate) fn retry_after_secs(shared: &Shared) -> u64 {
+    let rate = shared.queue.drain_rate_per_sec();
+    let secs = if rate > 0.0 {
+        ((shared.queue.depth() as f64 + 1.0) / rate).ceil() as u64
+    } else {
+        shared.opts.retry_after_secs
+    };
+    secs.clamp(1, 30)
+}
+
 /// Sheds one connection with a `503 + Retry-After`. Up to
 /// [`MAX_SHED_THREADS`] at a time get a detached thread that first reads
 /// (and discards) the request, so the client has finished sending before
 /// the refusal lands — responding at accept time and closing immediately
 /// can turn into a connection reset before the client ever reads the 503.
 /// Beyond the cap the response is a best-effort inline write instead.
-fn shed(shared: &Arc<Shared>, conn: TcpStream) {
+fn shed(shared: &Arc<Shared>, conn: TcpStream, detail: &str) {
     obs::counter_add(Counter::RequestsShed, 1);
     if let Some(rec) = &shared.recorder {
         // Shed requests never reach a handler, so they get a synthetic
@@ -514,13 +736,9 @@ fn shed(shared: &Arc<Shared>, conn: TcpStream) {
         });
     }
     shared.flush_local_obs();
-    let resp = handler::error_response(
-        503,
-        "overloaded",
-        "connection queue is at its watermark; retry later",
-    )
-    .with_header("Retry-After", shared.opts.retry_after_secs.to_string())
-    .closing();
+    let resp = handler::error_response(503, "overloaded", detail)
+        .with_header("Retry-After", retry_after_secs(shared).to_string())
+        .closing();
     if shared.shed_active.fetch_add(1, Ordering::SeqCst) >= MAX_SHED_THREADS {
         shared.shed_active.fetch_sub(1, Ordering::SeqCst);
         // Saturated: answer from the acceptor without reading the
@@ -563,24 +781,65 @@ fn shed(shared: &Arc<Shared>, conn: TcpStream) {
 /// without amortizing anything.
 const MICRO_BATCH_WATERMARK: usize = 2;
 
-fn worker_loop(shared: &Arc<Shared>) {
+/// Guard for one in-flight request (or batch): registered while a worker
+/// holds work, so the drain coordinator can wait for exactly the requests
+/// that were admitted. Drop-based so a panic unwinding through a handler
+/// still deregisters.
+pub(crate) struct InFlight<'a>(&'a Shared);
+
+impl<'a> InFlight<'a> {
+    pub(crate) fn new(shared: &'a Shared) -> InFlight<'a> {
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        InFlight(shared)
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, slot: &supervisor::WorkerSlot) {
     let max_batch = shared.opts.max_batch.max(1);
+    let wedge = Duration::from_millis(shared.opts.worker_wedge_ms.max(1));
+    let idle_wake = (wedge / 4).clamp(Duration::from_millis(10), Duration::from_millis(250));
     loop {
-        // With batching off this is exactly the old single-pop loop;
-        // `pop_batch` below still returns singleton batches while the
-        // queue stays under the watermark.
-        let batch = if max_batch <= 1 {
-            shared.queue.pop().map(|c| vec![c])
-        } else {
-            shared.queue.pop_batch(max_batch, MICRO_BATCH_WATERMARK)
+        // One heartbeat tick per iteration — on popped work and on idle
+        // wake alike, so parked-but-healthy never reads as wedged.
+        slot.tick();
+        if slot.is_retired() || shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Chaos crossing with no work in hand: `Fail` kills this worker
+        // cleanly (no request is lost; the supervisor respawns), `Delay`
+        // stalls the heartbeat to exercise wedge detection.
+        if fault::should_fail(FaultPoint::WorkerHeartbeat) {
+            panic!("injected worker death at worker_heartbeat");
+        }
+        // With batching off the watermark never engages and this is the
+        // old single-pop loop (plus the idle wake for heartbeats).
+        let popped = shared
+            .queue
+            .pop_batch_timeout(max_batch, MICRO_BATCH_WATERMARK, idle_wake);
+        let mut batch = match popped {
+            pool::Popped::Conns(batch) => batch,
+            pool::Popped::Idle => continue,
+            pool::Popped::Closed => break,
         };
-        let Some(mut batch) = batch else { break };
+        slot.tick();
+        // Chaos crossing with work in hand: `Delay` here is the canonical
+        // wedged-worker simulation (connections held, heartbeat stalled).
+        if fault::should_fail(FaultPoint::QueueWedge) {
+            panic!("injected worker death at queue_wedge");
+        }
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if batch.len() == 1 {
                 let (conn, queue_wait) = batch.pop().expect("len checked");
                 obs::record_ns("serve_queue_wait_ns", queue_wait.as_nanos() as u64);
                 handle_connection(shared, conn, queue_wait);
             } else {
+                let _guard = InFlight::new(shared);
                 handle_batch(shared, batch);
             }
         }));
@@ -613,6 +872,14 @@ fn handle_connection(shared: &Arc<Shared>, conn: TcpStream, queue_wait: Duration
     // in the queue; later ones are served as they arrive.
     let mut queue_wait_ns = queue_wait.as_nanos() as u64;
     loop {
+        // Chaos crossing on the read path: `Fail` surfaces as a typed
+        // 400 (never a torn response), `Delay` slows the read.
+        if fault::should_fail(FaultPoint::IoRead) {
+            let resp =
+                handler::error_response(400, "bad_request", "injected io_read fault").closing();
+            let _ = http::write_response(&mut writer, &resp);
+            return;
+        }
         let request = match http::read_request(
             &mut reader,
             shared.opts.max_body_bytes,
@@ -647,6 +914,10 @@ fn handle_connection(shared: &Arc<Shared>, conn: TcpStream, queue_wait: Duration
             }
         };
         let started = Instant::now();
+        // Register as in-flight only while a request is actually being
+        // answered: an idle keep-alive connection parked in the read
+        // above must not hold a drain open.
+        let in_flight = InFlight::new(shared);
         let wants_close = request.wants_close();
         let trace_ctx = shared.recorder.as_ref().map(|_| obs::TraceContext::next());
         let (response, trace) = handler::route(shared, &request, trace_ctx);
@@ -655,14 +926,15 @@ fn handle_connection(shared: &Arc<Shared>, conn: TcpStream, queue_wait: Duration
         obs::record_ns("serve_request_latency_ns", total_ns);
         finish_request_obs(shared, response.status, trace, total_ns, queue_wait_ns);
         queue_wait_ns = 0;
-        let close = response.close || wants_close;
-        let response = if wants_close {
-            response.closing()
-        } else {
-            response
-        };
+        // While draining, every response closes its connection so a
+        // keep-alive client cannot park new requests on a dying daemon.
+        let draining = shared.draining.load(Ordering::SeqCst);
+        let close = response.close || wants_close || draining;
+        let response = if close { response.closing() } else { response };
         shared.flush_local_obs();
-        if http::write_response(&mut writer, &response).is_err() || close {
+        let write = http::write_response(&mut writer, &response);
+        drop(in_flight);
+        if write.is_err() || close {
             return;
         }
     }
@@ -694,6 +966,12 @@ fn handle_batch(shared: &Arc<Shared>, batch: Vec<(TcpStream, Duration)>) {
             Err(_) => continue,
         };
         let mut reader = BufReader::new(conn);
+        if fault::should_fail(FaultPoint::IoRead) {
+            let resp =
+                handler::error_response(400, "bad_request", "injected io_read fault").closing();
+            let _ = http::write_response(&mut writer, &resp);
+            continue;
+        }
         match http::read_request(
             &mut reader,
             shared.opts.max_body_bytes,
@@ -807,18 +1085,21 @@ fn combo_hist_name(objective: &str, algorithm: &str) -> Option<&'static str> {
     })
 }
 
-/// `SIGHUP` → reload and `SIGUSR1` → trace dump, without a libc
-/// dependency: `std` already links libc, so the C `signal` entry point
-/// can be declared directly. Handlers only flip an [`AtomicBool`]; one
-/// poll thread applies the reload/dump outside async-signal context.
+/// `SIGHUP` → reload, `SIGUSR1` → trace dump, `SIGTERM` → graceful
+/// drain, without a libc dependency: `std` already links libc, so the C
+/// `signal` entry point can be declared directly. Handlers only flip an
+/// [`AtomicBool`]; one poll thread applies the action outside
+/// async-signal context.
 #[cfg(unix)]
 mod signals {
     use super::*;
 
     static HUP_PENDING: AtomicBool = AtomicBool::new(false);
     static USR1_PENDING: AtomicBool = AtomicBool::new(false);
+    static TERM_PENDING: AtomicBool = AtomicBool::new(false);
 
     const SIGHUP: i32 = 1;
+    const SIGTERM: i32 = 15;
     /// `SIGUSR1` is 10 on Linux, 30 on the BSD-numbered Unixes (macOS).
     #[cfg(target_os = "linux")]
     const SIGUSR1: i32 = 10;
@@ -837,10 +1118,15 @@ mod signals {
         USR1_PENDING.store(true, Ordering::SeqCst);
     }
 
+    extern "C" fn on_sigterm(_: i32) {
+        TERM_PENDING.store(true, Ordering::SeqCst);
+    }
+
     pub(crate) fn install(
         shared: Arc<Shared>,
         hup: bool,
         usr1: bool,
+        term: bool,
     ) -> Option<std::thread::JoinHandle<()>> {
         unsafe {
             if hup {
@@ -848,6 +1134,9 @@ mod signals {
             }
             if usr1 {
                 signal(SIGUSR1, on_sigusr1 as *const () as usize);
+            }
+            if term {
+                signal(SIGTERM, on_sigterm as *const () as usize);
             }
         }
         std::thread::Builder::new()
@@ -882,6 +1171,9 @@ mod signals {
                     }
                     shared.flush_local_obs();
                 }
+                if term && TERM_PENDING.swap(false, Ordering::SeqCst) {
+                    crate::begin_drain(&shared, "SIGTERM");
+                }
                 std::thread::sleep(Duration::from_millis(200));
             })
             .ok()
@@ -896,6 +1188,7 @@ mod signals {
         _shared: Arc<Shared>,
         _hup: bool,
         _usr1: bool,
+        _term: bool,
     ) -> Option<std::thread::JoinHandle<()>> {
         None
     }

@@ -29,6 +29,36 @@ pub struct ConnQueue {
 struct QueueState {
     conns: VecDeque<(TcpStream, Instant)>,
     closed: bool,
+    /// Timestamps of recent pops, for the observed drain rate that prices
+    /// `Retry-After` on shed responses. Bounded by [`DRAIN_RATE_SAMPLES`].
+    pop_times: VecDeque<Instant>,
+}
+
+/// How many recent pop timestamps the drain-rate estimator retains.
+const DRAIN_RATE_SAMPLES: usize = 128;
+
+/// Pops older than this never count toward the drain rate: a queue that
+/// drained quickly a minute ago says nothing about how fast it drains now.
+const DRAIN_RATE_WINDOW: Duration = Duration::from_secs(10);
+
+/// What [`ConnQueue::pop_batch_timeout`] woke up with.
+pub(crate) enum Popped {
+    /// One or more connections, each with its measured queue wait.
+    Conns(Vec<(TcpStream, Duration)>),
+    /// The timeout elapsed with nothing queued — the caller should tick
+    /// its heartbeat and park again.
+    Idle,
+    /// The queue is closed and empty: the worker should exit.
+    Closed,
+}
+
+impl QueueState {
+    fn note_pop(&mut self, now: Instant) {
+        if self.pop_times.len() == DRAIN_RATE_SAMPLES {
+            self.pop_times.pop_front();
+        }
+        self.pop_times.push_back(now);
+    }
 }
 
 impl ConnQueue {
@@ -38,6 +68,7 @@ impl ConnQueue {
             inner: Mutex::new(QueueState {
                 conns: VecDeque::with_capacity(capacity),
                 closed: false,
+                pop_times: VecDeque::with_capacity(DRAIN_RATE_SAMPLES),
             }),
             ready: Condvar::new(),
             capacity,
@@ -74,6 +105,7 @@ impl ConnQueue {
         let mut st = self.inner.lock().unwrap();
         loop {
             if let Some((conn, enqueued)) = st.conns.pop_front() {
+                st.note_pop(Instant::now());
                 return Some((conn, enqueued.elapsed()));
             }
             if st.closed {
@@ -99,16 +131,7 @@ impl ConnQueue {
     ) -> Option<Vec<(TcpStream, Duration)>> {
         let mut st = self.inner.lock().unwrap();
         loop {
-            if let Some((conn, enqueued)) = st.conns.pop_front() {
-                let mut batch = vec![(conn, enqueued.elapsed())];
-                if 1 + st.conns.len() >= low_watermark {
-                    while batch.len() < max {
-                        match st.conns.pop_front() {
-                            Some((c, t)) => batch.push((c, t.elapsed())),
-                            None => break,
-                        }
-                    }
-                }
+            if let Some(batch) = Self::drain_batch(&mut st, max, low_watermark) {
                 return Some(batch);
             }
             if st.closed {
@@ -116,6 +139,85 @@ impl ConnQueue {
             }
             st = self.ready.wait(st).unwrap();
         }
+    }
+
+    /// Like [`pop_batch`](Self::pop_batch), but wakes after `timeout` even
+    /// when nothing arrives, so a parked worker can tick its supervision
+    /// heartbeat: an idle worker and a wedged worker look identical to the
+    /// supervisor unless idleness itself produces ticks.
+    pub(crate) fn pop_batch_timeout(
+        &self,
+        max: usize,
+        low_watermark: usize,
+        timeout: Duration,
+    ) -> Popped {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.lock().unwrap();
+        loop {
+            if let Some(batch) = Self::drain_batch(&mut st, max, low_watermark) {
+                return Popped::Conns(batch);
+            }
+            if st.closed {
+                return Popped::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Popped::Idle;
+            }
+            let (guard, result) = self.ready.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+            if result.timed_out() && st.conns.is_empty() && !st.closed {
+                return Popped::Idle;
+            }
+        }
+    }
+
+    /// Shared drain step for the pop variants: takes the first connection
+    /// plus up to `max - 1` extras when the depth clears `low_watermark`.
+    fn drain_batch(
+        st: &mut QueueState,
+        max: usize,
+        low_watermark: usize,
+    ) -> Option<Vec<(TcpStream, Duration)>> {
+        let (conn, enqueued) = st.conns.pop_front()?;
+        let now = Instant::now();
+        st.note_pop(now);
+        let mut batch = vec![(conn, enqueued.elapsed())];
+        if 1 + st.conns.len() >= low_watermark {
+            while batch.len() < max {
+                match st.conns.pop_front() {
+                    Some((c, t)) => {
+                        st.note_pop(now);
+                        batch.push((c, t.elapsed()));
+                    }
+                    None => break,
+                }
+            }
+        }
+        Some(batch)
+    }
+
+    /// Observed drain rate in connections per second over the recent pop
+    /// window, or `0.0` when there have not been two pops inside the
+    /// window to measure an interval from. Prices `Retry-After` on shed
+    /// responses and feeds the `queue_drain_rate` gauge.
+    pub fn drain_rate_per_sec(&self) -> f64 {
+        let mut st = self.inner.lock().unwrap();
+        if let Some(cutoff) = Instant::now().checked_sub(DRAIN_RATE_WINDOW) {
+            while st.pop_times.front().is_some_and(|t| *t < cutoff) {
+                st.pop_times.pop_front();
+            }
+        }
+        if st.pop_times.len() < 2 {
+            return 0.0;
+        }
+        let oldest = *st.pop_times.front().expect("len checked");
+        let newest = *st.pop_times.back().expect("len checked");
+        let span = newest.duration_since(oldest).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        (st.pop_times.len() - 1) as f64 / span
     }
 
     /// Closes the queue: parked connections are dropped, blocked `pop`s
@@ -186,6 +288,44 @@ mod tests {
         let batch = q.pop_batch(4, 1).unwrap();
         assert_eq!(batch.len(), 1, "only one left to drain");
         assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn pop_batch_timeout_distinguishes_idle_from_closed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let q = ConnQueue::new(4);
+        // Empty queue: the timeout elapses and reports Idle.
+        match q.pop_batch_timeout(4, 2, Duration::from_millis(10)) {
+            Popped::Idle => {}
+            _ => panic!("expected Idle on an empty open queue"),
+        }
+        q.try_push(conn_pair(&listener)).unwrap();
+        match q.pop_batch_timeout(4, 2, Duration::from_millis(10)) {
+            Popped::Conns(batch) => assert_eq!(batch.len(), 1),
+            _ => panic!("expected the parked connection"),
+        }
+        q.close();
+        match q.pop_batch_timeout(4, 2, Duration::from_millis(10)) {
+            Popped::Closed => {}
+            _ => panic!("expected Closed after close()"),
+        }
+    }
+
+    #[test]
+    fn drain_rate_needs_two_recent_pops() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let q = ConnQueue::new(8);
+        assert_eq!(q.drain_rate_per_sec(), 0.0);
+        q.try_push(conn_pair(&listener)).unwrap();
+        let _ = q.pop();
+        assert_eq!(q.drain_rate_per_sec(), 0.0, "one pop is not a rate");
+        q.try_push(conn_pair(&listener)).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let _ = q.pop();
+        assert!(
+            q.drain_rate_per_sec() > 0.0,
+            "two pops spanning an interval yield a positive rate"
+        );
     }
 
     #[test]

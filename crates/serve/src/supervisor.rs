@@ -1,0 +1,217 @@
+//! Worker supervision: heartbeats, wedge detection, budgeted respawn.
+//!
+//! Every pool worker owns a [`WorkerSlot`] and ticks its heartbeat epoch
+//! once per loop iteration — on each popped connection *and* on each idle
+//! timeout wake, so an idle worker and a wedged worker are
+//! distinguishable. The [`Supervisor`] thread samples the epochs on a
+//! fixed interval and classifies each worker:
+//!
+//! - **dead** — the thread finished outside shutdown (a panic escaped the
+//!   loop). Joined and replaced.
+//! - **wedged** — the heartbeat has not advanced for longer than
+//!   [`ServeOptions::worker_wedge_ms`](crate::ServeOptions). The worker is
+//!   marked retired (it exits on its own at the next loop iteration it
+//!   lives to see), its handle parked on a zombie list that is reaped
+//!   opportunistically — a truly stuck thread is never joined, because
+//!   joining it would wedge the supervisor too — and a replacement is
+//!   spawned.
+//!
+//! Respawns draw from a token bucket so a crash loop (a poisoned input
+//! re-killing every replacement) degrades the pool instead of spinning the
+//! CPU on thread churn. The pool's live size vs. its target is exported
+//! through `/healthz`, `/readyz`, and the `pool_active` / `pool_target`
+//! gauges; `workers_respawned` / `workers_wedged` count the supervisor's
+//! interventions.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ifls_obs::{self as obs, Counter};
+
+use crate::{lock_unpoisoned, worker_loop, Shared};
+
+/// Respawn token bucket capacity: the largest burst of replacements the
+/// supervisor will mint back to back.
+const RESPAWN_BUCKET: f64 = 8.0;
+
+/// Respawn tokens minted per second once the burst is spent.
+const RESPAWN_PER_SEC: f64 = 2.0;
+
+/// Per-worker state shared between the worker thread (which ticks) and
+/// the supervisor (which samples).
+pub(crate) struct WorkerSlot {
+    /// Monotonic heartbeat epoch; any advance counts as liveness.
+    heartbeat: AtomicU64,
+    /// Set by the supervisor when this worker is declared wedged: the
+    /// worker exits at the next iteration it reaches instead of racing
+    /// its own replacement for queue items.
+    retired: AtomicBool,
+}
+
+impl WorkerSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(WorkerSlot {
+            heartbeat: AtomicU64::new(0),
+            retired: AtomicBool::new(false),
+        })
+    }
+
+    /// One liveness tick (called by the worker each loop iteration).
+    pub(crate) fn tick(&self) {
+        self.heartbeat.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether the supervisor has replaced this worker.
+    pub(crate) fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::Relaxed)
+    }
+}
+
+/// One supervised live worker.
+struct WorkerHandle {
+    slot: Arc<WorkerSlot>,
+    handle: std::thread::JoinHandle<()>,
+    /// Last heartbeat epoch the supervisor observed, and when it changed.
+    seen_beat: u64,
+    seen_at: Instant,
+}
+
+struct SupervisorState {
+    live: Vec<WorkerHandle>,
+    /// Wedged-but-running threads. Reaped (dropped) once finished; never
+    /// joined while running.
+    zombies: Vec<std::thread::JoinHandle<()>>,
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// The worker pool's supervisor: owns every worker handle and keeps the
+/// pool at its target size.
+pub(crate) struct Supervisor {
+    target: usize,
+    /// Live worker count mirrored out of the lock, for cheap reads from
+    /// `/healthz`, `/readyz`, and the metrics gauges.
+    active: AtomicUsize,
+    /// Monotonic worker name counter (`serve-worker-<n>`).
+    spawn_seq: AtomicUsize,
+    state: Mutex<SupervisorState>,
+}
+
+impl Supervisor {
+    pub(crate) fn new(target: usize) -> Supervisor {
+        Supervisor {
+            target,
+            active: AtomicUsize::new(0),
+            spawn_seq: AtomicUsize::new(0),
+            state: Mutex::new(SupervisorState {
+                live: Vec::with_capacity(target),
+                zombies: Vec::new(),
+                tokens: RESPAWN_BUCKET,
+                last_refill: Instant::now(),
+            }),
+        }
+    }
+
+    /// The configured pool size.
+    pub(crate) fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Live (not dead, not retired) workers at the last supervisor pass.
+    pub(crate) fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Spawns the initial pool. Initial spawns do not draw respawn
+    /// tokens: the bucket budgets recovery, not startup.
+    pub(crate) fn spawn_initial(&self, shared: &Arc<Shared>) {
+        let mut st = lock_unpoisoned(&self.state);
+        for _ in 0..self.target {
+            let w = self.spawn_worker(shared);
+            st.live.push(w);
+        }
+        self.active.store(st.live.len(), Ordering::Relaxed);
+    }
+
+    fn spawn_worker(&self, shared: &Arc<Shared>) -> WorkerHandle {
+        let slot = WorkerSlot::new();
+        let seq = self.spawn_seq.fetch_add(1, Ordering::Relaxed);
+        let thread_slot = Arc::clone(&slot);
+        let thread_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("serve-worker-{seq}"))
+            .spawn(move || worker_loop(&thread_shared, &thread_slot))
+            .expect("spawn worker");
+        WorkerHandle {
+            slot,
+            handle,
+            seen_beat: 0,
+            seen_at: Instant::now(),
+        }
+    }
+
+    /// One supervision pass: reap finished zombies, classify live
+    /// workers, respawn within the token budget. Called on a fixed
+    /// interval while the daemon is neither draining nor shut down.
+    pub(crate) fn tick(&self, shared: &Arc<Shared>, wedge: Duration) {
+        let mut st = lock_unpoisoned(&self.state);
+        let now = Instant::now();
+        let refill = now.duration_since(st.last_refill).as_secs_f64() * RESPAWN_PER_SEC;
+        st.tokens = (st.tokens + refill).min(RESPAWN_BUCKET);
+        st.last_refill = now;
+        st.zombies.retain(|z| !z.is_finished());
+        let mut deficit = 0usize;
+        let mut wedged = 0u64;
+        let mut i = 0;
+        while i < st.live.len() {
+            let w = &mut st.live[i];
+            if w.handle.is_finished() {
+                // Died outside shutdown: a panic escaped the worker loop.
+                let w = st.live.swap_remove(i);
+                let _ = w.handle.join();
+                deficit += 1;
+                continue;
+            }
+            let beat = w.slot.heartbeat.load(Ordering::Relaxed);
+            if beat != w.seen_beat {
+                w.seen_beat = beat;
+                w.seen_at = now;
+            } else if now.duration_since(w.seen_at) > wedge {
+                w.slot.retired.store(true, Ordering::Relaxed);
+                let w = st.live.swap_remove(i);
+                st.zombies.push(w.handle);
+                wedged += 1;
+                deficit += 1;
+                continue;
+            }
+            i += 1;
+        }
+        let mut respawned = 0u64;
+        while deficit > 0 && st.tokens >= 1.0 {
+            st.tokens -= 1.0;
+            let w = self.spawn_worker(shared);
+            st.live.push(w);
+            deficit -= 1;
+            respawned += 1;
+        }
+        self.active.store(st.live.len(), Ordering::Relaxed);
+        if wedged > 0 || respawned > 0 {
+            obs::counter_add(Counter::WorkersWedged, wedged);
+            obs::counter_add(Counter::WorkersRespawned, respawned);
+            shared.flush_local_obs();
+        }
+    }
+
+    /// Joins every live worker (they exit once the queue is closed) and
+    /// drops zombie handles without joining — a wedged thread may never
+    /// finish, and shutdown must not inherit its fate.
+    pub(crate) fn join_workers(&self) {
+        let mut st = lock_unpoisoned(&self.state);
+        for w in st.live.drain(..) {
+            let _ = w.handle.join();
+        }
+        st.zombies.clear();
+        self.active.store(0, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,237 @@
+//! Deterministic chaos suite for `ifls serve`, gated on the
+//! `fault-inject` feature (`cargo test --features fault-inject`).
+//!
+//! A seeded [`FaultSchedule`] injects recurring worker panics, one wedged
+//! worker, and recurring read delays while concurrent clients replay a
+//! seed range whose answers were first recorded against the same daemon
+//! with no faults armed. The availability contract under injected chaos:
+//! every response is a typed HTTP status (no hangs, no torn frames, no
+//! dropped connections), every `200` is bit-identical to the fault-free
+//! baseline on the deterministic prefix, and once the schedule is
+//! disarmed the supervisor restores the pool to target strength.
+//!
+//! One `#[test]` only: the fault slot table is process-global, so a
+//! second concurrent test in this binary would race the schedule.
+
+#![cfg(feature = "fault-inject")]
+
+#[path = "serve_common/mod.rs"]
+mod serve_common;
+
+use serve_common::*;
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ifls_cli::commands::load_venue;
+use ifls_fault::{self as fault, FaultAction, FaultPoint, FaultSchedule};
+
+const VENUE_SPEC: &str = "grid:2x12";
+const REQUESTS: u64 = 220;
+const CONCURRENCY: usize = 6;
+const WEDGE_MS: u64 = 400;
+
+fn query_body(seed: u64) -> String {
+    format!("{{\"clients\":60,\"fe\":3,\"fn\":6,\"seed\":{seed}}}")
+}
+
+/// One request on a fresh connection, returning `(status, body)` or a
+/// transport-level error. The chaos round cannot use the panicking
+/// helpers in `serve_common`: a dropped connection must be *counted*,
+/// not abort the thread, so the failure report names every seed.
+fn try_query(addr: std::net::SocketAddr, body: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    let request = format!(
+        "POST /query HTTP/1.1\r\nHost: chaos\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read status: {e}"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("torn status line `{}`", status_line.trim()))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read header: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse().ok())
+        {
+            content_length = v;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    String::from_utf8(body)
+        .map(|b| (status, b))
+        .map_err(|_| "response body is not UTF-8".into())
+}
+
+/// First integer after `"name":` in a flat JSON body.
+fn json_u64(body: &str, name: &str) -> Option<u64> {
+    body.split(&format!("\"{name}\":"))
+        .nth(1)?
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .ok()
+}
+
+#[test]
+fn seeded_chaos_schedule_keeps_the_protocol_typed_and_the_answers_stable() {
+    let venue = load_venue(VENUE_SPEC).unwrap();
+    let server = Server::start(
+        venue,
+        ServeOptions {
+            workers: 4,
+            worker_wedge_ms: WEDGE_MS,
+            ..test_opts()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Phase 1 — fault-free baseline: the serial oracle every chaos-round
+    // 200 must match on the deterministic prefix.
+    let baseline: Vec<String> = (0..REQUESTS)
+        .map(|seed| {
+            let resp = post_query(addr, &query_body(seed));
+            assert_eq!(resp.status, 200, "baseline seed {seed}: {}", resp.body);
+            answer_prefix(resp.body.trim_end()).to_string()
+        })
+        .collect();
+
+    // Phase 2 — the seeded schedule: a worker dies on every 35th
+    // heartbeat crossing (≥3 deaths over this load), the 15th queue pop
+    // stalls 3× past the wedge threshold (the supervisor must declare
+    // that worker wedged and replace it), and every 70th read stalls
+    // briefly (≥2 delay faults; slow, never torn).
+    FaultSchedule::seeded(0xC4A0_5EED)
+        .every(FaultPoint::WorkerHeartbeat, 35, 10, FaultAction::Fail)
+        .nth(
+            FaultPoint::QueueWedge,
+            15,
+            FaultAction::Delay(Duration::from_millis(WEDGE_MS * 3)),
+        )
+        .every(
+            FaultPoint::IoRead,
+            70,
+            25,
+            FaultAction::Delay(Duration::from_millis(30)),
+        )
+        .install();
+
+    let next = AtomicU64::new(0);
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let typed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..CONCURRENCY {
+            let (next, failures, typed, baseline) = (&next, &failures, &typed, &baseline);
+            scope.spawn(move || loop {
+                let seed = next.fetch_add(1, Ordering::Relaxed);
+                if seed >= REQUESTS {
+                    return;
+                }
+                match try_query(addr, &query_body(seed)) {
+                    Ok((200, body)) => {
+                        if answer_prefix(body.trim_end()) != baseline[seed as usize] {
+                            failures
+                                .lock()
+                                .unwrap()
+                                .push(format!("seed {seed}: answer diverged from baseline"));
+                        }
+                    }
+                    // Under chaos a typed failure is allowed; a torn or
+                    // dropped response is not.
+                    Ok((status, _)) if (400..=599).contains(&status) => {
+                        typed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok((status, body)) => failures.lock().unwrap().push(format!(
+                        "seed {seed}: unexpected status {status}: {}",
+                        body.trim()
+                    )),
+                    Err(e) => failures
+                        .lock()
+                        .unwrap()
+                        .push(format!("seed {seed}: transport error: {e}")),
+                }
+            });
+        }
+    });
+    let failures = failures.into_inner().unwrap();
+    assert!(
+        failures.is_empty(),
+        "{} chaos-round violations:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+
+    // The schedule must actually have bitten.
+    let panics = fault::fired(FaultPoint::WorkerHeartbeat);
+    let wedges = fault::fired(FaultPoint::QueueWedge);
+    let delays = fault::fired(FaultPoint::IoRead);
+    assert!(panics >= 3, "only {panics} injected worker deaths fired");
+    assert!(wedges >= 1, "the queue-wedge delay never fired");
+    assert!(delays >= 2, "only {delays} read delays fired");
+
+    // Phase 3 — recovery: stop injecting; the supervisor must report the
+    // deaths it handled and bring the pool back to target strength.
+    fault::disarm_all();
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let resp = request(addr, "GET", "/readyz", &[], None);
+        if resp.status == 200 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "pool never recovered: /readyz still {}: {}",
+            resp.status,
+            resp.body
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let health = request(addr, "GET", "/healthz", &[], None);
+    assert_eq!(health.status, 200, "{}", health.body);
+    let respawned = json_u64(&health.body, "workers_respawned").unwrap_or(0);
+    let wedged = json_u64(&health.body, "workers_wedged").unwrap_or(0);
+    assert!(
+        respawned >= panics,
+        "workers_respawned {respawned} below the {panics} injected deaths: {}",
+        health.body
+    );
+    assert!(
+        wedged >= 1,
+        "supervisor never recorded a wedge: {}",
+        health.body
+    );
+
+    server.shutdown();
+}

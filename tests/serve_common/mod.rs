@@ -19,6 +19,7 @@ pub fn test_opts() -> ServeOptions {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         sighup_reload: false,
+        sigterm_drain: false,
         read_timeout: Duration::from_millis(500),
         ..ServeOptions::default()
     }
